@@ -1,0 +1,539 @@
+//! ASCII AIGER (`aag`) reading and writing.
+//!
+//! The EPFL benchmark suite distributes its circuits in AIGER format; this
+//! module provides the interchange layer so that externally produced AIGs
+//! can be optimized by the SBM engines, and results exported for independent
+//! verification. Only combinational AIGs (no latches) are supported, which
+//! matches the EPFL suite.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::graph::Aig;
+use crate::lit::Lit;
+
+/// Error produced when parsing an AIGER file fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseAigerError {
+    /// The header line is missing or malformed.
+    BadHeader(String),
+    /// The file contains latches (sequential logic is unsupported).
+    HasLatches,
+    /// A literal refers to a variable beyond the declared maximum.
+    LiteralOutOfRange(u64),
+    /// A line could not be parsed.
+    BadLine(String),
+    /// An AND gate's left-hand side is not a fresh positive literal.
+    BadAndDefinition(String),
+}
+
+impl fmt::Display for ParseAigerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseAigerError::BadHeader(l) => write!(f, "bad aag header: {l:?}"),
+            ParseAigerError::HasLatches => {
+                write!(f, "sequential aiger files are not supported")
+            }
+            ParseAigerError::LiteralOutOfRange(l) => {
+                write!(f, "literal {l} out of declared range")
+            }
+            ParseAigerError::BadLine(l) => write!(f, "unparseable line: {l:?}"),
+            ParseAigerError::BadAndDefinition(l) => {
+                write!(f, "bad and-gate definition: {l:?}")
+            }
+        }
+    }
+}
+
+impl Error for ParseAigerError {}
+
+/// Parses an ASCII AIGER (`aag`) document into an [`Aig`].
+///
+/// The constructed AIG is strashed on the fly, so the resulting node count
+/// can be lower than the declared `A` when the source contains structural
+/// duplicates.
+///
+/// # Errors
+///
+/// Returns a [`ParseAigerError`] for malformed documents or sequential
+/// circuits.
+///
+/// # Example
+///
+/// ```
+/// use sbm_aig::aiger;
+///
+/// # fn main() -> Result<(), sbm_aig::aiger::ParseAigerError> {
+/// let src = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n";
+/// let aig = aiger::parse(src)?;
+/// assert_eq!(aig.num_inputs(), 2);
+/// assert_eq!(aig.num_ands(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(src: &str) -> Result<Aig, ParseAigerError> {
+    let mut lines = src.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| ParseAigerError::BadHeader(String::new()))?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() != 6 || fields[0] != "aag" {
+        return Err(ParseAigerError::BadHeader(header.to_string()));
+    }
+    let parse_num = |s: &str| {
+        s.parse::<u64>()
+            .map_err(|_| ParseAigerError::BadHeader(header.to_string()))
+    };
+    let m = parse_num(fields[1])?;
+    let i = parse_num(fields[2])?;
+    let l = parse_num(fields[3])?;
+    let o = parse_num(fields[4])?;
+    let a = parse_num(fields[5])?;
+    if l != 0 {
+        return Err(ParseAigerError::HasLatches);
+    }
+
+    let mut aig = Aig::new();
+    // AIGER variable -> our literal (positive phase).
+    let mut var_map: Vec<Option<Lit>> = vec![None; (m + 1) as usize];
+    var_map[0] = Some(Lit::FALSE);
+
+    let lit_of = |code: u64, var_map: &[Option<Lit>]| -> Result<Lit, ParseAigerError> {
+        let var = (code >> 1) as usize;
+        if var >= var_map.len() {
+            return Err(ParseAigerError::LiteralOutOfRange(code));
+        }
+        let base = var_map[var].ok_or(ParseAigerError::LiteralOutOfRange(code))?;
+        Ok(base.complement_if(code & 1 == 1))
+    };
+
+    // Inputs.
+    for _ in 0..i {
+        let line = lines
+            .next()
+            .ok_or_else(|| ParseAigerError::BadLine("<eof>".into()))?;
+        let code: u64 = line
+            .trim()
+            .parse()
+            .map_err(|_| ParseAigerError::BadLine(line.to_string()))?;
+        if code & 1 == 1 || code == 0 {
+            return Err(ParseAigerError::BadLine(line.to_string()));
+        }
+        let var = (code >> 1) as usize;
+        if var >= var_map.len() || var_map[var].is_some() {
+            return Err(ParseAigerError::LiteralOutOfRange(code));
+        }
+        var_map[var] = Some(aig.add_input());
+    }
+
+    // Outputs (codes recorded now, resolved after ANDs are read).
+    let mut output_codes = Vec::with_capacity(o as usize);
+    for _ in 0..o {
+        let line = lines
+            .next()
+            .ok_or_else(|| ParseAigerError::BadLine("<eof>".into()))?;
+        let code: u64 = line
+            .trim()
+            .parse()
+            .map_err(|_| ParseAigerError::BadLine(line.to_string()))?;
+        output_codes.push(code);
+    }
+
+    // AND gates.
+    for _ in 0..a {
+        let line = lines
+            .next()
+            .ok_or_else(|| ParseAigerError::BadLine("<eof>".into()))?;
+        let nums: Vec<u64> = line
+            .split_whitespace()
+            .map(|t| {
+                t.parse()
+                    .map_err(|_| ParseAigerError::BadLine(line.to_string()))
+            })
+            .collect::<Result<_, _>>()?;
+        if nums.len() != 3 {
+            return Err(ParseAigerError::BadAndDefinition(line.to_string()));
+        }
+        let (lhs, rhs0, rhs1) = (nums[0], nums[1], nums[2]);
+        if lhs & 1 == 1 {
+            return Err(ParseAigerError::BadAndDefinition(line.to_string()));
+        }
+        let var = (lhs >> 1) as usize;
+        if var >= var_map.len() || var_map[var].is_some() {
+            return Err(ParseAigerError::BadAndDefinition(line.to_string()));
+        }
+        let f0 = lit_of(rhs0, &var_map)?;
+        let f1 = lit_of(rhs1, &var_map)?;
+        var_map[var] = Some(aig.and(f0, f1));
+    }
+
+    for code in output_codes {
+        let lit = lit_of(code, &var_map)?;
+        aig.add_output(lit);
+    }
+    Ok(aig)
+}
+
+/// Serializes an [`Aig`] as an ASCII AIGER (`aag`) document.
+///
+/// The network is compacted first (dead logic and pending replacements are
+/// flushed), so the emitted file is minimal and self-contained.
+pub fn write(aig: &Aig) -> String {
+    let aig = aig.cleanup();
+    let order = aig.topo_order();
+    // AIGER variables: 0 = const, 1..=I inputs, then ANDs in topo order.
+    let mut var_of = vec![0u64; aig.num_nodes()];
+    let mut next_var = 1u64;
+    for &input in aig.inputs() {
+        var_of[input.index()] = next_var;
+        next_var += 1;
+    }
+    for &id in &order {
+        var_of[id.index()] = next_var;
+        next_var += 1;
+    }
+    let code = |l: Lit| -> u64 { var_of[l.node().index()] << 1 | l.is_complemented() as u64 };
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "aag {} {} 0 {} {}\n",
+        next_var - 1,
+        aig.num_inputs(),
+        aig.num_outputs(),
+        order.len()
+    ));
+    for &input in aig.inputs() {
+        out.push_str(&format!("{}\n", var_of[input.index()] << 1));
+    }
+    for l in aig.outputs() {
+        out.push_str(&format!("{}\n", code(l)));
+    }
+    for &id in &order {
+        let (a, b) = aig.fanins(id);
+        out.push_str(&format!(
+            "{} {} {}\n",
+            var_of[id.index()] << 1,
+            code(a),
+            code(b)
+        ));
+    }
+    out
+}
+
+/// Serializes an [`Aig`] in the *binary* AIGER format (`aig` header).
+///
+/// Binary AIGER requires inputs to occupy variables `1..=I` and AND gates
+/// `I+1..=I+A` in topological order with `lhs > rhs0 >= rhs1`; the two
+/// fanin deltas are LEB128-style varint encoded. This matches the format
+/// the EPFL suite distributes.
+pub fn write_binary(aig: &Aig) -> Vec<u8> {
+    let aig = aig.cleanup();
+    let order = aig.topo_order();
+    let mut var_of = vec![0u64; aig.num_nodes()];
+    let mut next_var = 1u64;
+    for &input in aig.inputs() {
+        var_of[input.index()] = next_var;
+        next_var += 1;
+    }
+    for &id in &order {
+        var_of[id.index()] = next_var;
+        next_var += 1;
+    }
+    let code = |l: Lit| -> u64 { var_of[l.node().index()] << 1 | l.is_complemented() as u64 };
+
+    let mut out = Vec::new();
+    out.extend_from_slice(
+        format!(
+            "aig {} {} 0 {} {}\n",
+            next_var - 1,
+            aig.num_inputs(),
+            aig.num_outputs(),
+            order.len()
+        )
+        .as_bytes(),
+    );
+    for l in aig.outputs() {
+        out.extend_from_slice(format!("{}\n", code(l)).as_bytes());
+    }
+    for &id in &order {
+        let (a, b) = aig.fanins(id);
+        let lhs = var_of[id.index()] << 1;
+        let (mut c0, mut c1) = (code(a), code(b));
+        if c0 < c1 {
+            std::mem::swap(&mut c0, &mut c1);
+        }
+        debug_assert!(lhs > c0 && c0 >= c1);
+        push_varint(&mut out, lhs - c0);
+        push_varint(&mut out, c0 - c1);
+    }
+    out
+}
+
+fn push_varint(out: &mut Vec<u8>, mut x: u64) {
+    while x >= 0x80 {
+        out.push((x & 0x7F) as u8 | 0x80);
+        x >>= 7;
+    }
+    out.push(x as u8);
+}
+
+fn read_varint(data: &[u8], pos: &mut usize) -> Result<u64, ParseAigerError> {
+    let mut x = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *data
+            .get(*pos)
+            .ok_or_else(|| ParseAigerError::BadLine("<eof in varint>".into()))?;
+        *pos += 1;
+        x |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(x);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(ParseAigerError::BadLine("varint overflow".into()));
+        }
+    }
+}
+
+/// Parses a *binary* AIGER document (`aig` header).
+///
+/// # Errors
+///
+/// Returns a [`ParseAigerError`] for malformed documents or sequential
+/// circuits.
+pub fn parse_binary(data: &[u8]) -> Result<Aig, ParseAigerError> {
+    // Header line is ASCII.
+    let newline = data
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| ParseAigerError::BadHeader(String::new()))?;
+    let header = std::str::from_utf8(&data[..newline])
+        .map_err(|_| ParseAigerError::BadHeader("<non-utf8>".into()))?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() != 6 || fields[0] != "aig" {
+        return Err(ParseAigerError::BadHeader(header.to_string()));
+    }
+    let parse_num = |s: &str| {
+        s.parse::<u64>()
+            .map_err(|_| ParseAigerError::BadHeader(header.to_string()))
+    };
+    let m = parse_num(fields[1])?;
+    let i = parse_num(fields[2])?;
+    let l = parse_num(fields[3])?;
+    let o = parse_num(fields[4])?;
+    let a = parse_num(fields[5])?;
+    if l != 0 {
+        return Err(ParseAigerError::HasLatches);
+    }
+    if m != i + a {
+        return Err(ParseAigerError::BadHeader(header.to_string()));
+    }
+    let mut pos = newline + 1;
+
+    let mut aig = Aig::new();
+    let mut lits: Vec<Lit> = Vec::with_capacity((m + 1) as usize);
+    lits.push(Lit::FALSE);
+    for _ in 0..i {
+        lits.push(aig.add_input());
+    }
+
+    // Output codes (ASCII lines).
+    let mut output_codes = Vec::with_capacity(o as usize);
+    for _ in 0..o {
+        let end = data[pos..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|p| pos + p)
+            .ok_or_else(|| ParseAigerError::BadLine("<eof in outputs>".into()))?;
+        let line = std::str::from_utf8(&data[pos..end])
+            .map_err(|_| ParseAigerError::BadLine("<non-utf8 output>".into()))?;
+        output_codes.push(
+            line.trim()
+                .parse::<u64>()
+                .map_err(|_| ParseAigerError::BadLine(line.to_string()))?,
+        );
+        pos = end + 1;
+    }
+
+    // AND gates: delta-encoded.
+    for k in 0..a {
+        let lhs = (i + 1 + k) << 1;
+        let delta0 = read_varint(data, &mut pos)?;
+        let delta1 = read_varint(data, &mut pos)?;
+        let c0 = lhs
+            .checked_sub(delta0)
+            .ok_or(ParseAigerError::LiteralOutOfRange(lhs))?;
+        let c1 = c0
+            .checked_sub(delta1)
+            .ok_or(ParseAigerError::LiteralOutOfRange(c0))?;
+        let lit_of = |code: u64, lits: &[Lit]| -> Result<Lit, ParseAigerError> {
+            let var = (code >> 1) as usize;
+            let base = *lits
+                .get(var)
+                .ok_or(ParseAigerError::LiteralOutOfRange(code))?;
+            Ok(base.complement_if(code & 1 == 1))
+        };
+        let f0 = lit_of(c0, &lits)?;
+        let f1 = lit_of(c1, &lits)?;
+        lits.push(aig.and(f0, f1));
+    }
+
+    for code in output_codes {
+        let var = (code >> 1) as usize;
+        let base = *lits
+            .get(var)
+            .ok_or(ParseAigerError::LiteralOutOfRange(code))?;
+        aig.add_output(base.complement_if(code & 1 == 1));
+    }
+    Ok(aig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_and() {
+        let src = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n";
+        let aig = parse(src).unwrap();
+        assert_eq!(aig.num_inputs(), 2);
+        assert_eq!(aig.num_outputs(), 1);
+        assert_eq!(aig.num_ands(), 1);
+        assert_eq!(aig.eval(&[true, true]), vec![true]);
+        assert_eq!(aig.eval(&[true, false]), vec![false]);
+    }
+
+    #[test]
+    fn parse_complemented_output() {
+        // NAND: output = !(i1 & i2)
+        let src = "aag 3 2 0 1 1\n2\n4\n7\n6 2 4\n";
+        let aig = parse(src).unwrap();
+        assert_eq!(aig.eval(&[true, true]), vec![false]);
+        assert_eq!(aig.eval(&[false, true]), vec![true]);
+    }
+
+    #[test]
+    fn parse_constant_output() {
+        let src = "aag 0 0 0 2 0\n0\n1\n";
+        let aig = parse(src).unwrap();
+        assert_eq!(aig.eval(&[]), vec![false, true]);
+    }
+
+    #[test]
+    fn rejects_latches() {
+        let src = "aag 1 0 1 0 0\n2 3\n";
+        assert!(matches!(parse(src), Err(ParseAigerError::HasLatches)));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            parse("aig 1 0 0 0 0\n"),
+            Err(ParseAigerError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse("aag 1 0 0\n"),
+            Err(ParseAigerError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_literal() {
+        let src = "aag 1 1 0 1 0\n2\n9\n";
+        assert!(matches!(
+            parse(src),
+            Err(ParseAigerError::LiteralOutOfRange(9))
+        ));
+    }
+
+    #[test]
+    fn round_trip_preserves_function() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let m = aig.maj3(a, b, c);
+        let x = aig.xor(a, c);
+        aig.add_output(m);
+        aig.add_output(!x);
+        let text = write(&aig);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.num_inputs(), 3);
+        assert_eq!(back.num_outputs(), 2);
+        for i in 0..8 {
+            let assignment = [(i & 1) == 1, (i >> 1) & 1 == 1, (i >> 2) & 1 == 1];
+            assert_eq!(aig.eval(&assignment), back.eval(&assignment));
+        }
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_function() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let m = aig.maj3(a, b, c);
+        let x = aig.xor(a, c);
+        aig.add_output(!m);
+        aig.add_output(x);
+        let bytes = write_binary(&aig);
+        let back = parse_binary(&bytes).unwrap();
+        for i in 0..8 {
+            let assignment = [(i & 1) == 1, (i >> 1) & 1 == 1, (i >> 2) & 1 == 1];
+            assert_eq!(aig.eval(&assignment), back.eval(&assignment));
+        }
+    }
+
+    #[test]
+    fn binary_and_ascii_agree() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let f = aig.xor(a, b);
+        aig.add_output(f);
+        let ascii = parse(&write(&aig)).unwrap();
+        let binary = parse_binary(&write_binary(&aig)).unwrap();
+        for i in 0..4 {
+            let assignment = [(i & 1) == 1, (i >> 1) & 1 == 1];
+            assert_eq!(ascii.eval(&assignment), binary.eval(&assignment));
+        }
+    }
+
+    #[test]
+    fn binary_rejects_latches_and_bad_header() {
+        assert!(matches!(
+            parse_binary(b"aig 1 0 1 0 0\n"),
+            Err(ParseAigerError::HasLatches)
+        ));
+        assert!(matches!(
+            parse_binary(b"aag 1 1 0 0 0\n"),
+            Err(ParseAigerError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse_binary(b"aig 5 1 0 0 0\n"),
+            Err(ParseAigerError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn write_emits_topological_ands() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let f = aig.xor(a, b);
+        aig.add_output(f);
+        let text = write(&aig);
+        let header: Vec<&str> = text.lines().next().unwrap().split(' ').collect();
+        assert_eq!(header[5], "3"); // xor = 3 ANDs
+        // Every AND's fanin variables must be smaller than its own.
+        for line in text.lines().skip(1 + 2 + 1) {
+            let nums: Vec<u64> = line
+                .split_whitespace()
+                .map(|t| t.parse().unwrap())
+                .collect();
+            assert!(nums[1] >> 1 < nums[0] >> 1);
+            assert!(nums[2] >> 1 < nums[0] >> 1);
+        }
+    }
+}

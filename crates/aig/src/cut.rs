@@ -1,0 +1,217 @@
+//! k-feasible cut enumeration (priority cuts).
+//!
+//! A *cut* of node `n` is a set of nodes (leaves) such that every path from
+//! the inputs to `n` passes through a leaf; it is k-feasible if it has at
+//! most `k` leaves. Cuts drive both DAG-aware rewriting (Mishchenko et al.
+//! \[12\], the `rewrite` move of the gradient engine) and LUT mapping
+//! (`if -K 6 -a` in the paper's EPFL experiments).
+
+use std::collections::HashMap;
+
+use crate::graph::Aig;
+use crate::lit::NodeId;
+
+/// A k-feasible cut: a sorted leaf set plus a 64-bit Bloom signature used to
+/// cheaply reject impossible merges and subsumption candidates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cut {
+    leaves: Vec<NodeId>,
+    sign: u64,
+}
+
+impl Cut {
+    /// The trivial cut `{node}`.
+    pub fn trivial(node: NodeId) -> Self {
+        Cut {
+            sign: 1u64 << (node.index() & 63),
+            leaves: vec![node],
+        }
+    }
+
+    /// The cut's leaves, sorted ascending.
+    pub fn leaves(&self) -> &[NodeId] {
+        &self.leaves
+    }
+
+    /// Number of leaves.
+    pub fn size(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Merges two cuts; `None` if the union exceeds `k` leaves.
+    pub fn merge(&self, other: &Cut, k: usize) -> Option<Cut> {
+        // Quick reject: each leaf sets one signature bit, so the union's
+        // popcount is a lower bound on the number of distinct leaves.
+        if (self.sign | other.sign).count_ones() as usize > k {
+            return None;
+        }
+        let mut merged = Vec::with_capacity(k);
+        let (mut i, mut j) = (0, 0);
+        while i < self.leaves.len() || j < other.leaves.len() {
+            let next = match (self.leaves.get(i), other.leaves.get(j)) {
+                (Some(&a), Some(&b)) => {
+                    if a < b {
+                        i += 1;
+                        a
+                    } else if b < a {
+                        j += 1;
+                        b
+                    } else {
+                        i += 1;
+                        j += 1;
+                        a
+                    }
+                }
+                (Some(&a), None) => {
+                    i += 1;
+                    a
+                }
+                (None, Some(&b)) => {
+                    j += 1;
+                    b
+                }
+                (None, None) => unreachable!(),
+            };
+            if merged.len() == k {
+                return None;
+            }
+            merged.push(next);
+        }
+        Some(Cut {
+            sign: self.sign | other.sign,
+            leaves: merged,
+        })
+    }
+
+    /// Whether `self` dominates (is a subset of) `other`; dominated cuts are
+    /// redundant.
+    pub fn dominates(&self, other: &Cut) -> bool {
+        if self.leaves.len() > other.leaves.len() || self.sign & !other.sign != 0 {
+            return false;
+        }
+        self.leaves.iter().all(|l| other.leaves.binary_search(l).is_ok())
+    }
+}
+
+/// Options for cut enumeration.
+#[derive(Debug, Clone, Copy)]
+pub struct CutOptions {
+    /// Maximum cut size (k).
+    pub k: usize,
+    /// Maximum number of cuts kept per node (priority-cut truncation).
+    pub max_cuts: usize,
+}
+
+impl Default for CutOptions {
+    fn default() -> Self {
+        CutOptions { k: 6, max_cuts: 8 }
+    }
+}
+
+/// Enumerates up to `max_cuts` k-feasible cuts per live node, bottom-up.
+///
+/// The returned map contains an entry for every live AND node, every input
+/// reachable from the outputs, and the constant node if used. Each node's
+/// cut list ends with its trivial cut.
+pub fn enumerate_cuts(aig: &Aig, options: CutOptions) -> HashMap<NodeId, Vec<Cut>> {
+    let mut cuts: HashMap<NodeId, Vec<Cut>> = HashMap::new();
+    cuts.insert(NodeId::CONST, vec![Cut::trivial(NodeId::CONST)]);
+    for &input in aig.inputs() {
+        cuts.insert(input, vec![Cut::trivial(input)]);
+    }
+    for id in aig.topo_order() {
+        let (a, b) = aig.fanins(id);
+        let ca = cuts.get(&a.node()).cloned().unwrap_or_default();
+        let cb = cuts.get(&b.node()).cloned().unwrap_or_default();
+        let mut merged: Vec<Cut> = Vec::new();
+        for x in &ca {
+            for y in &cb {
+                if let Some(c) = x.merge(y, options.k) {
+                    if !merged.iter().any(|m| m.dominates(&c)) {
+                        merged.retain(|m| !c.dominates(m));
+                        merged.push(c);
+                    }
+                }
+            }
+        }
+        merged.sort_by_key(|c| c.size());
+        merged.truncate(options.max_cuts.saturating_sub(1));
+        merged.push(Cut::trivial(id));
+        cuts.insert(id, merged);
+    }
+    cuts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{lit_truth_table, window_truth_tables};
+
+    #[test]
+    fn trivial_cut() {
+        let c = Cut::trivial(NodeId::CONST);
+        assert_eq!(c.size(), 1);
+        assert!(c.dominates(&c.clone()));
+    }
+
+    #[test]
+    fn merge_respects_k() {
+        let a = Cut::trivial(NodeId(1));
+        let b = Cut::trivial(NodeId(2));
+        let ab = a.merge(&b, 2).unwrap();
+        assert_eq!(ab.size(), 2);
+        let c = Cut::trivial(NodeId(3));
+        assert!(ab.merge(&c, 2).is_none());
+        assert!(ab.merge(&c, 3).is_some());
+    }
+
+    #[test]
+    fn merge_shares_leaves() {
+        let a = Cut::trivial(NodeId(1)).merge(&Cut::trivial(NodeId(2)), 4).unwrap();
+        let b = Cut::trivial(NodeId(2)).merge(&Cut::trivial(NodeId(3)), 4).unwrap();
+        let u = a.merge(&b, 3).unwrap();
+        assert_eq!(u.size(), 3);
+    }
+
+    #[test]
+    fn enumeration_covers_mux() {
+        let mut aig = Aig::new();
+        let s = aig.add_input();
+        let t = aig.add_input();
+        let e = aig.add_input();
+        let m = aig.mux(s, t, e);
+        aig.add_output(m);
+        let cuts = enumerate_cuts(&aig, CutOptions { k: 3, max_cuts: 8 });
+        let root_cuts = &cuts[&m.node()];
+        // The 3-input cut {s, t, e} must be found.
+        let full = root_cuts
+            .iter()
+            .find(|c| c.leaves() == [s.node(), t.node(), e.node()]);
+        assert!(full.is_some(), "full-support cut missing: {root_cuts:?}");
+        // Its function must be the mux function.
+        let cut = full.unwrap();
+        let tables = window_truth_tables(&aig, &[m.node()], cut.leaves());
+        let f = lit_truth_table(&tables, m).unwrap();
+        let sel = sbm_tt::TruthTable::var(3, 0);
+        let tt = sbm_tt::TruthTable::var(3, 1);
+        let et = sbm_tt::TruthTable::var(3, 2);
+        assert_eq!(f, sel.ite(&tt, &et));
+    }
+
+    #[test]
+    fn cuts_are_k_feasible() {
+        let mut aig = Aig::new();
+        let inputs: Vec<_> = (0..8).map(|_| aig.add_input()).collect();
+        let f = aig.xor_many(&inputs);
+        aig.add_output(f);
+        let k = 4;
+        let cuts = enumerate_cuts(&aig, CutOptions { k, max_cuts: 6 });
+        for (_, list) in cuts {
+            for c in list {
+                assert!(c.size() <= k);
+                // Leaves sorted strictly ascending.
+                assert!(c.leaves().windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+}

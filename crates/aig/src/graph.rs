@@ -1,0 +1,739 @@
+//! The [`Aig`] graph: structural hashing, node replacement and compaction.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::lit::{Lit, NodeId};
+
+/// Internal node payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Node {
+    /// The constant-false node (always node 0).
+    Const,
+    /// A primary input.
+    Input,
+    /// A two-input AND gate over two literals.
+    And(Lit, Lit),
+}
+
+/// Error returned by [`Aig::replace`] when the replacement would create a
+/// combinational cycle (the replacement literal's cone contains the node
+/// being replaced).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplaceError {
+    node: NodeId,
+}
+
+impl fmt::Display for ReplaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "replacing node {} would create a combinational cycle",
+            self.node
+        )
+    }
+}
+
+impl Error for ReplaceError {}
+
+/// An And-Inverter Graph with structural hashing.
+///
+/// The graph is append-only: AND nodes are interned through a strash table so
+/// that structurally identical gates share one node, and the one-level rules
+/// (`x·x = x`, `x·x̄ = 0`, `x·1 = x`, `x·0 = 0`) are applied on construction.
+/// Optimization engines *replace* nodes by recording redirections which are
+/// resolved transparently by every accessor; [`Aig::cleanup`] compacts the
+/// graph by rebuilding only the logic reachable from the outputs.
+///
+/// # Example
+///
+/// ```
+/// use sbm_aig::Aig;
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input();
+/// let b = aig.add_input();
+/// let ab = aig.and(a, b);
+/// let ab2 = aig.and(b, a); // strashing: same node
+/// assert_eq!(ab, ab2);
+/// assert_eq!(aig.and(a, !a), sbm_aig::Lit::FALSE);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Aig {
+    nodes: Vec<Node>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<Lit>,
+    strash: HashMap<(Lit, Lit), NodeId>,
+    repl: HashMap<NodeId, Lit>,
+}
+
+impl Default for Aig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Aig {
+    /// Creates an empty AIG containing only the constant node.
+    pub fn new() -> Self {
+        Aig {
+            nodes: vec![Node::Const],
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            strash: HashMap::new(),
+            repl: HashMap::new(),
+        }
+    }
+
+    /// Creates an AIG with `n` primary inputs already added.
+    pub fn with_inputs(n: usize) -> (Self, Vec<Lit>) {
+        let mut aig = Self::new();
+        let lits = (0..n).map(|_| aig.add_input()).collect();
+        (aig, lits)
+    }
+
+    /// Adds a primary input; returns its positive literal.
+    pub fn add_input(&mut self) -> Lit {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::Input);
+        self.inputs.push(id);
+        Lit::new(id, false)
+    }
+
+    /// Registers `lit` as a primary output; returns its output index.
+    pub fn add_output(&mut self, lit: Lit) -> usize {
+        let lit = self.resolve(lit);
+        self.outputs.push(lit);
+        self.outputs.len() - 1
+    }
+
+    /// Redirects output `index` to a new literal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_output(&mut self, index: usize, lit: Lit) {
+        let lit = self.resolve(lit);
+        self.outputs[index] = lit;
+    }
+
+    /// The primary inputs, in creation order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// The positive literal of input `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn input_lit(&self, i: usize) -> Lit {
+        Lit::new(self.inputs[i], false)
+    }
+
+    /// The primary outputs (resolved through any pending replacements).
+    pub fn outputs(&self) -> Vec<Lit> {
+        self.outputs.iter().map(|&l| self.resolve(l)).collect()
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of allocated nodes (including dead ones awaiting cleanup).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of AND nodes reachable from the outputs — the paper's network
+    /// *size*.
+    pub fn num_ands(&self) -> usize {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut count = 0usize;
+        let mut stack: Vec<NodeId> = self.outputs().iter().map(|l| l.node()).collect();
+        while let Some(id) = stack.pop() {
+            let id = self.resolve(Lit::new(id, false)).node();
+            if seen[id.index()] {
+                continue;
+            }
+            seen[id.index()] = true;
+            if let Node::And(a, b) = self.nodes[id.index()] {
+                count += 1;
+                stack.push(self.resolve(a).node());
+                stack.push(self.resolve(b).node());
+            }
+        }
+        count
+    }
+
+    /// Whether `id` is a primary input.
+    pub fn is_input(&self, id: NodeId) -> bool {
+        matches!(self.nodes[id.index()], Node::Input)
+    }
+
+    /// Whether `id` is an AND gate.
+    pub fn is_and(&self, id: NodeId) -> bool {
+        matches!(self.nodes[id.index()], Node::And(..))
+    }
+
+    /// The two fanin literals of AND node `id`, resolved through pending
+    /// replacements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not an AND node.
+    pub fn fanins(&self, id: NodeId) -> (Lit, Lit) {
+        match self.nodes[id.index()] {
+            Node::And(a, b) => (self.resolve(a), self.resolve(b)),
+            _ => panic!("node {id} is not an AND gate"),
+        }
+    }
+
+    /// Follows the replacement map until a live literal is reached.
+    pub fn resolve(&self, lit: Lit) -> Lit {
+        let mut cur = lit;
+        while let Some(&r) = self.repl.get(&cur.node()) {
+            cur = r.complement_if(cur.is_complemented());
+        }
+        cur
+    }
+
+    /// Whether `id` has been redirected by [`Aig::replace`].
+    pub fn is_replaced(&self, id: NodeId) -> bool {
+        self.repl.contains_key(&id)
+    }
+
+    /// Creates (or reuses) the AND of two literals, applying one-level
+    /// simplification rules and structural hashing.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        let a = self.resolve(a);
+        let b = self.resolve(b);
+        // Trivial rules.
+        if a == Lit::FALSE || b == Lit::FALSE || a == !b {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE {
+            return b;
+        }
+        if b == Lit::TRUE || a == b {
+            return a;
+        }
+        // Canonical order for strashing.
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&id) = self.strash.get(&(a, b)) {
+            // The interned node may itself have been replaced since.
+            return self.resolve(Lit::new(id, false));
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::And(a, b));
+        self.strash.insert((a, b), id);
+        Lit::new(id, false)
+    }
+
+    /// `a ∨ b` (one AND node).
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and(!a, !b)
+    }
+
+    /// `¬(a ∧ b)` (one AND node).
+    pub fn nand(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and(a, b)
+    }
+
+    /// `¬(a ∨ b)` (one AND node).
+    pub fn nor(&mut self, a: Lit, b: Lit) -> Lit {
+        self.and(!a, !b)
+    }
+
+    /// `a ⊕ b` (three AND nodes — the paper's `xor_cost` default).
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let n1 = self.and(a, !b);
+        let n2 = self.and(!a, b);
+        self.or(n1, n2)
+    }
+
+    /// `a ⊙ b` (three AND nodes).
+    pub fn xnor(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.xor(a, b)
+    }
+
+    /// Multiplexer `sel ? t : e` (three AND nodes).
+    pub fn mux(&mut self, sel: Lit, t: Lit, e: Lit) -> Lit {
+        let a = self.and(sel, t);
+        let b = self.and(!sel, e);
+        self.or(a, b)
+    }
+
+    /// Majority of three (four AND nodes).
+    pub fn maj3(&mut self, a: Lit, b: Lit, c: Lit) -> Lit {
+        let ab = self.and(a, b);
+        let ac = self.and(a, c);
+        let bc = self.and(b, c);
+        let t = self.or(ab, ac);
+        self.or(t, bc)
+    }
+
+    /// Conjunction of many literals, balanced (tree-shaped for depth).
+    pub fn and_many(&mut self, lits: &[Lit]) -> Lit {
+        match lits.len() {
+            0 => Lit::TRUE,
+            1 => lits[0],
+            _ => {
+                let mid = lits.len() / 2;
+                let (l, r) = lits.split_at(mid);
+                let a = self.and_many(l);
+                let b = self.and_many(r);
+                self.and(a, b)
+            }
+        }
+    }
+
+    /// Disjunction of many literals, balanced.
+    pub fn or_many(&mut self, lits: &[Lit]) -> Lit {
+        let inverted: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+        !self.and_many(&inverted)
+    }
+
+    /// XOR of many literals, balanced.
+    pub fn xor_many(&mut self, lits: &[Lit]) -> Lit {
+        match lits.len() {
+            0 => Lit::FALSE,
+            1 => lits[0],
+            _ => {
+                let mid = lits.len() / 2;
+                let (l, r) = lits.split_at(mid);
+                let a = self.xor_many(l);
+                let b = self.xor_many(r);
+                self.xor(a, b)
+            }
+        }
+    }
+
+    /// Replaces node `old` with literal `new` everywhere: all existing and
+    /// future references to `old` resolve to `new`.
+    ///
+    /// This is the primitive behind resubstitution: the paper's Alg. 2
+    /// "Change f with diff in N".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplaceError`] if `new`'s resolved cone contains `old`
+    /// (which would create a combinational cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old` is the constant node or an input.
+    pub fn replace(&mut self, old: NodeId, new: Lit) -> Result<(), ReplaceError> {
+        assert!(self.is_and(old), "only AND nodes can be replaced");
+        let new = self.resolve(new);
+        if new.node() == old {
+            // Self-replacement (possibly with complement): reject the
+            // complemented case as a cycle, ignore the identity case.
+            if new.is_complemented() {
+                return Err(ReplaceError { node: old });
+            }
+            return Ok(());
+        }
+        // Cycle check: DFS through the resolved cone of `new`.
+        let mut stack = vec![new.node()];
+        let mut seen = std::collections::HashSet::new();
+        while let Some(id) = stack.pop() {
+            if id == old {
+                return Err(ReplaceError { node: old });
+            }
+            if !seen.insert(id) {
+                continue;
+            }
+            if let Node::And(a, b) = self.nodes[id.index()] {
+                stack.push(self.resolve(a).node());
+                stack.push(self.resolve(b).node());
+            }
+        }
+        self.repl.insert(old, new);
+        Ok(())
+    }
+
+    /// Live AND nodes in topological order (fanins before fanouts).
+    pub fn topo_order(&self) -> Vec<NodeId> {
+        let mut order = Vec::new();
+        let mut state = vec![0u8; self.nodes.len()]; // 0 = new, 2 = done
+        let mut stack: Vec<(NodeId, bool)> = self
+            .outputs()
+            .iter()
+            .map(|l| (l.node(), false))
+            .collect();
+        while let Some((id, expanded)) = stack.pop() {
+            if expanded {
+                if state[id.index()] != 2 {
+                    state[id.index()] = 2;
+                    order.push(id);
+                }
+                continue;
+            }
+            if state[id.index()] != 0 {
+                continue;
+            }
+            state[id.index()] = 1;
+            if let Node::And(a, b) = self.nodes[id.index()] {
+                stack.push((id, true));
+                stack.push((self.resolve(a).node(), false));
+                stack.push((self.resolve(b).node(), false));
+            } else {
+                state[id.index()] = 2;
+            }
+        }
+        order.retain(|&id| self.is_and(id));
+        order
+    }
+
+    /// Per-node logic levels (inputs and constants are level 0); indexed by
+    /// node. Dead nodes get level 0.
+    pub fn levels(&self) -> Vec<u32> {
+        let mut level = vec![0u32; self.nodes.len()];
+        for id in self.topo_order() {
+            let (a, b) = self.fanins(id);
+            level[id.index()] = 1 + level[a.node().index()].max(level[b.node().index()]);
+        }
+        level
+    }
+
+    /// The network depth: the maximum output level — the paper's *number of
+    /// levels*.
+    pub fn depth(&self) -> u32 {
+        let levels = self.levels();
+        self.outputs()
+            .iter()
+            .map(|l| levels[l.node().index()])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of fanouts of each live node (outputs count as one fanout
+    /// each); indexed by node.
+    pub fn fanout_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.nodes.len()];
+        for id in self.topo_order() {
+            let (a, b) = self.fanins(id);
+            counts[a.node().index()] += 1;
+            counts[b.node().index()] += 1;
+        }
+        for l in self.outputs() {
+            counts[l.node().index()] += 1;
+        }
+        counts
+    }
+
+    /// Evaluates the network under a full input assignment; returns output
+    /// values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != num_inputs`.
+    pub fn eval(&self, assignment: &[bool]) -> Vec<bool> {
+        assert_eq!(assignment.len(), self.inputs.len());
+        let mut values = vec![false; self.nodes.len()];
+        for (i, &id) in self.inputs.iter().enumerate() {
+            values[id.index()] = assignment[i];
+        }
+        for id in self.topo_order() {
+            let (a, b) = self.fanins(id);
+            let va = values[a.node().index()] ^ a.is_complemented();
+            let vb = values[b.node().index()] ^ b.is_complemented();
+            values[id.index()] = va && vb;
+        }
+        self.outputs()
+            .iter()
+            .map(|l| values[l.node().index()] ^ l.is_complemented())
+            .collect()
+    }
+
+    /// Rebuilds a compact AIG containing only logic reachable from the
+    /// outputs, dropping dead nodes and flushing the replacement map.
+    /// Input and output order is preserved.
+    pub fn cleanup(&self) -> Aig {
+        let mut out = Aig::new();
+        let mut map: HashMap<NodeId, Lit> = HashMap::new();
+        map.insert(NodeId::CONST, Lit::FALSE);
+        for &id in &self.inputs {
+            let l = out.add_input();
+            map.insert(id, l);
+        }
+        for id in self.topo_order() {
+            let (a, b) = self.fanins(id);
+            let na = map[&a.node()].complement_if(a.is_complemented());
+            let nb = map[&b.node()].complement_if(b.is_complemented());
+            let nl = out.and(na, nb);
+            map.insert(id, nl);
+        }
+        for l in self.outputs() {
+            let nl = map[&l.node()].complement_if(l.is_complemented());
+            out.add_output(nl);
+        }
+        out
+    }
+
+    /// Collects the node ids of the transitive fanin cone of `roots`,
+    /// stopping at (and excluding) `leaves`, inputs and constants.
+    pub fn cone(&self, roots: &[NodeId], leaves: &[NodeId]) -> Vec<NodeId> {
+        let leaf_set: std::collections::HashSet<NodeId> = leaves.iter().copied().collect();
+        let mut seen = std::collections::HashSet::new();
+        let mut cone = Vec::new();
+        let mut stack: Vec<NodeId> = roots.to_vec();
+        while let Some(id) = stack.pop() {
+            if leaf_set.contains(&id) || !seen.insert(id) || !self.is_and(id) {
+                continue;
+            }
+            cone.push(id);
+            let (a, b) = self.fanins(id);
+            stack.push(a.node());
+            stack.push(b.node());
+        }
+        cone
+    }
+
+    /// Whether node `target` lies in the transitive fanin cone of `root`
+    /// (inclusive).
+    pub fn cone_contains(&self, root: NodeId, target: NodeId) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if id == target {
+                return true;
+            }
+            if !seen.insert(id) {
+                continue;
+            }
+            if let Node::And(a, b) = self.nodes[id.index()] {
+                stack.push(self.resolve(a).node());
+                stack.push(self.resolve(b).node());
+            }
+        }
+        false
+    }
+
+    /// The structural support of `root`: the primary inputs in its cone.
+    pub fn structural_support(&self, root: NodeId) -> Vec<NodeId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut support = std::collections::BTreeSet::new();
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            match self.nodes[id.index()] {
+                Node::Input => {
+                    support.insert(id);
+                }
+                Node::And(a, b) => {
+                    stack.push(self.resolve(a).node());
+                    stack.push(self.resolve(b).node());
+                }
+                Node::Const => {}
+            }
+        }
+        support.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_rules() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        assert_eq!(aig.and(a, Lit::FALSE), Lit::FALSE);
+        assert_eq!(aig.and(a, Lit::TRUE), a);
+        assert_eq!(aig.and(a, a), a);
+        assert_eq!(aig.and(a, !a), Lit::FALSE);
+        assert_eq!(aig.num_nodes(), 2); // const + input, no ANDs created
+    }
+
+    #[test]
+    fn strashing_dedups() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let x = aig.and(a, b);
+        let y = aig.and(b, a);
+        let z = aig.and(!b, a);
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn eval_xor_mux() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let x = aig.xor(a, b);
+        let m = aig.mux(c, a, b);
+        aig.add_output(x);
+        aig.add_output(m);
+        for i in 0..8 {
+            let assignment = [(i & 1) == 1, (i >> 1) & 1 == 1, (i >> 2) & 1 == 1];
+            let out = aig.eval(&assignment);
+            assert_eq!(out[0], assignment[0] ^ assignment[1]);
+            assert_eq!(
+                out[1],
+                if assignment[2] { assignment[0] } else { assignment[1] }
+            );
+        }
+    }
+
+    #[test]
+    fn replace_redirects_everything() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let ab = aig.and(a, b); // will be replaced by just `a`
+        let f = aig.and(ab, b);
+        aig.add_output(f);
+        aig.replace(ab.node(), a).unwrap();
+        // f = (a)&b now; outputs resolve through the replacement.
+        for i in 0..4 {
+            let assignment = [(i & 1) == 1, (i >> 1) & 1 == 1];
+            assert_eq!(aig.eval(&assignment)[0], assignment[0] && assignment[1]);
+        }
+    }
+
+    #[test]
+    fn replace_detects_cycles() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let ab = aig.and(a, b);
+        let f = aig.and(ab, a);
+        aig.add_output(f);
+        // Replacing ab with f would create a cycle (f depends on ab).
+        assert!(aig.replace(ab.node(), f).is_err());
+        // Replacing ab with itself complemented is also a cycle.
+        assert!(aig.replace(ab.node(), !ab).is_err());
+        // Identity replacement is a no-op.
+        assert!(aig.replace(ab.node(), ab).is_ok());
+    }
+
+    #[test]
+    fn cleanup_drops_dead_nodes() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let _dead = aig.and(a, !b);
+        let live = aig.and(a, b);
+        aig.add_output(live);
+        assert_eq!(aig.num_ands(), 1);
+        let compact = aig.cleanup();
+        assert_eq!(compact.num_nodes(), 4); // const, 2 inputs, 1 AND
+        assert_eq!(compact.num_ands(), 1);
+        assert_eq!(compact.num_inputs(), 2);
+    }
+
+    #[test]
+    fn cleanup_preserves_function() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let f = aig.maj3(a, b, c);
+        let g = aig.xor(a, c);
+        aig.add_output(f);
+        aig.add_output(!g);
+        let clean = aig.cleanup();
+        for i in 0..8 {
+            let assignment = [(i & 1) == 1, (i >> 1) & 1 == 1, (i >> 2) & 1 == 1];
+            assert_eq!(aig.eval(&assignment), clean.eval(&assignment));
+        }
+    }
+
+    #[test]
+    fn topo_order_is_topological() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let ab = aig.and(a, b);
+        let abc = aig.and(ab, c);
+        let f = aig.xor(abc, ab);
+        aig.add_output(f);
+        let order = aig.topo_order();
+        let pos: HashMap<NodeId, usize> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for &id in &order {
+            let (x, y) = aig.fanins(id);
+            for fanin in [x.node(), y.node()] {
+                if let Some(&p) = pos.get(&fanin) {
+                    assert!(p < pos[&id]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn levels_and_depth() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let ab = aig.and(a, b);
+        let f = aig.and(ab, a);
+        aig.add_output(f);
+        assert_eq!(aig.depth(), 2);
+        let levels = aig.levels();
+        assert_eq!(levels[ab.node().index()], 1);
+        assert_eq!(levels[f.node().index()], 2);
+    }
+
+    #[test]
+    fn structural_support() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let _c = aig.add_input();
+        let f = aig.and(a, b);
+        aig.add_output(f);
+        let sup = aig.structural_support(f.node());
+        assert_eq!(sup, vec![a.node(), b.node()]);
+    }
+
+    #[test]
+    fn and_or_xor_many() {
+        let mut aig = Aig::new();
+        let lits: Vec<Lit> = (0..5).map(|_| aig.add_input()).collect();
+        let and_all = aig.and_many(&lits);
+        let or_all = aig.or_many(&lits);
+        let xor_all = aig.xor_many(&lits);
+        aig.add_output(and_all);
+        aig.add_output(or_all);
+        aig.add_output(xor_all);
+        for m in 0..32usize {
+            let assignment: Vec<bool> = (0..5).map(|i| (m >> i) & 1 == 1).collect();
+            let out = aig.eval(&assignment);
+            assert_eq!(out[0], m == 31);
+            assert_eq!(out[1], m != 0);
+            assert_eq!(out[2], (m.count_ones() & 1) == 1);
+        }
+    }
+
+    #[test]
+    fn fanout_counts() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let ab = aig.and(a, b);
+        let f = aig.and(ab, a);
+        aig.add_output(f);
+        aig.add_output(ab);
+        let counts = aig.fanout_counts();
+        assert_eq!(counts[ab.node().index()], 2); // f + output
+        assert_eq!(counts[a.node().index()], 2);
+        assert_eq!(counts[f.node().index()], 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! And-Inverter Graphs (AIGs) — the logic-network representation of the SBM
+//! framework.
+//!
+//! An AIG is a directed acyclic graph whose internal nodes are two-input AND
+//! gates and whose edges may carry inverters (complemented literals). The
+//! paper's flow translates the logic network into an AIG "after each
+//! transformation … in order to have a consistent interface and costing
+//! between the various steps of the flow" (Section V-A); all four SBM
+//! engines ultimately measure gain in AIG nodes.
+//!
+//! This crate provides:
+//!
+//! * [`Aig`] — the graph, with structural hashing (strashing), constant
+//!   propagation, node replacement with cycle protection, and compaction;
+//! * [`Lit`] / [`NodeId`] — typed literals and node handles;
+//! * [`sim`] — bit-parallel random simulation and exhaustive window
+//!   simulation to truth tables;
+//! * [`mffc`] — maximum fan-out-free cone computation (the paper's saving
+//!   metric, Section III-C);
+//! * [`cut`] — k-feasible cut enumeration (for rewriting and LUT mapping);
+//! * [`window`] — partitioning by structural-support similarity with limits
+//!   on levels, size and input count (Section III-B);
+//! * [`aiger`] — ASCII AIGER (`aag`) reading and writing.
+//!
+//! # Example
+//!
+//! ```
+//! use sbm_aig::Aig;
+//!
+//! let mut aig = Aig::new();
+//! let a = aig.add_input();
+//! let b = aig.add_input();
+//! let f = aig.xor(a, b);
+//! aig.add_output(f);
+//! assert_eq!(aig.num_ands(), 3); // XOR costs three AND nodes
+//! assert_eq!(aig.depth(), 2);
+//! ```
+
+pub mod aiger;
+pub mod cut;
+mod graph;
+mod lit;
+pub mod mffc;
+pub mod sim;
+pub mod window;
+
+pub use graph::{Aig, ReplaceError};
+pub use lit::{Lit, NodeId};

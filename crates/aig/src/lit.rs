@@ -1,0 +1,142 @@
+//! Typed node handles and complementable literals.
+
+use std::fmt;
+
+/// A handle to an AIG node (constant, input or AND gate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The constant-false node; node 0 of every AIG.
+    pub const CONST: NodeId = NodeId(0);
+
+    /// Raw index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A literal: a node together with an optional complement (inverter edge).
+///
+/// The encoding follows the AIGER convention: `node << 1 | complement`.
+/// [`Lit::FALSE`] and [`Lit::TRUE`] are the two literals of the constant
+/// node.
+///
+/// # Example
+///
+/// ```
+/// use sbm_aig::{Aig, Lit};
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input();
+/// assert_eq!(!!a, a);
+/// assert_ne!(!a, a);
+/// assert_eq!((!a).node(), a.node());
+/// assert_eq!(!Lit::FALSE, Lit::TRUE);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The constant-false literal.
+    pub const FALSE: Lit = Lit(0);
+    /// The constant-true literal.
+    pub const TRUE: Lit = Lit(1);
+
+    /// Builds a literal from a node and a complement flag.
+    pub fn new(node: NodeId, complemented: bool) -> Self {
+        Lit(node.0 << 1 | complemented as u32)
+    }
+
+    /// The node this literal refers to.
+    pub fn node(self) -> NodeId {
+        NodeId(self.0 >> 1)
+    }
+
+    /// Whether the literal carries an inverter.
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Whether this is one of the two constant literals.
+    pub fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// The positive (uncomplemented) literal of the same node.
+    pub fn positive(self) -> Lit {
+        Lit(self.0 & !1)
+    }
+
+    /// This literal, complemented if `c` is true.
+    pub fn complement_if(self, c: bool) -> Lit {
+        Lit(self.0 ^ c as u32)
+    }
+
+    /// Raw AIGER-style encoding (`node << 1 | complement`).
+    pub fn code(self) -> u32 {
+        self.0
+    }
+
+    /// Builds a literal from its raw AIGER-style encoding.
+    pub fn from_code(code: u32) -> Lit {
+        Lit(code)
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_complemented() {
+            write!(f, "!n{}", self.node().index())
+        } else {
+            write!(f, "n{}", self.node().index())
+        }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complement_involution() {
+        let l = Lit::new(NodeId(7), false);
+        assert_eq!(!!l, l);
+        assert!((!l).is_complemented());
+        assert_eq!((!l).node(), NodeId(7));
+    }
+
+    #[test]
+    fn constants() {
+        assert!(Lit::FALSE.is_const());
+        assert!(Lit::TRUE.is_const());
+        assert_eq!(!Lit::FALSE, Lit::TRUE);
+        assert_eq!(Lit::FALSE.node(), NodeId::CONST);
+    }
+
+    #[test]
+    fn complement_if_flags() {
+        let l = Lit::new(NodeId(3), false);
+        assert_eq!(l.complement_if(true), !l);
+        assert_eq!(l.complement_if(false), l);
+    }
+
+    #[test]
+    fn code_round_trip() {
+        let l = Lit::new(NodeId(12), true);
+        assert_eq!(Lit::from_code(l.code()), l);
+    }
+}

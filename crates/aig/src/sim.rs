@@ -1,0 +1,302 @@
+//! Bit-parallel simulation.
+//!
+//! Random simulation provides cheap functional *filters*: two nodes whose
+//! random signatures differ are certainly not equivalent, so expensive
+//! reasoning (BDD or SAT) is only spent on candidate pairs that survive
+//! simulation — the "functional filtering" the paper credits for speeding up
+//! candidate selection (Section III-B). Exhaustive window simulation
+//! produces exact truth tables for windows with few leaves.
+
+use std::collections::HashMap;
+
+use sbm_tt::TruthTable;
+
+use crate::graph::Aig;
+use crate::lit::{Lit, NodeId};
+
+/// Bit-parallel signatures of every node under a batch of input patterns.
+///
+/// Stored node-major: `words_per_node` consecutive `u64` words per node, each
+/// bit one input pattern.
+///
+/// # Example
+///
+/// ```
+/// use sbm_aig::{Aig, sim::Signatures};
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input();
+/// let b = aig.add_input();
+/// let f = aig.and(a, b);
+/// aig.add_output(f);
+/// let sig = Signatures::random(&aig, 4, 0xDEADBEEF);
+/// // f's signature is the AND of the input signatures.
+/// for w in 0..4 {
+///     assert_eq!(
+///         sig.lit_word(f, w),
+///         sig.lit_word(a, w) & sig.lit_word(b, w),
+///     );
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Signatures {
+    words_per_node: usize,
+    values: Vec<u64>,
+}
+
+/// A small deterministic xorshift64* generator so the library core does not
+/// depend on an RNG crate.
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545F491_4F6CDD1D)
+}
+
+impl Signatures {
+    /// Simulates the network under `words_per_node * 64` uniformly random
+    /// input patterns derived from `seed`.
+    pub fn random(aig: &Aig, words_per_node: usize, seed: u64) -> Self {
+        let mut state = seed | 1;
+        let inputs: Vec<Vec<u64>> = (0..aig.num_inputs())
+            .map(|_| (0..words_per_node).map(|_| xorshift64(&mut state)).collect())
+            .collect();
+        Self::with_input_words(aig, &inputs)
+    }
+
+    /// Simulates the network with explicit per-input pattern words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != aig.num_inputs()` or the rows have unequal
+    /// lengths.
+    pub fn with_input_words(aig: &Aig, inputs: &[Vec<u64>]) -> Self {
+        assert_eq!(inputs.len(), aig.num_inputs());
+        let words_per_node = inputs.first().map_or(1, |v| v.len());
+        assert!(inputs.iter().all(|v| v.len() == words_per_node));
+        let mut values = vec![0u64; aig.num_nodes() * words_per_node];
+        for (i, node) in aig.inputs().iter().enumerate() {
+            let base = node.index() * words_per_node;
+            values[base..base + words_per_node].copy_from_slice(&inputs[i]);
+        }
+        for id in aig.topo_order() {
+            let (a, b) = aig.fanins(id);
+            let base = id.index() * words_per_node;
+            for w in 0..words_per_node {
+                let va = values[a.node().index() * words_per_node + w]
+                    ^ if a.is_complemented() { u64::MAX } else { 0 };
+                let vb = values[b.node().index() * words_per_node + w]
+                    ^ if b.is_complemented() { u64::MAX } else { 0 };
+                values[base + w] = va & vb;
+            }
+        }
+        Signatures {
+            words_per_node,
+            values,
+        }
+    }
+
+    /// Number of 64-bit words per node.
+    pub fn words_per_node(&self) -> usize {
+        self.words_per_node
+    }
+
+    /// Signature word `w` of node `id` (positive phase).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= words_per_node`.
+    pub fn node_word(&self, id: NodeId, w: usize) -> u64 {
+        assert!(w < self.words_per_node);
+        self.values[id.index() * self.words_per_node + w]
+    }
+
+    /// Signature word `w` of a literal (complement applied).
+    pub fn lit_word(&self, lit: Lit, w: usize) -> u64 {
+        let v = self.node_word(lit.node(), w);
+        if lit.is_complemented() {
+            !v
+        } else {
+            v
+        }
+    }
+
+    /// Whether two literals have identical signatures (a *necessary*
+    /// condition for functional equivalence).
+    pub fn maybe_equal(&self, a: Lit, b: Lit) -> bool {
+        (0..self.words_per_node).all(|w| self.lit_word(a, w) == self.lit_word(b, w))
+    }
+
+    /// A 64-bit hash of a literal's signature, canonicalized so that a
+    /// literal and its complement map to related buckets. Used to bucket
+    /// candidate-equivalent nodes in SAT sweeping.
+    pub fn hash(&self, lit: Lit) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for w in 0..self.words_per_node {
+            h = (h ^ self.lit_word(lit, w)).wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+/// Computes the exact truth table of every node in the cone of `roots`
+/// (stopping at `leaves`) as a function of the leaves, by exhaustive
+/// simulation.
+///
+/// The leaf ordering defines the variable ordering of the tables (leaf `i`
+/// is variable `i`). Constants are handled; nodes outside the cone do not
+/// appear in the result.
+///
+/// # Panics
+///
+/// Panics if `leaves.len() > sbm_tt::MAX_VARS`.
+pub fn window_truth_tables(
+    aig: &Aig,
+    roots: &[NodeId],
+    leaves: &[NodeId],
+) -> HashMap<NodeId, TruthTable> {
+    let n = leaves.len();
+    assert!(
+        n <= sbm_tt::MAX_VARS,
+        "window has too many leaves for truth tables"
+    );
+    let mut tables: HashMap<NodeId, TruthTable> = HashMap::new();
+    tables.insert(NodeId::CONST, TruthTable::zero(n));
+    for (i, &leaf) in leaves.iter().enumerate() {
+        tables.insert(leaf, TruthTable::var(n, i));
+    }
+    // Topologically order the cone nodes.
+    let cone = aig.cone(roots, leaves);
+    let cone_set: std::collections::HashSet<NodeId> = cone.iter().copied().collect();
+    let order = aig.topo_order();
+    for id in order {
+        if !cone_set.contains(&id) || tables.contains_key(&id) {
+            continue;
+        }
+        let (a, b) = aig.fanins(id);
+        let ta = match tables.get(&a.node()) {
+            Some(t) => {
+                if a.is_complemented() {
+                    !t
+                } else {
+                    t.clone()
+                }
+            }
+            // Fanin outside the window closure (shouldn't happen if leaves
+            // form a proper cut) — skip the node.
+            None => continue,
+        };
+        let tb = match tables.get(&b.node()) {
+            Some(t) => {
+                if b.is_complemented() {
+                    !t
+                } else {
+                    t.clone()
+                }
+            }
+            None => continue,
+        };
+        tables.insert(id, &ta & &tb);
+    }
+    tables
+}
+
+/// Truth table of a literal given the node tables from
+/// [`window_truth_tables`]. Returns `None` if the node is outside the
+/// window.
+pub fn lit_truth_table(
+    tables: &HashMap<NodeId, TruthTable>,
+    lit: Lit,
+) -> Option<TruthTable> {
+    tables.get(&lit.node()).map(|t| {
+        if lit.is_complemented() {
+            !t
+        } else {
+            t.clone()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_aig() -> (Aig, Lit, Lit, Lit, Lit) {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let f = aig.maj3(a, b, c);
+        aig.add_output(f);
+        (aig, a, b, c, f)
+    }
+
+    #[test]
+    fn random_sim_matches_eval() {
+        let (aig, _, _, _, f) = sample_aig();
+        let sig = Signatures::random(&aig, 2, 42);
+        // Check the first 64 patterns against scalar evaluation.
+        for bit in 0..64 {
+            let assignment: Vec<bool> = (0..3)
+                .map(|i| (sig.node_word(aig.inputs()[i], 0) >> bit) & 1 == 1)
+                .collect();
+            let expected = aig.eval(&assignment)[0];
+            let got = (sig.lit_word(f, 0) >> bit) & 1 == 1;
+            assert_eq!(got, expected, "pattern {bit}");
+        }
+    }
+
+    #[test]
+    fn maybe_equal_filters() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let x = aig.and(a, b);
+        let y = aig.and(b, a); // strashed: same node
+        let z = aig.or(a, b);
+        aig.add_output(x);
+        aig.add_output(z);
+        let sig = Signatures::random(&aig, 4, 7);
+        assert!(sig.maybe_equal(x, y));
+        assert!(!sig.maybe_equal(x, z));
+        assert!(!sig.maybe_equal(x, !x));
+        assert_eq!(sig.hash(x), sig.hash(y));
+    }
+
+    #[test]
+    fn window_tables_exact() {
+        let (aig, a, b, c, f) = sample_aig();
+        let leaves = vec![a.node(), b.node(), c.node()];
+        let tables = window_truth_tables(&aig, &[f.node()], &leaves);
+        let tf = lit_truth_table(&tables, f).unwrap();
+        // Majority of three has 4 ON minterms.
+        assert_eq!(tf.count_ones(), 4);
+        for m in 0..8usize {
+            let assignment = [(m & 1) == 1, (m >> 1) & 1 == 1, (m >> 2) & 1 == 1];
+            assert_eq!(tf.bit(m), aig.eval(&assignment)[0]);
+        }
+    }
+
+    #[test]
+    fn window_tables_internal_leaves() {
+        // Use an internal node as a window leaf.
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let ab = aig.and(a, b);
+        let f = aig.xor(ab, c);
+        aig.add_output(f);
+        let leaves = vec![ab.node(), c.node()];
+        let tables = window_truth_tables(&aig, &[f.node()], &leaves);
+        let tf = lit_truth_table(&tables, f).unwrap();
+        // As a function of (ab, c): XOR.
+        assert_eq!(tf, {
+            let x = sbm_tt::TruthTable::var(2, 0);
+            let y = sbm_tt::TruthTable::var(2, 1);
+            &x ^ &y
+        });
+    }
+}

@@ -1,0 +1,311 @@
+//! Network partitioning into windows.
+//!
+//! The SBM engines evaluate Boolean transformations "locally on limited size
+//! circuit partitions" created "by collecting all the nodes in topological
+//! order and by sorting them according to the similarity of their structural
+//! support. Each partition respects some predefined characteristic, e.g.,
+//! maximum number of primary inputs, maximum number of internal nodes,
+//! maximum number of levels" — with priority given to the level limit
+//! (Section III-B). The paper reports useful level bounds of 5–30 and a
+//! controlled maximum partition size of 1000 nodes.
+
+use std::collections::{BTreeSet, HashSet};
+
+use crate::graph::Aig;
+use crate::lit::NodeId;
+
+/// Limits a partition must respect.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionOptions {
+    /// Maximum number of internal (AND) nodes per partition.
+    pub max_nodes: usize,
+    /// Maximum number of leaves (partition primary inputs).
+    pub max_inputs: usize,
+    /// Maximum number of levels spanned — this limit has priority, as it
+    /// "correlates with the complexity of the reasoning engine" (paper).
+    pub max_levels: u32,
+}
+
+impl Default for PartitionOptions {
+    fn default() -> Self {
+        // The paper's empirically promising bounds: levels 5..30, size ≤ 1000.
+        PartitionOptions {
+            max_nodes: 1000,
+            max_inputs: 14,
+            max_levels: 20,
+        }
+    }
+}
+
+/// A window of logic: a set of internal nodes, the leaves feeding them and
+/// the roots observed from outside.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Internal AND nodes, in global topological order.
+    pub nodes: Vec<NodeId>,
+    /// Boundary nodes (inputs of the window): every fanin of a member that
+    /// is not itself a member.
+    pub leaves: Vec<NodeId>,
+    /// Members whose value is observed outside the window (fanout to a
+    /// non-member or to a primary output).
+    pub roots: Vec<NodeId>,
+}
+
+impl Partition {
+    /// Number of internal nodes.
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Support descriptor used to order nodes by structural-support similarity:
+/// the centroid (mean primary-input index) and the level of the node.
+fn support_centroids(aig: &Aig) -> Vec<f64> {
+    // Bottom-up weighted centroid: cheap O(n) proxy for support similarity.
+    let mut centroid = vec![0.0f64; aig.num_nodes()];
+    let mut weight = vec![0.0f64; aig.num_nodes()];
+    for (i, &input) in aig.inputs().iter().enumerate() {
+        centroid[input.index()] = i as f64;
+        weight[input.index()] = 1.0;
+    }
+    for id in aig.topo_order() {
+        let (a, b) = aig.fanins(id);
+        let (ia, ib) = (a.node().index(), b.node().index());
+        let w = weight[ia] + weight[ib];
+        if w > 0.0 {
+            centroid[id.index()] =
+                (centroid[ia] * weight[ia] + centroid[ib] * weight[ib]) / w;
+        }
+        weight[id.index()] = w.max(1.0);
+    }
+    centroid
+}
+
+/// Splits the network into disjoint partitions respecting `options`.
+///
+/// Nodes are collected in topological order, bucketed into level bands of
+/// `max_levels` (the priority limit) and ordered within a band by support
+/// centroid, then greedily packed while the node and leaf limits hold.
+///
+/// Every live AND node belongs to exactly one partition.
+pub fn partition(aig: &Aig, options: &PartitionOptions) -> Vec<Partition> {
+    let order = aig.topo_order();
+    if order.is_empty() {
+        return Vec::new();
+    }
+    let levels = aig.levels();
+    let centroids = support_centroids(aig);
+
+    // Sort by (level band, support centroid, level) — topological validity
+    // inside a partition is restored later, since partitions store nodes in
+    // global topological order.
+    let mut sorted = order.clone();
+    let band = |id: NodeId| levels[id.index()] / options.max_levels.max(1);
+    sorted.sort_by(|&x, &y| {
+        band(x)
+            .cmp(&band(y))
+            .then(
+                centroids[x.index()]
+                    .partial_cmp(&centroids[y.index()])
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+            .then(levels[x.index()].cmp(&levels[y.index()]))
+    });
+
+    // Greedy packing.
+    let mut partitions: Vec<Vec<NodeId>> = Vec::new();
+    let mut current: Vec<NodeId> = Vec::new();
+    let mut current_set: HashSet<NodeId> = HashSet::new();
+    let mut current_leaves: HashSet<NodeId> = HashSet::new();
+    let mut current_band: u32 = 0;
+
+    let flush = |partitions: &mut Vec<Vec<NodeId>>,
+                 current: &mut Vec<NodeId>,
+                 current_set: &mut HashSet<NodeId>,
+                 current_leaves: &mut HashSet<NodeId>| {
+        if !current.is_empty() {
+            partitions.push(std::mem::take(current));
+            current_set.clear();
+            current_leaves.clear();
+        }
+    };
+
+    for id in sorted {
+        let (a, b) = aig.fanins(id);
+        let new_leaves: Vec<NodeId> = [a.node(), b.node()]
+            .into_iter()
+            .filter(|n| !current_set.contains(n) && !current_leaves.contains(n))
+            .collect();
+        let over_nodes = current.len() + 1 > options.max_nodes;
+        // A member that was a leaf is promoted; account approximately.
+        let promoted = current_leaves.contains(&id) as usize;
+        let over_inputs =
+            current_leaves.len() + new_leaves.len() - promoted > options.max_inputs;
+        let over_band = !current.is_empty() && band(id) != current_band;
+        if over_nodes || over_inputs || over_band {
+            flush(
+                &mut partitions,
+                &mut current,
+                &mut current_set,
+                &mut current_leaves,
+            );
+        }
+        if current.is_empty() {
+            current_band = band(id);
+        }
+        current_leaves.remove(&id);
+        current_set.insert(id);
+        current.push(id);
+        for leaf in [a.node(), b.node()] {
+            if !current_set.contains(&leaf) {
+                current_leaves.insert(leaf);
+            }
+        }
+    }
+    flush(
+        &mut partitions,
+        &mut current,
+        &mut current_set,
+        &mut current_leaves,
+    );
+
+    // Restore global topological order inside each partition and compute the
+    // exact leaf/root sets.
+    let topo_pos: std::collections::HashMap<NodeId, usize> =
+        order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let outputs: HashSet<NodeId> = aig.outputs().iter().map(|l| l.node()).collect();
+
+    partitions
+        .into_iter()
+        .map(|mut nodes| {
+            nodes.sort_by_key(|n| topo_pos[n]);
+            let member: HashSet<NodeId> = nodes.iter().copied().collect();
+            let mut leaves: BTreeSet<NodeId> = BTreeSet::new();
+            for &n in &nodes {
+                let (a, b) = aig.fanins(n);
+                for fanin in [a.node(), b.node()] {
+                    if !member.contains(&fanin) && fanin != NodeId::CONST {
+                        leaves.insert(fanin);
+                    }
+                }
+            }
+            // Roots: members with fanout outside the partition or to a PO.
+            let mut has_external_fanout: HashSet<NodeId> = HashSet::new();
+            for id in aig.topo_order() {
+                if member.contains(&id) {
+                    continue;
+                }
+                let (a, b) = aig.fanins(id);
+                for fanin in [a.node(), b.node()] {
+                    if member.contains(&fanin) {
+                        has_external_fanout.insert(fanin);
+                    }
+                }
+            }
+            let roots: Vec<NodeId> = nodes
+                .iter()
+                .copied()
+                .filter(|n| has_external_fanout.contains(n) || outputs.contains(n))
+                .collect();
+            Partition {
+                nodes,
+                leaves: leaves.into_iter().collect(),
+                roots,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Aig;
+
+    fn chain_aig(n: usize) -> Aig {
+        let mut aig = Aig::new();
+        let inputs: Vec<_> = (0..n + 1).map(|_| aig.add_input()).collect();
+        let mut acc = inputs[0];
+        for &x in &inputs[1..] {
+            acc = aig.and(acc, x);
+        }
+        aig.add_output(acc);
+        aig
+    }
+
+    #[test]
+    fn every_node_in_exactly_one_partition() {
+        let aig = chain_aig(50);
+        let parts = partition(&aig, &PartitionOptions::default());
+        let mut seen = std::collections::HashSet::new();
+        for p in &parts {
+            for &n in &p.nodes {
+                assert!(seen.insert(n), "node {n} in two partitions");
+            }
+        }
+        assert_eq!(seen.len(), aig.num_ands());
+    }
+
+    #[test]
+    fn limits_respected() {
+        let aig = chain_aig(100);
+        let opts = PartitionOptions {
+            max_nodes: 10,
+            max_inputs: 12,
+            max_levels: 10,
+        };
+        let parts = partition(&aig, &opts);
+        for p in &parts {
+            assert!(p.size() <= opts.max_nodes);
+            assert!(p.leaves.len() <= opts.max_inputs + 2, "leaves {}", p.leaves.len());
+        }
+    }
+
+    #[test]
+    fn leaves_are_outside_nodes_inside() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let ab = aig.and(a, b);
+        let f = aig.xor(ab, c);
+        aig.add_output(f);
+        let parts = partition(&aig, &PartitionOptions::default());
+        for p in &parts {
+            let member: std::collections::HashSet<_> = p.nodes.iter().copied().collect();
+            for &l in &p.leaves {
+                assert!(!member.contains(&l));
+            }
+            for &r in &p.roots {
+                assert!(member.contains(&r));
+            }
+        }
+    }
+
+    #[test]
+    fn roots_cover_observed_nodes() {
+        let aig = chain_aig(20);
+        let opts = PartitionOptions {
+            max_nodes: 5,
+            max_inputs: 8,
+            max_levels: 6,
+        };
+        let parts = partition(&aig, &opts);
+        // The final output node must be a root of its partition.
+        let out_node = aig.outputs()[0].node();
+        assert!(parts
+            .iter()
+            .any(|p| p.roots.contains(&out_node)));
+    }
+
+    #[test]
+    fn nodes_in_topological_order() {
+        let aig = chain_aig(30);
+        let parts = partition(&aig, &PartitionOptions::default());
+        let order = aig.topo_order();
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for p in &parts {
+            assert!(p.nodes.windows(2).all(|w| pos[&w[0]] < pos[&w[1]]));
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Synthetic "industrial-like" designs.
+//!
+//! The paper's Table III averages over 33 state-of-the-art ASICs that are
+//! under NDA. As the substitute (documented in `DESIGN.md`), this module
+//! composes deterministic designs out of the same ingredients real SoC
+//! blocks are made of — arithmetic datapaths, control logic, arbitration,
+//! priority/decode logic and parity trees — with per-design seeds so the
+//! 33 designs differ in mix and size.
+
+use sbm_aig::{Aig, Lit};
+use sbm_epfl::words;
+
+/// A named synthetic design.
+#[derive(Debug)]
+pub struct Design {
+    /// Design name (`design01` …).
+    pub name: String,
+    /// The flattened combinational netlist.
+    pub aig: Aig,
+}
+
+/// Deterministic xorshift64*.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545F491_4F6CDD1D)
+    }
+
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() as usize) % (hi - lo + 1)
+    }
+}
+
+/// Appends a random-control block (AND/OR-dominated DAG) over `inputs`.
+fn control_block(aig: &mut Aig, rng: &mut Rng, inputs: &[Lit], ops: usize) -> Vec<Lit> {
+    let mut signals: Vec<Lit> = inputs.to_vec();
+    for _ in 0..ops {
+        let n = signals.len();
+        let a = signals[(rng.next() as usize) % n].complement_if(rng.next() & 1 == 1);
+        let b = signals[(rng.next() as usize) % n].complement_if(rng.next() & 1 == 1);
+        let s = match rng.next() % 5 {
+            0 | 1 => aig.and(a, b),
+            2 | 3 => aig.or(a, b),
+            _ => aig.xor(a, b),
+        };
+        signals.push(s);
+    }
+    signals.split_off(signals.len().saturating_sub(ops / 8 + 1))
+}
+
+/// Builds one design from its seed.
+fn build_design(index: usize) -> Design {
+    let mut rng = Rng(0xA51C_0000 + index as u64 * 0x9E37_79B9);
+    let mut aig = Aig::new();
+    let mut outputs: Vec<Lit> = Vec::new();
+
+    // Datapath block: adder and/or multiplier slices.
+    let dp_width = rng.range(8, 20);
+    let a = words::input_word(&mut aig, dp_width);
+    let b = words::input_word(&mut aig, dp_width);
+    let (sum, carry) = words::add(&mut aig, &a, &b, Lit::FALSE);
+    outputs.extend(sum.iter().copied());
+    outputs.push(carry);
+    if rng.next() & 1 == 1 {
+        let mw = rng.range(4, 8);
+        let product = words::multiply(&mut aig, &a[..mw].to_vec(), &b[..mw].to_vec());
+        outputs.extend(product);
+    }
+
+    // Comparator / max logic.
+    let lt = words::less_than(&mut aig, &a, &b);
+    let eq = words::equal(&mut aig, &a, &b);
+    outputs.push(lt);
+    outputs.push(eq);
+
+    // Arbitration block.
+    let arb_n = rng.range(8, 24);
+    let req = words::input_word(&mut aig, arb_n);
+    let mut seen = Lit::FALSE;
+    for &r in &req {
+        let g = aig.and(r, !seen);
+        seen = aig.or(seen, r);
+        outputs.push(g);
+    }
+
+    // Parity / CRC-style tree.
+    let par_n = rng.range(8, 32);
+    let data = words::input_word(&mut aig, par_n);
+    outputs.push(aig.xor_many(&data));
+
+    // Control block over a mix of existing signals.
+    let ctrl_inputs: Vec<Lit> = {
+        let extra = words::input_word(&mut aig, rng.range(6, 16));
+        let mut v = extra;
+        v.push(lt);
+        v.push(eq);
+        v.push(carry);
+        v
+    };
+    let ctrl_ops = rng.range(100, 600);
+    let ctrl_outs = control_block(&mut aig, &mut rng, &ctrl_inputs, ctrl_ops);
+    outputs.extend(ctrl_outs);
+
+    for o in outputs {
+        aig.add_output(o);
+    }
+    Design {
+        name: format!("design{:02}", index + 1),
+        aig: aig.cleanup(),
+    }
+}
+
+/// Generates the first `n` of the 33 synthetic industrial designs
+/// (`n = 33` reproduces the paper's population).
+pub fn industrial_designs(n: usize) -> Vec<Design> {
+    (0..n).map(build_design).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn designs_are_deterministic() {
+        let a = industrial_designs(3);
+        let b = industrial_designs(3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.aig.num_ands(), y.aig.num_ands());
+            assert_eq!(x.name, y.name);
+        }
+    }
+
+    #[test]
+    fn designs_differ_from_each_other() {
+        let designs = industrial_designs(5);
+        let sizes: Vec<usize> = designs.iter().map(|d| d.aig.num_ands()).collect();
+        let mut unique = sizes.clone();
+        unique.dedup();
+        assert!(unique.len() > 1, "designs should vary in size: {sizes:?}");
+    }
+
+    #[test]
+    fn thirty_three_designs_generate() {
+        let designs = industrial_designs(33);
+        assert_eq!(designs.len(), 33);
+        for d in &designs {
+            assert!(d.aig.num_ands() > 100, "{} too small", d.name);
+            assert!(d.aig.num_outputs() > 0);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! A simulated ASIC implementation flow.
+//!
+//! The paper's Table III reports post-place-&-route results of a
+//! commercial EDA flow on 33 industrial ASICs under NDA. Neither the
+//! designs nor the flow can be redistributed, so this crate builds the
+//! closest measurable substitute (see `DESIGN.md`):
+//!
+//! * [`designs`] — 33 synthetic "industrial-like" designs mixing
+//!   datapaths, control blocks, arbitration and coding logic;
+//! * [`library`] — a small standard-cell library with area, delay and
+//!   capacitance models;
+//! * [`mapping`] — technology mapping of AIGs onto the library;
+//! * [`sta`] — static timing analysis (arrival times, WNS/TNS against a
+//!   target clock) with a fanout-based wire-load model;
+//! * [`power`] — switching-activity-based dynamic power estimation;
+//! * [`flow`] — the baseline flow and the SBM-enhanced flow, measuring
+//!   the same relative quantities as Table III: combinational area,
+//!   no-clock dynamic power, WNS, TNS and runtime.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use sbm_asic::flow::{run_flow, FlowKind};
+//! use sbm_asic::designs;
+//!
+//! let designs = designs::industrial_designs(3); // 3 of the 33
+//! let result = run_flow(&designs[0].aig, FlowKind::Baseline);
+//! println!("area = {}", result.area);
+//! ```
+
+pub mod designs;
+pub mod flow;
+pub mod library;
+pub mod mapping;
+pub mod power;
+pub mod sta;

@@ -1,0 +1,107 @@
+//! A small standard-cell library with area/delay/capacitance models.
+//!
+//! Areas are in equivalent NAND2 units, delays in normalized gate delays,
+//! capacitances in unit input loads — the customary normalization when
+//! absolute technology numbers cannot be published.
+
+/// A combinational standard cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// Cell name.
+    pub name: &'static str,
+    /// Area in NAND2 equivalents.
+    pub area: f64,
+    /// Intrinsic delay (input-to-output) in normalized gate delays.
+    pub delay: f64,
+    /// Delay added per unit of output load.
+    pub load_factor: f64,
+    /// Input capacitance per pin, in unit loads.
+    pub input_cap: f64,
+}
+
+/// Inverter.
+pub const INV: Cell = Cell {
+    name: "INV",
+    area: 0.67,
+    delay: 0.5,
+    load_factor: 0.25,
+    input_cap: 1.0,
+};
+
+/// Two-input NAND (the area unit).
+pub const NAND2: Cell = Cell {
+    name: "NAND2",
+    area: 1.0,
+    delay: 1.0,
+    load_factor: 0.35,
+    input_cap: 1.0,
+};
+
+/// Two-input AND.
+pub const AND2: Cell = Cell {
+    name: "AND2",
+    area: 1.33,
+    delay: 1.4,
+    load_factor: 0.35,
+    input_cap: 1.0,
+};
+
+/// Two-input NOR.
+pub const NOR2: Cell = Cell {
+    name: "NOR2",
+    area: 1.0,
+    delay: 1.2,
+    load_factor: 0.45,
+    input_cap: 1.1,
+};
+
+/// Two-input OR.
+pub const OR2: Cell = Cell {
+    name: "OR2",
+    area: 1.33,
+    delay: 1.5,
+    load_factor: 0.45,
+    input_cap: 1.1,
+};
+
+/// Two-input XOR — more area/delay than AND/OR, which is exactly why the
+/// paper's `xor_cost` knob exists (Section III-C).
+pub const XOR2: Cell = Cell {
+    name: "XOR2",
+    area: 2.33,
+    delay: 1.9,
+    load_factor: 0.5,
+    input_cap: 1.6,
+};
+
+/// Two-input XNOR.
+pub const XNOR2: Cell = Cell {
+    name: "XNOR2",
+    area: 2.33,
+    delay: 1.9,
+    load_factor: 0.5,
+    input_cap: 1.6,
+};
+
+/// Wire-load model: extra delay per fanout branch (a crude stand-in for
+/// post-route RC, sufficient for *relative* flow comparisons).
+pub const WIRE_DELAY_PER_FANOUT: f64 = 0.08;
+
+/// Wire capacitance per fanout branch, in unit loads.
+pub const WIRE_CAP_PER_FANOUT: f64 = 0.3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_costs_more_than_and() {
+        assert!(XOR2.area > AND2.area);
+        assert!(XOR2.delay > AND2.delay);
+    }
+
+    #[test]
+    fn nand_is_area_unit() {
+        assert_eq!(NAND2.area, 1.0);
+    }
+}

@@ -1,0 +1,416 @@
+//! Technology mapping of AIGs onto the standard-cell library.
+//!
+//! A phase-aware structural mapper: XOR/XNOR patterns (the 3-AND
+//! structure) are matched to `XOR2`/`XNOR2` cells, double-complemented
+//! ANDs become `NOR2`, plain ANDs become `AND2`/`NAND2` depending on the
+//! consumer phase, and inverters are inserted (and shared) where phases
+//! cannot be absorbed.
+
+use std::collections::HashMap;
+
+use sbm_aig::{Aig, Lit, NodeId};
+
+use crate::library::{Cell, AND2, INV, NOR2, XNOR2, XOR2};
+
+/// A reference to a signal in the mapped netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalRef {
+    /// A constant driver.
+    Const(bool),
+    /// Primary input `i`.
+    Input(usize),
+    /// Output of gate `i`.
+    Gate(usize),
+}
+
+/// A mapped gate instance.
+#[derive(Debug, Clone)]
+pub struct Gate {
+    /// The library cell.
+    pub cell: Cell,
+    /// Input signals, in pin order.
+    pub inputs: Vec<SignalRef>,
+}
+
+/// A mapped standard-cell netlist.
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    num_inputs: usize,
+    gates: Vec<Gate>,
+    outputs: Vec<SignalRef>,
+}
+
+impl Netlist {
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// The gate instances, topologically ordered (fanins first).
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The primary-output signals.
+    pub fn outputs(&self) -> &[SignalRef] {
+        &self.outputs
+    }
+
+    /// Total combinational cell area — the paper's "Comb. Area" metric.
+    pub fn area(&self) -> f64 {
+        self.gates.iter().map(|g| g.cell.area).sum()
+    }
+
+    /// Number of gate instances.
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Evaluates the netlist under an input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != num_inputs`.
+    pub fn eval(&self, assignment: &[bool]) -> Vec<bool> {
+        assert_eq!(assignment.len(), self.num_inputs);
+        let mut values = vec![false; self.gates.len()];
+        let get = |values: &[bool], s: SignalRef| match s {
+            SignalRef::Const(b) => b,
+            SignalRef::Input(i) => assignment[i],
+            SignalRef::Gate(g) => values[g],
+        };
+        for (i, gate) in self.gates.iter().enumerate() {
+            let a = get(&values, gate.inputs[0]);
+            let b = gate.inputs.get(1).map(|&s| get(&values, s));
+            values[i] = match (gate.cell.name, b) {
+                ("INV", None) => !a,
+                ("AND2", Some(b)) => a && b,
+                ("NAND2", Some(b)) => !(a && b),
+                ("OR2", Some(b)) => a || b,
+                ("NOR2", Some(b)) => !(a || b),
+                ("XOR2", Some(b)) => a ^ b,
+                ("XNOR2", Some(b)) => !(a ^ b),
+                other => panic!("unknown cell shape {other:?}"),
+            };
+        }
+        self.outputs
+            .iter()
+            .map(|&s| get(&values, s))
+            .collect()
+    }
+
+    /// Per-signal sink lists: which gate pins and outputs each signal
+    /// drives (gate index, or `usize::MAX` for a primary output).
+    pub fn fanouts(&self) -> HashMap<SignalRef, Vec<usize>> {
+        let mut map: HashMap<SignalRef, Vec<usize>> = HashMap::new();
+        for (i, g) in self.gates.iter().enumerate() {
+            for &s in &g.inputs {
+                map.entry(s).or_default().push(i);
+            }
+        }
+        for &o in &self.outputs {
+            map.entry(o).or_default().push(usize::MAX);
+        }
+        map
+    }
+}
+
+/// Maps an AIG onto the standard-cell library.
+pub fn map_to_cells(aig: &Aig) -> Netlist {
+    let aig = aig.cleanup();
+    let fanout_counts = aig.fanout_counts();
+    let mut gates: Vec<Gate> = Vec::new();
+    // (node, phase) → netlist signal; phase true = complemented.
+    let mut signals: HashMap<(NodeId, bool), SignalRef> = HashMap::new();
+    signals.insert((NodeId::CONST, false), SignalRef::Const(false));
+    signals.insert((NodeId::CONST, true), SignalRef::Const(true));
+    for (i, &input) in aig.inputs().iter().enumerate() {
+        signals.insert((input, false), SignalRef::Input(i));
+    }
+
+    // XOR detection: mark nodes that match the 3-AND exclusive-or shape
+    // and whose internal nodes are single-fanout.
+    let order = aig.topo_order();
+    let mut xor_match: HashMap<NodeId, (Lit, Lit, bool)> = HashMap::new();
+    let mut xor_internal: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+    for &id in &order {
+        let (u, v) = aig.fanins(id);
+        if !u.is_complemented() || !v.is_complemented() {
+            continue;
+        }
+        let (un, vn) = (u.node(), v.node());
+        if !aig.is_and(un) || !aig.is_and(vn) {
+            continue;
+        }
+        if fanout_counts[un.index()] != 1 || fanout_counts[vn.index()] != 1 {
+            continue;
+        }
+        let (a1, b1) = aig.fanins(un);
+        let (a2, b2) = aig.fanins(vn);
+        // n = !(a·b) · !(c·d) is XOR iff {c, d} = {!a, !b}.
+        let is_xor = (a2 == !a1 && b2 == !b1) || (a2 == !b1 && b2 == !a1);
+        if !is_xor {
+            continue;
+        }
+        // Conflict checks (topological order commits inner matches
+        // first): the internals must not already be consumed by another
+        // match, and the XOR's operands must not reference consumed
+        // nodes.
+        if xor_internal.contains(&un)
+            || xor_internal.contains(&vn)
+            || xor_internal.contains(&a1.node())
+            || xor_internal.contains(&b1.node())
+        {
+            continue;
+        }
+        // xor(a1, b1) with the phase parity folded in.
+        let parity = a1.is_complemented() ^ b1.is_complemented();
+        xor_match.insert(id, (a1.positive(), b1.positive(), parity));
+        xor_internal.insert(un);
+        xor_internal.insert(vn);
+    }
+
+    let mut get_signal = |_aig: &Aig,
+                          gates: &mut Vec<Gate>,
+                          signals: &mut HashMap<(NodeId, bool), SignalRef>,
+                          lit: Lit|
+     -> SignalRef {
+        let key = (lit.node(), lit.is_complemented());
+        if let Some(&s) = signals.get(&key) {
+            return s;
+        }
+        // Only the complemented phase can be missing (positive phases are
+        // inserted when the driver is emitted): add a shared inverter.
+        let pos = signals[&(lit.node(), false)];
+        let g = gates.len();
+        gates.push(Gate {
+            cell: INV,
+            inputs: vec![pos],
+        });
+        let s = SignalRef::Gate(g);
+        signals.insert(key, s);
+        s
+    };
+
+    for &id in &order {
+        if xor_internal.contains(&id) {
+            // Consumed by an XOR2/XNOR2 match; never emitted standalone
+            // (the single-fanout check guarantees no other reference).
+            continue;
+        }
+        if let Some(&(a, b, parity)) = xor_match.get(&id) {
+            let sa = get_signal(&aig, &mut gates, &mut signals, a);
+            let sb = get_signal(&aig, &mut gates, &mut signals, b);
+            let cell = if parity { XNOR2 } else { XOR2 };
+            let g = gates.len();
+            gates.push(Gate {
+                cell,
+                inputs: vec![sa, sb],
+            });
+            signals.insert((id, false), SignalRef::Gate(g));
+            continue;
+        }
+        let (a, b) = aig.fanins(id);
+        // Skip XOR-internal nodes until referenced (they never are when
+        // matched); emit generic gates otherwise.
+        if a.is_complemented() && b.is_complemented() {
+            // !x · !y = NOR(x, y).
+            let sa = get_signal(&aig, &mut gates, &mut signals, a.positive());
+            let sb = get_signal(&aig, &mut gates, &mut signals, b.positive());
+            let g = gates.len();
+            gates.push(Gate {
+                cell: NOR2,
+                inputs: vec![sa, sb],
+            });
+            signals.insert((id, false), SignalRef::Gate(g));
+        } else {
+            let sa = get_signal(&aig, &mut gates, &mut signals, a);
+            let sb = get_signal(&aig, &mut gates, &mut signals, b);
+            let g = gates.len();
+            gates.push(Gate {
+                cell: AND2,
+                inputs: vec![sa, sb],
+            });
+            signals.insert((id, false), SignalRef::Gate(g));
+        }
+    }
+
+    let outputs: Vec<SignalRef> = aig
+        .outputs()
+        .iter()
+        .map(|&l| get_signal(&aig, &mut gates, &mut signals, l))
+        .collect();
+
+    // Drop gates that drive nothing (XOR-internal ANDs were never
+    // emitted, but inverters created for matching may be dead).
+    prune(Netlist {
+        num_inputs: aig.num_inputs(),
+        gates,
+        outputs,
+    })
+}
+
+/// Removes unreferenced gates, renumbering.
+fn prune(netlist: Netlist) -> Netlist {
+    let mut live = vec![false; netlist.gates.len()];
+    let mut stack: Vec<usize> = netlist
+        .outputs
+        .iter()
+        .filter_map(|&s| match s {
+            SignalRef::Gate(g) => Some(g),
+            _ => None,
+        })
+        .collect();
+    while let Some(g) = stack.pop() {
+        if live[g] {
+            continue;
+        }
+        live[g] = true;
+        for &s in &netlist.gates[g].inputs {
+            if let SignalRef::Gate(f) = s {
+                stack.push(f);
+            }
+        }
+    }
+    let mut remap = vec![usize::MAX; netlist.gates.len()];
+    let mut gates = Vec::new();
+    for (i, gate) in netlist.gates.iter().enumerate() {
+        if live[i] {
+            remap[i] = gates.len();
+            let inputs = gate
+                .inputs
+                .iter()
+                .map(|&s| match s {
+                    SignalRef::Gate(g) => SignalRef::Gate(remap[g]),
+                    other => other,
+                })
+                .collect();
+            gates.push(Gate {
+                cell: gate.cell,
+                inputs,
+            });
+        }
+    }
+    let outputs = netlist
+        .outputs
+        .iter()
+        .map(|&s| match s {
+            SignalRef::Gate(g) => SignalRef::Gate(remap[g]),
+            other => other,
+        })
+        .collect();
+    Netlist {
+        num_inputs: netlist.num_inputs,
+        gates,
+        outputs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_equiv(aig: &Aig, netlist: &Netlist) {
+        let n = aig.num_inputs();
+        assert!(n <= 12);
+        for m in 0..(1usize << n) {
+            let assignment: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(
+                netlist.eval(&assignment),
+                aig.eval(&assignment),
+                "pattern {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn maps_xor_to_xor_cell() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let x = aig.xor(a, b);
+        aig.add_output(x);
+        let netlist = map_to_cells(&aig);
+        assert!(netlist.gates().iter().any(|g| g.cell.name == "XOR2"));
+        assert_eq!(netlist.num_gates(), 1, "{:?}", netlist.gates());
+        check_equiv(&aig, &netlist);
+    }
+
+    #[test]
+    fn maps_nor_shape() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let f = aig.nor(a, b);
+        aig.add_output(f);
+        let netlist = map_to_cells(&aig);
+        assert!(netlist.gates().iter().any(|g| g.cell.name == "NOR2"));
+        check_equiv(&aig, &netlist);
+    }
+
+    #[test]
+    fn inverters_are_shared() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let ab = aig.and(a, b);
+        // !ab used twice: only one INV should be emitted.
+        let f = aig.and(!ab, c);
+        aig.add_output(f);
+        aig.add_output(!ab);
+        let netlist = map_to_cells(&aig);
+        let inv_count = netlist
+            .gates()
+            .iter()
+            .filter(|g| g.cell.name == "INV")
+            .count();
+        assert_eq!(inv_count, 1);
+        check_equiv(&aig, &netlist);
+    }
+
+    #[test]
+    fn random_networks_map_correctly() {
+        let mut seed = 0xFACEu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..10 {
+            let mut aig = Aig::new();
+            let mut signals: Vec<Lit> = (0..5).map(|_| aig.add_input()).collect();
+            for _ in 0..30 {
+                let r = next();
+                let i = (r as usize >> 8) % signals.len();
+                let j = (r as usize >> 24) % signals.len();
+                let x = signals[i].complement_if(r & 1 == 1);
+                let y = signals[j].complement_if(r & 2 == 2);
+                let s = match (r >> 2) % 3 {
+                    0 => aig.and(x, y),
+                    1 => aig.or(x, y),
+                    _ => aig.xor(x, y),
+                };
+                signals.push(s);
+            }
+            aig.add_output(*signals.last().expect("nonempty"));
+            aig.add_output(signals[signals.len() / 2]);
+            let aig = aig.cleanup();
+            let netlist = map_to_cells(&aig);
+            check_equiv(&aig, &netlist);
+        }
+    }
+
+    #[test]
+    fn area_counts_cells() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let f = aig.and(a, b);
+        aig.add_output(f);
+        let netlist = map_to_cells(&aig);
+        assert!(netlist.area() > 0.0);
+        assert_eq!(netlist.num_gates(), 1);
+    }
+}

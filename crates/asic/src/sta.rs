@@ -1,0 +1,178 @@
+//! Static timing analysis over mapped netlists.
+//!
+//! A load-dependent gate-delay model with a fanout-based wire-load proxy:
+//! `delay(g) = intrinsic + load_factor × (Σ sink input caps + wire cap)`.
+//! Slacks are measured against a target clock period; the paper's
+//! Table III metrics are **WNS** (worst negative slack) and **TNS** (total
+//! negative slack over all endpoints).
+
+use std::collections::HashMap;
+
+use crate::library::{WIRE_CAP_PER_FANOUT, WIRE_DELAY_PER_FANOUT};
+use crate::mapping::{Netlist, SignalRef};
+
+/// A timing report.
+#[derive(Debug, Clone)]
+pub struct TimingReport {
+    /// Arrival time of each gate output.
+    pub arrivals: Vec<f64>,
+    /// Arrival time at each primary output.
+    pub output_arrivals: Vec<f64>,
+    /// The critical-path delay (max output arrival).
+    pub critical_path: f64,
+    /// Worst negative slack (0 when all endpoints meet the clock).
+    pub wns: f64,
+    /// Total negative slack over all endpoints (0 when timing is met).
+    pub tns: f64,
+}
+
+/// Runs STA against `clock_period`.
+pub fn analyze(netlist: &Netlist, clock_period: f64) -> TimingReport {
+    let fanouts = netlist.fanouts();
+    // Output load of each signal.
+    let load = |s: SignalRef| -> f64 {
+        match fanouts.get(&s) {
+            None => 0.0,
+            Some(sinks) => {
+                let cap: f64 = sinks
+                    .iter()
+                    .map(|&g| {
+                        if g == usize::MAX {
+                            1.0 // output pad load
+                        } else {
+                            netlist.gates()[g].cell.input_cap
+                        }
+                    })
+                    .sum();
+                cap + WIRE_CAP_PER_FANOUT * sinks.len() as f64
+            }
+        }
+    };
+
+    let mut arrivals = vec![0.0f64; netlist.num_gates()];
+    let arrival_of = |arrivals: &[f64], s: SignalRef| -> f64 {
+        match s {
+            SignalRef::Const(_) | SignalRef::Input(_) => 0.0,
+            SignalRef::Gate(g) => arrivals[g],
+        }
+    };
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        let input_arrival = gate
+            .inputs
+            .iter()
+            .map(|&s| arrival_of(&arrivals, s))
+            .fold(0.0, f64::max);
+        let out = SignalRef::Gate(i);
+        let sinks = fanouts.get(&out).map_or(0, Vec::len);
+        arrivals[i] = input_arrival
+            + gate.cell.delay
+            + gate.cell.load_factor * load(out)
+            + WIRE_DELAY_PER_FANOUT * sinks as f64;
+    }
+
+    let output_arrivals: Vec<f64> = netlist
+        .outputs()
+        .iter()
+        .map(|&s| arrival_of(&arrivals, s))
+        .collect();
+    let critical_path = output_arrivals.iter().copied().fold(0.0, f64::max);
+    let mut wns = 0.0f64;
+    let mut tns = 0.0f64;
+    for &a in &output_arrivals {
+        let slack = clock_period - a;
+        if slack < 0.0 {
+            wns = wns.min(slack);
+            tns += slack;
+        }
+    }
+    TimingReport {
+        arrivals,
+        output_arrivals,
+        critical_path,
+        wns,
+        tns,
+    }
+}
+
+/// Per-signal capacitive loads (used by the power model).
+pub fn signal_loads(netlist: &Netlist) -> HashMap<SignalRef, f64> {
+    let fanouts = netlist.fanouts();
+    let mut loads = HashMap::new();
+    for (s, sinks) in fanouts {
+        let cap: f64 = sinks
+            .iter()
+            .map(|&g| {
+                if g == usize::MAX {
+                    1.0
+                } else {
+                    netlist.gates()[g].cell.input_cap
+                }
+            })
+            .sum();
+        loads.insert(s, cap + WIRE_CAP_PER_FANOUT * sinks.len() as f64);
+    }
+    loads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::map_to_cells;
+    use sbm_aig::Aig;
+
+    fn chain(n: usize) -> Netlist {
+        let mut aig = Aig::new();
+        let inputs: Vec<_> = (0..n + 1).map(|_| aig.add_input()).collect();
+        let mut acc = inputs[0];
+        for &x in &inputs[1..] {
+            acc = aig.and(acc, x);
+        }
+        aig.add_output(acc);
+        map_to_cells(&aig)
+    }
+
+    #[test]
+    fn longer_chains_are_slower() {
+        let short = analyze(&chain(2), 100.0);
+        let long = analyze(&chain(10), 100.0);
+        assert!(long.critical_path > short.critical_path);
+        assert_eq!(long.wns, 0.0);
+        assert_eq!(long.tns, 0.0);
+    }
+
+    #[test]
+    fn negative_slack_reported() {
+        let netlist = chain(10);
+        let relaxed = analyze(&netlist, 1_000.0);
+        let tight = analyze(&netlist, relaxed.critical_path / 2.0);
+        assert!(tight.wns < 0.0);
+        assert!(tight.tns <= tight.wns);
+    }
+
+    #[test]
+    fn fanout_increases_delay() {
+        // One driver with many sinks vs one sink.
+        let mut small = Aig::new();
+        let a = small.add_input();
+        let b = small.add_input();
+        let ab = small.and(a, b);
+        let f = small.and(ab, a);
+        small.add_output(f);
+        let mut big = Aig::new();
+        let a = big.add_input();
+        let b = big.add_input();
+        let ab = big.and(a, b);
+        let mut outs = Vec::new();
+        for _ in 0..1 {
+            outs.push(ab);
+        }
+        let f = big.and(ab, a);
+        big.add_output(f);
+        for _ in 0..6 {
+            big.add_output(ab); // heavy load on ab
+        }
+        let t_small = analyze(&map_to_cells(&small), 100.0);
+        let t_big = analyze(&map_to_cells(&big), 100.0);
+        assert!(t_big.critical_path > t_small.critical_path);
+    }
+}

@@ -1,0 +1,43 @@
+//! A from-scratch Reduced Ordered Binary Decision Diagram (ROBDD) package.
+//!
+//! BDDs are directed acyclic graphs representing Boolean functions; each
+//! internal node implements the Shannon expansion `f = x·f_x ⊕ x̄·f_x̄`
+//! (paper Section II-A, after Bryant \[5\] and Brace–Rudell–Bryant \[15\]).
+//! The SBM framework uses BDDs as the reasoning engine for two of its four
+//! optimization methods:
+//!
+//! * **Boolean-difference resubstitution** (Section III): the difference BDD
+//!   `∂f/∂g = f ⊕ g` is computed per candidate pair inside a window, under a
+//!   strict size threshold;
+//! * **MSPF computation** (Section IV-C): permissible functions are derived
+//!   via PO cofactoring, exploiting the *strong canonicity* of the unique
+//!   table — equal functions always share one node id, so functional
+//!   equality is a pointer comparison.
+//!
+//! Following the paper, the package performs **no dynamic variable
+//! reordering** (windows are small) but enforces a **node limit**: any
+//! operation that would grow the manager beyond the limit bails out with
+//! [`BddError::NodeLimit`], which callers translate into "BDD of size 0 —
+//! disregard this node" exactly as described in Section III-C.
+//!
+//! # Example
+//!
+//! ```
+//! use sbm_bdd::BddManager;
+//!
+//! # fn main() -> Result<(), sbm_bdd::BddError> {
+//! let mut mgr = BddManager::new(3);
+//! let x0 = mgr.var(0);
+//! let x1 = mgr.var(1);
+//! let f = mgr.and(x0, x1)?;
+//! let g = mgr.or(x0, x1)?;
+//! let diff = mgr.xor(f, g)?; // ∂f/∂g
+//! // f = diff ⊕ g — strong canonicity makes this a node-id comparison.
+//! assert_eq!(mgr.xor(diff, g)?, f);
+//! # Ok(())
+//! # }
+//! ```
+
+mod manager;
+
+pub use manager::{Bdd, BddError, BddManager, BddStats};

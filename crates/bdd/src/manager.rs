@@ -1,0 +1,732 @@
+//! The [`BddManager`] and its operations.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use sbm_tt::TruthTable;
+
+/// A handle to a BDD node owned by a [`BddManager`].
+///
+/// Handles are plain indices; they are only meaningful together with the
+/// manager that produced them. Thanks to strong canonicity, two handles from
+/// the same manager represent the same Boolean function **iff** they are
+/// equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bdd(u32);
+
+impl Bdd {
+    /// The constant-zero function.
+    pub const ZERO: Bdd = Bdd(0);
+    /// The constant-one function.
+    pub const ONE: Bdd = Bdd(1);
+
+    /// Raw index of the node inside its manager (0 and 1 are the terminals).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is a terminal (constant) node.
+    pub fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+/// Error raised by BDD operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BddError {
+    /// The operation would grow the manager beyond its node limit.
+    ///
+    /// The paper (Section III-C) prescribes this exact behaviour: "we set a
+    /// maximum memory limit for the employed BDD package. The BDD computation
+    /// is bailed out if the maximum memory limit is hit."
+    NodeLimit,
+}
+
+impl fmt::Display for BddError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BddError::NodeLimit => write!(f, "bdd manager node limit exceeded"),
+        }
+    }
+}
+
+impl Error for BddError {}
+
+/// An internal decision node: `ite(var, hi, lo)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    var: u32,
+    lo: Bdd,
+    hi: Bdd,
+}
+
+/// Usage statistics of a manager, for runtime/memory instrumentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BddStats {
+    /// Total decision nodes allocated (not counting terminals).
+    pub num_nodes: usize,
+    /// Unique-table hits (canonicity reuse).
+    pub unique_hits: u64,
+    /// Computed-table (memoization) hits.
+    pub cache_hits: u64,
+    /// Number of ITE recursion steps performed.
+    pub ite_calls: u64,
+}
+
+/// Memoization key for ternary ITE.
+type IteKey = (Bdd, Bdd, Bdd);
+
+/// A ROBDD manager with a fixed variable order (0 < 1 < … < n−1), a unique
+/// table for strong canonicity and a computed table for memoization.
+///
+/// Managers are cheap to create; the SBM engines create one per window, which
+/// doubles as the paper's "free the memory used for the BDD of the difference
+/// at each iteration" strategy for large benchmarks.
+///
+/// # Example
+///
+/// ```
+/// use sbm_bdd::BddManager;
+///
+/// # fn main() -> Result<(), sbm_bdd::BddError> {
+/// let mut mgr = BddManager::new(2);
+/// let a = mgr.var(0);
+/// let b = mgr.var(1);
+/// let f = mgr.xor(a, b)?;
+/// assert_eq!(mgr.size(f), 3); // x0 node + two x1 nodes
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BddManager {
+    num_vars: usize,
+    nodes: Vec<Node>,
+    unique: HashMap<Node, Bdd>,
+    ite_cache: HashMap<IteKey, Bdd>,
+    node_limit: usize,
+    stats: BddStats,
+}
+
+impl BddManager {
+    /// Creates a manager over `num_vars` variables with an effectively
+    /// unlimited node budget.
+    pub fn new(num_vars: usize) -> Self {
+        Self::with_node_limit(num_vars, usize::MAX)
+    }
+
+    /// Creates a manager whose total decision-node count may not exceed
+    /// `node_limit`. Operations that would exceed it return
+    /// [`BddError::NodeLimit`].
+    pub fn with_node_limit(num_vars: usize, node_limit: usize) -> Self {
+        BddManager {
+            num_vars,
+            // nodes[0], nodes[1] are dummies standing in for the terminals so
+            // that indices line up with `Bdd` handles.
+            nodes: vec![
+                Node { var: u32::MAX, lo: Bdd::ZERO, hi: Bdd::ZERO },
+                Node { var: u32::MAX, lo: Bdd::ONE, hi: Bdd::ONE },
+            ],
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            node_limit,
+            stats: BddStats::default(),
+        }
+    }
+
+    /// The number of variables of this manager.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Total decision nodes currently allocated.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len() - 2
+    }
+
+    /// Current usage statistics.
+    pub fn stats(&self) -> BddStats {
+        BddStats {
+            num_nodes: self.num_nodes(),
+            ..self.stats
+        }
+    }
+
+    /// Clears the computed table (memoization cache) without discarding any
+    /// nodes. The SBM Boolean-difference loop calls this between iterations
+    /// to bound memory, mirroring the paper's per-iteration freeing.
+    pub fn clear_cache(&mut self) {
+        self.ite_cache.clear();
+    }
+
+    /// The constant-zero function.
+    pub fn zero(&self) -> Bdd {
+        Bdd::ZERO
+    }
+
+    /// The constant-one function.
+    pub fn one(&self) -> Bdd {
+        Bdd::ONE
+    }
+
+    /// The projection function for variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn var(&mut self, var: usize) -> Bdd {
+        assert!(var < self.num_vars, "variable {var} out of range");
+        // Projection nodes are exempt from the node limit: there are at
+        // most `num_vars` of them and every caller needs them to exist.
+        self.mk_unbounded(var as u32, Bdd::ZERO, Bdd::ONE)
+    }
+
+    /// The complemented projection function for variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn nvar(&mut self, var: usize) -> Bdd {
+        assert!(var < self.num_vars, "variable {var} out of range");
+        self.mk_unbounded(var as u32, Bdd::ONE, Bdd::ZERO)
+    }
+
+    /// Like `mk` but exempt from the node limit (projection functions).
+    fn mk_unbounded(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
+        let node = Node { var, lo, hi };
+        if let Some(&b) = self.unique.get(&node) {
+            self.stats.unique_hits += 1;
+            return b;
+        }
+        let b = Bdd(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, b);
+        b
+    }
+
+    /// Looks up or creates the canonical node `(var, lo, hi)`.
+    fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Result<Bdd, BddError> {
+        if lo == hi {
+            return Ok(lo);
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&b) = self.unique.get(&node) {
+            self.stats.unique_hits += 1;
+            return Ok(b);
+        }
+        if self.num_nodes() >= self.node_limit {
+            return Err(BddError::NodeLimit);
+        }
+        let b = Bdd(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, b);
+        Ok(b)
+    }
+
+    /// Variable index of the root of `f` (`u32::MAX` for terminals).
+    fn top_var(&self, f: Bdd) -> u32 {
+        self.nodes[f.index()].var
+    }
+
+    /// Children of `f` cofactored on `var` at the root level.
+    fn cofactors_at(&self, f: Bdd, var: u32) -> (Bdd, Bdd) {
+        let n = &self.nodes[f.index()];
+        if f.is_const() || n.var != var {
+            (f, f)
+        } else {
+            (n.lo, n.hi)
+        }
+    }
+
+    /// If-then-else: `ite(f, g, h) = f·g + f̄·h`. The universal connective —
+    /// all binary operations reduce to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::NodeLimit`] if the manager's node limit is hit.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Result<Bdd, BddError> {
+        self.stats.ite_calls += 1;
+        // Terminal cases.
+        if f == Bdd::ONE {
+            return Ok(g);
+        }
+        if f == Bdd::ZERO {
+            return Ok(h);
+        }
+        if g == h {
+            return Ok(g);
+        }
+        if g == Bdd::ONE && h == Bdd::ZERO {
+            return Ok(f);
+        }
+        let key = (f, g, h);
+        if let Some(&r) = self.ite_cache.get(&key) {
+            self.stats.cache_hits += 1;
+            return Ok(r);
+        }
+        let var = self
+            .top_var(f)
+            .min(self.top_var(g))
+            .min(self.top_var(h));
+        let (f0, f1) = self.cofactors_at(f, var);
+        let (g0, g1) = self.cofactors_at(g, var);
+        let (h0, h1) = self.cofactors_at(h, var);
+        let lo = self.ite(f0, g0, h0)?;
+        let hi = self.ite(f1, g1, h1)?;
+        let r = self.mk(var, lo, hi)?;
+        self.ite_cache.insert(key, r);
+        Ok(r)
+    }
+
+    /// Conjunction `f ∧ g`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::NodeLimit`] if the manager's node limit is hit.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddError> {
+        self.ite(f, g, Bdd::ZERO)
+    }
+
+    /// Disjunction `f ∨ g`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::NodeLimit`] if the manager's node limit is hit.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddError> {
+        self.ite(f, Bdd::ONE, g)
+    }
+
+    /// Exclusive or `f ⊕ g` — the paper's Boolean difference `∂f/∂g`
+    /// (Section III-A).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::NodeLimit`] if the manager's node limit is hit.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddError> {
+        let ng = self.not(g)?;
+        self.ite(f, ng, g)
+    }
+
+    /// Exclusive nor `f ⊙ g`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::NodeLimit`] if the manager's node limit is hit.
+    pub fn xnor(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddError> {
+        let ng = self.not(g)?;
+        self.ite(f, g, ng)
+    }
+
+    /// Negation `f̄`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::NodeLimit`] if the manager's node limit is hit.
+    pub fn not(&mut self, f: Bdd) -> Result<Bdd, BddError> {
+        self.ite(f, Bdd::ZERO, Bdd::ONE)
+    }
+
+    /// Implication check `f ⇒ g` (i.e. `f ∧ ḡ = 0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::NodeLimit`] if the manager's node limit is hit.
+    pub fn implies(&mut self, f: Bdd, g: Bdd) -> Result<bool, BddError> {
+        let ng = self.not(g)?;
+        Ok(self.and(f, ng)? == Bdd::ZERO)
+    }
+
+    /// Cofactor of `f` with respect to `var = value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::NodeLimit`] if the manager's node limit is hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn cofactor(&mut self, f: Bdd, var: usize, value: bool) -> Result<Bdd, BddError> {
+        assert!(var < self.num_vars);
+        self.cofactor_rec(f, var as u32, value, &mut HashMap::new())
+    }
+
+    fn cofactor_rec(
+        &mut self,
+        f: Bdd,
+        var: u32,
+        value: bool,
+        memo: &mut HashMap<Bdd, Bdd>,
+    ) -> Result<Bdd, BddError> {
+        if f.is_const() || self.top_var(f) > var {
+            return Ok(f);
+        }
+        if let Some(&r) = memo.get(&f) {
+            return Ok(r);
+        }
+        let node = self.nodes[f.index()];
+        let r = if node.var == var {
+            if value {
+                node.hi
+            } else {
+                node.lo
+            }
+        } else {
+            let lo = self.cofactor_rec(node.lo, var, value, memo)?;
+            let hi = self.cofactor_rec(node.hi, var, value, memo)?;
+            self.mk(node.var, lo, hi)?
+        };
+        memo.insert(f, r);
+        Ok(r)
+    }
+
+    /// Existential quantification `∃ var. f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::NodeLimit`] if the manager's node limit is hit.
+    pub fn exists(&mut self, f: Bdd, var: usize) -> Result<Bdd, BddError> {
+        let c0 = self.cofactor(f, var, false)?;
+        let c1 = self.cofactor(f, var, true)?;
+        self.or(c0, c1)
+    }
+
+    /// Universal quantification `∀ var. f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::NodeLimit`] if the manager's node limit is hit.
+    pub fn forall(&mut self, f: Bdd, var: usize) -> Result<Bdd, BddError> {
+        let c0 = self.cofactor(f, var, false)?;
+        let c1 = self.cofactor(f, var, true)?;
+        self.and(c0, c1)
+    }
+
+    /// The number of decision nodes in the DAG rooted at `f` — the paper's
+    /// `size(bdd)` used as a lower bound on the AIG implementation cost
+    /// (Section III-C, lines 8–10 of Alg. 1).
+    pub fn size(&self, f: Bdd) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        let mut count = 0;
+        while let Some(b) = stack.pop() {
+            if b.is_const() || !seen.insert(b) {
+                continue;
+            }
+            count += 1;
+            let n = &self.nodes[b.index()];
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        count
+    }
+
+    /// Evaluates `f` under a full assignment (`assignment[v]` = value of
+    /// variable `v`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() < num_vars`.
+    pub fn eval(&self, f: Bdd, assignment: &[bool]) -> bool {
+        assert!(assignment.len() >= self.num_vars);
+        let mut cur = f;
+        while !cur.is_const() {
+            let n = &self.nodes[cur.index()];
+            cur = if assignment[n.var as usize] { n.hi } else { n.lo };
+        }
+        cur == Bdd::ONE
+    }
+
+    /// Number of satisfying assignments over all `num_vars` variables.
+    pub fn sat_count(&self, f: Bdd) -> u64 {
+        let mut memo: HashMap<Bdd, u64> = HashMap::new();
+        self.sat_count_rec(f, &mut memo) // counted at level 0
+    }
+
+    fn sat_count_rec(&self, f: Bdd, memo: &mut HashMap<Bdd, u64>) -> u64 {
+        // Count assignments of variables var(f)..num_vars, then scale.
+        fn level(mgr: &BddManager, f: Bdd) -> u32 {
+            if f.is_const() {
+                mgr.num_vars as u32
+            } else {
+                mgr.nodes[f.index()].var
+            }
+        }
+        fn rec(mgr: &BddManager, f: Bdd, memo: &mut HashMap<Bdd, u64>) -> u64 {
+            if f == Bdd::ZERO {
+                return 0;
+            }
+            if f == Bdd::ONE {
+                return 1;
+            }
+            if let Some(&c) = memo.get(&f) {
+                return c;
+            }
+            let n = mgr.nodes[f.index()];
+            let lo = rec(mgr, n.lo, memo) << (level(mgr, n.lo) - n.var - 1);
+            let hi = rec(mgr, n.hi, memo) << (level(mgr, n.hi) - n.var - 1);
+            let c = lo + hi;
+            memo.insert(f, c);
+            c
+        }
+        rec(self, f, memo) << level(self, f)
+    }
+
+    /// The set of variables `f` depends on, ascending.
+    pub fn support(&self, f: Bdd) -> Vec<usize> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![f];
+        while let Some(b) = stack.pop() {
+            if b.is_const() || !seen.insert(b) {
+                continue;
+            }
+            let n = &self.nodes[b.index()];
+            vars.insert(n.var as usize);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        vars.into_iter().collect()
+    }
+
+    /// Converts `f` to a truth table over the manager's variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > sbm_tt::MAX_VARS`.
+    pub fn to_truth_table(&self, f: Bdd) -> TruthTable {
+        let mut memo: HashMap<Bdd, TruthTable> = HashMap::new();
+        self.to_tt_rec(f, &mut memo)
+    }
+
+    fn to_tt_rec(&self, f: Bdd, memo: &mut HashMap<Bdd, TruthTable>) -> TruthTable {
+        if f == Bdd::ZERO {
+            return TruthTable::zero(self.num_vars);
+        }
+        if f == Bdd::ONE {
+            return TruthTable::one(self.num_vars);
+        }
+        if let Some(t) = memo.get(&f) {
+            return t.clone();
+        }
+        let n = self.nodes[f.index()];
+        let lo = self.to_tt_rec(n.lo, memo);
+        let hi = self.to_tt_rec(n.hi, memo);
+        let x = TruthTable::var(self.num_vars, n.var as usize);
+        let t = x.ite(&hi, &lo);
+        memo.insert(f, t.clone());
+        t
+    }
+
+    /// Builds a BDD from a truth table (variables map 1:1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::NodeLimit`] if the manager's node limit is hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table has more variables than the manager.
+    pub fn from_truth_table(&mut self, t: &TruthTable) -> Result<Bdd, BddError> {
+        assert!(t.num_vars() <= self.num_vars);
+        self.from_tt_rec(t, 0)
+    }
+
+    fn from_tt_rec(&mut self, t: &TruthTable, var: usize) -> Result<Bdd, BddError> {
+        if t.is_zero() {
+            return Ok(Bdd::ZERO);
+        }
+        if t.is_one() {
+            return Ok(Bdd::ONE);
+        }
+        // Expand on the lowest remaining variable: roots carry the smallest
+        // variable index in this manager's order.
+        debug_assert!(var < t.num_vars(), "non-constant table with no vars left");
+        let lo = self.from_tt_rec(&t.cofactor0(var), var + 1)?;
+        let hi = self.from_tt_rec(&t.cofactor1(var), var + 1)?;
+        self.mk(var as u32, lo, hi)
+    }
+
+    /// Visits the DAG rooted at `f` bottom-up, calling `visit(node, var, lo,
+    /// hi)` once per decision node in a topological order (children first).
+    /// Used by the BDD→AIG strashing bridge in `sbm-core`.
+    pub fn walk_postorder<F: FnMut(Bdd, usize, Bdd, Bdd)>(&self, f: Bdd, mut visit: F) {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![(f, false)];
+        while let Some((b, expanded)) = stack.pop() {
+            if b.is_const() {
+                continue;
+            }
+            if expanded {
+                let n = &self.nodes[b.index()];
+                visit(b, n.var as usize, n.lo, n.hi);
+                continue;
+            }
+            if !seen.insert(b) {
+                continue;
+            }
+            let n = &self.nodes[b.index()];
+            stack.push((b, true));
+            stack.push((n.lo, false));
+            stack.push((n.hi, false));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals() {
+        let mgr = BddManager::new(2);
+        assert_eq!(mgr.size(Bdd::ZERO), 0);
+        assert_eq!(mgr.size(Bdd::ONE), 0);
+        assert_eq!(mgr.sat_count(Bdd::ONE), 4);
+        assert_eq!(mgr.sat_count(Bdd::ZERO), 0);
+    }
+
+    #[test]
+    fn canonicity() {
+        let mut mgr = BddManager::new(3);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let ab = mgr.and(a, b).unwrap();
+        let ba = mgr.and(b, a).unwrap();
+        assert_eq!(ab, ba);
+        // (a & b) | a == a
+        let f = mgr.or(ab, a).unwrap();
+        assert_eq!(f, a);
+    }
+
+    #[test]
+    fn xor_identities() {
+        let mut mgr = BddManager::new(4);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let x = mgr.xor(a, b).unwrap();
+        let back = mgr.xor(x, b).unwrap();
+        assert_eq!(back, a);
+        let zero = mgr.xor(a, a).unwrap();
+        assert_eq!(zero, Bdd::ZERO);
+        let na = mgr.not(a).unwrap();
+        let one = mgr.xor(a, na).unwrap();
+        assert_eq!(one, Bdd::ONE);
+    }
+
+    #[test]
+    fn sat_count_majority() {
+        let mut mgr = BddManager::new(3);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let c = mgr.var(2);
+        let ab = mgr.and(a, b).unwrap();
+        let ac = mgr.and(a, c).unwrap();
+        let bc = mgr.and(b, c).unwrap();
+        let t = mgr.or(ab, ac).unwrap();
+        let maj = mgr.or(t, bc).unwrap();
+        assert_eq!(mgr.sat_count(maj), 4);
+    }
+
+    #[test]
+    fn cofactor_and_quantify() {
+        let mut mgr = BddManager::new(3);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let f = mgr.and(a, b).unwrap();
+        assert_eq!(mgr.cofactor(f, 0, true).unwrap(), b);
+        assert_eq!(mgr.cofactor(f, 0, false).unwrap(), Bdd::ZERO);
+        assert_eq!(mgr.exists(f, 0).unwrap(), b);
+        assert_eq!(mgr.forall(f, 0).unwrap(), Bdd::ZERO);
+    }
+
+    #[test]
+    fn node_limit_bails_out() {
+        // An XOR chain needs ~2 nodes per level; a tiny limit must trip.
+        let mut mgr = BddManager::with_node_limit(16, 8);
+        let mut f = mgr.var(0);
+        let mut tripped = false;
+        for v in 1..16 {
+            let x = mgr.var(v);
+            match mgr.xor(f, x) {
+                Ok(g) => f = g,
+                Err(BddError::NodeLimit) => {
+                    tripped = true;
+                    break;
+                }
+            }
+        }
+        assert!(tripped, "node limit never tripped");
+    }
+
+    #[test]
+    fn truth_table_round_trip() {
+        let mut mgr = BddManager::new(4);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let c = mgr.var(2);
+        let d = mgr.var(3);
+        let ab = mgr.and(a, b).unwrap();
+        let cd = mgr.xor(c, d).unwrap();
+        let f = mgr.or(ab, cd).unwrap();
+        let tt = mgr.to_truth_table(f);
+        let back = mgr.from_truth_table(&tt).unwrap();
+        assert_eq!(back, f, "round trip must hit the same canonical node");
+    }
+
+    #[test]
+    fn eval_agrees_with_truth_table() {
+        let mut mgr = BddManager::new(3);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let c = mgr.var(2);
+        let ab = mgr.or(a, b).unwrap();
+        let f = mgr.and(ab, c).unwrap();
+        let tt = mgr.to_truth_table(f);
+        for m in 0..8usize {
+            let assignment = [(m & 1) == 1, (m >> 1) & 1 == 1, (m >> 2) & 1 == 1];
+            assert_eq!(mgr.eval(f, &assignment), tt.bit(m));
+        }
+    }
+
+    #[test]
+    fn support_is_minimal() {
+        let mut mgr = BddManager::new(4);
+        let a = mgr.var(0);
+        let c = mgr.var(2);
+        let f = mgr.and(a, c).unwrap();
+        assert_eq!(mgr.support(f), vec![0, 2]);
+    }
+
+    #[test]
+    fn size_counts_dag_nodes() {
+        let mut mgr = BddManager::new(2);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let x = mgr.xor(a, b).unwrap();
+        // x0 root plus two distinct x1 children.
+        assert_eq!(mgr.size(x), 3);
+        assert_eq!(mgr.size(a), 1);
+    }
+
+    #[test]
+    fn walk_postorder_children_first() {
+        let mut mgr = BddManager::new(3);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let c = mgr.var(2);
+        let ab = mgr.and(a, b).unwrap();
+        let f = mgr.or(ab, c).unwrap();
+        let mut order = Vec::new();
+        mgr.walk_postorder(f, |node, _, _, _| order.push(node));
+        let pos = |n: Bdd| order.iter().position(|&x| x == n).unwrap();
+        // Every node must appear after its children.
+        for &n in &order {
+            mgr.walk_postorder(n, |child, _, _, _| {
+                if child != n {
+                    assert!(pos(child) < pos(n));
+                }
+            });
+        }
+        assert_eq!(order.len(), mgr.size(f));
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests: BDD operations must agree with truth-table evaluation,
+//! and canonicity must equate equal functions.
+
+use proptest::prelude::*;
+use sbm_bdd::{Bdd, BddManager};
+use sbm_tt::TruthTable;
+
+/// A random Boolean expression tree over `n` variables, as nested ops.
+#[derive(Debug, Clone)]
+enum Expr {
+    Var(usize),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+fn arb_expr(num_vars: usize) -> impl Strategy<Value = Expr> {
+    let leaf = (0..num_vars).prop_map(Expr::Var);
+    leaf.prop_recursive(5, 64, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn build_bdd(mgr: &mut BddManager, e: &Expr) -> Bdd {
+    match e {
+        Expr::Var(v) => mgr.var(*v),
+        Expr::Not(a) => {
+            let a = build_bdd(mgr, a);
+            mgr.not(a).unwrap()
+        }
+        Expr::And(a, b) => {
+            let a = build_bdd(mgr, a);
+            let b = build_bdd(mgr, b);
+            mgr.and(a, b).unwrap()
+        }
+        Expr::Or(a, b) => {
+            let a = build_bdd(mgr, a);
+            let b = build_bdd(mgr, b);
+            mgr.or(a, b).unwrap()
+        }
+        Expr::Xor(a, b) => {
+            let a = build_bdd(mgr, a);
+            let b = build_bdd(mgr, b);
+            mgr.xor(a, b).unwrap()
+        }
+    }
+}
+
+fn build_tt(num_vars: usize, e: &Expr) -> TruthTable {
+    match e {
+        Expr::Var(v) => TruthTable::var(num_vars, *v),
+        Expr::Not(a) => !&build_tt(num_vars, a),
+        Expr::And(a, b) => &build_tt(num_vars, a) & &build_tt(num_vars, b),
+        Expr::Or(a, b) => &build_tt(num_vars, a) | &build_tt(num_vars, b),
+        Expr::Xor(a, b) => &build_tt(num_vars, a) ^ &build_tt(num_vars, b),
+    }
+}
+
+proptest! {
+    #[test]
+    fn bdd_matches_truth_table(e in arb_expr(6)) {
+        let mut mgr = BddManager::new(6);
+        let f = build_bdd(&mut mgr, &e);
+        let expected = build_tt(6, &e);
+        prop_assert_eq!(mgr.to_truth_table(f), expected);
+    }
+
+    #[test]
+    fn canonicity_equates_equal_functions(e in arb_expr(5)) {
+        let mut mgr = BddManager::new(5);
+        let f = build_bdd(&mut mgr, &e);
+        // Rebuild the same function a second time: must land on the same id.
+        let g = build_bdd(&mut mgr, &e);
+        prop_assert_eq!(f, g);
+        // Rebuild from the truth table: still the same id (strong canonicity).
+        let tt = build_tt(5, &e);
+        prop_assert_eq!(mgr.from_truth_table(&tt).unwrap(), f);
+    }
+
+    #[test]
+    fn sat_count_matches_truth_table(e in arb_expr(6)) {
+        let mut mgr = BddManager::new(6);
+        let f = build_bdd(&mut mgr, &e);
+        let tt = build_tt(6, &e);
+        prop_assert_eq!(mgr.sat_count(f), tt.count_ones());
+    }
+
+    #[test]
+    fn support_matches_truth_table(e in arb_expr(5)) {
+        let mut mgr = BddManager::new(5);
+        let f = build_bdd(&mut mgr, &e);
+        let tt = build_tt(5, &e);
+        prop_assert_eq!(mgr.support(f), tt.support());
+    }
+
+    #[test]
+    fn boolean_difference_round_trip(a in arb_expr(5), b in arb_expr(5)) {
+        let mut mgr = BddManager::new(5);
+        let f = build_bdd(&mut mgr, &a);
+        let g = build_bdd(&mut mgr, &b);
+        let diff = mgr.xor(f, g).unwrap();
+        prop_assert_eq!(mgr.xor(diff, g).unwrap(), f);
+    }
+
+    #[test]
+    fn cofactor_matches_truth_table(e in arb_expr(5), var in 0usize..5, value: bool) {
+        let mut mgr = BddManager::new(5);
+        let f = build_bdd(&mut mgr, &e);
+        let cof = mgr.cofactor(f, var, value).unwrap();
+        let tt = build_tt(5, &e);
+        let expected = if value { tt.cofactor1(var) } else { tt.cofactor0(var) };
+        prop_assert_eq!(mgr.to_truth_table(cof), expected);
+    }
+}

@@ -1,0 +1,58 @@
+//! Ablation of the Boolean-difference engine's filters (DESIGN.md E8):
+//! the paper chose a difference-BDD size threshold of **10** as "a
+//! suitable tradeoff to have good QoR and feasible runtime"
+//! (Section III-C). This bench sweeps the threshold and the xor-cost and
+//! reports runtime (criterion) plus QoR (stderr, once per config).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbm_core::bdiff::{boolean_difference_resub, BdiffOptions};
+use sbm_epfl::{generate, Scale};
+
+fn bench_bdiff_threshold(c: &mut Criterion) {
+    let aig = generate("router", Scale::Reduced).unwrap();
+    let mut group = c.benchmark_group("bdiff_threshold");
+    group.sample_size(10);
+    for threshold in [4usize, 10, 20, 40] {
+        let opts = BdiffOptions {
+            max_diff_size: threshold,
+            ..Default::default()
+        };
+        let (out, stats) = boolean_difference_resub(&aig, &opts);
+        eprintln!(
+            "bdiff threshold {threshold}: {} -> {} nodes, {} accepted",
+            aig.num_ands(),
+            out.num_ands(),
+            stats.accepted
+        );
+        group.bench_function(format!("threshold_{threshold}"), |b| {
+            b.iter(|| boolean_difference_resub(&aig, &opts))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bdiff_xor_cost(c: &mut Criterion) {
+    let aig = generate("int2float", Scale::Reduced).unwrap();
+    let mut group = c.benchmark_group("bdiff_xor_cost");
+    group.sample_size(10);
+    for xor_cost in [1usize, 3, 6] {
+        let opts = BdiffOptions {
+            xor_cost,
+            ..Default::default()
+        };
+        let (out, stats) = boolean_difference_resub(&aig, &opts);
+        eprintln!(
+            "bdiff xor_cost {xor_cost}: {} -> {} nodes, {} accepted",
+            aig.num_ands(),
+            out.num_ands(),
+            stats.accepted
+        );
+        group.bench_function(format!("xor_cost_{xor_cost}"), |b| {
+            b.iter(|| boolean_difference_resub(&aig, &opts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bdiff_threshold, bench_bdiff_xor_cost);
+criterion_main!(benches);

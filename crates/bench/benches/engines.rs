@@ -1,0 +1,44 @@
+//! Criterion benchmarks for the four SBM engines plus the baseline
+//! script, on EPFL-style workloads (reduced scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbm_core::bdiff::{boolean_difference_resub, BdiffOptions};
+use sbm_core::gradient::{gradient_optimize, GradientOptions};
+use sbm_core::hetero::{hetero_eliminate_kernel, HeteroOptions};
+use sbm_core::mspf::{mspf_optimize, MspfOptions};
+use sbm_core::script::resyn2rs;
+use sbm_epfl::{generate, Scale};
+
+fn bench_engines(c: &mut Criterion) {
+    let workloads = [
+        ("priority", generate("priority", Scale::Reduced).unwrap()),
+        ("router", generate("router", Scale::Reduced).unwrap()),
+        ("int2float", generate("int2float", Scale::Reduced).unwrap()),
+    ];
+    let mut group = c.benchmark_group("engines");
+    group.sample_size(10);
+    for (name, aig) in &workloads {
+        group.bench_function(format!("bdiff/{name}"), |b| {
+            b.iter(|| boolean_difference_resub(aig, &BdiffOptions::default()))
+        });
+        group.bench_function(format!("mspf/{name}"), |b| {
+            b.iter(|| mspf_optimize(aig, &MspfOptions::default()))
+        });
+        group.bench_function(format!("hetero/{name}"), |b| {
+            b.iter(|| hetero_eliminate_kernel(aig, &HeteroOptions::default()))
+        });
+        group.bench_function(format!("gradient/{name}"), |b| {
+            let opts = GradientOptions {
+                budget: 30,
+                budget_extension: 0,
+                ..Default::default()
+            };
+            b.iter(|| gradient_optimize(aig, &opts))
+        });
+        group.bench_function(format!("resyn2rs/{name}"), |b| b.iter(|| resyn2rs(aig)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Ablation of the gradient engine (DESIGN.md E6): the paper's best
+//! parameters are budget = 100, k = 20, minimum gain gradient = 3%, with
+//! the waterfall selection model as "a good tradeoff between runtime and
+//! QoR" versus the parallel model (Section IV-A).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbm_core::gradient::{gradient_optimize, GradientOptions, Selection};
+use sbm_epfl::{generate, Scale};
+
+fn bench_selection_models(c: &mut Criterion) {
+    let aig = generate("router", Scale::Reduced).unwrap();
+    let mut group = c.benchmark_group("gradient_selection");
+    group.sample_size(10);
+    for (label, selection) in [
+        ("waterfall", Selection::Waterfall),
+        ("parallel", Selection::Parallel),
+    ] {
+        let opts = GradientOptions {
+            budget: 50,
+            budget_extension: 0,
+            selection,
+            ..Default::default()
+        };
+        let (out, stats) = gradient_optimize(&aig, &opts);
+        eprintln!(
+            "gradient {label}: {} -> {} nodes in {} iterations (spent {})",
+            aig.num_ands(),
+            out.num_ands(),
+            stats.iterations,
+            stats.spent
+        );
+        group.bench_function(label, |b| b.iter(|| gradient_optimize(&aig, &opts)));
+    }
+    group.finish();
+}
+
+fn bench_budgets(c: &mut Criterion) {
+    let aig = generate("priority", Scale::Reduced).unwrap();
+    let mut group = c.benchmark_group("gradient_budget");
+    group.sample_size(10);
+    for budget in [25u32, 50, 100] {
+        let opts = GradientOptions {
+            budget,
+            budget_extension: 0,
+            ..Default::default()
+        };
+        let (out, _) = gradient_optimize(&aig, &opts);
+        eprintln!(
+            "gradient budget {budget}: {} -> {} nodes",
+            aig.num_ands(),
+            out.num_ands()
+        );
+        group.bench_function(format!("budget_{budget}"), |b| {
+            b.iter(|| gradient_optimize(&aig, &opts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection_models, bench_budgets);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Ablation of heterogeneous vs homogeneous elimination (DESIGN.md E7):
+//! the paper's point is that sweeping the threshold ladder
+//! `(-1, 2, 5, 20, 50, 100, 200, 300)` per partition and keeping the best
+//! finds sharing a single network-wide threshold misses (Section IV-B).
+//! Also compares the sequential and parallel threshold evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbm_core::hetero::{hetero_eliminate_kernel, HeteroOptions, DEFAULT_THRESHOLDS};
+use sbm_epfl::{generate, Scale};
+
+fn bench_hetero_vs_homogeneous(c: &mut Criterion) {
+    let aig = generate("dec", Scale::Full).unwrap();
+    let mut group = c.benchmark_group("hetero_vs_homogeneous");
+    group.sample_size(10);
+
+    // Homogeneous: one threshold for the whole network.
+    for t in [-1i64, 50, 300] {
+        let opts = HeteroOptions {
+            thresholds: vec![t],
+            ..Default::default()
+        };
+        let (out, _) = hetero_eliminate_kernel(&aig, &opts);
+        eprintln!(
+            "homogeneous t={t}: {} -> {} nodes",
+            aig.num_ands(),
+            out.num_ands()
+        );
+        group.bench_function(format!("homogeneous_{t}"), |b| {
+            b.iter(|| hetero_eliminate_kernel(&aig, &opts))
+        });
+    }
+    // Heterogeneous: the full ladder, best per partition.
+    let opts = HeteroOptions::default();
+    let (out, stats) = hetero_eliminate_kernel(&aig, &opts);
+    eprintln!(
+        "heterogeneous ladder {:?}: {} -> {} nodes ({} partitions improved)",
+        DEFAULT_THRESHOLDS,
+        aig.num_ands(),
+        out.num_ands(),
+        stats.improved
+    );
+    group.bench_function("heterogeneous", |b| {
+        b.iter(|| hetero_eliminate_kernel(&aig, &opts))
+    });
+    group.finish();
+}
+
+fn bench_parallel_vs_sequential(c: &mut Criterion) {
+    let aig = generate("dec", Scale::Full).unwrap();
+    let mut group = c.benchmark_group("hetero_parallelism");
+    group.sample_size(10);
+    for (label, parallel) in [("parallel", true), ("sequential", false)] {
+        let opts = HeteroOptions {
+            parallel,
+            ..Default::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| hetero_eliminate_kernel(&aig, &opts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hetero_vs_homogeneous, bench_parallel_vs_sequential);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Regenerates **Table I** — "New Best Area Results For The EPFL Suite".
+//!
+//! For each benchmark the paper improved, this binary optimizes the
+//! generated circuit with (a) the `resyn2rs` baseline and (b) the SBM
+//! script, maps both onto LUT-6 (`if -K 6 -a` equivalent) and reports the
+//! LUT and level counts. The paper's claim being reproduced is the
+//! *shape*: the SBM flow's LUT-6 area beats (or ties) the baseline on
+//! these benchmarks.
+//!
+//! Usage: `table1 [--full]` (default: reduced-scale benchmarks).
+
+use sbm_core::script::{resyn2rs_fixpoint, sbm_script, SbmOptions};
+use sbm_epfl::{benchmark, Scale};
+use sbm_lutmap::{map_luts, MapOptions};
+
+/// The 12 benchmarks of Table I (`hypotenuse` is generated as `hyp`).
+const TABLE1: [&str; 12] = [
+    "arbiter", "div", "i2c", "log2", "max", "mem_ctrl", "mult", "priority", "sin", "hyp",
+    "sqrt", "square",
+];
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let scale = if full { Scale::Full } else { Scale::Reduced };
+    println!("Table I — New Best Area Results For The EPFL Suite (LUT-6)");
+    println!("scale: {scale:?}  (paper sizes with --full; see EXPERIMENTS.md)");
+    println!();
+    println!(
+        "{:<12} {:>9} | {:>9} {:>7} | {:>9} {:>7} | {:>8} {:>9}",
+        "benchmark", "I/O", "base LUT", "base lv", "SBM LUT", "SBM lv", "ΔLUT", "verify"
+    );
+    let map_opts = MapOptions::default();
+    for name in TABLE1 {
+        let bench = benchmark(name, scale).expect("known benchmark");
+        let aig = bench.aig;
+        let io = format!("{}/{}", aig.num_inputs(), aig.num_outputs());
+
+        let baseline = resyn2rs_fixpoint(&aig, 4);
+        let base_map = map_luts(&baseline, &map_opts);
+
+        let sbm = sbm_script(&aig, &SbmOptions::default());
+        let sbm_map = map_luts(&sbm, &map_opts);
+
+        let verdict = sbm_bench::verify_pair(&aig, &sbm, 4_000);
+        println!(
+            "{:<12} {:>9} | {:>9} {:>7} | {:>9} {:>7} | {:>8} {:>9}",
+            name,
+            io,
+            base_map.num_luts(),
+            base_map.depth(),
+            sbm_map.num_luts(),
+            sbm_map.depth(),
+            sbm_bench::pct(base_map.num_luts() as f64, sbm_map.num_luts() as f64),
+            verdict,
+        );
+    }
+    println!();
+    println!("paper reference (full scale): arbiter 365/117, div 3267/1211, i2c 207/15,");
+    println!("log2 6567/119, max 522/189, mem_ctrl 2086/23, mult 4920/93, priority 103/26,");
+    println!("sin 1227/55, hypotenuse 40377/4530, sqrt 3075/1106, square 3242/76");
+}

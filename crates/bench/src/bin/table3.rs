@@ -1,0 +1,59 @@
+//! Regenerates **Table III** — "Post Place&Route Results on 33 Industrial
+//! Designs".
+//!
+//! Runs the baseline flow and the SBM-enhanced flow on the 33 synthetic
+//! industrial-like designs (`sbm-asic`), measuring the same relative
+//! metrics the paper reports: combinational area, no-clock dynamic power,
+//! WNS, TNS and runtime, averaged w.r.t. baseline.
+//!
+//! Usage: `table3 [--designs N]` (default 33).
+
+use sbm_asic::designs::industrial_designs;
+use sbm_asic::flow::{compare_flows, summarize};
+
+fn main() {
+    let mut n = 33usize;
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--designs") {
+        if let Some(v) = args.get(pos + 1).and_then(|s| s.parse().ok()) {
+            n = v;
+        }
+    }
+    println!("Table III — Post-implementation results on {n} industrial-like designs");
+    println!();
+    println!(
+        "{:<10} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8}",
+        "design", "base area", "SBM area", "base pwr", "SBM pwr", "base TNS", "SBM TNS", "base s", "SBM s"
+    );
+    let designs = industrial_designs(n);
+    let rows: Vec<_> = designs
+        .iter()
+        .map(|d| {
+            let row = compare_flows(&d.name, &d.aig, 0.85);
+            println!(
+                "{:<10} {:>10.1} {:>10.1} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>8.2} {:>8.2}",
+                row.name,
+                row.baseline.area,
+                row.proposed.area,
+                row.baseline.dyn_power,
+                row.proposed.dyn_power,
+                row.baseline_timing.tns,
+                row.proposed_timing.tns,
+                row.baseline.runtime,
+                row.proposed.runtime,
+            );
+            row
+        })
+        .collect();
+
+    let s = summarize(&rows);
+    println!();
+    println!("Flow        Comb. Area   No-clk Dyn. Pow.   WNS        TNS       Runtime");
+    println!("Baseline    1            1                  1          1         1");
+    println!(
+        "Proposed    {:+.2}%       {:+.2}%             {:+.2}%     {:+.2}%    {:+.2}%",
+        s.area_pct, s.power_pct, s.wns_pct, s.tns_pct, s.runtime_pct
+    );
+    println!();
+    println!("paper reference: area -2.20%, power -1.15%, WNS -0.56%, TNS -5.99%, runtime +1.75%");
+}

@@ -1,0 +1,46 @@
+//! Shared helpers for the table-regeneration binaries and benches.
+//!
+//! Each binary regenerates one artifact of the paper's evaluation
+//! (Section V): `table1` (EPFL LUT-6 area), `table2` (smallest AIGs),
+//! `table3` (post-implementation flow comparison on 33 designs) and
+//! `fig1` (the Boolean-difference worked example). The criterion benches
+//! cover runtime behaviour and the ablations called out in `DESIGN.md`.
+
+use sbm_aig::Aig;
+use sbm_sat::equiv::{check_equivalence, EquivResult};
+
+/// Verifies optimization results the way the paper does ("verified with
+/// an industrial formal equivalence checking flow"): SAT miter with a
+/// budget, falling back to random simulation screening on big designs.
+pub fn verify_pair(original: &Aig, optimized: &Aig, sat_node_limit: usize) -> &'static str {
+    if original.num_ands().max(optimized.num_ands()) <= sat_node_limit {
+        match check_equivalence(original, optimized, Some(200_000)) {
+            EquivResult::Equivalent => "eq(SAT)",
+            EquivResult::Unknown => "eq(sim)", // budget out: fall back below
+            EquivResult::NotEquivalent(_) => "MISMATCH",
+        }
+    } else if sim_equal(original, optimized) {
+        "eq(sim)"
+    } else {
+        "MISMATCH"
+    }
+}
+
+/// Random-simulation equivalence screen (identical seeds ⇒ identical
+/// patterns).
+pub fn sim_equal(a: &Aig, b: &Aig) -> bool {
+    let sa = sbm_aig::sim::Signatures::random(a, 4, 0xFEED);
+    let sb = sbm_aig::sim::Signatures::random(b, 4, 0xFEED);
+    a.outputs()
+        .into_iter()
+        .zip(b.outputs())
+        .all(|(x, y)| (0..4).all(|w| sa.lit_word(x, w) == sb.lit_word(y, w)))
+}
+
+/// Formats a ratio as the paper's "-x.xx%" convention.
+pub fn pct(before: f64, after: f64) -> String {
+    if before == 0.0 {
+        return "n/a".to_string();
+    }
+    format!("{:+.2}%", (after - before) / before * 100.0)
+}

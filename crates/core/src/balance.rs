@@ -1,0 +1,145 @@
+//! AND-tree balancing.
+//!
+//! Rebuilds maximal single-fanout AND trees as depth-balanced trees
+//! (combining the two shallowest operands first, Huffman-style). Balancing
+//! is the `b` step of ABC's `resyn2rs` script, which this repository uses
+//! as the baseline optimizer; it reduces depth and often exposes sharing
+//! for the other moves.
+
+use std::collections::HashMap;
+
+use sbm_aig::{Aig, Lit, NodeId};
+
+/// Balances all AND trees of `aig`; returns a rebuilt network. The result
+/// is functionally equivalent and never deeper.
+pub fn balance(aig: &Aig) -> Aig {
+    let src = aig.cleanup();
+    let fanout_counts = src.fanout_counts();
+    let mut out = Aig::new();
+    let mut map: HashMap<NodeId, Lit> = HashMap::new();
+    map.insert(NodeId::CONST, Lit::FALSE);
+    for &input in src.inputs() {
+        let l = out.add_input();
+        map.insert(input, l);
+    }
+    // Levels of nodes in the NEW graph (upper bounds; strashing may reuse a
+    // shallower existing node, which only helps).
+    let mut levels_new: HashMap<NodeId, u32> = HashMap::new();
+    for id in src.topo_order() {
+        // Collect the maximal AND-tree leaves under `id`: follow
+        // uncomplemented edges into single-fanout AND nodes.
+        let mut leaves: Vec<Lit> = Vec::new();
+        collect_and_leaves(&src, id, &fanout_counts, &mut leaves);
+        // Translate to new literals with their levels.
+        let mut ops: Vec<(u32, Lit)> = leaves
+            .iter()
+            .map(|l| {
+                let nl = map[&l.node()].complement_if(l.is_complemented());
+                let lvl = levels_new.get(&nl.node()).copied().unwrap_or(0);
+                (lvl, nl)
+            })
+            .collect();
+        // Huffman-style combine: always AND the two shallowest operands.
+        ops.sort_by_key(|&(lvl, _)| std::cmp::Reverse(lvl));
+        while ops.len() > 1 {
+            let (la, a) = ops.pop().expect("len > 1");
+            let (lb, b) = ops.pop().expect("len > 1");
+            let combined = out.and(a, b);
+            let lvl = levels_new
+                .get(&combined.node())
+                .copied()
+                .unwrap_or(la.max(lb) + 1);
+            levels_new.entry(combined.node()).or_insert(lvl);
+            // Insert keeping descending order by level.
+            let pos = ops
+                .iter()
+                .position(|&(l, _)| l <= lvl)
+                .unwrap_or(ops.len());
+            ops.insert(pos, (lvl, combined));
+        }
+        let result = ops.pop().map(|(_, l)| l).unwrap_or(Lit::TRUE);
+        map.insert(id, result);
+    }
+    for l in src.outputs() {
+        let nl = map[&l.node()].complement_if(l.is_complemented());
+        out.add_output(nl);
+    }
+    out.cleanup()
+}
+
+/// Gathers the operand literals of the maximal AND tree rooted at `id`.
+fn collect_and_leaves(aig: &Aig, id: NodeId, fanout_counts: &[u32], leaves: &mut Vec<Lit>) {
+    let (a, b) = aig.fanins(id);
+    for lit in [a, b] {
+        let n = lit.node();
+        if !lit.is_complemented() && aig.is_and(n) && fanout_counts[n.index()] == 1 {
+            collect_and_leaves(aig, n, fanout_counts, leaves);
+        } else {
+            leaves.push(lit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbm_sat::equiv::{check_equivalence, EquivResult};
+
+    #[test]
+    fn balances_chain_to_log_depth() {
+        let mut aig = Aig::new();
+        let inputs: Vec<Lit> = (0..8).map(|_| aig.add_input()).collect();
+        let mut acc = inputs[0];
+        for &x in &inputs[1..] {
+            acc = aig.and(acc, x);
+        }
+        aig.add_output(acc);
+        assert_eq!(aig.depth(), 7);
+        let balanced = balance(&aig);
+        assert_eq!(balanced.depth(), 3);
+        assert_eq!(balanced.num_ands(), 7);
+        assert_eq!(
+            check_equivalence(&aig, &balanced, None),
+            EquivResult::Equivalent
+        );
+    }
+
+    #[test]
+    fn respects_shared_nodes() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let ab = aig.and(a, b);
+        let abc = aig.and(ab, c);
+        aig.add_output(abc);
+        aig.add_output(ab); // ab is shared: must stay a tree boundary
+        let balanced = balance(&aig);
+        assert_eq!(
+            check_equivalence(&aig, &balanced, None),
+            EquivResult::Equivalent
+        );
+        assert_eq!(balanced.num_ands(), 2);
+    }
+
+    #[test]
+    fn unbalanced_mixed_logic_preserved() {
+        let mut aig = Aig::new();
+        let inputs: Vec<Lit> = (0..6).map(|_| aig.add_input()).collect();
+        let mut acc = inputs[0];
+        for (i, &x) in inputs[1..].iter().enumerate() {
+            acc = if i % 2 == 0 {
+                aig.or(acc, x)
+            } else {
+                aig.and(acc, x)
+            };
+        }
+        aig.add_output(acc);
+        let balanced = balance(&aig);
+        assert!(balanced.depth() <= aig.depth());
+        assert_eq!(
+            check_equivalence(&aig, &balanced, None),
+            EquivResult::Equivalent
+        );
+    }
+}

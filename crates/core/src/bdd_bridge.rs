@@ -1,0 +1,147 @@
+//! Bridging windows of AIG logic into BDDs and back.
+//!
+//! The Boolean-difference and MSPF engines reason with BDDs built over the
+//! leaves of a window ("The BDDs for all nodes in the partition are
+//! precomputed and stored in the hashtable `all_bdds`", Alg. 1) and
+//! implement results back "as an AIG, obtained using structural hashing
+//! (strashing) on the corresponding BDD" (Section III-C).
+
+use std::collections::HashMap;
+
+use sbm_aig::window::Partition;
+use sbm_aig::{Aig, Lit, NodeId};
+use sbm_bdd::{Bdd, BddManager};
+
+/// Builds the BDDs of all nodes of `partition` as functions of its leaves
+/// (leaf `i` = BDD variable `i`).
+///
+/// A node whose BDD construction hits the manager's node limit gets `None`
+/// — the paper's "BDD of size 0 for the given node, which will be
+/// disregarded in the next steps of the algorithm".
+pub fn window_bdds(
+    aig: &Aig,
+    partition: &Partition,
+    mgr: &mut BddManager,
+) -> HashMap<NodeId, Option<Bdd>> {
+    let mut bdds: HashMap<NodeId, Option<Bdd>> = HashMap::new();
+    bdds.insert(NodeId::CONST, Some(Bdd::ZERO));
+    for (i, &leaf) in partition.leaves.iter().enumerate() {
+        let v = mgr.var(i);
+        bdds.insert(leaf, Some(v));
+    }
+    for &id in &partition.nodes {
+        let (a, b) = aig.fanins(id);
+        let fa = lit_bdd(mgr, &bdds, a);
+        let fb = lit_bdd(mgr, &bdds, b);
+        let result = match (fa, fb) {
+            (Some(x), Some(y)) => mgr.and(x, y).ok(),
+            _ => None,
+        };
+        bdds.insert(id, result);
+    }
+    bdds
+}
+
+/// The BDD of an AIG literal given node BDDs; `None` propagates bailouts.
+pub fn lit_bdd(
+    mgr: &mut BddManager,
+    bdds: &HashMap<NodeId, Option<Bdd>>,
+    lit: Lit,
+) -> Option<Bdd> {
+    let base = (*bdds.get(&lit.node())?)?;
+    if lit.is_complemented() {
+        mgr.not(base).ok()
+    } else {
+        Some(base)
+    }
+}
+
+/// Strashes a BDD into the AIG as a multiplexer tree over the window's leaf
+/// literals (`leaf_lits[i]` implements BDD variable `i`). Shared BDD nodes
+/// become shared AIG nodes.
+///
+/// # Panics
+///
+/// Panics if the BDD mentions a variable with no corresponding leaf
+/// literal.
+pub fn bdd_to_aig(aig: &mut Aig, mgr: &BddManager, f: Bdd, leaf_lits: &[Lit]) -> Lit {
+    let mut map: HashMap<Bdd, Lit> = HashMap::new();
+    map.insert(Bdd::ZERO, Lit::FALSE);
+    map.insert(Bdd::ONE, Lit::TRUE);
+    mgr.walk_postorder(f, |node, var, lo, hi| {
+        let sel = leaf_lits[var];
+        let l = map[&lo];
+        let h = map[&hi];
+        let lit = aig.mux(sel, h, l);
+        map.insert(node, lit);
+    });
+    map[&f]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbm_aig::window::{partition, PartitionOptions};
+
+    #[test]
+    fn window_bdds_match_eval() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let m = aig.maj3(a, b, c);
+        aig.add_output(m);
+        let parts = partition(&aig, &PartitionOptions::default());
+        assert_eq!(parts.len(), 1);
+        let p = &parts[0];
+        let mut mgr = BddManager::new(p.leaves.len());
+        let bdds = window_bdds(&aig, p, &mut mgr);
+        let bm = bdds[&m.node()].expect("no bailout expected");
+        assert_eq!(mgr.sat_count(bm), 4);
+    }
+
+    #[test]
+    fn bailout_marks_node_none() {
+        let mut aig = Aig::new();
+        let inputs: Vec<_> = (0..12).map(|_| aig.add_input()).collect();
+        let f = aig.xor_many(&inputs);
+        aig.add_output(f);
+        let parts = partition(
+            &aig,
+            &PartitionOptions {
+                max_nodes: 1000,
+                max_inputs: 14,
+                max_levels: 30,
+            },
+        );
+        let p = &parts[0];
+        let mut mgr = BddManager::with_node_limit(p.leaves.len(), 4);
+        let bdds = window_bdds(&aig, p, &mut mgr);
+        assert!(bdds.values().any(|b| b.is_none()), "tiny limit must bail");
+    }
+
+    #[test]
+    fn bdd_round_trips_through_aig() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let f = aig.mux(a, b, c);
+        aig.add_output(f);
+        let parts = partition(&aig, &PartitionOptions::default());
+        let p = &parts[0];
+        let mut mgr = BddManager::new(p.leaves.len());
+        let bdds = window_bdds(&aig, p, &mut mgr);
+        // The output literal may be complemented: take the literal's BDD.
+        let bf = lit_bdd(&mut mgr, &bdds, f).unwrap();
+        let leaf_lits: Vec<Lit> = p.leaves.iter().map(|&n| Lit::new(n, false)).collect();
+        let rebuilt = bdd_to_aig(&mut aig, &mgr, bf, &leaf_lits);
+        aig.add_output(rebuilt);
+        // Both outputs must agree everywhere.
+        for m in 0..8 {
+            let assignment = [(m & 1) == 1, (m >> 1) & 1 == 1, (m >> 2) & 1 == 1];
+            let out = aig.eval(&assignment);
+            assert_eq!(out[0], out[1], "pattern {m}");
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! Gradient-based AIG optimization (paper Section IV-A).
+//!
+//! Instead of a fixed script, the engine *learns* which moves pay off on
+//! the current design: moves have costs, cheap moves are tried first, the
+//! engine "records the gain of the best one" and prioritizes "moves with
+//! high success likelihood on the current design … in the next
+//! iterations". A cost budget bounds the total work; the budget is
+//! auto-extended while the gain gradient over the last `k` iterations
+//! exceeds a threshold, and the engine "terminates early if the gain
+//! gradient is 0 over the last k iterations".
+
+use sbm_aig::Aig;
+
+use crate::balance::balance;
+use crate::bdiff::{boolean_difference_resub, BdiffOptions};
+use crate::hetero::{hetero_eliminate_kernel, HeteroOptions};
+use crate::mspf::{mspf_optimize, MspfOptions};
+use crate::refactor::{refactor, RefactorOptions};
+use crate::resub::{resub, ResubOptions};
+use crate::rewrite::{rewrite, RewriteOptions};
+
+/// The move set of the gradient engine (paper: "rewriting, refactoring,
+/// resub, mspf resub and eliminate, simplify & kerneling"; all but
+/// rewriting come in low- and high-effort variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Move {
+    /// Cut-based rewriting.
+    Rewrite,
+    /// Cone collapsing + refactoring (low/high effort).
+    Refactor { high_effort: bool },
+    /// Windowed resubstitution (low/high effort).
+    Resub { high_effort: bool },
+    /// MSPF-based resubstitution with BDDs (low/high effort).
+    MspfResub { high_effort: bool },
+    /// Eliminate, simplify & kerneling (low/high effort).
+    EliminateKernel { high_effort: bool },
+    /// Boolean-difference resubstitution.
+    BooleanDifference,
+    /// AND-tree balancing (zero-cost housekeeping move).
+    Balance,
+}
+
+impl Move {
+    /// The runtime-complexity cost of the move (unit-cost moves are tried
+    /// first; higher-cost moves enter once cheap moves hit a local
+    /// minimum).
+    pub fn cost(self) -> u32 {
+        match self {
+            Move::Balance => 1,
+            Move::Rewrite => 1,
+            Move::Resub { high_effort: false } => 1,
+            Move::Refactor { high_effort: false } => 2,
+            Move::Resub { high_effort: true } => 2,
+            Move::EliminateKernel { high_effort: false } => 3,
+            Move::Refactor { high_effort: true } => 3,
+            Move::MspfResub { high_effort: false } => 4,
+            Move::EliminateKernel { high_effort: true } => 5,
+            Move::MspfResub { high_effort: true } => 6,
+            Move::BooleanDifference => 6,
+        }
+    }
+
+    /// Applies the move, returning the optimized network.
+    pub fn apply(self, aig: &Aig) -> Aig {
+        match self {
+            Move::Balance => balance(aig),
+            Move::Rewrite => rewrite(aig, &RewriteOptions::default()).0,
+            Move::Refactor { high_effort } => {
+                let opts = RefactorOptions {
+                    max_support: if high_effort { 14 } else { 10 },
+                    min_mffc: if high_effort { 2 } else { 4 },
+                    ..Default::default()
+                };
+                refactor(aig, &opts).0
+            }
+            Move::Resub { high_effort } => {
+                let opts = ResubOptions {
+                    max_divisors: if high_effort { 48 } else { 16 },
+                    try_pairs: high_effort,
+                    ..Default::default()
+                };
+                resub(aig, &opts).0
+            }
+            Move::MspfResub { high_effort } => {
+                let mut opts = MspfOptions::default();
+                if !high_effort {
+                    opts.partition.max_nodes = 120;
+                    opts.partition.max_inputs = 10;
+                    opts.max_candidates = 16;
+                }
+                mspf_optimize(aig, &opts).0
+            }
+            Move::EliminateKernel { high_effort } => {
+                let mut opts = HeteroOptions::default();
+                if !high_effort {
+                    opts.thresholds = vec![-1, 5, 50];
+                    opts.extract_rounds = 8;
+                }
+                hetero_eliminate_kernel(aig, &opts).0
+            }
+            Move::BooleanDifference => {
+                boolean_difference_resub(aig, &BdiffOptions::default()).0
+            }
+        }
+    }
+}
+
+/// All moves, cheapest first.
+pub fn all_moves() -> Vec<Move> {
+    let mut moves = vec![
+        Move::Balance,
+        Move::Rewrite,
+        Move::Resub { high_effort: false },
+        Move::Refactor { high_effort: false },
+        Move::Resub { high_effort: true },
+        Move::EliminateKernel { high_effort: false },
+        Move::Refactor { high_effort: true },
+        Move::MspfResub { high_effort: false },
+        Move::EliminateKernel { high_effort: true },
+        Move::MspfResub { high_effort: true },
+        Move::BooleanDifference,
+    ];
+    moves.sort_by_key(|m| m.cost());
+    moves
+}
+
+/// Best-result selection policy (paper Section IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Selection {
+    /// Try moves in priority order, keep the first that gains — "the first
+    /// successful move is picked, and all other moves are not tried". The
+    /// paper's chosen runtime/QoR tradeoff.
+    Waterfall,
+    /// Try every affordable move and keep the best gain.
+    Parallel,
+}
+
+/// Options for the gradient engine.
+#[derive(Debug, Clone)]
+pub struct GradientOptions {
+    /// Total move-cost budget (paper's best value: 100).
+    pub budget: u32,
+    /// Gradient window: the last `k` iterations (paper: 20).
+    pub k: u32,
+    /// Minimum gain gradient (fraction of network size gained over the
+    /// last `k` iterations) for the budget to auto-extend (paper: 3%).
+    pub min_gain_gradient: f64,
+    /// Extra budget granted when the gradient stays above the threshold.
+    pub budget_extension: u32,
+    /// Move selection policy.
+    pub selection: Selection,
+}
+
+impl Default for GradientOptions {
+    fn default() -> Self {
+        GradientOptions {
+            budget: 100,
+            k: 20,
+            min_gain_gradient: 0.03,
+            budget_extension: 50,
+            selection: Selection::Waterfall,
+        }
+    }
+}
+
+/// Per-move success statistics recorded during optimization.
+#[derive(Debug, Clone, Default)]
+pub struct MoveRecord {
+    /// Times the move was tried.
+    pub tried: u64,
+    /// Times it produced gain > 0.
+    pub succeeded: u64,
+    /// Total nodes gained.
+    pub total_gain: u64,
+}
+
+/// Statistics of a gradient-engine run.
+#[derive(Debug, Clone, Default)]
+pub struct GradientStats {
+    /// Iterations executed.
+    pub iterations: u32,
+    /// Budget actually spent.
+    pub spent: u32,
+    /// Budget extensions granted.
+    pub extensions: u32,
+    /// Per-move records, in `all_moves()` order.
+    pub records: Vec<(Move, MoveRecord)>,
+    /// Whether the run terminated early on a flat gradient.
+    pub early_termination: bool,
+}
+
+/// Runs the gradient-based AIG optimization engine.
+///
+/// Moves are prioritized by `(success score, cost)`: the engine starts
+/// with unit-cost moves and introduces higher-cost moves as the cheap ones
+/// stop gaining; recorded successes raise a move's priority for subsequent
+/// iterations. All moves have gain ≥ 0 by construction (each move returns
+/// its input when it cannot improve it).
+pub fn gradient_optimize(aig: &Aig, options: &GradientOptions) -> (Aig, GradientStats) {
+    let mut current = aig.cleanup();
+    let mut stats = GradientStats {
+        records: all_moves().into_iter().map(|m| (m, MoveRecord::default())).collect(),
+        ..Default::default()
+    };
+    let mut budget = options.budget;
+    let mut spent = 0u32;
+    let mut recent_gains: Vec<usize> = Vec::new();
+    // The cost tier currently unlocked: cheap moves first (paper: "the
+    // optimization engine starts by trying unit cost moves").
+    let mut unlocked_cost = 1u32;
+
+    while spent < budget {
+        stats.iterations += 1;
+        let size_before = current.num_ands();
+        if size_before == 0 {
+            break;
+        }
+        // Order affordable moves by success score (desc), then cost (asc).
+        let mut candidates: Vec<Move> = all_moves()
+            .into_iter()
+            .filter(|m| m.cost() <= unlocked_cost)
+            .collect();
+        let score = |m: &Move, records: &[(Move, MoveRecord)]| -> f64 {
+            let rec = &records.iter().find(|(mm, _)| mm == m).expect("known move").1;
+            if rec.tried == 0 {
+                0.5 // unexplored moves get a neutral prior
+            } else {
+                rec.succeeded as f64 / rec.tried as f64
+            }
+        };
+        candidates.sort_by(|a, b| {
+            score(b, &stats.records)
+                .total_cmp(&score(a, &stats.records))
+                .then(a.cost().cmp(&b.cost()))
+        });
+
+        let mut best: Option<(Move, Aig, usize)> = None;
+        for mv in candidates {
+            if spent + mv.cost() > budget {
+                continue;
+            }
+            let result = mv.apply(&current);
+            spent += mv.cost();
+            let gain = size_before.saturating_sub(result.num_ands());
+            let rec = &mut stats
+                .records
+                .iter_mut()
+                .find(|(mm, _)| *mm == mv)
+                .expect("known move")
+                .1;
+            rec.tried += 1;
+            if gain > 0 {
+                rec.succeeded += 1;
+                rec.total_gain += gain as u64;
+            }
+            let improves = best.as_ref().map_or(gain > 0, |&(_, _, g)| gain > g);
+            if improves {
+                best = Some((mv, result, gain));
+                if options.selection == Selection::Waterfall {
+                    break; // first successful move wins
+                }
+            }
+            if spent >= budget {
+                break;
+            }
+        }
+
+        let gain = match best {
+            Some((_, result, gain)) => {
+                current = result;
+                gain
+            }
+            None => 0,
+        };
+        recent_gains.push(gain);
+        if gain == 0 {
+            // Local minimum for the unlocked tier: introduce higher-cost
+            // moves, or stop if everything is unlocked and flat.
+            let max_cost = all_moves().iter().map(|m| m.cost()).max().unwrap_or(1);
+            if unlocked_cost < max_cost {
+                unlocked_cost += 1;
+                continue;
+            }
+        }
+        // Gain gradient over the last k iterations.
+        if recent_gains.len() >= options.k as usize {
+            let window: usize = recent_gains
+                .iter()
+                .rev()
+                .take(options.k as usize)
+                .sum();
+            let gradient = window as f64 / current.num_ands().max(1) as f64;
+            if window == 0 {
+                stats.early_termination = true;
+                break;
+            }
+            if gradient >= options.min_gain_gradient && spent >= budget {
+                budget += options.budget_extension;
+                stats.extensions += 1;
+            }
+        }
+    }
+    stats.spent = spent;
+    (current.cleanup(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbm_sat::equiv::{check_equivalence, EquivResult};
+
+    fn messy_aig() -> Aig {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let d = aig.add_input();
+        // Redundant, unbalanced, shareable logic.
+        let t1 = aig.and(a, b);
+        let t2 = aig.and(a, !b);
+        let redundant = aig.or(t1, t2); // == a
+        let chain1 = aig.and(redundant, c);
+        let chain2 = aig.and(chain1, d);
+        let dup1 = aig.and(a, c);
+        let dup2 = aig.and(dup1, d); // == chain2
+        let f = aig.or(chain2, dup2);
+        aig.add_output(f);
+        aig
+    }
+
+    #[test]
+    fn optimizes_messy_network() {
+        let aig = messy_aig();
+        let (optimized, stats) = gradient_optimize(&aig, &GradientOptions::default());
+        assert!(
+            optimized.num_ands() < aig.num_ands(),
+            "{} -> {} ({stats:?})",
+            aig.num_ands(),
+            optimized.num_ands()
+        );
+        assert_eq!(
+            check_equivalence(&aig, &optimized, None),
+            EquivResult::Equivalent
+        );
+        // The messy network reduces to a & c & d = 2 AND nodes.
+        assert_eq!(optimized.num_ands(), 2);
+    }
+
+    #[test]
+    fn gain_is_never_negative() {
+        let aig = messy_aig();
+        let (optimized, _) = gradient_optimize(&aig, &GradientOptions::default());
+        assert!(optimized.num_ands() <= aig.num_ands());
+    }
+
+    #[test]
+    fn respects_budget() {
+        let aig = messy_aig();
+        let opts = GradientOptions {
+            budget: 3,
+            budget_extension: 0,
+            ..Default::default()
+        };
+        let (_, stats) = gradient_optimize(&aig, &opts);
+        assert!(stats.spent <= 3);
+    }
+
+    #[test]
+    fn parallel_selection_no_worse_than_waterfall() {
+        let aig = messy_aig();
+        let (wf, _) = gradient_optimize(&aig, &GradientOptions::default());
+        let (par, _) = gradient_optimize(
+            &aig,
+            &GradientOptions {
+                selection: Selection::Parallel,
+                ..Default::default()
+            },
+        );
+        assert!(par.num_ands() <= wf.num_ands());
+    }
+
+    #[test]
+    fn early_termination_on_flat_gradient() {
+        // An already-optimal network: the engine must terminate without
+        // burning the whole budget on a flat gradient.
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let f = aig.and(a, b);
+        aig.add_output(f);
+        let opts = GradientOptions {
+            budget: 10_000,
+            k: 5,
+            ..Default::default()
+        };
+        let (optimized, stats) = gradient_optimize(&aig, &opts);
+        assert_eq!(optimized.num_ands(), 1);
+        assert!(stats.spent < 10_000, "engine must not burn the budget");
+    }
+}

@@ -1,0 +1,53 @@
+//! # The Scalable Boolean Method (SBM) framework
+//!
+//! This crate implements the four optimization engines of *“Scalable
+//! Boolean Methods in a Modern Synthesis Flow”* (Testa et al., DATE 2019),
+//! plus the state-of-the-art baseline transformations the paper composes
+//! them with:
+//!
+//! | Engine | Module | Paper section |
+//! |---|---|---|
+//! | Boolean-difference resubstitution | [`bdiff`] | III |
+//! | Gradient-based AIG optimization | [`gradient`] | IV-A |
+//! | Heterogeneous elimination for kerneling | [`hetero`] | IV-B |
+//! | MSPF computation with BDDs | [`mspf`] | IV-C |
+//!
+//! Baseline moves (used inside the gradient engine and the `resyn2rs`-style
+//! reference script): [`rewrite`], [`refactor`], [`resub`], [`balance`],
+//! plus SAT sweeping and redundancy removal from [`sbm_sat`].
+//!
+//! The top-level entry points live in [`script`]: [`script::resyn2rs`]
+//! (the ABC-style baseline the paper compares against) and
+//! [`script::sbm_script`] (the paper's Boolean resynthesis flow,
+//! Section V-A).
+//!
+//! # Example
+//!
+//! ```
+//! use sbm_aig::Aig;
+//! use sbm_core::script::{sbm_script, SbmOptions};
+//!
+//! let mut aig = Aig::new();
+//! let a = aig.add_input();
+//! let b = aig.add_input();
+//! let c = aig.add_input();
+//! // Redundant structure: (a & b) | (a & b & c) == a & b.
+//! let ab = aig.and(a, b);
+//! let abc = aig.and(ab, c);
+//! let f = aig.or(ab, abc);
+//! aig.add_output(f);
+//! let optimized = sbm_script(&aig, &SbmOptions::default());
+//! assert!(optimized.num_ands() <= aig.num_ands());
+//! ```
+
+pub mod balance;
+pub mod bdd_bridge;
+pub mod bdiff;
+pub mod gradient;
+pub mod hetero;
+pub mod mspf;
+pub mod refactor;
+pub mod resub;
+pub mod rewrite;
+pub mod script;
+pub mod verify;

@@ -1,0 +1,330 @@
+//! MSPF computation with BDDs (paper Section IV-C).
+//!
+//! The Maximum Set of Permissible Functions of a node is the set of
+//! functions it can be changed to without altering any primary output — the
+//! most powerful don't-care interpretation for synthesis (Muroga's
+//! transduction \[4\]). Following the paper, MSPF is computed per window
+//! with BDDs via cofactoring:
+//!
+//! ```text
+//! mspf(node) = ⋀_po ( ¬(f0(po) ⊕ f1(po)) ∨ dc(po) )
+//! ```
+//!
+//! where `f0`/`f1` are the window-output cofactors with respect to the
+//! node. A candidate replacement `new` is *connectable* iff
+//! `bdd(new) ∧ ¬mspf = bdd(old) ∧ ¬mspf` — thanks to BDD strong
+//! canonicity this is a cheap canonical-node comparison, which is what lets
+//! the engine "look not just for one but for many connectable fanins"
+//! (Section IV-C).
+
+use std::collections::HashMap;
+
+use sbm_aig::mffc::mffc_size;
+use sbm_aig::window::{partition, Partition, PartitionOptions};
+use sbm_aig::{Aig, Lit, NodeId};
+use sbm_bdd::{Bdd, BddError, BddManager};
+
+use crate::bdd_bridge::window_bdds;
+
+/// Options for MSPF optimization.
+#[derive(Debug, Clone, Copy)]
+pub struct MspfOptions {
+    /// Window limits — the paper uses "partitions of medium size" for this
+    /// engine.
+    pub partition: PartitionOptions,
+    /// BDD manager node limit (memory bailout).
+    pub bdd_node_limit: usize,
+    /// Maximum replacement candidates tried per node.
+    pub max_candidates: usize,
+}
+
+impl Default for MspfOptions {
+    fn default() -> Self {
+        MspfOptions {
+            partition: PartitionOptions {
+                max_nodes: 400,
+                max_inputs: 12,
+                max_levels: 16,
+            },
+            bdd_node_limit: 50_000,
+            max_candidates: 32,
+        }
+    }
+}
+
+/// Statistics of an MSPF pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MspfStats {
+    /// Nodes whose MSPF was computed.
+    pub mspf_computed: usize,
+    /// Nodes replaced by a permissible existing signal.
+    pub replaced: usize,
+    /// Nodes proven constant under observability don't-cares.
+    pub constants: usize,
+    /// BDD bailouts.
+    pub bailouts: usize,
+}
+
+/// Computes the MSPF of `node` inside the window: the leaf-minterm set on
+/// which the node's value is not observable at any window root.
+///
+/// `node_var_bdds` must contain the window BDDs rebuilt with `node` treated
+/// as a free variable (`x_node` = the last manager variable).
+fn mspf_of_node(
+    mgr: &mut BddManager,
+    roots_with_var: &[Bdd],
+    x_node: usize,
+) -> Result<Bdd, BddError> {
+    // mspf = ⋀_roots ¬(f0 ⊕ f1)
+    let mut mspf = Bdd::ONE;
+    for &root in roots_with_var {
+        let f0 = mgr.cofactor(root, x_node, false)?;
+        let f1 = mgr.cofactor(root, x_node, true)?;
+        let diff = mgr.xor(f0, f1)?;
+        let stable = mgr.not(diff)?;
+        mspf = mgr.and(mspf, stable)?;
+        if mspf == Bdd::ZERO {
+            break; // paper: stop as soon as no permissible flexibility
+        }
+    }
+    Ok(mspf)
+}
+
+/// Rebuilds the window's root BDDs with `target` replaced by a fresh
+/// variable (index `leaves.len()`), so that cofactoring w.r.t. that
+/// variable yields the observability cofactors.
+fn roots_with_node_var(
+    aig: &Aig,
+    part: &Partition,
+    target: NodeId,
+    mgr: &mut BddManager,
+) -> Option<Vec<Bdd>> {
+    let x = mgr.var(part.leaves.len());
+    let mut bdds: HashMap<NodeId, Bdd> = HashMap::new();
+    bdds.insert(NodeId::CONST, Bdd::ZERO);
+    for (i, &leaf) in part.leaves.iter().enumerate() {
+        let v = mgr.var(i);
+        bdds.insert(leaf, v);
+    }
+    bdds.insert(target, x);
+    for &id in &part.nodes {
+        if id == target || aig.is_replaced(id) {
+            continue;
+        }
+        let (a, b) = aig.fanins(id);
+        // Earlier replacements in this pass can redirect a fanin outside
+        // the (pre-pass) window: the window is stale, give up on it.
+        let get = |l: Lit, bdds: &HashMap<NodeId, Bdd>, mgr: &mut BddManager| -> Option<Bdd> {
+            let base = *bdds.get(&l.node())?;
+            if l.is_complemented() {
+                mgr.not(base).ok()
+            } else {
+                Some(base)
+            }
+        };
+        let fa = get(a, &bdds, mgr)?;
+        let fb = get(b, &bdds, mgr)?;
+        let f = mgr.and(fa, fb).ok()?;
+        bdds.insert(id, f);
+    }
+    part.roots
+        .iter()
+        .map(|r| bdds.get(r).copied())
+        .collect()
+}
+
+/// Runs one MSPF optimization pass: per window, computes each member's
+/// MSPF and tries to replace it with a connectable existing signal
+/// (constant, leaf or member) — keeping replacements that free logic.
+/// Never returns a larger network.
+pub fn mspf_optimize(aig: &Aig, options: &MspfOptions) -> (Aig, MspfStats) {
+    let mut work = aig.cleanup();
+    let mut stats = MspfStats::default();
+    let parts = partition(&work, &options.partition);
+    let mut fanout_counts = work.fanout_counts();
+    for part in &parts {
+        if part.leaves.is_empty() || part.leaves.len() + 1 > sbm_tt::MAX_VARS {
+            continue;
+        }
+        // Sort members by estimated saving (MFFC, descending) — the
+        // paper's "further sorted w.r.t. an estimated saving metric".
+        let mut members: Vec<NodeId> = part.nodes.clone();
+        members.sort_by_key(|&n| std::cmp::Reverse(mffc_size(&work, n, &fanout_counts)));
+
+        // Plain window BDDs for candidate comparison. MSPF replacements
+        // preserve the window *roots* but may change internal member
+        // functions, so this map is rebuilt after every accepted
+        // replacement.
+        let mut mgr = BddManager::with_node_limit(part.leaves.len() + 1, options.bdd_node_limit);
+        let mut bdds = window_bdds(&work, part, &mut mgr);
+
+        for &f in &members {
+            if work.is_replaced(f) || fanout_counts.get(f.index()).is_none_or(|&c| c == 0) {
+                continue;
+            }
+            let saving = mffc_size(&work, f, &fanout_counts);
+            if saving == 0 {
+                continue;
+            }
+            let Some(bf) = bdds.get(&f).copied().flatten() else {
+                stats.bailouts += 1;
+                continue;
+            };
+            // Root functions with f as a free variable, in a fresh manager
+            // (freed after this node — the paper's memory strategy).
+            let mut var_mgr =
+                BddManager::with_node_limit(part.leaves.len() + 1, options.bdd_node_limit);
+            let Some(roots) = roots_with_node_var(&work, part, f, &mut var_mgr) else {
+                stats.bailouts += 1;
+                continue;
+            };
+            let mspf = match mspf_of_node(&mut var_mgr, &roots, part.leaves.len()) {
+                Ok(m) => m,
+                Err(_) => {
+                    stats.bailouts += 1;
+                    continue;
+                }
+            };
+            stats.mspf_computed += 1;
+            if mspf == Bdd::ZERO {
+                continue; // no flexibility at all
+            }
+            // Import the MSPF into the main manager (it is a function of
+            // the leaves only — x_node was cofactored away).
+            let mspf_tt = var_mgr.to_truth_table(mspf);
+            let Ok(mspf_main) = mgr.from_truth_table(&mspf_tt) else {
+                stats.bailouts += 1;
+                continue;
+            };
+            let Ok(care) = mgr.not(mspf_main) else {
+                stats.bailouts += 1;
+                continue;
+            };
+            // Connectability: bdd(new) ∧ care == bdd(f) ∧ care.
+            let Ok(f_care) = mgr.and(bf, care) else {
+                stats.bailouts += 1;
+                continue;
+            };
+            let mut candidates: Vec<Lit> = vec![Lit::FALSE, Lit::TRUE];
+            candidates.extend(
+                part.leaves
+                    .iter()
+                    .chain(part.nodes.iter())
+                    .filter(|&&n| n != f)
+                    .flat_map(|&n| [Lit::new(n, false), Lit::new(n, true)]),
+            );
+            let mut replaced = false;
+            for cand in candidates.into_iter().take(options.max_candidates * 2) {
+                if work.is_replaced(cand.node()) && !cand.is_const() {
+                    continue;
+                }
+                let base = match cand {
+                    l if l == Lit::FALSE => Some(Bdd::ZERO),
+                    l if l == Lit::TRUE => Some(Bdd::ONE),
+                    l => {
+                        let b = bdds.get(&l.node()).copied().flatten();
+                        match (b, l.is_complemented()) {
+                            (Some(b), false) => Some(b),
+                            (Some(b), true) => mgr.not(b).ok(),
+                            (None, _) => None,
+                        }
+                    }
+                };
+                let Some(bc) = base else { continue };
+                if bc == bf {
+                    continue; // same function; nothing to gain here
+                }
+                let Ok(c_care) = mgr.and(bc, care) else { break };
+                // Strong canonicity: connectable iff same canonical node.
+                if c_care == f_care && work.replace(f, cand).is_ok() {
+                    stats.replaced += 1;
+                    if cand.is_const() {
+                        stats.constants += 1;
+                    }
+                    fanout_counts = work.fanout_counts();
+                    replaced = true;
+                    break;
+                }
+            }
+            if replaced {
+                // The replacement preserves the window roots but may change
+                // internal member functions: rebuild the comparison BDDs.
+                mgr = BddManager::with_node_limit(
+                    part.leaves.len() + 1,
+                    options.bdd_node_limit,
+                );
+                bdds = window_bdds(&work, part, &mut mgr);
+            }
+        }
+    }
+    let result = work.cleanup();
+    if result.num_ands() <= aig.num_ands() {
+        (result, stats)
+    } else {
+        (aig.cleanup(), MspfStats::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbm_sat::equiv::{check_equivalence, EquivResult};
+
+    #[test]
+    fn observability_dont_cares_simplify() {
+        // g = (a ⊕ b) & a: under the & a context, (a ⊕ b) only matters
+        // when a = 1, where a ⊕ b = !b — so g == a & !b and the XOR's
+        // 3 nodes collapse.
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let x = aig.xor(a, b);
+        let g = aig.and(x, a);
+        aig.add_output(g);
+        let before = aig.num_ands();
+        let (optimized, stats) = mspf_optimize(&aig, &MspfOptions::default());
+        assert_eq!(
+            check_equivalence(&aig, &optimized, None),
+            EquivResult::Equivalent
+        );
+        assert!(
+            optimized.num_ands() < before,
+            "{before} -> {} ({stats:?})",
+            optimized.num_ands()
+        );
+    }
+
+    #[test]
+    fn no_flexibility_no_change() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let f = aig.and(a, b);
+        aig.add_output(f);
+        let (optimized, _) = mspf_optimize(&aig, &MspfOptions::default());
+        assert_eq!(optimized.num_ands(), 1);
+        assert_eq!(
+            check_equivalence(&aig, &optimized, None),
+            EquivResult::Equivalent
+        );
+    }
+
+    #[test]
+    fn preserves_function_on_multi_output_windows() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let x = aig.xor(a, b);
+        let f = aig.and(x, c);
+        let g = aig.or(x, c);
+        aig.add_output(f);
+        aig.add_output(g);
+        let (optimized, _) = mspf_optimize(&aig, &MspfOptions::default());
+        assert_eq!(
+            check_equivalence(&aig, &optimized, None),
+            EquivResult::Equivalent
+        );
+        assert!(optimized.num_ands() <= aig.num_ands());
+    }
+}

@@ -1,0 +1,282 @@
+//! Cut-based DAG-aware rewriting.
+//!
+//! The `rewrite` move of the gradient engine (Section IV-A), in the spirit
+//! of Mishchenko et al. \[12\]: enumerate small cuts, resynthesize each
+//! cut's function from scratch (ISOP + algebraic factoring, both
+//! polarities), and accept the replacement when it reduces the node count,
+//! taking structural sharing with the existing network into account.
+
+use std::collections::{HashMap, HashSet};
+
+use sbm_aig::cut::{enumerate_cuts, CutOptions};
+use sbm_aig::sim::{lit_truth_table, window_truth_tables};
+use sbm_aig::{Aig, Lit, NodeId};
+use sbm_sop::factor::{factor, Factored};
+use sbm_sop::isop::isop_exact;
+use sbm_tt::TruthTable;
+
+/// Options for rewriting.
+#[derive(Debug, Clone, Copy)]
+pub struct RewriteOptions {
+    /// Cut size (4 mirrors classic AIG rewriting).
+    pub k: usize,
+    /// Priority cuts per node.
+    pub max_cuts: usize,
+    /// Accept zero-gain replacements (reshapes the network; the paper's
+    /// Alg. 2 uses the same trick to escape local minima).
+    pub allow_zero_gain: bool,
+}
+
+impl Default for RewriteOptions {
+    fn default() -> Self {
+        RewriteOptions {
+            k: 4,
+            max_cuts: 8,
+            allow_zero_gain: false,
+        }
+    }
+}
+
+/// Statistics of a rewriting pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RewriteStats {
+    /// Nodes rewritten.
+    pub rewritten: usize,
+    /// Cuts evaluated.
+    pub cuts_tried: usize,
+}
+
+/// Counts the nodes that would be freed by disconnecting `root` from its
+/// cut: members of `cone(root, leaves)` whose every fanout is inside the
+/// freed set (a cut-local MFFC).
+pub(crate) fn cut_mffc(
+    aig: &Aig,
+    root: NodeId,
+    leaves: &[NodeId],
+    fanout_counts: &[u32],
+) -> usize {
+    cut_mffc_set(aig, root, leaves, fanout_counts).len()
+}
+
+/// The freed set itself (see [`cut_mffc`]); `root` included.
+pub(crate) fn cut_mffc_set(
+    aig: &Aig,
+    root: NodeId,
+    leaves: &[NodeId],
+    fanout_counts: &[u32],
+) -> HashSet<NodeId> {
+    let cone: HashSet<NodeId> = aig.cone(&[root], leaves).into_iter().collect();
+    let mut remaining: HashMap<NodeId, u32> = HashMap::new();
+    let mut stack = vec![root];
+    let mut visited: HashSet<NodeId> = HashSet::new();
+    while let Some(id) = stack.pop() {
+        if !visited.insert(id) {
+            continue;
+        }
+        let (a, b) = aig.fanins(id);
+        for fanin in [a.node(), b.node()] {
+            if !cone.contains(&fanin) {
+                continue;
+            }
+            let left = remaining
+                .entry(fanin)
+                .or_insert_with(|| fanout_counts[fanin.index()]);
+            *left = left.saturating_sub(1);
+            if *left == 0 {
+                stack.push(fanin);
+            }
+        }
+    }
+    visited
+}
+
+/// Resynthesizes `tt` over `leaf_lits` into the AIG, picking the better
+/// polarity by factored literal count. Returns the implementing literal,
+/// or `None` when both polarities produce pathologically wide covers
+/// (e.g. parity functions, whose ISOP has `2^(n−1)` cubes) — those cones
+/// are better left to structural methods.
+pub(crate) fn emit_function(aig: &mut Aig, tt: &TruthTable, leaf_lits: &[Lit]) -> Option<Lit> {
+    const MAX_CUBES: usize = 64;
+    let pos_cover = isop_exact(tt);
+    let neg_cover = isop_exact(&!tt);
+    if pos_cover.num_cubes().min(neg_cover.num_cubes()) > MAX_CUBES {
+        return None;
+    }
+    let pos = factor(&pos_cover);
+    let neg = factor(&neg_cover);
+    Some(if neg.num_lits() < pos.num_lits() {
+        !emit_factored(aig, &neg, leaf_lits)
+    } else {
+        emit_factored(aig, &pos, leaf_lits)
+    })
+}
+
+fn emit_factored(aig: &mut Aig, fac: &Factored, leaf_lits: &[Lit]) -> Lit {
+    match fac {
+        Factored::Zero => Lit::FALSE,
+        Factored::One => Lit::TRUE,
+        Factored::Lit(l) => leaf_lits[l.signal() as usize].complement_if(l.is_negated()),
+        Factored::And(a, b) => {
+            let la = emit_factored(aig, a, leaf_lits);
+            let lb = emit_factored(aig, b, leaf_lits);
+            aig.and(la, lb)
+        }
+        Factored::Or(a, b) => {
+            let la = emit_factored(aig, a, leaf_lits);
+            let lb = emit_factored(aig, b, leaf_lits);
+            aig.or(la, lb)
+        }
+    }
+}
+
+/// Runs one rewriting pass over the network. Never returns a larger
+/// network.
+pub fn rewrite(aig: &Aig, options: &RewriteOptions) -> (Aig, RewriteStats) {
+    let mut work = aig.cleanup();
+    let mut stats = RewriteStats::default();
+    let cuts = enumerate_cuts(
+        &work,
+        CutOptions {
+            k: options.k,
+            max_cuts: options.max_cuts,
+        },
+    );
+    let order = work.topo_order();
+    let mut fanout_counts = work.fanout_counts();
+    for id in order {
+        if work.is_replaced(id)
+            || !work.is_and(id)
+            || fanout_counts.get(id.index()).is_none_or(|&c| c == 0)
+        {
+            continue;
+        }
+        let Some(node_cuts) = cuts.get(&id) else {
+            continue;
+        };
+        let mut best: Option<(Lit, usize)> = None; // (replacement, gain)
+        for cut in node_cuts {
+            if cut.leaves() == [id] || cut.size() < 2 {
+                continue;
+            }
+            // Skip cuts whose leaves were rewritten away meanwhile.
+            if cut.leaves().iter().any(|&l| work.is_replaced(l)) {
+                continue;
+            }
+            stats.cuts_tried += 1;
+            let tables = window_truth_tables(&work, &[id], cut.leaves());
+            let Some(tt) = lit_truth_table(&tables, Lit::new(id, false)) else {
+                continue;
+            };
+            let saving = cut_mffc(&work, id, cut.leaves(), &fanout_counts);
+            let leaf_lits: Vec<Lit> =
+                cut.leaves().iter().map(|&n| Lit::new(n, false)).collect();
+            let before = work.num_nodes();
+            let Some(replacement) = emit_function(&mut work, &tt, &leaf_lits) else {
+                continue;
+            };
+            let created = work.num_nodes() - before;
+            if created > saving || replacement.node() == id {
+                continue;
+            }
+            let gain = saving - created;
+            if gain == 0 && !options.allow_zero_gain {
+                continue;
+            }
+            if best.as_ref().map_or(true, |&(_, g)| gain > g) {
+                best = Some((replacement, gain));
+            }
+        }
+        if let Some((replacement, _)) = best {
+            if work.replace(id, replacement).is_ok() {
+                stats.rewritten += 1;
+                fanout_counts = work.fanout_counts();
+            }
+        }
+    }
+    let result = work.cleanup();
+    if result.num_ands() <= aig.num_ands() {
+        (result, stats)
+    } else {
+        (aig.cleanup(), RewriteStats::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbm_sat::equiv::{check_equivalence, EquivResult};
+
+    #[test]
+    fn collapses_redundant_structure() {
+        // f = (a & b) | (a & b & c): one 3-cut rewrite to a & b.
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let ab = aig.and(a, b);
+        let abc = aig.and(ab, c);
+        let f = aig.or(ab, abc);
+        aig.add_output(f);
+        let before = aig.num_ands();
+        let (optimized, stats) = rewrite(&aig, &RewriteOptions::default());
+        assert!(optimized.num_ands() < before, "{stats:?}");
+        assert_eq!(
+            check_equivalence(&aig, &optimized, None),
+            EquivResult::Equivalent
+        );
+    }
+
+    #[test]
+    fn mux_structure_is_not_worsened() {
+        let mut aig = Aig::new();
+        let s = aig.add_input();
+        let t = aig.add_input();
+        let e = aig.add_input();
+        let m = aig.mux(s, t, e);
+        aig.add_output(m);
+        let (optimized, _) = rewrite(&aig, &RewriteOptions::default());
+        assert!(optimized.num_ands() <= 3);
+        assert_eq!(
+            check_equivalence(&aig, &optimized, None),
+            EquivResult::Equivalent
+        );
+    }
+
+    #[test]
+    fn preserves_function_on_shared_logic() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let d = aig.add_input();
+        let x = aig.xor(a, b);
+        let y = aig.and(x, c);
+        let z = aig.or(x, d); // x shared
+        aig.add_output(y);
+        aig.add_output(z);
+        let (optimized, _) = rewrite(&aig, &RewriteOptions::default());
+        assert_eq!(
+            check_equivalence(&aig, &optimized, None),
+            EquivResult::Equivalent
+        );
+        assert!(optimized.num_ands() <= aig.num_ands());
+    }
+
+    #[test]
+    fn cut_mffc_counts_exclusive_cone() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let ab = aig.and(a, b);
+        let f = aig.and(ab, c);
+        aig.add_output(f);
+        let counts = aig.fanout_counts();
+        let leaves = [a.node(), b.node(), c.node()];
+        assert_eq!(cut_mffc(&aig, f.node(), &leaves, &counts), 2);
+        // With ab shared, only f is freed.
+        aig.add_output(ab);
+        let counts = aig.fanout_counts();
+        assert_eq!(cut_mffc(&aig, f.node(), &leaves, &counts), 1);
+    }
+}

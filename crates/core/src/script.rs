@@ -1,0 +1,233 @@
+//! Top-level optimization scripts.
+//!
+//! [`resyn2rs`] reproduces the composition of ABC's popular `resyn2rs`
+//! script ("one of the most popular AIG scripts in academia", Section
+//! IV-A) from this repository's own moves — it is the baseline the
+//! paper's results are measured against. [`sbm_script`] is the paper's
+//! Boolean resynthesis script (Section V-A): baseline AIG optimization +
+//! the four SBM engines + SAT sweeping and redundancy removal, iterated
+//! twice with different efforts.
+
+use sbm_aig::Aig;
+use sbm_sat::redundancy::{remove_redundancies, RedundancyOptions};
+use sbm_sat::sweep::{sweep, SweepOptions};
+
+use crate::balance::balance;
+use crate::bdiff::{boolean_difference_resub, BdiffOptions};
+use crate::gradient::{gradient_optimize, GradientOptions};
+use crate::hetero::{hetero_eliminate_kernel, HeteroOptions};
+use crate::mspf::{mspf_optimize, MspfOptions};
+use crate::refactor::{refactor, RefactorOptions};
+use crate::resub::{resub, ResubOptions};
+use crate::rewrite::{rewrite, RewriteOptions};
+
+/// Applies a transformation, keeping the result only when it does not
+/// increase node count (every SBM move has gain ≥ 0, Section IV-A).
+fn guarded(aig: Aig, f: impl FnOnce(&Aig) -> Aig) -> Aig {
+    let candidate = f(&aig);
+    if candidate.num_ands() <= aig.num_ands() {
+        candidate
+    } else {
+        aig
+    }
+}
+
+/// The `resyn2rs`-style baseline script: balance, resub, rewrite and
+/// refactor passes with growing resubstitution windows, mirroring ABC's
+/// `b; rs; rw; rs -K 6; rf; rs -K 8; b; rs -K 10; rw; rs -K 12; rf; b`.
+pub fn resyn2rs(aig: &Aig) -> Aig {
+    let mut cur = aig.cleanup();
+    let resub_opts = |max_inputs: usize| ResubOptions {
+        partition: sbm_aig::window::PartitionOptions {
+            max_nodes: 200,
+            max_inputs,
+            max_levels: 10,
+        },
+        ..Default::default()
+    };
+    cur = guarded(cur, balance);
+    cur = guarded(cur, |a| resub(a, &resub_opts(6)).0);
+    cur = guarded(cur, |a| rewrite(a, &RewriteOptions::default()).0);
+    cur = guarded(cur, |a| resub(a, &resub_opts(8)).0);
+    cur = guarded(cur, |a| refactor(a, &RefactorOptions::default()).0);
+    cur = guarded(cur, |a| resub(a, &resub_opts(10)).0);
+    cur = guarded(cur, balance);
+    cur = guarded(cur, |a| resub(a, &resub_opts(12)).0);
+    cur = guarded(cur, |a| rewrite(a, &RewriteOptions::default()).0);
+    cur = guarded(cur, |a| {
+        refactor(
+            a,
+            &RefactorOptions {
+                max_support: 14,
+                ..Default::default()
+            },
+        )
+        .0
+    });
+    cur = guarded(cur, balance);
+    cur.cleanup()
+}
+
+/// Runs [`resyn2rs`] until no further improvement — the reference
+/// methodology the paper uses for "the smallest known AIG" baselines
+/// (Table II footnote: "running resyn2rs until no improvement is seen").
+pub fn resyn2rs_fixpoint(aig: &Aig, max_rounds: usize) -> Aig {
+    let mut cur = aig.cleanup();
+    for _ in 0..max_rounds {
+        let next = resyn2rs(&cur);
+        if next.num_ands() >= cur.num_ands() {
+            return cur;
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// Options for the full SBM script.
+#[derive(Debug, Clone)]
+pub struct SbmOptions {
+    /// Gradient-engine options for the AIG-optimization step.
+    pub gradient: GradientOptions,
+    /// Boolean-difference options.
+    pub bdiff: BdiffOptions,
+    /// Heterogeneous eliminate/kernel options.
+    pub hetero: HeteroOptions,
+    /// MSPF options.
+    pub mspf: MspfOptions,
+    /// Conflict budget of the SAT steps.
+    pub sat_budget: Option<u64>,
+    /// Script iterations (the paper iterates the flow twice, with
+    /// different efforts).
+    pub iterations: usize,
+}
+
+impl Default for SbmOptions {
+    fn default() -> Self {
+        SbmOptions {
+            gradient: GradientOptions::default(),
+            bdiff: BdiffOptions::default(),
+            hetero: HeteroOptions::default(),
+            mspf: MspfOptions::default(),
+            sat_budget: Some(2_000),
+            iterations: 2,
+        }
+    }
+}
+
+/// The paper's Boolean resynthesis script (Section V-A):
+///
+/// 1. AIG optimization (state-of-the-art script + gradient engine),
+/// 2. heterogeneous elimination for kernel extraction,
+/// 3. enhanced MSPF with BDDs,
+/// 4. collapse & Boolean decomposition (refactoring on reconvergent
+///    MFFCs),
+/// 5. Boolean-difference-based optimization,
+/// 6. SAT-based sweeping and redundancy removal,
+///
+/// iterated (twice by default) with the network re-strashed into an AIG
+/// between steps.
+pub fn sbm_script(aig: &Aig, options: &SbmOptions) -> Aig {
+    let mut cur = aig.cleanup();
+    for iteration in 0..options.iterations {
+        let high_effort = iteration > 0;
+        // 1. AIG optimization: baseline script, then the gradient engine.
+        cur = guarded(cur, resyn2rs);
+        cur = guarded(cur, |a| gradient_optimize(a, &options.gradient).0);
+        // 2. Heterogeneous elimination for kerneling.
+        cur = guarded(cur, |a| hetero_eliminate_kernel(a, &options.hetero).0);
+        // 3. Enhanced MSPF computation.
+        cur = guarded(cur, |a| mspf_optimize(a, &options.mspf).0);
+        // 4. Collapse & Boolean decomposition on reconvergent MFFCs.
+        cur = guarded(cur, |a| {
+            refactor(
+                a,
+                &RefactorOptions {
+                    max_support: if high_effort { 14 } else { 12 },
+                    min_mffc: 2,
+                    allow_zero_gain: high_effort,
+                },
+            )
+            .0
+        });
+        // 5. Boolean-difference-based optimization: unveils hard-to-find
+        // optimizations and escapes local minima.
+        cur = guarded(cur, |a| boolean_difference_resub(a, &options.bdiff).0);
+        // 6. SAT sweeping and redundancy removal.
+        cur = guarded(cur, |a| {
+            let mut work = a.cleanup();
+            sweep(
+                &mut work,
+                &SweepOptions {
+                    budget: options.sat_budget,
+                    ..Default::default()
+                },
+            );
+            work.cleanup()
+        });
+        cur = guarded(cur, |a| {
+            remove_redundancies(
+                a,
+                &RedundancyOptions {
+                    budget: options.sat_budget,
+                    max_checks: if high_effort { 2_000 } else { 500 },
+                },
+            )
+            .0
+        });
+    }
+    cur.cleanup()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbm_sat::equiv::{check_equivalence, EquivResult};
+
+    fn benchmark_aig() -> Aig {
+        // A small circuit with redundancy, imbalance, sharing and
+        // reconvergence — every engine has something to find.
+        let mut aig = Aig::new();
+        let x: Vec<_> = (0..6).map(|_| aig.add_input()).collect();
+        let t1 = aig.and(x[0], x[1]);
+        let t2 = aig.and(x[0], !x[1]);
+        let r = aig.or(t1, t2); // == x0
+        let mut chain = r;
+        for &xi in &x[2..] {
+            chain = aig.and(chain, xi);
+        }
+        let dup_a = aig.and(x[2], x[3]);
+        let dup_b = aig.and(x[4], x[5]);
+        let dup = aig.and(dup_a, dup_b);
+        let dup2 = aig.and(dup, x[0]); // == chain
+        let f = aig.xor(chain, dup2); // == 0
+        let g = aig.or(chain, dup2);
+        aig.add_output(f);
+        aig.add_output(g);
+        aig
+    }
+
+    #[test]
+    fn resyn2rs_improves_and_preserves() {
+        let aig = benchmark_aig();
+        let out = resyn2rs(&aig);
+        assert!(out.num_ands() < aig.num_ands());
+        assert_eq!(check_equivalence(&aig, &out, None), EquivResult::Equivalent);
+    }
+
+    #[test]
+    fn sbm_script_at_least_as_good_as_baseline() {
+        let aig = benchmark_aig();
+        let baseline = resyn2rs_fixpoint(&aig, 8);
+        let sbm = sbm_script(&aig, &SbmOptions::default());
+        assert!(sbm.num_ands() <= baseline.num_ands());
+        assert_eq!(check_equivalence(&aig, &sbm, None), EquivResult::Equivalent);
+    }
+
+    #[test]
+    fn fixpoint_terminates() {
+        let aig = benchmark_aig();
+        let out = resyn2rs_fixpoint(&aig, 50);
+        assert!(out.num_ands() <= aig.num_ands());
+        assert_eq!(check_equivalence(&aig, &out, None), EquivResult::Equivalent);
+    }
+}

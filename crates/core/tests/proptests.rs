@@ -1,0 +1,98 @@
+//! Property tests: every SBM engine must preserve network function and
+//! never increase size, on random DAGs.
+
+use proptest::prelude::*;
+use sbm_aig::{Aig, Lit};
+use sbm_core::balance::balance;
+use sbm_core::bdiff::{boolean_difference_resub, BdiffOptions};
+use sbm_core::gradient::{gradient_optimize, GradientOptions};
+use sbm_core::hetero::{hetero_eliminate_kernel, HeteroOptions};
+use sbm_core::mspf::{mspf_optimize, MspfOptions};
+use sbm_core::refactor::{refactor, RefactorOptions};
+use sbm_core::resub::{resub, ResubOptions};
+use sbm_core::rewrite::{rewrite, RewriteOptions};
+use sbm_core::verify::equivalent;
+
+#[derive(Debug, Clone)]
+struct Recipe {
+    num_inputs: usize,
+    steps: Vec<(u8, usize, usize, bool, bool)>,
+    num_outputs: usize,
+}
+
+fn arb_recipe() -> impl Strategy<Value = Recipe> {
+    (3usize..=6, 5usize..=40, 1usize..=3).prop_flat_map(|(num_inputs, num_steps, num_outputs)| {
+        let step = (0u8..3, any::<u32>(), any::<u32>(), any::<bool>(), any::<bool>());
+        proptest::collection::vec(step, num_steps).prop_map(move |raw| {
+            let steps = raw
+                .iter()
+                .enumerate()
+                .map(|(i, &(op, a, b, na, nb))| {
+                    let pool = num_inputs + i;
+                    (op, a as usize % pool, b as usize % pool, na, nb)
+                })
+                .collect();
+            Recipe {
+                num_inputs,
+                steps,
+                num_outputs,
+            }
+        })
+    })
+}
+
+fn build(recipe: &Recipe) -> Aig {
+    let mut aig = Aig::new();
+    let mut signals: Vec<Lit> = (0..recipe.num_inputs).map(|_| aig.add_input()).collect();
+    for &(op, a, b, na, nb) in &recipe.steps {
+        let x = signals[a].complement_if(na);
+        let y = signals[b].complement_if(nb);
+        let s = match op {
+            0 => aig.and(x, y),
+            1 => aig.or(x, y),
+            _ => aig.xor(x, y),
+        };
+        signals.push(s);
+    }
+    for k in 0..recipe.num_outputs {
+        aig.add_output(signals[signals.len() - 1 - k.min(signals.len() - 1)]);
+    }
+    aig.cleanup()
+}
+
+macro_rules! engine_property {
+    ($name:ident, $apply:expr) => {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+            #[test]
+            fn $name(recipe in arb_recipe()) {
+                let aig = build(&recipe);
+                #[allow(clippy::redundant_closure_call)]
+                let out: Aig = ($apply)(&aig);
+                prop_assert!(out.num_ands() <= aig.num_ands(),
+                    "{} -> {}", aig.num_ands(), out.num_ands());
+                prop_assert!(equivalent(&aig, &out), "function changed");
+            }
+        }
+    };
+}
+
+engine_property!(balance_preserves, |a: &Aig| balance(a));
+engine_property!(rewrite_preserves, |a: &Aig| rewrite(a, &RewriteOptions::default()).0);
+engine_property!(refactor_preserves, |a: &Aig| refactor(a, &RefactorOptions::default()).0);
+engine_property!(resub_preserves, |a: &Aig| resub(a, &ResubOptions::default()).0);
+engine_property!(mspf_preserves, |a: &Aig| mspf_optimize(a, &MspfOptions::default()).0);
+engine_property!(bdiff_preserves, |a: &Aig| {
+    boolean_difference_resub(a, &BdiffOptions::default()).0
+});
+engine_property!(hetero_preserves, |a: &Aig| {
+    hetero_eliminate_kernel(a, &HeteroOptions::default()).0
+});
+engine_property!(gradient_preserves, |a: &Aig| {
+    let opts = GradientOptions {
+        budget: 20,
+        budget_extension: 0,
+        ..Default::default()
+    };
+    gradient_optimize(a, &opts).0
+});

@@ -1,0 +1,383 @@
+//! Arithmetic benchmark generators.
+//!
+//! Bit-true implementations of the EPFL arithmetic circuits, except
+//! `log2` and `sin`, which are synthetic substitutes of the same I/O
+//! signature and circuit class (normalization + polynomial/CORDIC-style
+//! datapaths) — the published suite does not specify their exact RTL.
+
+use sbm_aig::{Aig, Lit};
+
+use crate::words::{
+    add, const_word, input_word, less_than, multiply, mux_word, shift_left, sub, zero_extend,
+};
+use crate::Scale;
+
+fn width(scale: Scale, full: usize, reduced: usize) -> usize {
+    match scale {
+        Scale::Full => full,
+        Scale::Reduced => reduced,
+    }
+}
+
+/// `adder`: ripple-carry addition of two n-bit words (EPFL: 256/129).
+pub fn adder(scale: Scale) -> Aig {
+    let n = width(scale, 128, 16);
+    let mut aig = Aig::new();
+    let a = input_word(&mut aig, n);
+    let b = input_word(&mut aig, n);
+    let (sum, carry) = add(&mut aig, &a, &b, Lit::FALSE);
+    for s in sum {
+        aig.add_output(s);
+    }
+    aig.add_output(carry);
+    aig
+}
+
+/// `bar`: barrel shifter, n-bit data with log2(n)-bit shift amount
+/// (EPFL: 135/128).
+pub fn barrel_shifter(scale: Scale) -> Aig {
+    let n = width(scale, 128, 16);
+    let stages = n.trailing_zeros() as usize;
+    let mut aig = Aig::new();
+    let data = input_word(&mut aig, n);
+    let shift = input_word(&mut aig, stages);
+    let out = shift_left(&mut aig, &data, &shift);
+    for o in out {
+        aig.add_output(o);
+    }
+    aig
+}
+
+/// `div`: restoring divider; n-bit dividend and divisor, n-bit quotient
+/// and remainder (EPFL: 128/128).
+pub fn divider(scale: Scale) -> Aig {
+    let n = width(scale, 64, 8);
+    let mut aig = Aig::new();
+    let dividend = input_word(&mut aig, n);
+    let divisor = input_word(&mut aig, n);
+    let (quotient, remainder) = divide(&mut aig, &dividend, &divisor);
+    for q in quotient {
+        aig.add_output(q);
+    }
+    for r in remainder.into_iter().take(n) {
+        aig.add_output(r);
+    }
+    aig
+}
+
+/// Restoring division returning (quotient, remainder); remainder has
+/// `n + 1` bits internally, of which the low `n` are significant.
+pub(crate) fn divide(aig: &mut Aig, dividend: &[Lit], divisor: &[Lit]) -> (Vec<Lit>, Vec<Lit>) {
+    let n = dividend.len();
+    let w = n + 1;
+    let divisor_ext = zero_extend(divisor, w);
+    let mut rem = const_word(0, w);
+    let mut quotient = vec![Lit::FALSE; n];
+    for i in (0..n).rev() {
+        // rem = (rem << 1) | dividend[i]
+        let mut shifted = vec![dividend[i]];
+        shifted.extend_from_slice(&rem[..w - 1]);
+        let (diff, no_borrow) = sub(aig, &shifted, &divisor_ext);
+        quotient[i] = no_borrow;
+        rem = mux_word(aig, no_borrow, &diff, &shifted);
+    }
+    (quotient, rem)
+}
+
+/// `sqrt`: restoring square root; 2n-bit radicand, n-bit root
+/// (EPFL: 128/64).
+pub fn sqrt(scale: Scale) -> Aig {
+    let n2 = width(scale, 128, 16);
+    let mut aig = Aig::new();
+    let value = input_word(&mut aig, n2);
+    let root = isqrt(&mut aig, &value);
+    for r in root {
+        aig.add_output(r);
+    }
+    aig
+}
+
+/// Digit-recurrence integer square root of a 2n-bit word → n-bit root.
+pub(crate) fn isqrt(aig: &mut Aig, value: &[Lit]) -> Vec<Lit> {
+    let n = value.len() / 2;
+    let w = 2 * n + 2;
+    let mut rem = const_word(0, w);
+    let mut root = const_word(0, w);
+    for i in (0..n).rev() {
+        // rem = rem << 2 | value[2i+1..=2i]
+        let mut shifted = vec![value[2 * i], value[2 * i + 1]];
+        shifted.extend_from_slice(&rem[..w - 2]);
+        // trial = (root << 2) | 1
+        let mut trial = vec![Lit::TRUE, Lit::FALSE];
+        trial.extend_from_slice(&root[..w - 2]);
+        let (diff, no_borrow) = sub(aig, &shifted, &trial);
+        rem = mux_word(aig, no_borrow, &diff, &shifted);
+        // root = root << 1 | q
+        let mut new_root = vec![no_borrow];
+        new_root.extend_from_slice(&root[..w - 1]);
+        root = new_root;
+    }
+    root.truncate(n);
+    root
+}
+
+/// `hyp`: hypotenuse `⌊√(a² + b²)⌋` of two n-bit words, n-bit result
+/// (EPFL: 256/128).
+pub fn hypotenuse(scale: Scale) -> Aig {
+    let n = width(scale, 128, 8);
+    let mut aig = Aig::new();
+    let a = input_word(&mut aig, n);
+    let b = input_word(&mut aig, n);
+    let aa = multiply(&mut aig, &a, &a);
+    let bb = multiply(&mut aig, &b, &b);
+    let (sum, carry) = add(&mut aig, &aa, &bb, Lit::FALSE);
+    let mut padded = sum;
+    padded.push(carry);
+    padded.push(Lit::FALSE); // 2n + 2 bits, an even width for isqrt
+    let root = isqrt(&mut aig, &padded); // n + 1 bits
+    for r in root.into_iter().take(n) {
+        aig.add_output(r);
+    }
+    aig
+}
+
+/// `max`: maximum of four n-bit words plus the 2-bit index of the winner
+/// (EPFL: 512/130).
+pub fn max(scale: Scale) -> Aig {
+    let n = width(scale, 128, 8);
+    let mut aig = Aig::new();
+    let words: Vec<Vec<Lit>> = (0..4).map(|_| input_word(&mut aig, n)).collect();
+    // First round.
+    let lt01 = less_than(&mut aig, &words[0], &words[1]);
+    let m01 = mux_word(&mut aig, lt01, &words[1], &words[0]);
+    let lt23 = less_than(&mut aig, &words[2], &words[3]);
+    let m23 = mux_word(&mut aig, lt23, &words[3], &words[2]);
+    // Final round.
+    let lt = less_than(&mut aig, &m01, &m23);
+    let result = mux_word(&mut aig, lt, &m23, &m01);
+    for r in result {
+        aig.add_output(r);
+    }
+    // Index bits: high bit = final choice, low bit = winner of that pair.
+    let low = aig.mux(lt, lt23, lt01);
+    aig.add_output(low);
+    aig.add_output(lt);
+    aig
+}
+
+/// `mult`: n×n array multiplier (EPFL: 128/128).
+pub fn multiplier(scale: Scale) -> Aig {
+    let n = width(scale, 64, 8);
+    let mut aig = Aig::new();
+    let a = input_word(&mut aig, n);
+    let b = input_word(&mut aig, n);
+    let p = multiply(&mut aig, &a, &b);
+    for bit in p {
+        aig.add_output(bit);
+    }
+    aig
+}
+
+/// `square`: n-bit squarer (EPFL: 64/128).
+pub fn square(scale: Scale) -> Aig {
+    let n = width(scale, 64, 8);
+    let mut aig = Aig::new();
+    let a = input_word(&mut aig, n);
+    let p = multiply(&mut aig, &a.clone(), &a);
+    for bit in p {
+        aig.add_output(bit);
+    }
+    aig
+}
+
+/// `log2` (synthetic substitute): leading-one normalization followed by a
+/// polynomial-style datapath over the fraction — the same
+/// priority-logic + multiplier mix as a fixed-point log (EPFL: 32/32).
+pub fn log2(scale: Scale) -> Aig {
+    let n = width(scale, 32, 8);
+    let stages = n.trailing_zeros() as usize;
+    let mut aig = Aig::new();
+    let x = input_word(&mut aig, n);
+    // Leading-zero count via a priority chain (MSB first).
+    let mut lzc = const_word(0, stages);
+    let mut seen = Lit::FALSE;
+    for i in (0..n).rev() {
+        let is_leader = aig.and(x[i], !seen);
+        // When bit i is the leader, lzc = n-1-i.
+        let code = (n - 1 - i) as u128;
+        for (s, bit) in lzc.iter_mut().enumerate() {
+            if (code >> s) & 1 == 1 {
+                *bit = aig.or(*bit, is_leader);
+            }
+        }
+        seen = aig.or(seen, x[i]);
+    }
+    // Normalize and take the fraction.
+    let normalized = shift_left(&mut aig, &x, &lzc);
+    let half = n / 2;
+    let frac = &normalized[half..];
+    // One polynomial step: y + y² (truncated), a log-like correction.
+    let sq = multiply(&mut aig, frac, frac);
+    let (poly, _) = add(&mut aig, &zero_extend(frac, n), &sq[..n].to_vec(), Lit::FALSE);
+    // Outputs: integer part (inverted lzc, log-style) then fraction bits.
+    for (i, bit) in poly.iter().enumerate().take(n - stages) {
+        let _ = i;
+        aig.add_output(*bit);
+    }
+    for bit in lzc {
+        aig.add_output(!bit);
+    }
+    aig
+}
+
+/// `sin` (synthetic substitute): a CORDIC-style rotation pipeline — the
+/// same shift-and-add reconvergent structure as a fixed-point sine
+/// (EPFL: 24/25).
+pub fn sin(scale: Scale) -> Aig {
+    let n = width(scale, 24, 8);
+    let iterations = n.min(12);
+    let mut aig = Aig::new();
+    let angle = input_word(&mut aig, n);
+    // x starts at the CORDIC gain constant, y at 0.
+    let mut x = const_word(0x26DD3B6A >> (32 - n.min(30)) as u32, n);
+    let mut y = const_word(0, n);
+    for i in 0..iterations {
+        let dir = angle[i % n];
+        // x' = x ∓ (y >> i); y' = y ± (x >> i) — shifts are free rewires.
+        let ys: Vec<Lit> = (0..n)
+            .map(|k| if k + i < n { y[k + i] } else { Lit::FALSE })
+            .collect();
+        let xs: Vec<Lit> = (0..n)
+            .map(|k| if k + i < n { x[k + i] } else { Lit::FALSE })
+            .collect();
+        let (x_plus, _) = add(&mut aig, &x, &ys, Lit::FALSE);
+        let (x_minus, _) = sub(&mut aig, &x, &ys);
+        let (y_plus, _) = add(&mut aig, &y, &xs, Lit::FALSE);
+        let (y_minus, _) = sub(&mut aig, &y, &xs);
+        x = mux_word(&mut aig, dir, &x_minus, &x_plus);
+        y = mux_word(&mut aig, dir, &y_plus, &y_minus);
+    }
+    for bit in &y {
+        aig.add_output(*bit);
+    }
+    // Sign output (quadrant fold).
+    let sign = aig.xor(angle[n - 1], y[n - 1]);
+    aig.add_output(sign);
+    aig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(aig: &Aig, inputs: &[(usize, u64)]) -> Vec<bool> {
+        let mut assignment = Vec::new();
+        for &(w, v) in inputs {
+            for i in 0..w {
+                assignment.push((v >> i) & 1 == 1);
+            }
+        }
+        aig.eval(&assignment)
+    }
+
+    fn word_value(bits: &[bool]) -> u64 {
+        bits.iter()
+            .enumerate()
+            .fold(0, |acc, (i, &b)| acc | (u64::from(b) << i))
+    }
+
+    #[test]
+    fn adder_reduced_is_correct() {
+        let aig = adder(Scale::Reduced);
+        for (a, b) in [(0u64, 0u64), (1000, 24), (65535, 1), (12345, 54321)] {
+            let out = eval(&aig, &[(16, a), (16, b)]);
+            assert_eq!(word_value(&out), a + b, "{a} + {b}");
+        }
+    }
+
+    #[test]
+    fn divider_reduced_is_correct() {
+        let aig = divider(Scale::Reduced);
+        for (a, b) in [(200u64, 7u64), (255, 16), (5, 9), (144, 12)] {
+            let out = eval(&aig, &[(8, a), (8, b)]);
+            let q = word_value(&out[..8]);
+            let r = word_value(&out[8..16]);
+            assert_eq!(q, a / b, "{a} / {b}");
+            assert_eq!(r, a % b, "{a} % {b}");
+        }
+    }
+
+    #[test]
+    fn sqrt_reduced_is_correct() {
+        let aig = sqrt(Scale::Reduced);
+        for v in [0u64, 1, 15, 16, 255, 65535, 10000] {
+            let out = eval(&aig, &[(16, v)]);
+            let root = word_value(&out);
+            assert_eq!(root, (v as f64).sqrt() as u64, "sqrt({v})");
+        }
+    }
+
+    #[test]
+    fn hypotenuse_reduced_is_correct() {
+        let aig = hypotenuse(Scale::Reduced);
+        for (a, b) in [(3u64, 4u64), (5, 12), (255, 255), (0, 17)] {
+            let out = eval(&aig, &[(8, a), (8, b)]);
+            let h = word_value(&out);
+            let expected = ((a * a + b * b) as f64).sqrt() as u64;
+            assert_eq!(h & 0xFF, expected & 0xFF, "hyp({a},{b})");
+        }
+    }
+
+    #[test]
+    fn max_reduced_is_correct() {
+        let aig = max(Scale::Reduced);
+        let cases = [
+            ([5u64, 9, 3, 7], 9u64, 1usize),
+            ([200, 1, 2, 3], 200, 0),
+            ([1, 2, 3, 250], 250, 3),
+            ([8, 8, 8, 8], 8, 0),
+        ];
+        for (words, expect_max, expect_idx) in cases {
+            let out = eval(
+                &aig,
+                &[(8, words[0]), (8, words[1]), (8, words[2]), (8, words[3])],
+            );
+            assert_eq!(word_value(&out[..8]), expect_max, "max of {words:?}");
+            let idx = usize::from(out[8]) | usize::from(out[9]) << 1;
+            assert_eq!(idx, expect_idx, "index of {words:?}");
+        }
+    }
+
+    #[test]
+    fn multiplier_and_square_reduced_are_correct() {
+        let aig = multiplier(Scale::Reduced);
+        for (a, b) in [(0u64, 0u64), (255, 255), (13, 17)] {
+            let out = eval(&aig, &[(8, a), (8, b)]);
+            assert_eq!(word_value(&out), a * b);
+        }
+        let sq = square(Scale::Reduced);
+        for a in [0u64, 255, 100] {
+            let out = eval(&sq, &[(8, a)]);
+            assert_eq!(word_value(&out), a * a);
+        }
+    }
+
+    #[test]
+    fn barrel_shifter_reduced_is_correct() {
+        let aig = barrel_shifter(Scale::Reduced);
+        for (v, s) in [(0xABCDu64, 0u64), (0x0001, 15), (0xFFFF, 8)] {
+            let out = eval(&aig, &[(16, v), (4, s)]);
+            assert_eq!(word_value(&out), (v << s) & 0xFFFF);
+        }
+    }
+
+    #[test]
+    fn synthetic_benchmarks_are_deterministic() {
+        let a = log2(Scale::Reduced);
+        let b = log2(Scale::Reduced);
+        assert_eq!(a.num_ands(), b.num_ands());
+        let s1 = sin(Scale::Reduced);
+        let s2 = sin(Scale::Reduced);
+        assert_eq!(s1.num_ands(), s2.num_ands());
+    }
+}

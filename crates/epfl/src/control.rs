@@ -1,0 +1,396 @@
+//! Random/control benchmark generators.
+//!
+//! `arbiter`, `dec`, `priority`, `voter` and `int2float` are bit-true
+//! implementations of their published specs. `cavlc`, `ctrl`, `i2c`,
+//! `mem_ctrl` and `router` have no published RTL; they are generated as
+//! deterministic synthetic control logic (AND/OR-dominated DAGs seasoned
+//! with comparators and muxes) with the EPFL I/O signatures.
+
+use sbm_aig::{Aig, Lit};
+
+use crate::words::{equal, input_word, popcount, sub};
+use crate::Scale;
+
+/// `arbiter`: combinational round-robin arbiter core. Inputs: n requests
+/// plus an n-bit priority-pointer mask; outputs: n one-hot grants plus
+/// "any grant" (EPFL: 256/129).
+pub fn arbiter(scale: Scale) -> Aig {
+    let n = match scale {
+        Scale::Full => 128,
+        Scale::Reduced => 16,
+    };
+    let mut aig = Aig::new();
+    let req = input_word(&mut aig, n);
+    let pointer = input_word(&mut aig, n);
+    // Thermometer mask: th[i] = pointer[0] | ... | pointer[i].
+    let mut th = Vec::with_capacity(n);
+    let mut acc = Lit::FALSE;
+    for &p in &pointer {
+        acc = aig.or(acc, p);
+        th.push(acc);
+    }
+    // First pass: lowest request at or after the pointer.
+    let masked: Vec<Lit> = req.iter().zip(&th).map(|(&r, &t)| aig.and(r, t)).collect();
+    let grant1 = priority_chain(&mut aig, &masked);
+    let any1 = aig.or_many(&grant1);
+    // Second pass (wrap-around): lowest request overall.
+    let grant2 = priority_chain(&mut aig, &req);
+    let grants: Vec<Lit> = grant1
+        .iter()
+        .zip(&grant2)
+        .map(|(&g1, &g2)| {
+            let wrapped = aig.and(!any1, g2);
+            aig.or(g1, wrapped)
+        })
+        .collect();
+    let any = aig.or_many(&grants);
+    for g in grants {
+        aig.add_output(g);
+    }
+    aig.add_output(any);
+    aig
+}
+
+/// One-hot grant of the lowest-index set bit.
+fn priority_chain(aig: &mut Aig, bits: &[Lit]) -> Vec<Lit> {
+    let mut seen = Lit::FALSE;
+    let mut grants = Vec::with_capacity(bits.len());
+    for &b in bits {
+        grants.push(aig.and(b, !seen));
+        seen = aig.or(seen, b);
+    }
+    grants
+}
+
+/// `priority`: priority encoder — index of the lowest set request bit
+/// plus a valid flag (EPFL: 128/8).
+pub fn priority(scale: Scale) -> Aig {
+    let n: usize = match scale {
+        Scale::Full => 128,
+        Scale::Reduced => 32,
+    };
+    let index_bits = (usize::BITS - (n - 1).leading_zeros()) as usize;
+    let mut aig = Aig::new();
+    let req = input_word(&mut aig, n);
+    let grants = priority_chain(&mut aig, &req);
+    let mut index = vec![Lit::FALSE; index_bits];
+    for (i, &g) in grants.iter().enumerate() {
+        for (b, slot) in index.iter_mut().enumerate() {
+            if (i >> b) & 1 == 1 {
+                *slot = aig.or(*slot, g);
+            }
+        }
+    }
+    let valid = aig.or_many(&req);
+    for bit in index {
+        aig.add_output(bit);
+    }
+    aig.add_output(valid);
+    aig
+}
+
+/// `dec`: n-to-2^n decoder (EPFL: 8/256).
+pub fn decoder(scale: Scale) -> Aig {
+    let n = match scale {
+        Scale::Full => 8,
+        Scale::Reduced => 5,
+    };
+    let mut aig = Aig::new();
+    let sel = input_word(&mut aig, n);
+    for code in 0..(1usize << n) {
+        let lits: Vec<Lit> = sel
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| s.complement_if((code >> i) & 1 == 0))
+            .collect();
+        let out = aig.and_many(&lits);
+        aig.add_output(out);
+    }
+    aig
+}
+
+/// `voter`: majority of n (odd) inputs via a popcount tree and a
+/// threshold comparison (EPFL: 1001/1).
+pub fn voter(scale: Scale) -> Aig {
+    let n = match scale {
+        Scale::Full => 1001,
+        Scale::Reduced => 101,
+    };
+    let mut aig = Aig::new();
+    let votes = input_word(&mut aig, n);
+    let count = popcount(&mut aig, &votes);
+    // majority ⇔ count >= (n+1)/2 ⇔ count - threshold has no borrow.
+    let threshold = crate::words::const_word(((n + 1) / 2) as u128, count.len());
+    let (_, no_borrow) = sub(&mut aig, &count, &threshold);
+    aig.add_output(no_borrow);
+    aig
+}
+
+/// `int2float`: converts an 11-bit signed integer to a 7-bit minifloat
+/// (sign, 4-bit exponent, 2-bit mantissa) — leading-one detection,
+/// normalization and rounding-free truncation (EPFL: 11/7).
+pub fn int2float() -> Aig {
+    let n = 11;
+    let mut aig = Aig::new();
+    let x = input_word(&mut aig, n);
+    let sign = x[n - 1];
+    // Absolute value: (x ^ sign) + sign.
+    let flipped: Vec<Lit> = x.iter().map(|&b| aig.xor(b, sign)).collect();
+    let one = {
+        let mut w = vec![sign];
+        w.extend(std::iter::repeat(Lit::FALSE).take(n - 1));
+        w
+    };
+    let (magnitude, _) = crate::words::add(&mut aig, &flipped, &one, Lit::FALSE);
+    // Leading-one position (= exponent).
+    let mut exponent = vec![Lit::FALSE; 4];
+    let mut seen = Lit::FALSE;
+    let mut mantissa = [Lit::FALSE; 2];
+    for i in (0..n).rev() {
+        let leader = aig.and(magnitude[i], !seen);
+        for (b, slot) in exponent.iter_mut().enumerate() {
+            if (i >> b) & 1 == 1 {
+                *slot = aig.or(*slot, leader);
+            }
+        }
+        // Mantissa: the two bits below the leading one.
+        for (k, slot) in mantissa.iter_mut().enumerate() {
+            if i >= k + 1 {
+                let bit = aig.and(leader, magnitude[i - k - 1]);
+                *slot = aig.or(*slot, bit);
+            }
+        }
+        seen = aig.or(seen, magnitude[i]);
+    }
+    aig.add_output(sign);
+    for e in exponent {
+        aig.add_output(e);
+    }
+    for m in mantissa {
+        aig.add_output(m);
+    }
+    aig
+}
+
+/// Deterministic xorshift64* for the synthetic generators.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545F491_4F6CDD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Builds deterministic synthetic control logic: an AND/OR-dominated DAG
+/// with embedded comparators and muxes, `num_ops` internal operations and
+/// the requested I/O signature.
+fn synthetic_control(seed: u64, num_inputs: usize, num_outputs: usize, num_ops: usize) -> Aig {
+    let mut rng = Rng(seed | 1);
+    let mut aig = Aig::new();
+    let inputs = input_word(&mut aig, num_inputs);
+    let mut signals: Vec<Lit> = inputs.clone();
+    // Seed comparators over input slices: control logic is full of
+    // "state == CONST" tests.
+    let slice_width = 4.min(num_inputs);
+    for _ in 0..(num_inputs / 8).max(1) {
+        let start = rng.below(num_inputs.saturating_sub(slice_width) + 1);
+        let slice = &inputs[start..start + slice_width];
+        let constant: Vec<Lit> = (0..slice_width)
+            .map(|_| {
+                if rng.next() & 1 == 1 {
+                    Lit::TRUE
+                } else {
+                    Lit::FALSE
+                }
+            })
+            .collect();
+        let eq = equal(&mut aig, slice, &constant);
+        signals.push(eq);
+    }
+    // Random recent-biased DAG.
+    while signals.len() < inputs.len() + num_ops {
+        let pick = |rng: &mut Rng, signals: &[Lit]| -> Lit {
+            // Bias toward recent signals for depth (control chains).
+            let n = signals.len();
+            let idx = if rng.next() & 3 == 0 {
+                rng.below(n)
+            } else {
+                n - 1 - rng.below((n / 4).max(1))
+            };
+            signals[idx].complement_if(rng.next() & 1 == 1)
+        };
+        let a = pick(&mut rng, &signals);
+        let b = pick(&mut rng, &signals);
+        let s = match rng.below(10) {
+            0..=3 => aig.and(a, b),
+            4..=7 => aig.or(a, b),
+            8 => aig.xor(a, b),
+            _ => {
+                let c = pick(&mut rng, &signals);
+                aig.mux(a, b, c)
+            }
+        };
+        signals.push(s);
+    }
+    // Outputs: drawn from the most recently created signals.
+    for k in 0..num_outputs {
+        let back = k % (num_ops / 2).max(1);
+        let lit = signals[signals.len() - 1 - back];
+        aig.add_output(lit.complement_if(k % 3 == 0));
+    }
+    aig
+}
+
+/// `cavlc` (synthetic substitute): coding-table-style random logic
+/// (EPFL: 10/11).
+pub fn cavlc() -> Aig {
+    synthetic_control(0xCA51C, 10, 11, 650)
+}
+
+/// `ctrl` (synthetic substitute): a small controller (EPFL: 7/26).
+pub fn ctrl() -> Aig {
+    synthetic_control(0xC781, 7, 26, 150)
+}
+
+/// `i2c` (synthetic substitute): bus-controller-style logic
+/// (EPFL: 147/142).
+pub fn i2c(scale: Scale) -> Aig {
+    match scale {
+        Scale::Full => synthetic_control(0x12C0, 147, 142, 1200),
+        Scale::Reduced => synthetic_control(0x12C0, 147, 142, 400),
+    }
+}
+
+/// `mem_ctrl` (synthetic substitute): memory-controller-style logic
+/// (EPFL: 1204/1231).
+pub fn mem_ctrl(scale: Scale) -> Aig {
+    match scale {
+        Scale::Full => synthetic_control(0x3E3C, 1204, 1231, 10_000),
+        Scale::Reduced => synthetic_control(0x3E3C, 120, 123, 1_000),
+    }
+}
+
+/// `router` (synthetic substitute): packet-routing control
+/// (EPFL: 60/30).
+pub fn router(scale: Scale) -> Aig {
+    match scale {
+        Scale::Full => synthetic_control(0x80073, 60, 30, 250),
+        Scale::Reduced => synthetic_control(0x80073, 60, 30, 120),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_bits(aig: &Aig, bits: &[bool]) -> Vec<bool> {
+        aig.eval(bits)
+    }
+
+    #[test]
+    fn arbiter_grants_one_hot() {
+        let aig = arbiter(Scale::Reduced);
+        // 16 requests + 16-bit pointer.
+        let mut inputs = vec![false; 32];
+        inputs[3] = true; // req 3
+        inputs[10] = true; // req 10
+        inputs[16 + 8] = true; // pointer at 8
+        let out = eval_bits(&aig, &inputs);
+        let grants: Vec<usize> = (0..16).filter(|&i| out[i]).collect();
+        assert_eq!(grants, vec![10], "pointer at 8 picks req 10 over req 3");
+        assert!(out[16], "any-grant must be set");
+        // Wrap-around: pointer beyond all requests grants the lowest.
+        let mut inputs = vec![false; 32];
+        inputs[3] = true;
+        inputs[16 + 12] = true;
+        let out = eval_bits(&aig, &inputs);
+        let grants: Vec<usize> = (0..16).filter(|&i| out[i]).collect();
+        assert_eq!(grants, vec![3]);
+    }
+
+    #[test]
+    fn arbiter_no_request_no_grant() {
+        let aig = arbiter(Scale::Reduced);
+        let mut inputs = vec![false; 32];
+        inputs[16] = true; // pointer only
+        let out = eval_bits(&aig, &inputs);
+        assert!(out.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn priority_encodes_lowest_bit() {
+        let aig = priority(Scale::Reduced);
+        let mut inputs = vec![false; 32];
+        inputs[5] = true;
+        inputs[20] = true;
+        let out = eval_bits(&aig, &inputs);
+        let idx: usize = (0..5).map(|b| usize::from(out[b]) << b).sum();
+        assert_eq!(idx, 5);
+        assert!(out[5], "valid flag");
+        let out = eval_bits(&aig, &vec![false; 32]);
+        assert!(!out[5], "no request → invalid");
+    }
+
+    #[test]
+    fn decoder_is_one_hot() {
+        let aig = decoder(Scale::Reduced);
+        for code in [0usize, 7, 31] {
+            let inputs: Vec<bool> = (0..5).map(|i| (code >> i) & 1 == 1).collect();
+            let out = eval_bits(&aig, &inputs);
+            for (i, &o) in out.iter().enumerate() {
+                assert_eq!(o, i == code, "code {code} line {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn voter_majority() {
+        let aig = voter(Scale::Reduced);
+        let mut inputs = vec![false; 101];
+        for slot in inputs.iter_mut().take(51) {
+            *slot = true;
+        }
+        assert_eq!(eval_bits(&aig, &inputs), vec![true]);
+        inputs[0] = false; // 50 votes: no majority
+        assert_eq!(eval_bits(&aig, &inputs), vec![false]);
+    }
+
+    #[test]
+    fn int2float_encodes() {
+        let aig = int2float();
+        // +36 = 100100b: leading one at bit 5 → exponent 5, mantissa 00.
+        let inputs: Vec<bool> = (0..11).map(|i| (36 >> i) & 1 == 1).collect();
+        let out = eval_bits(&aig, &inputs);
+        assert!(!out[0], "sign positive");
+        let exp: usize = (0..4).map(|b| usize::from(out[1 + b]) << b).sum();
+        assert_eq!(exp, 5);
+        let mant: usize = (0..2).map(|b| usize::from(out[5 + b]) << b).sum();
+        assert_eq!(mant, 0b00);
+        // -1 → magnitude 1, exponent 0.
+        let minus_one: Vec<bool> = (0..11).map(|i| (0x7FFu64 >> i) & 1 == 1).collect();
+        let out = eval_bits(&aig, &minus_one);
+        assert!(out[0], "sign negative");
+        let exp: usize = (0..4).map(|b| usize::from(out[1 + b]) << b).sum();
+        assert_eq!(exp, 0);
+    }
+
+    #[test]
+    fn synthetic_generators_are_deterministic() {
+        let a = cavlc();
+        let b = cavlc();
+        assert_eq!(a.num_ands(), b.num_ands());
+        assert!(a.num_ands() >= 300, "cavlc-sized: {}", a.num_ands());
+        let r1 = router(Scale::Full);
+        let r2 = router(Scale::Full);
+        assert_eq!(r1.num_ands(), r2.num_ands());
+    }
+}

@@ -1,0 +1,285 @@
+//! Bit-vector gadgets over AIGs: the building blocks of the benchmark
+//! generators. Words are little-endian (`word[0]` is the LSB).
+
+use sbm_aig::{Aig, Lit};
+
+/// Adds `n` fresh inputs as a word.
+pub fn input_word(aig: &mut Aig, n: usize) -> Vec<Lit> {
+    (0..n).map(|_| aig.add_input()).collect()
+}
+
+/// A word of constant bits from an integer (truncated to `n` bits).
+pub fn const_word(value: u128, n: usize) -> Vec<Lit> {
+    (0..n)
+        .map(|i| {
+            if i < 128 && (value >> i) & 1 == 1 {
+                Lit::TRUE
+            } else {
+                Lit::FALSE
+            }
+        })
+        .collect()
+}
+
+/// Full adder: returns (sum, carry).
+pub fn full_adder(aig: &mut Aig, a: Lit, b: Lit, c: Lit) -> (Lit, Lit) {
+    let ab = aig.xor(a, b);
+    let sum = aig.xor(ab, c);
+    let carry = aig.maj3(a, b, c);
+    (sum, carry)
+}
+
+/// Ripple-carry addition; returns (sum word, carry out).
+///
+/// # Panics
+///
+/// Panics if the words have different widths.
+pub fn add(aig: &mut Aig, a: &[Lit], b: &[Lit], carry_in: Lit) -> (Vec<Lit>, Lit) {
+    assert_eq!(a.len(), b.len());
+    let mut carry = carry_in;
+    let mut sum = Vec::with_capacity(a.len());
+    for (&x, &y) in a.iter().zip(b) {
+        let (s, c) = full_adder(aig, x, y, carry);
+        sum.push(s);
+        carry = c;
+    }
+    (sum, carry)
+}
+
+/// Two's-complement subtraction `a - b`; returns (difference,
+/// no-borrow): the second component is `1` iff `a >= b` (unsigned).
+pub fn sub(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> (Vec<Lit>, Lit) {
+    let nb: Vec<Lit> = b.iter().map(|&l| !l).collect();
+    add(aig, a, &nb, Lit::TRUE)
+}
+
+/// Word-wide 2:1 multiplexer: `sel ? t : e`.
+///
+/// # Panics
+///
+/// Panics if the words have different widths.
+pub fn mux_word(aig: &mut Aig, sel: Lit, t: &[Lit], e: &[Lit]) -> Vec<Lit> {
+    assert_eq!(t.len(), e.len());
+    t.iter()
+        .zip(e)
+        .map(|(&x, &y)| aig.mux(sel, x, y))
+        .collect()
+}
+
+/// Unsigned comparison `a < b` (single literal).
+pub fn less_than(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Lit {
+    let (_, no_borrow) = sub(aig, a, b);
+    !no_borrow
+}
+
+/// Equality `a == b`.
+pub fn equal(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Lit {
+    assert_eq!(a.len(), b.len());
+    let bits: Vec<Lit> = a.iter().zip(b).map(|(&x, &y)| aig.xnor(x, y)).collect();
+    aig.and_many(&bits)
+}
+
+/// Logical left shift by a variable amount (barrel structure):
+/// `shift` is little-endian; stage `i` shifts by `2^i`.
+pub fn shift_left(aig: &mut Aig, word: &[Lit], shift: &[Lit]) -> Vec<Lit> {
+    let mut cur: Vec<Lit> = word.to_vec();
+    for (stage, &s) in shift.iter().enumerate() {
+        let amount = 1usize << stage;
+        let shifted: Vec<Lit> = (0..cur.len())
+            .map(|i| {
+                if i >= amount {
+                    cur[i - amount]
+                } else {
+                    Lit::FALSE
+                }
+            })
+            .collect();
+        cur = mux_word(aig, s, &shifted, &cur);
+    }
+    cur
+}
+
+/// Logical right shift by a variable amount.
+pub fn shift_right(aig: &mut Aig, word: &[Lit], shift: &[Lit]) -> Vec<Lit> {
+    let mut cur: Vec<Lit> = word.to_vec();
+    for (stage, &s) in shift.iter().enumerate() {
+        let amount = 1usize << stage;
+        let shifted: Vec<Lit> = (0..cur.len())
+            .map(|i| {
+                if i + amount < cur.len() {
+                    cur[i + amount]
+                } else {
+                    Lit::FALSE
+                }
+            })
+            .collect();
+        cur = mux_word(aig, s, &shifted, &cur);
+    }
+    cur
+}
+
+/// Array multiplier `a × b` (product has `a.len() + b.len()` bits).
+pub fn multiply(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+    let n = a.len() + b.len();
+    let mut acc = const_word(0, n);
+    for (i, &bi) in b.iter().enumerate() {
+        // Partial product: (a & bi) << i, padded to n bits.
+        let mut pp = const_word(0, n);
+        for (j, &aj) in a.iter().enumerate() {
+            if i + j < n {
+                pp[i + j] = aig.and(aj, bi);
+            }
+        }
+        let (s, _) = add(aig, &acc, &pp, Lit::FALSE);
+        acc = s;
+    }
+    acc
+}
+
+/// Population count: the number of set bits, as a ⌈log2(n+1)⌉-bit word,
+/// built as a balanced adder tree.
+pub fn popcount(aig: &mut Aig, bits: &[Lit]) -> Vec<Lit> {
+    if bits.is_empty() {
+        return vec![];
+    }
+    // Start with 1-bit words and repeatedly add pairs.
+    let mut words: Vec<Vec<Lit>> = bits.iter().map(|&b| vec![b]).collect();
+    while words.len() > 1 {
+        let mut next = Vec::with_capacity(words.len().div_ceil(2));
+        let mut iter = words.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => {
+                    let w = a.len().max(b.len());
+                    let pa = zero_extend(&a, w);
+                    let pb = zero_extend(&b, w);
+                    let (mut s, c) = add(aig, &pa, &pb, Lit::FALSE);
+                    s.push(c);
+                    next.push(s);
+                }
+                None => next.push(a),
+            }
+        }
+        words = next;
+    }
+    words.pop().expect("non-empty input")
+}
+
+/// Pads a word with constant zeros up to `n` bits.
+pub fn zero_extend(word: &[Lit], n: usize) -> Vec<Lit> {
+    let mut out = word.to_vec();
+    while out.len() < n {
+        out.push(Lit::FALSE);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Evaluates a word-level circuit on concrete integers.
+    fn eval_word(aig: &Aig, inputs: &[(usize, u64)], outputs: &[Lit]) -> u64 {
+        // inputs: (width, value) pairs in input order.
+        let mut assignment = Vec::new();
+        for &(w, v) in inputs {
+            for i in 0..w {
+                assignment.push((v >> i) & 1 == 1);
+            }
+        }
+        // Evaluate via a throwaway output registration.
+        let mut test = aig.clone();
+        for &o in outputs {
+            test.add_output(o);
+        }
+        let all = test.eval(&assignment);
+        let base = all.len() - outputs.len();
+        all[base..]
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+    }
+
+    #[test]
+    fn adder_is_correct() {
+        let mut aig = Aig::new();
+        let a = input_word(&mut aig, 8);
+        let b = input_word(&mut aig, 8);
+        let (sum, carry) = add(&mut aig, &a, &b, Lit::FALSE);
+        let mut outs = sum;
+        outs.push(carry);
+        for (x, y) in [(0u64, 0u64), (3, 5), (255, 1), (200, 100), (255, 255)] {
+            let got = eval_word(&aig, &[(8, x), (8, y)], &outs);
+            assert_eq!(got, x + y, "{x} + {y}");
+        }
+    }
+
+    #[test]
+    fn subtract_and_compare() {
+        let mut aig = Aig::new();
+        let a = input_word(&mut aig, 8);
+        let b = input_word(&mut aig, 8);
+        let (diff, no_borrow) = sub(&mut aig, &a, &b);
+        let lt = less_than(&mut aig, &a, &b);
+        let eq = equal(&mut aig, &a, &b);
+        for (x, y) in [(10u64, 3u64), (3, 10), (7, 7), (0, 255)] {
+            let d = eval_word(&aig, &[(8, x), (8, y)], &diff);
+            assert_eq!(d, x.wrapping_sub(y) & 0xFF, "{x} - {y}");
+            let nb = eval_word(&aig, &[(8, x), (8, y)], &[no_borrow]);
+            assert_eq!(nb == 1, x >= y);
+            let l = eval_word(&aig, &[(8, x), (8, y)], &[lt]);
+            assert_eq!(l == 1, x < y);
+            let e = eval_word(&aig, &[(8, x), (8, y)], &[eq]);
+            assert_eq!(e == 1, x == y);
+        }
+    }
+
+    #[test]
+    fn shifts_are_correct() {
+        let mut aig = Aig::new();
+        let w = input_word(&mut aig, 8);
+        let s = input_word(&mut aig, 3);
+        let left = shift_left(&mut aig, &w, &s);
+        let right = shift_right(&mut aig, &w, &s);
+        for (x, sh) in [(0b1011_0001u64, 0u64), (0b1011_0001, 3), (0xFF, 7)] {
+            let l = eval_word(&aig, &[(8, x), (3, sh)], &left);
+            assert_eq!(l, (x << sh) & 0xFF);
+            let r = eval_word(&aig, &[(8, x), (3, sh)], &right);
+            assert_eq!(r, x >> sh);
+        }
+    }
+
+    #[test]
+    fn multiplier_is_correct() {
+        let mut aig = Aig::new();
+        let a = input_word(&mut aig, 6);
+        let b = input_word(&mut aig, 6);
+        let p = multiply(&mut aig, &a, &b);
+        for (x, y) in [(0u64, 0u64), (7, 9), (63, 63), (21, 2)] {
+            let got = eval_word(&aig, &[(6, x), (6, y)], &p);
+            assert_eq!(got, x * y, "{x} * {y}");
+        }
+    }
+
+    #[test]
+    fn popcount_is_correct() {
+        let mut aig = Aig::new();
+        let bits = input_word(&mut aig, 9);
+        let count = popcount(&mut aig, &bits);
+        for v in [0u64, 1, 0b101010101, 0x1FF, 0b111] {
+            let got = eval_word(&aig, &[(9, v)], &count);
+            assert_eq!(got, v.count_ones() as u64, "popcount({v:b})");
+        }
+    }
+
+    #[test]
+    fn mux_word_selects() {
+        let mut aig = Aig::new();
+        let s = aig.add_input();
+        let t = input_word(&mut aig, 4);
+        let e = input_word(&mut aig, 4);
+        let m = mux_word(&mut aig, s, &t, &e);
+        assert_eq!(eval_word(&aig, &[(1, 1), (4, 0xA), (4, 0x5)], &m), 0xA);
+        assert_eq!(eval_word(&aig, &[(1, 0), (4, 0xA), (4, 0x5)], &m), 0x5);
+    }
+}

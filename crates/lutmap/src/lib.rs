@@ -1,0 +1,399 @@
+//! A priority-cut k-LUT technology mapper.
+//!
+//! The EPFL synthesis competition tracks best results *mapped into LUT-6*;
+//! the paper maps its optimized AIGs with ABC's `if -K 6 -a` (area-oriented
+//! mapping, Section V-B). This crate reimplements that mapping style:
+//! k-feasible priority cuts, a delay-oriented first pass, and area-flow /
+//! exact-local-area recovery passes, followed by cover derivation.
+//!
+//! # Example
+//!
+//! ```
+//! use sbm_aig::Aig;
+//! use sbm_lutmap::{map_luts, MapOptions};
+//!
+//! let mut aig = Aig::new();
+//! let a = aig.add_input();
+//! let b = aig.add_input();
+//! let c = aig.add_input();
+//! let f = aig.maj3(a, b, c);
+//! aig.add_output(f);
+//! let mapped = map_luts(&aig, &MapOptions::default());
+//! // Majority-of-3 fits one LUT-6.
+//! assert_eq!(mapped.num_luts(), 1);
+//! assert_eq!(mapped.depth(), 1);
+//! ```
+
+use std::collections::HashMap;
+
+use sbm_aig::cut::Cut;
+use sbm_aig::sim::{lit_truth_table, window_truth_tables};
+use sbm_aig::{Aig, NodeId};
+use sbm_tt::TruthTable;
+
+/// Options for LUT mapping.
+#[derive(Debug, Clone, Copy)]
+pub struct MapOptions {
+    /// LUT input count (the paper's experiments use 6).
+    pub k: usize,
+    /// Priority cuts kept per node.
+    pub max_cuts: usize,
+    /// Area-recovery passes after the delay-oriented pass.
+    pub area_rounds: usize,
+}
+
+impl Default for MapOptions {
+    fn default() -> Self {
+        MapOptions {
+            k: 6,
+            max_cuts: 8,
+            area_rounds: 3,
+        }
+    }
+}
+
+/// One mapped LUT: a root node, its cut leaves and the LUT function over
+/// those leaves (leaf `i` = table variable `i`).
+#[derive(Debug, Clone)]
+pub struct Lut {
+    /// The AIG node this LUT implements.
+    pub root: NodeId,
+    /// Cut leaves (AIG inputs or other LUT roots).
+    pub inputs: Vec<NodeId>,
+    /// The LUT function.
+    pub table: TruthTable,
+}
+
+/// A mapped LUT network.
+#[derive(Debug, Clone)]
+pub struct LutNetwork {
+    luts: Vec<Lut>,
+    /// Output references: (node, complemented). The node is an input node,
+    /// the constant node, or the root of a LUT.
+    outputs: Vec<(NodeId, bool)>,
+    input_nodes: Vec<NodeId>,
+}
+
+impl LutNetwork {
+    /// Number of LUTs — the paper's *LUT-6 count* (Table I).
+    pub fn num_luts(&self) -> usize {
+        self.luts.len()
+    }
+
+    /// The mapped LUTs in topological order.
+    pub fn luts(&self) -> &[Lut] {
+        &self.luts
+    }
+
+    /// LUT network depth — the paper's *level count* (Table I).
+    pub fn depth(&self) -> u32 {
+        let mut level: HashMap<NodeId, u32> = HashMap::new();
+        for lut in &self.luts {
+            let l = 1 + lut
+                .inputs
+                .iter()
+                .map(|n| level.get(n).copied().unwrap_or(0))
+                .max()
+                .unwrap_or(0);
+            level.insert(lut.root, l);
+        }
+        self.outputs
+            .iter()
+            .map(|(n, _)| level.get(n).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Evaluates the LUT network under an input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len()` differs from the source AIG's input
+    /// count.
+    pub fn eval(&self, assignment: &[bool]) -> Vec<bool> {
+        assert_eq!(assignment.len(), self.input_nodes.len());
+        let mut values: HashMap<NodeId, bool> = HashMap::new();
+        values.insert(NodeId::CONST, false);
+        for (i, &n) in self.input_nodes.iter().enumerate() {
+            values.insert(n, assignment[i]);
+        }
+        for lut in &self.luts {
+            let mut index = 0usize;
+            for (i, n) in lut.inputs.iter().enumerate() {
+                if values[n] {
+                    index |= 1 << i;
+                }
+            }
+            values.insert(lut.root, lut.table.bit(index));
+        }
+        self.outputs
+            .iter()
+            .map(|&(n, neg)| values[&n] ^ neg)
+            .collect()
+    }
+}
+
+/// A cut together with its mapping costs.
+#[derive(Debug, Clone)]
+struct RankedCut {
+    cut: Cut,
+    depth: u32,
+    area_flow: f64,
+}
+
+/// Per-node mapping state: the kept priority cuts (best first).
+#[derive(Debug, Clone)]
+struct NodeState {
+    cuts: Vec<RankedCut>,
+}
+
+impl NodeState {
+    fn best(&self) -> &RankedCut {
+        &self.cuts[0]
+    }
+}
+
+/// Maps `aig` onto k-input LUTs, area-oriented.
+///
+/// This is the iterative priority-cuts algorithm: each pass re-enumerates
+/// cuts bottom-up, ranking them by the pass's cost function (delay first,
+/// then area flow with depth as tie-breaker, mirroring `if -a`) and keeping
+/// only the `max_cuts` best per node. The final cover is derived from the
+/// outputs.
+pub fn map_luts(aig: &Aig, options: &MapOptions) -> LutNetwork {
+    let order = aig.topo_order();
+    let fanout_counts = aig.fanout_counts();
+    let mut state: HashMap<NodeId, NodeState> = HashMap::new();
+
+    // Pass 0: delay-oriented; passes 1..: area-flow-oriented.
+    for pass in 0..=options.area_rounds {
+        let mut next: HashMap<NodeId, NodeState> = HashMap::new();
+        for &id in &order {
+            let (fa, fb) = aig.fanins(id);
+            // Candidate cuts: merges of the fanins' kept cuts (their trivial
+            // cut included), which yields everything from {fa, fb} up to the
+            // largest k-feasible union.
+            let cuts_of = |n: NodeId, next: &HashMap<NodeId, NodeState>| -> Vec<Cut> {
+                let mut v = vec![Cut::trivial(n)];
+                if let Some(s) = next.get(&n) {
+                    v.extend(s.cuts.iter().map(|rc| rc.cut.clone()));
+                }
+                v
+            };
+            let ca = cuts_of(fa.node(), &next);
+            let cb = cuts_of(fb.node(), &next);
+            let mut merged: Vec<Cut> = Vec::new();
+            for x in &ca {
+                for y in &cb {
+                    if let Some(c) = x.merge(y, options.k) {
+                        if !merged.iter().any(|m| m.dominates(&c)) {
+                            merged.retain(|m| !c.dominates(m));
+                            merged.push(c);
+                        }
+                    }
+                }
+            }
+            // Rank by the pass cost function.
+            let leaf_depth = |n: &NodeId, next: &HashMap<NodeId, NodeState>| {
+                next.get(n).map_or(0, |s| s.best().depth)
+            };
+            let leaf_af = |n: &NodeId, next: &HashMap<NodeId, NodeState>| {
+                next.get(n).map_or(0.0, |s| s.best().area_flow)
+            };
+            let refs = fanout_counts[id.index()].max(1) as f64;
+            let mut ranked: Vec<RankedCut> = merged
+                .into_iter()
+                .map(|cut| {
+                    let depth = 1 + cut
+                        .leaves()
+                        .iter()
+                        .map(|n| leaf_depth(n, &next))
+                        .max()
+                        .unwrap_or(0);
+                    let af = (1.0
+                        + cut
+                            .leaves()
+                            .iter()
+                            .map(|n| leaf_af(n, &next))
+                            .sum::<f64>())
+                        / refs;
+                    RankedCut {
+                        cut,
+                        depth,
+                        area_flow: af,
+                    }
+                })
+                .collect();
+            if pass == 0 {
+                ranked.sort_by(|a, b| {
+                    a.depth
+                        .cmp(&b.depth)
+                        .then(a.area_flow.total_cmp(&b.area_flow))
+                        .then(a.cut.size().cmp(&b.cut.size()))
+                });
+            } else {
+                ranked.sort_by(|a, b| {
+                    a.area_flow
+                        .total_cmp(&b.area_flow)
+                        .then(a.depth.cmp(&b.depth))
+                        .then(b.cut.size().cmp(&a.cut.size()))
+                });
+            }
+            ranked.truncate(options.max_cuts);
+            next.insert(id, NodeState { cuts: ranked });
+        }
+        state = next;
+    }
+
+    // Cover derivation from the outputs.
+    let mut needed: Vec<NodeId> = aig
+        .outputs()
+        .iter()
+        .map(|l| l.node())
+        .filter(|&n| aig.is_and(n))
+        .collect();
+    let mut mapped: HashMap<NodeId, Lut> = HashMap::new();
+    while let Some(id) = needed.pop() {
+        if mapped.contains_key(&id) {
+            continue;
+        }
+        let cut = state[&id].best().cut.clone();
+        let tables = window_truth_tables(aig, &[id], cut.leaves());
+        let table = lit_truth_table(&tables, sbm_aig::Lit::new(id, false))
+            .expect("cut leaves form a valid window");
+        mapped.insert(
+            id,
+            Lut {
+                root: id,
+                inputs: cut.leaves().to_vec(),
+                table,
+            },
+        );
+        for &leaf in cut.leaves() {
+            if aig.is_and(leaf) {
+                needed.push(leaf);
+            }
+        }
+    }
+
+    // Topologically order the chosen LUTs (by AIG topological position).
+    let topo_pos: HashMap<NodeId, usize> =
+        order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let mut luts: Vec<Lut> = mapped.into_values().collect();
+    luts.sort_by_key(|l| topo_pos[&l.root]);
+
+    LutNetwork {
+        luts,
+        outputs: aig
+            .outputs()
+            .iter()
+            .map(|l| (l.node(), l.is_complemented()))
+            .collect(),
+        input_nodes: aig.inputs().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_lut_for_small_cone() {
+        let mut aig = Aig::new();
+        let inputs: Vec<_> = (0..6).map(|_| aig.add_input()).collect();
+        let f = aig.and_many(&inputs);
+        aig.add_output(f);
+        let mapped = map_luts(&aig, &MapOptions::default());
+        assert_eq!(mapped.num_luts(), 1);
+        assert_eq!(mapped.depth(), 1);
+    }
+
+    #[test]
+    fn wide_and_needs_multiple_luts() {
+        let mut aig = Aig::new();
+        let inputs: Vec<_> = (0..12).map(|_| aig.add_input()).collect();
+        let f = aig.and_many(&inputs);
+        aig.add_output(f);
+        let mapped = map_luts(&aig, &MapOptions::default());
+        assert!(mapped.num_luts() >= 2 && mapped.num_luts() <= 3);
+        assert_eq!(mapped.depth(), 2);
+    }
+
+    #[test]
+    fn mapping_preserves_function() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let d = aig.add_input();
+        let x = aig.xor(a, b);
+        let m = aig.maj3(x, c, d);
+        let f = aig.mux(a, m, x);
+        aig.add_output(f);
+        aig.add_output(!m);
+        let mapped = map_luts(&aig, &MapOptions::default());
+        for i in 0..16 {
+            let assignment: Vec<bool> = (0..4).map(|v| (i >> v) & 1 == 1).collect();
+            assert_eq!(mapped.eval(&assignment), aig.eval(&assignment), "pattern {i}");
+        }
+    }
+
+    #[test]
+    fn lut_input_limit_respected() {
+        let mut aig = Aig::new();
+        let inputs: Vec<_> = (0..10).map(|_| aig.add_input()).collect();
+        let f = aig.xor_many(&inputs);
+        aig.add_output(f);
+        for k in [2usize, 4, 6] {
+            let mapped = map_luts(
+                &aig,
+                &MapOptions {
+                    k,
+                    ..Default::default()
+                },
+            );
+            for lut in mapped.luts() {
+                assert!(lut.inputs.len() <= k);
+            }
+            for i in [0usize, 5, 513, 1023] {
+                let assignment: Vec<bool> = (0..10).map(|v| (i >> v) & 1 == 1).collect();
+                assert_eq!(mapped.eval(&assignment), aig.eval(&assignment));
+            }
+        }
+    }
+
+    #[test]
+    fn constant_and_input_outputs() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        aig.add_output(a);
+        aig.add_output(!a);
+        aig.add_output(sbm_aig::Lit::TRUE);
+        let mapped = map_luts(&aig, &MapOptions::default());
+        assert_eq!(mapped.num_luts(), 0);
+        assert_eq!(mapped.eval(&[true]), vec![true, false, true]);
+        assert_eq!(mapped.eval(&[false]), vec![false, true, true]);
+    }
+
+    #[test]
+    fn area_recovery_no_worse_than_delay_only() {
+        // A reconvergent structure where area recovery can share a cut.
+        let mut aig = Aig::new();
+        let inputs: Vec<_> = (0..8).map(|_| aig.add_input()).collect();
+        let x = aig.xor_many(&inputs[0..4]);
+        let y = aig.xor_many(&inputs[4..8]);
+        let f = aig.and(x, y);
+        let g = aig.or(x, y);
+        aig.add_output(f);
+        aig.add_output(g);
+        let with_recovery = map_luts(&aig, &MapOptions::default());
+        let without = map_luts(
+            &aig,
+            &MapOptions {
+                area_rounds: 0,
+                ..Default::default()
+            },
+        );
+        assert!(with_recovery.num_luts() <= without.num_luts());
+    }
+}

@@ -1,0 +1,155 @@
+//! SAT-based redundancy removal.
+//!
+//! A fanin connection of an AND gate is *redundant* if replacing it by
+//! constant 1 (i.e. replacing the gate by its other fanin) does not change
+//! any primary output — the stuck-at-1 fault on that connection is
+//! untestable. Following Debnath et al. \[9\] (cited by the paper and run
+//! as part of its resynthesis script), we test candidate connections with
+//! SAT and remove the proven-redundant ones.
+
+use sbm_aig::sim::Signatures;
+use sbm_aig::{Aig, Lit, NodeId};
+
+use crate::equiv::{check_equivalence, EquivResult};
+
+/// Options for redundancy removal.
+#[derive(Debug, Clone, Copy)]
+pub struct RedundancyOptions {
+    /// Conflict budget per SAT check.
+    pub budget: Option<u64>,
+    /// Maximum number of SAT checks per pass (runtime guard).
+    pub max_checks: usize,
+}
+
+impl Default for RedundancyOptions {
+    fn default() -> Self {
+        RedundancyOptions {
+            budget: Some(2_000),
+            max_checks: 10_000,
+        }
+    }
+}
+
+/// Statistics of a redundancy-removal pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RedundancyStats {
+    /// Connections proven redundant and removed.
+    pub removed: usize,
+    /// SAT checks performed.
+    pub checks: usize,
+}
+
+/// Builds a copy of `aig` in which node `target` is replaced by `with`.
+fn rebuild_with_replacement(aig: &Aig, target: NodeId, with_other_fanin: Lit) -> Option<Aig> {
+    let mut copy = aig.clone();
+    copy.replace(target, with_other_fanin).ok()?;
+    Some(copy.cleanup())
+}
+
+/// Runs one redundancy-removal pass: for every AND gate, tests whether the
+/// gate can be replaced by either of its fanins (stuck-at-1 on the other
+/// connection). Proven-redundant gates are replaced. Returns the stats and
+/// the cleaned network.
+pub fn remove_redundancies(aig: &Aig, options: &RedundancyOptions) -> (Aig, RedundancyStats) {
+    let mut stats = RedundancyStats::default();
+    let mut current = aig.cleanup();
+    // Iterate to a fixpoint (each removal can expose more redundancy), but
+    // bounded by the check budget.
+    'outer: loop {
+        // Simulation prefilter: a gate can only be replaced by one of its
+        // fanins if they agree on all random patterns — this screens out
+        // almost every candidate before any SAT work.
+        let sig = Signatures::random(&current, 8, 0x5EED_0DD5);
+        // Node ids are only valid for the network they came from; restart
+        // the scan whenever `current` is rebuilt.
+        for id in current.topo_order() {
+            if !current.is_and(id) || current.is_replaced(id) {
+                continue;
+            }
+            let (a, b) = current.fanins(id);
+            for candidate in [a, b] {
+                if !sig.maybe_equal(Lit::new(id, false), candidate) {
+                    continue;
+                }
+                if stats.checks >= options.max_checks {
+                    return (current.cleanup(), stats);
+                }
+                stats.checks += 1;
+                let replaced = match rebuild_with_replacement(&current, id, candidate) {
+                    Some(r) => r,
+                    None => continue,
+                };
+                if replaced.num_ands() >= current.num_ands() {
+                    continue;
+                }
+                if check_equivalence(&current, &replaced, options.budget)
+                    == EquivResult::Equivalent
+                {
+                    stats.removed += 1;
+                    current = replaced;
+                    continue 'outer;
+                }
+            }
+        }
+        // A full scan without a removal: fixpoint reached.
+        break;
+    }
+    (current.cleanup(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_redundant_and() {
+        // f = a & (a | b): the (a | b) connection is redundant; f = a.
+        // Note strashing won't simplify this (different structure).
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let o = aig.or(a, b);
+        let f = aig.and(a, o);
+        aig.add_output(f);
+        assert_eq!(aig.num_ands(), 2);
+        let (cleaned, stats) = remove_redundancies(&aig, &RedundancyOptions::default());
+        assert!(stats.removed >= 1, "{stats:?}");
+        assert_eq!(cleaned.num_ands(), 0, "f should collapse to a");
+        assert_eq!(
+            check_equivalence(&aig, &cleaned, None),
+            EquivResult::Equivalent
+        );
+    }
+
+    #[test]
+    fn keeps_irredundant_logic() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let f = aig.maj3(a, b, c);
+        aig.add_output(f);
+        let before = aig.num_ands();
+        let (cleaned, _) = remove_redundancies(&aig, &RedundancyOptions::default());
+        assert_eq!(cleaned.num_ands(), before);
+        assert_eq!(
+            check_equivalence(&aig, &cleaned, None),
+            EquivResult::Equivalent
+        );
+    }
+
+    #[test]
+    fn respects_check_limit() {
+        let mut aig = Aig::new();
+        let inputs: Vec<_> = (0..6).map(|_| aig.add_input()).collect();
+        let f = aig.and_many(&inputs);
+        aig.add_output(f);
+        let opts = RedundancyOptions {
+            budget: Some(100),
+            max_checks: 1,
+            ..Default::default()
+        };
+        let (_, stats) = remove_redundancies(&aig, &opts);
+        assert!(stats.checks <= 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Algebraic (weak) division of covers.
+//!
+//! Weak division finds, for a cover `f` and divisor `d`, the unique largest
+//! quotient `q` and remainder `r` such that `f = q·d + r` algebraically
+//! (no use of Boolean identities; the cubes of `q·d` are literally cubes of
+//! `f`). It is the workhorse of kernel-based extraction (De Micheli \[10\]).
+
+use crate::cover::{Cover, Cube};
+
+/// Divides `f` by the single cube `d`: the quotient collects every cube of
+/// `f` containing `d`, with `d`'s literals erased; the remainder is the
+/// rest.
+pub fn divide_by_cube(f: &Cover, d: &Cube) -> (Cover, Cover) {
+    let mut q = Vec::new();
+    let mut r = Vec::new();
+    for c in f.cubes() {
+        match c.quotient(d) {
+            Some(qc) => q.push(qc),
+            None => r.push(c.clone()),
+        }
+    }
+    (Cover::from_cubes(q), Cover::from_cubes(r))
+}
+
+/// Weak division `f / d` for a multi-cube divisor: the quotient is the
+/// intersection of the per-cube quotients, the remainder is `f − q·d`.
+///
+/// Returns `(q, r)` with `f = q·d + r` (checked by the crate's property
+/// tests). When `d` does not divide `f`, `q` is the zero cover and `r = f`.
+pub fn divide(f: &Cover, d: &Cover) -> (Cover, Cover) {
+    if d.is_zero() {
+        return (Cover::zero(), f.clone());
+    }
+    let mut quotient: Option<Vec<Cube>> = None;
+    for dc in d.cubes() {
+        let (qi, _) = divide_by_cube(f, dc);
+        let set: Vec<Cube> = qi.cubes().to_vec();
+        quotient = Some(match quotient {
+            None => set,
+            Some(prev) => prev.into_iter().filter(|c| set.contains(c)).collect(),
+        });
+        if quotient.as_ref().is_some_and(Vec::is_empty) {
+            break;
+        }
+    }
+    let q = Cover::from_cubes(quotient.unwrap_or_default());
+    if q.is_zero() {
+        return (Cover::zero(), f.clone());
+    }
+    // r = f − q·d, cube-wise (q·d's cubes are cubes of f by construction).
+    let qd = q.and(d);
+    let r = Cover::from_cubes(
+        f.cubes()
+            .iter()
+            .filter(|c| !qd.cubes().contains(c))
+            .cloned()
+            .collect(),
+    );
+    (q, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cover::SignalLit;
+
+    fn lit(s: u32) -> SignalLit {
+        SignalLit::positive(s)
+    }
+
+    fn cover(cubes: &[&[SignalLit]]) -> Cover {
+        Cover::from_cubes(cubes.iter().map(|c| Cube::from_lits(c)).collect())
+    }
+
+    #[test]
+    fn textbook_division() {
+        // f = a·c + a·d + b·c + b·d + e;  d = a + b
+        // q = c + d, r = e.
+        let (a, b, c, d, e) = (lit(0), lit(1), lit(2), lit(3), lit(4));
+        let f = cover(&[&[a, c], &[a, d], &[b, c], &[b, d], &[e]]);
+        let div = cover(&[&[a], &[b]]);
+        let (q, r) = divide(&f, &div);
+        assert_eq!(q, cover(&[&[c], &[d]]));
+        assert_eq!(r, cover(&[&[e]]));
+    }
+
+    #[test]
+    fn division_identity() {
+        // f = q·d + r must hold.
+        let (a, b, c, d, e) = (lit(0), lit(1), lit(2), lit(3), lit(4));
+        let f = cover(&[&[a, c], &[a, d], &[b, c], &[b, d], &[e]]);
+        let div = cover(&[&[a], &[b]]);
+        let (q, r) = divide(&f, &div);
+        assert_eq!(q.and(&div).or(&r), f);
+    }
+
+    #[test]
+    fn non_divisor_gives_zero_quotient() {
+        let (a, b, z) = (lit(0), lit(1), lit(9));
+        let f = cover(&[&[a], &[b]]);
+        let div = cover(&[&[z]]);
+        let (q, r) = divide(&f, &div);
+        assert!(q.is_zero());
+        assert_eq!(r, f);
+    }
+
+    #[test]
+    fn cube_division() {
+        // f = a·b·c + a·b·d + e; divide by cube a·b.
+        let (a, b, c, d, e) = (lit(0), lit(1), lit(2), lit(3), lit(4));
+        let f = cover(&[&[a, b, c], &[a, b, d], &[e]]);
+        let (q, r) = divide_by_cube(&f, &Cube::from_lits(&[a, b]));
+        assert_eq!(q, cover(&[&[c], &[d]]));
+        assert_eq!(r, cover(&[&[e]]));
+    }
+
+    #[test]
+    fn divide_by_one_returns_f() {
+        let (a, b) = (lit(0), lit(1));
+        let f = cover(&[&[a], &[b]]);
+        let (q, r) = divide(&f, &Cover::one());
+        assert_eq!(q, f);
+        assert!(r.is_zero());
+    }
+}

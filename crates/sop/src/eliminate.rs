@@ -1,0 +1,241 @@
+//! Node elimination (forward collapsing) under a literal-variation
+//! threshold.
+//!
+//! "Node elimination, also known as forward node collapsing, aims at
+//! collapsing a node into its fanouts' SOPs. As a result, the node is
+//! eliminated" (paper, Section IV-B footnote). "We go over all nodes … and
+//! for each node, we estimate the variation in the number of literals …
+//! that would result from the collapsing of the node into its fanouts. If
+//! this variation is less than the specified threshold, the collapsing is
+//! performed. The operation is repeated until no node gets collapsed."
+//!
+//! The threshold is the knob the heterogeneous engine sweeps over
+//! `(-1, 2, 5, 20, 50, 100, 200, 300)`.
+
+use crate::cover::{Cover, SignalLit};
+use crate::network::SopNetwork;
+
+/// Cube budget for computing a collapsed node's complement (needed when a
+/// fanout uses the node in the negative phase).
+const COMPLEMENT_CUBE_LIMIT: usize = 64;
+
+/// Statistics of an eliminate pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EliminateStats {
+    /// Nodes collapsed into their fanouts.
+    pub collapsed: usize,
+    /// Passes over the network until a fixpoint.
+    pub passes: usize,
+}
+
+/// Computes the literal variation that collapsing `signal` into its fanouts
+/// would cause: `Σ lits(fanout after) − Σ lits(fanout before) − lits(node)`
+/// (the node's own cover disappears when the node dies).
+///
+/// Returns `None` if the collapse is infeasible (a fanout uses the node in
+/// the negative phase and the complement blows past the cube budget, or the
+/// node drives a primary output so it cannot die).
+pub fn collapse_variation(net: &SopNetwork, signal: u32) -> Option<i64> {
+    if net.is_input(signal) {
+        return None;
+    }
+    if net.outputs().iter().any(|l| l.signal() == signal) {
+        return None;
+    }
+    let fanouts = net.fanouts();
+    let users = fanouts.get(&signal)?;
+    let pos = net.cover(signal).clone();
+    let needs_neg = users.iter().any(|&u| {
+        net.cover(u)
+            .cubes()
+            .iter()
+            .any(|c| c.contains(SignalLit::negative(signal)))
+    });
+    let neg = if needs_neg {
+        pos.complement(COMPLEMENT_CUBE_LIMIT)?
+    } else {
+        Cover::zero()
+    };
+    let mut delta: i64 = -(pos.num_lits() as i64);
+    for &u in users {
+        let before = net.cover(u).num_lits() as i64;
+        let after = net.cover(u).substitute(signal, &pos, &neg).num_lits() as i64;
+        delta += after - before;
+    }
+    Some(delta)
+}
+
+/// Collapses `signal` into all its fanouts (unconditionally, as long as it
+/// is feasible). Returns whether the collapse happened.
+pub fn collapse(net: &mut SopNetwork, signal: u32) -> bool {
+    if net.is_input(signal) || net.outputs().iter().any(|l| l.signal() == signal) {
+        return false;
+    }
+    let fanouts = net.fanouts();
+    let users = match fanouts.get(&signal) {
+        Some(u) => u.clone(),
+        None => return false,
+    };
+    let pos = net.cover(signal).clone();
+    let needs_neg = users.iter().any(|&u| {
+        net.cover(u)
+            .cubes()
+            .iter()
+            .any(|c| c.contains(SignalLit::negative(signal)))
+    });
+    let neg = if needs_neg {
+        match pos.complement(COMPLEMENT_CUBE_LIMIT) {
+            Some(n) => n,
+            None => return false,
+        }
+    } else {
+        Cover::zero()
+    };
+    for u in users {
+        let new_cover = net.cover(u).substitute(signal, &pos, &neg);
+        net.set_cover(u, new_cover);
+    }
+    true
+}
+
+/// Runs eliminate to a fixpoint with the given literal-variation
+/// `threshold`: a node is collapsed when its variation is **less than** the
+/// threshold (paper wording). Threshold `-1` therefore only collapses nodes
+/// that strictly reduce literals by at least 2; threshold `300` collapses
+/// almost everything feasible.
+pub fn eliminate(net: &mut SopNetwork, threshold: i64) -> EliminateStats {
+    let mut stats = EliminateStats::default();
+    loop {
+        stats.passes += 1;
+        let mut any = false;
+        // Snapshot the node list: collapsing changes fanouts as we go.
+        for signal in net.live_nodes() {
+            if let Some(delta) = collapse_variation(net, signal) {
+                if delta < threshold && collapse(net, signal) {
+                    stats.collapsed += 1;
+                    any = true;
+                }
+            }
+        }
+        if !any {
+            return stats;
+        }
+        // Safety valve against pathological ping-pong (collapse cannot
+        // re-create nodes, so this is just an upper bound on passes).
+        if stats.passes > 64 {
+            return stats;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cover::{Cover, Cube, SignalLit};
+    use crate::network::SopNetwork;
+
+    fn lit(s: u32) -> SignalLit {
+        SignalLit::positive(s)
+    }
+
+    /// x = a·b; f = x·c — collapsing x gives f = a·b·c.
+    fn simple_chain() -> (SopNetwork, u32, u32) {
+        let mut net = SopNetwork::new(3);
+        let x = net.add_node(Cover::from_cubes(vec![Cube::from_lits(&[lit(0), lit(1)])]));
+        let f = net.add_node(Cover::from_cubes(vec![Cube::from_lits(&[
+            lit(x),
+            lit(2),
+        ])]));
+        net.add_output(lit(f));
+        (net, x, f)
+    }
+
+    #[test]
+    fn variation_estimates_collapse() {
+        let (net, x, _) = simple_chain();
+        // Before: x has 2 lits, f has 2 lits (4 total). After: f has 3 lits.
+        // delta = 3 - 2 - 2 = -1.
+        assert_eq!(collapse_variation(&net, x), Some(-1));
+    }
+
+    #[test]
+    fn collapse_preserves_function() {
+        let (mut net, x, _) = simple_chain();
+        let before: Vec<_> = (0..8)
+            .map(|m| net.eval(&[(m & 1) == 1, (m >> 1) & 1 == 1, (m >> 2) & 1 == 1]))
+            .collect();
+        assert!(collapse(&mut net, x));
+        let after: Vec<_> = (0..8)
+            .map(|m| net.eval(&[(m & 1) == 1, (m >> 1) & 1 == 1, (m >> 2) & 1 == 1]))
+            .collect();
+        assert_eq!(before, after);
+        // x is now dead.
+        assert!(!net.live_nodes().contains(&x));
+    }
+
+    #[test]
+    fn negative_phase_collapse_uses_complement() {
+        let mut net = SopNetwork::new(2);
+        // x = a·b; f = x' (pure complement use).
+        let x = net.add_node(Cover::from_cubes(vec![Cube::from_lits(&[lit(0), lit(1)])]));
+        let f = net.add_node(Cover::from_cubes(vec![Cube::from_lits(&[
+            SignalLit::negative(x),
+        ])]));
+        net.add_output(lit(f));
+        assert!(collapse(&mut net, x));
+        assert_eq!(net.eval(&[true, true]), vec![false]);
+        assert_eq!(net.eval(&[true, false]), vec![true]);
+    }
+
+    #[test]
+    fn output_nodes_not_collapsed() {
+        let mut net = SopNetwork::new(2);
+        let x = net.add_node(Cover::from_cubes(vec![Cube::from_lits(&[lit(0), lit(1)])]));
+        net.add_output(lit(x));
+        assert_eq!(collapse_variation(&net, x), None);
+        assert!(!collapse(&mut net, x));
+    }
+
+    #[test]
+    fn threshold_controls_aggressiveness() {
+        // y = a + b (2 lits); f = y·c + y·d (4 lits). Collapsing y:
+        // f = a·c + b·c + a·d + b·d (8 lits): delta = 8 - 4 - 2 = +2.
+        let mut net = SopNetwork::new(4);
+        let y = net.add_node(Cover::from_cubes(vec![
+            Cube::from_lits(&[lit(0)]),
+            Cube::from_lits(&[lit(1)]),
+        ]));
+        let f = net.add_node(Cover::from_cubes(vec![
+            Cube::from_lits(&[lit(y), lit(2)]),
+            Cube::from_lits(&[lit(y), lit(3)]),
+        ]));
+        net.add_output(lit(f));
+        assert_eq!(collapse_variation(&net, y), Some(2));
+        // threshold -1: not collapsed.
+        let mut strict = net.clone();
+        let stats = eliminate(&mut strict, -1);
+        assert_eq!(stats.collapsed, 0);
+        assert!(strict.live_nodes().contains(&y));
+        // threshold 5 (> 2): collapsed.
+        let mut loose = net.clone();
+        let stats = eliminate(&mut loose, 5);
+        assert_eq!(stats.collapsed, 1);
+        assert!(!loose.live_nodes().contains(&y));
+    }
+
+    #[test]
+    fn eliminate_reaches_fixpoint() {
+        // A chain of single-literal buffers all collapse away.
+        let mut net = SopNetwork::new(1);
+        let mut cur = 0u32;
+        for _ in 0..5 {
+            cur = net.add_node(Cover::literal(lit(cur)));
+        }
+        let f = net.add_node(Cover::from_cubes(vec![Cube::from_lits(&[lit(cur)])]));
+        net.add_output(lit(f));
+        let stats = eliminate(&mut net, 2);
+        assert_eq!(stats.collapsed, 5);
+        assert_eq!(net.live_nodes().len(), 1);
+        assert_eq!(net.eval(&[true]), vec![true]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Irredundant sum-of-products from (incompletely specified) truth tables.
+//!
+//! Implements the Minato–Morreale ISOP algorithm on truth tables: given an
+//! ON-set lower bound `on` and an upper bound `on ∨ dc`, it produces an
+//! irredundant cover between the two. This is the bridge from functional
+//! representations (truth tables, BDDs) back to SOP form, used by the
+//! refactoring and rewriting moves to resynthesize collapsed cones —
+//! optionally exploiting don't-cares (permissible functions).
+
+use sbm_tt::TruthTable;
+
+use crate::cover::{Cover, Cube, SignalLit};
+
+/// Computes an irredundant cover `c` with `on ⊆ c ⊆ upper` (variable `i` of
+/// the tables maps to signal `i`).
+///
+/// # Panics
+///
+/// Panics if the tables have different variable counts or `on ⊄ upper`.
+pub fn isop(on: &TruthTable, upper: &TruthTable) -> Cover {
+    assert_eq!(on.num_vars(), upper.num_vars());
+    assert!(on.implies(upper), "lower bound must imply upper bound");
+    let (cover, _) = isop_rec(on, upper, on.num_vars());
+    cover
+}
+
+/// Computes an irredundant cover of `f` exactly (no don't-cares).
+pub fn isop_exact(f: &TruthTable) -> Cover {
+    isop(f, f)
+}
+
+/// Recursive Minato–Morreale: returns the cover and the table of its
+/// function.
+fn isop_rec(lower: &TruthTable, upper: &TruthTable, vars_left: usize) -> (Cover, TruthTable) {
+    let n = lower.num_vars();
+    if lower.is_zero() {
+        return (Cover::zero(), TruthTable::zero(n));
+    }
+    if upper.is_one() {
+        return (Cover::one(), TruthTable::one(n));
+    }
+    debug_assert!(vars_left > 0, "non-constant bounds but no variables left");
+    let v = vars_left - 1;
+    let x = SignalLit::positive(v as u32);
+    let nx = SignalLit::negative(v as u32);
+
+    let l0 = lower.cofactor0(v);
+    let l1 = lower.cofactor1(v);
+    let u0 = upper.cofactor0(v);
+    let u1 = upper.cofactor1(v);
+
+    // Cubes that must contain x̄: ON where x = 0 but not coverable with x = 1.
+    let (c0, t0) = isop_rec(&(&l0 & &!&u1), &u0, v);
+    // Cubes that must contain x.
+    let (c1, t1) = isop_rec(&(&l1 & &!&u0), &u1, v);
+    // Remaining minterms, coverable independently of v.
+    let lnew = &(&l0 & &!&t0) | &(&l1 & &!&t1);
+    let (cstar, tstar) = isop_rec(&lnew, &(&u0 & &u1), v);
+
+    let xvar = TruthTable::var(n, v);
+    let table = &(&(&!&xvar & &t0) | &(&xvar & &t1)) | &tstar;
+
+    let mut cubes = Vec::new();
+    for c in c0.cubes() {
+        cubes.push(c.intersect(&Cube::from_lits(&[nx])).expect("v not in sub-cover"));
+    }
+    for c in c1.cubes() {
+        cubes.push(c.intersect(&Cube::from_lits(&[x])).expect("v not in sub-cover"));
+    }
+    cubes.extend(cstar.cubes().iter().cloned());
+    (Cover::from_cubes(cubes), table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_exact(f: &TruthTable) {
+        let cover = isop_exact(f);
+        for m in 0..f.num_bits() {
+            let v = |s: u32| (m >> s) & 1 == 1;
+            assert_eq!(cover.eval(v), f.bit(m), "minterm {m} of {f}");
+        }
+    }
+
+    #[test]
+    fn simple_functions() {
+        let a = TruthTable::var(3, 0);
+        let b = TruthTable::var(3, 1);
+        let c = TruthTable::var(3, 2);
+        check_exact(&(&a & &b));
+        check_exact(&(&a | &(&b & &c)));
+        check_exact(&(&a ^ &b));
+        check_exact(&(&(&a ^ &b) ^ &c));
+        check_exact(&TruthTable::zero(3));
+        check_exact(&TruthTable::one(3));
+    }
+
+    #[test]
+    fn xor_cover_has_expected_size() {
+        let a = TruthTable::var(2, 0);
+        let b = TruthTable::var(2, 1);
+        let cover = isop_exact(&(&a ^ &b));
+        assert_eq!(cover.num_cubes(), 2);
+        assert_eq!(cover.num_lits(), 4);
+    }
+
+    #[test]
+    fn majority_cover() {
+        let a = TruthTable::var(3, 0);
+        let b = TruthTable::var(3, 1);
+        let c = TruthTable::var(3, 2);
+        let maj = &(&(&a & &b) | &(&a & &c)) | &(&b & &c);
+        let cover = isop_exact(&maj);
+        assert_eq!(cover.num_cubes(), 3, "{cover}");
+        check_exact(&maj);
+    }
+
+    #[test]
+    fn dont_cares_shrink_cover() {
+        // f = a·b with b don't-care whenever a = 0: cover can be just "b"
+        // or even smaller forms.
+        let a = TruthTable::var(2, 0);
+        let b = TruthTable::var(2, 1);
+        let on = &a & &b;
+        let upper = &on | &!&a; // DC where a = 0
+        let cover = isop(&on, &upper);
+        let exact = isop_exact(&on);
+        assert!(cover.num_lits() <= exact.num_lits());
+        // Result must lie between the bounds.
+        for m in 0..4usize {
+            let v = |s: u32| (m >> s) & 1 == 1;
+            if on.bit(m) {
+                assert!(cover.eval(v), "must cover ON minterm {m}");
+            }
+            if !upper.bit(m) {
+                assert!(!cover.eval(v), "must avoid OFF minterm {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_functions_are_covered() {
+        for seed in 0..20u64 {
+            let bits = seed.wrapping_mul(0x9E3779B97F4A7C15) | seed;
+            let f = TruthTable::from_bits(5, bits);
+            check_exact(&f);
+        }
+    }
+}

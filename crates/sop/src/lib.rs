@@ -1,0 +1,46 @@
+//! Multi-level logic networks of sum-of-products (SOP) nodes.
+//!
+//! This crate is the substrate for the paper's **heterogeneous elimination
+//! for kernel extraction** engine (Section IV-B): "kernel extraction is one
+//! of the most effective techniques in logic optimization … prior to kernel
+//! extraction, node elimination is often used to create larger SOPs."
+//!
+//! It provides:
+//!
+//! * [`Cube`] / [`Cover`] — sparse cubes and two-level covers over network
+//!   signals;
+//! * [`divide`] — algebraic (weak) division `f = q·d + r`;
+//! * [`kernel`] — kernels and co-kernels of a cover;
+//! * [`factor`] — algebraic factoring, used to emit compact AIGs;
+//! * [`SopNetwork`] — the multi-level network with AIG round-trip
+//!   conversions;
+//! * [`eliminate`] — forward node collapsing under a literal-variation
+//!   threshold (the knob the heterogeneous engine sweeps);
+//! * [`extract`] — greedy divisor extraction (single- and double-cube
+//!   divisors, the fast-extract family), which realizes kerneling.
+//!
+//! # Example
+//!
+//! ```
+//! use sbm_sop::{Cover, Cube, SignalLit};
+//!
+//! // f = a·b + a·c — one kernel (b + c) with co-kernel a.
+//! let a = SignalLit::positive(0);
+//! let b = SignalLit::positive(1);
+//! let c = SignalLit::positive(2);
+//! let f = Cover::from_cubes(vec![Cube::from_lits(&[a, b]), Cube::from_lits(&[a, c])]);
+//! let kernels = sbm_sop::kernel::kernels(&f);
+//! assert!(kernels.iter().any(|(k, _)| k.num_cubes() == 2));
+//! ```
+
+mod cover;
+pub mod divide;
+pub mod eliminate;
+pub mod extract;
+pub mod factor;
+pub mod isop;
+pub mod kernel;
+mod network;
+
+pub use cover::{Cover, Cube, SignalLit};
+pub use network::{Signal, SopNetwork};

@@ -1,0 +1,129 @@
+//! Property tests: SOP transformations must preserve network function, and
+//! algebraic division must satisfy its defining identity.
+
+use proptest::prelude::*;
+use sbm_sop::{divide, eliminate, extract, factor, Cover, Cube, SignalLit, SopNetwork};
+
+/// A random cover over `num_signals` input signals.
+fn arb_cover(num_signals: u32) -> impl Strategy<Value = Cover> {
+    let cube = proptest::collection::btree_map(0..num_signals, any::<bool>(), 1..=4)
+        .prop_map(|m| {
+            Cube::from_lits(
+                &m.into_iter()
+                    .map(|(s, neg)| SignalLit::new(s, neg))
+                    .collect::<Vec<_>>(),
+            )
+        });
+    proptest::collection::vec(cube, 1..=6).prop_map(Cover::from_cubes)
+}
+
+/// A random 2-level network: `n` nodes over 5 inputs, later nodes may use
+/// earlier node outputs.
+fn arb_network() -> impl Strategy<Value = SopNetwork> {
+    let node_cube = |pool: u32| {
+        proptest::collection::btree_map(0..pool, any::<bool>(), 1..=3).prop_map(|m| {
+            Cube::from_lits(
+                &m.into_iter()
+                    .map(|(s, neg)| SignalLit::new(s, neg))
+                    .collect::<Vec<_>>(),
+            )
+        })
+    };
+    (2usize..=5).prop_flat_map(move |num_nodes| {
+        let mut node_strats = Vec::new();
+        for i in 0..num_nodes {
+            let pool = 5 + i as u32;
+            node_strats.push(
+                proptest::collection::vec(node_cube(pool), 1..=4).prop_map(Cover::from_cubes),
+            );
+        }
+        node_strats.prop_map(|covers| {
+            let mut net = SopNetwork::new(5);
+            let mut last = 0;
+            for c in covers {
+                last = net.add_node(c);
+            }
+            net.add_output(SignalLit::positive(last));
+            net
+        })
+    })
+}
+
+fn truth_vector(net: &SopNetwork) -> Vec<Vec<bool>> {
+    (0..32usize)
+        .map(|m| {
+            let assignment: Vec<bool> = (0..5).map(|i| (m >> i) & 1 == 1).collect();
+            net.eval(&assignment)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn division_identity(f in arb_cover(6), d in arb_cover(6)) {
+        let (q, r) = divide::divide(&f, &d);
+        // f ≡ q·d + r must hold as Boolean functions.
+        let recombined = q.and(&d).or(&r);
+        for m in 0..64u32 {
+            let v = |s: u32| (m >> s) & 1 == 1;
+            prop_assert_eq!(recombined.eval(v), f.eval(v), "minterm {}", m);
+        }
+    }
+
+    #[test]
+    fn factoring_is_exact(f in arb_cover(6)) {
+        let fac = factor::factor(&f);
+        for m in 0..64u32 {
+            let v = |s: u32| (m >> s) & 1 == 1;
+            prop_assert_eq!(fac.eval(v), f.eval(v), "minterm {}", m);
+        }
+        // Algebraic factoring never increases literal count.
+        prop_assert!(fac.num_lits() <= f.num_lits());
+    }
+
+    #[test]
+    fn complement_is_exact(f in arb_cover(5)) {
+        if let Some(nf) = f.complement(256) {
+            for m in 0..32u32 {
+                let v = |s: u32| (m >> s) & 1 == 1;
+                prop_assert_eq!(nf.eval(v), !f.eval(v), "minterm {}", m);
+            }
+        }
+    }
+
+    #[test]
+    fn eliminate_preserves_function(mut net in arb_network(), threshold in -1i64..=300) {
+        let before = truth_vector(&net);
+        eliminate::eliminate(&mut net, threshold);
+        prop_assert_eq!(truth_vector(&net), before);
+    }
+
+    #[test]
+    fn extract_preserves_function(mut net in arb_network()) {
+        let before = truth_vector(&net);
+        let lits_before = net.num_lits();
+        let stats = extract::extract(&mut net, 8);
+        prop_assert_eq!(truth_vector(&net), before);
+        if stats.divisors_extracted > 0 {
+            prop_assert!(net.num_lits() <= lits_before);
+        }
+    }
+
+    #[test]
+    fn kernels_are_cube_free(f in arb_cover(6)) {
+        for (k, _) in sbm_sop::kernel::kernels(&f) {
+            prop_assert!(k.is_cube_free(), "kernel {} not cube-free", k);
+        }
+    }
+
+    #[test]
+    fn aig_round_trip_preserves_function(net in arb_network()) {
+        let aig = net.to_aig();
+        for m in 0..32usize {
+            let assignment: Vec<bool> = (0..5).map(|i| (m >> i) & 1 == 1).collect();
+            prop_assert_eq!(aig.eval(&assignment), net.eval(&assignment));
+        }
+    }
+}

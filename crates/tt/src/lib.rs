@@ -1,0 +1,33 @@
+//! Bit-parallel truth tables — the small-window reasoning engine of the SBM
+//! framework.
+//!
+//! Truth tables are a canonical representation of a Boolean function where the
+//! function values are listed for all input combinations (Section II-A of the
+//! paper). When Boolean methods are applied to small windows of logic
+//! (≈ 15 inputs), truth tables enable fast computation and equivalence
+//! checking. The SBM framework uses them for functional filtering of
+//! resubstitution candidates and for window-level don't-care reasoning.
+//!
+//! # Example
+//!
+//! ```
+//! use sbm_tt::TruthTable;
+//!
+//! // f = x0 & (x1 | x2) over three variables
+//! let x0 = TruthTable::var(3, 0);
+//! let x1 = TruthTable::var(3, 1);
+//! let x2 = TruthTable::var(3, 2);
+//! let f = &x0 & &(&x1 | &x2);
+//! assert_eq!(f.count_ones(), 3);
+//! assert!(f.support().contains(&0));
+//! ```
+
+mod table;
+
+pub use table::TruthTable;
+
+/// The maximum number of variables a [`TruthTable`] supports.
+///
+/// 2^20 bits = 128 KiB per table; windows in the SBM framework are far
+/// smaller (the paper uses ≈ 15-input windows), but headroom is cheap.
+pub const MAX_VARS: usize = 20;

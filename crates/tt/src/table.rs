@@ -1,0 +1,657 @@
+//! The [`TruthTable`] type and its operations.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+use crate::MAX_VARS;
+
+/// Precomputed projection masks for variables 0..6 within a single word.
+const VAR_MASKS: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+/// A truth table over a fixed number of Boolean variables.
+///
+/// The table stores one bit per input assignment, packed into 64-bit words
+/// (least-significant bit = assignment `00…0`). All bit positions beyond
+/// `2^num_vars` are kept zero, which makes equality, hashing and counting
+/// well-defined for tables with fewer than 6 variables.
+///
+/// Operator overloads (`&`, `|`, `^`, `!`) are provided on references so that
+/// expressions do not consume their operands.
+///
+/// # Example
+///
+/// ```
+/// use sbm_tt::TruthTable;
+///
+/// let a = TruthTable::var(2, 0);
+/// let b = TruthTable::var(2, 1);
+/// let xor = &a ^ &b;
+/// assert_eq!(xor.count_ones(), 2);
+/// assert_eq!(&(&a & &b) | &xor, &a | &b);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct TruthTable {
+    num_vars: usize,
+    words: Vec<u64>,
+}
+
+impl TruthTable {
+    /// Number of 64-bit words needed for an `n`-variable table.
+    fn word_count(num_vars: usize) -> usize {
+        if num_vars <= 6 {
+            1
+        } else {
+            1 << (num_vars - 6)
+        }
+    }
+
+    /// Mask selecting the valid bits of the final (only) word for small `n`.
+    fn tail_mask(num_vars: usize) -> u64 {
+        if num_vars >= 6 {
+            u64::MAX
+        } else {
+            (1u64 << (1 << num_vars)) - 1
+        }
+    }
+
+    /// Creates the constant-zero function over `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars` exceeds [`MAX_VARS`].
+    pub fn zero(num_vars: usize) -> Self {
+        assert!(
+            num_vars <= MAX_VARS,
+            "truth table limited to {MAX_VARS} variables, got {num_vars}"
+        );
+        TruthTable {
+            num_vars,
+            words: vec![0; Self::word_count(num_vars)],
+        }
+    }
+
+    /// Creates the constant-one function over `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars` exceeds [`MAX_VARS`].
+    pub fn one(num_vars: usize) -> Self {
+        let mut t = Self::zero(num_vars);
+        for w in &mut t.words {
+            *w = u64::MAX;
+        }
+        t.mask_tail();
+        t
+    }
+
+    /// Creates the projection function `x_index` over `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= num_vars` or `num_vars > MAX_VARS`.
+    pub fn var(num_vars: usize, index: usize) -> Self {
+        assert!(
+            index < num_vars,
+            "variable index {index} out of range for {num_vars} variables"
+        );
+        let mut t = Self::zero(num_vars);
+        if index < 6 {
+            for w in &mut t.words {
+                *w = VAR_MASKS[index];
+            }
+        } else {
+            let period = 1usize << (index - 6);
+            for (i, w) in t.words.iter_mut().enumerate() {
+                if (i / period) % 2 == 1 {
+                    *w = u64::MAX;
+                }
+            }
+        }
+        t.mask_tail();
+        t
+    }
+
+    /// Builds a table from the low bits of `bits` (assignment `i` maps to bit
+    /// `i`). Bits beyond `2^num_vars` are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > 6` (use [`TruthTable::from_words`] instead).
+    pub fn from_bits(num_vars: usize, bits: u64) -> Self {
+        assert!(num_vars <= 6, "from_bits only supports up to 6 variables");
+        let mut t = Self::zero(num_vars);
+        t.words[0] = bits;
+        t.mask_tail();
+        t
+    }
+
+    /// Builds a table from raw words (LSB-first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` does not match the required word count.
+    pub fn from_words(num_vars: usize, words: Vec<u64>) -> Self {
+        assert!(num_vars <= MAX_VARS);
+        assert_eq!(
+            words.len(),
+            Self::word_count(num_vars),
+            "wrong number of words for {num_vars} variables"
+        );
+        let mut t = TruthTable { num_vars, words };
+        t.mask_tail();
+        t
+    }
+
+    /// Zeroes all storage bits beyond `2^num_vars`.
+    fn mask_tail(&mut self) {
+        if self.num_vars < 6 {
+            self.words[0] &= Self::tail_mask(self.num_vars);
+        }
+    }
+
+    /// The number of variables of this table.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The underlying words (LSB-first).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The number of bits (input assignments) of this table.
+    pub fn num_bits(&self) -> usize {
+        1 << self.num_vars
+    }
+
+    /// Returns the function value under the assignment encoded in `index`
+    /// (bit `v` of `index` is the value of variable `v`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^num_vars`.
+    pub fn bit(&self, index: usize) -> bool {
+        assert!(index < self.num_bits(), "assignment index out of range");
+        (self.words[index >> 6] >> (index & 63)) & 1 == 1
+    }
+
+    /// Sets the function value under assignment `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^num_vars`.
+    pub fn set_bit(&mut self, index: usize, value: bool) {
+        assert!(index < self.num_bits(), "assignment index out of range");
+        let w = &mut self.words[index >> 6];
+        if value {
+            *w |= 1 << (index & 63);
+        } else {
+            *w &= !(1 << (index & 63));
+        }
+    }
+
+    /// Whether this is the constant-zero function.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Whether this is the constant-one function.
+    pub fn is_one(&self) -> bool {
+        if self.num_vars >= 6 {
+            self.words.iter().all(|&w| w == u64::MAX)
+        } else {
+            self.words[0] == Self::tail_mask(self.num_vars)
+        }
+    }
+
+    /// Number of satisfying assignments (the ON-set size).
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// The positive cofactor with respect to variable `var` (same variable
+    /// count; the cofactored variable becomes redundant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn cofactor1(&self, var: usize) -> Self {
+        assert!(var < self.num_vars);
+        let mut out = self.clone();
+        if var < 6 {
+            let mask = VAR_MASKS[var];
+            let shift = 1 << var;
+            for w in &mut out.words {
+                let hi = *w & mask;
+                *w = hi | (hi >> shift);
+            }
+        } else {
+            let period = 1usize << (var - 6);
+            let n = out.words.len();
+            let mut i = 0;
+            while i < n {
+                for j in 0..period {
+                    out.words[i + j] = self.words[i + period + j];
+                }
+                for j in 0..period {
+                    out.words[i + period + j] = self.words[i + period + j];
+                }
+                i += 2 * period;
+            }
+        }
+        out.mask_tail();
+        out
+    }
+
+    /// The negative cofactor with respect to variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn cofactor0(&self, var: usize) -> Self {
+        assert!(var < self.num_vars);
+        let mut out = self.clone();
+        if var < 6 {
+            let mask = !VAR_MASKS[var];
+            let shift = 1 << var;
+            for w in &mut out.words {
+                let lo = *w & mask;
+                *w = lo | (lo << shift);
+            }
+        } else {
+            let period = 1usize << (var - 6);
+            let n = out.words.len();
+            let mut i = 0;
+            while i < n {
+                for j in 0..period {
+                    out.words[i + period + j] = self.words[i + j];
+                }
+                i += 2 * period;
+            }
+        }
+        out.mask_tail();
+        out
+    }
+
+    /// Whether the function depends on variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn depends_on(&self, var: usize) -> bool {
+        self.cofactor0(var) != self.cofactor1(var)
+    }
+
+    /// The set of variables the function functionally depends on, ascending.
+    pub fn support(&self) -> Vec<usize> {
+        (0..self.num_vars).filter(|&v| self.depends_on(v)).collect()
+    }
+
+    /// Existential quantification: `∃ var. f = f|var=0 ∨ f|var=1`.
+    pub fn exists(&self, var: usize) -> Self {
+        &self.cofactor0(var) | &self.cofactor1(var)
+    }
+
+    /// Universal quantification: `∀ var. f = f|var=0 ∧ f|var=1`.
+    pub fn forall(&self, var: usize) -> Self {
+        &self.cofactor0(var) & &self.cofactor1(var)
+    }
+
+    /// The Boolean difference `∂f/∂g = f ⊕ g` used by the paper's
+    /// resubstitution framework (Section III-A).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two tables have different variable counts.
+    pub fn boolean_difference(&self, other: &Self) -> Self {
+        self ^ other
+    }
+
+    /// If-then-else composition `ite(self, t, e) = self·t + self'·e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if variable counts differ.
+    pub fn ite(&self, then_t: &Self, else_t: &Self) -> Self {
+        &(self & then_t) | &(&!self & else_t)
+    }
+
+    /// Whether `self ⇒ other` (containment of ON-sets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if variable counts differ.
+    pub fn implies(&self, other: &Self) -> bool {
+        assert_eq!(self.num_vars, other.num_vars);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Extends the table to `new_num_vars` variables (the added variables are
+    /// don't-care / non-support).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_num_vars < num_vars` or `new_num_vars > MAX_VARS`.
+    pub fn extend_to(&self, new_num_vars: usize) -> Self {
+        assert!(new_num_vars >= self.num_vars && new_num_vars <= MAX_VARS);
+        if new_num_vars == self.num_vars {
+            return self.clone();
+        }
+        let mut out = TruthTable::zero(new_num_vars);
+        if self.num_vars < 6 {
+            // Replicate the small table pattern to fill a full word.
+            let span = 1usize << self.num_vars;
+            let mut word = self.words[0];
+            let mut filled = span;
+            while filled < 64 {
+                word |= word << filled;
+                filled *= 2;
+            }
+            for w in &mut out.words {
+                *w = word;
+            }
+        } else {
+            let n = self.words.len();
+            for (i, w) in out.words.iter_mut().enumerate() {
+                *w = self.words[i % n];
+            }
+        }
+        out.mask_tail();
+        out
+    }
+
+    /// Composes by substituting each variable `v` of `self` with `inputs[v]`.
+    /// All tables in `inputs` must share a variable count, which becomes the
+    /// variable count of the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != num_vars`, `inputs` is empty while
+    /// `num_vars > 0`, or input variable counts differ.
+    pub fn compose(&self, inputs: &[TruthTable]) -> Self {
+        assert_eq!(inputs.len(), self.num_vars, "wrong number of inputs");
+        if self.num_vars == 0 {
+            // Constant; caller must want a 0-var result.
+            return self.clone();
+        }
+        let out_vars = inputs[0].num_vars;
+        assert!(inputs.iter().all(|t| t.num_vars == out_vars));
+        let mut result = TruthTable::zero(out_vars);
+        // Shannon-expand over all minterms of self (fine for window sizes).
+        for m in 0..self.num_bits() {
+            if !self.bit(m) {
+                continue;
+            }
+            let mut cube = TruthTable::one(out_vars);
+            for (v, input) in inputs.iter().enumerate() {
+                if (m >> v) & 1 == 1 {
+                    cube = &cube & input;
+                } else {
+                    cube = &cube & &!input;
+                }
+            }
+            result = &result | &cube;
+        }
+        result
+    }
+
+    /// Iterates over the indices of ON-set minterms.
+    pub fn on_set(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.num_bits()).filter(move |&i| self.bit(i))
+    }
+}
+
+impl Default for TruthTable {
+    fn default() -> Self {
+        TruthTable::zero(0)
+    }
+}
+
+impl Hash for TruthTable {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.num_vars.hash(state);
+        self.words.hash(state);
+    }
+}
+
+impl fmt::Debug for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TruthTable({} vars, 0x", self.num_vars)?;
+        for w in self.words.iter().rev() {
+            write!(f, "{w:016x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.num_bits()).rev() {
+            write!(f, "{}", if self.bit(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for &TruthTable {
+            type Output = TruthTable;
+            fn $method(self, rhs: &TruthTable) -> TruthTable {
+                assert_eq!(
+                    self.num_vars, rhs.num_vars,
+                    "truth table variable counts differ"
+                );
+                let words = self
+                    .words
+                    .iter()
+                    .zip(&rhs.words)
+                    .map(|(a, b)| a $op b)
+                    .collect();
+                TruthTable {
+                    num_vars: self.num_vars,
+                    words,
+                }
+            }
+        }
+
+        impl $trait for TruthTable {
+            type Output = TruthTable;
+            fn $method(self, rhs: TruthTable) -> TruthTable {
+                (&self).$method(&rhs)
+            }
+        }
+    };
+}
+
+impl_binop!(BitAnd, bitand, &);
+impl_binop!(BitOr, bitor, |);
+impl_binop!(BitXor, bitxor, ^);
+
+impl Not for &TruthTable {
+    type Output = TruthTable;
+    fn not(self) -> TruthTable {
+        let mut out = TruthTable {
+            num_vars: self.num_vars,
+            words: self.words.iter().map(|w| !w).collect(),
+        };
+        out.mask_tail();
+        out
+    }
+}
+
+impl Not for TruthTable {
+    type Output = TruthTable;
+    fn not(self) -> TruthTable {
+        !&self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        for n in 0..=8 {
+            let z = TruthTable::zero(n);
+            let o = TruthTable::one(n);
+            assert!(z.is_zero());
+            assert!(o.is_one());
+            assert_eq!(z.count_ones(), 0);
+            assert_eq!(o.count_ones(), 1 << n);
+            assert_eq!(!&z, o);
+        }
+    }
+
+    #[test]
+    fn projection_bits() {
+        for n in 1..=9 {
+            for v in 0..n {
+                let t = TruthTable::var(n, v);
+                for m in 0..(1usize << n) {
+                    assert_eq!(t.bit(m), (m >> v) & 1 == 1, "n={n} v={v} m={m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_tables_mask_tail_bits() {
+        let t = TruthTable::one(2);
+        assert_eq!(t.words()[0], 0b1111);
+        let v = TruthTable::var(3, 1);
+        assert_eq!(v.words()[0] >> 8, 0);
+    }
+
+    #[test]
+    fn de_morgan() {
+        let a = TruthTable::var(4, 0);
+        let b = TruthTable::var(4, 3);
+        assert_eq!(!&(&a & &b), &!&a | &!&b);
+        assert_eq!(!&(&a | &b), &!&a & &!&b);
+    }
+
+    #[test]
+    fn cofactor_small_var() {
+        // f = x0 ? x1 : x2 over 3 vars
+        let x0 = TruthTable::var(3, 0);
+        let x1 = TruthTable::var(3, 1);
+        let x2 = TruthTable::var(3, 2);
+        let f = x0.ite(&x1, &x2);
+        assert_eq!(f.cofactor1(0), x1);
+        assert_eq!(f.cofactor0(0), x2);
+    }
+
+    #[test]
+    fn cofactor_large_var() {
+        // 8 variables so var 7 spans words.
+        let x7 = TruthTable::var(8, 7);
+        let x0 = TruthTable::var(8, 0);
+        let f = &x7 ^ &x0;
+        assert_eq!(f.cofactor1(7), !&x0);
+        assert_eq!(f.cofactor0(7), x0);
+    }
+
+    #[test]
+    fn shannon_expansion() {
+        let x0 = TruthTable::var(5, 0);
+        let x3 = TruthTable::var(5, 3);
+        let x4 = TruthTable::var(5, 4);
+        let f = &(&x0 & &x3) ^ &x4;
+        for v in 0..5 {
+            let xv = TruthTable::var(5, v);
+            let expanded = xv.ite(&f.cofactor1(v), &f.cofactor0(v));
+            assert_eq!(expanded, f, "Shannon expansion failed on var {v}");
+        }
+    }
+
+    #[test]
+    fn support_detects_redundancy() {
+        let x1 = TruthTable::var(4, 1);
+        let x2 = TruthTable::var(4, 2);
+        let f = &(&x1 & &x2) | &(&x1 & &!&x2); // = x1
+        assert_eq!(f.support(), vec![1]);
+        assert_eq!(f, x1.extend_to(4));
+    }
+
+    #[test]
+    fn quantification() {
+        let x0 = TruthTable::var(3, 0);
+        let x1 = TruthTable::var(3, 1);
+        let f = &x0 & &x1;
+        assert_eq!(f.exists(0), x1);
+        assert!(f.forall(0).is_zero());
+    }
+
+    #[test]
+    fn boolean_difference_is_xor() {
+        let x0 = TruthTable::var(3, 0);
+        let x1 = TruthTable::var(3, 1);
+        let d = x0.boolean_difference(&x1);
+        assert_eq!(d, &x0 ^ &x1);
+        // f = d ^ g recovers f (paper, Section III-A).
+        assert_eq!(&d ^ &x1, x0);
+    }
+
+    #[test]
+    fn implies_checks_containment() {
+        let x0 = TruthTable::var(2, 0);
+        let x1 = TruthTable::var(2, 1);
+        let and = &x0 & &x1;
+        let or = &x0 | &x1;
+        assert!(and.implies(&or));
+        assert!(!or.implies(&and));
+    }
+
+    #[test]
+    fn extend_preserves_function() {
+        let x0 = TruthTable::var(2, 0);
+        let x1 = TruthTable::var(2, 1);
+        let f = &x0 ^ &x1;
+        let g = f.extend_to(8);
+        for m in 0..(1usize << 8) {
+            assert_eq!(g.bit(m), f.bit(m & 3));
+        }
+    }
+
+    #[test]
+    fn compose_substitutes() {
+        // f(a, b) = a & b, substitute a = x0 ^ x1, b = x2.
+        let f = {
+            let a = TruthTable::var(2, 0);
+            let b = TruthTable::var(2, 1);
+            &a & &b
+        };
+        let x0 = TruthTable::var(3, 0);
+        let x1 = TruthTable::var(3, 1);
+        let x2 = TruthTable::var(3, 2);
+        let g = f.compose(&[&x0 ^ &x1, x2.clone()]);
+        assert_eq!(g, &(&x0 ^ &x1) & &x2);
+    }
+
+    #[test]
+    fn display_lsb_last() {
+        let t = TruthTable::from_bits(2, 0b0110);
+        assert_eq!(t.to_string(), "0110");
+    }
+
+    #[test]
+    #[should_panic(expected = "variable counts differ")]
+    fn mismatched_ops_panic() {
+        let a = TruthTable::var(2, 0);
+        let b = TruthTable::var(3, 0);
+        let _ = &a & &b;
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for truth-table algebra.
+
+use proptest::prelude::*;
+use sbm_tt::TruthTable;
+
+/// Strategy producing an arbitrary table over `n` vars (n in 1..=9).
+fn arb_table() -> impl Strategy<Value = TruthTable> {
+    (1usize..=9).prop_flat_map(|n| {
+        let words = if n <= 6 { 1 } else { 1 << (n - 6) };
+        proptest::collection::vec(any::<u64>(), words)
+            .prop_map(move |ws| TruthTable::from_words(n, ws))
+    })
+}
+
+/// Two tables over the same variable count.
+fn arb_pair() -> impl Strategy<Value = (TruthTable, TruthTable)> {
+    (1usize..=9).prop_flat_map(|n| {
+        let words = if n <= 6 { 1 } else { 1 << (n - 6) };
+        (
+            proptest::collection::vec(any::<u64>(), words)
+                .prop_map(move |ws| TruthTable::from_words(n, ws)),
+            proptest::collection::vec(any::<u64>(), words)
+                .prop_map(move |ws| TruthTable::from_words(n, ws)),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn double_negation(t in arb_table()) {
+        prop_assert_eq!(!&!&t, t);
+    }
+
+    #[test]
+    fn xor_self_is_zero(t in arb_table()) {
+        prop_assert!((&t ^ &t).is_zero());
+    }
+
+    #[test]
+    fn de_morgan((a, b) in arb_pair()) {
+        prop_assert_eq!(!&(&a & &b), &!&a | &!&b);
+        prop_assert_eq!(!&(&a | &b), &!&a & &!&b);
+    }
+
+    #[test]
+    fn absorption((a, b) in arb_pair()) {
+        prop_assert_eq!(&a & &(&a | &b), a.clone());
+        prop_assert_eq!(&a | &(&a & &b), a);
+    }
+
+    #[test]
+    fn shannon_expansion(t in arb_table()) {
+        for v in 0..t.num_vars() {
+            let x = TruthTable::var(t.num_vars(), v);
+            prop_assert_eq!(x.ite(&t.cofactor1(v), &t.cofactor0(v)), t.clone());
+        }
+    }
+
+    #[test]
+    fn cofactor_removes_dependence(t in arb_table()) {
+        for v in 0..t.num_vars() {
+            prop_assert!(!t.cofactor0(v).depends_on(v));
+            prop_assert!(!t.cofactor1(v).depends_on(v));
+        }
+    }
+
+    #[test]
+    fn boolean_difference_recovers_f((f, g) in arb_pair()) {
+        // Core identity of the paper: f = (∂f/∂g) ⊕ g.
+        let d = f.boolean_difference(&g);
+        prop_assert_eq!(&d ^ &g, f);
+    }
+
+    #[test]
+    fn quantification_bounds(t in arb_table()) {
+        for v in 0..t.num_vars() {
+            prop_assert!(t.forall(v).implies(&t));
+            prop_assert!(t.implies(&t.exists(v)));
+        }
+    }
+
+    #[test]
+    fn count_ones_matches_bits(t in arb_table()) {
+        let slow = (0..t.num_bits()).filter(|&i| t.bit(i)).count() as u64;
+        prop_assert_eq!(t.count_ones(), slow);
+    }
+
+    #[test]
+    fn extend_keeps_count_ratio(t in arb_table()) {
+        let n = t.num_vars();
+        if n < 9 {
+            let e = t.extend_to(n + 1);
+            prop_assert_eq!(e.count_ones(), 2 * t.count_ones());
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! The industrial-flow comparison on a couple of synthetic designs —
+//! one slice of the paper's Table III.
+//!
+//! Run with: `cargo run --example asic_flow --release`
+
+use sbm::asic::designs::industrial_designs;
+use sbm::asic::flow::{compare_flows, summarize};
+
+fn main() {
+    let designs = industrial_designs(3);
+    let rows: Vec<_> = designs
+        .iter()
+        .map(|d| {
+            let row = compare_flows(&d.name, &d.aig, 0.85);
+            println!(
+                "{}: area {:.1} -> {:.1}, power {:.2} -> {:.2}, TNS {:.2} -> {:.2}",
+                row.name,
+                row.baseline.area,
+                row.proposed.area,
+                row.baseline.dyn_power,
+                row.proposed.dyn_power,
+                row.baseline_timing.tns,
+                row.proposed_timing.tns,
+            );
+            row
+        })
+        .collect();
+    let s = summarize(&rows);
+    println!();
+    println!(
+        "average vs baseline: area {:+.2}%, power {:+.2}%, WNS {:+.2}%, TNS {:+.2}%, runtime {:+.2}%",
+        s.area_pct, s.power_pct, s.wns_pct, s.tns_pct, s.runtime_pct
+    );
+}

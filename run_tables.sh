@@ -1,0 +1,8 @@
+#!/bin/sh
+# Regenerates all paper tables/figures sequentially (release build).
+set -x
+cargo run -q -p sbm-bench --bin fig1   --release >  /root/repo/tables_output.txt 2>&1
+cargo run -q -p sbm-bench --bin table1 --release >> /root/repo/tables_output.txt 2>&1
+cargo run -q -p sbm-bench --bin table2 --release >> /root/repo/tables_output.txt 2>&1
+cargo run -q -p sbm-bench --bin table3 --release -- --designs 8 >> /root/repo/tables_output.txt 2>&1
+echo TABLES_DONE >> /root/repo/tables_output.txt
