@@ -526,7 +526,7 @@ mod tests {
         let text = write(&aig);
         let header: Vec<&str> = text.lines().next().unwrap().split(' ').collect();
         assert_eq!(header[5], "3"); // xor = 3 ANDs
-        // Every AND's fanin variables must be smaller than its own.
+                                    // Every AND's fanin variables must be smaller than its own.
         for line in text.lines().skip(1 + 2 + 1) {
             let nums: Vec<u64> = line
                 .split_whitespace()

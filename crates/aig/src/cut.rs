@@ -89,7 +89,9 @@ impl Cut {
         if self.leaves.len() > other.leaves.len() || self.sign & !other.sign != 0 {
             return false;
         }
-        self.leaves.iter().all(|l| other.leaves.binary_search(l).is_ok())
+        self.leaves
+            .iter()
+            .all(|l| other.leaves.binary_search(l).is_ok())
     }
 }
 
@@ -167,8 +169,12 @@ mod tests {
 
     #[test]
     fn merge_shares_leaves() {
-        let a = Cut::trivial(NodeId(1)).merge(&Cut::trivial(NodeId(2)), 4).unwrap();
-        let b = Cut::trivial(NodeId(2)).merge(&Cut::trivial(NodeId(3)), 4).unwrap();
+        let a = Cut::trivial(NodeId(1))
+            .merge(&Cut::trivial(NodeId(2)), 4)
+            .unwrap();
+        let b = Cut::trivial(NodeId(2))
+            .merge(&Cut::trivial(NodeId(3)), 4)
+            .unwrap();
         let u = a.merge(&b, 3).unwrap();
         assert_eq!(u.size(), 3);
     }

@@ -364,11 +364,8 @@ impl Aig {
     pub fn topo_order(&self) -> Vec<NodeId> {
         let mut order = Vec::new();
         let mut state = vec![0u8; self.nodes.len()]; // 0 = new, 2 = done
-        let mut stack: Vec<(NodeId, bool)> = self
-            .outputs()
-            .iter()
-            .map(|l| (l.node(), false))
-            .collect();
+        let mut stack: Vec<(NodeId, bool)> =
+            self.outputs().iter().map(|l| (l.node(), false)).collect();
         while let Some((id, expanded)) = stack.pop() {
             if expanded {
                 if state[id.index()] != 2 {
@@ -452,6 +449,28 @@ impl Aig {
             .iter()
             .map(|l| values[l.node().index()] ^ l.is_complemented())
             .collect()
+    }
+
+    /// Evaluates the network under a full input assignment; returns the
+    /// value of every node, indexed by [`NodeId::index`]. Dead nodes
+    /// evaluate to `false`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != num_inputs`.
+    pub fn eval_nodes(&self, assignment: &[bool]) -> Vec<bool> {
+        assert_eq!(assignment.len(), self.inputs.len());
+        let mut values = vec![false; self.nodes.len()];
+        for (i, &id) in self.inputs.iter().enumerate() {
+            values[id.index()] = assignment[i];
+        }
+        for id in self.topo_order() {
+            let (a, b) = self.fanins(id);
+            let va = values[a.node().index()] ^ a.is_complemented();
+            let vb = values[b.node().index()] ^ b.is_complemented();
+            values[id.index()] = va && vb;
+        }
+        values
     }
 
     /// Rebuilds a compact AIG containing only logic reachable from the
@@ -585,7 +604,11 @@ mod tests {
             assert_eq!(out[0], assignment[0] ^ assignment[1]);
             assert_eq!(
                 out[1],
-                if assignment[2] { assignment[0] } else { assignment[1] }
+                if assignment[2] {
+                    assignment[0]
+                } else {
+                    assignment[1]
+                }
             );
         }
     }
@@ -665,8 +688,7 @@ mod tests {
         let f = aig.xor(abc, ab);
         aig.add_output(f);
         let order = aig.topo_order();
-        let pos: HashMap<NodeId, usize> =
-            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let pos: HashMap<NodeId, usize> = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         for &id in &order {
             let (x, y) = aig.fanins(id);
             for fanin in [x.node(), y.node()] {

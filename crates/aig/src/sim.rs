@@ -61,7 +61,11 @@ impl Signatures {
     pub fn random(aig: &Aig, words_per_node: usize, seed: u64) -> Self {
         let mut state = seed | 1;
         let inputs: Vec<Vec<u64>> = (0..aig.num_inputs())
-            .map(|_| (0..words_per_node).map(|_| xorshift64(&mut state)).collect())
+            .map(|_| {
+                (0..words_per_node)
+                    .map(|_| xorshift64(&mut state))
+                    .collect()
+            })
             .collect();
         Self::with_input_words(aig, &inputs)
     }
@@ -206,17 +210,10 @@ pub fn window_truth_tables(
 /// Truth table of a literal given the node tables from
 /// [`window_truth_tables`]. Returns `None` if the node is outside the
 /// window.
-pub fn lit_truth_table(
-    tables: &HashMap<NodeId, TruthTable>,
-    lit: Lit,
-) -> Option<TruthTable> {
-    tables.get(&lit.node()).map(|t| {
-        if lit.is_complemented() {
-            !t
-        } else {
-            t.clone()
-        }
-    })
+pub fn lit_truth_table(tables: &HashMap<NodeId, TruthTable>, lit: Lit) -> Option<TruthTable> {
+    tables
+        .get(&lit.node())
+        .map(|t| if lit.is_complemented() { !t } else { t.clone() })
 }
 
 #[cfg(test)]

@@ -56,6 +56,36 @@ impl Partition {
     pub fn size(&self) -> usize {
         self.nodes.len()
     }
+
+    /// Copies the window out of `aig` as a standalone AIG: leaf `i` becomes
+    /// input `i` (in the partition's sorted leaf order) and root `j` becomes
+    /// output `j`, always in positive phase. Structural hashing in the copy
+    /// may merge isomorphic members, so the extract can be smaller than
+    /// [`Partition::size`].
+    ///
+    /// Returns `None` if a member's fanin is neither a leaf, the constant,
+    /// nor an earlier member — i.e. the partition is not self-contained in
+    /// topological order (a malformed partition, not an extraction limit).
+    pub fn extract(&self, aig: &Aig) -> Option<Aig> {
+        let mut sub = Aig::new();
+        let mut map: std::collections::HashMap<NodeId, crate::lit::Lit> =
+            std::collections::HashMap::new();
+        map.insert(NodeId::CONST, crate::lit::Lit::FALSE);
+        for &leaf in &self.leaves {
+            map.insert(leaf, sub.add_input());
+        }
+        for &id in &self.nodes {
+            let (a, b) = aig.fanins(id);
+            let fa = map.get(&a.node())?.complement_if(a.is_complemented());
+            let fb = map.get(&b.node())?.complement_if(b.is_complemented());
+            let f = sub.and(fa, fb);
+            map.insert(id, f);
+        }
+        for &root in &self.roots {
+            sub.add_output(*map.get(&root)?);
+        }
+        Some(sub)
+    }
 }
 
 /// Support descriptor used to order nodes by structural-support similarity:
@@ -73,8 +103,7 @@ fn support_centroids(aig: &Aig) -> Vec<f64> {
         let (ia, ib) = (a.node().index(), b.node().index());
         let w = weight[ia] + weight[ib];
         if w > 0.0 {
-            centroid[id.index()] =
-                (centroid[ia] * weight[ia] + centroid[ib] * weight[ib]) / w;
+            centroid[id.index()] = (centroid[ia] * weight[ia] + centroid[ib] * weight[ib]) / w;
         }
         weight[id.index()] = w.max(1.0);
     }
@@ -139,8 +168,7 @@ pub fn partition(aig: &Aig, options: &PartitionOptions) -> Vec<Partition> {
         let over_nodes = current.len() + 1 > options.max_nodes;
         // A member that was a leaf is promoted; account approximately.
         let promoted = current_leaves.contains(&id) as usize;
-        let over_inputs =
-            current_leaves.len() + new_leaves.len() - promoted > options.max_inputs;
+        let over_inputs = current_leaves.len() + new_leaves.len() - promoted > options.max_inputs;
         let over_band = !current.is_empty() && band(id) != current_band;
         if over_nodes || over_inputs || over_band {
             flush(
@@ -256,7 +284,11 @@ mod tests {
         let parts = partition(&aig, &opts);
         for p in &parts {
             assert!(p.size() <= opts.max_nodes);
-            assert!(p.leaves.len() <= opts.max_inputs + 2, "leaves {}", p.leaves.len());
+            assert!(
+                p.leaves.len() <= opts.max_inputs + 2,
+                "leaves {}",
+                p.leaves.len()
+            );
         }
     }
 
@@ -292,9 +324,52 @@ mod tests {
         let parts = partition(&aig, &opts);
         // The final output node must be a root of its partition.
         let out_node = aig.outputs()[0].node();
-        assert!(parts
-            .iter()
-            .any(|p| p.roots.contains(&out_node)));
+        assert!(parts.iter().any(|p| p.roots.contains(&out_node)));
+    }
+
+    #[test]
+    fn extract_reproduces_root_functions() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let ab = aig.and(a, b);
+        let f = aig.xor(ab, c);
+        aig.add_output(f);
+        let parts = partition(&aig, &PartitionOptions::default());
+        for p in &parts {
+            let sub = p.extract(&aig).expect("partition is self-contained");
+            assert_eq!(sub.num_inputs(), p.leaves.len());
+            assert_eq!(sub.num_outputs(), p.roots.len());
+            // Every root's function over the leaves must match: drive the
+            // original AIG with each input pattern, read the leaf values,
+            // and evaluate the extract on them.
+            for m in 0..8u32 {
+                let assignment: Vec<bool> = (0..3).map(|i| (m >> i) & 1 == 1).collect();
+                let values = aig.eval_nodes(&assignment);
+                let leaf_vals: Vec<bool> = p.leaves.iter().map(|l| values[l.index()]).collect();
+                let sub_out = sub.eval(&leaf_vals);
+                for (j, &root) in p.roots.iter().enumerate() {
+                    assert_eq!(sub_out[j], values[root.index()], "pattern {m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extract_covers_every_partition_of_a_chain() {
+        let aig = chain_aig(40);
+        let opts = PartitionOptions {
+            max_nodes: 7,
+            max_inputs: 10,
+            max_levels: 8,
+        };
+        for p in partition(&aig, &opts) {
+            let sub = p
+                .extract(&aig)
+                .expect("chain partitions are self-contained");
+            assert!(sub.num_ands() <= p.size());
+        }
     }
 
     #[test]

@@ -18,7 +18,13 @@ struct Recipe {
 
 fn arb_recipe() -> impl Strategy<Value = Recipe> {
     (2usize..=6, 1usize..=30).prop_flat_map(|(num_inputs, num_steps)| {
-        let step = (0u8..3, any::<u32>(), any::<u32>(), any::<bool>(), any::<bool>());
+        let step = (
+            0u8..3,
+            any::<u32>(),
+            any::<u32>(),
+            any::<bool>(),
+            any::<bool>(),
+        );
         (
             proptest::collection::vec(step, num_steps),
             any::<u32>(),

@@ -11,7 +11,8 @@ use std::time::Instant;
 
 use sbm_aig::Aig;
 use sbm_core::gradient::GradientOptions;
-use sbm_core::script::{resyn2rs, sbm_script, SbmOptions};
+use sbm_core::pipeline::PipelineReport;
+use sbm_core::script::{resyn2rs, sbm_script_report, SbmOptions};
 
 use crate::mapping::map_to_cells;
 use crate::power::dynamic_power;
@@ -50,13 +51,32 @@ pub struct TimingMetrics {
     pub tns: f64,
 }
 
+/// Everything produced by one flow run: the metrics plus the mapped
+/// netlist (needed to evaluate timing at a shared clock afterwards).
+#[derive(Debug, Clone)]
+pub struct FlowRun {
+    /// Implementation metrics.
+    pub result: FlowResult,
+    /// The mapped standard-cell netlist.
+    pub netlist: crate::mapping::Netlist,
+    /// Parallel-pipeline observability of the optimization step
+    /// (all-zero for the baseline flow or serial runs).
+    pub pipeline: PipelineReport,
+}
+
 /// Runs one flow (logic optimization + mapping + power) on a design.
 /// Timing is reported separately via [`timing_at`], because WNS/TNS need
 /// a clock target shared across flows.
-pub fn run_flow(aig: &Aig, kind: FlowKind) -> (FlowResult, crate::mapping::Netlist) {
+pub fn run_flow(aig: &Aig, kind: FlowKind) -> FlowRun {
+    run_flow_threaded(aig, kind, 1)
+}
+
+/// [`run_flow`] with the proposed flow's window-based optimization steps
+/// fanned out over `num_threads` workers.
+pub fn run_flow_threaded(aig: &Aig, kind: FlowKind, num_threads: usize) -> FlowRun {
     let start = Instant::now();
-    let optimized = match kind {
-        FlowKind::Baseline => resyn2rs(aig),
+    let (optimized, pipeline) = match kind {
+        FlowKind::Baseline => (resyn2rs(aig), PipelineReport::default()),
         FlowKind::Proposed => {
             let opts = SbmOptions {
                 iterations: 1,
@@ -64,9 +84,11 @@ pub fn run_flow(aig: &Aig, kind: FlowKind) -> (FlowResult, crate::mapping::Netli
                     budget: 60,
                     ..Default::default()
                 },
+                num_threads,
                 ..Default::default()
             };
-            sbm_script(aig, &opts)
+            let run = sbm_script_report(aig, &opts);
+            (run.aig, run.stats)
         }
     };
     let netlist = map_to_cells(&optimized);
@@ -74,8 +96,8 @@ pub fn run_flow(aig: &Aig, kind: FlowKind) -> (FlowResult, crate::mapping::Netli
     let dyn_power = dynamic_power(&netlist, 8, 0xD15E_A5E);
     let timing = analyze(&netlist, f64::MAX);
     let runtime = start.elapsed().as_secs_f64();
-    (
-        FlowResult {
+    FlowRun {
+        result: FlowResult {
             area,
             dyn_power,
             critical_path: timing.critical_path,
@@ -83,7 +105,8 @@ pub fn run_flow(aig: &Aig, kind: FlowKind) -> (FlowResult, crate::mapping::Netli
             aig_nodes: optimized.num_ands(),
         },
         netlist,
-    )
+        pipeline,
+    }
 }
 
 /// WNS/TNS of a mapped netlist at a clock target.
@@ -108,21 +131,35 @@ pub struct DesignComparison {
     pub baseline_timing: TimingMetrics,
     /// Proposed timing at the shared clock.
     pub proposed_timing: TimingMetrics,
+    /// Parallel-pipeline observability of the proposed flow's
+    /// optimization (all-zero for serial runs).
+    pub pipeline: PipelineReport,
 }
 
 /// Runs both flows on a design and compares them at a shared clock set to
 /// `clock_fraction` of the baseline critical path (< 1.0 makes the clock
 /// aggressive, so both flows show negative slack, as post-P&R tables do).
 pub fn compare_flows(name: &str, aig: &Aig, clock_fraction: f64) -> DesignComparison {
-    let (baseline, base_netlist) = run_flow(aig, FlowKind::Baseline);
-    let (proposed, prop_netlist) = run_flow(aig, FlowKind::Proposed);
-    let clock = baseline.critical_path * clock_fraction;
+    compare_flows_threaded(name, aig, clock_fraction, 1)
+}
+
+/// [`compare_flows`] with the proposed flow running `num_threads` workers.
+pub fn compare_flows_threaded(
+    name: &str,
+    aig: &Aig,
+    clock_fraction: f64,
+    num_threads: usize,
+) -> DesignComparison {
+    let baseline = run_flow(aig, FlowKind::Baseline);
+    let proposed = run_flow_threaded(aig, FlowKind::Proposed, num_threads);
+    let clock = baseline.result.critical_path * clock_fraction;
     DesignComparison {
         name: name.to_string(),
-        baseline_timing: timing_at(&base_netlist, clock),
-        proposed_timing: timing_at(&prop_netlist, clock),
-        baseline,
-        proposed,
+        baseline_timing: timing_at(&baseline.netlist, clock),
+        proposed_timing: timing_at(&proposed.netlist, clock),
+        baseline: baseline.result,
+        proposed: proposed.result,
+        pipeline: proposed.pipeline,
     }
 }
 
@@ -201,7 +238,7 @@ mod tests {
     fn flows_preserve_function() {
         let designs = industrial_designs(1);
         let d = &designs[0];
-        let (_, base) = run_flow(&d.aig, FlowKind::Baseline);
+        let base = run_flow(&d.aig, FlowKind::Baseline).netlist;
         // The mapped baseline netlist must agree with the source AIG on
         // random vectors.
         let mut state = 11u64;

@@ -24,8 +24,8 @@
 //! use sbm_asic::designs;
 //!
 //! let designs = designs::industrial_designs(3); // 3 of the 33
-//! let result = run_flow(&designs[0].aig, FlowKind::Baseline);
-//! println!("area = {}", result.area);
+//! let run = run_flow(&designs[0].aig, FlowKind::Baseline);
+//! println!("area = {}", run.result.area);
 //! ```
 
 pub mod designs;

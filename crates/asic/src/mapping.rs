@@ -13,7 +13,7 @@ use sbm_aig::{Aig, Lit, NodeId};
 use crate::library::{Cell, AND2, INV, NOR2, XNOR2, XOR2};
 
 /// A reference to a signal in the mapped netlist.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SignalRef {
     /// A constant driver.
     Const(bool),
@@ -93,10 +93,7 @@ impl Netlist {
                 other => panic!("unknown cell shape {other:?}"),
             };
         }
-        self.outputs
-            .iter()
-            .map(|&s| get(&values, s))
-            .collect()
+        self.outputs.iter().map(|&s| get(&values, s)).collect()
     }
 
     /// Per-signal sink lists: which gate pins and outputs each signal
@@ -170,10 +167,46 @@ pub fn map_to_cells(aig: &Aig) -> Netlist {
         xor_internal.insert(vn);
     }
 
-    let mut get_signal = |_aig: &Aig,
-                          gates: &mut Vec<Gate>,
-                          signals: &mut HashMap<(NodeId, bool), SignalRef>,
-                          lit: Lit|
+    // Phase demand on each node, mirroring the emission loop below. An XOR
+    // match whose output is consumed only complemented can flip the emitted
+    // cell's parity (XOR2 <-> XNOR2) instead of paying an inverter.
+    let mut pos_demand: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+    let mut neg_demand: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+    {
+        let mut note = |l: Lit| {
+            if l.is_complemented() {
+                neg_demand.insert(l.node());
+            } else {
+                pos_demand.insert(l.node());
+            }
+        };
+        for &id in &order {
+            if xor_internal.contains(&id) {
+                continue;
+            }
+            if let Some(&(a, b, _)) = xor_match.get(&id) {
+                note(a);
+                note(b);
+                continue;
+            }
+            let (a, b) = aig.fanins(id);
+            if a.is_complemented() && b.is_complemented() {
+                note(a.positive());
+                note(b.positive());
+            } else {
+                note(a);
+                note(b);
+            }
+        }
+        for &l in &aig.outputs() {
+            note(l);
+        }
+    }
+
+    let get_signal = |_aig: &Aig,
+                      gates: &mut Vec<Gate>,
+                      signals: &mut HashMap<(NodeId, bool), SignalRef>,
+                      lit: Lit|
      -> SignalRef {
         let key = (lit.node(), lit.is_complemented());
         if let Some(&s) = signals.get(&key) {
@@ -201,13 +234,16 @@ pub fn map_to_cells(aig: &Aig) -> Netlist {
         if let Some(&(a, b, parity)) = xor_match.get(&id) {
             let sa = get_signal(&aig, &mut gates, &mut signals, a);
             let sb = get_signal(&aig, &mut gates, &mut signals, b);
-            let cell = if parity { XNOR2 } else { XOR2 };
+            // Emit the phase the consumers want: consumed only complemented
+            // means the opposite-parity cell, with no inverter.
+            let flip = neg_demand.contains(&id) && !pos_demand.contains(&id);
+            let cell = if parity ^ flip { XNOR2 } else { XOR2 };
             let g = gates.len();
             gates.push(Gate {
                 cell,
                 inputs: vec![sa, sb],
             });
-            signals.insert((id, false), SignalRef::Gate(g));
+            signals.insert((id, flip), SignalRef::Gate(g));
             continue;
         }
         let (a, b) = aig.fanins(id);

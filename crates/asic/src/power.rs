@@ -58,10 +58,13 @@ pub fn dynamic_power(netlist: &Netlist, words: usize, seed: u64) -> f64 {
         gate_sigs.push(sig);
     }
 
-    let loads = signal_loads(netlist);
+    // Hash-map iteration order varies between map instances and float
+    // addition is order-sensitive, so fix a deterministic summation order.
+    let mut loads: Vec<(SignalRef, f64)> = signal_loads(netlist).into_iter().collect();
+    loads.sort_by_key(|&(s, _)| s);
     let total_bits = (words * 64) as f64;
     let mut power = 0.0;
-    for (&s, &load) in &loads {
+    for &(s, load) in &loads {
         let ones: u64 = (0..words)
             .map(|w| get(&gate_sigs, s, w).count_ones() as u64)
             .sum();

@@ -39,5 +39,7 @@
 //! ```
 
 mod manager;
+mod pool;
 
 pub use manager::{Bdd, BddError, BddManager, BddStats};
+pub use pool::ManagerPool;

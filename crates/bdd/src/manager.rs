@@ -124,8 +124,16 @@ impl BddManager {
             // nodes[0], nodes[1] are dummies standing in for the terminals so
             // that indices line up with `Bdd` handles.
             nodes: vec![
-                Node { var: u32::MAX, lo: Bdd::ZERO, hi: Bdd::ZERO },
-                Node { var: u32::MAX, lo: Bdd::ONE, hi: Bdd::ONE },
+                Node {
+                    var: u32::MAX,
+                    lo: Bdd::ZERO,
+                    hi: Bdd::ZERO,
+                },
+                Node {
+                    var: u32::MAX,
+                    lo: Bdd::ONE,
+                    hi: Bdd::ONE,
+                },
             ],
             unique: HashMap::new(),
             ite_cache: HashMap::new(),
@@ -157,6 +165,20 @@ impl BddManager {
     /// to bound memory, mirroring the paper's per-iteration freeing.
     pub fn clear_cache(&mut self) {
         self.ite_cache.clear();
+    }
+
+    /// Re-initializes the manager for a fresh problem over `num_vars`
+    /// variables with `node_limit`, discarding every node but **retaining
+    /// the allocations** of the node vector and both hash tables. Window
+    /// loops (one BDD problem per window) reset one manager instead of
+    /// constructing thousands; see [`ManagerPool`](crate::ManagerPool).
+    pub fn reset(&mut self, num_vars: usize, node_limit: usize) {
+        self.num_vars = num_vars;
+        self.node_limit = node_limit;
+        self.nodes.truncate(2);
+        self.unique.clear();
+        self.ite_cache.clear();
+        self.stats = BddStats::default();
     }
 
     /// The constant-zero function.
@@ -264,10 +286,7 @@ impl BddManager {
             self.stats.cache_hits += 1;
             return Ok(r);
         }
-        let var = self
-            .top_var(f)
-            .min(self.top_var(g))
-            .min(self.top_var(h));
+        let var = self.top_var(f).min(self.top_var(g)).min(self.top_var(h));
         let (f0, f1) = self.cofactors_at(f, var);
         let (g0, g1) = self.cofactors_at(g, var);
         let (h0, h1) = self.cofactors_at(h, var);
@@ -431,7 +450,11 @@ impl BddManager {
         let mut cur = f;
         while !cur.is_const() {
             let n = &self.nodes[cur.index()];
-            cur = if assignment[n.var as usize] { n.hi } else { n.lo };
+            cur = if assignment[n.var as usize] {
+                n.hi
+            } else {
+                n.lo
+            };
         }
         cur == Bdd::ONE
     }
@@ -528,10 +551,10 @@ impl BddManager {
     /// Panics if the table has more variables than the manager.
     pub fn from_truth_table(&mut self, t: &TruthTable) -> Result<Bdd, BddError> {
         assert!(t.num_vars() <= self.num_vars);
-        self.from_tt_rec(t, 0)
+        self.build_from_tt(t, 0)
     }
 
-    fn from_tt_rec(&mut self, t: &TruthTable, var: usize) -> Result<Bdd, BddError> {
+    fn build_from_tt(&mut self, t: &TruthTable, var: usize) -> Result<Bdd, BddError> {
         if t.is_zero() {
             return Ok(Bdd::ZERO);
         }
@@ -541,8 +564,8 @@ impl BddManager {
         // Expand on the lowest remaining variable: roots carry the smallest
         // variable index in this manager's order.
         debug_assert!(var < t.num_vars(), "non-constant table with no vars left");
-        let lo = self.from_tt_rec(&t.cofactor0(var), var + 1)?;
-        let hi = self.from_tt_rec(&t.cofactor1(var), var + 1)?;
+        let lo = self.build_from_tt(&t.cofactor0(var), var + 1)?;
+        let hi = self.build_from_tt(&t.cofactor1(var), var + 1)?;
         self.mk(var as u32, lo, hi)
     }
 

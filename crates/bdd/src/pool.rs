@@ -1,0 +1,119 @@
+//! Reusable [`BddManager`] storage for window loops.
+//!
+//! The SBM engines solve one small BDD problem per optimization window —
+//! thousands per pass on large benchmarks. Constructing a fresh manager
+//! each time re-allocates the node vector and both hash tables; a pool
+//! recycles managers via [`BddManager::reset`], which keeps the
+//! allocations warm while giving each window a semantically fresh
+//! manager. One pool per worker thread keeps the hot path lock-free.
+
+use crate::manager::BddManager;
+
+/// A stack of idle managers ready for reuse.
+#[derive(Debug, Default)]
+pub struct ManagerPool {
+    free: Vec<BddManager>,
+}
+
+impl ManagerPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        ManagerPool::default()
+    }
+
+    /// Takes a manager reset for `num_vars`/`node_limit`, constructing one
+    /// only when the pool is empty.
+    pub fn acquire(&mut self, num_vars: usize, node_limit: usize) -> BddManager {
+        match self.free.pop() {
+            Some(mut mgr) => {
+                mgr.reset(num_vars, node_limit);
+                mgr
+            }
+            None => BddManager::with_node_limit(num_vars, node_limit),
+        }
+    }
+
+    /// Returns a manager to the pool for later reuse.
+    pub fn release(&mut self, mgr: BddManager) {
+        self.free.push(mgr);
+    }
+
+    /// Runs `f` with a pooled manager and returns the manager afterwards.
+    pub fn with<R>(
+        &mut self,
+        num_vars: usize,
+        node_limit: usize,
+        f: impl FnOnce(&mut BddManager) -> R,
+    ) -> R {
+        let mut mgr = self.acquire(num_vars, node_limit);
+        let out = f(&mut mgr);
+        self.release(mgr);
+        out
+    }
+
+    /// Idle managers currently held.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuses_released_managers() {
+        let mut pool = ManagerPool::new();
+        let mut mgr = pool.acquire(4, 100);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        mgr.and(a, b).unwrap();
+        pool.release(mgr);
+        assert_eq!(pool.idle(), 1);
+
+        // The recycled manager must behave exactly like a fresh one.
+        let mut recycled = pool.acquire(2, 50);
+        assert_eq!(pool.idle(), 0);
+        assert_eq!(recycled.num_vars(), 2);
+        assert_eq!(recycled.num_nodes(), 0);
+        assert_eq!(recycled.stats().ite_calls, 0);
+        let a = recycled.var(0);
+        let b = recycled.var(1);
+        let x = recycled.xor(a, b).unwrap();
+        assert_eq!(recycled.size(x), 3);
+    }
+
+    #[test]
+    fn reset_enforces_new_node_limit() {
+        let mut pool = ManagerPool::new();
+        let mgr = pool.acquire(16, usize::MAX);
+        pool.release(mgr);
+        let mut tight = pool.acquire(16, 4);
+        let mut f = tight.var(0);
+        let mut tripped = false;
+        for v in 1..16 {
+            let x = tight.var(v);
+            match tight.xor(f, x) {
+                Ok(g) => f = g,
+                Err(_) => {
+                    tripped = true;
+                    break;
+                }
+            }
+        }
+        assert!(tripped, "reset manager ignored its node limit");
+    }
+
+    #[test]
+    fn with_returns_manager_to_pool() {
+        let mut pool = ManagerPool::new();
+        let size = pool.with(3, 100, |mgr| {
+            let a = mgr.var(0);
+            let b = mgr.var(2);
+            let f = mgr.or(a, b).unwrap();
+            mgr.size(f)
+        });
+        assert_eq!(size, 2);
+        assert_eq!(pool.idle(), 1);
+    }
+}

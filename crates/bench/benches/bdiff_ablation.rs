@@ -5,7 +5,8 @@
 //! reports runtime (criterion) plus QoR (stderr, once per config).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sbm_core::bdiff::{boolean_difference_resub, BdiffOptions};
+use sbm_core::bdiff::BdiffOptions;
+use sbm_core::engine::{Bdiff, Engine, OptContext};
 use sbm_epfl::{generate, Scale};
 
 fn bench_bdiff_threshold(c: &mut Criterion) {
@@ -17,15 +18,16 @@ fn bench_bdiff_threshold(c: &mut Criterion) {
             max_diff_size: threshold,
             ..Default::default()
         };
-        let (out, stats) = boolean_difference_resub(&aig, &opts);
+        let engine = Bdiff { options: opts };
+        let result = engine.run(&aig, &mut OptContext::default());
         eprintln!(
             "bdiff threshold {threshold}: {} -> {} nodes, {} accepted",
             aig.num_ands(),
-            out.num_ands(),
-            stats.accepted
+            result.aig.num_ands(),
+            result.stats.accepted
         );
         group.bench_function(format!("threshold_{threshold}"), |b| {
-            b.iter(|| boolean_difference_resub(&aig, &opts))
+            b.iter(|| engine.run(&aig, &mut OptContext::default()))
         });
     }
     group.finish();
@@ -40,15 +42,16 @@ fn bench_bdiff_xor_cost(c: &mut Criterion) {
             xor_cost,
             ..Default::default()
         };
-        let (out, stats) = boolean_difference_resub(&aig, &opts);
+        let engine = Bdiff { options: opts };
+        let result = engine.run(&aig, &mut OptContext::default());
         eprintln!(
             "bdiff xor_cost {xor_cost}: {} -> {} nodes, {} accepted",
             aig.num_ands(),
-            out.num_ands(),
-            stats.accepted
+            result.aig.num_ands(),
+            result.stats.accepted
         );
         group.bench_function(format!("xor_cost_{xor_cost}"), |b| {
-            b.iter(|| boolean_difference_resub(&aig, &opts))
+            b.iter(|| engine.run(&aig, &mut OptContext::default()))
         });
     }
     group.finish();

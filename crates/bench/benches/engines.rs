@@ -2,10 +2,8 @@
 //! script, on EPFL-style workloads (reduced scale).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sbm_core::bdiff::{boolean_difference_resub, BdiffOptions};
-use sbm_core::gradient::{gradient_optimize, GradientOptions};
-use sbm_core::hetero::{hetero_eliminate_kernel, HeteroOptions};
-use sbm_core::mspf::{mspf_optimize, MspfOptions};
+use sbm_core::engine::{Bdiff, Engine, Gradient, Hetero, Mspf, OptContext};
+use sbm_core::gradient::GradientOptions;
 use sbm_core::script::resyn2rs;
 use sbm_epfl::{generate, Scale};
 
@@ -19,21 +17,23 @@ fn bench_engines(c: &mut Criterion) {
     group.sample_size(10);
     for (name, aig) in &workloads {
         group.bench_function(format!("bdiff/{name}"), |b| {
-            b.iter(|| boolean_difference_resub(aig, &BdiffOptions::default()))
+            b.iter(|| Bdiff::default().run(aig, &mut OptContext::default()))
         });
         group.bench_function(format!("mspf/{name}"), |b| {
-            b.iter(|| mspf_optimize(aig, &MspfOptions::default()))
+            b.iter(|| Mspf::default().run(aig, &mut OptContext::default()))
         });
         group.bench_function(format!("hetero/{name}"), |b| {
-            b.iter(|| hetero_eliminate_kernel(aig, &HeteroOptions::default()))
+            b.iter(|| Hetero::default().run(aig, &mut OptContext::default()))
         });
         group.bench_function(format!("gradient/{name}"), |b| {
-            let opts = GradientOptions {
-                budget: 30,
-                budget_extension: 0,
-                ..Default::default()
+            let engine = Gradient {
+                options: GradientOptions {
+                    budget: 30,
+                    budget_extension: 0,
+                    ..Default::default()
+                },
             };
-            b.iter(|| gradient_optimize(aig, &opts))
+            b.iter(|| engine.run(aig, &mut OptContext::default()))
         });
         group.bench_function(format!("resyn2rs/{name}"), |b| b.iter(|| resyn2rs(aig)));
     }

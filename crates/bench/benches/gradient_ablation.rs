@@ -4,7 +4,8 @@
 //! QoR" versus the parallel model (Section IV-A).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sbm_core::gradient::{gradient_optimize, GradientOptions, Selection};
+use sbm_core::engine::{Engine, Gradient, OptContext};
+use sbm_core::gradient::{GradientOptions, Selection};
 use sbm_epfl::{generate, Scale};
 
 fn bench_selection_models(c: &mut Criterion) {
@@ -21,15 +22,20 @@ fn bench_selection_models(c: &mut Criterion) {
             selection,
             ..Default::default()
         };
-        let (out, stats) = gradient_optimize(&aig, &opts);
+        let engine = Gradient {
+            options: opts.clone(),
+        };
+        let result = engine.run(&aig, &mut OptContext::default());
         eprintln!(
-            "gradient {label}: {} -> {} nodes in {} iterations (spent {})",
+            "gradient {label}: {} -> {} nodes ({} moves tried, {} accepted)",
             aig.num_ands(),
-            out.num_ands(),
-            stats.iterations,
-            stats.spent
+            result.aig.num_ands(),
+            result.stats.tried,
+            result.stats.accepted
         );
-        group.bench_function(label, |b| b.iter(|| gradient_optimize(&aig, &opts)));
+        group.bench_function(label, |b| {
+            b.iter(|| engine.run(&aig, &mut OptContext::default()))
+        });
     }
     group.finish();
 }
@@ -44,14 +50,17 @@ fn bench_budgets(c: &mut Criterion) {
             budget_extension: 0,
             ..Default::default()
         };
-        let (out, _) = gradient_optimize(&aig, &opts);
+        let engine = Gradient {
+            options: opts.clone(),
+        };
+        let out = engine.run(&aig, &mut OptContext::default()).aig;
         eprintln!(
             "gradient budget {budget}: {} -> {} nodes",
             aig.num_ands(),
             out.num_ands()
         );
         group.bench_function(format!("budget_{budget}"), |b| {
-            b.iter(|| gradient_optimize(&aig, &opts))
+            b.iter(|| engine.run(&aig, &mut OptContext::default()))
         });
     }
     group.finish();

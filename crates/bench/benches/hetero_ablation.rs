@@ -5,7 +5,8 @@
 //! Also compares the sequential and parallel threshold evaluation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sbm_core::hetero::{hetero_eliminate_kernel, HeteroOptions, DEFAULT_THRESHOLDS};
+use sbm_core::engine::{Engine, Hetero, OptContext};
+use sbm_core::hetero::{HeteroOptions, DEFAULT_THRESHOLDS};
 use sbm_epfl::{generate, Scale};
 
 fn bench_hetero_vs_homogeneous(c: &mut Criterion) {
@@ -19,28 +20,31 @@ fn bench_hetero_vs_homogeneous(c: &mut Criterion) {
             thresholds: vec![t],
             ..Default::default()
         };
-        let (out, _) = hetero_eliminate_kernel(&aig, &opts);
+        let engine = Hetero {
+            options: opts.clone(),
+        };
+        let out = engine.run(&aig, &mut OptContext::default()).aig;
         eprintln!(
             "homogeneous t={t}: {} -> {} nodes",
             aig.num_ands(),
             out.num_ands()
         );
         group.bench_function(format!("homogeneous_{t}"), |b| {
-            b.iter(|| hetero_eliminate_kernel(&aig, &opts))
+            b.iter(|| engine.run(&aig, &mut OptContext::default()))
         });
     }
     // Heterogeneous: the full ladder, best per partition.
-    let opts = HeteroOptions::default();
-    let (out, stats) = hetero_eliminate_kernel(&aig, &opts);
+    let engine = Hetero::default();
+    let result = engine.run(&aig, &mut OptContext::default());
     eprintln!(
         "heterogeneous ladder {:?}: {} -> {} nodes ({} partitions improved)",
         DEFAULT_THRESHOLDS,
         aig.num_ands(),
-        out.num_ands(),
-        stats.improved
+        result.aig.num_ands(),
+        result.stats.accepted
     );
     group.bench_function("heterogeneous", |b| {
-        b.iter(|| hetero_eliminate_kernel(&aig, &opts))
+        b.iter(|| engine.run(&aig, &mut OptContext::default()))
     });
     group.finish();
 }
@@ -49,17 +53,18 @@ fn bench_parallel_vs_sequential(c: &mut Criterion) {
     let aig = generate("dec", Scale::Full).unwrap();
     let mut group = c.benchmark_group("hetero_parallelism");
     group.sample_size(10);
-    for (label, parallel) in [("parallel", true), ("sequential", false)] {
-        let opts = HeteroOptions {
-            parallel,
-            ..Default::default()
-        };
+    for (label, threads) in [("parallel", 8), ("sequential", 1)] {
+        let engine = Hetero::default();
         group.bench_function(label, |b| {
-            b.iter(|| hetero_eliminate_kernel(&aig, &opts))
+            b.iter(|| engine.run(&aig, &mut OptContext::with_threads(threads)))
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_hetero_vs_homogeneous, bench_parallel_vs_sequential);
+criterion_group!(
+    benches,
+    bench_hetero_vs_homogeneous,
+    bench_parallel_vs_sequential
+);
 criterion_main!(benches);

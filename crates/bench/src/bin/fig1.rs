@@ -7,7 +7,7 @@
 //! and prints the before/after structure.
 
 use sbm_aig::Aig;
-use sbm_core::bdiff::{boolean_difference_resub, BdiffOptions};
+use sbm_core::engine::{Bdiff, Engine, OptContext};
 
 fn main() {
     // f and g share a small Boolean difference but no structure:
@@ -34,9 +34,14 @@ fn main() {
 
     println!("Figure 1 — Boolean difference example");
     println!();
-    println!("(a) original network:  {} AND nodes, {} levels", aig.num_ands(), aig.depth());
+    println!(
+        "(a) original network:  {} AND nodes, {} levels",
+        aig.num_ands(),
+        aig.depth()
+    );
 
-    let (optimized, stats) = boolean_difference_resub(&aig, &BdiffOptions::default());
+    let result = Bdiff::default().run(&aig, &mut OptContext::default());
+    let optimized = result.aig;
     println!(
         "(b) after f ← (∂f/∂g) ⊕ g: {} AND nodes, {} levels",
         optimized.num_ands(),
@@ -44,10 +49,13 @@ fn main() {
     );
     println!();
     println!(
-        "windows: {}, pairs tried: {}, rewrites accepted: {}, difference reused from hashtable: {}",
-        stats.windows, stats.pairs_tried, stats.accepted, stats.diff_reused
+        "windows: {}, pairs tried: {}, rewrites accepted: {}, bailouts: {}",
+        result.stats.windows, result.stats.tried, result.stats.accepted, result.stats.bailouts
     );
-    println!("verify: {}", sbm_bench::verify_pair(&aig, &optimized, 10_000));
+    println!(
+        "verify: {}",
+        sbm_bench::verify_pair(&aig, &optimized, 10_000)
+    );
     assert!(
         optimized.num_ands() <= aig.num_ands(),
         "the rewrite must not grow the network"

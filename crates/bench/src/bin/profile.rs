@@ -5,20 +5,19 @@
 
 use std::time::Instant;
 
-use sbm_core::balance::balance;
-use sbm_core::bdiff::{boolean_difference_resub, BdiffOptions};
-use sbm_core::gradient::{gradient_optimize, GradientOptions};
-use sbm_core::hetero::{hetero_eliminate_kernel, HeteroOptions};
-use sbm_core::mspf::{mspf_optimize, MspfOptions};
-use sbm_core::refactor::{refactor, RefactorOptions};
-use sbm_core::resub::{resub, ResubOptions};
-use sbm_core::rewrite::{rewrite, RewriteOptions};
+use sbm_core::engine::{
+    Balance, Bdiff, Engine, Gradient, Hetero, Mspf, OptContext, Refactor, Resub, Rewrite,
+};
 use sbm_core::script::resyn2rs;
 use sbm_epfl::{generate, Scale};
 use sbm_sat::redundancy::{remove_redundancies, RedundancyOptions};
 use sbm_sat::sweep::{sweep, SweepOptions};
 
-fn stage(name: &str, aig: &sbm_aig::Aig, f: impl FnOnce(&sbm_aig::Aig) -> sbm_aig::Aig) -> sbm_aig::Aig {
+fn stage(
+    name: &str,
+    aig: &sbm_aig::Aig,
+    f: impl FnOnce(&sbm_aig::Aig) -> sbm_aig::Aig,
+) -> sbm_aig::Aig {
     let t = Instant::now();
     let out = f(aig);
     println!(
@@ -34,29 +33,29 @@ fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "div".into());
     let aig = generate(&name, Scale::Reduced).expect("known benchmark");
     println!("{name}: {} nodes unoptimized", aig.num_ands());
+    let mut ctx = OptContext::default();
+    let engines: Vec<Box<dyn Engine>> = vec![
+        Box::new(Rewrite::default()),
+        Box::new(Refactor::default()),
+        Box::new(Resub::default()),
+        Box::new(Gradient::default()),
+        Box::new(Hetero::default()),
+        Box::new(Mspf::default()),
+        Box::new(Bdiff::default()),
+    ];
     let mut cur = aig;
-    cur = stage("balance", &cur, balance);
+    cur = stage("balance", &cur, |a| Balance.run(a, &mut ctx).aig);
     cur = stage("resyn2rs", &cur, resyn2rs);
-    cur = stage("rewrite", &cur, |a| rewrite(a, &RewriteOptions::default()).0);
-    cur = stage("refactor", &cur, |a| refactor(a, &RefactorOptions::default()).0);
-    cur = stage("resub", &cur, |a| resub(a, &ResubOptions::default()).0);
-    cur = stage("gradient", &cur, |a| {
-        gradient_optimize(a, &GradientOptions::default()).0
-    });
-    cur = stage("hetero", &cur, |a| {
-        hetero_eliminate_kernel(a, &HeteroOptions::default()).0
-    });
-    cur = stage("mspf", &cur, |a| mspf_optimize(a, &MspfOptions::default()).0);
-    cur = stage("bdiff", &cur, |a| {
-        boolean_difference_resub(a, &BdiffOptions::default()).0
-    });
+    for engine in &engines {
+        cur = stage(engine.name(), &cur, |a| engine.run(a, &mut ctx).aig);
+    }
     cur = stage("sweep", &cur, |a| {
         let mut w = a.cleanup();
         sweep(&mut w, &SweepOptions::default());
         w.cleanup()
     });
     cur = stage("redundancy", &cur, |a| {
-        remove_redundancies(a, &RedundancyOptions::default()).0
+        remove_redundancies(a, &RedundancyOptions::default()).aig
     });
     println!("final: {} nodes", cur.num_ands());
 }

@@ -7,29 +7,36 @@
 //! *shape*: the SBM flow's LUT-6 area beats (or ties) the baseline on
 //! these benchmarks.
 //!
-//! Usage: `table1 [--full]` (default: reduced-scale benchmarks).
+//! Usage: `table1 [--full] [--threads N]` (default: reduced scale, serial).
 
-use sbm_core::script::{resyn2rs_fixpoint, sbm_script, SbmOptions};
+use sbm_core::pipeline::PipelineReport;
+use sbm_core::script::{resyn2rs_fixpoint, sbm_script_report, SbmOptions};
 use sbm_epfl::{benchmark, Scale};
 use sbm_lutmap::{map_luts, MapOptions};
 
 /// The 12 benchmarks of Table I (`hypotenuse` is generated as `hyp`).
 const TABLE1: [&str; 12] = [
-    "arbiter", "div", "i2c", "log2", "max", "mem_ctrl", "mult", "priority", "sin", "hyp",
-    "sqrt", "square",
+    "arbiter", "div", "i2c", "log2", "max", "mem_ctrl", "mult", "priority", "sin", "hyp", "sqrt",
+    "square",
 ];
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
+    let threads = sbm_bench::threads_arg();
     let scale = if full { Scale::Full } else { Scale::Reduced };
+    let options = SbmOptions::builder()
+        .num_threads(threads)
+        .build()
+        .expect("valid options");
     println!("Table I — New Best Area Results For The EPFL Suite (LUT-6)");
-    println!("scale: {scale:?}  (paper sizes with --full; see EXPERIMENTS.md)");
+    println!("scale: {scale:?}, threads: {threads}  (paper sizes with --full; see EXPERIMENTS.md)");
     println!();
     println!(
         "{:<12} {:>9} | {:>9} {:>7} | {:>9} {:>7} | {:>8} {:>9}",
         "benchmark", "I/O", "base LUT", "base lv", "SBM LUT", "SBM lv", "ΔLUT", "verify"
     );
     let map_opts = MapOptions::default();
+    let mut pipeline_report = PipelineReport::default();
     for name in TABLE1 {
         let bench = benchmark(name, scale).expect("known benchmark");
         let aig = bench.aig;
@@ -38,7 +45,9 @@ fn main() {
         let baseline = resyn2rs_fixpoint(&aig, 4);
         let base_map = map_luts(&baseline, &map_opts);
 
-        let sbm = sbm_script(&aig, &SbmOptions::default());
+        let run = sbm_script_report(&aig, &options);
+        let sbm = run.aig;
+        pipeline_report.merge(&run.stats);
         let sbm_map = map_luts(&sbm, &map_opts);
 
         let verdict = sbm_bench::verify_pair(&aig, &sbm, 4_000);
@@ -53,6 +62,10 @@ fn main() {
             sbm_bench::pct(base_map.num_luts() as f64, sbm_map.num_luts() as f64),
             verdict,
         );
+    }
+    if threads > 1 {
+        println!();
+        println!("{pipeline_report}");
     }
     println!();
     println!("paper reference (full scale): arbiter 365/117, div 3267/1211, i2c 207/15,");

@@ -6,37 +6,50 @@
 //! runtime datapoint (Boolean-difference resubstitution applied
 //! monolithically to `i2c` and `cavlc`).
 //!
-//! Usage: `table2 [--full]`.
+//! Usage: `table2 [--full] [--threads N]`.
 
 use std::time::Instant;
 
-use sbm_core::bdiff::{boolean_difference_resub, BdiffOptions};
-use sbm_core::script::{resyn2rs_fixpoint, sbm_script, SbmOptions};
+use sbm_core::bdiff::BdiffOptions;
+use sbm_core::engine::{Bdiff, Engine, OptContext};
+use sbm_core::pipeline::PipelineReport;
+use sbm_core::script::{resyn2rs_fixpoint, sbm_script_report, SbmOptions};
 use sbm_epfl::{benchmark, Scale};
 
 /// The 13 benchmarks of Table II (`hypotenuse` is generated as `hyp`).
 const TABLE2: [&str; 13] = [
-    "arbiter", "cavlc", "div", "i2c", "log2", "mem_ctrl", "mult", "router", "sin", "hyp",
-    "sqrt", "square", "voter",
+    "arbiter", "cavlc", "div", "i2c", "log2", "mem_ctrl", "mult", "router", "sin", "hyp", "sqrt",
+    "square", "voter",
 ];
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
+    let threads = sbm_bench::threads_arg();
     let scale = if full { Scale::Full } else { Scale::Reduced };
+    let options = SbmOptions::builder()
+        .num_threads(threads)
+        .build()
+        .expect("valid options");
     println!("Table II — Smallest AIG Results For The EPFL Suite");
-    println!("scale: {scale:?}");
+    println!("scale: {scale:?}, threads: {threads}");
     println!();
     println!(
         "{:<12} {:>9} | {:>9} {:>8} | {:>9} {:>8} | {:>8} {:>9}",
         "benchmark", "I/O", "base AIG", "base lv", "SBM AIG", "SBM lv", "Δsize", "verify"
     );
+    let mut pipeline_report = PipelineReport::default();
+    let mut script_secs = 0.0f64;
     for name in TABLE2 {
         let bench = benchmark(name, scale).expect("known benchmark");
         let aig = bench.aig;
         let io = format!("{}/{}", aig.num_inputs(), aig.num_outputs());
 
         let baseline = resyn2rs_fixpoint(&aig, 6);
-        let sbm = sbm_script(&aig, &SbmOptions::default());
+        let t = Instant::now();
+        let run = sbm_script_report(&aig, &options);
+        script_secs += t.elapsed().as_secs_f64();
+        let sbm = run.aig;
+        pipeline_report.merge(&run.stats);
         let verdict = sbm_bench::verify_pair(&aig, &sbm, 4_000);
         println!(
             "{:<12} {:>9} | {:>9} {:>8} | {:>9} {:>8} | {:>8} {:>9}",
@@ -49,6 +62,15 @@ fn main() {
             sbm_bench::pct(baseline.num_ands() as f64, sbm.num_ands() as f64),
             verdict,
         );
+    }
+    println!();
+    println!(
+        "sbm_script total: {script_secs:.1}s across {} benchmarks (threads: {threads})",
+        TABLE2.len()
+    );
+    if threads > 1 {
+        println!();
+        println!("{pipeline_report}");
     }
     println!();
     println!("paper reference (full scale): arbiter 879/228, cavlc 483/78, div 19250/6228,");
@@ -69,14 +91,15 @@ fn main() {
         opts.partition.max_levels = u32::MAX;
         opts.partition.max_inputs = usize::MAX;
         let t = Instant::now();
-        let (out, stats) = boolean_difference_resub(&aig, &opts);
+        let engine = Bdiff { options: opts };
+        let result = engine.run(&aig, &mut OptContext::default());
         println!(
             "  {name}: {} -> {} nodes in {:.2}s ({} pairs tried, {} accepted) [paper: i2c 2.3s, cavlc 1.2s]",
             aig.num_ands(),
-            out.num_ands(),
+            result.aig.num_ands(),
             t.elapsed().as_secs_f64(),
-            stats.pairs_tried,
-            stats.accepted,
+            result.stats.tried,
+            result.stats.accepted,
         );
     }
 }

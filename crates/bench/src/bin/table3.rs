@@ -6,10 +6,11 @@
 //! metrics the paper reports: combinational area, no-clock dynamic power,
 //! WNS, TNS and runtime, averaged w.r.t. baseline.
 //!
-//! Usage: `table3 [--designs N]` (default 33).
+//! Usage: `table3 [--designs N] [--threads N]` (default 33 designs, serial).
 
 use sbm_asic::designs::industrial_designs;
-use sbm_asic::flow::{compare_flows, summarize};
+use sbm_asic::flow::{compare_flows_threaded, summarize};
+use sbm_core::pipeline::PipelineReport;
 
 fn main() {
     let mut n = 33usize;
@@ -19,17 +20,28 @@ fn main() {
             n = v;
         }
     }
-    println!("Table III — Post-implementation results on {n} industrial-like designs");
+    let threads = sbm_bench::threads_arg();
+    println!("Table III — Post-implementation results on {n} industrial-like designs (threads: {threads})");
     println!();
     println!(
         "{:<10} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8}",
-        "design", "base area", "SBM area", "base pwr", "SBM pwr", "base TNS", "SBM TNS", "base s", "SBM s"
+        "design",
+        "base area",
+        "SBM area",
+        "base pwr",
+        "SBM pwr",
+        "base TNS",
+        "SBM TNS",
+        "base s",
+        "SBM s"
     );
     let designs = industrial_designs(n);
+    let mut pipeline_report = PipelineReport::default();
     let rows: Vec<_> = designs
         .iter()
         .map(|d| {
-            let row = compare_flows(&d.name, &d.aig, 0.85);
+            let row = compare_flows_threaded(&d.name, &d.aig, 0.85, threads);
+            pipeline_report.merge(&row.pipeline);
             println!(
                 "{:<10} {:>10.1} {:>10.1} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>8.2} {:>8.2}",
                 row.name,
@@ -46,6 +58,10 @@ fn main() {
         })
         .collect();
 
+    if threads > 1 {
+        println!();
+        println!("{pipeline_report}");
+    }
     let s = summarize(&rows);
     println!();
     println!("Flow        Comb. Area   No-clk Dyn. Pow.   WNS        TNS       Runtime");

@@ -37,6 +37,22 @@ pub fn sim_equal(a: &Aig, b: &Aig) -> bool {
         .all(|(x, y)| (0..4).all(|w| sa.lit_word(x, w) == sb.lit_word(y, w)))
 }
 
+/// Parses the shared `--threads N` CLI argument of the table binaries
+/// (default 1 = serial).
+pub fn threads_arg() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            return args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or(1);
+        }
+    }
+    1
+}
+
 /// Formats a ratio as the paper's "-x.xx%" convention.
 pub fn pct(before: f64, after: f64) -> String {
     if before == 0.0 {

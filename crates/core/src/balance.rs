@@ -51,10 +51,7 @@ pub fn balance(aig: &Aig) -> Aig {
                 .unwrap_or(la.max(lb) + 1);
             levels_new.entry(combined.node()).or_insert(lvl);
             // Insert keeping descending order by level.
-            let pos = ops
-                .iter()
-                .position(|&(l, _)| l <= lvl)
-                .unwrap_or(ops.len());
+            let pos = ops.iter().position(|&(l, _)| l <= lvl).unwrap_or(ops.len());
             ops.insert(pos, (lvl, combined));
         }
         let result = ops.pop().map(|(_, l)| l).unwrap_or(Lit::TRUE);

@@ -6,11 +6,32 @@
 //! implement results back "as an AIG, obtained using structural hashing
 //! (strashing) on the corresponding BDD" (Section III-C).
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 use sbm_aig::window::Partition;
 use sbm_aig::{Aig, Lit, NodeId};
-use sbm_bdd::{Bdd, BddManager};
+use sbm_bdd::{Bdd, BddManager, ManagerPool};
+
+thread_local! {
+    /// One manager pool per worker thread: the pipeline fans windows out
+    /// to scoped threads, and each thread recycles its own managers
+    /// without any locking.
+    static BDD_POOL: RefCell<ManagerPool> = RefCell::new(ManagerPool::new());
+}
+
+/// Takes a thread-locally pooled manager, reset for `num_vars` variables
+/// and `node_limit`. Return it with [`recycle_manager`] when the window is
+/// done so its allocations stay warm for the next one.
+pub fn pooled_manager(num_vars: usize, node_limit: usize) -> BddManager {
+    BDD_POOL.with(|pool| pool.borrow_mut().acquire(num_vars, node_limit))
+}
+
+/// Returns a manager obtained from [`pooled_manager`] to this thread's
+/// pool.
+pub fn recycle_manager(mgr: BddManager) {
+    BDD_POOL.with(|pool| pool.borrow_mut().release(mgr));
+}
 
 /// Builds the BDDs of all nodes of `partition` as functions of its leaves
 /// (leaf `i` = BDD variable `i`).
@@ -43,11 +64,7 @@ pub fn window_bdds(
 }
 
 /// The BDD of an AIG literal given node BDDs; `None` propagates bailouts.
-pub fn lit_bdd(
-    mgr: &mut BddManager,
-    bdds: &HashMap<NodeId, Option<Bdd>>,
-    lit: Lit,
-) -> Option<Bdd> {
+pub fn lit_bdd(mgr: &mut BddManager, bdds: &HashMap<NodeId, Option<Bdd>>, lit: Lit) -> Option<Bdd> {
     let base = (*bdds.get(&lit.node())?)?;
     if lit.is_complemented() {
         mgr.not(base).ok()

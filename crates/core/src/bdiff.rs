@@ -19,7 +19,7 @@ use sbm_aig::window::{partition, PartitionOptions};
 use sbm_aig::{Aig, Lit, NodeId};
 use sbm_bdd::{Bdd, BddManager};
 
-use crate::bdd_bridge::{bdd_to_aig, window_bdds};
+use crate::bdd_bridge::{bdd_to_aig, pooled_manager, recycle_manager, window_bdds};
 use crate::rewrite::{cut_mffc, cut_mffc_set};
 
 /// Options for Boolean-difference resubstitution.
@@ -76,7 +76,22 @@ pub struct BdiffStats {
 /// Runs Boolean-difference resubstitution over the whole network
 /// (Alg. 2). Returns the optimized network and statistics; the input is
 /// never worsened (the result has at most as many nodes).
-pub fn boolean_difference_resub(aig: &Aig, options: &BdiffOptions) -> (Aig, BdiffStats) {
+#[deprecated(
+    since = "0.1.0",
+    note = "use `engine::Bdiff` through the `Engine` trait"
+)]
+pub fn boolean_difference_resub(
+    aig: &Aig,
+    options: &BdiffOptions,
+) -> crate::engine::Optimized<BdiffStats> {
+    let (aig, stats) = boolean_difference_resub_impl(aig, options);
+    crate::engine::Optimized { aig, stats }
+}
+
+pub(crate) fn boolean_difference_resub_impl(
+    aig: &Aig,
+    options: &BdiffOptions,
+) -> (Aig, BdiffStats) {
     let mut work = aig.cleanup();
     let mut stats = BdiffStats::default();
     let parts = partition(&work, &options.partition);
@@ -88,7 +103,7 @@ pub fn boolean_difference_resub(aig: &Aig, options: &BdiffOptions) -> (Aig, Bdif
         // No variable-count cap here: BDDs scale to wide supports (the
         // paper applies the method monolithically to i2c's 147 inputs);
         // the node limit is the only safety valve.
-        let mut mgr = BddManager::with_node_limit(part.leaves.len(), options.bdd_node_limit);
+        let mut mgr = pooled_manager(part.leaves.len(), options.bdd_node_limit);
         let bdds = window_bdds(&work, part, &mut mgr);
         stats.bailouts += bdds.values().filter(|b| b.is_none()).count();
         // Alg. 1's all_bdds hashtable: canonical BDD → implementing literal.
@@ -116,9 +131,7 @@ pub fn boolean_difference_resub(aig: &Aig, options: &BdiffOptions) -> (Aig, Bdif
         for &f in &part.nodes {
             // Skip replaced nodes and nodes that died when an earlier
             // replacement freed their cone (fanout count 0 ⇒ unreachable).
-            if work.is_replaced(f)
-                || fanout_counts.get(f.index()).is_none_or(|&c| c == 0)
-            {
+            if work.is_replaced(f) || fanout_counts.get(f.index()).is_none_or(|&c| c == 0) {
                 continue;
             }
             let bf = match bdds.get(&f).copied().flatten() {
@@ -181,8 +194,7 @@ pub fn boolean_difference_resub(aig: &Aig, options: &BdiffOptions) -> (Aig, Bdif
                 };
                 if let Some(candidate) = evaluate_pair(
                     &mut mgr, &all_bdds, saving, f, g, bf, bg, options, &mut stats,
-                )
-                {
+                ) {
                     let better = match &best {
                         None => true,
                         Some(b) => candidate.est_gain > b.est_gain,
@@ -203,6 +215,7 @@ pub fn boolean_difference_resub(aig: &Aig, options: &BdiffOptions) -> (Aig, Bdif
             // paper's per-iteration memory release (Section III-C).
             mgr.clear_cache();
         }
+        recycle_manager(mgr);
     }
     let result = work.cleanup();
     if result.num_ands() <= aig.num_ands() {
@@ -351,7 +364,7 @@ mod tests {
     fn rewrites_reconvergent_logic() {
         let aig = reconvergent_pair();
         let before = aig.num_ands();
-        let (optimized, stats) = boolean_difference_resub(&aig, &BdiffOptions::default());
+        let (optimized, stats) = boolean_difference_resub_impl(&aig, &BdiffOptions::default());
         assert!(optimized.num_ands() <= before, "never worse");
         assert_eq!(
             check_equivalence(&aig, &optimized, None),
@@ -379,7 +392,7 @@ mod tests {
         aig.add_output(g2);
         aig.add_output(f2);
         let before = aig.num_ands();
-        let (optimized, stats) = boolean_difference_resub(&aig, &BdiffOptions::default());
+        let (optimized, stats) = boolean_difference_resub_impl(&aig, &BdiffOptions::default());
         assert_eq!(
             check_equivalence(&aig, &optimized, None),
             EquivResult::Equivalent
@@ -424,7 +437,7 @@ mod tests {
                 aig.add_output(out);
             }
             let clean = aig.cleanup();
-            let (optimized, _) = boolean_difference_resub(&clean, &BdiffOptions::default());
+            let (optimized, _) = boolean_difference_resub_impl(&clean, &BdiffOptions::default());
             assert!(optimized.num_ands() <= clean.num_ands());
             assert_eq!(
                 check_equivalence(&clean, &optimized, None),

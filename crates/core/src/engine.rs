@@ -1,0 +1,425 @@
+//! The common optimization-engine abstraction.
+//!
+//! Every Boolean/algebraic engine in this crate is reachable through the
+//! [`Engine`] trait: a named pass that maps an AIG to an optimized AIG
+//! plus uniform [`EngineStats`]. The trait is what the parallel pipeline
+//! (see [`crate::pipeline`]) schedules over windows, and what scripts
+//! compose into sequences; the per-engine free functions remain available
+//! as deprecated wrappers returning [`Optimized`].
+//!
+//! Engines are `Send + Sync` — a single engine value may be shared by
+//! many worker threads, each running it on a disjoint window.
+
+use std::time::{Duration, Instant};
+
+use sbm_aig::Aig;
+
+use crate::balance::balance;
+use crate::bdiff::{boolean_difference_resub_impl, BdiffOptions};
+use crate::gradient::{gradient_optimize_impl, GradientOptions};
+use crate::hetero::{hetero_eliminate_kernel_impl, HeteroOptions};
+use crate::mspf::{mspf_optimize_impl, MspfOptions};
+use crate::refactor::{refactor_impl, RefactorOptions};
+use crate::resub::{resub_impl, ResubOptions};
+use crate::rewrite::{rewrite_impl, RewriteOptions};
+
+/// Shared context handed to every engine invocation.
+#[derive(Debug, Clone)]
+pub struct OptContext {
+    /// Worker threads available to the engine (1 = strictly serial).
+    pub num_threads: usize,
+}
+
+impl Default for OptContext {
+    fn default() -> Self {
+        OptContext { num_threads: 1 }
+    }
+}
+
+impl OptContext {
+    /// A context with `num_threads` workers.
+    pub fn with_threads(num_threads: usize) -> Self {
+        OptContext { num_threads }
+    }
+}
+
+/// Uniform per-engine statistics (the paper's cost/benefit bookkeeping).
+///
+/// Engines with richer native stats (e.g. [`crate::bdiff::BdiffStats`])
+/// project onto these fields; the native structs remain available through
+/// the deprecated free functions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Windows / partitions processed (0 for non-windowed engines).
+    pub windows: usize,
+    /// Candidate moves evaluated.
+    pub tried: usize,
+    /// Moves accepted.
+    pub accepted: usize,
+    /// AND-node reduction (positive = smaller network).
+    pub gain: i64,
+    /// BDD node-limit bailouts.
+    pub bailouts: usize,
+    /// Wall-clock time of the pass.
+    pub wall: Duration,
+}
+
+impl EngineStats {
+    /// Accumulates `other` into `self` (counter-wise sum).
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.windows += other.windows;
+        self.tried += other.tried;
+        self.accepted += other.accepted;
+        self.gain += other.gain;
+        self.bailouts += other.bailouts;
+        self.wall += other.wall;
+    }
+}
+
+/// What an engine pass produces: the optimized AIG plus its stats.
+#[derive(Debug, Clone)]
+pub struct EngineResult {
+    /// The optimized network (never larger than the input).
+    pub aig: Aig,
+    /// Uniform statistics of the pass.
+    pub stats: EngineStats,
+}
+
+/// An optimized AIG paired with engine-native statistics. Replaces the
+/// bare `(Aig, Stats)` tuples of the pre-trait API.
+#[derive(Debug, Clone)]
+pub struct Optimized<S> {
+    /// The optimized network.
+    pub aig: Aig,
+    /// Engine-native statistics.
+    pub stats: S,
+}
+
+/// A named optimization pass over an AIG.
+pub trait Engine: Send + Sync {
+    /// Short engine name (used in reports and logs).
+    fn name(&self) -> &str;
+    /// Runs the pass. Implementations never return a larger network.
+    fn run(&self, aig: &Aig, ctx: &mut OptContext) -> EngineResult;
+}
+
+/// Times `run`, computes the node gain, and lets `fill` project the
+/// engine-native stats onto [`EngineStats`].
+fn timed<S>(
+    aig: &Aig,
+    run: impl FnOnce(&Aig) -> (Aig, S),
+    fill: impl FnOnce(S, &mut EngineStats),
+) -> EngineResult {
+    let before = aig.num_ands() as i64;
+    let start = Instant::now();
+    let (aig, native) = run(aig);
+    let mut stats = EngineStats {
+        gain: before - aig.num_ands() as i64,
+        ..EngineStats::default()
+    };
+    fill(native, &mut stats);
+    stats.wall = start.elapsed();
+    EngineResult { aig, stats }
+}
+
+/// AND-tree balancing as an [`Engine`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Balance;
+
+impl Engine for Balance {
+    fn name(&self) -> &str {
+        "balance"
+    }
+
+    fn run(&self, aig: &Aig, _ctx: &mut OptContext) -> EngineResult {
+        timed(
+            aig,
+            |a| (balance(a), ()),
+            |(), stats| {
+                stats.tried = 1;
+                stats.accepted = usize::from(stats.gain > 0);
+            },
+        )
+    }
+}
+
+/// Cut-based rewriting as an [`Engine`].
+#[derive(Debug, Clone, Default)]
+pub struct Rewrite {
+    /// Pass options.
+    pub options: RewriteOptions,
+}
+
+impl Engine for Rewrite {
+    fn name(&self) -> &str {
+        "rewrite"
+    }
+
+    fn run(&self, aig: &Aig, _ctx: &mut OptContext) -> EngineResult {
+        timed(
+            aig,
+            |a| rewrite_impl(a, &self.options),
+            |native, stats| {
+                stats.tried = native.cuts_tried;
+                stats.accepted = native.rewritten;
+            },
+        )
+    }
+}
+
+/// Cone refactoring as an [`Engine`].
+#[derive(Debug, Clone, Default)]
+pub struct Refactor {
+    /// Pass options.
+    pub options: RefactorOptions,
+}
+
+impl Engine for Refactor {
+    fn name(&self) -> &str {
+        "refactor"
+    }
+
+    fn run(&self, aig: &Aig, _ctx: &mut OptContext) -> EngineResult {
+        timed(
+            aig,
+            |a| refactor_impl(a, &self.options),
+            |native, stats| {
+                stats.tried = native.considered;
+                stats.accepted = native.refactored;
+            },
+        )
+    }
+}
+
+/// Windowed resubstitution as an [`Engine`].
+#[derive(Debug, Clone, Default)]
+pub struct Resub {
+    /// Pass options.
+    pub options: ResubOptions,
+}
+
+impl Engine for Resub {
+    fn name(&self) -> &str {
+        "resub"
+    }
+
+    fn run(&self, aig: &Aig, _ctx: &mut OptContext) -> EngineResult {
+        timed(
+            aig,
+            |a| resub_impl(a, &self.options),
+            |native, stats| {
+                stats.accepted = native.zero_resubs + native.one_resubs;
+                stats.tried = stats.accepted;
+            },
+        )
+    }
+}
+
+/// MSPF-based redundancy removal as an [`Engine`].
+#[derive(Debug, Clone, Default)]
+pub struct Mspf {
+    /// Pass options.
+    pub options: MspfOptions,
+}
+
+impl Engine for Mspf {
+    fn name(&self) -> &str {
+        "mspf"
+    }
+
+    fn run(&self, aig: &Aig, _ctx: &mut OptContext) -> EngineResult {
+        timed(
+            aig,
+            |a| mspf_optimize_impl(a, &self.options),
+            |native, stats| {
+                stats.tried = native.mspf_computed;
+                stats.accepted = native.replaced + native.constants;
+                stats.bailouts = native.bailouts;
+            },
+        )
+    }
+}
+
+/// Boolean-difference resubstitution as an [`Engine`].
+#[derive(Debug, Clone, Default)]
+pub struct Bdiff {
+    /// Pass options.
+    pub options: BdiffOptions,
+}
+
+impl Engine for Bdiff {
+    fn name(&self) -> &str {
+        "bdiff"
+    }
+
+    fn run(&self, aig: &Aig, _ctx: &mut OptContext) -> EngineResult {
+        timed(
+            aig,
+            |a| boolean_difference_resub_impl(a, &self.options),
+            |native, stats| {
+                stats.windows = native.windows;
+                stats.tried = native.pairs_tried;
+                stats.accepted = native.accepted;
+                stats.bailouts = native.bailouts;
+            },
+        )
+    }
+}
+
+/// Heterogeneous eliminate + kernel extraction as an [`Engine`].
+///
+/// The only engine that consults [`OptContext::num_threads`] directly:
+/// its internal threshold sweep runs on scoped threads unless the context
+/// demands strict serial execution.
+#[derive(Debug, Clone, Default)]
+pub struct Hetero {
+    /// Pass options (`parallel` is overridden by the context).
+    pub options: HeteroOptions,
+}
+
+impl Engine for Hetero {
+    fn name(&self) -> &str {
+        "hetero"
+    }
+
+    fn run(&self, aig: &Aig, ctx: &mut OptContext) -> EngineResult {
+        let mut options = self.options.clone();
+        options.parallel = ctx.num_threads > 1;
+        timed(
+            aig,
+            |a| hetero_eliminate_kernel_impl(a, &options),
+            |native, stats| {
+                stats.windows = native.partitions;
+                stats.tried = native.partitions;
+                stats.accepted = native.improved;
+            },
+        )
+    }
+}
+
+/// The gradient-based move scheduler as an [`Engine`].
+#[derive(Debug, Clone, Default)]
+pub struct Gradient {
+    /// Scheduler options (`num_threads` is raised to the context's).
+    pub options: GradientOptions,
+}
+
+impl Engine for Gradient {
+    fn name(&self) -> &str {
+        "gradient"
+    }
+
+    fn run(&self, aig: &Aig, ctx: &mut OptContext) -> EngineResult {
+        let mut options = self.options.clone();
+        options.num_threads = options.num_threads.max(ctx.num_threads);
+        timed(
+            aig,
+            |a| gradient_optimize_impl(a, &options),
+            |native, stats| {
+                for (_, record) in &native.records {
+                    stats.tried += record.tried as usize;
+                    stats.accepted += record.succeeded as usize;
+                }
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::equivalent;
+
+    fn benchmark_aig() -> Aig {
+        let mut aig = Aig::new();
+        let inputs: Vec<_> = (0..6).map(|_| aig.add_input()).collect();
+        let mut acc = aig.and(inputs[0], inputs[1]);
+        for chunk in inputs.windows(3) {
+            let m = aig.maj3(chunk[0], chunk[1], chunk[2]);
+            let x = aig.xor(m, acc);
+            acc = aig.or(x, chunk[1]);
+        }
+        aig.add_output(acc);
+        aig.add_output(!acc);
+        aig
+    }
+
+    fn all_engines() -> Vec<Box<dyn Engine>> {
+        vec![
+            Box::new(Balance),
+            Box::new(Rewrite::default()),
+            Box::new(Refactor::default()),
+            Box::new(Resub::default()),
+            Box::new(Mspf::default()),
+            Box::new(Bdiff::default()),
+            Box::new(Hetero::default()),
+            Box::new(Gradient::default()),
+        ]
+    }
+
+    #[test]
+    fn every_engine_preserves_function_and_never_grows() {
+        let aig = benchmark_aig();
+        let mut ctx = OptContext::default();
+        for engine in all_engines() {
+            let result = engine.run(&aig, &mut ctx);
+            assert!(
+                result.aig.num_ands() <= aig.num_ands(),
+                "{} grew the network",
+                engine.name()
+            );
+            assert!(
+                equivalent(&aig, &result.aig),
+                "{} broke equivalence",
+                engine.name()
+            );
+            assert_eq!(
+                result.stats.gain,
+                aig.num_ands() as i64 - result.aig.num_ands() as i64,
+                "{} mis-reported gain",
+                engine.name()
+            );
+        }
+    }
+
+    #[test]
+    fn engine_names_are_unique() {
+        let engines = all_engines();
+        let mut names: Vec<&str> = engines.iter().map(|e| e.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), engines.len());
+    }
+
+    #[test]
+    fn stats_merge_sums_counters() {
+        let a = EngineStats {
+            windows: 1,
+            tried: 2,
+            accepted: 1,
+            gain: 3,
+            bailouts: 0,
+            wall: Duration::from_millis(5),
+        };
+        let mut b = EngineStats {
+            windows: 4,
+            tried: 5,
+            accepted: 2,
+            gain: -1,
+            bailouts: 2,
+            wall: Duration::from_millis(7),
+        };
+        b.merge(&a);
+        assert_eq!(
+            b,
+            EngineStats {
+                windows: 5,
+                tried: 7,
+                accepted: 3,
+                gain: 2,
+                bailouts: 2,
+                wall: Duration::from_millis(12),
+            }
+        );
+    }
+}

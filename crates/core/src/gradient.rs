@@ -12,12 +12,12 @@
 use sbm_aig::Aig;
 
 use crate::balance::balance;
-use crate::bdiff::{boolean_difference_resub, BdiffOptions};
-use crate::hetero::{hetero_eliminate_kernel, HeteroOptions};
-use crate::mspf::{mspf_optimize, MspfOptions};
-use crate::refactor::{refactor, RefactorOptions};
-use crate::resub::{resub, ResubOptions};
-use crate::rewrite::{rewrite, RewriteOptions};
+use crate::bdiff::{boolean_difference_resub_impl, BdiffOptions};
+use crate::hetero::{hetero_eliminate_kernel_impl, HeteroOptions};
+use crate::mspf::{mspf_optimize_impl, MspfOptions};
+use crate::refactor::{refactor_impl, RefactorOptions};
+use crate::resub::{resub_impl, ResubOptions};
+use crate::rewrite::{rewrite_impl, RewriteOptions};
 
 /// The move set of the gradient engine (paper: "rewriting, refactoring,
 /// resub, mspf resub and eliminate, simplify & kerneling"; all but
@@ -60,47 +60,103 @@ impl Move {
         }
     }
 
-    /// Applies the move, returning the optimized network.
+    fn refactor_options(high_effort: bool) -> RefactorOptions {
+        RefactorOptions {
+            max_support: if high_effort { 14 } else { 10 },
+            min_mffc: if high_effort { 2 } else { 4 },
+            ..Default::default()
+        }
+    }
+
+    fn resub_options(high_effort: bool) -> ResubOptions {
+        ResubOptions {
+            max_divisors: if high_effort { 48 } else { 16 },
+            try_pairs: high_effort,
+            ..Default::default()
+        }
+    }
+
+    fn mspf_options(high_effort: bool) -> MspfOptions {
+        let mut opts = MspfOptions::default();
+        if !high_effort {
+            opts.partition.max_nodes = 120;
+            opts.partition.max_inputs = 10;
+            opts.max_candidates = 16;
+        }
+        opts
+    }
+
+    fn hetero_options(high_effort: bool) -> HeteroOptions {
+        let mut opts = HeteroOptions::default();
+        if !high_effort {
+            opts.thresholds = vec![-1, 5, 50];
+            opts.extract_rounds = 8;
+        }
+        opts
+    }
+
+    /// Applies the move serially, returning the optimized network.
     pub fn apply(self, aig: &Aig) -> Aig {
         match self {
             Move::Balance => balance(aig),
-            Move::Rewrite => rewrite(aig, &RewriteOptions::default()).0,
+            Move::Rewrite => rewrite_impl(aig, &RewriteOptions::default()).0,
             Move::Refactor { high_effort } => {
-                let opts = RefactorOptions {
-                    max_support: if high_effort { 14 } else { 10 },
-                    min_mffc: if high_effort { 2 } else { 4 },
-                    ..Default::default()
-                };
-                refactor(aig, &opts).0
+                refactor_impl(aig, &Move::refactor_options(high_effort)).0
             }
-            Move::Resub { high_effort } => {
-                let opts = ResubOptions {
-                    max_divisors: if high_effort { 48 } else { 16 },
-                    try_pairs: high_effort,
-                    ..Default::default()
-                };
-                resub(aig, &opts).0
-            }
+            Move::Resub { high_effort } => resub_impl(aig, &Move::resub_options(high_effort)).0,
             Move::MspfResub { high_effort } => {
-                let mut opts = MspfOptions::default();
-                if !high_effort {
-                    opts.partition.max_nodes = 120;
-                    opts.partition.max_inputs = 10;
-                    opts.max_candidates = 16;
-                }
-                mspf_optimize(aig, &opts).0
+                mspf_optimize_impl(aig, &Move::mspf_options(high_effort)).0
             }
             Move::EliminateKernel { high_effort } => {
-                let mut opts = HeteroOptions::default();
-                if !high_effort {
-                    opts.thresholds = vec![-1, 5, 50];
-                    opts.extract_rounds = 8;
-                }
-                hetero_eliminate_kernel(aig, &opts).0
+                hetero_eliminate_kernel_impl(aig, &Move::hetero_options(high_effort)).0
             }
             Move::BooleanDifference => {
-                boolean_difference_resub(aig, &BdiffOptions::default()).0
+                boolean_difference_resub_impl(aig, &BdiffOptions::default()).0
             }
+        }
+    }
+
+    /// Applies the move with `num_threads` workers: window-based moves are
+    /// fanned out through the parallel partition executor
+    /// ([`crate::pipeline::parallel_pass`]), and the eliminate/kernel move
+    /// enables its internal threshold-sweep threads. At `num_threads = 1`
+    /// this is exactly [`Move::apply`].
+    pub fn apply_threaded(self, aig: &Aig, num_threads: usize) -> Aig {
+        if num_threads <= 1 {
+            return self.apply(aig);
+        }
+        use crate::engine;
+        use crate::pipeline::parallel_pass;
+        match self {
+            Move::Balance => balance(aig),
+            Move::Rewrite => parallel_pass(aig, num_threads, engine::Rewrite::default()),
+            Move::Refactor { high_effort } => parallel_pass(
+                aig,
+                num_threads,
+                engine::Refactor {
+                    options: Move::refactor_options(high_effort),
+                },
+            ),
+            Move::Resub { high_effort } => parallel_pass(
+                aig,
+                num_threads,
+                engine::Resub {
+                    options: Move::resub_options(high_effort),
+                },
+            ),
+            Move::MspfResub { high_effort } => parallel_pass(
+                aig,
+                num_threads,
+                engine::Mspf {
+                    options: Move::mspf_options(high_effort),
+                },
+            ),
+            Move::EliminateKernel { high_effort } => {
+                let mut opts = Move::hetero_options(high_effort);
+                opts.parallel = true;
+                hetero_eliminate_kernel_impl(aig, &opts).0
+            }
+            Move::BooleanDifference => parallel_pass(aig, num_threads, engine::Bdiff::default()),
         }
     }
 }
@@ -149,6 +205,9 @@ pub struct GradientOptions {
     pub budget_extension: u32,
     /// Move selection policy.
     pub selection: Selection,
+    /// Worker threads for move application (1 = strictly serial); see
+    /// [`Move::apply_threaded`].
+    pub num_threads: usize,
 }
 
 impl Default for GradientOptions {
@@ -159,6 +218,7 @@ impl Default for GradientOptions {
             min_gain_gradient: 0.03,
             budget_extension: 50,
             selection: Selection::Waterfall,
+            num_threads: 1,
         }
     }
 }
@@ -196,10 +256,25 @@ pub struct GradientStats {
 /// stop gaining; recorded successes raise a move's priority for subsequent
 /// iterations. All moves have gain ≥ 0 by construction (each move returns
 /// its input when it cannot improve it).
-pub fn gradient_optimize(aig: &Aig, options: &GradientOptions) -> (Aig, GradientStats) {
+#[deprecated(
+    since = "0.1.0",
+    note = "use `engine::Gradient` through the `Engine` trait"
+)]
+pub fn gradient_optimize(
+    aig: &Aig,
+    options: &GradientOptions,
+) -> crate::engine::Optimized<GradientStats> {
+    let (aig, stats) = gradient_optimize_impl(aig, options);
+    crate::engine::Optimized { aig, stats }
+}
+
+pub(crate) fn gradient_optimize_impl(aig: &Aig, options: &GradientOptions) -> (Aig, GradientStats) {
     let mut current = aig.cleanup();
     let mut stats = GradientStats {
-        records: all_moves().into_iter().map(|m| (m, MoveRecord::default())).collect(),
+        records: all_moves()
+            .into_iter()
+            .map(|m| (m, MoveRecord::default()))
+            .collect(),
         ..Default::default()
     };
     let mut budget = options.budget;
@@ -221,7 +296,11 @@ pub fn gradient_optimize(aig: &Aig, options: &GradientOptions) -> (Aig, Gradient
             .filter(|m| m.cost() <= unlocked_cost)
             .collect();
         let score = |m: &Move, records: &[(Move, MoveRecord)]| -> f64 {
-            let rec = &records.iter().find(|(mm, _)| mm == m).expect("known move").1;
+            let rec = &records
+                .iter()
+                .find(|(mm, _)| mm == m)
+                .expect("known move")
+                .1;
             if rec.tried == 0 {
                 0.5 // unexplored moves get a neutral prior
             } else {
@@ -239,7 +318,7 @@ pub fn gradient_optimize(aig: &Aig, options: &GradientOptions) -> (Aig, Gradient
             if spent + mv.cost() > budget {
                 continue;
             }
-            let result = mv.apply(&current);
+            let result = mv.apply_threaded(&current, options.num_threads);
             spent += mv.cost();
             let gain = size_before.saturating_sub(result.num_ands());
             let rec = &mut stats
@@ -284,11 +363,7 @@ pub fn gradient_optimize(aig: &Aig, options: &GradientOptions) -> (Aig, Gradient
         }
         // Gain gradient over the last k iterations.
         if recent_gains.len() >= options.k as usize {
-            let window: usize = recent_gains
-                .iter()
-                .rev()
-                .take(options.k as usize)
-                .sum();
+            let window: usize = recent_gains.iter().rev().take(options.k as usize).sum();
             let gradient = window as f64 / current.num_ands().max(1) as f64;
             if window == 0 {
                 stats.early_termination = true;
@@ -331,7 +406,7 @@ mod tests {
     #[test]
     fn optimizes_messy_network() {
         let aig = messy_aig();
-        let (optimized, stats) = gradient_optimize(&aig, &GradientOptions::default());
+        let (optimized, stats) = gradient_optimize_impl(&aig, &GradientOptions::default());
         assert!(
             optimized.num_ands() < aig.num_ands(),
             "{} -> {} ({stats:?})",
@@ -349,7 +424,7 @@ mod tests {
     #[test]
     fn gain_is_never_negative() {
         let aig = messy_aig();
-        let (optimized, _) = gradient_optimize(&aig, &GradientOptions::default());
+        let (optimized, _) = gradient_optimize_impl(&aig, &GradientOptions::default());
         assert!(optimized.num_ands() <= aig.num_ands());
     }
 
@@ -361,15 +436,15 @@ mod tests {
             budget_extension: 0,
             ..Default::default()
         };
-        let (_, stats) = gradient_optimize(&aig, &opts);
+        let (_, stats) = gradient_optimize_impl(&aig, &opts);
         assert!(stats.spent <= 3);
     }
 
     #[test]
     fn parallel_selection_no_worse_than_waterfall() {
         let aig = messy_aig();
-        let (wf, _) = gradient_optimize(&aig, &GradientOptions::default());
-        let (par, _) = gradient_optimize(
+        let (wf, _) = gradient_optimize_impl(&aig, &GradientOptions::default());
+        let (par, _) = gradient_optimize_impl(
             &aig,
             &GradientOptions {
                 selection: Selection::Parallel,
@@ -393,7 +468,7 @@ mod tests {
             k: 5,
             ..Default::default()
         };
-        let (optimized, stats) = gradient_optimize(&aig, &opts);
+        let (optimized, stats) = gradient_optimize_impl(&aig, &opts);
         assert_eq!(optimized.num_ands(), 1);
         assert!(stats.spent < 10_000, "engine must not burn the budget");
     }

@@ -76,13 +76,17 @@ fn partition_to_sop(aig: &Aig, part: &Partition) -> Option<SopNetwork> {
         // partitions are skipped rather than modeled.
         let conv = |l: Lit, map: &HashMap<NodeId, SignalLit>| -> Option<SignalLit> {
             let base = *map.get(&l.node())?;
-            Some(if l.is_complemented() { base.negate() } else { base })
+            Some(if l.is_complemented() {
+                base.negate()
+            } else {
+                base
+            })
         };
         let la = conv(a, &map)?;
         let lb = conv(b, &map)?;
-        let s = net.add_node(sbm_sop::Cover::from_cubes(vec![
-            sbm_sop::Cube::from_lits(&[la, lb]),
-        ]));
+        let s = net.add_node(sbm_sop::Cover::from_cubes(vec![sbm_sop::Cube::from_lits(
+            &[la, lb],
+        )]));
         map.insert(id, SignalLit::positive(s));
     }
     for &root in &part.roots {
@@ -107,7 +111,22 @@ fn optimize_with_threshold(
 
 /// Runs the heterogeneous eliminate + kernel-extraction engine over the
 /// network. Never returns a larger network.
-pub fn hetero_eliminate_kernel(aig: &Aig, options: &HeteroOptions) -> (Aig, HeteroStats) {
+#[deprecated(
+    since = "0.1.0",
+    note = "use `engine::Hetero` through the `Engine` trait"
+)]
+pub fn hetero_eliminate_kernel(
+    aig: &Aig,
+    options: &HeteroOptions,
+) -> crate::engine::Optimized<HeteroStats> {
+    let (aig, stats) = hetero_eliminate_kernel_impl(aig, options);
+    crate::engine::Optimized { aig, stats }
+}
+
+pub(crate) fn hetero_eliminate_kernel_impl(
+    aig: &Aig,
+    options: &HeteroOptions,
+) -> (Aig, HeteroStats) {
     let mut work = aig.cleanup();
     let mut stats = HeteroStats::default();
     let parts = partition(&work, &options.partition);
@@ -122,19 +141,21 @@ pub fn hetero_eliminate_kernel(aig: &Aig, options: &HeteroOptions) -> (Aig, Hete
 
         // Sweep the threshold ladder — in parallel when enabled.
         let results: Vec<(usize, SopNetwork)> = if options.parallel {
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = options
                     .thresholds
                     .iter()
                     .map(|&t| {
                         let net_ref = &net;
                         let rounds = options.extract_rounds;
-                        scope.spawn(move |_| optimize_with_threshold(net_ref, t, rounds))
+                        scope.spawn(move || optimize_with_threshold(net_ref, t, rounds))
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("threshold worker")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("threshold worker"))
+                    .collect()
             })
-            .expect("crossbeam scope")
         } else {
             options
                 .thresholds
@@ -143,10 +164,7 @@ pub fn hetero_eliminate_kernel(aig: &Aig, options: &HeteroOptions) -> (Aig, Hete
                 .collect()
         };
 
-        let Some((_, best)) = results
-            .into_iter()
-            .min_by_key(|(lits, _)| *lits)
-        else {
+        let Some((_, best)) = results.into_iter().min_by_key(|(lits, _)| *lits) else {
             continue;
         };
 
@@ -201,11 +219,7 @@ fn emit_sop_network(aig: &mut Aig, net: &SopNetwork, leaf_lits: &[Lit]) -> Vec<L
         .collect()
 }
 
-fn emit_factored(
-    aig: &mut Aig,
-    fac: &sbm_sop::factor::Factored,
-    map: &HashMap<u32, Lit>,
-) -> Lit {
+fn emit_factored(aig: &mut Aig, fac: &sbm_sop::factor::Factored, map: &HashMap<u32, Lit>) -> Lit {
     use sbm_sop::factor::Factored;
     match fac {
         Factored::Zero => Lit::FALSE,
@@ -252,7 +266,7 @@ mod tests {
     fn extracts_shared_kernels_across_outputs() {
         let aig = kernel_rich_aig();
         let before = aig.num_ands();
-        let (optimized, stats) = hetero_eliminate_kernel(&aig, &HeteroOptions::default());
+        let (optimized, stats) = hetero_eliminate_kernel_impl(&aig, &HeteroOptions::default());
         assert_eq!(
             check_equivalence(&aig, &optimized, None),
             EquivResult::Equivalent
@@ -267,8 +281,8 @@ mod tests {
     #[test]
     fn sequential_matches_parallel() {
         let aig = kernel_rich_aig();
-        let (par, _) = hetero_eliminate_kernel(&aig, &HeteroOptions::default());
-        let (seq, _) = hetero_eliminate_kernel(
+        let (par, _) = hetero_eliminate_kernel_impl(&aig, &HeteroOptions::default());
+        let (seq, _) = hetero_eliminate_kernel_impl(
             &aig,
             &HeteroOptions {
                 parallel: false,
@@ -276,10 +290,7 @@ mod tests {
             },
         );
         assert_eq!(par.num_ands(), seq.num_ands());
-        assert_eq!(
-            check_equivalence(&par, &seq, None),
-            EquivResult::Equivalent
-        );
+        assert_eq!(check_equivalence(&par, &seq, None), EquivResult::Equivalent);
     }
 
     #[test]
@@ -292,7 +303,7 @@ mod tests {
         let x = aig.xor(a, c);
         let f = aig.and(m, x);
         aig.add_output(f);
-        let (optimized, _) = hetero_eliminate_kernel(&aig, &HeteroOptions::default());
+        let (optimized, _) = hetero_eliminate_kernel_impl(&aig, &HeteroOptions::default());
         assert!(optimized.num_ands() <= aig.num_ands());
         assert_eq!(
             check_equivalence(&aig, &optimized, None),

@@ -43,9 +43,11 @@
 pub mod balance;
 pub mod bdd_bridge;
 pub mod bdiff;
+pub mod engine;
 pub mod gradient;
 pub mod hetero;
 pub mod mspf;
+pub mod pipeline;
 pub mod refactor;
 pub mod resub;
 pub mod rewrite;

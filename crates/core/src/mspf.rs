@@ -24,7 +24,7 @@ use sbm_aig::window::{partition, Partition, PartitionOptions};
 use sbm_aig::{Aig, Lit, NodeId};
 use sbm_bdd::{Bdd, BddError, BddManager};
 
-use crate::bdd_bridge::window_bdds;
+use crate::bdd_bridge::{pooled_manager, recycle_manager, window_bdds};
 
 /// Options for MSPF optimization.
 #[derive(Debug, Clone, Copy)]
@@ -127,17 +127,23 @@ fn roots_with_node_var(
         let f = mgr.and(fa, fb).ok()?;
         bdds.insert(id, f);
     }
-    part.roots
-        .iter()
-        .map(|r| bdds.get(r).copied())
-        .collect()
+    part.roots.iter().map(|r| bdds.get(r).copied()).collect()
 }
 
 /// Runs one MSPF optimization pass: per window, computes each member's
 /// MSPF and tries to replace it with a connectable existing signal
 /// (constant, leaf or member) — keeping replacements that free logic.
 /// Never returns a larger network.
-pub fn mspf_optimize(aig: &Aig, options: &MspfOptions) -> (Aig, MspfStats) {
+#[deprecated(
+    since = "0.1.0",
+    note = "use `engine::Mspf` through the `Engine` trait"
+)]
+pub fn mspf_optimize(aig: &Aig, options: &MspfOptions) -> crate::engine::Optimized<MspfStats> {
+    let (aig, stats) = mspf_optimize_impl(aig, options);
+    crate::engine::Optimized { aig, stats }
+}
+
+pub(crate) fn mspf_optimize_impl(aig: &Aig, options: &MspfOptions) -> (Aig, MspfStats) {
     let mut work = aig.cleanup();
     let mut stats = MspfStats::default();
     let parts = partition(&work, &options.partition);
@@ -155,7 +161,7 @@ pub fn mspf_optimize(aig: &Aig, options: &MspfOptions) -> (Aig, MspfStats) {
         // preserve the window *roots* but may change internal member
         // functions, so this map is rebuilt after every accepted
         // replacement.
-        let mut mgr = BddManager::with_node_limit(part.leaves.len() + 1, options.bdd_node_limit);
+        let mut mgr = pooled_manager(part.leaves.len() + 1, options.bdd_node_limit);
         let mut bdds = window_bdds(&work, part, &mut mgr);
 
         for &f in &members {
@@ -170,18 +176,20 @@ pub fn mspf_optimize(aig: &Aig, options: &MspfOptions) -> (Aig, MspfStats) {
                 stats.bailouts += 1;
                 continue;
             };
-            // Root functions with f as a free variable, in a fresh manager
-            // (freed after this node — the paper's memory strategy).
-            let mut var_mgr =
-                BddManager::with_node_limit(part.leaves.len() + 1, options.bdd_node_limit);
+            // Root functions with f as a free variable, in a manager reset
+            // after this node — the paper's memory strategy with the
+            // allocations recycled.
+            let mut var_mgr = pooled_manager(part.leaves.len() + 1, options.bdd_node_limit);
             let Some(roots) = roots_with_node_var(&work, part, f, &mut var_mgr) else {
                 stats.bailouts += 1;
+                recycle_manager(var_mgr);
                 continue;
             };
             let mspf = match mspf_of_node(&mut var_mgr, &roots, part.leaves.len()) {
                 Ok(m) => m,
                 Err(_) => {
                     stats.bailouts += 1;
+                    recycle_manager(var_mgr);
                     continue;
                 }
             };
@@ -192,6 +200,7 @@ pub fn mspf_optimize(aig: &Aig, options: &MspfOptions) -> (Aig, MspfStats) {
             // Import the MSPF into the main manager (it is a function of
             // the leaves only — x_node was cofactored away).
             let mspf_tt = var_mgr.to_truth_table(mspf);
+            recycle_manager(var_mgr);
             let Ok(mspf_main) = mgr.from_truth_table(&mspf_tt) else {
                 stats.bailouts += 1;
                 continue;
@@ -249,13 +258,11 @@ pub fn mspf_optimize(aig: &Aig, options: &MspfOptions) -> (Aig, MspfStats) {
             if replaced {
                 // The replacement preserves the window roots but may change
                 // internal member functions: rebuild the comparison BDDs.
-                mgr = BddManager::with_node_limit(
-                    part.leaves.len() + 1,
-                    options.bdd_node_limit,
-                );
+                mgr.reset(part.leaves.len() + 1, options.bdd_node_limit);
                 bdds = window_bdds(&work, part, &mut mgr);
             }
         }
+        recycle_manager(mgr);
     }
     let result = work.cleanup();
     if result.num_ands() <= aig.num_ands() {
@@ -282,7 +289,7 @@ mod tests {
         let g = aig.and(x, a);
         aig.add_output(g);
         let before = aig.num_ands();
-        let (optimized, stats) = mspf_optimize(&aig, &MspfOptions::default());
+        let (optimized, stats) = mspf_optimize_impl(&aig, &MspfOptions::default());
         assert_eq!(
             check_equivalence(&aig, &optimized, None),
             EquivResult::Equivalent
@@ -301,7 +308,7 @@ mod tests {
         let b = aig.add_input();
         let f = aig.and(a, b);
         aig.add_output(f);
-        let (optimized, _) = mspf_optimize(&aig, &MspfOptions::default());
+        let (optimized, _) = mspf_optimize_impl(&aig, &MspfOptions::default());
         assert_eq!(optimized.num_ands(), 1);
         assert_eq!(
             check_equivalence(&aig, &optimized, None),
@@ -320,7 +327,7 @@ mod tests {
         let g = aig.or(x, c);
         aig.add_output(f);
         aig.add_output(g);
-        let (optimized, _) = mspf_optimize(&aig, &MspfOptions::default());
+        let (optimized, _) = mspf_optimize_impl(&aig, &MspfOptions::default());
         assert_eq!(
             check_equivalence(&aig, &optimized, None),
             EquivResult::Equivalent

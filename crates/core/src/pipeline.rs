@@ -1,0 +1,575 @@
+//! The parallel partition executor.
+//!
+//! The paper's engines are all *windowed*: they evaluate Boolean
+//! transformations "locally on limited size circuit partitions"
+//! (Section III-B), which makes the partitions natural units of parallel
+//! work. This module implements that idea end to end:
+//!
+//! 1. **Extract** — the network is split into disjoint windows by
+//!    [`sbm_aig::window::partition`] and each viable window is copied out
+//!    as a standalone AIG ([`Partition::extract`]);
+//! 2. **Optimize** — windows are fanned out to a scoped worker pool
+//!    ([`std::thread::scope`]); each worker claims windows from a shared
+//!    atomic cursor and runs the configured [`Engine`] sequence on its
+//!    window, with BDD managers recycled through the worker's thread-local
+//!    pool ([`crate::bdd_bridge::pooled_manager`]);
+//! 3. **Stitch** — accepted rewrites are spliced back serially, guarded by
+//!    a functional-equivalence gate (simulation signatures plus a budgeted
+//!    SAT miter, [`crate::verify::equivalent_within`]) and a
+//!    created-versus-saved node count.
+//!
+//! The result is deterministic: workers only transform private window
+//! copies, outcomes are collected by window index, and stitching happens
+//! in partition order — so `num_threads = 4` produces the same network as
+//! `num_threads = 1`, only faster.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use sbm_aig::window::{partition, Partition, PartitionOptions};
+use sbm_aig::{Aig, Lit, NodeId};
+
+use crate::engine::{Engine, EngineStats, OptContext, Optimized};
+use crate::verify::equivalent_within;
+
+/// Knobs of the parallel partition executor.
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// Worker threads (1 = run the whole pipeline serially).
+    pub num_threads: usize,
+    /// Window extraction limits.
+    pub partition: PartitionOptions,
+    /// Windows with fewer internal nodes are skipped outright.
+    pub min_window: usize,
+    /// Gate every accepted window rewrite with a functional-equivalence
+    /// check before stitching.
+    pub verify_windows: bool,
+    /// SAT conflict budget of the per-window equivalence gate; rewrites
+    /// the solver cannot prove within the budget are rejected.
+    pub conflict_budget: u64,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            num_threads: 1,
+            partition: PartitionOptions::default(),
+            min_window: 4,
+            verify_windows: true,
+            conflict_budget: 10_000,
+        }
+    }
+}
+
+/// Why a window did not make it into the stitched result. Each processed
+/// window lands in exactly one category (see
+/// [`PipelineReport::is_consistent`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct WindowCounters {
+    skipped: usize,
+    unchanged: usize,
+    gate_rejected: usize,
+    stitch_rejected: usize,
+    improved: usize,
+}
+
+/// Observability record of one [`Pipeline::run`].
+#[derive(Debug, Clone, Default)]
+pub struct PipelineReport {
+    /// Windows produced by partitioning.
+    pub windows_total: usize,
+    /// Windows below `min_window`, without roots, or not extractable.
+    pub windows_skipped: usize,
+    /// Windows where the engine sequence found no improvement.
+    pub windows_unchanged: usize,
+    /// Windows whose rewrite failed the functional-equivalence gate.
+    pub windows_gate_rejected: usize,
+    /// Windows whose splice was abandoned (created ≥ saved nodes, or a
+    /// replacement would have formed a cycle).
+    pub windows_stitch_rejected: usize,
+    /// Windows stitched into the result.
+    pub windows_improved: usize,
+    /// AND nodes saved by stitched windows (pre-cleanup estimate).
+    pub nodes_saved: usize,
+    /// Per-engine statistics, in chain order, merged across all windows.
+    /// `wall` sums busy time over workers, so it can exceed `optimize_wall`
+    /// when `num_threads > 1`.
+    pub engines: Vec<(String, EngineStats)>,
+    /// Wall-clock of the window-extraction phase.
+    pub extract_wall: Duration,
+    /// Wall-clock of the parallel optimization phase.
+    pub optimize_wall: Duration,
+    /// Wall-clock of the serial stitching phase (incl. final cleanup).
+    pub stitch_wall: Duration,
+    /// End-to-end wall-clock of the run.
+    pub total_wall: Duration,
+}
+
+impl PipelineReport {
+    /// Accumulates `other` into `self`: window counters and phase times
+    /// sum; per-engine stats merge by name (appended when new).
+    pub fn merge(&mut self, other: &PipelineReport) {
+        self.windows_total += other.windows_total;
+        self.windows_skipped += other.windows_skipped;
+        self.windows_unchanged += other.windows_unchanged;
+        self.windows_gate_rejected += other.windows_gate_rejected;
+        self.windows_stitch_rejected += other.windows_stitch_rejected;
+        self.windows_improved += other.windows_improved;
+        self.nodes_saved += other.nodes_saved;
+        for (name, stats) in &other.engines {
+            match self.engines.iter_mut().find(|(n, _)| n == name) {
+                Some((_, total)) => total.merge(stats),
+                None => self.engines.push((name.clone(), *stats)),
+            }
+        }
+        self.extract_wall += other.extract_wall;
+        self.optimize_wall += other.optimize_wall;
+        self.stitch_wall += other.stitch_wall;
+        self.total_wall += other.total_wall;
+    }
+
+    /// Every window lands in exactly one outcome bucket.
+    pub fn is_consistent(&self) -> bool {
+        self.windows_skipped
+            + self.windows_unchanged
+            + self.windows_gate_rejected
+            + self.windows_stitch_rejected
+            + self.windows_improved
+            == self.windows_total
+    }
+}
+
+impl fmt::Display for PipelineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pipeline: {} windows ({} improved, {} unchanged, {} skipped, \
+             {} gate-rejected, {} stitch-rejected), {} nodes saved",
+            self.windows_total,
+            self.windows_improved,
+            self.windows_unchanged,
+            self.windows_skipped,
+            self.windows_gate_rejected,
+            self.windows_stitch_rejected,
+            self.nodes_saved,
+        )?;
+        for (name, s) in &self.engines {
+            writeln!(
+                f,
+                "  {:<10} windows {:>5}  tried {:>6}  accepted {:>6}  \
+                 gain {:>6}  bailouts {:>4}  busy {:.3}s",
+                name,
+                s.windows,
+                s.tried,
+                s.accepted,
+                s.gain,
+                s.bailouts,
+                s.wall.as_secs_f64(),
+            )?;
+        }
+        write!(
+            f,
+            "  phases: extract {:.3}s, optimize {:.3}s, stitch {:.3}s, total {:.3}s",
+            self.extract_wall.as_secs_f64(),
+            self.optimize_wall.as_secs_f64(),
+            self.stitch_wall.as_secs_f64(),
+            self.total_wall.as_secs_f64(),
+        )
+    }
+}
+
+/// What one worker produced for one window.
+struct WindowOutcome {
+    /// The accepted rewrite (smaller and, if gating is on, proved
+    /// equivalent); `None` when the window stays as-is.
+    rewrite: Option<Aig>,
+    gate_rejected: bool,
+    per_engine: Vec<EngineStats>,
+}
+
+/// A configurable engine sequence scheduled over disjoint windows.
+pub struct Pipeline {
+    engines: Vec<Box<dyn Engine>>,
+    options: PipelineOptions,
+}
+
+impl Pipeline {
+    /// An empty pipeline (no engines) with the given options.
+    pub fn new(options: PipelineOptions) -> Self {
+        Pipeline {
+            engines: Vec::new(),
+            options,
+        }
+    }
+
+    /// Appends an engine to the per-window sequence (builder style).
+    #[must_use]
+    pub fn with_engine(mut self, engine: impl Engine + 'static) -> Self {
+        self.engines.push(Box::new(engine));
+        self
+    }
+
+    /// The configured engine names, in chain order.
+    pub fn engine_names(&self) -> Vec<&str> {
+        self.engines.iter().map(|e| e.name()).collect()
+    }
+
+    /// Runs the extract → optimize → stitch pipeline. The result is never
+    /// larger than the input and identical for every `num_threads`.
+    pub fn run(&self, aig: &Aig) -> Optimized<PipelineReport> {
+        let total_start = Instant::now();
+        let mut report = PipelineReport::default();
+        let mut counters = WindowCounters::default();
+        let work = aig.cleanup();
+
+        // Phase 1: extract windows.
+        let extract_start = Instant::now();
+        let parts = partition(&work, &self.options.partition);
+        report.windows_total = parts.len();
+        let mut jobs: Vec<(usize, Aig)> = Vec::new();
+        for (i, part) in parts.iter().enumerate() {
+            if part.size() < self.options.min_window
+                || part.leaves.is_empty()
+                || part.roots.is_empty()
+            {
+                counters.skipped += 1;
+                continue;
+            }
+            match part.extract(&work) {
+                Some(sub) => jobs.push((i, sub)),
+                None => counters.skipped += 1,
+            }
+        }
+        report.extract_wall = extract_start.elapsed();
+
+        // Phase 2: optimize windows on the worker pool.
+        let optimize_start = Instant::now();
+        let outcomes = self.optimize_windows(&jobs);
+        report.optimize_wall = optimize_start.elapsed();
+
+        // Phase 3: stitch accepted rewrites back, serially and in window
+        // order (deterministic regardless of worker scheduling).
+        let stitch_start = Instant::now();
+        let mut work = work;
+        let mut per_engine = vec![EngineStats::default(); self.engines.len()];
+        for ((part_idx, sub), outcome) in jobs.iter().zip(outcomes) {
+            for (total, s) in per_engine.iter_mut().zip(&outcome.per_engine) {
+                total.merge(s);
+            }
+            if outcome.gate_rejected {
+                counters.gate_rejected += 1;
+                continue;
+            }
+            let Some(rewrite) = outcome.rewrite else {
+                counters.unchanged += 1;
+                continue;
+            };
+            let part = &parts[*part_idx];
+            match stitch_window(&mut work, part, &rewrite, sub.num_ands()) {
+                Some(saved) => {
+                    counters.improved += 1;
+                    report.nodes_saved += saved;
+                }
+                None => counters.stitch_rejected += 1,
+            }
+        }
+        let result = work.cleanup();
+        report.stitch_wall = stitch_start.elapsed();
+
+        report.windows_skipped = counters.skipped;
+        report.windows_unchanged = counters.unchanged;
+        report.windows_gate_rejected = counters.gate_rejected;
+        report.windows_stitch_rejected = counters.stitch_rejected;
+        report.windows_improved = counters.improved;
+        report.engines = self
+            .engines
+            .iter()
+            .zip(per_engine)
+            .map(|(e, s)| (e.name().to_string(), s))
+            .collect();
+        report.total_wall = total_start.elapsed();
+
+        // Never-worse guard at the network level.
+        if result.num_ands() <= aig.num_ands() {
+            Optimized {
+                aig: result,
+                stats: report,
+            }
+        } else {
+            Optimized {
+                aig: aig.cleanup(),
+                stats: report,
+            }
+        }
+    }
+
+    /// Runs every job through the engine chain; outcome `i` belongs to
+    /// job `i` whichever thread processed it.
+    fn optimize_windows(&self, jobs: &[(usize, Aig)]) -> Vec<WindowOutcome> {
+        let threads = self.options.num_threads.max(1).min(jobs.len().max(1));
+        if threads <= 1 {
+            return jobs
+                .iter()
+                .map(|(_, sub)| self.optimize_window(sub))
+                .collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<WindowOutcome>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some((_, sub)) = jobs.get(i) else {
+                        break;
+                    };
+                    let outcome = self.optimize_window(sub);
+                    *slots[i].lock().expect("outcome slot poisoned") = Some(outcome);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("outcome slot poisoned")
+                    .expect("worker left a window unprocessed")
+            })
+            .collect()
+    }
+
+    /// Runs the engine chain on one window copy. Engines inside a worker
+    /// are strictly serial — parallelism comes from window fan-out.
+    fn optimize_window(&self, sub: &Aig) -> WindowOutcome {
+        let mut ctx = OptContext::with_threads(1);
+        let mut per_engine = vec![EngineStats::default(); self.engines.len()];
+        let mut cur = sub.clone();
+        for (stats, engine) in per_engine.iter_mut().zip(&self.engines) {
+            let result = engine.run(&cur, &mut ctx);
+            stats.merge(&result.stats);
+            // Guarded acceptance: an engine that grows the window is undone.
+            if result.aig.num_ands() <= cur.num_ands() {
+                cur = result.aig;
+            }
+        }
+        if cur.num_ands() >= sub.num_ands() {
+            return WindowOutcome {
+                rewrite: None,
+                gate_rejected: false,
+                per_engine,
+            };
+        }
+        if self.options.verify_windows
+            && !equivalent_within(sub, &cur, self.options.conflict_budget)
+        {
+            return WindowOutcome {
+                rewrite: None,
+                gate_rejected: true,
+                per_engine,
+            };
+        }
+        WindowOutcome {
+            rewrite: Some(cur),
+            gate_rejected: false,
+            per_engine,
+        }
+    }
+}
+
+/// Runs a single engine over the whole network through the parallel
+/// executor, discarding the report. The window limits are sized for
+/// full-strength engine passes (each window is re-partitioned by the
+/// engine's own options); callers needing the [`PipelineReport`] should
+/// build a [`Pipeline`] directly.
+pub fn parallel_pass(aig: &Aig, num_threads: usize, engine: impl Engine + 'static) -> Aig {
+    parallel_pass_report(aig, num_threads, engine).aig
+}
+
+/// [`parallel_pass`], keeping the report.
+pub fn parallel_pass_report(
+    aig: &Aig,
+    num_threads: usize,
+    engine: impl Engine + 'static,
+) -> Optimized<PipelineReport> {
+    let options = PipelineOptions {
+        num_threads,
+        partition: PartitionOptions {
+            max_nodes: 300,
+            max_inputs: 12,
+            max_levels: 16,
+        },
+        min_window: 2,
+        ..PipelineOptions::default()
+    };
+    Pipeline::new(options).with_engine(engine).run(aig)
+}
+
+/// Splices an optimized window copy back into `work`: the rewrite is
+/// emitted over the window's (resolved) leaf literals and each root is
+/// redirected to its new implementation. Returns the nodes saved, or
+/// `None` when the splice is abandoned — emission created at least as many
+/// nodes as the window held, or a root replacement would form a cycle
+/// (abandoned garbage dies at the final cleanup).
+fn stitch_window(work: &mut Aig, part: &Partition, rewrite: &Aig, saving: usize) -> Option<usize> {
+    let leaf_lits: Vec<Lit> = part
+        .leaves
+        .iter()
+        .map(|&n| work.resolve(Lit::new(n, false)))
+        .collect();
+    let nodes_before = work.num_nodes();
+    let new_roots = emit_window(work, rewrite, &leaf_lits);
+    let created = work.num_nodes() - nodes_before;
+    if created >= saving {
+        return None;
+    }
+    for (&root, &new_lit) in part.roots.iter().zip(&new_roots) {
+        if work.resolve(Lit::new(root, false)) == work.resolve(new_lit) {
+            continue;
+        }
+        work.replace(root, new_lit).ok()?;
+    }
+    Some(saving - created)
+}
+
+/// Emits `rewrite` into `work`, mapping rewrite input `i` to
+/// `leaf_lits[i]`; returns the literals implementing the rewrite's
+/// outputs. Structural hashing reuses existing nodes where possible.
+fn emit_window(work: &mut Aig, rewrite: &Aig, leaf_lits: &[Lit]) -> Vec<Lit> {
+    let mut map: HashMap<NodeId, Lit> = HashMap::new();
+    map.insert(NodeId::CONST, Lit::FALSE);
+    for (i, &input) in rewrite.inputs().iter().enumerate() {
+        map.insert(input, leaf_lits[i]);
+    }
+    for id in rewrite.topo_order() {
+        let (a, b) = rewrite.fanins(id);
+        let fa = map[&a.node()].complement_if(a.is_complemented());
+        let fb = map[&b.node()].complement_if(b.is_complemented());
+        let lit = work.and(fa, fb);
+        map.insert(id, lit);
+    }
+    rewrite
+        .outputs()
+        .iter()
+        .map(|l| map[&l.node()].complement_if(l.is_complemented()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Refactor, Resub, Rewrite};
+    use crate::verify::equivalent;
+
+    fn test_aig(seed: u64) -> Aig {
+        // A deterministic pseudo-random mass of redundant logic.
+        let mut aig = Aig::new();
+        let inputs: Vec<Lit> = (0..8).map(|_| aig.add_input()).collect();
+        let mut state = seed | 1;
+        let mut lits = inputs.clone();
+        for _ in 0..120 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = lits[(state >> 33) as usize % lits.len()];
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let b = lits[(state >> 33) as usize % lits.len()];
+            let f = match state % 3 {
+                0 => aig.and(a, b),
+                1 => aig.or(a, b),
+                _ => aig.xor(a, b),
+            };
+            lits.push(f);
+        }
+        for l in lits.iter().rev().take(4) {
+            aig.add_output(*l);
+        }
+        aig
+    }
+
+    fn small_window_pipeline(num_threads: usize) -> Pipeline {
+        let options = PipelineOptions {
+            num_threads,
+            partition: PartitionOptions {
+                max_nodes: 30,
+                max_inputs: 10,
+                max_levels: 12,
+            },
+            ..PipelineOptions::default()
+        };
+        Pipeline::new(options)
+            .with_engine(Rewrite::default())
+            .with_engine(Refactor::default())
+            .with_engine(Resub::default())
+    }
+
+    #[test]
+    fn serial_run_preserves_function_and_never_grows() {
+        let aig = test_aig(42);
+        let run = small_window_pipeline(1).run(&aig);
+        assert!(run.aig.num_ands() <= aig.num_ands());
+        assert!(equivalent(&aig, &run.aig), "pipeline broke equivalence");
+        assert!(run.stats.is_consistent(), "{:?}", run.stats);
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let aig = test_aig(7);
+        let serial = small_window_pipeline(1).run(&aig);
+        for threads in [2, 4] {
+            let parallel = small_window_pipeline(threads).run(&aig);
+            assert_eq!(
+                serial.aig.num_ands(),
+                parallel.aig.num_ands(),
+                "thread count changed the result ({threads} threads)"
+            );
+            assert!(equivalent(&serial.aig, &parallel.aig));
+            assert_eq!(
+                serial.stats.windows_improved,
+                parallel.stats.windows_improved
+            );
+            assert!(parallel.stats.is_consistent(), "{:?}", parallel.stats);
+        }
+    }
+
+    #[test]
+    fn report_counters_sum_across_workers() {
+        let aig = test_aig(99);
+        let run = small_window_pipeline(4).run(&aig);
+        let report = &run.stats;
+        assert!(report.is_consistent(), "{report:?}");
+        assert_eq!(report.engines.len(), 3);
+        // Every non-skipped window went through every engine exactly once:
+        // merged tried counts must match what a serial rerun accumulates.
+        let rerun = small_window_pipeline(1).run(&aig);
+        for ((name_p, s_p), (name_s, s_s)) in report.engines.iter().zip(&rerun.stats.engines) {
+            assert_eq!(name_p, name_s);
+            assert_eq!(s_p.tried, s_s.tried, "{name_p} tried diverged");
+            assert_eq!(s_p.accepted, s_s.accepted, "{name_p} accepted diverged");
+            assert_eq!(s_p.gain, s_s.gain, "{name_p} gain diverged");
+        }
+    }
+
+    #[test]
+    fn empty_pipeline_is_identity_modulo_cleanup() {
+        let aig = test_aig(5);
+        let run = Pipeline::new(PipelineOptions::default()).run(&aig);
+        assert_eq!(run.aig.num_ands(), aig.cleanup().num_ands());
+        assert_eq!(run.stats.windows_improved, 0);
+        assert!(run.stats.is_consistent());
+    }
+
+    #[test]
+    fn report_displays_every_phase() {
+        let aig = test_aig(11);
+        let run = small_window_pipeline(2).run(&aig);
+        let text = format!("{}", run.stats);
+        for needle in ["pipeline:", "rewrite", "refactor", "resub", "phases:"] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

@@ -43,7 +43,16 @@ pub struct RefactorStats {
 }
 
 /// Runs one refactoring pass. Never returns a larger network.
-pub fn refactor(aig: &Aig, options: &RefactorOptions) -> (Aig, RefactorStats) {
+#[deprecated(
+    since = "0.1.0",
+    note = "use `engine::Refactor` through the `Engine` trait"
+)]
+pub fn refactor(aig: &Aig, options: &RefactorOptions) -> crate::engine::Optimized<RefactorStats> {
+    let (aig, stats) = refactor_impl(aig, options);
+    crate::engine::Optimized { aig, stats }
+}
+
+pub(crate) fn refactor_impl(aig: &Aig, options: &RefactorOptions) -> (Aig, RefactorStats) {
     let mut work = aig.cleanup();
     let mut stats = RefactorStats::default();
     let order = work.topo_order();
@@ -112,7 +121,7 @@ mod tests {
         let f = aig.or(t1, t2);
         let g = aig.and(f, c);
         aig.add_output(g);
-        let (optimized, stats) = refactor(&aig, &RefactorOptions::default());
+        let (optimized, stats) = refactor_impl(&aig, &RefactorOptions::default());
         assert!(optimized.num_ands() < aig.num_ands(), "{stats:?}");
         assert_eq!(
             check_equivalence(&aig, &optimized, None),
@@ -129,7 +138,7 @@ mod tests {
         let c = aig.add_input();
         let m = aig.maj3(a, b, c);
         aig.add_output(m);
-        let (optimized, _) = refactor(&aig, &RefactorOptions::default());
+        let (optimized, _) = refactor_impl(&aig, &RefactorOptions::default());
         assert!(optimized.num_ands() <= aig.num_ands());
         assert_eq!(
             check_equivalence(&aig, &optimized, None),
@@ -148,7 +157,7 @@ mod tests {
             ..Default::default()
         };
         // The root cone has 16 supports: must be skipped without panicking.
-        let (optimized, _) = refactor(&aig, &opts);
+        let (optimized, _) = refactor_impl(&aig, &opts);
         assert_eq!(
             check_equivalence(&aig, &optimized, None),
             EquivResult::Equivalent

@@ -47,7 +47,16 @@ pub struct ResubStats {
 }
 
 /// Runs one windowed resubstitution pass. Never returns a larger network.
-pub fn resub(aig: &Aig, options: &ResubOptions) -> (Aig, ResubStats) {
+#[deprecated(
+    since = "0.1.0",
+    note = "use `engine::Resub` through the `Engine` trait"
+)]
+pub fn resub(aig: &Aig, options: &ResubOptions) -> crate::engine::Optimized<ResubStats> {
+    let (aig, stats) = resub_impl(aig, options);
+    crate::engine::Optimized { aig, stats }
+}
+
+pub(crate) fn resub_impl(aig: &Aig, options: &ResubOptions) -> (Aig, ResubStats) {
     let mut work = aig.cleanup();
     let mut stats = ResubStats::default();
     let parts = partition(&work, &options.partition);
@@ -186,7 +195,7 @@ mod tests {
         aig.add_output(g);
         aig.add_output(f);
         let before = aig.num_ands();
-        let (optimized, stats) = resub(&aig, &ResubOptions::default());
+        let (optimized, stats) = resub_impl(&aig, &ResubOptions::default());
         assert!(optimized.num_ands() < before, "{stats:?}");
         assert_eq!(
             check_equivalence(&aig, &optimized, None),
@@ -209,7 +218,7 @@ mod tests {
         let f = aig.or(ab, ac);
         aig.add_output(f);
         let before = aig.num_ands();
-        let (optimized, _) = resub(&aig, &ResubOptions::default());
+        let (optimized, _) = resub_impl(&aig, &ResubOptions::default());
         assert!(optimized.num_ands() < before);
         assert_eq!(
             check_equivalence(&aig, &optimized, None),
@@ -227,7 +236,7 @@ mod tests {
         let x = aig.maj3(a, b, c);
         let y = aig.xor(x, d);
         aig.add_output(y);
-        let (optimized, _) = resub(&aig, &ResubOptions::default());
+        let (optimized, _) = resub_impl(&aig, &ResubOptions::default());
         assert!(optimized.num_ands() <= aig.num_ands());
         assert_eq!(
             check_equivalence(&aig, &optimized, None),

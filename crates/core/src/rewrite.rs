@@ -49,12 +49,7 @@ pub struct RewriteStats {
 /// Counts the nodes that would be freed by disconnecting `root` from its
 /// cut: members of `cone(root, leaves)` whose every fanout is inside the
 /// freed set (a cut-local MFFC).
-pub(crate) fn cut_mffc(
-    aig: &Aig,
-    root: NodeId,
-    leaves: &[NodeId],
-    fanout_counts: &[u32],
-) -> usize {
+pub(crate) fn cut_mffc(aig: &Aig, root: NodeId, leaves: &[NodeId], fanout_counts: &[u32]) -> usize {
     cut_mffc_set(aig, root, leaves, fanout_counts).len()
 }
 
@@ -131,7 +126,16 @@ fn emit_factored(aig: &mut Aig, fac: &Factored, leaf_lits: &[Lit]) -> Lit {
 
 /// Runs one rewriting pass over the network. Never returns a larger
 /// network.
-pub fn rewrite(aig: &Aig, options: &RewriteOptions) -> (Aig, RewriteStats) {
+#[deprecated(
+    since = "0.1.0",
+    note = "use `engine::Rewrite` through the `Engine` trait"
+)]
+pub fn rewrite(aig: &Aig, options: &RewriteOptions) -> crate::engine::Optimized<RewriteStats> {
+    let (aig, stats) = rewrite_impl(aig, options);
+    crate::engine::Optimized { aig, stats }
+}
+
+pub(crate) fn rewrite_impl(aig: &Aig, options: &RewriteOptions) -> (Aig, RewriteStats) {
     let mut work = aig.cleanup();
     let mut stats = RewriteStats::default();
     let cuts = enumerate_cuts(
@@ -168,8 +172,7 @@ pub fn rewrite(aig: &Aig, options: &RewriteOptions) -> (Aig, RewriteStats) {
                 continue;
             };
             let saving = cut_mffc(&work, id, cut.leaves(), &fanout_counts);
-            let leaf_lits: Vec<Lit> =
-                cut.leaves().iter().map(|&n| Lit::new(n, false)).collect();
+            let leaf_lits: Vec<Lit> = cut.leaves().iter().map(|&n| Lit::new(n, false)).collect();
             let before = work.num_nodes();
             let Some(replacement) = emit_function(&mut work, &tt, &leaf_lits) else {
                 continue;
@@ -182,7 +185,7 @@ pub fn rewrite(aig: &Aig, options: &RewriteOptions) -> (Aig, RewriteStats) {
             if gain == 0 && !options.allow_zero_gain {
                 continue;
             }
-            if best.as_ref().map_or(true, |&(_, g)| gain > g) {
+            if best.as_ref().is_none_or(|&(_, g)| gain > g) {
                 best = Some((replacement, gain));
             }
         }
@@ -218,7 +221,7 @@ mod tests {
         let f = aig.or(ab, abc);
         aig.add_output(f);
         let before = aig.num_ands();
-        let (optimized, stats) = rewrite(&aig, &RewriteOptions::default());
+        let (optimized, stats) = rewrite_impl(&aig, &RewriteOptions::default());
         assert!(optimized.num_ands() < before, "{stats:?}");
         assert_eq!(
             check_equivalence(&aig, &optimized, None),
@@ -234,7 +237,7 @@ mod tests {
         let e = aig.add_input();
         let m = aig.mux(s, t, e);
         aig.add_output(m);
-        let (optimized, _) = rewrite(&aig, &RewriteOptions::default());
+        let (optimized, _) = rewrite_impl(&aig, &RewriteOptions::default());
         assert!(optimized.num_ands() <= 3);
         assert_eq!(
             check_equivalence(&aig, &optimized, None),
@@ -254,7 +257,7 @@ mod tests {
         let z = aig.or(x, d); // x shared
         aig.add_output(y);
         aig.add_output(z);
-        let (optimized, _) = rewrite(&aig, &RewriteOptions::default());
+        let (optimized, _) = rewrite_impl(&aig, &RewriteOptions::default());
         assert_eq!(
             check_equivalence(&aig, &optimized, None),
             EquivResult::Equivalent

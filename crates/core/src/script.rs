@@ -8,18 +8,22 @@
 //! the four SBM engines + SAT sweeping and redundancy removal, iterated
 //! twice with different efforts.
 
+use std::fmt;
+
 use sbm_aig::Aig;
 use sbm_sat::redundancy::{remove_redundancies, RedundancyOptions};
 use sbm_sat::sweep::{sweep, SweepOptions};
 
 use crate::balance::balance;
-use crate::bdiff::{boolean_difference_resub, BdiffOptions};
-use crate::gradient::{gradient_optimize, GradientOptions};
-use crate::hetero::{hetero_eliminate_kernel, HeteroOptions};
-use crate::mspf::{mspf_optimize, MspfOptions};
-use crate::refactor::{refactor, RefactorOptions};
-use crate::resub::{resub, ResubOptions};
-use crate::rewrite::{rewrite, RewriteOptions};
+use crate::bdiff::{boolean_difference_resub_impl, BdiffOptions};
+use crate::engine::{self, Engine, Optimized};
+use crate::gradient::{gradient_optimize_impl, GradientOptions};
+use crate::hetero::{hetero_eliminate_kernel_impl, HeteroOptions};
+use crate::mspf::{mspf_optimize_impl, MspfOptions};
+use crate::pipeline::{parallel_pass_report, PipelineReport};
+use crate::refactor::{refactor_impl, RefactorOptions};
+use crate::resub::{resub_impl, ResubOptions};
+use crate::rewrite::{rewrite_impl, RewriteOptions};
 
 /// Applies a transformation, keeping the result only when it does not
 /// increase node count (every SBM move has gain ≥ 0, Section IV-A).
@@ -36,34 +40,82 @@ fn guarded(aig: Aig, f: impl FnOnce(&Aig) -> Aig) -> Aig {
 /// refactor passes with growing resubstitution windows, mirroring ABC's
 /// `b; rs; rw; rs -K 6; rf; rs -K 8; b; rs -K 10; rw; rs -K 12; rf; b`.
 pub fn resyn2rs(aig: &Aig) -> Aig {
-    let mut cur = aig.cleanup();
-    let resub_opts = |max_inputs: usize| ResubOptions {
+    resyn2rs_threaded(aig, 1, &mut PipelineReport::default())
+}
+
+fn resub_opts(max_inputs: usize) -> ResubOptions {
+    ResubOptions {
         partition: sbm_aig::window::PartitionOptions {
             max_nodes: 200,
             max_inputs,
             max_levels: 10,
         },
         ..Default::default()
+    }
+}
+
+/// One engine step of a threaded script: serial call at one thread, fanned
+/// out through the parallel partition executor otherwise. The pipeline's
+/// report is accumulated into `report`.
+fn step(
+    aig: Aig,
+    threads: usize,
+    report: &mut PipelineReport,
+    engine: impl Engine + 'static,
+    serial: impl FnOnce(&Aig) -> Aig,
+) -> Aig {
+    if threads > 1 {
+        let run = parallel_pass_report(&aig, threads, engine);
+        report.merge(&run.stats);
+        guarded(aig, |_| run.aig)
+    } else {
+        guarded(aig, serial)
+    }
+}
+
+/// [`resyn2rs`] with its window-based passes fanned out over
+/// `num_threads` workers; pipeline statistics accumulate into `report`.
+fn resyn2rs_threaded(aig: &Aig, num_threads: usize, report: &mut PipelineReport) -> Aig {
+    let mut cur = aig.cleanup();
+    let rs = |k: usize| engine::Resub {
+        options: resub_opts(k),
     };
     cur = guarded(cur, balance);
-    cur = guarded(cur, |a| resub(a, &resub_opts(6)).0);
-    cur = guarded(cur, |a| rewrite(a, &RewriteOptions::default()).0);
-    cur = guarded(cur, |a| resub(a, &resub_opts(8)).0);
-    cur = guarded(cur, |a| refactor(a, &RefactorOptions::default()).0);
-    cur = guarded(cur, |a| resub(a, &resub_opts(10)).0);
-    cur = guarded(cur, balance);
-    cur = guarded(cur, |a| resub(a, &resub_opts(12)).0);
-    cur = guarded(cur, |a| rewrite(a, &RewriteOptions::default()).0);
-    cur = guarded(cur, |a| {
-        refactor(
-            a,
-            &RefactorOptions {
-                max_support: 14,
-                ..Default::default()
-            },
-        )
-        .0
+    cur = step(cur, num_threads, report, rs(6), |a| {
+        resub_impl(a, &resub_opts(6)).0
     });
+    cur = step(cur, num_threads, report, engine::Rewrite::default(), |a| {
+        rewrite_impl(a, &RewriteOptions::default()).0
+    });
+    cur = step(cur, num_threads, report, rs(8), |a| {
+        resub_impl(a, &resub_opts(8)).0
+    });
+    cur = step(cur, num_threads, report, engine::Refactor::default(), |a| {
+        refactor_impl(a, &RefactorOptions::default()).0
+    });
+    cur = step(cur, num_threads, report, rs(10), |a| {
+        resub_impl(a, &resub_opts(10)).0
+    });
+    cur = guarded(cur, balance);
+    cur = step(cur, num_threads, report, rs(12), |a| {
+        resub_impl(a, &resub_opts(12)).0
+    });
+    cur = step(cur, num_threads, report, engine::Rewrite::default(), |a| {
+        rewrite_impl(a, &RewriteOptions::default()).0
+    });
+    let deep_refactor = RefactorOptions {
+        max_support: 14,
+        ..Default::default()
+    };
+    cur = step(
+        cur,
+        num_threads,
+        report,
+        engine::Refactor {
+            options: deep_refactor,
+        },
+        |a| refactor_impl(a, &deep_refactor).0,
+    );
     cur = guarded(cur, balance);
     cur.cleanup()
 }
@@ -83,7 +135,8 @@ pub fn resyn2rs_fixpoint(aig: &Aig, max_rounds: usize) -> Aig {
     cur
 }
 
-/// Options for the full SBM script.
+/// Options for the full SBM script. Construct via [`SbmOptions::builder`]
+/// for validation, or fill the fields directly.
 #[derive(Debug, Clone)]
 pub struct SbmOptions {
     /// Gradient-engine options for the AIG-optimization step.
@@ -99,6 +152,9 @@ pub struct SbmOptions {
     /// Script iterations (the paper iterates the flow twice, with
     /// different efforts).
     pub iterations: usize,
+    /// Worker threads for the window-based steps (1 = strictly serial;
+    /// the serial code path is preserved exactly at 1).
+    pub num_threads: usize,
 }
 
 impl Default for SbmOptions {
@@ -110,7 +166,159 @@ impl Default for SbmOptions {
             mspf: MspfOptions::default(),
             sat_budget: Some(2_000),
             iterations: 2,
+            num_threads: 1,
         }
+    }
+}
+
+impl SbmOptions {
+    /// A validated builder seeded with the defaults.
+    pub fn builder() -> SbmOptionsBuilder {
+        SbmOptionsBuilder::default()
+    }
+}
+
+/// Why [`SbmOptionsBuilder::build`] rejected a configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptionsError {
+    /// `num_threads` must be at least 1.
+    ZeroThreads,
+    /// `iterations` must be at least 1.
+    ZeroIterations,
+    /// The gradient engine needs a positive move-cost budget.
+    ZeroGradientBudget,
+    /// A SAT budget of zero conflicts can prove nothing; use `None` for
+    /// unbudgeted solving instead.
+    ZeroSatBudget,
+    /// The hetero engine needs at least one eliminate threshold.
+    EmptyThresholds,
+    /// BDD-based engines need a positive node limit and difference size.
+    ZeroBddLimit,
+}
+
+impl fmt::Display for OptionsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            OptionsError::ZeroThreads => "num_threads must be at least 1",
+            OptionsError::ZeroIterations => "iterations must be at least 1",
+            OptionsError::ZeroGradientBudget => {
+                "the gradient engine needs a positive move-cost budget"
+            }
+            OptionsError::ZeroSatBudget => {
+                "a SAT budget of 0 conflicts can prove nothing (use None for unbudgeted)"
+            }
+            OptionsError::EmptyThresholds => {
+                "the hetero engine needs at least one eliminate threshold"
+            }
+            OptionsError::ZeroBddLimit => {
+                "BDD engines need a positive node limit and difference size"
+            }
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for OptionsError {}
+
+/// Builder for [`SbmOptions`] that rejects nonsensical configurations.
+///
+/// ```
+/// use sbm_core::script::SbmOptions;
+///
+/// let options = SbmOptions::builder()
+///     .num_threads(4)
+///     .bdd_size_limit(10)
+///     .build()
+///     .expect("valid configuration");
+/// assert_eq!(options.num_threads, 4);
+/// assert!(SbmOptions::builder().num_threads(0).build().is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SbmOptionsBuilder {
+    options: SbmOptions,
+}
+
+impl SbmOptionsBuilder {
+    /// Worker threads for the window-based steps.
+    #[must_use]
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.options.num_threads = num_threads;
+        self
+    }
+
+    /// Script iterations.
+    #[must_use]
+    pub fn iterations(mut self, iterations: usize) -> Self {
+        self.options.iterations = iterations;
+        self
+    }
+
+    /// Conflict budget of the SAT steps (`None` = unbudgeted).
+    #[must_use]
+    pub fn sat_budget(mut self, budget: Option<u64>) -> Self {
+        self.options.sat_budget = budget;
+        self
+    }
+
+    /// Gradient-engine move-cost budget.
+    #[must_use]
+    pub fn gradient_budget(mut self, budget: u32) -> Self {
+        self.options.gradient.budget = budget;
+        self
+    }
+
+    /// Maximum BDD size of a Boolean difference (the paper's tradeoff
+    /// value is 10).
+    #[must_use]
+    pub fn bdd_size_limit(mut self, size: usize) -> Self {
+        self.options.bdiff.max_diff_size = size;
+        self
+    }
+
+    /// Node limit of the per-window BDD managers (bdiff and MSPF).
+    #[must_use]
+    pub fn bdd_node_limit(mut self, limit: usize) -> Self {
+        self.options.bdiff.bdd_node_limit = limit;
+        self.options.mspf.bdd_node_limit = limit;
+        self
+    }
+
+    /// Eliminate thresholds swept by the hetero engine.
+    #[must_use]
+    pub fn hetero_thresholds(mut self, thresholds: Vec<i64>) -> Self {
+        self.options.hetero.thresholds = thresholds;
+        self
+    }
+
+    /// Replaces the full gradient-engine options.
+    #[must_use]
+    pub fn gradient(mut self, gradient: GradientOptions) -> Self {
+        self.options.gradient = gradient;
+        self
+    }
+
+    /// Validates and produces the options.
+    pub fn build(self) -> Result<SbmOptions, OptionsError> {
+        let o = self.options;
+        if o.num_threads == 0 {
+            return Err(OptionsError::ZeroThreads);
+        }
+        if o.iterations == 0 {
+            return Err(OptionsError::ZeroIterations);
+        }
+        if o.gradient.budget == 0 {
+            return Err(OptionsError::ZeroGradientBudget);
+        }
+        if o.sat_budget == Some(0) {
+            return Err(OptionsError::ZeroSatBudget);
+        }
+        if o.hetero.thresholds.is_empty() {
+            return Err(OptionsError::EmptyThresholds);
+        }
+        if o.bdiff.bdd_node_limit == 0 || o.mspf.bdd_node_limit == 0 || o.bdiff.max_diff_size == 0 {
+            return Err(OptionsError::ZeroBddLimit);
+        }
+        Ok(o)
     }
 }
 
@@ -126,32 +334,73 @@ impl Default for SbmOptions {
 ///
 /// iterated (twice by default) with the network re-strashed into an AIG
 /// between steps.
+///
+/// At `num_threads > 1` the window-based steps run on the parallel
+/// partition executor ([`crate::pipeline`]); the serial code path is
+/// preserved exactly at `num_threads = 1`.
 pub fn sbm_script(aig: &Aig, options: &SbmOptions) -> Aig {
+    sbm_script_report(aig, options).aig
+}
+
+/// [`sbm_script`], also returning the merged [`PipelineReport`] of every
+/// parallel pass (all-zero counters when `num_threads = 1`, which never
+/// enters the pipeline).
+pub fn sbm_script_report(aig: &Aig, options: &SbmOptions) -> Optimized<PipelineReport> {
+    let threads = options.num_threads.max(1);
+    let mut report = PipelineReport::default();
     let mut cur = aig.cleanup();
     for iteration in 0..options.iterations {
         let high_effort = iteration > 0;
         // 1. AIG optimization: baseline script, then the gradient engine.
-        cur = guarded(cur, resyn2rs);
-        cur = guarded(cur, |a| gradient_optimize(a, &options.gradient).0);
-        // 2. Heterogeneous elimination for kerneling.
-        cur = guarded(cur, |a| hetero_eliminate_kernel(a, &options.hetero).0);
+        cur = guarded(cur, |a| resyn2rs_threaded(a, threads, &mut report));
+        let gradient = GradientOptions {
+            num_threads: threads,
+            ..options.gradient.clone()
+        };
+        cur = guarded(cur, |a| gradient_optimize_impl(a, &gradient).0);
+        // 2. Heterogeneous elimination for kerneling (internal
+        // threshold-sweep threads).
+        let hetero = HeteroOptions {
+            parallel: threads > 1,
+            ..options.hetero.clone()
+        };
+        cur = guarded(cur, |a| hetero_eliminate_kernel_impl(a, &hetero).0);
         // 3. Enhanced MSPF computation.
-        cur = guarded(cur, |a| mspf_optimize(a, &options.mspf).0);
+        cur = step(
+            cur,
+            threads,
+            &mut report,
+            engine::Mspf {
+                options: options.mspf,
+            },
+            |a| mspf_optimize_impl(a, &options.mspf).0,
+        );
         // 4. Collapse & Boolean decomposition on reconvergent MFFCs.
-        cur = guarded(cur, |a| {
-            refactor(
-                a,
-                &RefactorOptions {
-                    max_support: if high_effort { 14 } else { 12 },
-                    min_mffc: 2,
-                    allow_zero_gain: high_effort,
-                },
-            )
-            .0
-        });
+        let refactor_options = RefactorOptions {
+            max_support: if high_effort { 14 } else { 12 },
+            min_mffc: 2,
+            allow_zero_gain: high_effort,
+        };
+        cur = step(
+            cur,
+            threads,
+            &mut report,
+            engine::Refactor {
+                options: refactor_options,
+            },
+            |a| refactor_impl(a, &refactor_options).0,
+        );
         // 5. Boolean-difference-based optimization: unveils hard-to-find
         // optimizations and escapes local minima.
-        cur = guarded(cur, |a| boolean_difference_resub(a, &options.bdiff).0);
+        cur = step(
+            cur,
+            threads,
+            &mut report,
+            engine::Bdiff {
+                options: options.bdiff,
+            },
+            |a| boolean_difference_resub_impl(a, &options.bdiff).0,
+        );
         // 6. SAT sweeping and redundancy removal.
         cur = guarded(cur, |a| {
             let mut work = a.cleanup();
@@ -172,10 +421,13 @@ pub fn sbm_script(aig: &Aig, options: &SbmOptions) -> Aig {
                     max_checks: if high_effort { 2_000 } else { 500 },
                 },
             )
-            .0
+            .aig
         });
     }
-    cur.cleanup()
+    Optimized {
+        aig: cur.cleanup(),
+        stats: report,
+    }
 }
 
 #[cfg(test)]
@@ -221,6 +473,66 @@ mod tests {
         let sbm = sbm_script(&aig, &SbmOptions::default());
         assert!(sbm.num_ands() <= baseline.num_ands());
         assert_eq!(check_equivalence(&aig, &sbm, None), EquivResult::Equivalent);
+    }
+
+    #[test]
+    fn builder_validates_options() {
+        assert!(SbmOptions::builder().build().is_ok());
+        assert!(matches!(
+            SbmOptions::builder().num_threads(0).build(),
+            Err(OptionsError::ZeroThreads)
+        ));
+        assert!(matches!(
+            SbmOptions::builder().iterations(0).build(),
+            Err(OptionsError::ZeroIterations)
+        ));
+        assert!(matches!(
+            SbmOptions::builder().gradient_budget(0).build(),
+            Err(OptionsError::ZeroGradientBudget)
+        ));
+        assert!(matches!(
+            SbmOptions::builder().sat_budget(Some(0)).build(),
+            Err(OptionsError::ZeroSatBudget)
+        ));
+        assert!(SbmOptions::builder().sat_budget(None).build().is_ok());
+        assert!(matches!(
+            SbmOptions::builder().hetero_thresholds(Vec::new()).build(),
+            Err(OptionsError::EmptyThresholds)
+        ));
+        assert!(matches!(
+            SbmOptions::builder().bdd_node_limit(0).build(),
+            Err(OptionsError::ZeroBddLimit)
+        ));
+        assert!(matches!(
+            SbmOptions::builder().bdd_size_limit(0).build(),
+            Err(OptionsError::ZeroBddLimit)
+        ));
+        let options = SbmOptions::builder()
+            .num_threads(4)
+            .bdd_size_limit(10)
+            .iterations(1)
+            .build()
+            .expect("valid configuration");
+        assert_eq!(options.num_threads, 4);
+        assert_eq!(options.bdiff.max_diff_size, 10);
+        assert_eq!(options.iterations, 1);
+    }
+
+    #[test]
+    fn threaded_script_preserves_function() {
+        let aig = benchmark_aig();
+        let options = SbmOptions::builder()
+            .num_threads(4)
+            .iterations(1)
+            .build()
+            .expect("valid configuration");
+        let run = sbm_script_report(&aig, &options);
+        assert!(run.aig.num_ands() <= aig.num_ands());
+        assert_eq!(
+            check_equivalence(&aig, &run.aig, None),
+            EquivResult::Equivalent
+        );
+        assert!(run.stats.is_consistent(), "{:?}", run.stats);
     }
 
     #[test]

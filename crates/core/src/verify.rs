@@ -16,9 +16,27 @@ use sbm_sat::equiv::{check_equivalence, EquivResult};
 ///
 /// Panics if the interfaces differ (input/output counts).
 pub fn equivalent(a: &Aig, b: &Aig) -> bool {
+    simulation_screen(a, b) && check_equivalence(a, b, None) == EquivResult::Equivalent
+}
+
+/// Budgeted equivalence gate for per-window checks: random-simulation
+/// screen, then a SAT miter limited to `conflict_budget` conflicts.
+/// Returns `false` when the solver runs out of budget — a window rewrite
+/// that cannot be proved quickly is rejected, never trusted.
+///
+/// # Panics
+///
+/// Panics if the interfaces differ (input/output counts).
+pub fn equivalent_within(a: &Aig, b: &Aig, conflict_budget: u64) -> bool {
+    simulation_screen(a, b)
+        && check_equivalence(a, b, Some(conflict_budget)) == EquivResult::Equivalent
+}
+
+/// Cheap refutation: identical seeds drive identical input patterns, so
+/// any signature mismatch on an output pair disproves equivalence.
+fn simulation_screen(a: &Aig, b: &Aig) -> bool {
     assert_eq!(a.num_inputs(), b.num_inputs());
-    assert_eq!(b.num_outputs(), b.num_outputs());
-    // Simulation screen: identical seeds drive identical input patterns.
+    assert_eq!(a.num_outputs(), b.num_outputs());
     let sa = Signatures::random(a, 4, 0xB007);
     let sb = Signatures::random(b, 4, 0xB007);
     for (oa, ob) in a.outputs().into_iter().zip(b.outputs()) {
@@ -28,7 +46,7 @@ pub fn equivalent(a: &Aig, b: &Aig) -> bool {
             }
         }
     }
-    check_equivalence(a, b, None) == EquivResult::Equivalent
+    true
 }
 
 #[cfg(test)]
@@ -47,5 +65,32 @@ mod tests {
         let out = b.outputs()[0];
         b.set_output(0, !out);
         assert!(!equivalent(&a, &b));
+    }
+
+    #[test]
+    fn budgeted_gate_accepts_and_rejects() {
+        let mut a = Aig::new();
+        let x = a.add_input();
+        let y = a.add_input();
+        let z = a.add_input();
+        let f = a.maj3(x, y, z);
+        a.add_output(f);
+        let b = a.cleanup();
+        assert!(equivalent_within(&a, &b, 10_000));
+        let mut c = b.clone();
+        let out = c.outputs()[0];
+        c.set_output(0, !out);
+        assert!(!equivalent_within(&a, &c, 10_000));
+    }
+
+    #[test]
+    fn interface_mismatch_panics() {
+        let mut a = Aig::new();
+        let x = a.add_input();
+        a.add_output(x);
+        let mut b = a.cleanup();
+        b.add_output(x); // second output: interfaces now differ
+        let r = std::panic::catch_unwind(|| equivalent(&a, &b));
+        assert!(r.is_err(), "output-count mismatch must panic");
     }
 }

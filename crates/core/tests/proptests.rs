@@ -1,16 +1,15 @@
 //! Property tests: every SBM engine must preserve network function and
-//! never increase size, on random DAGs.
+//! never increase size, on random DAGs — and the parallel pipeline must
+//! agree with its serial self.
 
 use proptest::prelude::*;
+use sbm_aig::window::PartitionOptions;
 use sbm_aig::{Aig, Lit};
-use sbm_core::balance::balance;
-use sbm_core::bdiff::{boolean_difference_resub, BdiffOptions};
-use sbm_core::gradient::{gradient_optimize, GradientOptions};
-use sbm_core::hetero::{hetero_eliminate_kernel, HeteroOptions};
-use sbm_core::mspf::{mspf_optimize, MspfOptions};
-use sbm_core::refactor::{refactor, RefactorOptions};
-use sbm_core::resub::{resub, ResubOptions};
-use sbm_core::rewrite::{rewrite, RewriteOptions};
+use sbm_core::engine::{
+    Balance, Bdiff, Engine, Gradient, Hetero, Mspf, OptContext, Refactor, Resub, Rewrite,
+};
+use sbm_core::gradient::GradientOptions;
+use sbm_core::pipeline::{Pipeline, PipelineOptions};
 use sbm_core::verify::equivalent;
 
 #[derive(Debug, Clone)]
@@ -22,7 +21,13 @@ struct Recipe {
 
 fn arb_recipe() -> impl Strategy<Value = Recipe> {
     (3usize..=6, 5usize..=40, 1usize..=3).prop_flat_map(|(num_inputs, num_steps, num_outputs)| {
-        let step = (0u8..3, any::<u32>(), any::<u32>(), any::<bool>(), any::<bool>());
+        let step = (
+            0u8..3,
+            any::<u32>(),
+            any::<u32>(),
+            any::<bool>(),
+            any::<bool>(),
+        );
         proptest::collection::vec(step, num_steps).prop_map(move |raw| {
             let steps = raw
                 .iter()
@@ -61,14 +66,14 @@ fn build(recipe: &Recipe) -> Aig {
 }
 
 macro_rules! engine_property {
-    ($name:ident, $apply:expr) => {
+    ($name:ident, $engine:expr) => {
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(24))]
             #[test]
             fn $name(recipe in arb_recipe()) {
                 let aig = build(&recipe);
-                #[allow(clippy::redundant_closure_call)]
-                let out: Aig = ($apply)(&aig);
+                let engine = $engine;
+                let out = engine.run(&aig, &mut OptContext::default()).aig;
                 prop_assert!(out.num_ands() <= aig.num_ands(),
                     "{} -> {}", aig.num_ands(), out.num_ands());
                 prop_assert!(equivalent(&aig, &out), "function changed");
@@ -77,22 +82,61 @@ macro_rules! engine_property {
     };
 }
 
-engine_property!(balance_preserves, |a: &Aig| balance(a));
-engine_property!(rewrite_preserves, |a: &Aig| rewrite(a, &RewriteOptions::default()).0);
-engine_property!(refactor_preserves, |a: &Aig| refactor(a, &RefactorOptions::default()).0);
-engine_property!(resub_preserves, |a: &Aig| resub(a, &ResubOptions::default()).0);
-engine_property!(mspf_preserves, |a: &Aig| mspf_optimize(a, &MspfOptions::default()).0);
-engine_property!(bdiff_preserves, |a: &Aig| {
-    boolean_difference_resub(a, &BdiffOptions::default()).0
-});
-engine_property!(hetero_preserves, |a: &Aig| {
-    hetero_eliminate_kernel(a, &HeteroOptions::default()).0
-});
-engine_property!(gradient_preserves, |a: &Aig| {
-    let opts = GradientOptions {
-        budget: 20,
-        budget_extension: 0,
-        ..Default::default()
+engine_property!(balance_preserves, Balance);
+engine_property!(rewrite_preserves, Rewrite::default());
+engine_property!(refactor_preserves, Refactor::default());
+engine_property!(resub_preserves, Resub::default());
+engine_property!(mspf_preserves, Mspf::default());
+engine_property!(bdiff_preserves, Bdiff::default());
+engine_property!(hetero_preserves, Hetero::default());
+engine_property!(
+    gradient_preserves,
+    Gradient {
+        options: GradientOptions {
+            budget: 20,
+            budget_extension: 0,
+            ..Default::default()
+        },
+    }
+);
+
+fn small_window_pipeline(num_threads: usize) -> Pipeline {
+    let options = PipelineOptions {
+        num_threads,
+        partition: PartitionOptions {
+            max_nodes: 16,
+            max_inputs: 8,
+            max_levels: 8,
+        },
+        min_window: 2,
+        ..PipelineOptions::default()
     };
-    gradient_optimize(a, &opts).0
-});
+    Pipeline::new(options)
+        .with_engine(Rewrite::default())
+        .with_engine(Resub::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn parallel_pipeline_equivalent_and_no_larger_than_serial(recipe in arb_recipe()) {
+        let aig = build(&recipe);
+        let serial = small_window_pipeline(1).run(&aig);
+        prop_assert!(equivalent(&aig, &serial.aig), "serial broke function");
+        prop_assert!(serial.stats.is_consistent(), "{:?}", serial.stats);
+        for threads in [2usize, 4] {
+            let parallel = small_window_pipeline(threads).run(&aig);
+            prop_assert!(
+                equivalent(&aig, &parallel.aig),
+                "{threads}-thread pipeline broke function"
+            );
+            prop_assert!(
+                parallel.aig.num_ands() <= serial.aig.num_ands(),
+                "{threads}-thread result larger than serial: {} > {}",
+                parallel.aig.num_ands(),
+                serial.aig.num_ands()
+            );
+            prop_assert!(parallel.stats.is_consistent(), "{:?}", parallel.stats);
+        }
+    }
+}

@@ -66,9 +66,26 @@ pub struct Benchmark {
 /// The names of all 20 EPFL benchmarks, suite order.
 pub const NAMES: [&str; 20] = [
     // Arithmetic.
-    "adder", "bar", "div", "hyp", "log2", "max", "mult", "sin", "sqrt", "square",
+    "adder",
+    "bar",
+    "div",
+    "hyp",
+    "log2",
+    "max",
+    "mult",
+    "sin",
+    "sqrt",
+    "square",
     // Random/control.
-    "arbiter", "cavlc", "ctrl", "dec", "i2c", "int2float", "mem_ctrl", "priority", "router",
+    "arbiter",
+    "cavlc",
+    "ctrl",
+    "dec",
+    "i2c",
+    "int2float",
+    "mem_ctrl",
+    "priority",
+    "router",
     "voter",
 ];
 

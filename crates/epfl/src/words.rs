@@ -60,10 +60,7 @@ pub fn sub(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> (Vec<Lit>, Lit) {
 /// Panics if the words have different widths.
 pub fn mux_word(aig: &mut Aig, sel: Lit, t: &[Lit], e: &[Lit]) -> Vec<Lit> {
     assert_eq!(t.len(), e.len());
-    t.iter()
-        .zip(e)
-        .map(|(&x, &y)| aig.mux(sel, x, y))
-        .collect()
+    t.iter().zip(e).map(|(&x, &y)| aig.mux(sel, x, y)).collect()
 }
 
 /// Unsigned comparison `a < b` (single literal).

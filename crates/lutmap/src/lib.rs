@@ -210,13 +210,8 @@ pub fn map_luts(aig: &Aig, options: &MapOptions) -> LutNetwork {
                         .map(|n| leaf_depth(n, &next))
                         .max()
                         .unwrap_or(0);
-                    let af = (1.0
-                        + cut
-                            .leaves()
-                            .iter()
-                            .map(|n| leaf_af(n, &next))
-                            .sum::<f64>())
-                        / refs;
+                    let af =
+                        (1.0 + cut.leaves().iter().map(|n| leaf_af(n, &next)).sum::<f64>()) / refs;
                     RankedCut {
                         cut,
                         depth,
@@ -277,8 +272,7 @@ pub fn map_luts(aig: &Aig, options: &MapOptions) -> LutNetwork {
     }
 
     // Topologically order the chosen LUTs (by AIG topological position).
-    let topo_pos: HashMap<NodeId, usize> =
-        order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let topo_pos: HashMap<NodeId, usize> = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
     let mut luts: Vec<Lut> = mapped.into_values().collect();
     luts.sort_by_key(|l| topo_pos[&l.root]);
 
@@ -334,7 +328,11 @@ mod tests {
         let mapped = map_luts(&aig, &MapOptions::default());
         for i in 0..16 {
             let assignment: Vec<bool> = (0..4).map(|v| (i >> v) & 1 == 1).collect();
-            assert_eq!(mapped.eval(&assignment), aig.eval(&assignment), "pattern {i}");
+            assert_eq!(
+                mapped.eval(&assignment),
+                aig.eval(&assignment),
+                "pattern {i}"
+            );
         }
     }
 

@@ -1,0 +1,149 @@
+//! Collection strategies: `vec` and `btree_map`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+use std::collections::BTreeMap;
+use std::ops::{Range, RangeInclusive};
+
+/// Inclusive length bounds for a generated collection, convertible from
+/// `usize` (exact), `Range<usize>`, and `RangeInclusive<usize>`.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, runner: &mut TestRunner) -> usize {
+        self.min + runner.next_usize(self.max - self.min + 1)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        Self {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// A `Vec` whose length is drawn from `size` and whose elements come
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+        let len = self.size.pick(runner);
+        (0..len).map(|_| self.element.new_value(runner)).collect()
+    }
+}
+
+/// A `BTreeMap` with roughly `size` entries (duplicate generated keys can
+/// make it smaller when the key space is narrow).
+pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    BTreeMapStrategy {
+        key,
+        value,
+        size: size.into(),
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+        let target = self.size.pick(runner);
+        let mut map = BTreeMap::new();
+        // Key collisions shrink the map below target; retry a bounded
+        // number of times so narrow key spaces still terminate.
+        let mut attempts = 4 * target + 8;
+        while map.len() < target && attempts > 0 {
+            attempts -= 1;
+            map.insert(self.key.new_value(runner), self.value.new_value(runner));
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn vec_respects_size_range() {
+        let s = vec(any::<u64>(), 2..=5);
+        let mut r = TestRunner::default();
+        for _ in 0..100 {
+            let v = s.new_value(&mut r);
+            assert!((2..=5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn exact_size_vec() {
+        let s = vec(any::<bool>(), 7usize);
+        let mut r = TestRunner::default();
+        assert_eq!(s.new_value(&mut r).len(), 7);
+    }
+
+    #[test]
+    fn btree_map_bounded_and_nonempty() {
+        let s = btree_map(0u32..3, any::<bool>(), 1..=4);
+        let mut r = TestRunner::default();
+        for _ in 0..100 {
+            let m = s.new_value(&mut r);
+            // Only 3 possible keys, so len is in 1..=3.
+            assert!(!m.is_empty() && m.len() <= 3);
+            assert!(m.keys().all(|&k| k < 3));
+        }
+    }
+}

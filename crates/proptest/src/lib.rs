@@ -1,0 +1,168 @@
+//! Offline drop-in shim for [proptest](https://crates.io/crates/proptest).
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors the *minimal* subset of proptest's API that its test suites
+//! actually use: the [`Strategy`](strategy::Strategy) trait with
+//! `prop_map` / `prop_flat_map` / `prop_recursive`, integer-range and
+//! tuple strategies, [`collection`] strategies, the [`proptest!`],
+//! [`prop_assert!`], [`prop_assert_eq!`] and [`prop_oneof!`] macros, and
+//! [`ProptestConfig`](test_runner::ProptestConfig).
+//!
+//! Differences from upstream, by design:
+//!
+//! - **No shrinking.** A failing case is reported with the full
+//!   `Debug`-printed input instead of a minimized one.
+//! - **Deterministic.** Values derive from a fixed-seed xorshift PRNG
+//!   (overridable via the `PROPTEST_SEED` environment variable), so test
+//!   runs are reproducible and regression files are unnecessary.
+//! - **Fewer default cases** (64 instead of 256): the workspace's engine
+//!   property tests are compute-heavy.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` surface.
+    pub use crate::strategy::{any, Any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Builds a strategy choosing uniformly among the given alternatives
+/// (upstream's `Union`; weights are not supported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// `assert!` that reports through the property-test harness.
+///
+/// Upstream returns an `Err` to drive shrinking; without shrinking a
+/// plain panic carries the same information.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated inputs. A parameter
+/// may also use the `name: Type` shorthand for `name in any::<Type>()`.
+///
+/// An optional leading `#![proptest_config(expr)]` sets the case count.
+/// On failure the generated inputs are printed before the panic is
+/// re-raised.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $crate::__proptest_case! {
+            @parse [($config) ($(#[$meta])*) $name $body] [] $($params)*
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // Parameter munching: normalize both `pat in strategy` and the
+    // `name: Type` shorthand into `(pat)(strategy)` pairs.
+    (@parse $ctx:tt [$($acc:tt)*] $pat:pat in $strat:expr, $($rest:tt)*) => {
+        $crate::__proptest_case! { @parse $ctx [$($acc)* ($pat)($strat)] $($rest)* }
+    };
+    (@parse $ctx:tt [$($acc:tt)*] $pat:pat in $strat:expr) => {
+        $crate::__proptest_case! { @emit $ctx [$($acc)* ($pat)($strat)] }
+    };
+    (@parse $ctx:tt [$($acc:tt)*] $arg:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_case! {
+            @parse $ctx [$($acc)* ($arg)($crate::strategy::any::<$ty>())] $($rest)*
+        }
+    };
+    (@parse $ctx:tt [$($acc:tt)*] $arg:ident : $ty:ty) => {
+        $crate::__proptest_case! {
+            @emit $ctx [$($acc)* ($arg)($crate::strategy::any::<$ty>())]
+        }
+    };
+    (@parse $ctx:tt [$($acc:tt)*]) => {
+        $crate::__proptest_case! { @emit $ctx [$($acc)*] }
+    };
+    // All parameters normalized: emit the test function.
+    (@emit [($config:expr) ($(#[$meta:meta])*) $name:ident $body:block]
+     [$(($pat:pat)($strat:expr))+]) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let mut __runner = $crate::test_runner::TestRunner::new(__config.clone());
+            for __case in 0..__config.cases {
+                let __vals = (
+                    $($crate::strategy::Strategy::new_value(&($strat), &mut __runner),)+
+                );
+                let __dbg = format!("{:?}", __vals);
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| {
+                        let ($($pat,)+) = __vals;
+                        $body
+                    }),
+                );
+                if let Err(__err) = __outcome {
+                    eprintln!(
+                        "proptest: case {}/{} of `{}` failed with input {}",
+                        __case + 1,
+                        __config.cases,
+                        stringify!($name),
+                        __dbg
+                    );
+                    ::std::panic::resume_unwind(__err);
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn tuple_params((a, b) in (0usize..10, 0usize..10), flip: bool) {
+            prop_assert!(a < 10 && b < 10);
+            let _ = flip;
+        }
+
+        #[test]
+        fn oneof_hits_all_arms(v in prop_oneof![0usize..1, 1usize..2, 2usize..3]) {
+            prop_assert!(v < 3);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Deterministic test runner: case-count configuration plus the PRNG all
+//! strategies draw from.
+
+/// Configuration for a `proptest!` block. Only `cases` is supported.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test function runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; the engine property tests here are
+        // compute-heavy, so the shim halves twice.
+        Self { cases: 64 }
+    }
+}
+
+/// Value source for strategies: a fixed-seed xorshift64* generator, so
+/// every run sees the same inputs. Override with `PROPTEST_SEED=<u64>`.
+#[derive(Clone, Debug)]
+pub struct TestRunner {
+    state: u64,
+    config: ProptestConfig,
+}
+
+const DEFAULT_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .filter(|&s| s != 0)
+            .unwrap_or(DEFAULT_SEED);
+        Self {
+            state: seed,
+            config,
+        }
+    }
+
+    pub fn config(&self) -> &ProptestConfig {
+        &self.config
+    }
+
+    /// Next raw 64-bit value (xorshift64*).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `0..bound`. `bound` must be nonzero.
+    pub fn next_usize(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+impl Default for TestRunner {
+    fn default() -> Self {
+        Self::new(ProptestConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_sequence() {
+        let mut a = TestRunner::default();
+        let mut b = TestRunner::default();
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn next_usize_respects_bound() {
+        let mut r = TestRunner::default();
+        for bound in 1..50 {
+            for _ in 0..20 {
+                assert!(r.next_usize(bound) < bound);
+            }
+        }
+    }
+}

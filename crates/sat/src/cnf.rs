@@ -80,10 +80,7 @@ mod tests {
         let mut solver = Solver::new();
         let map = encode(&aig, &mut solver);
         // f ∧ ¬a is unsatisfiable.
-        assert_eq!(
-            solver.solve(&[map.lit(f), map.lit(!a)]),
-            SolveResult::Unsat
-        );
+        assert_eq!(solver.solve(&[map.lit(f), map.lit(!a)]), SolveResult::Unsat);
         // f is satisfiable (with a = b = 1).
         assert_eq!(solver.solve(&[map.lit(f)]), SolveResult::Sat);
         assert!(solver.model_value(map.var(a.node())));

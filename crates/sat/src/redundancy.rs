@@ -46,11 +46,20 @@ fn rebuild_with_replacement(aig: &Aig, target: NodeId, with_other_fanin: Lit) ->
     Some(copy.cleanup())
 }
 
+/// Result of a redundancy-removal pass.
+#[derive(Debug, Clone)]
+pub struct RedundancyResult {
+    /// The cleaned network.
+    pub aig: Aig,
+    /// Pass statistics.
+    pub stats: RedundancyStats,
+}
+
 /// Runs one redundancy-removal pass: for every AND gate, tests whether the
 /// gate can be replaced by either of its fanins (stuck-at-1 on the other
-/// connection). Proven-redundant gates are replaced. Returns the stats and
-/// the cleaned network.
-pub fn remove_redundancies(aig: &Aig, options: &RedundancyOptions) -> (Aig, RedundancyStats) {
+/// connection). Proven-redundant gates are replaced. Returns the cleaned
+/// network with the pass statistics.
+pub fn remove_redundancies(aig: &Aig, options: &RedundancyOptions) -> RedundancyResult {
     let mut stats = RedundancyStats::default();
     let mut current = aig.cleanup();
     // Iterate to a fixpoint (each removal can expose more redundancy), but
@@ -72,7 +81,10 @@ pub fn remove_redundancies(aig: &Aig, options: &RedundancyOptions) -> (Aig, Redu
                     continue;
                 }
                 if stats.checks >= options.max_checks {
-                    return (current.cleanup(), stats);
+                    return RedundancyResult {
+                        aig: current.cleanup(),
+                        stats,
+                    };
                 }
                 stats.checks += 1;
                 let replaced = match rebuild_with_replacement(&current, id, candidate) {
@@ -82,8 +94,7 @@ pub fn remove_redundancies(aig: &Aig, options: &RedundancyOptions) -> (Aig, Redu
                 if replaced.num_ands() >= current.num_ands() {
                     continue;
                 }
-                if check_equivalence(&current, &replaced, options.budget)
-                    == EquivResult::Equivalent
+                if check_equivalence(&current, &replaced, options.budget) == EquivResult::Equivalent
                 {
                     stats.removed += 1;
                     current = replaced;
@@ -94,7 +105,10 @@ pub fn remove_redundancies(aig: &Aig, options: &RedundancyOptions) -> (Aig, Redu
         // A full scan without a removal: fixpoint reached.
         break;
     }
-    (current.cleanup(), stats)
+    RedundancyResult {
+        aig: current.cleanup(),
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -112,7 +126,10 @@ mod tests {
         let f = aig.and(a, o);
         aig.add_output(f);
         assert_eq!(aig.num_ands(), 2);
-        let (cleaned, stats) = remove_redundancies(&aig, &RedundancyOptions::default());
+        let RedundancyResult {
+            aig: cleaned,
+            stats,
+        } = remove_redundancies(&aig, &RedundancyOptions::default());
         assert!(stats.removed >= 1, "{stats:?}");
         assert_eq!(cleaned.num_ands(), 0, "f should collapse to a");
         assert_eq!(
@@ -130,7 +147,7 @@ mod tests {
         let f = aig.maj3(a, b, c);
         aig.add_output(f);
         let before = aig.num_ands();
-        let (cleaned, _) = remove_redundancies(&aig, &RedundancyOptions::default());
+        let cleaned = remove_redundancies(&aig, &RedundancyOptions::default()).aig;
         assert_eq!(cleaned.num_ands(), before);
         assert_eq!(
             check_equivalence(&aig, &cleaned, None),
@@ -149,7 +166,7 @@ mod tests {
             max_checks: 1,
             ..Default::default()
         };
-        let (_, stats) = remove_redundancies(&aig, &opts);
+        let stats = remove_redundancies(&aig, &opts).stats;
         assert!(stats.checks <= 1);
     }
 }

@@ -393,7 +393,7 @@ impl Solver {
         let mut best: Option<Var> = None;
         for v in 0..self.num_vars() {
             if self.assign[v] == UNDEF
-                && best.map_or(true, |b| self.activity[v] > self.activity[b.index()])
+                && best.is_none_or(|b| self.activity[v] > self.activity[b.index()])
             {
                 best = Some(Var(v as u32));
             }
@@ -574,8 +574,8 @@ mod tests {
         s.add_clause(&[!v[0], v[1], !v[2]]);
         s.add_clause(&[!v[0], !v[1], v[2]]);
         assert_eq!(s.solve(&[]), SolveResult::Sat);
-        let parity = s.model_value(v[0].var()) ^ s.model_value(v[1].var())
-            ^ s.model_value(v[2].var());
+        let parity =
+            s.model_value(v[0].var()) ^ s.model_value(v[1].var()) ^ s.model_value(v[2].var());
         assert!(parity);
     }
 

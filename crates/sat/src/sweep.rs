@@ -65,7 +65,11 @@ pub fn sweep(aig: &mut Aig, options: &SweepOptions) -> SweepStats {
         // Canonicalize phase: use the phase whose first signature word has
         // bit 0 clear, so that f and ¬f land in the same bucket with known
         // relative phase.
-        let canon = if sig.lit_word(pos, 0) & 1 == 1 { !pos } else { pos };
+        let canon = if sig.lit_word(pos, 0) & 1 == 1 {
+            !pos
+        } else {
+            pos
+        };
         let h = sig.hash(canon);
         let bucket = buckets.entry(h).or_default();
         let mut merged = false;

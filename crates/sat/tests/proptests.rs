@@ -19,10 +19,9 @@ fn arb_cnf() -> impl Strategy<Value = (usize, Vec<Vec<(usize, bool)>>)> {
 
 fn brute_force_sat(n: usize, clauses: &[Vec<(usize, bool)>]) -> bool {
     (0..1usize << n).any(|m| {
-        clauses.iter().all(|c| {
-            c.iter()
-                .any(|&(v, neg)| ((m >> v) & 1 == 1) != neg)
-        })
+        clauses
+            .iter()
+            .all(|c| c.iter().any(|&(v, neg)| ((m >> v) & 1 == 1) != neg))
     })
 }
 
@@ -35,7 +34,13 @@ struct Recipe {
 
 fn arb_recipe() -> impl Strategy<Value = Recipe> {
     (2usize..=5, 1usize..=20).prop_flat_map(|(num_inputs, num_steps)| {
-        let step = (0u8..3, any::<u32>(), any::<u32>(), any::<bool>(), any::<bool>());
+        let step = (
+            0u8..3,
+            any::<u32>(),
+            any::<u32>(),
+            any::<bool>(),
+            any::<bool>(),
+        );
         proptest::collection::vec(step, num_steps).prop_map(move |raw| {
             let steps = raw
                 .iter()
@@ -52,8 +57,7 @@ fn arb_recipe() -> impl Strategy<Value = Recipe> {
 
 fn build(recipe: &Recipe) -> sbm_aig::Aig {
     let mut aig = sbm_aig::Aig::new();
-    let mut signals: Vec<sbm_aig::Lit> =
-        (0..recipe.num_inputs).map(|_| aig.add_input()).collect();
+    let mut signals: Vec<sbm_aig::Lit> = (0..recipe.num_inputs).map(|_| aig.add_input()).collect();
     for &(op, a, b, na, nb) in &recipe.steps {
         let x = signals[a].complement_if(na);
         let y = signals[b].complement_if(nb);
@@ -123,7 +127,7 @@ proptest! {
     fn redundancy_removal_preserves_function(recipe in arb_recipe()) {
         let aig = build(&recipe);
         let opts = RedundancyOptions { max_checks: 200, ..Default::default() };
-        let (cleaned, _) = remove_redundancies(&aig, &opts);
+        let cleaned = remove_redundancies(&aig, &opts).aig;
         prop_assert!(cleaned.num_ands() <= aig.num_ands());
         prop_assert_eq!(check_equivalence(&aig, &cleaned, None), EquivResult::Equivalent);
     }

@@ -526,10 +526,7 @@ mod tests {
         assert_eq!(f.common_cube(), Cube::from_lits(&[lit(0)]));
         assert!(!f.is_cube_free());
         // b + c is cube-free.
-        let k = Cover::from_cubes(vec![
-            Cube::from_lits(&[lit(1)]),
-            Cube::from_lits(&[lit(2)]),
-        ]);
+        let k = Cover::from_cubes(vec![Cube::from_lits(&[lit(1)]), Cube::from_lits(&[lit(2)])]);
         assert!(k.is_cube_free());
     }
 

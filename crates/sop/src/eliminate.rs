@@ -142,10 +142,7 @@ mod tests {
     fn simple_chain() -> (SopNetwork, u32, u32) {
         let mut net = SopNetwork::new(3);
         let x = net.add_node(Cover::from_cubes(vec![Cube::from_lits(&[lit(0), lit(1)])]));
-        let f = net.add_node(Cover::from_cubes(vec![Cube::from_lits(&[
-            lit(x),
-            lit(2),
-        ])]));
+        let f = net.add_node(Cover::from_cubes(vec![Cube::from_lits(&[lit(x), lit(2)])]));
         net.add_output(lit(f));
         (net, x, f)
     }

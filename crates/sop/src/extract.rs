@@ -69,8 +69,7 @@ fn candidates(net: &SopNetwork) -> HashMap<Divisor, i64> {
                 if a.is_one() || b.is_one() {
                     continue;
                 }
-                let saving =
-                    (a.num_lits() + b.num_lits() + common.num_lits()) as i64 - 1;
+                let saving = (a.num_lits() + b.num_lits() + common.num_lits()) as i64 - 1;
                 let (a, b) = if a <= b { (a, b) } else { (b, a) };
                 *savings.entry(Divisor::Double(a, b)).or_insert(0) += saving;
             }
@@ -147,7 +146,14 @@ pub fn extract(net: &mut SopNetwork, max_rounds: usize) -> ExtractStats {
             .into_iter()
             .filter(|(d, saving)| estimated_value(d, *saving) > 0)
             .collect();
-        ranked.sort_by_key(|(d, saving)| std::cmp::Reverse(estimated_value(d, *saving)));
+        // Tie-break equal-value divisors by the divisor itself: `cands`
+        // is a HashMap, so relying on stable sort alone would make the
+        // greedy choice (and the final network) nondeterministic.
+        ranked.sort_by(|(da, sa), (db, sb)| {
+            estimated_value(db, *sb)
+                .cmp(&estimated_value(da, *sa))
+                .then_with(|| da.cmp(db))
+        });
         let mut applied = false;
         for (divisor, _) in ranked.into_iter().take(8) {
             let d = divisor.to_cover();

@@ -149,7 +149,7 @@ pub fn factor(f: &Cover) -> Factored {
     for c in f.cubes() {
         for &l in c.lits() {
             let count = f.lit_count(l);
-            if best.map_or(true, |(_, b)| count > b) {
+            if best.is_none_or(|(_, b)| count > b) {
                 best = Some((l, count));
             }
         }

@@ -62,10 +62,16 @@ fn isop_rec(lower: &TruthTable, upper: &TruthTable, vars_left: usize) -> (Cover,
 
     let mut cubes = Vec::new();
     for c in c0.cubes() {
-        cubes.push(c.intersect(&Cube::from_lits(&[nx])).expect("v not in sub-cover"));
+        cubes.push(
+            c.intersect(&Cube::from_lits(&[nx]))
+                .expect("v not in sub-cover"),
+        );
     }
     for c in c1.cubes() {
-        cubes.push(c.intersect(&Cube::from_lits(&[x])).expect("v not in sub-cover"));
+        cubes.push(
+            c.intersect(&Cube::from_lits(&[x]))
+                .expect("v not in sub-cover"),
+        );
     }
     cubes.extend(cstar.cubes().iter().cloned());
     (Cover::from_cubes(cubes), table)

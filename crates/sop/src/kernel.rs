@@ -56,7 +56,7 @@ fn literals(f: &Cover) -> Vec<SignalLit> {
 /// Keeps distinct (kernel, co-kernel) pairs; the same kernel can have
 /// several co-kernels and callers may want all of them.
 fn push_unique(result: &mut Vec<(Cover, Cube)>, entry: (Cover, Cube)) {
-    if !result.iter().any(|e| *e == entry) {
+    if !result.contains(&entry) {
         result.push(entry);
     }
 }
@@ -180,6 +180,8 @@ mod tests {
         let l0 = level0_kernels(&f);
         assert!(l0.iter().any(|(k, _)| *k == cover(&[&[a], &[b]])));
         // The big kernel (a·c + b·c + d) has sub-kernels, so it is not L0.
-        assert!(l0.iter().all(|(k, _)| *k != cover(&[&[a, c], &[b, c], &[d]])));
+        assert!(l0
+            .iter()
+            .all(|(k, _)| *k != cover(&[&[a, c], &[b, c], &[d]])));
     }
 }

@@ -6,8 +6,8 @@ use sbm_sop::{divide, eliminate, extract, factor, Cover, Cube, SignalLit, SopNet
 
 /// A random cover over `num_signals` input signals.
 fn arb_cover(num_signals: u32) -> impl Strategy<Value = Cover> {
-    let cube = proptest::collection::btree_map(0..num_signals, any::<bool>(), 1..=4)
-        .prop_map(|m| {
+    let cube =
+        proptest::collection::btree_map(0..num_signals, any::<bool>(), 1..=4).prop_map(|m| {
             Cube::from_lits(
                 &m.into_iter()
                     .map(|(s, neg)| SignalLit::new(s, neg))

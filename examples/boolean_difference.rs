@@ -4,7 +4,7 @@
 //! Run with: `cargo run --example boolean_difference --release`
 
 use sbm::aig::Aig;
-use sbm::core::bdiff::{boolean_difference_resub, BdiffOptions};
+use sbm::core::engine::{Bdiff, Engine, OptContext};
 use sbm::core::verify::equivalent;
 
 fn main() {
@@ -31,17 +31,20 @@ fn main() {
     aig.add_output(f);
     let aig = aig.cleanup();
 
-    println!("Fig. 1(a): f and g as separate cones: {} AND nodes", aig.num_ands());
+    println!(
+        "Fig. 1(a): f and g as separate cones: {} AND nodes",
+        aig.num_ands()
+    );
 
-    let (rewritten, stats) = boolean_difference_resub(&aig, &BdiffOptions::default());
+    let result = Bdiff::default().run(&aig, &mut OptContext::default());
     println!(
         "Fig. 1(b): f = (∂f/∂g) ⊕ g:           {} AND nodes",
-        rewritten.num_ands()
+        result.aig.num_ands()
     );
     println!(
-        "pairs tried: {}, rewrites: {}, hashtable reuses: {}",
-        stats.pairs_tried, stats.accepted, stats.diff_reused
+        "pairs tried: {}, rewrites: {}, windows: {}",
+        result.stats.tried, result.stats.accepted, result.stats.windows
     );
-    assert!(equivalent(&aig, &rewritten));
+    assert!(equivalent(&aig, &result.aig));
     println!("equivalence: proven by SAT miter");
 }

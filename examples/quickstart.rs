@@ -4,7 +4,7 @@
 //! Run with: `cargo run --example quickstart --release`
 
 use sbm::aig::Aig;
-use sbm::core::script::{resyn2rs, sbm_script, SbmOptions};
+use sbm::core::script::{resyn2rs, sbm_script_report, SbmOptions};
 use sbm::core::verify::equivalent;
 
 fn main() {
@@ -29,14 +29,36 @@ fn main() {
     aig.add_output(g);
     let aig = aig.cleanup();
 
-    println!("original:  {:4} AND nodes, {} levels", aig.num_ands(), aig.depth());
+    println!(
+        "original:  {:4} AND nodes, {} levels",
+        aig.num_ands(),
+        aig.depth()
+    );
 
     let baseline = resyn2rs(&aig);
-    println!("resyn2rs:  {:4} AND nodes, {} levels", baseline.num_ands(), baseline.depth());
+    println!(
+        "resyn2rs:  {:4} AND nodes, {} levels",
+        baseline.num_ands(),
+        baseline.depth()
+    );
 
-    let optimized = sbm_script(&aig, &SbmOptions::default());
-    println!("SBM:       {:4} AND nodes, {} levels", optimized.num_ands(), optimized.depth());
+    // Options come from the validated builder; nonsense values (zero
+    // threads, empty threshold ladders, …) are rejected at build() time.
+    let options = SbmOptions::builder()
+        .num_threads(2)
+        .build()
+        .expect("valid options");
+    let run = sbm_script_report(&aig, &options);
+    let optimized = run.aig;
+    println!(
+        "SBM:       {:4} AND nodes, {} levels",
+        optimized.num_ands(),
+        optimized.depth()
+    );
 
-    assert!(equivalent(&aig, &optimized), "optimization must preserve function");
+    assert!(
+        equivalent(&aig, &optimized),
+        "optimization must preserve function"
+    );
     println!("equivalence: proven by SAT miter");
 }

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bdiff_ablation-1a889f961e35b93a.d: crates/bench/benches/bdiff_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbdiff_ablation-1a889f961e35b93a.rmeta: crates/bench/benches/bdiff_ablation.rs Cargo.toml
+
+crates/bench/benches/bdiff_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bdiff_ablation-79af31c9e57eb57c.d: crates/bench/benches/bdiff_ablation.rs
+
+/root/repo/target/debug/deps/bdiff_ablation-79af31c9e57eb57c: crates/bench/benches/bdiff_ablation.rs
+
+crates/bench/benches/bdiff_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate-15af928cbcebf9dd.d: tests/cross_crate.rs
+
+/root/repo/target/debug/deps/cross_crate-15af928cbcebf9dd: tests/cross_crate.rs
+
+tests/cross_crate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-bafd28c9baa14dbe.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-bafd28c9baa14dbe: tests/end_to_end.rs
+
+tests/end_to_end.rs:

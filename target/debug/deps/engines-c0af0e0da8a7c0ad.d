@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engines-c0af0e0da8a7c0ad.d: crates/bench/benches/engines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengines-c0af0e0da8a7c0ad.rmeta: crates/bench/benches/engines.rs Cargo.toml
+
+crates/bench/benches/engines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

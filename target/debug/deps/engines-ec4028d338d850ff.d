@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engines-ec4028d338d850ff.d: crates/bench/benches/engines.rs
+
+/root/repo/target/debug/deps/engines-ec4028d338d850ff: crates/bench/benches/engines.rs
+
+crates/bench/benches/engines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-468ffcbb19c5adaa.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-468ffcbb19c5adaa: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1-8575940bebbef58e.d: crates/bench/src/bin/fig1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1-8575940bebbef58e.rmeta: crates/bench/src/bin/fig1.rs Cargo.toml
+
+crates/bench/src/bin/fig1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

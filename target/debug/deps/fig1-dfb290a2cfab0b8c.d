@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-dfb290a2cfab0b8c.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-dfb290a2cfab0b8c: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gradient_ablation-bb94ef3834902969.d: crates/bench/benches/gradient_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgradient_ablation-bb94ef3834902969.rmeta: crates/bench/benches/gradient_ablation.rs Cargo.toml
+
+crates/bench/benches/gradient_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gradient_ablation-e82e6889e0ccfcfe.d: crates/bench/benches/gradient_ablation.rs
+
+/root/repo/target/debug/deps/gradient_ablation-e82e6889e0ccfcfe: crates/bench/benches/gradient_ablation.rs
+
+crates/bench/benches/gradient_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hetero_ablation-64934877b46b52b9.d: crates/bench/benches/hetero_ablation.rs
+
+/root/repo/target/debug/deps/hetero_ablation-64934877b46b52b9: crates/bench/benches/hetero_ablation.rs
+
+crates/bench/benches/hetero_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hetero_ablation-bff765c66c356c51.d: crates/bench/benches/hetero_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetero_ablation-bff765c66c356c51.rmeta: crates/bench/benches/hetero_ablation.rs Cargo.toml
+
+crates/bench/benches/hetero_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile-454c57e4ecc8cb2e.d: crates/bench/src/bin/profile.rs
+
+/root/repo/target/debug/deps/profile-454c57e4ecc8cb2e: crates/bench/src/bin/profile.rs
+
+crates/bench/src/bin/profile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile-77b70cceeab9451b.d: crates/bench/src/bin/profile.rs
+
+/root/repo/target/debug/deps/profile-77b70cceeab9451b: crates/bench/src/bin/profile.rs
+
+crates/bench/src/bin/profile.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/profile-d5b7e76c8fe69fd3.d: crates/bench/src/bin/profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprofile-d5b7e76c8fe69fd3.rmeta: crates/bench/src/bin/profile.rs Cargo.toml
+
+crates/bench/src/bin/profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

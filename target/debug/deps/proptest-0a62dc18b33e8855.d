@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/proptest-0a62dc18b33e8855.d: crates/proptest/src/lib.rs crates/proptest/src/collection.rs crates/proptest/src/strategy.rs crates/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/proptest-0a62dc18b33e8855: crates/proptest/src/lib.rs crates/proptest/src/collection.rs crates/proptest/src/strategy.rs crates/proptest/src/test_runner.rs
+
+crates/proptest/src/lib.rs:
+crates/proptest/src/collection.rs:
+crates/proptest/src/strategy.rs:
+crates/proptest/src/test_runner.rs:

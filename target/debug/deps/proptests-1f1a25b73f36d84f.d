@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-1f1a25b73f36d84f.d: crates/sop/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-1f1a25b73f36d84f.rmeta: crates/sop/tests/proptests.rs Cargo.toml
+
+crates/sop/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-5175c1d271f1bb8b.d: crates/tt/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-5175c1d271f1bb8b.rmeta: crates/tt/tests/proptests.rs Cargo.toml
+
+crates/tt/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-657cd66ce77df005.d: crates/aig/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-657cd66ce77df005.rmeta: crates/aig/tests/proptests.rs Cargo.toml
+
+crates/aig/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

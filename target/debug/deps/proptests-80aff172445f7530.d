@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-80aff172445f7530.d: crates/sop/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-80aff172445f7530: crates/sop/tests/proptests.rs
+
+crates/sop/tests/proptests.rs:

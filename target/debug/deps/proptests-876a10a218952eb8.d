@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-876a10a218952eb8.d: crates/sat/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-876a10a218952eb8.rmeta: crates/sat/tests/proptests.rs Cargo.toml
+
+crates/sat/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

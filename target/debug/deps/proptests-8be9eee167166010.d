@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-8be9eee167166010.d: crates/bdd/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-8be9eee167166010: crates/bdd/tests/proptests.rs
+
+crates/bdd/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-9ee488166b23f7c9.d: crates/sat/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-9ee488166b23f7c9: crates/sat/tests/proptests.rs
+
+crates/sat/tests/proptests.rs:

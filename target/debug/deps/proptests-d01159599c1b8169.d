@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-d01159599c1b8169.d: crates/bdd/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-d01159599c1b8169.rmeta: crates/bdd/tests/proptests.rs Cargo.toml
+
+crates/bdd/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e2a4520b24a67a1a.d: crates/aig/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e2a4520b24a67a1a: crates/aig/tests/proptests.rs
+
+crates/aig/tests/proptests.rs:

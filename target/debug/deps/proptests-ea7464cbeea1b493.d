@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ea7464cbeea1b493.d: crates/tt/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ea7464cbeea1b493: crates/tt/tests/proptests.rs
+
+crates/tt/tests/proptests.rs:

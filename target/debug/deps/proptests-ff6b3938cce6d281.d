@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ff6b3938cce6d281.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ff6b3938cce6d281: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

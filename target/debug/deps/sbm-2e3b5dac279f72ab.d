@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sbm-2e3b5dac279f72ab.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsbm-2e3b5dac279f72ab.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsbm-2e3b5dac279f72ab.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sbm-786c069dd0a82c6f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbm-786c069dd0a82c6f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

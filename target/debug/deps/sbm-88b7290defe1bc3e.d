@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sbm-88b7290defe1bc3e.d: src/lib.rs
+
+/root/repo/target/debug/deps/sbm-88b7290defe1bc3e: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sbm-b01ea2b4a3a0c555.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbm-b01ea2b4a3a0c555.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sbm_aig-a39381b9a15e509f.d: crates/aig/src/lib.rs crates/aig/src/aiger.rs crates/aig/src/cut.rs crates/aig/src/graph.rs crates/aig/src/lit.rs crates/aig/src/mffc.rs crates/aig/src/sim.rs crates/aig/src/window.rs
+
+/root/repo/target/debug/deps/sbm_aig-a39381b9a15e509f: crates/aig/src/lib.rs crates/aig/src/aiger.rs crates/aig/src/cut.rs crates/aig/src/graph.rs crates/aig/src/lit.rs crates/aig/src/mffc.rs crates/aig/src/sim.rs crates/aig/src/window.rs
+
+crates/aig/src/lib.rs:
+crates/aig/src/aiger.rs:
+crates/aig/src/cut.rs:
+crates/aig/src/graph.rs:
+crates/aig/src/lit.rs:
+crates/aig/src/mffc.rs:
+crates/aig/src/sim.rs:
+crates/aig/src/window.rs:

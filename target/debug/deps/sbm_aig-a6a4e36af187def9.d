@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sbm_aig-a6a4e36af187def9.d: crates/aig/src/lib.rs crates/aig/src/aiger.rs crates/aig/src/cut.rs crates/aig/src/graph.rs crates/aig/src/lit.rs crates/aig/src/mffc.rs crates/aig/src/sim.rs crates/aig/src/window.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbm_aig-a6a4e36af187def9.rmeta: crates/aig/src/lib.rs crates/aig/src/aiger.rs crates/aig/src/cut.rs crates/aig/src/graph.rs crates/aig/src/lit.rs crates/aig/src/mffc.rs crates/aig/src/sim.rs crates/aig/src/window.rs Cargo.toml
+
+crates/aig/src/lib.rs:
+crates/aig/src/aiger.rs:
+crates/aig/src/cut.rs:
+crates/aig/src/graph.rs:
+crates/aig/src/lit.rs:
+crates/aig/src/mffc.rs:
+crates/aig/src/sim.rs:
+crates/aig/src/window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

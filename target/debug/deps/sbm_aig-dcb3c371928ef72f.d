@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sbm_aig-dcb3c371928ef72f.d: crates/aig/src/lib.rs crates/aig/src/aiger.rs crates/aig/src/cut.rs crates/aig/src/graph.rs crates/aig/src/lit.rs crates/aig/src/mffc.rs crates/aig/src/sim.rs crates/aig/src/window.rs
+
+/root/repo/target/debug/deps/libsbm_aig-dcb3c371928ef72f.rlib: crates/aig/src/lib.rs crates/aig/src/aiger.rs crates/aig/src/cut.rs crates/aig/src/graph.rs crates/aig/src/lit.rs crates/aig/src/mffc.rs crates/aig/src/sim.rs crates/aig/src/window.rs
+
+/root/repo/target/debug/deps/libsbm_aig-dcb3c371928ef72f.rmeta: crates/aig/src/lib.rs crates/aig/src/aiger.rs crates/aig/src/cut.rs crates/aig/src/graph.rs crates/aig/src/lit.rs crates/aig/src/mffc.rs crates/aig/src/sim.rs crates/aig/src/window.rs
+
+crates/aig/src/lib.rs:
+crates/aig/src/aiger.rs:
+crates/aig/src/cut.rs:
+crates/aig/src/graph.rs:
+crates/aig/src/lit.rs:
+crates/aig/src/mffc.rs:
+crates/aig/src/sim.rs:
+crates/aig/src/window.rs:

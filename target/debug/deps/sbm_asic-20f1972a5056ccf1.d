@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sbm_asic-20f1972a5056ccf1.d: crates/asic/src/lib.rs crates/asic/src/designs.rs crates/asic/src/flow.rs crates/asic/src/library.rs crates/asic/src/mapping.rs crates/asic/src/power.rs crates/asic/src/sta.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbm_asic-20f1972a5056ccf1.rmeta: crates/asic/src/lib.rs crates/asic/src/designs.rs crates/asic/src/flow.rs crates/asic/src/library.rs crates/asic/src/mapping.rs crates/asic/src/power.rs crates/asic/src/sta.rs Cargo.toml
+
+crates/asic/src/lib.rs:
+crates/asic/src/designs.rs:
+crates/asic/src/flow.rs:
+crates/asic/src/library.rs:
+crates/asic/src/mapping.rs:
+crates/asic/src/power.rs:
+crates/asic/src/sta.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sbm_asic-41da7b8a787b7498.d: crates/asic/src/lib.rs crates/asic/src/designs.rs crates/asic/src/flow.rs crates/asic/src/library.rs crates/asic/src/mapping.rs crates/asic/src/power.rs crates/asic/src/sta.rs
+
+/root/repo/target/debug/deps/sbm_asic-41da7b8a787b7498: crates/asic/src/lib.rs crates/asic/src/designs.rs crates/asic/src/flow.rs crates/asic/src/library.rs crates/asic/src/mapping.rs crates/asic/src/power.rs crates/asic/src/sta.rs
+
+crates/asic/src/lib.rs:
+crates/asic/src/designs.rs:
+crates/asic/src/flow.rs:
+crates/asic/src/library.rs:
+crates/asic/src/mapping.rs:
+crates/asic/src/power.rs:
+crates/asic/src/sta.rs:

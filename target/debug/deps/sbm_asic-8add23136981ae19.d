@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sbm_asic-8add23136981ae19.d: crates/asic/src/lib.rs crates/asic/src/designs.rs crates/asic/src/flow.rs crates/asic/src/library.rs crates/asic/src/mapping.rs crates/asic/src/power.rs crates/asic/src/sta.rs
+
+/root/repo/target/debug/deps/libsbm_asic-8add23136981ae19.rlib: crates/asic/src/lib.rs crates/asic/src/designs.rs crates/asic/src/flow.rs crates/asic/src/library.rs crates/asic/src/mapping.rs crates/asic/src/power.rs crates/asic/src/sta.rs
+
+/root/repo/target/debug/deps/libsbm_asic-8add23136981ae19.rmeta: crates/asic/src/lib.rs crates/asic/src/designs.rs crates/asic/src/flow.rs crates/asic/src/library.rs crates/asic/src/mapping.rs crates/asic/src/power.rs crates/asic/src/sta.rs
+
+crates/asic/src/lib.rs:
+crates/asic/src/designs.rs:
+crates/asic/src/flow.rs:
+crates/asic/src/library.rs:
+crates/asic/src/mapping.rs:
+crates/asic/src/power.rs:
+crates/asic/src/sta.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sbm_bdd-15f171f88c757e6d.d: crates/bdd/src/lib.rs crates/bdd/src/manager.rs crates/bdd/src/pool.rs
+
+/root/repo/target/debug/deps/sbm_bdd-15f171f88c757e6d: crates/bdd/src/lib.rs crates/bdd/src/manager.rs crates/bdd/src/pool.rs
+
+crates/bdd/src/lib.rs:
+crates/bdd/src/manager.rs:
+crates/bdd/src/pool.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sbm_bdd-84ec42a66c4482ac.d: crates/bdd/src/lib.rs crates/bdd/src/manager.rs crates/bdd/src/pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbm_bdd-84ec42a66c4482ac.rmeta: crates/bdd/src/lib.rs crates/bdd/src/manager.rs crates/bdd/src/pool.rs Cargo.toml
+
+crates/bdd/src/lib.rs:
+crates/bdd/src/manager.rs:
+crates/bdd/src/pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

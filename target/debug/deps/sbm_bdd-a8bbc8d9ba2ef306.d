@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sbm_bdd-a8bbc8d9ba2ef306.d: crates/bdd/src/lib.rs crates/bdd/src/manager.rs crates/bdd/src/pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbm_bdd-a8bbc8d9ba2ef306.rmeta: crates/bdd/src/lib.rs crates/bdd/src/manager.rs crates/bdd/src/pool.rs Cargo.toml
+
+crates/bdd/src/lib.rs:
+crates/bdd/src/manager.rs:
+crates/bdd/src/pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

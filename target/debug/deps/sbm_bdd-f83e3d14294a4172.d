@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sbm_bdd-f83e3d14294a4172.d: crates/bdd/src/lib.rs crates/bdd/src/manager.rs crates/bdd/src/pool.rs
+
+/root/repo/target/debug/deps/libsbm_bdd-f83e3d14294a4172.rlib: crates/bdd/src/lib.rs crates/bdd/src/manager.rs crates/bdd/src/pool.rs
+
+/root/repo/target/debug/deps/libsbm_bdd-f83e3d14294a4172.rmeta: crates/bdd/src/lib.rs crates/bdd/src/manager.rs crates/bdd/src/pool.rs
+
+crates/bdd/src/lib.rs:
+crates/bdd/src/manager.rs:
+crates/bdd/src/pool.rs:

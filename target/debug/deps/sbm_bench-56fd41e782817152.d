@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sbm_bench-56fd41e782817152.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/sbm_bench-56fd41e782817152: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sbm_bench-6b77467e767e3061.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbm_bench-6b77467e767e3061.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

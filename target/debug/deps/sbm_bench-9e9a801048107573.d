@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sbm_bench-9e9a801048107573.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsbm_bench-9e9a801048107573.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsbm_bench-9e9a801048107573.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

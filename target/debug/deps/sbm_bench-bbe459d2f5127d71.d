@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sbm_bench-bbe459d2f5127d71.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbm_bench-bbe459d2f5127d71.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

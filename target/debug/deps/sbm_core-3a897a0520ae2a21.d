@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/sbm_core-3a897a0520ae2a21.d: crates/core/src/lib.rs crates/core/src/balance.rs crates/core/src/bdd_bridge.rs crates/core/src/bdiff.rs crates/core/src/engine.rs crates/core/src/gradient.rs crates/core/src/hetero.rs crates/core/src/mspf.rs crates/core/src/pipeline.rs crates/core/src/refactor.rs crates/core/src/resub.rs crates/core/src/rewrite.rs crates/core/src/script.rs crates/core/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbm_core-3a897a0520ae2a21.rmeta: crates/core/src/lib.rs crates/core/src/balance.rs crates/core/src/bdd_bridge.rs crates/core/src/bdiff.rs crates/core/src/engine.rs crates/core/src/gradient.rs crates/core/src/hetero.rs crates/core/src/mspf.rs crates/core/src/pipeline.rs crates/core/src/refactor.rs crates/core/src/resub.rs crates/core/src/rewrite.rs crates/core/src/script.rs crates/core/src/verify.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/balance.rs:
+crates/core/src/bdd_bridge.rs:
+crates/core/src/bdiff.rs:
+crates/core/src/engine.rs:
+crates/core/src/gradient.rs:
+crates/core/src/hetero.rs:
+crates/core/src/mspf.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/refactor.rs:
+crates/core/src/resub.rs:
+crates/core/src/rewrite.rs:
+crates/core/src/script.rs:
+crates/core/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sbm_epfl-33ae0e009c644cac.d: crates/epfl/src/lib.rs crates/epfl/src/arith.rs crates/epfl/src/control.rs crates/epfl/src/words.rs
+
+/root/repo/target/debug/deps/libsbm_epfl-33ae0e009c644cac.rlib: crates/epfl/src/lib.rs crates/epfl/src/arith.rs crates/epfl/src/control.rs crates/epfl/src/words.rs
+
+/root/repo/target/debug/deps/libsbm_epfl-33ae0e009c644cac.rmeta: crates/epfl/src/lib.rs crates/epfl/src/arith.rs crates/epfl/src/control.rs crates/epfl/src/words.rs
+
+crates/epfl/src/lib.rs:
+crates/epfl/src/arith.rs:
+crates/epfl/src/control.rs:
+crates/epfl/src/words.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sbm_epfl-600ffb2b34b5ebaf.d: crates/epfl/src/lib.rs crates/epfl/src/arith.rs crates/epfl/src/control.rs crates/epfl/src/words.rs
+
+/root/repo/target/debug/deps/sbm_epfl-600ffb2b34b5ebaf: crates/epfl/src/lib.rs crates/epfl/src/arith.rs crates/epfl/src/control.rs crates/epfl/src/words.rs
+
+crates/epfl/src/lib.rs:
+crates/epfl/src/arith.rs:
+crates/epfl/src/control.rs:
+crates/epfl/src/words.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sbm_epfl-7d8181781089ca5d.d: crates/epfl/src/lib.rs crates/epfl/src/arith.rs crates/epfl/src/control.rs crates/epfl/src/words.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbm_epfl-7d8181781089ca5d.rmeta: crates/epfl/src/lib.rs crates/epfl/src/arith.rs crates/epfl/src/control.rs crates/epfl/src/words.rs Cargo.toml
+
+crates/epfl/src/lib.rs:
+crates/epfl/src/arith.rs:
+crates/epfl/src/control.rs:
+crates/epfl/src/words.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

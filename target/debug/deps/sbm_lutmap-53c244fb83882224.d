@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sbm_lutmap-53c244fb83882224.d: crates/lutmap/src/lib.rs
+
+/root/repo/target/debug/deps/libsbm_lutmap-53c244fb83882224.rlib: crates/lutmap/src/lib.rs
+
+/root/repo/target/debug/deps/libsbm_lutmap-53c244fb83882224.rmeta: crates/lutmap/src/lib.rs
+
+crates/lutmap/src/lib.rs:

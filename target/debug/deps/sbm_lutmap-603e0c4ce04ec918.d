@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sbm_lutmap-603e0c4ce04ec918.d: crates/lutmap/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbm_lutmap-603e0c4ce04ec918.rmeta: crates/lutmap/src/lib.rs Cargo.toml
+
+crates/lutmap/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sbm_lutmap-785ef2e7c12b5ede.d: crates/lutmap/src/lib.rs
+
+/root/repo/target/debug/deps/sbm_lutmap-785ef2e7c12b5ede: crates/lutmap/src/lib.rs
+
+crates/lutmap/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sbm_sat-290eba8ec50fcc27.d: crates/sat/src/lib.rs crates/sat/src/cnf.rs crates/sat/src/equiv.rs crates/sat/src/redundancy.rs crates/sat/src/solver.rs crates/sat/src/sweep.rs
+
+/root/repo/target/debug/deps/sbm_sat-290eba8ec50fcc27: crates/sat/src/lib.rs crates/sat/src/cnf.rs crates/sat/src/equiv.rs crates/sat/src/redundancy.rs crates/sat/src/solver.rs crates/sat/src/sweep.rs
+
+crates/sat/src/lib.rs:
+crates/sat/src/cnf.rs:
+crates/sat/src/equiv.rs:
+crates/sat/src/redundancy.rs:
+crates/sat/src/solver.rs:
+crates/sat/src/sweep.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sbm_sat-57e6d2bb0c903a59.d: crates/sat/src/lib.rs crates/sat/src/cnf.rs crates/sat/src/equiv.rs crates/sat/src/redundancy.rs crates/sat/src/solver.rs crates/sat/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbm_sat-57e6d2bb0c903a59.rmeta: crates/sat/src/lib.rs crates/sat/src/cnf.rs crates/sat/src/equiv.rs crates/sat/src/redundancy.rs crates/sat/src/solver.rs crates/sat/src/sweep.rs Cargo.toml
+
+crates/sat/src/lib.rs:
+crates/sat/src/cnf.rs:
+crates/sat/src/equiv.rs:
+crates/sat/src/redundancy.rs:
+crates/sat/src/solver.rs:
+crates/sat/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

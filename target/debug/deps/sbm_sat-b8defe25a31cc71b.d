@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sbm_sat-b8defe25a31cc71b.d: crates/sat/src/lib.rs crates/sat/src/cnf.rs crates/sat/src/equiv.rs crates/sat/src/redundancy.rs crates/sat/src/solver.rs crates/sat/src/sweep.rs
+
+/root/repo/target/debug/deps/libsbm_sat-b8defe25a31cc71b.rlib: crates/sat/src/lib.rs crates/sat/src/cnf.rs crates/sat/src/equiv.rs crates/sat/src/redundancy.rs crates/sat/src/solver.rs crates/sat/src/sweep.rs
+
+/root/repo/target/debug/deps/libsbm_sat-b8defe25a31cc71b.rmeta: crates/sat/src/lib.rs crates/sat/src/cnf.rs crates/sat/src/equiv.rs crates/sat/src/redundancy.rs crates/sat/src/solver.rs crates/sat/src/sweep.rs
+
+crates/sat/src/lib.rs:
+crates/sat/src/cnf.rs:
+crates/sat/src/equiv.rs:
+crates/sat/src/redundancy.rs:
+crates/sat/src/solver.rs:
+crates/sat/src/sweep.rs:

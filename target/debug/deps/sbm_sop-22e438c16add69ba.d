@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sbm_sop-22e438c16add69ba.d: crates/sop/src/lib.rs crates/sop/src/cover.rs crates/sop/src/divide.rs crates/sop/src/eliminate.rs crates/sop/src/extract.rs crates/sop/src/factor.rs crates/sop/src/isop.rs crates/sop/src/kernel.rs crates/sop/src/network.rs
+
+/root/repo/target/debug/deps/sbm_sop-22e438c16add69ba: crates/sop/src/lib.rs crates/sop/src/cover.rs crates/sop/src/divide.rs crates/sop/src/eliminate.rs crates/sop/src/extract.rs crates/sop/src/factor.rs crates/sop/src/isop.rs crates/sop/src/kernel.rs crates/sop/src/network.rs
+
+crates/sop/src/lib.rs:
+crates/sop/src/cover.rs:
+crates/sop/src/divide.rs:
+crates/sop/src/eliminate.rs:
+crates/sop/src/extract.rs:
+crates/sop/src/factor.rs:
+crates/sop/src/isop.rs:
+crates/sop/src/kernel.rs:
+crates/sop/src/network.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/sbm_sop-2715c4b4ce3a282a.d: crates/sop/src/lib.rs crates/sop/src/cover.rs crates/sop/src/divide.rs crates/sop/src/eliminate.rs crates/sop/src/extract.rs crates/sop/src/factor.rs crates/sop/src/isop.rs crates/sop/src/kernel.rs crates/sop/src/network.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbm_sop-2715c4b4ce3a282a.rmeta: crates/sop/src/lib.rs crates/sop/src/cover.rs crates/sop/src/divide.rs crates/sop/src/eliminate.rs crates/sop/src/extract.rs crates/sop/src/factor.rs crates/sop/src/isop.rs crates/sop/src/kernel.rs crates/sop/src/network.rs Cargo.toml
+
+crates/sop/src/lib.rs:
+crates/sop/src/cover.rs:
+crates/sop/src/divide.rs:
+crates/sop/src/eliminate.rs:
+crates/sop/src/extract.rs:
+crates/sop/src/factor.rs:
+crates/sop/src/isop.rs:
+crates/sop/src/kernel.rs:
+crates/sop/src/network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

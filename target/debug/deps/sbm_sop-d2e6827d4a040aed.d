@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/sbm_sop-d2e6827d4a040aed.d: crates/sop/src/lib.rs crates/sop/src/cover.rs crates/sop/src/divide.rs crates/sop/src/eliminate.rs crates/sop/src/extract.rs crates/sop/src/factor.rs crates/sop/src/isop.rs crates/sop/src/kernel.rs crates/sop/src/network.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbm_sop-d2e6827d4a040aed.rmeta: crates/sop/src/lib.rs crates/sop/src/cover.rs crates/sop/src/divide.rs crates/sop/src/eliminate.rs crates/sop/src/extract.rs crates/sop/src/factor.rs crates/sop/src/isop.rs crates/sop/src/kernel.rs crates/sop/src/network.rs Cargo.toml
+
+crates/sop/src/lib.rs:
+crates/sop/src/cover.rs:
+crates/sop/src/divide.rs:
+crates/sop/src/eliminate.rs:
+crates/sop/src/extract.rs:
+crates/sop/src/factor.rs:
+crates/sop/src/isop.rs:
+crates/sop/src/kernel.rs:
+crates/sop/src/network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sbm_sop-df7eb5b9c8185eb5.d: crates/sop/src/lib.rs crates/sop/src/cover.rs crates/sop/src/divide.rs crates/sop/src/eliminate.rs crates/sop/src/extract.rs crates/sop/src/factor.rs crates/sop/src/isop.rs crates/sop/src/kernel.rs crates/sop/src/network.rs
+
+/root/repo/target/debug/deps/libsbm_sop-df7eb5b9c8185eb5.rlib: crates/sop/src/lib.rs crates/sop/src/cover.rs crates/sop/src/divide.rs crates/sop/src/eliminate.rs crates/sop/src/extract.rs crates/sop/src/factor.rs crates/sop/src/isop.rs crates/sop/src/kernel.rs crates/sop/src/network.rs
+
+/root/repo/target/debug/deps/libsbm_sop-df7eb5b9c8185eb5.rmeta: crates/sop/src/lib.rs crates/sop/src/cover.rs crates/sop/src/divide.rs crates/sop/src/eliminate.rs crates/sop/src/extract.rs crates/sop/src/factor.rs crates/sop/src/isop.rs crates/sop/src/kernel.rs crates/sop/src/network.rs
+
+crates/sop/src/lib.rs:
+crates/sop/src/cover.rs:
+crates/sop/src/divide.rs:
+crates/sop/src/eliminate.rs:
+crates/sop/src/extract.rs:
+crates/sop/src/factor.rs:
+crates/sop/src/isop.rs:
+crates/sop/src/kernel.rs:
+crates/sop/src/network.rs:

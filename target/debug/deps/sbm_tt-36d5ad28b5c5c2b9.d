@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sbm_tt-36d5ad28b5c5c2b9.d: crates/tt/src/lib.rs crates/tt/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbm_tt-36d5ad28b5c5c2b9.rmeta: crates/tt/src/lib.rs crates/tt/src/table.rs Cargo.toml
+
+crates/tt/src/lib.rs:
+crates/tt/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

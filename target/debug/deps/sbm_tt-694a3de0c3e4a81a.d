@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sbm_tt-694a3de0c3e4a81a.d: crates/tt/src/lib.rs crates/tt/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsbm_tt-694a3de0c3e4a81a.rmeta: crates/tt/src/lib.rs crates/tt/src/table.rs Cargo.toml
+
+crates/tt/src/lib.rs:
+crates/tt/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/sbm_tt-8a3ffff5ec9ea97b.d: crates/tt/src/lib.rs crates/tt/src/table.rs
+
+/root/repo/target/debug/deps/sbm_tt-8a3ffff5ec9ea97b: crates/tt/src/lib.rs crates/tt/src/table.rs
+
+crates/tt/src/lib.rs:
+crates/tt/src/table.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sbm_tt-e310675ad4e9489c.d: crates/tt/src/lib.rs crates/tt/src/table.rs
+
+/root/repo/target/debug/deps/libsbm_tt-e310675ad4e9489c.rlib: crates/tt/src/lib.rs crates/tt/src/table.rs
+
+/root/repo/target/debug/deps/libsbm_tt-e310675ad4e9489c.rmeta: crates/tt/src/lib.rs crates/tt/src/table.rs
+
+crates/tt/src/lib.rs:
+crates/tt/src/table.rs:

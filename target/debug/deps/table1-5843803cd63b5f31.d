@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-5843803cd63b5f31.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-5843803cd63b5f31: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

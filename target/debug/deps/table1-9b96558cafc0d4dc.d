@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-9b96558cafc0d4dc.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-9b96558cafc0d4dc: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-0c21884d32a505dc.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-0c21884d32a505dc: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-a8e7192cf0c4e799.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-a8e7192cf0c4e799: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-8b826720c76feafe.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-8b826720c76feafe: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-c9c89856732dc359.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-c9c89856732dc359: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/asic_flow-badde040101b4c3a.d: examples/asic_flow.rs
+
+/root/repo/target/debug/examples/asic_flow-badde040101b4c3a: examples/asic_flow.rs
+
+examples/asic_flow.rs:

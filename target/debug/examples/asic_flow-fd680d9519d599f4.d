@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/asic_flow-fd680d9519d599f4.d: examples/asic_flow.rs Cargo.toml
+
+/root/repo/target/debug/examples/libasic_flow-fd680d9519d599f4.rmeta: examples/asic_flow.rs Cargo.toml
+
+examples/asic_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

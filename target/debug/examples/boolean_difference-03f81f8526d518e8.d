@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/boolean_difference-03f81f8526d518e8.d: examples/boolean_difference.rs Cargo.toml
+
+/root/repo/target/debug/examples/libboolean_difference-03f81f8526d518e8.rmeta: examples/boolean_difference.rs Cargo.toml
+
+examples/boolean_difference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/boolean_difference-64c61fe2701a408b.d: examples/boolean_difference.rs
+
+/root/repo/target/debug/examples/boolean_difference-64c61fe2701a408b: examples/boolean_difference.rs
+
+examples/boolean_difference.rs:

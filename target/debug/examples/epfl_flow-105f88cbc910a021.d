@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/epfl_flow-105f88cbc910a021.d: examples/epfl_flow.rs
+
+/root/repo/target/debug/examples/epfl_flow-105f88cbc910a021: examples/epfl_flow.rs
+
+examples/epfl_flow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/epfl_flow-b88f03bbda20a308.d: examples/epfl_flow.rs Cargo.toml
+
+/root/repo/target/debug/examples/libepfl_flow-b88f03bbda20a308.rmeta: examples/epfl_flow.rs Cargo.toml
+
+examples/epfl_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

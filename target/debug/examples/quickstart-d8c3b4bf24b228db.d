@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-d8c3b4bf24b228db.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-d8c3b4bf24b228db.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

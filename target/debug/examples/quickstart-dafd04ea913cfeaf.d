@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-dafd04ea913cfeaf.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-dafd04ea913cfeaf: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-2c75d6a0be81b007.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-2c75d6a0be81b007: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profile-75351d6173bfb733.d: crates/bench/src/bin/profile.rs
+
+/root/repo/target/release/deps/profile-75351d6173bfb733: crates/bench/src/bin/profile.rs
+
+crates/bench/src/bin/profile.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sbm-0ddd884865d87da0.d: src/lib.rs
+
+/root/repo/target/release/deps/libsbm-0ddd884865d87da0.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsbm-0ddd884865d87da0.rmeta: src/lib.rs
+
+src/lib.rs:

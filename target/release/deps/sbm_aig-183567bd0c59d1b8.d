@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sbm_aig-183567bd0c59d1b8.d: crates/aig/src/lib.rs crates/aig/src/aiger.rs crates/aig/src/cut.rs crates/aig/src/graph.rs crates/aig/src/lit.rs crates/aig/src/mffc.rs crates/aig/src/sim.rs crates/aig/src/window.rs
+
+/root/repo/target/release/deps/libsbm_aig-183567bd0c59d1b8.rlib: crates/aig/src/lib.rs crates/aig/src/aiger.rs crates/aig/src/cut.rs crates/aig/src/graph.rs crates/aig/src/lit.rs crates/aig/src/mffc.rs crates/aig/src/sim.rs crates/aig/src/window.rs
+
+/root/repo/target/release/deps/libsbm_aig-183567bd0c59d1b8.rmeta: crates/aig/src/lib.rs crates/aig/src/aiger.rs crates/aig/src/cut.rs crates/aig/src/graph.rs crates/aig/src/lit.rs crates/aig/src/mffc.rs crates/aig/src/sim.rs crates/aig/src/window.rs
+
+crates/aig/src/lib.rs:
+crates/aig/src/aiger.rs:
+crates/aig/src/cut.rs:
+crates/aig/src/graph.rs:
+crates/aig/src/lit.rs:
+crates/aig/src/mffc.rs:
+crates/aig/src/sim.rs:
+crates/aig/src/window.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sbm_asic-e46dfa70f00d09c4.d: crates/asic/src/lib.rs crates/asic/src/designs.rs crates/asic/src/flow.rs crates/asic/src/library.rs crates/asic/src/mapping.rs crates/asic/src/power.rs crates/asic/src/sta.rs
+
+/root/repo/target/release/deps/libsbm_asic-e46dfa70f00d09c4.rlib: crates/asic/src/lib.rs crates/asic/src/designs.rs crates/asic/src/flow.rs crates/asic/src/library.rs crates/asic/src/mapping.rs crates/asic/src/power.rs crates/asic/src/sta.rs
+
+/root/repo/target/release/deps/libsbm_asic-e46dfa70f00d09c4.rmeta: crates/asic/src/lib.rs crates/asic/src/designs.rs crates/asic/src/flow.rs crates/asic/src/library.rs crates/asic/src/mapping.rs crates/asic/src/power.rs crates/asic/src/sta.rs
+
+crates/asic/src/lib.rs:
+crates/asic/src/designs.rs:
+crates/asic/src/flow.rs:
+crates/asic/src/library.rs:
+crates/asic/src/mapping.rs:
+crates/asic/src/power.rs:
+crates/asic/src/sta.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sbm_bdd-ee7fb289e445a81f.d: crates/bdd/src/lib.rs crates/bdd/src/manager.rs crates/bdd/src/pool.rs
+
+/root/repo/target/release/deps/libsbm_bdd-ee7fb289e445a81f.rlib: crates/bdd/src/lib.rs crates/bdd/src/manager.rs crates/bdd/src/pool.rs
+
+/root/repo/target/release/deps/libsbm_bdd-ee7fb289e445a81f.rmeta: crates/bdd/src/lib.rs crates/bdd/src/manager.rs crates/bdd/src/pool.rs
+
+crates/bdd/src/lib.rs:
+crates/bdd/src/manager.rs:
+crates/bdd/src/pool.rs:

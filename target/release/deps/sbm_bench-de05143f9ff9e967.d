@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sbm_bench-de05143f9ff9e967.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsbm_bench-de05143f9ff9e967.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsbm_bench-de05143f9ff9e967.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

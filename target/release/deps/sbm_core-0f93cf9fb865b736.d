@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/sbm_core-0f93cf9fb865b736.d: crates/core/src/lib.rs crates/core/src/balance.rs crates/core/src/bdd_bridge.rs crates/core/src/bdiff.rs crates/core/src/engine.rs crates/core/src/gradient.rs crates/core/src/hetero.rs crates/core/src/mspf.rs crates/core/src/pipeline.rs crates/core/src/refactor.rs crates/core/src/resub.rs crates/core/src/rewrite.rs crates/core/src/script.rs crates/core/src/verify.rs
+
+/root/repo/target/release/deps/libsbm_core-0f93cf9fb865b736.rlib: crates/core/src/lib.rs crates/core/src/balance.rs crates/core/src/bdd_bridge.rs crates/core/src/bdiff.rs crates/core/src/engine.rs crates/core/src/gradient.rs crates/core/src/hetero.rs crates/core/src/mspf.rs crates/core/src/pipeline.rs crates/core/src/refactor.rs crates/core/src/resub.rs crates/core/src/rewrite.rs crates/core/src/script.rs crates/core/src/verify.rs
+
+/root/repo/target/release/deps/libsbm_core-0f93cf9fb865b736.rmeta: crates/core/src/lib.rs crates/core/src/balance.rs crates/core/src/bdd_bridge.rs crates/core/src/bdiff.rs crates/core/src/engine.rs crates/core/src/gradient.rs crates/core/src/hetero.rs crates/core/src/mspf.rs crates/core/src/pipeline.rs crates/core/src/refactor.rs crates/core/src/resub.rs crates/core/src/rewrite.rs crates/core/src/script.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/balance.rs:
+crates/core/src/bdd_bridge.rs:
+crates/core/src/bdiff.rs:
+crates/core/src/engine.rs:
+crates/core/src/gradient.rs:
+crates/core/src/hetero.rs:
+crates/core/src/mspf.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/refactor.rs:
+crates/core/src/resub.rs:
+crates/core/src/rewrite.rs:
+crates/core/src/script.rs:
+crates/core/src/verify.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sbm_epfl-65a737a08f575841.d: crates/epfl/src/lib.rs crates/epfl/src/arith.rs crates/epfl/src/control.rs crates/epfl/src/words.rs
+
+/root/repo/target/release/deps/libsbm_epfl-65a737a08f575841.rlib: crates/epfl/src/lib.rs crates/epfl/src/arith.rs crates/epfl/src/control.rs crates/epfl/src/words.rs
+
+/root/repo/target/release/deps/libsbm_epfl-65a737a08f575841.rmeta: crates/epfl/src/lib.rs crates/epfl/src/arith.rs crates/epfl/src/control.rs crates/epfl/src/words.rs
+
+crates/epfl/src/lib.rs:
+crates/epfl/src/arith.rs:
+crates/epfl/src/control.rs:
+crates/epfl/src/words.rs:

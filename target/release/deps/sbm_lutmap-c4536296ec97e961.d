@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sbm_lutmap-c4536296ec97e961.d: crates/lutmap/src/lib.rs
+
+/root/repo/target/release/deps/libsbm_lutmap-c4536296ec97e961.rlib: crates/lutmap/src/lib.rs
+
+/root/repo/target/release/deps/libsbm_lutmap-c4536296ec97e961.rmeta: crates/lutmap/src/lib.rs
+
+crates/lutmap/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sbm_sat-ee30524736c92eea.d: crates/sat/src/lib.rs crates/sat/src/cnf.rs crates/sat/src/equiv.rs crates/sat/src/redundancy.rs crates/sat/src/solver.rs crates/sat/src/sweep.rs
+
+/root/repo/target/release/deps/libsbm_sat-ee30524736c92eea.rlib: crates/sat/src/lib.rs crates/sat/src/cnf.rs crates/sat/src/equiv.rs crates/sat/src/redundancy.rs crates/sat/src/solver.rs crates/sat/src/sweep.rs
+
+/root/repo/target/release/deps/libsbm_sat-ee30524736c92eea.rmeta: crates/sat/src/lib.rs crates/sat/src/cnf.rs crates/sat/src/equiv.rs crates/sat/src/redundancy.rs crates/sat/src/solver.rs crates/sat/src/sweep.rs
+
+crates/sat/src/lib.rs:
+crates/sat/src/cnf.rs:
+crates/sat/src/equiv.rs:
+crates/sat/src/redundancy.rs:
+crates/sat/src/solver.rs:
+crates/sat/src/sweep.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/sbm_sop-71a4bb76daecc5bc.d: crates/sop/src/lib.rs crates/sop/src/cover.rs crates/sop/src/divide.rs crates/sop/src/eliminate.rs crates/sop/src/extract.rs crates/sop/src/factor.rs crates/sop/src/isop.rs crates/sop/src/kernel.rs crates/sop/src/network.rs
+
+/root/repo/target/release/deps/libsbm_sop-71a4bb76daecc5bc.rlib: crates/sop/src/lib.rs crates/sop/src/cover.rs crates/sop/src/divide.rs crates/sop/src/eliminate.rs crates/sop/src/extract.rs crates/sop/src/factor.rs crates/sop/src/isop.rs crates/sop/src/kernel.rs crates/sop/src/network.rs
+
+/root/repo/target/release/deps/libsbm_sop-71a4bb76daecc5bc.rmeta: crates/sop/src/lib.rs crates/sop/src/cover.rs crates/sop/src/divide.rs crates/sop/src/eliminate.rs crates/sop/src/extract.rs crates/sop/src/factor.rs crates/sop/src/isop.rs crates/sop/src/kernel.rs crates/sop/src/network.rs
+
+crates/sop/src/lib.rs:
+crates/sop/src/cover.rs:
+crates/sop/src/divide.rs:
+crates/sop/src/eliminate.rs:
+crates/sop/src/extract.rs:
+crates/sop/src/factor.rs:
+crates/sop/src/isop.rs:
+crates/sop/src/kernel.rs:
+crates/sop/src/network.rs:

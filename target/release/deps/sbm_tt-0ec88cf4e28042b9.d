@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/sbm_tt-0ec88cf4e28042b9.d: crates/tt/src/lib.rs crates/tt/src/table.rs
+
+/root/repo/target/release/deps/libsbm_tt-0ec88cf4e28042b9.rlib: crates/tt/src/lib.rs crates/tt/src/table.rs
+
+/root/repo/target/release/deps/libsbm_tt-0ec88cf4e28042b9.rmeta: crates/tt/src/lib.rs crates/tt/src/table.rs
+
+crates/tt/src/lib.rs:
+crates/tt/src/table.rs:

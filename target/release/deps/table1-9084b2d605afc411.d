@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-9084b2d605afc411.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-9084b2d605afc411: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

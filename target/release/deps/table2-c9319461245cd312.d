@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-c9319461245cd312.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-c9319461245cd312: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

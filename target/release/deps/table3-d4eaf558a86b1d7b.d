@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-d4eaf558a86b1d7b.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-d4eaf558a86b1d7b: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

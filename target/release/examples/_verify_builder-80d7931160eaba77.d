@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_verify_builder-80d7931160eaba77.d: examples/_verify_builder.rs
+
+/root/repo/target/release/examples/_verify_builder-80d7931160eaba77: examples/_verify_builder.rs
+
+examples/_verify_builder.rs:

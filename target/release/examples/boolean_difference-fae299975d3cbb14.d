@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/boolean_difference-fae299975d3cbb14.d: examples/boolean_difference.rs
+
+/root/repo/target/release/examples/boolean_difference-fae299975d3cbb14: examples/boolean_difference.rs
+
+examples/boolean_difference.rs:

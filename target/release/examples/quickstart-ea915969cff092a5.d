@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-ea915969cff092a5.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-ea915969cff092a5: examples/quickstart.rs
+
+examples/quickstart.rs:

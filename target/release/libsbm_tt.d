@@ -1,0 +1,1 @@
+/root/repo/target/release/libsbm_tt.rlib: /root/repo/crates/tt/src/lib.rs /root/repo/crates/tt/src/table.rs

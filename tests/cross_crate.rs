@@ -3,7 +3,7 @@
 
 use sbm::asic::designs::industrial_designs;
 use sbm::asic::mapping::map_to_cells;
-use sbm::core::hetero::{hetero_eliminate_kernel, HeteroOptions};
+use sbm::core::engine::{Engine, Hetero, OptContext};
 use sbm::epfl::{generate, Scale};
 use sbm::sat::equiv::{check_equivalence, EquivResult};
 use sbm::sop::SopNetwork;
@@ -28,7 +28,7 @@ fn hetero_engine_on_decoder_logic() {
     // factors between very wide operators appearing in HDL descriptions
     // of decoders and control logic".
     let aig = generate("dec", Scale::Reduced).expect("known benchmark");
-    let (optimized, _) = hetero_eliminate_kernel(&aig, &HeteroOptions::default());
+    let optimized = Hetero::default().run(&aig, &mut OptContext::default()).aig;
     assert!(optimized.num_ands() <= aig.num_ands());
     assert_eq!(
         check_equivalence(&aig, &optimized, None),
