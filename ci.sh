@@ -1,19 +1,41 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints on the core crate, release build and
-# the tier-1 test suite. Run from the repo root before pushing.
+# Local CI gate: formatting, the strict lint regime over the whole
+# workspace, release build and the full test suite (including the
+# sbm-check invariant tests). Run from the repo root before pushing.
+#
+# Usage: ci.sh [--quick]
+#   --quick   skip the release build (lints + debug tests only)
 set -euo pipefail
 cd "$(dirname "$0")"
+
+quick=0
+for arg in "$@"; do
+    case "$arg" in
+    --quick) quick=1 ;;
+    *)
+        echo "unknown argument: $arg (usage: ci.sh [--quick])" >&2
+        exit 2
+        ;;
+    esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> cargo clippy -p sbm-core (-D warnings)"
-cargo clippy -p sbm-core --all-targets -- -D warnings
+echo "==> cargo clippy --workspace (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo build --release"
-cargo build --workspace --release
+if [[ $quick -eq 0 ]]; then
+    echo "==> cargo build --release"
+    cargo build --workspace --release
+else
+    echo "==> skipping release build (--quick)"
+fi
 
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> cargo test -p sbm-check"
+cargo test -q -p sbm-check
 
 echo "CI OK"

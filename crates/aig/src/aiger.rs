@@ -92,6 +92,12 @@ pub fn parse(src: &str) -> Result<Aig, ParseAigerError> {
     if l != 0 {
         return Err(ParseAigerError::HasLatches);
     }
+    // Node handles are 31-bit (literal = id << 1 in a u32); a larger
+    // declared maximum cannot be represented — and would overflow the
+    // `m + 1` allocation below before any line is read.
+    if m >= u64::from(u32::MAX >> 1) || i.checked_add(a).is_none_or(|s| s > m) {
+        return Err(ParseAigerError::BadHeader(header.to_string()));
+    }
 
     let mut aig = Aig::new();
     // AIGER variable -> our literal (positive phase).
@@ -326,7 +332,7 @@ pub fn parse_binary(data: &[u8]) -> Result<Aig, ParseAigerError> {
     if l != 0 {
         return Err(ParseAigerError::HasLatches);
     }
-    if m != i + a {
+    if i.checked_add(a) != Some(m) || m >= u64::from(u32::MAX >> 1) {
         return Err(ParseAigerError::BadHeader(header.to_string()));
     }
     let mut pos = newline + 1;

@@ -136,7 +136,7 @@ pub fn enumerate_cuts(aig: &Aig, options: CutOptions) -> HashMap<NodeId, Vec<Cut
                 }
             }
         }
-        merged.sort_by_key(|c| c.size());
+        merged.sort_by_key(Cut::size);
         merged.truncate(options.max_cuts.saturating_sub(1));
         merged.push(Cut::trivial(id));
         cuts.insert(id, merged);

@@ -559,6 +559,62 @@ impl Aig {
         }
         support.into_iter().collect()
     }
+
+    // ------------------------------------------------------------------
+    // Raw introspection — used by `sbm-check` to validate the structural
+    // invariants without going through the resolving accessors (which
+    // would loop forever on a corrupted replacement map).
+    // ------------------------------------------------------------------
+
+    /// Whether `id` is the constant node.
+    pub fn is_const_node(&self, id: NodeId) -> bool {
+        matches!(self.nodes.get(id.index()), Some(Node::Const))
+    }
+
+    /// The fanin literals of AND node `id` exactly as stored — **no**
+    /// replacement resolution. `None` for constants, inputs and
+    /// out-of-range ids.
+    pub fn raw_fanins(&self, id: NodeId) -> Option<(Lit, Lit)> {
+        match self.nodes.get(id.index()) {
+            Some(Node::And(a, b)) => Some((*a, *b)),
+            _ => None,
+        }
+    }
+
+    /// The pending replacement entries (`old` node → `new` literal), in
+    /// unspecified order. Entries are raw: the `new` literal may itself
+    /// be replaced.
+    pub fn replacements(&self) -> impl Iterator<Item = (NodeId, Lit)> + '_ {
+        self.repl.iter().map(|(&n, &l)| (n, l))
+    }
+
+    /// The strash-table entries (canonically ordered fanin pair → node),
+    /// in unspecified order.
+    pub fn strash_entries(&self) -> impl Iterator<Item = ((Lit, Lit), NodeId)> + '_ {
+        self.strash.iter().map(|(&k, &v)| (k, v))
+    }
+
+    // ------------------------------------------------------------------
+    // Corruption injectors — bypass the constructors' canonicity
+    // maintenance so `sbm-check` tests can seed known-bad structures.
+    // Never called by the optimization engines.
+    // ------------------------------------------------------------------
+
+    /// Test-support: appends an AND node verbatim, bypassing strashing,
+    /// the one-level rules and replacement resolution.
+    #[doc(hidden)]
+    pub fn corrupt_push_raw_and(&mut self, a: Lit, b: Lit) -> Lit {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::And(a, b));
+        Lit::new(id, false)
+    }
+
+    /// Test-support: records the redirection `old → new` verbatim,
+    /// bypassing the combinational-cycle check.
+    #[doc(hidden)]
+    pub fn corrupt_force_replace(&mut self, old: NodeId, new: Lit) {
+        self.repl.insert(old, new);
+    }
 }
 
 #[cfg(test)]

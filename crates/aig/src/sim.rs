@@ -78,7 +78,7 @@ impl Signatures {
     /// lengths.
     pub fn with_input_words(aig: &Aig, inputs: &[Vec<u64>]) -> Self {
         assert_eq!(inputs.len(), aig.num_inputs());
-        let words_per_node = inputs.first().map_or(1, |v| v.len());
+        let words_per_node = inputs.first().map_or(1, Vec::len);
         assert!(inputs.iter().all(|v| v.len() == words_per_node));
         let mut values = vec![0u64; aig.num_nodes() * words_per_node];
         for (i, node) in aig.inputs().iter().enumerate() {

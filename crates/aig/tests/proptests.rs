@@ -1,3 +1,7 @@
+// Test code: a panic IS the failure report (clippy.toml only relaxes
+// unwrap/expect inside #[test] fns, not test-file helpers).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 //! Property tests: random AIGs must survive cleanup, AIGER round-trips,
 //! partitioning and simulation with their function intact.
 

@@ -69,7 +69,7 @@ fn build_design(index: usize) -> Design {
     outputs.push(carry);
     if rng.next() & 1 == 1 {
         let mw = rng.range(4, 8);
-        let product = words::multiply(&mut aig, &a[..mw].to_vec(), &b[..mw].to_vec());
+        let product = words::multiply(&mut aig, &a[..mw], &b[..mw]);
         outputs.extend(product);
     }
 

@@ -93,7 +93,7 @@ pub fn run_flow_threaded(aig: &Aig, kind: FlowKind, num_threads: usize) -> FlowR
     };
     let netlist = map_to_cells(&optimized);
     let area = netlist.area();
-    let dyn_power = dynamic_power(&netlist, 8, 0xD15E_A5E);
+    let dyn_power = dynamic_power(&netlist, 8, 0x0D15_EA5E);
     let timing = analyze(&netlist, f64::MAX);
     let runtime = start.elapsed().as_secs_f64();
     FlowRun {

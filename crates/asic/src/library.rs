@@ -95,6 +95,8 @@ mod tests {
     use super::*;
 
     #[test]
+    // Sanity-checking library constants is the point of this test.
+    #[allow(clippy::assertions_on_constants)]
     fn xor_costs_more_than_and() {
         assert!(XOR2.area > AND2.area);
         assert!(XOR2.delay > AND2.delay);

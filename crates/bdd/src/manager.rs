@@ -30,6 +30,14 @@ impl Bdd {
     pub fn is_const(self) -> bool {
         self.0 <= 1
     }
+
+    /// Test-support: fabricates a handle from a raw index, with no
+    /// guarantee a node exists there. Used by `sbm-check` fixtures to
+    /// seed dangling edges.
+    #[doc(hidden)]
+    pub fn from_raw_index(index: usize) -> Bdd {
+        Bdd(index as u32)
+    }
 }
 
 /// Error raised by BDD operations.
@@ -592,6 +600,71 @@ impl BddManager {
             stack.push((n.lo, false));
             stack.push((n.hi, false));
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Raw introspection — used by `sbm-check` to validate reducedness,
+    // variable ordering and unique-table consistency from outside.
+    // ------------------------------------------------------------------
+
+    /// The `(var, lo, hi)` triple of decision node `b`; `None` for the
+    /// two terminals and out-of-range handles.
+    pub fn node_triple(&self, b: Bdd) -> Option<(usize, Bdd, Bdd)> {
+        if b.is_const() {
+            return None;
+        }
+        self.nodes
+            .get(b.index())
+            .map(|n| (n.var as usize, n.lo, n.hi))
+    }
+
+    /// The unique-table entries (`(var, lo, hi)` → handle), in
+    /// unspecified order.
+    pub fn unique_entries(&self) -> impl Iterator<Item = ((usize, Bdd, Bdd), Bdd)> + '_ {
+        self.unique
+            .iter()
+            .map(|(n, &b)| ((n.var as usize, n.lo, n.hi), b))
+    }
+
+    /// Number of unique-table entries.
+    pub fn unique_len(&self) -> usize {
+        self.unique.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Corruption injectors — bypass the unique table and the reduction
+    // rule so `sbm-check` tests can seed known-bad structures. Never
+    // called by the BDD operations.
+    // ------------------------------------------------------------------
+
+    /// Test-support: appends the decision node `(var, lo, hi)` verbatim
+    /// (no reduction, no unique-table lookup) and registers it in the
+    /// unique table.
+    #[doc(hidden)]
+    pub fn corrupt_push_raw_node(&mut self, var: usize, lo: Bdd, hi: Bdd) -> Bdd {
+        let node = Node {
+            var: var as u32,
+            lo,
+            hi,
+        };
+        let b = Bdd(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, b);
+        b
+    }
+
+    /// Test-support: inserts a raw unique-table entry, possibly stale
+    /// (pointing at a handle with no backing node) or mismatched.
+    #[doc(hidden)]
+    pub fn corrupt_insert_unique(&mut self, var: usize, lo: Bdd, hi: Bdd, handle: Bdd) {
+        self.unique.insert(
+            Node {
+                var: var as u32,
+                lo,
+                hi,
+            },
+            handle,
+        );
     }
 }
 

@@ -1,3 +1,7 @@
+// Test code: a panic IS the failure report (clippy.toml only relaxes
+// unwrap/expect inside #[test] fns, not test-file helpers).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 //! Property tests: BDD operations must agree with truth-table evaluation,
 //! and canonicity must equate equal functions.
 

@@ -1,3 +1,7 @@
+// Benchmark harness, not library code: setup failures may panic, so the
+// workspace unwrap/expect denial is relaxed here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 //! Criterion benchmarks for the four SBM engines plus the baseline
 //! script, on EPFL-style workloads (reduced scale).
 
@@ -17,13 +21,13 @@ fn bench_engines(c: &mut Criterion) {
     group.sample_size(10);
     for (name, aig) in &workloads {
         group.bench_function(format!("bdiff/{name}"), |b| {
-            b.iter(|| Bdiff::default().run(aig, &mut OptContext::default()))
+            b.iter(|| Bdiff::default().run(aig, &mut OptContext::default()));
         });
         group.bench_function(format!("mspf/{name}"), |b| {
-            b.iter(|| Mspf::default().run(aig, &mut OptContext::default()))
+            b.iter(|| Mspf::default().run(aig, &mut OptContext::default()));
         });
         group.bench_function(format!("hetero/{name}"), |b| {
-            b.iter(|| Hetero::default().run(aig, &mut OptContext::default()))
+            b.iter(|| Hetero::default().run(aig, &mut OptContext::default()));
         });
         group.bench_function(format!("gradient/{name}"), |b| {
             let engine = Gradient {
@@ -33,7 +37,7 @@ fn bench_engines(c: &mut Criterion) {
                     ..Default::default()
                 },
             };
-            b.iter(|| engine.run(aig, &mut OptContext::default()))
+            b.iter(|| engine.run(aig, &mut OptContext::default()));
         });
         group.bench_function(format!("resyn2rs/{name}"), |b| b.iter(|| resyn2rs(aig)));
     }

@@ -1,3 +1,7 @@
+// Benchmark harness, not library code: setup failures may panic, so the
+// workspace unwrap/expect denial is relaxed here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 //! Ablation of the gradient engine (DESIGN.md E6): the paper's best
 //! parameters are budget = 100, k = 20, minimum gain gradient = 3%, with
 //! the waterfall selection model as "a good tradeoff between runtime and
@@ -34,7 +38,7 @@ fn bench_selection_models(c: &mut Criterion) {
             result.stats.accepted
         );
         group.bench_function(label, |b| {
-            b.iter(|| engine.run(&aig, &mut OptContext::default()))
+            b.iter(|| engine.run(&aig, &mut OptContext::default()));
         });
     }
     group.finish();
@@ -60,7 +64,7 @@ fn bench_budgets(c: &mut Criterion) {
             out.num_ands()
         );
         group.bench_function(format!("budget_{budget}"), |b| {
-            b.iter(|| engine.run(&aig, &mut OptContext::default()))
+            b.iter(|| engine.run(&aig, &mut OptContext::default()));
         });
     }
     group.finish();

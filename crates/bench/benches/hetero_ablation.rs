@@ -1,3 +1,7 @@
+// Benchmark harness, not library code: setup failures may panic, so the
+// workspace unwrap/expect denial is relaxed here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 //! Ablation of heterogeneous vs homogeneous elimination (DESIGN.md E7):
 //! the paper's point is that sweeping the threshold ladder
 //! `(-1, 2, 5, 20, 50, 100, 200, 300)` per partition and keeping the best
@@ -30,7 +34,7 @@ fn bench_hetero_vs_homogeneous(c: &mut Criterion) {
             out.num_ands()
         );
         group.bench_function(format!("homogeneous_{t}"), |b| {
-            b.iter(|| engine.run(&aig, &mut OptContext::default()))
+            b.iter(|| engine.run(&aig, &mut OptContext::default()));
         });
     }
     // Heterogeneous: the full ladder, best per partition.
@@ -44,7 +48,7 @@ fn bench_hetero_vs_homogeneous(c: &mut Criterion) {
         result.stats.accepted
     );
     group.bench_function("heterogeneous", |b| {
-        b.iter(|| engine.run(&aig, &mut OptContext::default()))
+        b.iter(|| engine.run(&aig, &mut OptContext::default()));
     });
     group.finish();
 }
@@ -56,7 +60,7 @@ fn bench_parallel_vs_sequential(c: &mut Criterion) {
     for (label, threads) in [("parallel", 8), ("sequential", 1)] {
         let engine = Hetero::default();
         group.bench_function(label, |b| {
-            b.iter(|| engine.run(&aig, &mut OptContext::with_threads(threads)))
+            b.iter(|| engine.run(&aig, &mut OptContext::with_threads(threads)));
         });
     }
     group.finish();

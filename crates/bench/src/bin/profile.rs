@@ -1,3 +1,7 @@
+// A CLI driver, not library code: aborting with a message is the intended
+// error path, so the workspace unwrap/expect denial is relaxed here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 //! Per-stage wall-clock profile of the SBM script on one benchmark —
 //! the development aid behind the "contained runtime cost" tuning.
 //!

@@ -1,3 +1,7 @@
+// A CLI driver, not library code: aborting with a message is the intended
+// error path, so the workspace unwrap/expect denial is relaxed here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 //! Regenerates **Table I** — "New Best Area Results For The EPFL Suite".
 //!
 //! For each benchmark the paper improved, this binary optimizes the
@@ -7,7 +11,10 @@
 //! *shape*: the SBM flow's LUT-6 area beats (or ties) the baseline on
 //! these benchmarks.
 //!
-//! Usage: `table1 [--full] [--threads N]` (default: reduced scale, serial).
+//! Usage: `table1 [--full] [--threads N] [--check off|boundaries|paranoid]`
+//! (default: reduced scale, serial, unchecked). Checked runs validate the
+//! structural invariants of every intermediate network (see `sbm-check`)
+//! and list any violation after the table.
 
 use sbm_core::pipeline::PipelineReport;
 use sbm_core::script::{resyn2rs_fixpoint, sbm_script_report, SbmOptions};
@@ -23,13 +30,18 @@ const TABLE1: [&str; 12] = [
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let threads = sbm_bench::threads_arg();
+    let check = sbm_bench::check_arg();
     let scale = if full { Scale::Full } else { Scale::Reduced };
     let options = SbmOptions::builder()
         .num_threads(threads)
+        .check_level(check)
         .build()
         .expect("valid options");
     println!("Table I — New Best Area Results For The EPFL Suite (LUT-6)");
-    println!("scale: {scale:?}, threads: {threads}  (paper sizes with --full; see EXPERIMENTS.md)");
+    println!(
+        "scale: {scale:?}, threads: {threads}, check: {check}  \
+         (paper sizes with --full; see EXPERIMENTS.md)"
+    );
     println!();
     println!(
         "{:<12} {:>9} | {:>9} {:>7} | {:>9} {:>7} | {:>8} {:>9}",
@@ -66,6 +78,20 @@ fn main() {
     if threads > 1 {
         println!();
         println!("{pipeline_report}");
+    }
+    if check.at_boundaries() {
+        println!();
+        if pipeline_report.check_violations.is_empty() {
+            println!("invariant checks ({check}): clean");
+        } else {
+            println!(
+                "invariant checks ({check}): {} VIOLATION(S)",
+                pipeline_report.check_violations.len()
+            );
+            for v in &pipeline_report.check_violations {
+                println!("  {v}");
+            }
+        }
     }
     println!();
     println!("paper reference (full scale): arbiter 365/117, div 3267/1211, i2c 207/15,");

@@ -7,6 +7,7 @@
 //! cover runtime behaviour and the ablations called out in `DESIGN.md`.
 
 use sbm_aig::Aig;
+use sbm_check::CheckLevel;
 use sbm_sat::equiv::{check_equivalence, EquivResult};
 
 /// Verifies optimization results the way the paper does ("verified with
@@ -51,6 +52,26 @@ pub fn threads_arg() -> usize {
         }
     }
     1
+}
+
+/// Parses the shared `--check off|boundaries|paranoid` CLI argument of
+/// the table binaries (default `off`). An unrecognized level aborts with
+/// a usage message rather than silently running unchecked.
+pub fn check_arg() -> CheckLevel {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--check" {
+            let Some(value) = args.next() else {
+                eprintln!("--check needs a level: off | boundaries | paranoid");
+                std::process::exit(2);
+            };
+            return value.parse().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
+        }
+    }
+    CheckLevel::Off
 }
 
 /// Formats a ratio as the paper's "-x.xx%" convention.

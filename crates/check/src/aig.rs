@@ -1,0 +1,413 @@
+//! AIG structural invariants: acyclicity, topological order, strash
+//! canonicity and one-level-rule canonicity.
+
+use std::collections::{HashMap, HashSet};
+
+use sbm_aig::{Aig, Lit, NodeId};
+
+use crate::{CheckCode, CheckError};
+
+/// Fabricates the [`NodeId`] with raw index `i` (node ids are only
+/// constructed by the graph itself; the checker walks by index).
+fn nid(i: usize) -> NodeId {
+    Lit::from_code((i as u32) << 1).node()
+}
+
+/// Validates every structural invariant of an [`Aig`].
+///
+/// The checks run in dependency order — each one only relies on
+/// structure already validated by its predecessors, so the checker never
+/// panics or loops on a corrupted graph:
+///
+/// 1. **Replacement map** ([`CheckCode::AigBadReplacement`],
+///    [`CheckCode::AigCyclicRedirect`]): every redirected node is an
+///    allocated AND gate, every target literal is in range, and
+///    redirection chains terminate. Validated first because every
+///    resolving accessor (`outputs`, `fanins`, …) follows this map and
+///    would spin forever on a redirect cycle.
+/// 2. **Raw fanins** ([`CheckCode::AigDanglingFanin`],
+///    [`CheckCode::AigFaninOrder`]): stored fanin literals point at
+///    allocated nodes that strictly precede their gate — the append-only
+///    topological order.
+/// 3. **One-level canonicity** ([`CheckCode::AigNotCanonical`]): no
+///    stored pair has a constant, equal or complementary fanins, or an
+///    unordered `(a, b)` — exactly the rules [`Aig::and`] applies.
+/// 4. **Resolved acyclicity** ([`CheckCode::AigCombinationalCycle`]):
+///    the graph remains a DAG after redirections are resolved (raw order
+///    alone cannot guarantee this — a replacement may point a low node
+///    at logic built later).
+/// 5. **Strash canonicity** ([`CheckCode::AigStrashMismatch`],
+///    [`CheckCode::AigStrashDuplicate`]): every strash-table entry
+///    agrees with the node it interns, and no two live, unredirected
+///    gates share the same resolved fanin pair.
+/// 6. **Outputs** ([`CheckCode::AigDanglingOutput`]): every resolved
+///    output literal points at an allocated node.
+///
+/// Returns the first violation found.
+///
+/// # Errors
+///
+/// The violated invariant as a [`CheckError`], per the list above.
+pub fn check_aig(aig: &Aig) -> Result<(), CheckError> {
+    let n = aig.num_nodes();
+    check_replacements(aig, n)?;
+    check_raw_structure(aig, n)?;
+    check_resolved_acyclic(aig, n)?;
+    check_strash(aig, n)?;
+    for (i, lit) in aig.outputs().into_iter().enumerate() {
+        if lit.node().index() >= n {
+            return Err(CheckError::global(
+                CheckCode::AigDanglingOutput,
+                format!("output {i} is {lit} but only {n} nodes are allocated"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Step 1: the replacement map must be well-formed and acyclic.
+fn check_replacements(aig: &Aig, n: usize) -> Result<(), CheckError> {
+    let repl: HashMap<NodeId, Lit> = aig.replacements().collect();
+    for (&old, &new) in &repl {
+        if old.index() >= n || aig.raw_fanins(old).is_none() {
+            return Err(CheckError::at(
+                CheckCode::AigBadReplacement,
+                old.index() as u64,
+                "replacement source is not an allocated AND gate",
+            ));
+        }
+        if new.node().index() >= n {
+            return Err(CheckError::at(
+                CheckCode::AigBadReplacement,
+                old.index() as u64,
+                format!("replacement target {new} is out of range ({n} nodes)"),
+            ));
+        }
+    }
+    // Chains must terminate: follow each redirect to its end, memoizing
+    // nodes already known to reach a live literal.
+    let mut terminates: HashSet<NodeId> = HashSet::new();
+    for &start in repl.keys() {
+        let mut path = Vec::new();
+        let mut on_path: HashSet<NodeId> = HashSet::new();
+        let mut cur = start;
+        loop {
+            if terminates.contains(&cur) {
+                break;
+            }
+            if !on_path.insert(cur) {
+                return Err(CheckError::at(
+                    CheckCode::AigCyclicRedirect,
+                    start.index() as u64,
+                    format!("redirection chain revisits node {}", cur.index()),
+                ));
+            }
+            path.push(cur);
+            match repl.get(&cur) {
+                Some(l) => cur = l.node(),
+                None => break,
+            }
+        }
+        terminates.extend(path);
+    }
+    Ok(())
+}
+
+/// Steps 2–3: stored fanins are in range, strictly preceding, and
+/// one-level canonical.
+fn check_raw_structure(aig: &Aig, n: usize) -> Result<(), CheckError> {
+    for i in 0..n {
+        let Some((a, b)) = aig.raw_fanins(nid(i)) else {
+            continue;
+        };
+        for f in [a, b] {
+            if f.node().index() >= n {
+                return Err(CheckError::at(
+                    CheckCode::AigDanglingFanin,
+                    i as u64,
+                    format!("fanin {f} is out of range ({n} nodes)"),
+                ));
+            }
+            if f.node().index() >= i {
+                return Err(CheckError::at(
+                    CheckCode::AigFaninOrder,
+                    i as u64,
+                    format!("fanin {f} does not precede its gate"),
+                ));
+            }
+        }
+        if a.is_const() || b.is_const() {
+            return Err(CheckError::at(
+                CheckCode::AigNotCanonical,
+                i as u64,
+                format!("constant fanin in ({a}, {b}) — the one-level rules eliminate these"),
+            ));
+        }
+        if a.node() == b.node() {
+            return Err(CheckError::at(
+                CheckCode::AigNotCanonical,
+                i as u64,
+                format!("fanins ({a}, {b}) share a node — x·x and x·x̄ must not be materialized"),
+            ));
+        }
+        if a > b {
+            return Err(CheckError::at(
+                CheckCode::AigNotCanonical,
+                i as u64,
+                format!("fanin pair ({a}, {b}) is not in canonical order"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Step 4: DFS over resolved fanin edges — a gray-edge hit is a
+/// combinational cycle. Replaced nodes are not part of the resolved
+/// graph (nothing evaluates them), so they are skipped as roots and
+/// never reached as edges (edges are resolved).
+fn check_resolved_acyclic(aig: &Aig, n: usize) -> Result<(), CheckError> {
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut color = vec![WHITE; n];
+    for root in 0..n {
+        if color[root] != WHITE || aig.is_replaced(nid(root)) {
+            continue;
+        }
+        let mut stack = vec![(root, false)];
+        while let Some((v, expanded)) = stack.pop() {
+            if expanded {
+                color[v] = BLACK;
+                continue;
+            }
+            if color[v] != WHITE {
+                continue;
+            }
+            color[v] = GRAY;
+            stack.push((v, true));
+            let Some((a, b)) = aig.raw_fanins(nid(v)) else {
+                continue;
+            };
+            for f in [a, b] {
+                let r = aig.resolve(f).node().index();
+                match color[r] {
+                    GRAY => {
+                        return Err(CheckError::at(
+                            CheckCode::AigCombinationalCycle,
+                            v as u64,
+                            format!("resolved fanin {f} reaches back into node {v}'s cone"),
+                        ));
+                    }
+                    WHITE => stack.push((r, false)),
+                    _ => {}
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Step 5: the strash table agrees with the node vector, and resolved
+/// fanin pairs of unredirected gates are pairwise distinct.
+fn check_strash(aig: &Aig, n: usize) -> Result<(), CheckError> {
+    for ((a, b), id) in aig.strash_entries() {
+        if id.index() >= n || aig.raw_fanins(id) != Some((a, b)) {
+            return Err(CheckError::at(
+                CheckCode::AigStrashMismatch,
+                id.index() as u64,
+                format!("strash entry ({a}, {b}) does not match the node it interns"),
+            ));
+        }
+    }
+    let mut seen: HashMap<(Lit, Lit), usize> = HashMap::new();
+    for i in 0..n {
+        let id = nid(i);
+        if aig.is_replaced(id) {
+            continue;
+        }
+        let Some((a, b)) = aig.raw_fanins(id) else {
+            continue;
+        };
+        let (ra, rb) = (aig.resolve(a), aig.resolve(b));
+        let (ra, rb) = if ra <= rb { (ra, rb) } else { (rb, ra) };
+        // A pair that resolved to a degenerate form (constant or shared
+        // node) is transitional dead logic awaiting cleanup, not a
+        // strash violation.
+        if ra.is_const() || ra.node() == rb.node() {
+            continue;
+        }
+        if let Some(&other) = seen.get(&(ra, rb)) {
+            return Err(CheckError::at(
+                CheckCode::AigStrashDuplicate,
+                i as u64,
+                format!("resolved fanin pair ({ra}, {rb}) duplicates node {other}"),
+            ));
+        }
+        seen.insert((ra, rb), i);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// maj3 + xor over three inputs: a small but non-trivial valid AIG.
+    fn sample() -> (Aig, Lit, Lit, Lit) {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let m = aig.maj3(a, b, c);
+        let x = aig.xor(a, c);
+        aig.add_output(m);
+        aig.add_output(!x);
+        (aig, a, b, c)
+    }
+
+    #[test]
+    fn valid_aig_passes() {
+        let (aig, ..) = sample();
+        check_aig(&aig).unwrap();
+        check_aig(&aig.cleanup()).unwrap();
+        check_aig(&Aig::new()).unwrap();
+    }
+
+    #[test]
+    fn valid_after_replace() {
+        let (mut aig, a, b, _) = sample();
+        let ab = aig.and(a, b);
+        aig.replace(ab.node(), a).unwrap();
+        check_aig(&aig).unwrap();
+    }
+
+    #[test]
+    fn detects_cyclic_redirect() {
+        let (mut aig, a, b, c) = sample();
+        let ab = aig.and(a, b);
+        let bc = aig.and(b, c);
+        aig.corrupt_force_replace(ab.node(), bc);
+        aig.corrupt_force_replace(bc.node(), ab);
+        let err = check_aig(&aig).unwrap_err();
+        assert_eq!(err.code, CheckCode::AigCyclicRedirect);
+        assert_eq!(err.code.as_str(), "aig-cyclic-redirect");
+    }
+
+    #[test]
+    fn detects_self_redirect() {
+        let (mut aig, a, b, _) = sample();
+        let ab = aig.and(a, b);
+        aig.corrupt_force_replace(ab.node(), !ab);
+        let err = check_aig(&aig).unwrap_err();
+        assert_eq!(err.code, CheckCode::AigCyclicRedirect);
+    }
+
+    #[test]
+    fn detects_bad_replacement_source() {
+        let (mut aig, a, b, _) = sample();
+        // Redirecting an input is forbidden.
+        aig.corrupt_force_replace(a.node(), b);
+        let err = check_aig(&aig).unwrap_err();
+        assert_eq!(err.code, CheckCode::AigBadReplacement);
+    }
+
+    #[test]
+    fn detects_dangling_replacement_target() {
+        let (mut aig, a, b, _) = sample();
+        let ab = aig.and(a, b);
+        let dangling = Lit::from_code(9999 << 1);
+        aig.corrupt_force_replace(ab.node(), dangling);
+        let err = check_aig(&aig).unwrap_err();
+        assert_eq!(err.code, CheckCode::AigBadReplacement);
+    }
+
+    #[test]
+    fn detects_dangling_fanin() {
+        let (mut aig, a, ..) = sample();
+        let dangling = Lit::from_code(9999 << 1 | 1);
+        aig.corrupt_push_raw_and(a, dangling);
+        let err = check_aig(&aig).unwrap_err();
+        assert_eq!(err.code, CheckCode::AigDanglingFanin);
+        assert_eq!(err.code.as_str(), "aig-dangling-fanin");
+    }
+
+    #[test]
+    fn detects_fanin_order_violation() {
+        let (mut aig, a, ..) = sample();
+        // Node referring to itself: stored fanin does not precede it.
+        let next = Lit::from_code((aig.num_nodes() as u32) << 1);
+        aig.corrupt_push_raw_and(a, next);
+        let err = check_aig(&aig).unwrap_err();
+        assert_eq!(err.code, CheckCode::AigFaninOrder);
+    }
+
+    #[test]
+    fn detects_non_canonical_pairs() {
+        for (make, what) in [
+            (
+                (|aig: &mut Aig, a: Lit, _b: Lit| aig.corrupt_push_raw_and(a, Lit::TRUE))
+                    as fn(&mut Aig, Lit, Lit) -> Lit,
+                "constant fanin",
+            ),
+            (|aig, a, _b| aig.corrupt_push_raw_and(a, a), "x·x"),
+            (|aig, a, _b| aig.corrupt_push_raw_and(a, !a), "x·x̄"),
+            (|aig, a, b| aig.corrupt_push_raw_and(b, a), "unordered"),
+        ] {
+            let (mut aig, a, b, _) = sample();
+            make(&mut aig, a, b);
+            let err = check_aig(&aig).unwrap_err();
+            assert_eq!(err.code, CheckCode::AigNotCanonical, "case: {what}");
+        }
+    }
+
+    #[test]
+    fn detects_combinational_cycle() {
+        let (mut aig, a, b, c) = sample();
+        // n_low = a·b; n_high = n_low·c; redirect n_low → n_high: n_high's
+        // resolved fanin now reaches back into itself.
+        let low = aig.and(a, b);
+        let high = aig.and(low, c);
+        aig.corrupt_force_replace(low.node(), high);
+        let err = check_aig(&aig).unwrap_err();
+        assert_eq!(err.code, CheckCode::AigCombinationalCycle);
+        assert_eq!(err.code.as_str(), "aig-combinational-cycle");
+    }
+
+    #[test]
+    fn detects_strash_duplicate() {
+        let (mut aig, a, b, _) = sample();
+        let _canonical = aig.and(a, b);
+        aig.corrupt_push_raw_and(a, b);
+        let err = check_aig(&aig).unwrap_err();
+        assert_eq!(err.code, CheckCode::AigStrashDuplicate);
+        assert_eq!(err.code.as_str(), "aig-strash-duplicate");
+    }
+
+    #[test]
+    fn detects_duplicate_via_redirection() {
+        // Two distinct raw pairs that resolve to the same pair once `cb`
+        // is redirected to `ab`.
+        let (mut aig, a, b, c) = sample();
+        let ab = aig.and(a, b);
+        let cb = aig.and(c, b);
+        let f1 = aig.and(ab, c);
+        let _f2 = aig.and(cb, c);
+        aig.add_output(f1);
+        aig.replace(cb.node(), ab).unwrap();
+        let err = check_aig(&aig).unwrap_err();
+        assert_eq!(err.code, CheckCode::AigStrashDuplicate);
+    }
+
+    #[test]
+    fn degenerate_resolved_pairs_are_tolerated() {
+        // Legal `replace` can make a live pair resolve to x·x̄ (dead logic
+        // awaiting cleanup); that must not be flagged.
+        let (mut aig, a, b, _) = sample();
+        let ab = aig.and(a, b);
+        let f = aig.and(ab, !a);
+        aig.add_output(f);
+        aig.replace(ab.node(), a).unwrap(); // f's pair resolves to (a, !a)
+        check_aig(&aig).unwrap();
+        check_aig(&aig.cleanup()).unwrap();
+    }
+}

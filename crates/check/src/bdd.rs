@@ -1,0 +1,252 @@
+//! ROBDD invariants: variable order, reduction and unique-table
+//! consistency.
+
+use sbm_bdd::{Bdd, BddManager};
+
+use crate::{CheckCode, CheckError};
+
+/// Validates every structural invariant of a [`BddManager`].
+///
+/// Canonicity of the ROBDD representation — handle equality iff
+/// functional equality, which the Boolean-difference engine relies on —
+/// rests on three properties, all checked here:
+///
+/// 1. **Well-formed nodes**: every decision node's variable lies below
+///    `num_vars` ([`CheckCode::BddVarOutOfRange`]) and both children
+///    point at allocated nodes ([`CheckCode::BddDanglingEdge`]).
+/// 2. **Ordered and reduced**: a child's variable is strictly greater
+///    than its parent's ([`CheckCode::BddVariableOrder`]) and no node
+///    has equal children ([`CheckCode::BddNotReduced`]).
+/// 3. **Unique-table consistency**: every table entry points at an
+///    allocated decision node ([`CheckCode::BddStaleUniqueEntry`], the
+///    signature of a reset that forgot to clear the table) whose triple
+///    matches the key ([`CheckCode::BddUniqueMismatch`]), and every
+///    decision node is present in the table — otherwise a duplicate
+///    could be interned ([`CheckCode::BddMissingUniqueEntry`]).
+///
+/// Returns the first violation found.
+///
+/// # Errors
+///
+/// The violated invariant as a [`CheckError`], per the list above.
+pub fn check_bdd(mgr: &BddManager) -> Result<(), CheckError> {
+    // Handles 0 and 1 are the terminals; decision nodes start at raw
+    // index 2.
+    let total = mgr.num_nodes() + 2;
+    for i in 2..total {
+        let handle = Bdd::from_raw_index(i);
+        let Some((var, lo, hi)) = mgr.node_triple(handle) else {
+            continue;
+        };
+        if var >= mgr.num_vars() {
+            return Err(CheckError::at(
+                CheckCode::BddVarOutOfRange,
+                i as u64,
+                format!(
+                    "variable {var} but the manager has {} variables",
+                    mgr.num_vars()
+                ),
+            ));
+        }
+        for child in [lo, hi] {
+            if child.index() >= total {
+                return Err(CheckError::at(
+                    CheckCode::BddDanglingEdge,
+                    i as u64,
+                    format!(
+                        "child handle {} but only {total} nodes are allocated",
+                        child.index()
+                    ),
+                ));
+            }
+        }
+        if lo == hi {
+            return Err(CheckError::at(
+                CheckCode::BddNotReduced,
+                i as u64,
+                format!(
+                    "both children are handle {} — node is redundant",
+                    lo.index()
+                ),
+            ));
+        }
+        for child in [lo, hi] {
+            if let Some((child_var, _, _)) = mgr.node_triple(child) {
+                if child_var <= var {
+                    return Err(CheckError::at(
+                        CheckCode::BddVariableOrder,
+                        i as u64,
+                        format!(
+                            "child {} carries variable {child_var}, not below parent variable {var}",
+                            child.index()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    for ((var, lo, hi), handle) in mgr.unique_entries() {
+        if handle.is_const() || handle.index() >= total {
+            return Err(CheckError::at(
+                CheckCode::BddStaleUniqueEntry,
+                handle.index() as u64,
+                format!(
+                    "unique entry ({var}, {}, {}) points at no decision node",
+                    lo.index(),
+                    hi.index()
+                ),
+            ));
+        }
+        if mgr.node_triple(handle) != Some((var, lo, hi)) {
+            return Err(CheckError::at(
+                CheckCode::BddUniqueMismatch,
+                handle.index() as u64,
+                format!(
+                    "unique entry ({var}, {}, {}) disagrees with the node it interns",
+                    lo.index(),
+                    hi.index()
+                ),
+            ));
+        }
+    }
+    // Every decision node accounted for: with all entries validated
+    // distinct-by-construction (HashMap keys) and pointing at matching
+    // nodes, a size mismatch means some node is missing from the table.
+    if mgr.unique_len() != mgr.num_nodes() {
+        return Err(CheckError::global(
+            CheckCode::BddMissingUniqueEntry,
+            format!(
+                "{} decision nodes but {} unique-table entries",
+                mgr.num_nodes(),
+                mgr.unique_len()
+            ),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A manager holding maj3(x0, x1, x2) — several shared nodes.
+    fn sample() -> (BddManager, Bdd) {
+        let mut mgr = BddManager::new(3);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let c = mgr.var(2);
+        let ab = mgr.and(a, b).unwrap();
+        let ac = mgr.and(a, c).unwrap();
+        let bc = mgr.and(b, c).unwrap();
+        let t = mgr.or(ab, ac).unwrap();
+        let maj = mgr.or(t, bc).unwrap();
+        (mgr, maj)
+    }
+
+    #[test]
+    fn valid_manager_passes() {
+        let (mgr, _) = sample();
+        check_bdd(&mgr).unwrap();
+        check_bdd(&BddManager::new(0)).unwrap();
+    }
+
+    #[test]
+    fn valid_after_reset() {
+        let (mut mgr, _) = sample();
+        mgr.reset(5, 1000);
+        check_bdd(&mgr).unwrap();
+        let x = mgr.var(4);
+        let y = mgr.var(0);
+        mgr.xor(x, y).unwrap();
+        check_bdd(&mgr).unwrap();
+    }
+
+    #[test]
+    fn detects_unreduced_node() {
+        let (mut mgr, f) = sample();
+        mgr.corrupt_push_raw_node(0, f, f);
+        let err = check_bdd(&mgr).unwrap_err();
+        assert_eq!(err.code, CheckCode::BddNotReduced);
+        assert_eq!(err.code.as_str(), "bdd-not-reduced");
+    }
+
+    #[test]
+    fn detects_variable_order_violation() {
+        let (mut mgr, _) = sample();
+        let deep = mgr.var(2);
+        // A node on variable 2 whose child is another variable-2 node
+        // (equal, not strictly below).
+        let child = mgr.corrupt_push_raw_node(2, Bdd::ONE, Bdd::ZERO);
+        mgr.corrupt_push_raw_node(2, deep, child);
+        let err = check_bdd(&mgr).unwrap_err();
+        assert_eq!(err.code, CheckCode::BddVariableOrder);
+    }
+
+    #[test]
+    fn detects_dangling_edge() {
+        let (mut mgr, _) = sample();
+        mgr.corrupt_push_raw_node(0, Bdd::from_raw_index(999), Bdd::ONE);
+        let err = check_bdd(&mgr).unwrap_err();
+        assert_eq!(err.code, CheckCode::BddDanglingEdge);
+    }
+
+    #[test]
+    fn detects_var_out_of_range() {
+        let (mut mgr, _) = sample();
+        mgr.corrupt_push_raw_node(77, Bdd::ZERO, Bdd::ONE);
+        let err = check_bdd(&mgr).unwrap_err();
+        assert_eq!(err.code, CheckCode::BddVarOutOfRange);
+    }
+
+    #[test]
+    fn detects_stale_unique_entry() {
+        let (mut mgr, _) = sample();
+        // The signature of an incomplete reset: an entry pointing past
+        // the truncated node vector.
+        mgr.corrupt_insert_unique(1, Bdd::ZERO, Bdd::ONE, Bdd::from_raw_index(500));
+        let err = check_bdd(&mgr).unwrap_err();
+        assert_eq!(err.code, CheckCode::BddStaleUniqueEntry);
+        assert_eq!(err.code.as_str(), "bdd-stale-unique-entry");
+    }
+
+    #[test]
+    fn detects_unique_mismatch() {
+        let (mut mgr, f) = sample();
+        assert!(!f.is_const());
+        // Key says (2, ZERO, ONE) but the handle's real triple differs.
+        mgr.corrupt_insert_unique(2, Bdd::ZERO, Bdd::ONE, f);
+        let err = check_bdd(&mgr).unwrap_err();
+        assert!(
+            matches!(
+                err.code,
+                CheckCode::BddUniqueMismatch | CheckCode::BddMissingUniqueEntry
+            ),
+            "got {}",
+            err.code
+        );
+    }
+
+    #[test]
+    fn detects_missing_unique_entry() {
+        // `reset` keeps allocations; simulate a manager that lost a
+        // table entry by inserting one fewer entry than nodes. The
+        // cheapest seeding: push a raw node twice with the same triple —
+        // the second insert overwrites the first's table slot, leaving
+        // one node unaccounted for (and a mismatch for the first).
+        let (mut mgr, _) = sample();
+        let n1 = mgr.corrupt_push_raw_node(1, Bdd::ZERO, Bdd::ONE);
+        let _n2 = mgr.corrupt_push_raw_node(1, Bdd::ZERO, Bdd::ONE);
+        // The surviving entry points at n2; n1's triple still matches the
+        // key, so the walk reports the *count* mismatch unless it hits
+        // the overwritten entry first.
+        let err = check_bdd(&mgr).unwrap_err();
+        assert!(
+            matches!(
+                err.code,
+                CheckCode::BddMissingUniqueEntry | CheckCode::BddUniqueMismatch
+            ),
+            "got {} for node {n1:?}",
+            err.code
+        );
+    }
+}

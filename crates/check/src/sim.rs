@@ -1,0 +1,117 @@
+//! Cheap functional spot-check: 64 random patterns through two AIGs.
+
+use sbm_aig::sim::Signatures;
+use sbm_aig::Aig;
+
+use crate::{CheckCode, CheckError};
+
+/// Simulates `a` and `b` under the same 64 random input patterns
+/// (derived from `seed`) and reports the first output where they
+/// disagree.
+///
+/// This is a *necessary* condition for equivalence, not a proof — a
+/// mismatch is a certain miscompile, agreement is only evidence. The
+/// checked pipeline runs it at every [`CheckLevel`](crate::CheckLevel)
+/// at or above `Boundaries` because it costs one linear sweep per
+/// network, roughly as much as a cleanup.
+///
+/// Both graphs must already satisfy [`check_aig`](crate::check_aig);
+/// the caller is expected to validate them first (a corrupted graph can
+/// make simulation loop or panic).
+///
+/// # Errors
+///
+/// [`CheckCode::SimInterfaceMismatch`] if the input/output counts
+/// differ, [`CheckCode::SimMismatch`] naming the first differing output
+/// otherwise.
+pub fn sim_spot_check(a: &Aig, b: &Aig, seed: u64) -> Result<(), CheckError> {
+    if a.num_inputs() != b.num_inputs() || a.num_outputs() != b.num_outputs() {
+        return Err(CheckError::global(
+            CheckCode::SimInterfaceMismatch,
+            format!(
+                "{}→{} vs {}→{} inputs/outputs",
+                a.num_inputs(),
+                a.num_outputs(),
+                b.num_inputs(),
+                b.num_outputs()
+            ),
+        ));
+    }
+    // Identical seed + identical input count ⇒ both networks see the
+    // exact same 64 patterns.
+    let sig_a = Signatures::random(a, 1, seed);
+    let sig_b = Signatures::random(b, 1, seed);
+    for (i, (la, lb)) in a.outputs().into_iter().zip(b.outputs()).enumerate() {
+        let wa = sig_a.lit_word(la, 0);
+        let wb = sig_b.lit_word(lb, 0);
+        if wa != wb {
+            return Err(CheckError::global(
+                CheckCode::SimMismatch,
+                format!(
+                    "output {i} differs on {} of 64 patterns (first at bit {})",
+                    (wa ^ wb).count_ones(),
+                    (wa ^ wb).trailing_zeros()
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Aig {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let m = aig.maj3(a, b, c);
+        let x = aig.xor(a, b);
+        aig.add_output(m);
+        aig.add_output(!x);
+        aig
+    }
+
+    #[test]
+    fn equivalent_networks_pass() {
+        let aig = sample();
+        sim_spot_check(&aig, &aig, 0xC0FFEE).unwrap();
+        sim_spot_check(&aig, &aig.cleanup(), 0xC0FFEE).unwrap();
+        // A structurally different but equivalent form: maj3 via mux.
+        let mut other = Aig::new();
+        let a = other.add_input();
+        let b = other.add_input();
+        let c = other.add_input();
+        let or_bc = other.or(b, c);
+        let and_bc = other.and(b, c);
+        let m = other.mux(a, or_bc, and_bc);
+        let x = other.xor(a, b);
+        other.add_output(m);
+        other.add_output(!x);
+        sim_spot_check(&sample(), &other, 1).unwrap();
+    }
+
+    #[test]
+    fn detects_interface_mismatch() {
+        let aig = sample();
+        let mut narrower = sample();
+        let extra = narrower.input_lit(0);
+        narrower.add_output(extra);
+        let err = sim_spot_check(&aig, &narrower, 7).unwrap_err();
+        assert_eq!(err.code, CheckCode::SimInterfaceMismatch);
+    }
+
+    #[test]
+    fn detects_functional_mismatch() {
+        let aig = sample();
+        let mut wrong = sample();
+        // Flip the second output's phase: a guaranteed mismatch.
+        let outs = wrong.outputs();
+        wrong.set_output(1, !outs[1]);
+        let err = sim_spot_check(&aig, &wrong, 7).unwrap_err();
+        assert_eq!(err.code, CheckCode::SimMismatch);
+        assert_eq!(err.code.as_str(), "sim-mismatch");
+    }
+}

@@ -1,0 +1,302 @@
+//! SOP invariants: cube canonicity, single-cube containment, support
+//! bounds and network acyclicity.
+
+use std::collections::HashMap;
+
+use sbm_sop::{Cover, Cube, SopNetwork};
+
+use crate::{CheckCode, CheckError};
+
+/// Validates the canonical form of a single [`Cube`]: literals sorted
+/// strictly ascending ([`CheckCode::SopCubeUnsorted`]) over distinct
+/// signals ([`CheckCode::SopContradictoryCube`]).
+///
+/// # Errors
+///
+/// The violated invariant as a [`CheckError`] (no node attached — the
+/// cube does not know its position; [`check_cover`] adds the index).
+pub fn check_cube(cube: &Cube) -> Result<(), CheckError> {
+    for w in cube.lits().windows(2) {
+        if w[0].signal() == w[1].signal() {
+            if w[0] != w[1] {
+                return Err(CheckError::global(
+                    CheckCode::SopContradictoryCube,
+                    format!(
+                        "cube {cube} mentions signal {} in both phases",
+                        w[0].signal()
+                    ),
+                ));
+            }
+            return Err(CheckError::global(
+                CheckCode::SopCubeUnsorted,
+                format!("cube {cube} repeats literal {}", w[0]),
+            ));
+        }
+        if w[0] > w[1] {
+            return Err(CheckError::global(
+                CheckCode::SopCubeUnsorted,
+                format!("cube {cube} has {} before {}", w[0], w[1]),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a [`Cover`]: every cube canonical (see [`check_cube`]),
+/// every mentioned signal below `num_signals` when a bound is given
+/// ([`CheckCode::SopSupportOutOfRange`]), and no cube absorbed by
+/// another ([`CheckCode::SopAbsorbedCube`]) — the single-cube
+/// containment minimality that [`Cover::from_cubes`] establishes.
+///
+/// The attached node of each error is the cube's index within the cover.
+///
+/// # Errors
+///
+/// The violated invariant as a [`CheckError`], per the list above.
+pub fn check_cover(cover: &Cover, num_signals: Option<usize>) -> Result<(), CheckError> {
+    let cubes = cover.cubes();
+    for (i, cube) in cubes.iter().enumerate() {
+        if let Err(e) = check_cube(cube) {
+            return Err(CheckError::at(e.code, i as u64, e.detail));
+        }
+        if let Some(bound) = num_signals {
+            for l in cube.lits() {
+                if l.signal() as usize >= bound {
+                    return Err(CheckError::at(
+                        CheckCode::SopSupportOutOfRange,
+                        i as u64,
+                        format!("literal {l} but only {bound} signals are declared"),
+                    ));
+                }
+            }
+        }
+    }
+    for (i, cube) in cubes.iter().enumerate() {
+        for (j, other) in cubes.iter().enumerate() {
+            if i == j || !other.covers(cube) {
+                continue;
+            }
+            // Equal cubes absorb each other; report only the later copy.
+            if other == cube && j > i {
+                continue;
+            }
+            return Err(CheckError::at(
+                CheckCode::SopAbsorbedCube,
+                i as u64,
+                format!("cube {cube} is absorbed by cube {j} ({other})"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a whole [`SopNetwork`]: every node cover passes
+/// [`check_cover`] against the network's signal count, the node
+/// dependency graph is acyclic ([`CheckCode::SopCyclicDependency`]) and
+/// every output names a declared signal
+/// ([`CheckCode::SopDanglingOutput`]).
+///
+/// Cover-level errors are re-tagged with the *signal* of the offending
+/// node (the cube index moves into the detail text).
+///
+/// # Errors
+///
+/// The violated invariant as a [`CheckError`], per the list above.
+pub fn check_sop(net: &SopNetwork) -> Result<(), CheckError> {
+    let num_signals = net.num_signals();
+    // Range-check every cover before walking dependencies: the walk
+    // below looks up `net.cover(dep)`, which panics on foreign signals.
+    for s in net.num_inputs()..num_signals {
+        let s = s as u32;
+        if let Err(e) = check_cover(net.cover(s), Some(num_signals)) {
+            return Err(CheckError::at(
+                e.code,
+                u64::from(s),
+                match e.node {
+                    Some(cube) => format!("cube {cube}: {}", e.detail),
+                    None => e.detail,
+                },
+            ));
+        }
+    }
+    // Iterative DFS over node signals; a gray-edge hit is a dependency
+    // cycle. (`SopNetwork::topo_order` would panic instead of reporting,
+    // and only covers live nodes.)
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut color: HashMap<u32, u8> = HashMap::new();
+    for root in net.num_inputs()..num_signals {
+        let root = root as u32;
+        if color.get(&root).copied().unwrap_or(WHITE) != WHITE {
+            continue;
+        }
+        let mut stack = vec![(root, false)];
+        while let Some((s, expanded)) = stack.pop() {
+            if expanded {
+                color.insert(s, BLACK);
+                continue;
+            }
+            if color.get(&s).copied().unwrap_or(WHITE) != WHITE {
+                continue;
+            }
+            color.insert(s, GRAY);
+            stack.push((s, true));
+            for dep in net.cover(s).signals() {
+                if net.is_input(dep) {
+                    continue;
+                }
+                match color.get(&dep).copied().unwrap_or(WHITE) {
+                    GRAY => {
+                        return Err(CheckError::at(
+                            CheckCode::SopCyclicDependency,
+                            u64::from(s),
+                            format!("node {s} depends on {dep}, which is on the same path"),
+                        ));
+                    }
+                    WHITE => stack.push((dep, false)),
+                    _ => {}
+                }
+            }
+        }
+    }
+    for (i, l) in net.outputs().iter().enumerate() {
+        if l.signal() as usize >= num_signals {
+            return Err(CheckError::global(
+                CheckCode::SopDanglingOutput,
+                format!("output {i} is {l} but only {num_signals} signals are declared"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbm_sop::SignalLit;
+
+    fn lit(s: u32) -> SignalLit {
+        SignalLit::positive(s)
+    }
+
+    fn nlit(s: u32) -> SignalLit {
+        SignalLit::negative(s)
+    }
+
+    /// x = a·b + c', y = x·a — a small valid network.
+    fn sample() -> SopNetwork {
+        let mut net = SopNetwork::new(3);
+        let x = net.add_node(Cover::from_cubes(vec![
+            Cube::from_lits(&[lit(0), lit(1)]),
+            Cube::from_lits(&[nlit(2)]),
+        ]));
+        let y = net.add_node(Cover::from_cubes(vec![Cube::from_lits(&[lit(x), lit(0)])]));
+        net.add_output(lit(y));
+        net
+    }
+
+    #[test]
+    fn valid_structures_pass() {
+        check_cube(&Cube::one()).unwrap();
+        check_cube(&Cube::from_lits(&[lit(3), nlit(1), lit(0)])).unwrap();
+        check_cover(&Cover::zero(), None).unwrap();
+        check_cover(&Cover::one(), Some(1)).unwrap();
+        check_sop(&sample()).unwrap();
+        check_sop(&sample().cleanup()).unwrap();
+    }
+
+    #[test]
+    fn detects_unsorted_cube() {
+        let c = Cube::from_lits_unchecked(vec![lit(2), lit(0)]);
+        let err = check_cube(&c).unwrap_err();
+        assert_eq!(err.code, CheckCode::SopCubeUnsorted);
+        let dup = Cube::from_lits_unchecked(vec![lit(1), lit(1)]);
+        assert_eq!(
+            check_cube(&dup).unwrap_err().code,
+            CheckCode::SopCubeUnsorted
+        );
+    }
+
+    #[test]
+    fn detects_contradictory_cube() {
+        let c = Cube::from_lits_unchecked(vec![lit(0), nlit(0)]);
+        let err = check_cube(&c).unwrap_err();
+        assert_eq!(err.code, CheckCode::SopContradictoryCube);
+        assert_eq!(err.code.as_str(), "sop-contradictory-cube");
+    }
+
+    #[test]
+    fn detects_absorbed_cube() {
+        // a·b is absorbed by a.
+        let cover = Cover::from_cubes_unchecked(vec![
+            Cube::from_lits(&[lit(0), lit(1)]),
+            Cube::from_lits(&[lit(0)]),
+        ]);
+        let err = check_cover(&cover, None).unwrap_err();
+        assert_eq!(err.code, CheckCode::SopAbsorbedCube);
+        assert_eq!(err.code.as_str(), "sop-absorbed-cube");
+        assert_eq!(err.node, Some(0), "the absorbed cube is index 0");
+    }
+
+    #[test]
+    fn detects_duplicate_cube() {
+        let cover = Cover::from_cubes_unchecked(vec![
+            Cube::from_lits(&[lit(0)]),
+            Cube::from_lits(&[lit(0)]),
+        ]);
+        let err = check_cover(&cover, None).unwrap_err();
+        assert_eq!(err.code, CheckCode::SopAbsorbedCube);
+        assert_eq!(err.node, Some(1), "only the later copy is reported");
+    }
+
+    #[test]
+    fn detects_support_out_of_range() {
+        let cover = Cover::from_cubes(vec![Cube::from_lits(&[lit(7)])]);
+        let err = check_cover(&cover, Some(3)).unwrap_err();
+        assert_eq!(err.code, CheckCode::SopSupportOutOfRange);
+        // Unbounded check tolerates any signal.
+        check_cover(&cover, None).unwrap();
+    }
+
+    #[test]
+    fn network_check_tags_node_signal() {
+        let mut net = sample();
+        net.set_cover(
+            3,
+            Cover::from_cubes_unchecked(vec![
+                Cube::from_lits(&[lit(0), lit(1)]),
+                Cube::from_lits(&[lit(0)]),
+            ]),
+        );
+        let err = check_sop(&net).unwrap_err();
+        assert_eq!(err.code, CheckCode::SopAbsorbedCube);
+        assert_eq!(err.node, Some(3));
+    }
+
+    #[test]
+    fn detects_foreign_signal_in_network() {
+        let mut net = sample();
+        net.set_cover(4, Cover::from_cubes(vec![Cube::from_lits(&[lit(99)])]));
+        let err = check_sop(&net).unwrap_err();
+        assert_eq!(err.code, CheckCode::SopSupportOutOfRange);
+    }
+
+    #[test]
+    fn detects_cyclic_dependency() {
+        let mut net = sample();
+        // x (signal 3) now depends on y (signal 4), which depends on x.
+        net.set_cover(3, Cover::from_cubes(vec![Cube::from_lits(&[lit(4)])]));
+        let err = check_sop(&net).unwrap_err();
+        assert_eq!(err.code, CheckCode::SopCyclicDependency);
+        assert_eq!(err.code.as_str(), "sop-cyclic-dependency");
+    }
+
+    #[test]
+    fn detects_dangling_output() {
+        let mut net = sample();
+        net.add_output(lit(42));
+        let err = check_sop(&net).unwrap_err();
+        assert_eq!(err.code, CheckCode::SopDanglingOutput);
+    }
+}

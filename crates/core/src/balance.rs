@@ -42,8 +42,9 @@ pub fn balance(aig: &Aig) -> Aig {
         // Huffman-style combine: always AND the two shallowest operands.
         ops.sort_by_key(|&(lvl, _)| std::cmp::Reverse(lvl));
         while ops.len() > 1 {
-            let (la, a) = ops.pop().expect("len > 1");
-            let (lb, b) = ops.pop().expect("len > 1");
+            let (Some((la, a)), Some((lb, b))) = (ops.pop(), ops.pop()) else {
+                unreachable!("the loop condition guarantees two operands");
+            };
             let combined = out.and(a, b);
             let lvl = levels_new
                 .get(&combined.node())

@@ -134,7 +134,7 @@ mod tests {
         let p = &parts[0];
         let mut mgr = BddManager::with_node_limit(p.leaves.len(), 4);
         let bdds = window_bdds(&aig, p, &mut mgr);
-        assert!(bdds.values().any(|b| b.is_none()), "tiny limit must bail");
+        assert!(bdds.values().any(Option::is_none), "tiny limit must bail");
     }
 
     #[test]

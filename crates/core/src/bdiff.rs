@@ -134,9 +134,8 @@ pub(crate) fn boolean_difference_resub_impl(
             if work.is_replaced(f) || fanout_counts.get(f.index()).is_none_or(|&c| c == 0) {
                 continue;
             }
-            let bf = match bdds.get(&f).copied().flatten() {
-                Some(b) => b,
-                None => continue,
+            let Some(bf) = bdds.get(&f).copied().flatten() else {
+                continue;
             };
             let support_f = &supports[&f];
             if support_f.is_empty() {
@@ -154,9 +153,8 @@ pub(crate) fn boolean_difference_resub_impl(
                 if g == f || work.is_replaced(g) {
                     continue;
                 }
-                let bg = match bdds.get(&g).copied().flatten() {
-                    Some(b) => b,
-                    None => continue,
+                let Some(bg) = bdds.get(&g).copied().flatten() else {
+                    continue;
                 };
                 if bg == bf {
                     continue; // identical function: sweeping territory
@@ -258,12 +256,9 @@ fn evaluate_pair(
     options: &BdiffOptions,
     stats: &mut BdiffStats,
 ) -> Option<Candidate> {
-    let diff = match mgr.xor(bf, bg) {
-        Ok(d) => d,
-        Err(_) => {
-            stats.bailouts += 1;
-            return None;
-        }
+    let Ok(diff) = mgr.xor(bf, bg) else {
+        stats.bailouts += 1;
+        return None;
     };
     // `saving` is f's exclusive cone down to the window leaves and g —
     // exactly what the replacement `diff(leaves) ⊕ g` frees.

@@ -10,9 +10,11 @@
 //! Engines are `Send + Sync` — a single engine value may be shared by
 //! many worker threads, each running it on a disjoint window.
 
+use std::fmt;
 use std::time::{Duration, Instant};
 
 use sbm_aig::Aig;
+use sbm_check::{check_aig, sim_spot_check, CheckError};
 
 use crate::balance::balance;
 use crate::bdiff::{boolean_difference_resub_impl, BdiffOptions};
@@ -101,6 +103,98 @@ pub trait Engine: Send + Sync {
     fn name(&self) -> &str;
     /// Runs the pass. Implementations never return a larger network.
     fn run(&self, aig: &Aig, ctx: &mut OptContext) -> EngineResult;
+}
+
+/// Seed of every 64-pattern simulation spot-check run by the checked
+/// pipeline mode — fixed so checked runs stay deterministic.
+pub const SPOT_CHECK_SEED: u64 = 0x53424DC4EC;
+
+/// An invariant violation caught by the checked pipeline mode
+/// ([`CheckLevel`](sbm_check::CheckLevel)), attributing the failure to
+/// the engine invocation (and, inside the pipeline, the partition) that
+/// produced it.
+#[derive(Debug, Clone)]
+pub struct CheckViolation {
+    /// The engine whose invocation was bracketed (`"pipeline"` /
+    /// `"script"` for run-boundary checks).
+    pub engine: String,
+    /// Where the check fired: `"pre"` (input already violated an
+    /// invariant), `"post"` (the engine's output does) or `"sim"` (the
+    /// 64-pattern spot-check found a functional mismatch).
+    pub stage: &'static str,
+    /// Partition index within the pipeline run, when window-scoped.
+    pub window: Option<usize>,
+    /// The violated invariant.
+    pub error: CheckError,
+}
+
+impl fmt::Display for CheckViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.window {
+            Some(w) => write!(
+                f,
+                "{} ({} check, window {w}): {}",
+                self.engine, self.stage, self.error
+            ),
+            None => write!(f, "{} ({} check): {}", self.engine, self.stage, self.error),
+        }
+    }
+}
+
+/// Runs `engine` bracketed by invariant checks: the input must pass
+/// [`check_aig`] (otherwise the engine is not run at all), and the
+/// output must pass both [`check_aig`] and a 64-pattern
+/// [`sim_spot_check`] against the input. A violating result is
+/// **discarded** — the input passes through unchanged — and the
+/// violation is reported, attributed to `engine` and `window`.
+///
+/// This is the primitive behind
+/// [`CheckLevel::Paranoid`](sbm_check::CheckLevel::Paranoid); callers at
+/// `Off` should invoke [`Engine::run`] directly (this wrapper costs two
+/// structural walks and two simulation sweeps per invocation).
+pub fn run_checked(
+    engine: &dyn Engine,
+    aig: &Aig,
+    ctx: &mut OptContext,
+    window: Option<usize>,
+) -> (EngineResult, Vec<CheckViolation>) {
+    let violation = |stage, error| CheckViolation {
+        engine: engine.name().to_string(),
+        stage,
+        window,
+        error,
+    };
+    if let Err(error) = check_aig(aig) {
+        // Never hand a corrupted network to an engine: the resolving
+        // accessors could loop or panic on it.
+        return (
+            EngineResult {
+                aig: aig.clone(),
+                stats: EngineStats::default(),
+            },
+            vec![violation("pre", error)],
+        );
+    }
+    let result = engine.run(aig, ctx);
+    let error =
+        check_aig(&result.aig).and_then(|()| sim_spot_check(aig, &result.aig, SPOT_CHECK_SEED));
+    match error {
+        Ok(()) => (result, Vec::new()),
+        Err(error) => {
+            let stage = if error.code == sbm_check::CheckCode::SimMismatch {
+                "sim"
+            } else {
+                "post"
+            };
+            (
+                EngineResult {
+                    aig: aig.clone(),
+                    stats: result.stats,
+                },
+                vec![violation(stage, error)],
+            )
+        }
+    }
 }
 
 /// Times `run`, computes the node gain, and lets `fill` project the

@@ -296,11 +296,9 @@ pub(crate) fn gradient_optimize_impl(aig: &Aig, options: &GradientOptions) -> (A
             .filter(|m| m.cost() <= unlocked_cost)
             .collect();
         let score = |m: &Move, records: &[(Move, MoveRecord)]| -> f64 {
-            let rec = &records
-                .iter()
-                .find(|(mm, _)| mm == m)
-                .expect("known move")
-                .1;
+            let Some((_, rec)) = records.iter().find(|(mm, _)| mm == m) else {
+                unreachable!("stats tracks a record for every move");
+            };
             if rec.tried == 0 {
                 0.5 // unexplored moves get a neutral prior
             } else {
@@ -321,12 +319,9 @@ pub(crate) fn gradient_optimize_impl(aig: &Aig, options: &GradientOptions) -> (A
             let result = mv.apply_threaded(&current, options.num_threads);
             spent += mv.cost();
             let gain = size_before.saturating_sub(result.num_ands());
-            let rec = &mut stats
-                .records
-                .iter_mut()
-                .find(|(mm, _)| *mm == mv)
-                .expect("known move")
-                .1;
+            let Some((_, rec)) = stats.records.iter_mut().find(|(mm, _)| *mm == mv) else {
+                unreachable!("stats tracks a record for every move");
+            };
             rec.tried += 1;
             if gain > 0 {
                 rec.succeeded += 1;

@@ -153,7 +153,10 @@ pub(crate) fn hetero_eliminate_kernel_impl(
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("threshold worker"))
+                    .map(|h| match h.join() {
+                        Ok(result) => result,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
                     .collect()
             })
         } else {

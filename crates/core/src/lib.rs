@@ -21,6 +21,15 @@
 //! [`script::sbm_script`] (the paper's Boolean resynthesis flow,
 //! Section V-A).
 //!
+//! Every entry point can run in *checked mode*
+//! ([`CheckLevel::Boundaries`] or [`CheckLevel::Paranoid`], via
+//! [`pipeline::PipelineOptions::check_level`] /
+//! [`script::SbmOptions::check_level`]): engine invocations are then
+//! bracketed by the structural invariant checks of [`sbm_check`] plus a
+//! 64-pattern simulation spot-check, and any violation is reported with
+//! the engine and partition that first caused it
+//! ([`engine::CheckViolation`]).
+//!
 //! # Example
 //!
 //! ```
@@ -39,6 +48,8 @@
 //! let optimized = sbm_script(&aig, &SbmOptions::default());
 //! assert!(optimized.num_ands() <= aig.num_ands());
 //! ```
+
+pub use sbm_check::{CheckCode, CheckError, CheckLevel};
 
 pub mod balance;
 pub mod bdd_bridge;

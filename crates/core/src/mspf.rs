@@ -185,13 +185,10 @@ pub(crate) fn mspf_optimize_impl(aig: &Aig, options: &MspfOptions) -> (Aig, Mspf
                 recycle_manager(var_mgr);
                 continue;
             };
-            let mspf = match mspf_of_node(&mut var_mgr, &roots, part.leaves.len()) {
-                Ok(m) => m,
-                Err(_) => {
-                    stats.bailouts += 1;
-                    recycle_manager(var_mgr);
-                    continue;
-                }
+            let Ok(mspf) = mspf_of_node(&mut var_mgr, &roots, part.leaves.len()) else {
+                stats.bailouts += 1;
+                recycle_manager(var_mgr);
+                continue;
             };
             stats.mspf_computed += 1;
             if mspf == Bdd::ZERO {

@@ -31,8 +31,11 @@ use std::time::{Duration, Instant};
 
 use sbm_aig::window::{partition, Partition, PartitionOptions};
 use sbm_aig::{Aig, Lit, NodeId};
+use sbm_check::{check_aig, sim_spot_check, CheckLevel};
 
-use crate::engine::{Engine, EngineStats, OptContext, Optimized};
+use crate::engine::{
+    run_checked, CheckViolation, Engine, EngineStats, OptContext, Optimized, SPOT_CHECK_SEED,
+};
 use crate::verify::equivalent_within;
 
 /// Knobs of the parallel partition executor.
@@ -50,6 +53,13 @@ pub struct PipelineOptions {
     /// SAT conflict budget of the per-window equivalence gate; rewrites
     /// the solver cannot prove within the budget are rejected.
     pub conflict_budget: u64,
+    /// Invariant-checking level: `Off` (default) adds no work,
+    /// `Boundaries` validates the run's input and output networks,
+    /// `Paranoid` additionally brackets every engine invocation inside
+    /// every window with [`run_checked`]. Violations are collected in
+    /// [`PipelineReport::check_violations`]; a violating rewrite is
+    /// discarded, never stitched.
+    pub check_level: CheckLevel,
 }
 
 impl Default for PipelineOptions {
@@ -60,6 +70,7 @@ impl Default for PipelineOptions {
             min_window: 4,
             verify_windows: true,
             conflict_budget: 10_000,
+            check_level: CheckLevel::Off,
         }
     }
 }
@@ -106,6 +117,11 @@ pub struct PipelineReport {
     pub stitch_wall: Duration,
     /// End-to-end wall-clock of the run.
     pub total_wall: Duration,
+    /// Invariant violations caught by the configured
+    /// [`PipelineOptions::check_level`], in detection order: each names
+    /// the engine (or `"pipeline"` for run boundaries), the stage and,
+    /// for `Paranoid`, the window that first violated an invariant.
+    pub check_violations: Vec<CheckViolation>,
 }
 
 impl PipelineReport {
@@ -129,6 +145,8 @@ impl PipelineReport {
         self.optimize_wall += other.optimize_wall;
         self.stitch_wall += other.stitch_wall;
         self.total_wall += other.total_wall;
+        self.check_violations
+            .extend(other.check_violations.iter().cloned());
     }
 
     /// Every window lands in exactly one outcome bucket.
@@ -177,7 +195,11 @@ impl fmt::Display for PipelineReport {
             self.optimize_wall.as_secs_f64(),
             self.stitch_wall.as_secs_f64(),
             self.total_wall.as_secs_f64(),
-        )
+        )?;
+        for v in &self.check_violations {
+            write!(f, "\n  CHECK VIOLATION: {v}")?;
+        }
+        Ok(())
     }
 }
 
@@ -188,6 +210,9 @@ struct WindowOutcome {
     rewrite: Option<Aig>,
     gate_rejected: bool,
     per_engine: Vec<EngineStats>,
+    /// Invariant violations from `Paranoid` per-engine bracketing
+    /// (empty below that level).
+    violations: Vec<CheckViolation>,
 }
 
 /// A configurable engine sequence scheduled over disjoint windows.
@@ -223,6 +248,26 @@ impl Pipeline {
         let total_start = Instant::now();
         let mut report = PipelineReport::default();
         let mut counters = WindowCounters::default();
+
+        // Boundary pre-check runs on the RAW input, before cleanup:
+        // cleanup itself resolves replacement chains and would loop on a
+        // corrupted redirection map. A corrupt input is returned as-is —
+        // there is nothing safe the pipeline can do with it.
+        if self.options.check_level.at_boundaries() {
+            if let Err(error) = check_aig(aig) {
+                report.check_violations.push(CheckViolation {
+                    engine: "pipeline".to_string(),
+                    stage: "pre",
+                    window: None,
+                    error,
+                });
+                report.total_wall = total_start.elapsed();
+                return Optimized {
+                    aig: aig.clone(),
+                    stats: report,
+                };
+            }
+        }
         let work = aig.cleanup();
 
         // Phase 1: extract windows.
@@ -253,12 +298,18 @@ impl Pipeline {
         // Phase 3: stitch accepted rewrites back, serially and in window
         // order (deterministic regardless of worker scheduling).
         let stitch_start = Instant::now();
+        let input = self
+            .options
+            .check_level
+            .at_boundaries()
+            .then(|| work.clone());
         let mut work = work;
         let mut per_engine = vec![EngineStats::default(); self.engines.len()];
         for ((part_idx, sub), outcome) in jobs.iter().zip(outcomes) {
             for (total, s) in per_engine.iter_mut().zip(&outcome.per_engine) {
                 total.merge(s);
             }
+            report.check_violations.extend(outcome.violations);
             if outcome.gate_rejected {
                 counters.gate_rejected += 1;
                 continue;
@@ -276,7 +327,30 @@ impl Pipeline {
                 None => counters.stitch_rejected += 1,
             }
         }
-        let result = work.cleanup();
+        let mut result = work.cleanup();
+
+        // Boundary post-check: the stitched network must itself satisfy
+        // every AIG invariant and agree with the input on 64 random
+        // patterns. A violating result is discarded in favor of the
+        // (already validated) cleaned input.
+        if let Some(input) = input {
+            let error =
+                check_aig(&result).and_then(|()| sim_spot_check(&input, &result, SPOT_CHECK_SEED));
+            if let Err(error) = error {
+                let stage = if error.code == sbm_check::CheckCode::SimMismatch {
+                    "sim"
+                } else {
+                    "post"
+                };
+                report.check_violations.push(CheckViolation {
+                    engine: "pipeline".to_string(),
+                    stage,
+                    window: None,
+                    error,
+                });
+                result = input;
+            }
+        }
         report.stitch_wall = stitch_start.elapsed();
 
         report.windows_skipped = counters.skipped;
@@ -313,7 +387,7 @@ impl Pipeline {
         if threads <= 1 {
             return jobs
                 .iter()
-                .map(|(_, sub)| self.optimize_window(sub))
+                .map(|(part_idx, sub)| self.optimize_window(sub, *part_idx))
                 .collect();
         }
         let cursor = AtomicUsize::new(0);
@@ -323,32 +397,55 @@ impl Pipeline {
             for _ in 0..threads {
                 scope.spawn(|| loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some((_, sub)) = jobs.get(i) else {
+                    let Some((part_idx, sub)) = jobs.get(i) else {
                         break;
                     };
-                    let outcome = self.optimize_window(sub);
-                    *slots[i].lock().expect("outcome slot poisoned") = Some(outcome);
+                    let outcome = self.optimize_window(sub, *part_idx);
+                    // A poisoned slot means another worker panicked while
+                    // holding the lock; the data (an Option write) is
+                    // still sound, so keep going — scope() re-raises the
+                    // panic anyway.
+                    *slots[i]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(outcome);
                 });
             }
         });
         slots
             .into_iter()
             .map(|slot| {
-                slot.into_inner()
-                    .expect("outcome slot poisoned")
-                    .expect("worker left a window unprocessed")
+                match slot
+                    .into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                {
+                    Some(outcome) => outcome,
+                    // The cursor hands out each index exactly once and
+                    // scope() propagates worker panics before this runs.
+                    None => unreachable!("worker left a window unprocessed"),
+                }
             })
             .collect()
     }
 
     /// Runs the engine chain on one window copy. Engines inside a worker
-    /// are strictly serial — parallelism comes from window fan-out.
-    fn optimize_window(&self, sub: &Aig) -> WindowOutcome {
+    /// are strictly serial — parallelism comes from window fan-out. At
+    /// [`CheckLevel::Paranoid`] every engine invocation is bracketed by
+    /// [`run_checked`], attributing any violation to this window.
+    fn optimize_window(&self, sub: &Aig, part_idx: usize) -> WindowOutcome {
         let mut ctx = OptContext::with_threads(1);
         let mut per_engine = vec![EngineStats::default(); self.engines.len()];
+        let mut violations = Vec::new();
+        let paranoid = self.options.check_level.per_engine();
         let mut cur = sub.clone();
         for (stats, engine) in per_engine.iter_mut().zip(&self.engines) {
-            let result = engine.run(&cur, &mut ctx);
+            let result = if paranoid {
+                let (result, mut found) =
+                    run_checked(engine.as_ref(), &cur, &mut ctx, Some(part_idx));
+                violations.append(&mut found);
+                result
+            } else {
+                engine.run(&cur, &mut ctx)
+            };
             stats.merge(&result.stats);
             // Guarded acceptance: an engine that grows the window is undone.
             if result.aig.num_ands() <= cur.num_ands() {
@@ -360,6 +457,7 @@ impl Pipeline {
                 rewrite: None,
                 gate_rejected: false,
                 per_engine,
+                violations,
             };
         }
         if self.options.verify_windows
@@ -369,12 +467,14 @@ impl Pipeline {
                 rewrite: None,
                 gate_rejected: true,
                 per_engine,
+                violations,
             };
         }
         WindowOutcome {
             rewrite: Some(cur),
             gate_rejected: false,
             per_engine,
+            violations,
         }
     }
 }
@@ -394,6 +494,18 @@ pub fn parallel_pass_report(
     num_threads: usize,
     engine: impl Engine + 'static,
 ) -> Optimized<PipelineReport> {
+    parallel_pass_checked(aig, num_threads, CheckLevel::Off, engine)
+}
+
+/// [`parallel_pass_report`] with an explicit invariant-checking level —
+/// the entry point used by the checked script mode
+/// ([`crate::script::SbmOptions::check_level`]).
+pub fn parallel_pass_checked(
+    aig: &Aig,
+    num_threads: usize,
+    check_level: CheckLevel,
+    engine: impl Engine + 'static,
+) -> Optimized<PipelineReport> {
     let options = PipelineOptions {
         num_threads,
         partition: PartitionOptions {
@@ -402,6 +514,7 @@ pub fn parallel_pass_report(
             max_levels: 16,
         },
         min_window: 2,
+        check_level,
         ..PipelineOptions::default()
     };
     Pipeline::new(options).with_engine(engine).run(aig)
@@ -561,6 +674,56 @@ mod tests {
         assert_eq!(run.aig.num_ands(), aig.cleanup().num_ands());
         assert_eq!(run.stats.windows_improved, 0);
         assert!(run.stats.is_consistent());
+    }
+
+    #[test]
+    fn paranoid_check_matches_off_and_reports_clean() {
+        let aig = test_aig(23);
+        let plain = small_window_pipeline(2).run(&aig);
+        let mut options = PipelineOptions {
+            num_threads: 2,
+            partition: PartitionOptions {
+                max_nodes: 30,
+                max_inputs: 10,
+                max_levels: 12,
+            },
+            ..PipelineOptions::default()
+        };
+        options.check_level = CheckLevel::Paranoid;
+        let checked = Pipeline::new(options)
+            .with_engine(Rewrite::default())
+            .with_engine(Refactor::default())
+            .with_engine(Resub::default())
+            .run(&aig);
+        assert!(
+            checked.stats.check_violations.is_empty(),
+            "{:?}",
+            checked.stats.check_violations
+        );
+        assert_eq!(plain.aig.num_ands(), checked.aig.num_ands());
+        assert!(equivalent(&plain.aig, &checked.aig));
+    }
+
+    #[test]
+    fn boundaries_check_rejects_corrupt_input() {
+        let mut aig = test_aig(3);
+        // A self-referential redirection: resolve()/cleanup() would loop.
+        let victim = aig.outputs()[0].node();
+        aig.corrupt_force_replace(victim, Lit::new(victim, true));
+        let options = PipelineOptions {
+            check_level: CheckLevel::Boundaries,
+            ..PipelineOptions::default()
+        };
+        let run = Pipeline::new(options)
+            .with_engine(Rewrite::default())
+            .run(&aig);
+        assert_eq!(run.stats.check_violations.len(), 1);
+        let v = &run.stats.check_violations[0];
+        assert_eq!(v.engine, "pipeline");
+        assert_eq!(v.stage, "pre");
+        assert_eq!(v.error.code, sbm_check::CheckCode::AigCyclicRedirect);
+        // The corrupt input is passed through untouched.
+        assert_eq!(run.aig.num_nodes(), aig.num_nodes());
     }
 
     #[test]

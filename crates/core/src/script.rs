@@ -11,16 +11,19 @@
 use std::fmt;
 
 use sbm_aig::Aig;
+use sbm_check::{check_aig, sim_spot_check, CheckCode, CheckLevel};
 use sbm_sat::redundancy::{remove_redundancies, RedundancyOptions};
 use sbm_sat::sweep::{sweep, SweepOptions};
 
 use crate::balance::balance;
 use crate::bdiff::{boolean_difference_resub_impl, BdiffOptions};
-use crate::engine::{self, Engine, Optimized};
+use crate::engine::{
+    self, run_checked, CheckViolation, Engine, OptContext, Optimized, SPOT_CHECK_SEED,
+};
 use crate::gradient::{gradient_optimize_impl, GradientOptions};
 use crate::hetero::{hetero_eliminate_kernel_impl, HeteroOptions};
 use crate::mspf::{mspf_optimize_impl, MspfOptions};
-use crate::pipeline::{parallel_pass_report, PipelineReport};
+use crate::pipeline::{parallel_pass_checked, PipelineReport};
 use crate::refactor::{refactor_impl, RefactorOptions};
 use crate::resub::{resub_impl, ResubOptions};
 use crate::rewrite::{rewrite_impl, RewriteOptions};
@@ -36,11 +39,60 @@ fn guarded(aig: Aig, f: impl FnOnce(&Aig) -> Aig) -> Aig {
     }
 }
 
+/// [`guarded`] with `Paranoid` invariant bracketing for the script's
+/// non-windowed phases (balance, gradient, hetero, SAT sweep/redundancy,
+/// which are not [`Engine`]s). Below `Paranoid` this is exactly
+/// [`guarded`]; at `Paranoid` the input must pass [`check_aig`] (or the
+/// phase is skipped) and the candidate must pass [`check_aig`] plus the
+/// 64-pattern [`sim_spot_check`] (or it is discarded). Violations are
+/// pushed into `report.check_violations` under `name`.
+fn checked_guarded(
+    aig: Aig,
+    check: CheckLevel,
+    report: &mut PipelineReport,
+    name: &str,
+    f: impl FnOnce(&Aig) -> Aig,
+) -> Aig {
+    if !check.per_engine() {
+        return guarded(aig, f);
+    }
+    if let Err(error) = check_aig(&aig) {
+        report.check_violations.push(CheckViolation {
+            engine: name.to_string(),
+            stage: "pre",
+            window: None,
+            error,
+        });
+        return aig;
+    }
+    let candidate = f(&aig);
+    let error =
+        check_aig(&candidate).and_then(|()| sim_spot_check(&aig, &candidate, SPOT_CHECK_SEED));
+    match error {
+        Ok(()) if candidate.num_ands() <= aig.num_ands() => candidate,
+        Ok(()) => aig,
+        Err(error) => {
+            let stage = if error.code == CheckCode::SimMismatch {
+                "sim"
+            } else {
+                "post"
+            };
+            report.check_violations.push(CheckViolation {
+                engine: name.to_string(),
+                stage,
+                window: None,
+                error,
+            });
+            aig
+        }
+    }
+}
+
 /// The `resyn2rs`-style baseline script: balance, resub, rewrite and
 /// refactor passes with growing resubstitution windows, mirroring ABC's
 /// `b; rs; rw; rs -K 6; rf; rs -K 8; b; rs -K 10; rw; rs -K 12; rf; b`.
 pub fn resyn2rs(aig: &Aig) -> Aig {
-    resyn2rs_threaded(aig, 1, &mut PipelineReport::default())
+    resyn2rs_threaded(aig, 1, CheckLevel::Off, &mut PipelineReport::default())
 }
 
 fn resub_opts(max_inputs: usize) -> ResubOptions {
@@ -56,18 +108,27 @@ fn resub_opts(max_inputs: usize) -> ResubOptions {
 
 /// One engine step of a threaded script: serial call at one thread, fanned
 /// out through the parallel partition executor otherwise. The pipeline's
-/// report is accumulated into `report`.
+/// report (including any check violations) is accumulated into `report`.
+/// At serial `Paranoid` the engine runs through [`run_checked`] instead of
+/// the bare serial closure — the two compute the same transformation, the
+/// wrapper just brackets it with invariant checks.
 fn step(
     aig: Aig,
     threads: usize,
+    check: CheckLevel,
     report: &mut PipelineReport,
     engine: impl Engine + 'static,
     serial: impl FnOnce(&Aig) -> Aig,
 ) -> Aig {
     if threads > 1 {
-        let run = parallel_pass_report(&aig, threads, engine);
+        let run = parallel_pass_checked(&aig, threads, check, engine);
         report.merge(&run.stats);
         guarded(aig, |_| run.aig)
+    } else if check.per_engine() {
+        let mut ctx = OptContext::with_threads(1);
+        let (result, violations) = run_checked(&engine, &aig, &mut ctx, None);
+        report.check_violations.extend(violations);
+        guarded(aig, |_| result.aig)
     } else {
         guarded(aig, serial)
     }
@@ -75,34 +136,54 @@ fn step(
 
 /// [`resyn2rs`] with its window-based passes fanned out over
 /// `num_threads` workers; pipeline statistics accumulate into `report`.
-fn resyn2rs_threaded(aig: &Aig, num_threads: usize, report: &mut PipelineReport) -> Aig {
+fn resyn2rs_threaded(
+    aig: &Aig,
+    num_threads: usize,
+    check: CheckLevel,
+    report: &mut PipelineReport,
+) -> Aig {
     let mut cur = aig.cleanup();
     let rs = |k: usize| engine::Resub {
         options: resub_opts(k),
     };
-    cur = guarded(cur, balance);
-    cur = step(cur, num_threads, report, rs(6), |a| {
+    cur = checked_guarded(cur, check, report, "balance", balance);
+    cur = step(cur, num_threads, check, report, rs(6), |a| {
         resub_impl(a, &resub_opts(6)).0
     });
-    cur = step(cur, num_threads, report, engine::Rewrite::default(), |a| {
-        rewrite_impl(a, &RewriteOptions::default()).0
-    });
-    cur = step(cur, num_threads, report, rs(8), |a| {
+    cur = step(
+        cur,
+        num_threads,
+        check,
+        report,
+        engine::Rewrite::default(),
+        |a| rewrite_impl(a, &RewriteOptions::default()).0,
+    );
+    cur = step(cur, num_threads, check, report, rs(8), |a| {
         resub_impl(a, &resub_opts(8)).0
     });
-    cur = step(cur, num_threads, report, engine::Refactor::default(), |a| {
-        refactor_impl(a, &RefactorOptions::default()).0
-    });
-    cur = step(cur, num_threads, report, rs(10), |a| {
+    cur = step(
+        cur,
+        num_threads,
+        check,
+        report,
+        engine::Refactor::default(),
+        |a| refactor_impl(a, &RefactorOptions::default()).0,
+    );
+    cur = step(cur, num_threads, check, report, rs(10), |a| {
         resub_impl(a, &resub_opts(10)).0
     });
-    cur = guarded(cur, balance);
-    cur = step(cur, num_threads, report, rs(12), |a| {
+    cur = checked_guarded(cur, check, report, "balance", balance);
+    cur = step(cur, num_threads, check, report, rs(12), |a| {
         resub_impl(a, &resub_opts(12)).0
     });
-    cur = step(cur, num_threads, report, engine::Rewrite::default(), |a| {
-        rewrite_impl(a, &RewriteOptions::default()).0
-    });
+    cur = step(
+        cur,
+        num_threads,
+        check,
+        report,
+        engine::Rewrite::default(),
+        |a| rewrite_impl(a, &RewriteOptions::default()).0,
+    );
     let deep_refactor = RefactorOptions {
         max_support: 14,
         ..Default::default()
@@ -110,13 +191,14 @@ fn resyn2rs_threaded(aig: &Aig, num_threads: usize, report: &mut PipelineReport)
     cur = step(
         cur,
         num_threads,
+        check,
         report,
         engine::Refactor {
             options: deep_refactor,
         },
         |a| refactor_impl(a, &deep_refactor).0,
     );
-    cur = guarded(cur, balance);
+    cur = checked_guarded(cur, check, report, "balance", balance);
     cur.cleanup()
 }
 
@@ -155,6 +237,12 @@ pub struct SbmOptions {
     /// Worker threads for the window-based steps (1 = strictly serial;
     /// the serial code path is preserved exactly at 1).
     pub num_threads: usize,
+    /// Invariant-checking level: `Off` (default) adds no work,
+    /// `Boundaries` validates the script's input and output networks
+    /// plus a 64-pattern simulation spot-check, `Paranoid` additionally
+    /// brackets every engine invocation and non-windowed phase.
+    /// Violations land in the returned report's `check_violations`.
+    pub check_level: CheckLevel,
 }
 
 impl Default for SbmOptions {
@@ -167,6 +255,7 @@ impl Default for SbmOptions {
             sat_budget: Some(2_000),
             iterations: 2,
             num_threads: 1,
+            check_level: CheckLevel::Off,
         }
     }
 }
@@ -297,6 +386,14 @@ impl SbmOptionsBuilder {
         self
     }
 
+    /// Invariant-checking level of the run (`Off` / `Boundaries` /
+    /// `Paranoid`).
+    #[must_use]
+    pub fn check_level(mut self, check_level: CheckLevel) -> Self {
+        self.options.check_level = check_level;
+        self
+    }
+
     /// Validates and produces the options.
     pub fn build(self) -> Result<SbmOptions, OptionsError> {
         let o = self.options;
@@ -347,28 +444,52 @@ pub fn sbm_script(aig: &Aig, options: &SbmOptions) -> Aig {
 /// enters the pipeline).
 pub fn sbm_script_report(aig: &Aig, options: &SbmOptions) -> Optimized<PipelineReport> {
     let threads = options.num_threads.max(1);
+    let check = options.check_level;
     let mut report = PipelineReport::default();
+
+    // Boundary pre-check on the RAW input (cleanup would loop on a
+    // corrupted redirection map); a corrupt input passes through as-is.
+    if check.at_boundaries() {
+        if let Err(error) = check_aig(aig) {
+            report.check_violations.push(CheckViolation {
+                engine: "script".to_string(),
+                stage: "pre",
+                window: None,
+                error,
+            });
+            return Optimized {
+                aig: aig.clone(),
+                stats: report,
+            };
+        }
+    }
     let mut cur = aig.cleanup();
+    let input = check.at_boundaries().then(|| cur.clone());
     for iteration in 0..options.iterations {
         let high_effort = iteration > 0;
         // 1. AIG optimization: baseline script, then the gradient engine.
-        cur = guarded(cur, |a| resyn2rs_threaded(a, threads, &mut report));
+        cur = guarded(cur, |a| resyn2rs_threaded(a, threads, check, &mut report));
         let gradient = GradientOptions {
             num_threads: threads,
             ..options.gradient.clone()
         };
-        cur = guarded(cur, |a| gradient_optimize_impl(a, &gradient).0);
+        cur = checked_guarded(cur, check, &mut report, "gradient", |a| {
+            gradient_optimize_impl(a, &gradient).0
+        });
         // 2. Heterogeneous elimination for kerneling (internal
         // threshold-sweep threads).
         let hetero = HeteroOptions {
             parallel: threads > 1,
             ..options.hetero.clone()
         };
-        cur = guarded(cur, |a| hetero_eliminate_kernel_impl(a, &hetero).0);
+        cur = checked_guarded(cur, check, &mut report, "hetero", |a| {
+            hetero_eliminate_kernel_impl(a, &hetero).0
+        });
         // 3. Enhanced MSPF computation.
         cur = step(
             cur,
             threads,
+            check,
             &mut report,
             engine::Mspf {
                 options: options.mspf,
@@ -384,6 +505,7 @@ pub fn sbm_script_report(aig: &Aig, options: &SbmOptions) -> Optimized<PipelineR
         cur = step(
             cur,
             threads,
+            check,
             &mut report,
             engine::Refactor {
                 options: refactor_options,
@@ -395,6 +517,7 @@ pub fn sbm_script_report(aig: &Aig, options: &SbmOptions) -> Optimized<PipelineR
         cur = step(
             cur,
             threads,
+            check,
             &mut report,
             engine::Bdiff {
                 options: options.bdiff,
@@ -402,7 +525,7 @@ pub fn sbm_script_report(aig: &Aig, options: &SbmOptions) -> Optimized<PipelineR
             |a| boolean_difference_resub_impl(a, &options.bdiff).0,
         );
         // 6. SAT sweeping and redundancy removal.
-        cur = guarded(cur, |a| {
+        cur = checked_guarded(cur, check, &mut report, "sweep", |a| {
             let mut work = a.cleanup();
             sweep(
                 &mut work,
@@ -413,7 +536,7 @@ pub fn sbm_script_report(aig: &Aig, options: &SbmOptions) -> Optimized<PipelineR
             );
             work.cleanup()
         });
-        cur = guarded(cur, |a| {
+        cur = checked_guarded(cur, check, &mut report, "redundancy", |a| {
             remove_redundancies(
                 a,
                 &RedundancyOptions {
@@ -424,8 +547,31 @@ pub fn sbm_script_report(aig: &Aig, options: &SbmOptions) -> Optimized<PipelineR
             .aig
         });
     }
+    let mut result = cur.cleanup();
+
+    // Boundary post-check: the final network must satisfy every AIG
+    // invariant and agree with the input on 64 random patterns; a
+    // violating result is discarded in favor of the cleaned input.
+    if let Some(input) = input {
+        let error =
+            check_aig(&result).and_then(|()| sim_spot_check(&input, &result, SPOT_CHECK_SEED));
+        if let Err(error) = error {
+            let stage = if error.code == CheckCode::SimMismatch {
+                "sim"
+            } else {
+                "post"
+            };
+            report.check_violations.push(CheckViolation {
+                engine: "script".to_string(),
+                stage,
+                window: None,
+                error,
+            });
+            result = input;
+        }
+    }
     Optimized {
-        aig: cur.cleanup(),
+        aig: result,
         stats: report,
     }
 }
@@ -533,6 +679,51 @@ mod tests {
             EquivResult::Equivalent
         );
         assert!(run.stats.is_consistent(), "{:?}", run.stats);
+    }
+
+    #[test]
+    fn paranoid_script_is_clean_and_matches_off() {
+        let aig = benchmark_aig();
+        let base = SbmOptions::builder()
+            .iterations(1)
+            .build()
+            .expect("valid configuration");
+        let checked_options = SbmOptions::builder()
+            .iterations(1)
+            .check_level(CheckLevel::Paranoid)
+            .build()
+            .expect("valid configuration");
+        let plain = sbm_script_report(&aig, &base);
+        let checked = sbm_script_report(&aig, &checked_options);
+        assert!(
+            checked.stats.check_violations.is_empty(),
+            "{:?}",
+            checked.stats.check_violations
+        );
+        assert_eq!(plain.aig.num_ands(), checked.aig.num_ands());
+        assert_eq!(
+            check_equivalence(&aig, &checked.aig, None),
+            EquivResult::Equivalent
+        );
+    }
+
+    #[test]
+    fn boundaries_script_rejects_corrupt_input() {
+        let mut aig = benchmark_aig();
+        let victim = aig.outputs()[0].node();
+        aig.corrupt_force_replace(victim, sbm_aig::Lit::new(victim, true));
+        let options = SbmOptions::builder()
+            .iterations(1)
+            .check_level(CheckLevel::Boundaries)
+            .build()
+            .expect("valid configuration");
+        let run = sbm_script_report(&aig, &options);
+        assert_eq!(run.stats.check_violations.len(), 1);
+        let v = &run.stats.check_violations[0];
+        assert_eq!(v.engine, "script");
+        assert_eq!(v.stage, "pre");
+        assert_eq!(v.error.code, CheckCode::AigCyclicRedirect);
+        assert_eq!(run.aig.num_nodes(), aig.num_nodes());
     }
 
     #[test]

@@ -6,11 +6,13 @@ use proptest::prelude::*;
 use sbm_aig::window::PartitionOptions;
 use sbm_aig::{Aig, Lit};
 use sbm_core::engine::{
-    Balance, Bdiff, Engine, Gradient, Hetero, Mspf, OptContext, Refactor, Resub, Rewrite,
+    run_checked, Balance, Bdiff, Engine, Gradient, Hetero, Mspf, OptContext, Refactor, Resub,
+    Rewrite,
 };
 use sbm_core::gradient::GradientOptions;
 use sbm_core::pipeline::{Pipeline, PipelineOptions};
 use sbm_core::verify::equivalent;
+use sbm_core::CheckLevel;
 
 #[derive(Debug, Clone)]
 struct Recipe {
@@ -100,7 +102,50 @@ engine_property!(
     }
 );
 
+// Every engine, run under `Paranoid`-style bracketing on random DAGs:
+// the pre/post structural checks and the 64-pattern spot-check must all
+// stay silent — a violation here means an engine emitted a malformed or
+// functionally wrong network that `run_checked` had to discard.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn every_engine_is_clean_under_paranoid_checks(recipe in arb_recipe()) {
+        let aig = build(&recipe);
+        let engines: Vec<Box<dyn Engine>> = vec![
+            Box::new(Balance),
+            Box::new(Rewrite::default()),
+            Box::new(Refactor::default()),
+            Box::new(Resub::default()),
+            Box::new(Mspf::default()),
+            Box::new(Bdiff::default()),
+            Box::new(Hetero::default()),
+            Box::new(Gradient {
+                options: GradientOptions {
+                    budget: 20,
+                    budget_extension: 0,
+                    ..Default::default()
+                },
+            }),
+        ];
+        for engine in &engines {
+            let (result, violations) =
+                run_checked(engine.as_ref(), &aig, &mut OptContext::default(), None);
+            prop_assert!(
+                violations.is_empty(),
+                "{} violated invariants: {:?}",
+                engine.name(),
+                violations
+            );
+            prop_assert!(equivalent(&aig, &result.aig), "{} changed function", engine.name());
+        }
+    }
+}
+
 fn small_window_pipeline(num_threads: usize) -> Pipeline {
+    small_window_pipeline_checked(num_threads, CheckLevel::Off)
+}
+
+fn small_window_pipeline_checked(num_threads: usize, check_level: CheckLevel) -> Pipeline {
     let options = PipelineOptions {
         num_threads,
         partition: PartitionOptions {
@@ -109,6 +154,7 @@ fn small_window_pipeline(num_threads: usize) -> Pipeline {
             max_levels: 8,
         },
         min_window: 2,
+        check_level,
         ..PipelineOptions::default()
     };
     Pipeline::new(options)
@@ -138,5 +184,19 @@ proptest! {
             );
             prop_assert!(parallel.stats.is_consistent(), "{:?}", parallel.stats);
         }
+    }
+
+    #[test]
+    fn paranoid_pipeline_reports_no_violations(recipe in arb_recipe()) {
+        let aig = build(&recipe);
+        let plain = small_window_pipeline(2).run(&aig);
+        let checked = small_window_pipeline_checked(2, CheckLevel::Paranoid).run(&aig);
+        prop_assert!(
+            checked.stats.check_violations.is_empty(),
+            "{:?}",
+            checked.stats.check_violations
+        );
+        prop_assert_eq!(plain.aig.num_ands(), checked.aig.num_ands());
+        prop_assert!(equivalent(&aig, &checked.aig), "checked pipeline broke function");
     }
 }

@@ -218,12 +218,7 @@ pub fn log2(scale: Scale) -> Aig {
     let frac = &normalized[half..];
     // One polynomial step: y + y² (truncated), a log-like correction.
     let sq = multiply(&mut aig, frac, frac);
-    let (poly, _) = add(
-        &mut aig,
-        &zero_extend(frac, n),
-        &sq[..n].to_vec(),
-        Lit::FALSE,
-    );
+    let (poly, _) = add(&mut aig, &zero_extend(frac, n), &sq[..n], Lit::FALSE);
     // Outputs: integer part (inverted lzc, log-style) then fraction bits.
     for (i, bit) in poly.iter().enumerate().take(n - stages) {
         let _ = i;

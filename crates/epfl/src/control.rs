@@ -120,7 +120,7 @@ pub fn voter(scale: Scale) -> Aig {
     let votes = input_word(&mut aig, n);
     let count = popcount(&mut aig, &votes);
     // majority ⇔ count >= (n+1)/2 ⇔ count - threshold has no borrow.
-    let threshold = crate::words::const_word(((n + 1) / 2) as u128, count.len());
+    let threshold = crate::words::const_word(n.div_ceil(2) as u128, count.len());
     let (_, no_borrow) = sub(&mut aig, &count, &threshold);
     aig.add_output(no_borrow);
     aig
@@ -138,7 +138,7 @@ pub fn int2float() -> Aig {
     let flipped: Vec<Lit> = x.iter().map(|&b| aig.xor(b, sign)).collect();
     let one = {
         let mut w = vec![sign];
-        w.extend(std::iter::repeat(Lit::FALSE).take(n - 1));
+        w.extend(std::iter::repeat_n(Lit::FALSE, n - 1));
         w
     };
     let (magnitude, _) = crate::words::add(&mut aig, &flipped, &one, Lit::FALSE);
@@ -155,7 +155,7 @@ pub fn int2float() -> Aig {
         }
         // Mantissa: the two bits below the leading one.
         for (k, slot) in mantissa.iter_mut().enumerate() {
-            if i >= k + 1 {
+            if i > k {
                 let bit = aig.and(leader, magnitude[i - k - 1]);
                 *slot = aig.or(*slot, bit);
             }
@@ -336,7 +336,7 @@ mod tests {
         let idx: usize = (0..5).map(|b| usize::from(out[b]) << b).sum();
         assert_eq!(idx, 5);
         assert!(out[5], "valid flag");
-        let out = eval_bits(&aig, &vec![false; 32]);
+        let out = eval_bits(&aig, &[false; 32]);
         assert!(!out[5], "no request → invalid");
     }
 

@@ -159,7 +159,10 @@ pub fn popcount(aig: &mut Aig, bits: &[Lit]) -> Vec<Lit> {
         }
         words = next;
     }
-    words.pop().expect("non-empty input")
+    let Some(result) = words.pop() else {
+        unreachable!("the empty-input case returns early above");
+    };
+    result
 }
 
 /// Pads a word with constant zeros up to `n` bits.

@@ -254,8 +254,9 @@ pub fn map_luts(aig: &Aig, options: &MapOptions) -> LutNetwork {
         }
         let cut = state[&id].best().cut.clone();
         let tables = window_truth_tables(aig, &[id], cut.leaves());
-        let table = lit_truth_table(&tables, sbm_aig::Lit::new(id, false))
-            .expect("cut leaves form a valid window");
+        let Some(table) = lit_truth_table(&tables, sbm_aig::Lit::new(id, false)) else {
+            unreachable!("a best cut's leaves always form a valid window around its root");
+        };
         mapped.insert(
             id,
             Lut {

@@ -321,7 +321,8 @@ mod tests {
     fn recursive_terminates() {
         #[derive(Debug, Clone)]
         enum E {
-            Leaf(usize),
+            // The payload only exercises generation; nothing reads it.
+            Leaf(#[allow(dead_code)] usize),
             Pair(Box<E>, Box<E>),
         }
         fn size(e: &E) -> usize {

@@ -114,7 +114,7 @@ mod tests {
         y.add_output(g);
         match check_equivalence(&x, &y, None) {
             EquivResult::NotEquivalent(cex) => {
-                assert_eq!(x.eval(&cex)[0] != y.eval(&cex)[0], true);
+                assert!(x.eval(&cex)[0] != y.eval(&cex)[0]);
             }
             other => panic!("expected counterexample, got {other:?}"),
         }

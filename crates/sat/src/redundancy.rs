@@ -87,9 +87,8 @@ pub fn remove_redundancies(aig: &Aig, options: &RedundancyOptions) -> Redundancy
                     };
                 }
                 stats.checks += 1;
-                let replaced = match rebuild_with_replacement(&current, id, candidate) {
-                    Some(r) => r,
-                    None => continue,
+                let Some(replaced) = rebuild_with_replacement(&current, id, candidate) else {
+                    continue;
                 };
                 if replaced.num_ands() >= current.num_ands() {
                     continue;
@@ -164,7 +163,6 @@ mod tests {
         let opts = RedundancyOptions {
             budget: Some(100),
             max_checks: 1,
-            ..Default::default()
         };
         let stats = remove_redundancies(&aig, &opts).stats;
         assert!(stats.checks <= 1);

@@ -354,10 +354,16 @@ impl Solver {
                 p = Some(lit);
                 break;
             }
-            confl = self.reason[lit.var().index()].expect("implied literal has a reason");
+            let Some(reason) = self.reason[lit.var().index()] else {
+                unreachable!("implied (non-decision) literal always has a reason clause");
+            };
+            confl = reason;
             p = Some(lit);
         }
-        learnt[0] = !p.expect("conflict analysis found a UIP");
+        let Some(uip) = p else {
+            unreachable!("conflict analysis always reaches a UIP");
+        };
+        learnt[0] = !uip;
 
         // Backtrack level: second-highest level in learnt clause.
         let bt = if learnt.len() == 1 {
@@ -376,10 +382,13 @@ impl Solver {
     }
 
     fn cancel_until(&mut self, level: u32) {
+        // The loop conditions guarantee both pops succeed.
         while self.trail_lim.len() as u32 > level {
-            let lim = self.trail_lim.pop().expect("non-root level");
+            let Some(lim) = self.trail_lim.pop() else {
+                break;
+            };
             while self.trail.len() > lim {
-                let l = self.trail.pop().expect("trail extends past limit");
+                let Some(l) = self.trail.pop() else { break };
                 let v = l.var().index();
                 self.assign[v] = UNDEF;
                 self.reason[v] = None;
@@ -528,6 +537,8 @@ mod tests {
     }
 
     #[test]
+    // Index-based clause construction reads better than iterator chains.
+    #[allow(clippy::needless_range_loop)]
     fn pigeonhole_3_into_2_unsat() {
         // 3 pigeons, 2 holes: p[i][j] = pigeon i in hole j.
         let mut s = Solver::new();
@@ -580,6 +591,8 @@ mod tests {
     }
 
     #[test]
+    // Index-based clause construction reads better than iterator chains.
+    #[allow(clippy::needless_range_loop)]
     fn conflict_budget_returns_unknown() {
         // A hard pigeonhole instance with a tiny budget.
         let n = 6;

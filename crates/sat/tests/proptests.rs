@@ -1,3 +1,7 @@
+// Test code: a panic IS the failure report (clippy.toml only relaxes
+// unwrap/expect inside #[test] fns, not test-file helpers).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 //! Property tests: the SAT solver must agree with brute force on small
 //! formulas, and the AIG bindings must preserve network function.
 

@@ -86,6 +86,14 @@ impl Cube {
         Cube { lits }
     }
 
+    /// Test-support: wraps the literal list verbatim — no sorting, no
+    /// deduplication, no contradiction check. Used by `sbm-check` tests
+    /// to seed non-canonical cubes.
+    #[doc(hidden)]
+    pub fn from_lits_unchecked(lits: Vec<SignalLit>) -> Self {
+        Cube { lits }
+    }
+
     /// The literals, sorted ascending.
     pub fn lits(&self) -> &[SignalLit] {
         &self.lits
@@ -232,6 +240,14 @@ impl Cover {
         cover
     }
 
+    /// Test-support: wraps the cube list verbatim — no single-cube
+    /// containment minimization, no deduplication. Used by `sbm-check`
+    /// tests to seed covers with absorbed cubes.
+    #[doc(hidden)]
+    pub fn from_cubes_unchecked(cubes: Vec<Cube>) -> Self {
+        Cover { cubes }
+    }
+
     /// Removes cubes covered by other cubes (single-cube containment).
     fn make_scc_minimal(&mut self) {
         self.cubes.sort();
@@ -355,14 +371,18 @@ impl Cover {
             let plit = SignalLit::positive(signal);
             let nlit = SignalLit::negative(signal);
             if c.contains(plit) {
-                let rest = c.quotient(&Cube::from_lits(&[plit])).expect("lit present");
+                let Some(rest) = c.quotient(&Cube::from_lits(&[plit])) else {
+                    unreachable!("quotient by a contained literal always divides");
+                };
                 for p in pos.cubes() {
                     if let Some(merged) = rest.intersect(p) {
                         cubes.push(merged);
                     }
                 }
             } else if c.contains(nlit) {
-                let rest = c.quotient(&Cube::from_lits(&[nlit])).expect("lit present");
+                let Some(rest) = c.quotient(&Cube::from_lits(&[nlit])) else {
+                    unreachable!("quotient by a contained literal always divides");
+                };
                 for n in neg.cubes() {
                     if let Some(merged) = rest.intersect(n) {
                         cubes.push(merged);

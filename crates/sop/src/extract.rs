@@ -64,8 +64,10 @@ fn candidates(net: &SopNetwork) -> HashMap<Divisor, i64> {
         for i in 0..cubes.len() {
             for j in i + 1..cubes.len() {
                 let common = cubes[i].common(&cubes[j]);
-                let a = cubes[i].quotient(&common).expect("common divides");
-                let b = cubes[j].quotient(&common).expect("common divides");
+                let (Some(a), Some(b)) = (cubes[i].quotient(&common), cubes[j].quotient(&common))
+                else {
+                    unreachable!("the common cube divides both of its cubes");
+                };
                 if a.is_one() || b.is_one() {
                     continue;
                 }

@@ -62,16 +62,16 @@ fn isop_rec(lower: &TruthTable, upper: &TruthTable, vars_left: usize) -> (Cover,
 
     let mut cubes = Vec::new();
     for c in c0.cubes() {
-        cubes.push(
-            c.intersect(&Cube::from_lits(&[nx]))
-                .expect("v not in sub-cover"),
-        );
+        let Some(cube) = c.intersect(&Cube::from_lits(&[nx])) else {
+            unreachable!("v cannot appear in a cofactor cover");
+        };
+        cubes.push(cube);
     }
     for c in c1.cubes() {
-        cubes.push(
-            c.intersect(&Cube::from_lits(&[x]))
-                .expect("v not in sub-cover"),
-        );
+        let Some(cube) = c.intersect(&Cube::from_lits(&[x])) else {
+            unreachable!("v cannot appear in a cofactor cover");
+        };
+        cubes.push(cube);
     }
     cubes.extend(cstar.cubes().iter().cloned());
     (Cover::from_cubes(cubes), table)

@@ -85,16 +85,18 @@ fn kernels_rec(
                 });
             }
         }
-        let common = common.expect("lit_count >= 2 guarantees cubes");
+        let Some(common) = common else {
+            unreachable!("lit_count >= 2 guarantees at least one cube contains l");
+        };
         // Duplicate-avoidance: skip if the common cube contains an earlier
         // literal from the universe (that branch already produced it).
         if universe[..i].iter().any(|&e| common.contains(e)) {
             continue;
         }
         let (sub, _) = divide_by_cube(g, &common);
-        let new_cokernel = cokernel
-            .intersect(&common)
-            .expect("co-kernel cubes cannot contradict");
+        let Some(new_cokernel) = cokernel.intersect(&common) else {
+            unreachable!("co-kernel cubes cannot contradict");
+        };
         kernels_rec(&sub, &new_cokernel, i + 1, universe, result);
         if sub.is_cube_free() {
             push_unique(result, (sub, new_cokernel));

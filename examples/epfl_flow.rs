@@ -10,12 +10,9 @@ use sbm::lutmap::{map_luts, MapOptions};
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "priority".into());
-    let aig = match generate(&name, Scale::Reduced) {
-        Some(a) => a,
-        None => {
-            eprintln!("unknown benchmark {name:?}; known: {:?}", sbm::epfl::NAMES);
-            std::process::exit(1);
-        }
+    let Some(aig) = generate(&name, Scale::Reduced) else {
+        eprintln!("unknown benchmark {name:?}; known: {:?}", sbm::epfl::NAMES);
+        std::process::exit(1);
     };
     println!(
         "{name}: {} inputs / {} outputs, {} AND nodes unoptimized",

@@ -4,10 +4,11 @@
 //! Run with: `cargo run --example quickstart --release`
 
 use sbm::aig::Aig;
+use sbm::check::CheckLevel;
 use sbm::core::script::{resyn2rs, sbm_script_report, SbmOptions};
 use sbm::core::verify::equivalent;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A deliberately messy circuit: redundancy, duplication and an
     // unbalanced chain.
     let mut aig = Aig::new();
@@ -44,10 +45,12 @@ fn main() {
 
     // Options come from the validated builder; nonsense values (zero
     // threads, empty threshold ladders, …) are rejected at build() time.
+    // `Boundaries` additionally validates the input and output networks
+    // against the structural invariants of `sbm-check`.
     let options = SbmOptions::builder()
         .num_threads(2)
-        .build()
-        .expect("valid options");
+        .check_level(CheckLevel::Boundaries)
+        .build()?;
     let run = sbm_script_report(&aig, &options);
     let optimized = run.aig;
     println!(
@@ -61,4 +64,10 @@ fn main() {
         "optimization must preserve function"
     );
     println!("equivalence: proven by SAT miter");
+    assert!(run.stats.check_violations.is_empty());
+    println!(
+        "invariants:  clean at check level {}",
+        CheckLevel::Boundaries
+    );
+    Ok(())
 }

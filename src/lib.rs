@@ -16,7 +16,10 @@
 //! built on top of from-scratch substrates: truth tables ([`tt`]), a BDD
 //! package ([`bdd`]), an AIG with structural hashing ([`aig`]), an SOP logic
 //! network ([`sop`]), a CDCL SAT solver ([`sat`]), and a k-LUT mapper
-//! ([`lutmap`]).
+//! ([`lutmap`]). The [`check`] crate validates the structural invariants of
+//! the AIG/BDD/SOP representations; the optimization pipeline can run with
+//! those checks at every engine boundary (see
+//! [`core::pipeline::PipelineOptions::check_level`]).
 //!
 //! # Quickstart
 //!
@@ -42,6 +45,7 @@
 pub use sbm_aig as aig;
 pub use sbm_asic as asic;
 pub use sbm_bdd as bdd;
+pub use sbm_check as check;
 pub use sbm_core as core;
 pub use sbm_epfl as epfl;
 pub use sbm_lutmap as lutmap;

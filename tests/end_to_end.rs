@@ -1,3 +1,7 @@
+// Test code: a panic IS the failure report (clippy.toml only relaxes
+// unwrap/expect inside #[test] fns, not test-file helpers).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 //! End-to-end integration tests across all crates: generate realistic
 //! benchmarks, run the full SBM script, and prove equivalence with SAT.
 
