@@ -38,4 +38,27 @@ cargo test -q
 echo "==> cargo test -p sbm-check"
 cargo test -q -p sbm-check
 
+# Fault-injection smoke: seeded panics/delays/bailouts across all eight
+# engines must complete, stay equivalent, and ledger exactly. Fixed seeds
+# inside the test keep this deterministic and bounded (sub-second).
+echo "==> fault-injection smoke"
+cargo test -q -p sbm-core --test proptests \
+    all_engine_fault_stress_completes_equivalent_with_exact_ledger
+
+if [[ $quick -eq 0 ]]; then
+    # End-to-end CLI smoke: one reduced-scale table1 pass under injection
+    # plus a tight per-script deadline, verifying the flags, the retry
+    # ladder and the degraded-run report wiring. The deadline bounds the
+    # budgeted phases, so this finishes *faster* than a plain table1 run
+    # (~5 min vs ~8 min); every benchmark must still verify equivalent.
+    echo "==> table1 fault-injection smoke"
+    out=$(cargo run -q -p sbm-bench --bin table1 --release -- \
+        --fault-seed 1 --fault-rate 0.15 --deadline 5)
+    if grep -q "MISMATCH" <<<"$out"; then
+        echo "fault-injection smoke: equivalence MISMATCH" >&2
+        grep "MISMATCH" <<<"$out" >&2
+        exit 1
+    fi
+fi
+
 echo "CI OK"

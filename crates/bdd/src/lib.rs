@@ -18,7 +18,11 @@
 //! reordering** (windows are small) but enforces a **node limit**: any
 //! operation that would grow the manager beyond the limit bails out with
 //! [`BddError::NodeLimit`], which callers translate into "BDD of size 0 —
-//! disregard this node" exactly as described in Section III-C.
+//! disregard this node" exactly as described in Section III-C. Managers can
+//! additionally carry a wall-clock/cancellation budget
+//! ([`BddManager::set_budget`]) probed from inside the apply loop, so a
+//! deadline interrupts a long-running operation with
+//! [`BddError::DeadlineExceeded`] / [`BddError::Interrupted`].
 //!
 //! # Example
 //!
@@ -41,5 +45,5 @@
 mod manager;
 mod pool;
 
-pub use manager::{Bdd, BddError, BddManager, BddStats};
+pub use manager::{Bdd, BddError, BddManager, BddStats, DEFAULT_NODE_LIMIT};
 pub use pool::ManagerPool;

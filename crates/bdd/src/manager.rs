@@ -4,6 +4,7 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
+use sbm_budget::{Budget, BudgetError};
 use sbm_tt::TruthTable;
 
 /// A handle to a BDD node owned by a [`BddManager`].
@@ -49,17 +50,43 @@ pub enum BddError {
     /// maximum memory limit for the employed BDD package. The BDD computation
     /// is bailed out if the maximum memory limit is hit."
     NodeLimit,
+    /// The [`Budget`] attached via [`BddManager::set_budget`] ran out of
+    /// wall-clock time mid-operation.
+    DeadlineExceeded,
+    /// The [`Budget`] attached via [`BddManager::set_budget`] was
+    /// cancelled from another thread mid-operation.
+    Interrupted,
+}
+
+impl BddError {
+    /// True for the budget-driven early exits ([`BddError::DeadlineExceeded`]
+    /// and [`BddError::Interrupted`]), which signal "stop working" rather
+    /// than "this particular computation blew up" ([`BddError::NodeLimit`]).
+    pub fn is_budget(self) -> bool {
+        matches!(self, BddError::DeadlineExceeded | BddError::Interrupted)
+    }
 }
 
 impl fmt::Display for BddError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BddError::NodeLimit => write!(f, "bdd manager node limit exceeded"),
+            BddError::DeadlineExceeded => write!(f, "bdd operation exceeded its deadline"),
+            BddError::Interrupted => write!(f, "bdd operation cancelled"),
         }
     }
 }
 
 impl Error for BddError {}
+
+impl From<BudgetError> for BddError {
+    fn from(e: BudgetError) -> Self {
+        match e {
+            BudgetError::DeadlineExceeded => BddError::DeadlineExceeded,
+            BudgetError::Interrupted => BddError::Interrupted,
+        }
+    }
+}
 
 /// An internal decision node: `ite(var, hi, lo)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -113,14 +140,24 @@ pub struct BddManager {
     unique: HashMap<Node, Bdd>,
     ite_cache: HashMap<IteKey, Bdd>,
     node_limit: usize,
+    budget: Budget,
     stats: BddStats,
 }
 
+/// Default decision-node cap for [`BddManager::new`]: 2²⁰ nodes.
+///
+/// At 12 bytes of node storage (plus unique/computed-table overhead) this
+/// bounds a runaway manager to tens of megabytes — far above what any
+/// windowed engine needs, but a real memory safety valve instead of the
+/// previous implicit `usize::MAX`. Callers that genuinely need more pass
+/// an explicit cap to [`BddManager::with_node_limit`].
+pub const DEFAULT_NODE_LIMIT: usize = 1 << 20;
+
 impl BddManager {
-    /// Creates a manager over `num_vars` variables with an effectively
-    /// unlimited node budget.
+    /// Creates a manager over `num_vars` variables capped at
+    /// [`DEFAULT_NODE_LIMIT`] decision nodes.
     pub fn new(num_vars: usize) -> Self {
-        Self::with_node_limit(num_vars, usize::MAX)
+        Self::with_node_limit(num_vars, DEFAULT_NODE_LIMIT)
     }
 
     /// Creates a manager whose total decision-node count may not exceed
@@ -146,8 +183,18 @@ impl BddManager {
             unique: HashMap::new(),
             ite_cache: HashMap::new(),
             node_limit,
+            budget: Budget::unlimited(),
             stats: BddStats::default(),
         }
+    }
+
+    /// Attaches a [`Budget`] probed from inside the apply (ITE) loop, so
+    /// a deadline or cancellation interrupts long-running operations with
+    /// [`BddError::DeadlineExceeded`] / [`BddError::Interrupted`] instead
+    /// of letting them run to completion. [`BddManager::reset`] detaches
+    /// the budget again.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
     }
 
     /// The number of variables of this manager.
@@ -186,6 +233,7 @@ impl BddManager {
         self.nodes.truncate(2);
         self.unique.clear();
         self.ite_cache.clear();
+        self.budget = Budget::unlimited();
         self.stats = BddStats::default();
     }
 
@@ -273,9 +321,14 @@ impl BddManager {
     ///
     /// # Errors
     ///
-    /// Returns [`BddError::NodeLimit`] if the manager's node limit is hit.
+    /// Returns [`BddError::NodeLimit`] if the manager's node limit is hit,
+    /// or a budget error ([`BddError::DeadlineExceeded`] /
+    /// [`BddError::Interrupted`]) if the budget attached via
+    /// [`BddManager::set_budget`] trips.
     pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Result<Bdd, BddError> {
         self.stats.ite_calls += 1;
+        // Cooperative bailout: cancellation every step, clock amortized.
+        self.budget.probe()?;
         // Terminal cases.
         if f == Bdd::ONE {
             return Ok(g);
@@ -749,9 +802,62 @@ mod tests {
                     tripped = true;
                     break;
                 }
+                Err(other) => panic!("unbudgeted manager raised {other:?}"),
             }
         }
         assert!(tripped, "node limit never tripped");
+    }
+
+    #[test]
+    fn default_node_limit_is_bounded_and_trips() {
+        // `new` must no longer hand out an effectively unlimited manager.
+        let mut mgr = BddManager::new(4);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        assert!(mgr.and(a, b).is_ok(), "tiny op must fit the default cap");
+        assert_eq!(
+            BddManager::with_node_limit(4, DEFAULT_NODE_LIMIT).num_vars(),
+            mgr.num_vars()
+        );
+        const { assert!(DEFAULT_NODE_LIMIT < usize::MAX) };
+    }
+
+    #[test]
+    fn cancelled_budget_interrupts_ite() {
+        let mut mgr = BddManager::new(8);
+        let budget = Budget::cancellable();
+        mgr.set_budget(budget.clone());
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        assert!(mgr.and(a, b).is_ok(), "budget not tripped yet");
+        budget.cancel();
+        let c = mgr.var(2);
+        let d = mgr.var(3);
+        let err = mgr.and(c, d).unwrap_err();
+        assert_eq!(err, BddError::Interrupted);
+        assert!(err.is_budget());
+        assert!(!BddError::NodeLimit.is_budget());
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_ite() {
+        let mut mgr = BddManager::new(4);
+        mgr.set_budget(Budget::with_deadline(std::time::Duration::ZERO));
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        assert_eq!(mgr.xor(a, b), Err(BddError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn reset_detaches_the_budget() {
+        let mut mgr = BddManager::new(4);
+        let budget = Budget::cancellable();
+        budget.cancel();
+        mgr.set_budget(budget);
+        mgr.reset(4, DEFAULT_NODE_LIMIT);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        assert!(mgr.and(a, b).is_ok(), "reset must clear the budget");
     }
 
     #[test]

@@ -11,10 +11,15 @@
 //! *shape*: the SBM flow's LUT-6 area beats (or ties) the baseline on
 //! these benchmarks.
 //!
-//! Usage: `table1 [--full] [--threads N] [--check off|boundaries|paranoid]`
-//! (default: reduced scale, serial, unchecked). Checked runs validate the
-//! structural invariants of every intermediate network (see `sbm-check`)
-//! and list any violation after the table.
+//! Usage: `table1 [--full] [--threads N] [--check off|boundaries|paranoid]
+//! [--deadline SECONDS] [--fault-seed N] [--fault-rate R]`
+//! (default: reduced scale, serial, unchecked, unbounded, no injection).
+//! Checked runs validate the structural invariants of every intermediate
+//! network (see `sbm-check`) and list any violation after the table. A
+//! deadline makes the run degrade gracefully instead of overrunning;
+//! `--fault-seed`/`--fault-rate` inject deterministic faults (panics,
+//! delays, forced bailouts) to exercise the fault-tolerant executor, and
+//! the resulting `FaultSummary` is printed after the table.
 
 use sbm_core::pipeline::PipelineReport;
 use sbm_core::script::{resyn2rs_fixpoint, sbm_script_report, SbmOptions};
@@ -31,10 +36,14 @@ fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let threads = sbm_bench::threads_arg();
     let check = sbm_bench::check_arg();
+    let deadline = sbm_bench::deadline_arg();
+    let fault_plan = sbm_bench::fault_plan_arg();
     let scale = if full { Scale::Full } else { Scale::Reduced };
     let options = SbmOptions::builder()
         .num_threads(threads)
         .check_level(check)
+        .deadline(deadline)
+        .fault_plan(fault_plan)
         .build()
         .expect("valid options");
     println!("Table I — New Best Area Results For The EPFL Suite (LUT-6)");
@@ -42,6 +51,15 @@ fn main() {
         "scale: {scale:?}, threads: {threads}, check: {check}  \
          (paper sizes with --full; see EXPERIMENTS.md)"
     );
+    if let Some(deadline) = deadline {
+        println!("deadline: {:.1}s per script run", deadline.as_secs_f64());
+    }
+    if let Some(plan) = &fault_plan {
+        println!(
+            "fault injection: seed {}, rates {:.2}/{:.2}/{:.2} (panic/delay/bailout)",
+            plan.seed, plan.panic_rate, plan.delay_rate, plan.bailout_rate
+        );
+    }
     println!();
     println!(
         "{:<12} {:>9} | {:>9} {:>7} | {:>9} {:>7} | {:>8} {:>9}",
@@ -75,9 +93,17 @@ fn main() {
             verdict,
         );
     }
-    if threads > 1 {
+    if threads > 1 || fault_plan.is_some() {
         println!();
         println!("{pipeline_report}");
+    }
+    if !pipeline_report.fault.is_zero() {
+        println!();
+        println!(
+            "fault tolerance: every fault above was isolated; {} window(s) \
+             degraded to their original logic, results stay verified",
+            pipeline_report.fault.degraded_windows
+        );
     }
     if check.at_boundaries() {
         println!();

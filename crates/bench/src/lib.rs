@@ -6,8 +6,10 @@
 //! `fig1` (the Boolean-difference worked example). The criterion benches
 //! cover runtime behaviour and the ablations called out in `DESIGN.md`.
 
+use std::time::Duration;
+
 use sbm_aig::Aig;
-use sbm_check::CheckLevel;
+use sbm_check::{CheckLevel, FaultPlan};
 use sbm_sat::equiv::{check_equivalence, EquivResult};
 
 /// Verifies optimization results the way the paper does ("verified with
@@ -72,6 +74,59 @@ pub fn check_arg() -> CheckLevel {
         }
     }
     CheckLevel::Off
+}
+
+/// Parses the shared `--deadline SECONDS` CLI argument (default `None` =
+/// unbounded). The run degrades gracefully at the deadline instead of
+/// aborting; non-positive or unparsable values abort with a usage message.
+pub fn deadline_arg() -> Option<Duration> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--deadline" {
+            let seconds: f64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(0.0);
+            if seconds <= 0.0 {
+                eprintln!("--deadline needs a positive number of seconds");
+                std::process::exit(2);
+            }
+            return Some(Duration::from_secs_f64(seconds));
+        }
+    }
+    None
+}
+
+/// Parses the shared `--fault-seed N` / `--fault-rate R` CLI arguments
+/// into a deterministic [`FaultPlan`] (each of panic/delay/bailout gets
+/// probability `R` per engine invocation). Returns `None` — no injection,
+/// zero overhead — unless at least one of the flags is present; a bare
+/// `--fault-seed` defaults the rate to 0.1, a bare `--fault-rate`
+/// defaults the seed to 1.
+pub fn fault_plan_arg() -> Option<FaultPlan> {
+    let mut seed: Option<u64> = None;
+    let mut rate: Option<f64> = None;
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--fault-seed" => {
+                seed = Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--fault-seed needs an integer seed");
+                    std::process::exit(2);
+                }));
+            }
+            "--fault-rate" => {
+                let r: f64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(-1.0);
+                if !(0.0..=1.0 / 3.0).contains(&r) {
+                    eprintln!("--fault-rate needs a probability in [0, 0.333]");
+                    std::process::exit(2);
+                }
+                rate = Some(r);
+            }
+            _ => {}
+        }
+    }
+    if seed.is_none() && rate.is_none() {
+        return None;
+    }
+    Some(FaultPlan::uniform(seed.unwrap_or(1), rate.unwrap_or(0.1)))
 }
 
 /// Formats a ratio as the paper's "-x.xx%" convention.

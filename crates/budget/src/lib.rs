@@ -1,0 +1,289 @@
+//! Shared resource budgets for long-running Boolean reasoning.
+//!
+//! The paper's scalability story rests on *bounded* effort: "the BDD
+//! computation is bailed out if the maximum memory limit is hit"
+//! (Sec. III). A node or conflict cap alone cannot stop a pathological
+//! window from stalling a pass forever, so every engine invocation in
+//! this workspace additionally carries a [`Budget`]: a cheaply clonable
+//! handle bundling an optional wall-clock deadline with a cooperative
+//! cancellation flag. Inner loops (the BDD manager's apply loop, the SAT
+//! solver's propagation loop) probe the budget on an amortized schedule
+//! and bail out with a typed [`BudgetError`] instead of hanging.
+//!
+//! An unlimited budget is a `None` internally, so the common case — no
+//! deadline, no cancellation — costs a single enum-discriminant check
+//! per probe and no allocation at all.
+//!
+//! ```
+//! use sbm_budget::{Budget, BudgetError};
+//! use std::time::Duration;
+//!
+//! let unlimited = Budget::unlimited();
+//! assert!(unlimited.check().is_ok());
+//!
+//! let cancellable = Budget::cancellable();
+//! cancellable.cancel();
+//! assert_eq!(cancellable.check(), Err(BudgetError::Interrupted));
+//!
+//! let expired = Budget::with_deadline(Duration::ZERO);
+//! assert_eq!(expired.check(), Err(BudgetError::DeadlineExceeded));
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a budgeted computation had to stop early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BudgetError {
+    /// The wall-clock deadline passed before the computation finished.
+    DeadlineExceeded,
+    /// [`Budget::cancel`] was called from another handle.
+    Interrupted,
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetError::DeadlineExceeded => write!(f, "wall-clock deadline exceeded"),
+            BudgetError::Interrupted => write!(f, "computation cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+#[derive(Debug)]
+struct Inner {
+    deadline: Option<Instant>,
+    cancel: AtomicBool,
+    /// Probe counter shared by all clones; amortizes clock reads in
+    /// [`Budget::probe`].
+    ticks: AtomicU32,
+}
+
+impl Inner {
+    fn new(deadline: Option<Instant>) -> Self {
+        Inner {
+            deadline,
+            cancel: AtomicBool::new(false),
+            ticks: AtomicU32::new(0),
+        }
+    }
+}
+
+/// A shared wall-clock deadline plus cooperative cancellation flag.
+///
+/// Clones share state: cancelling any clone interrupts every holder.
+/// [`Budget::unlimited`] (the [`Default`]) never trips and is free to
+/// probe, so budget checks can be left unconditionally in hot loops.
+///
+/// Deadlines are *cooperative*: work stops at the next probe after the
+/// deadline passes, not at the deadline itself, so overshoot is bounded
+/// by the probe interval of the loop doing the work.
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Budget {
+    /// A budget that never trips. Probing it is a single `is_none`
+    /// check; no allocation is performed.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Budget { inner: None }
+    }
+
+    /// A budget that trips once `deadline` has elapsed from now.
+    #[must_use]
+    pub fn with_deadline(deadline: Duration) -> Self {
+        Budget {
+            inner: Some(Arc::new(Inner::new(Instant::now().checked_add(deadline)))),
+        }
+    }
+
+    /// A budget with no deadline that can still be cancelled via
+    /// [`Budget::cancel`] from another thread.
+    #[must_use]
+    pub fn cancellable() -> Self {
+        Budget {
+            inner: Some(Arc::new(Inner::new(None))),
+        }
+    }
+
+    /// Builds a budget from an optional deadline: `None` yields
+    /// [`Budget::unlimited`].
+    #[must_use]
+    pub fn from_deadline(deadline: Option<Duration>) -> Self {
+        deadline.map_or_else(Budget::unlimited, Budget::with_deadline)
+    }
+
+    /// True when this handle can never trip.
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.inner.is_none()
+    }
+
+    /// Requests cancellation; every clone of this budget trips at its
+    /// next probe. A no-op on an unlimited budget.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancel.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// True once [`Budget::cancel`] has been called on any clone.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|inner| inner.cancel.load(Ordering::Relaxed))
+    }
+
+    /// Checks the budget exactly: `Err` once cancelled or past the
+    /// deadline. Reads the wall clock on every call; for hot loops use
+    /// [`Budget::probe`] instead.
+    pub fn check(&self) -> Result<(), BudgetError> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        if inner.cancel.load(Ordering::Relaxed) {
+            return Err(BudgetError::Interrupted);
+        }
+        if let Some(deadline) = inner.deadline {
+            if Instant::now() >= deadline {
+                return Err(BudgetError::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+
+    /// Cheap probe for hot loops (the BDD apply loop, the SAT propagation
+    /// loop): cancellation is checked on every call (one relaxed atomic
+    /// load), the wall clock only every 256th call — and on the very
+    /// first, so an already-expired deadline is seen immediately. The
+    /// unlimited case is a single `is_none` check.
+    pub fn probe(&self) -> Result<(), BudgetError> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        if inner.cancel.load(Ordering::Relaxed) {
+            return Err(BudgetError::Interrupted);
+        }
+        if let Some(deadline) = inner.deadline {
+            if inner.ticks.fetch_add(1, Ordering::Relaxed) & 0xFF == 0 && Instant::now() >= deadline
+            {
+                return Err(BudgetError::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code: a panic IS the failure report, so unwrap/expect are the
+    // idiomatic way to assert.
+    #![allow(clippy::expect_used, clippy::unwrap_used)]
+
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let b = Budget::unlimited();
+        assert!(b.is_unlimited());
+        assert!(!b.is_cancelled());
+        for _ in 0..1000 {
+            assert!(b.check().is_ok());
+        }
+        b.cancel(); // no-op
+        assert!(b.check().is_ok());
+        assert!(Budget::default().is_unlimited());
+    }
+
+    #[test]
+    fn cancellation_is_shared_across_clones() {
+        let a = Budget::cancellable();
+        let b = a.clone();
+        assert!(a.check().is_ok());
+        assert!(b.check().is_ok());
+        b.cancel();
+        assert_eq!(a.check(), Err(BudgetError::Interrupted));
+        assert_eq!(b.check(), Err(BudgetError::Interrupted));
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn expired_deadline_trips_immediately() {
+        let b = Budget::with_deadline(Duration::ZERO);
+        assert_eq!(b.check(), Err(BudgetError::DeadlineExceeded));
+        assert!(!b.is_unlimited());
+    }
+
+    #[test]
+    fn generous_deadline_does_not_trip() {
+        let b = Budget::with_deadline(Duration::from_secs(3600));
+        assert!(b.check().is_ok());
+    }
+
+    #[test]
+    fn cancellation_outranks_deadline() {
+        let b = Budget::with_deadline(Duration::ZERO);
+        b.cancel();
+        assert_eq!(b.check(), Err(BudgetError::Interrupted));
+    }
+
+    #[test]
+    fn probe_sees_cancellation_and_expired_deadline_immediately() {
+        let b = Budget::cancellable();
+        assert!(b.probe().is_ok());
+        b.cancel();
+        assert_eq!(b.probe(), Err(BudgetError::Interrupted));
+
+        let d = Budget::with_deadline(Duration::ZERO);
+        assert_eq!(d.probe(), Err(BudgetError::DeadlineExceeded));
+
+        let far = Budget::with_deadline(Duration::from_secs(3600));
+        for _ in 0..2000 {
+            assert!(far.probe().is_ok());
+        }
+        assert!(Budget::unlimited().probe().is_ok());
+    }
+
+    #[test]
+    fn from_deadline_maps_none_to_unlimited() {
+        assert!(Budget::from_deadline(None).is_unlimited());
+        let b = Budget::from_deadline(Some(Duration::ZERO));
+        assert_eq!(b.check(), Err(BudgetError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn errors_display_and_compare() {
+        assert_eq!(
+            BudgetError::DeadlineExceeded.to_string(),
+            "wall-clock deadline exceeded"
+        );
+        assert_eq!(
+            BudgetError::Interrupted.to_string(),
+            "computation cancelled"
+        );
+        assert_ne!(BudgetError::DeadlineExceeded, BudgetError::Interrupted);
+    }
+
+    #[test]
+    fn cancel_reaches_worker_threads() {
+        let b = Budget::cancellable();
+        let worker = b.clone();
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(move || loop {
+                if worker.check().is_err() {
+                    break worker.check();
+                }
+                std::thread::yield_now();
+            });
+            b.cancel();
+            assert_eq!(handle.join().unwrap(), Err(BudgetError::Interrupted));
+        });
+    }
+}

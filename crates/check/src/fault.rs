@@ -1,0 +1,174 @@
+//! Deterministic fault injection for the fault-tolerant execution layer.
+//!
+//! A [`FaultPlan`] seeds pseudo-random faults — panics, delays and forced
+//! bailouts — at engine boundaries so tests can prove that every
+//! degradation path in `sbm-core`'s pipeline preserves functional
+//! equivalence and that its `FaultSummary` bookkeeping is exact. Like the
+//! `corrupt_*` injectors elsewhere in this crate, the hooks are always
+//! compiled: with no plan installed the cost is a single `Option` check
+//! per engine invocation, and nothing here can fire in production paths
+//! unless a caller explicitly constructs a plan.
+//!
+//! Rolls are a pure function of `(seed, window, engine, attempt)` — no
+//! global state, no clock — so a plan injects the *same* faults no matter
+//! how many worker threads execute the windows, and a test can replay the
+//! ledger independently.
+
+use std::panic::resume_unwind;
+use std::time::Duration;
+
+/// The kind of fault a [`FaultPlan`] roll produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Unwind out of the engine invocation (via [`inject_panic`]).
+    Panic,
+    /// Sleep for [`FaultPlan::delay`] before running the engine.
+    Delay,
+    /// Treat the invocation as a forced bailout: the engine is skipped
+    /// and the attempt counts as failed.
+    Bailout,
+}
+
+/// A deterministic schedule of injected faults.
+///
+/// Each rate is an independent probability in `[0, 1]`; they are applied
+/// as cumulative bands (panic first, then delay, then bailout), so their
+/// sum is the total injection probability and must not exceed 1 to give
+/// each kind its full band.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed mixed into every roll.
+    pub seed: u64,
+    /// Probability of [`FaultKind::Panic`] per engine invocation.
+    pub panic_rate: f64,
+    /// Probability of [`FaultKind::Delay`] per engine invocation.
+    pub delay_rate: f64,
+    /// Probability of [`FaultKind::Bailout`] per engine invocation.
+    pub bailout_rate: f64,
+    /// How long an injected delay sleeps. Kept small by default so
+    /// stress tests with high delay rates stay fast.
+    pub delay: Duration,
+}
+
+impl FaultPlan {
+    /// A plan injecting each fault kind with the same probability
+    /// `rate` (clamped to `[0, 1/3]` so the cumulative bands fit).
+    #[must_use]
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        let rate = rate.clamp(0.0, 1.0 / 3.0);
+        FaultPlan {
+            seed,
+            panic_rate: rate,
+            delay_rate: rate,
+            bailout_rate: rate,
+            delay: Duration::from_micros(200),
+        }
+    }
+
+    /// Rolls for the engine invocation identified by `(window, engine,
+    /// attempt)`. Deterministic: equal arguments on an equal plan always
+    /// produce the same outcome, independent of threads or timing.
+    #[must_use]
+    pub fn roll(&self, window: usize, engine: &str, attempt: u8) -> Option<FaultKind> {
+        let mut h = self.seed ^ 0x9E37_79B9_7F4A_7C15;
+        h = splitmix64(h ^ window as u64);
+        for &b in engine.as_bytes() {
+            h = splitmix64(h ^ u64::from(b));
+        }
+        h = splitmix64(h ^ u64::from(attempt));
+        // 53 uniform bits → r ∈ [0, 1).
+        #[allow(clippy::cast_precision_loss)]
+        let r = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if r < self.panic_rate {
+            Some(FaultKind::Panic)
+        } else if r < self.panic_rate + self.delay_rate {
+            Some(FaultKind::Delay)
+        } else if r < self.panic_rate + self.delay_rate + self.bailout_rate {
+            Some(FaultKind::Bailout)
+        } else {
+            None
+        }
+    }
+}
+
+/// Payload carried by an injected panic, so `catch_unwind` sites can tell
+/// injected faults from genuine engine bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedPanic;
+
+/// Unwinds with an [`InjectedPanic`] payload via `resume_unwind`, which
+/// skips the panic hook — stress tests with hundreds of injected panics
+/// stay silent on stderr.
+pub fn inject_panic() -> ! {
+    resume_unwind(Box::new(InjectedPanic))
+}
+
+/// One round of splitmix64 — the same finalizer the AIG simulator uses
+/// for its pattern generator.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolls_are_deterministic() {
+        let plan = FaultPlan::uniform(42, 0.2);
+        for w in 0..50 {
+            for attempt in 0..2 {
+                assert_eq!(
+                    plan.roll(w, "rewrite", attempt),
+                    plan.roll(w, "rewrite", attempt)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rolls_depend_on_every_key_component() {
+        let plan = FaultPlan::uniform(7, 1.0 / 3.0);
+        let base: Vec<_> = (0..200).map(|w| plan.roll(w, "mspf", 0)).collect();
+        let other_engine: Vec<_> = (0..200).map(|w| plan.roll(w, "bdiff", 0)).collect();
+        let other_attempt: Vec<_> = (0..200).map(|w| plan.roll(w, "mspf", 1)).collect();
+        let other_seed: Vec<_> = (0..200)
+            .map(|w| FaultPlan::uniform(8, 1.0 / 3.0).roll(w, "mspf", 0))
+            .collect();
+        assert_ne!(base, other_engine);
+        assert_ne!(base, other_attempt);
+        assert_ne!(base, other_seed);
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let plan = FaultPlan::uniform(1, 0.25);
+        let n = 4000;
+        let hits = (0..n)
+            .filter(|&w| plan.roll(w, "resub", 0).is_some())
+            .count();
+        // Total injection probability 0.75; allow a generous band.
+        let frac = hits as f64 / f64::from(n as u32);
+        assert!((0.6..0.9).contains(&frac), "observed rate {frac}");
+        let zero = FaultPlan::uniform(1, 0.0);
+        assert!((0..n).all(|w| zero.roll(w, "resub", 0).is_none()));
+    }
+
+    #[test]
+    fn injected_panic_is_catchable_and_identifiable() {
+        let payload =
+            std::panic::catch_unwind(|| inject_panic()).expect_err("inject_panic must unwind");
+        assert!(payload.downcast_ref::<InjectedPanic>().is_some());
+    }
+
+    #[test]
+    fn uniform_clamps_excess_rates() {
+        let plan = FaultPlan::uniform(3, 5.0);
+        let total = plan.panic_rate + plan.delay_rate + plan.bailout_rate;
+        assert!(total <= 1.0 + f64::EPSILON);
+    }
+}

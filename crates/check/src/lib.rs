@@ -18,6 +18,11 @@
 //! engine and partition that produced it — a silent miscompile becomes a
 //! diagnostic.
 //!
+//! The [`fault`] module complements the *checkers* with deterministic
+//! fault *injection*: a [`FaultPlan`] seeds panics, delays and forced
+//! bailouts at engine boundaries so the pipeline's isolate-and-degrade
+//! paths can be exercised and proven equivalence-preserving under test.
+//!
 //! # Example
 //!
 //! ```
@@ -41,11 +46,13 @@
 
 mod aig;
 mod bdd;
+pub mod fault;
 mod sim;
 mod sop;
 
 pub use aig::check_aig;
 pub use bdd::check_bdd;
+pub use fault::{inject_panic, FaultKind, FaultPlan, InjectedPanic};
 pub use sim::sim_spot_check;
 pub use sop::{check_cover, check_cube, check_sop};
 

@@ -18,6 +18,7 @@ use std::collections::HashMap;
 use sbm_aig::window::{partition, PartitionOptions};
 use sbm_aig::{Aig, Lit, NodeId};
 use sbm_bdd::{Bdd, BddManager};
+use sbm_budget::Budget;
 
 use crate::bdd_bridge::{bdd_to_aig, pooled_manager, recycle_manager, window_bdds};
 use crate::rewrite::{cut_mffc, cut_mffc_set};
@@ -92,10 +93,21 @@ pub(crate) fn boolean_difference_resub_impl(
     aig: &Aig,
     options: &BdiffOptions,
 ) -> (Aig, BdiffStats) {
+    boolean_difference_resub_budgeted(aig, options, &Budget::unlimited())
+}
+
+pub(crate) fn boolean_difference_resub_budgeted(
+    aig: &Aig,
+    options: &BdiffOptions,
+    budget: &Budget,
+) -> (Aig, BdiffStats) {
     let mut work = aig.cleanup();
     let mut stats = BdiffStats::default();
     let parts = partition(&work, &options.partition);
     for part in &parts {
+        if budget.check().is_err() {
+            break;
+        }
         stats.windows += 1;
         if part.leaves.is_empty() {
             continue;
@@ -104,8 +116,13 @@ pub(crate) fn boolean_difference_resub_impl(
         // paper applies the method monolithically to i2c's 147 inputs);
         // the node limit is the only safety valve.
         let mut mgr = pooled_manager(part.leaves.len(), options.bdd_node_limit);
+        mgr.set_budget(budget.clone());
         let bdds = window_bdds(&work, part, &mut mgr);
-        stats.bailouts += bdds.values().filter(|b| b.is_none()).count();
+        // A tripped budget also surfaces as `None` entries; only genuine
+        // node-limit failures count as bailouts.
+        if budget.check().is_ok() {
+            stats.bailouts += bdds.values().filter(|b| b.is_none()).count();
+        }
         // Alg. 1's all_bdds hashtable: canonical BDD → implementing literal.
         // Leaves and members both participate, so an existing node whose
         // function equals a difference is reused directly.
@@ -129,6 +146,9 @@ pub(crate) fn boolean_difference_resub_impl(
             .collect();
 
         for &f in &part.nodes {
+            if budget.check().is_err() {
+                break;
+            }
             // Skip replaced nodes and nodes that died when an earlier
             // replacement freed their cone (fanout count 0 ⇒ unreachable).
             if work.is_replaced(f) || fanout_counts.get(f.index()).is_none_or(|&c| c == 0) {
@@ -256,9 +276,16 @@ fn evaluate_pair(
     options: &BdiffOptions,
     stats: &mut BdiffStats,
 ) -> Option<Candidate> {
-    let Ok(diff) = mgr.xor(bf, bg) else {
-        stats.bailouts += 1;
-        return None;
+    let diff = match mgr.xor(bf, bg) {
+        Ok(diff) => diff,
+        Err(error) => {
+            // Budget trips mean "stop working", not "this pair blew the
+            // node limit" — only the latter is a bailout.
+            if !error.is_budget() {
+                stats.bailouts += 1;
+            }
+            return None;
+        }
     };
     // `saving` is f's exclusive cone down to the window leaves and g —
     // exactly what the replacement `diff(leaves) ⊕ g` frees.

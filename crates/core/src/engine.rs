@@ -14,13 +14,14 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use sbm_aig::Aig;
+use sbm_budget::Budget;
 use sbm_check::{check_aig, sim_spot_check, CheckError};
 
 use crate::balance::balance;
-use crate::bdiff::{boolean_difference_resub_impl, BdiffOptions};
-use crate::gradient::{gradient_optimize_impl, GradientOptions};
+use crate::bdiff::{boolean_difference_resub_budgeted, BdiffOptions};
+use crate::gradient::{gradient_optimize_budgeted, GradientOptions};
 use crate::hetero::{hetero_eliminate_kernel_impl, HeteroOptions};
-use crate::mspf::{mspf_optimize_impl, MspfOptions};
+use crate::mspf::{mspf_optimize_budgeted, MspfOptions};
 use crate::refactor::{refactor_impl, RefactorOptions};
 use crate::resub::{resub_impl, ResubOptions};
 use crate::rewrite::{rewrite_impl, RewriteOptions};
@@ -30,18 +31,35 @@ use crate::rewrite::{rewrite_impl, RewriteOptions};
 pub struct OptContext {
     /// Worker threads available to the engine (1 = strictly serial).
     pub num_threads: usize,
+    /// Resource budget (wall-clock deadline / cancellation) the engine
+    /// must honor; the BDD-backed engines thread it into their managers
+    /// and solvers so a tripped budget interrupts their inner loops.
+    pub budget: Budget,
 }
 
 impl Default for OptContext {
     fn default() -> Self {
-        OptContext { num_threads: 1 }
+        OptContext {
+            num_threads: 1,
+            budget: Budget::unlimited(),
+        }
     }
 }
 
 impl OptContext {
-    /// A context with `num_threads` workers.
+    /// A context with `num_threads` workers and an unlimited budget.
     pub fn with_threads(num_threads: usize) -> Self {
-        OptContext { num_threads }
+        OptContext {
+            num_threads,
+            ..OptContext::default()
+        }
+    }
+
+    /// Replaces the budget, builder-style.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
     }
 }
 
@@ -60,7 +78,13 @@ pub struct EngineStats {
     pub accepted: usize,
     /// AND-node reduction (positive = smaller network).
     pub gain: i64,
-    /// BDD node-limit bailouts.
+    /// BDD node-limit bailouts. Every `BddError::NodeLimit` bail inside
+    /// an engine increments this — including the mspf/bdiff moves the
+    /// gradient scheduler dispatches; the purely algebraic engines
+    /// (balance, rewrite, refactor, resub, hetero) use no BDDs, so their
+    /// count is structurally zero. Budget interruptions (deadline /
+    /// cancel) are *not* counted here; they surface in the pipeline's
+    /// `FaultSummary` instead.
     pub bailouts: usize,
     /// Wall-clock time of the pass.
     pub wall: Duration,
@@ -103,6 +127,17 @@ pub trait Engine: Send + Sync {
     fn name(&self) -> &str;
     /// Runs the pass. Implementations never return a larger network.
     fn run(&self, aig: &Aig, ctx: &mut OptContext) -> EngineResult;
+    /// A cheaper preset of this engine for the pipeline's retry ladder:
+    /// after a failed invocation (panic or forced bailout) the window is
+    /// retried once on this variant before degrading to its original
+    /// sub-network. `None` (the default) retries with the engine itself.
+    ///
+    /// Mirrors the paper's "try expensive Boolean, fall back to cheap
+    /// algebraic" philosophy: the BDD-backed engines halve their node
+    /// limits here.
+    fn reduced_effort(&self) -> Option<Box<dyn Engine>> {
+        None
+    }
 }
 
 /// Seed of every 64-pattern simulation spot-check run by the checked
@@ -321,16 +356,24 @@ impl Engine for Mspf {
         "mspf"
     }
 
-    fn run(&self, aig: &Aig, _ctx: &mut OptContext) -> EngineResult {
+    fn run(&self, aig: &Aig, ctx: &mut OptContext) -> EngineResult {
+        let budget = ctx.budget.clone();
         timed(
             aig,
-            |a| mspf_optimize_impl(a, &self.options),
+            |a| mspf_optimize_budgeted(a, &self.options, &budget),
             |native, stats| {
                 stats.tried = native.mspf_computed;
                 stats.accepted = native.replaced + native.constants;
                 stats.bailouts = native.bailouts;
             },
         )
+    }
+
+    fn reduced_effort(&self) -> Option<Box<dyn Engine>> {
+        let mut options = self.options;
+        options.bdd_node_limit = (options.bdd_node_limit / 2).max(1);
+        options.max_candidates = (options.max_candidates / 2).max(1);
+        Some(Box::new(Mspf { options }))
     }
 }
 
@@ -346,10 +389,11 @@ impl Engine for Bdiff {
         "bdiff"
     }
 
-    fn run(&self, aig: &Aig, _ctx: &mut OptContext) -> EngineResult {
+    fn run(&self, aig: &Aig, ctx: &mut OptContext) -> EngineResult {
+        let budget = ctx.budget.clone();
         timed(
             aig,
-            |a| boolean_difference_resub_impl(a, &self.options),
+            |a| boolean_difference_resub_budgeted(a, &self.options, &budget),
             |native, stats| {
                 stats.windows = native.windows;
                 stats.tried = native.pairs_tried;
@@ -357,6 +401,13 @@ impl Engine for Bdiff {
                 stats.bailouts = native.bailouts;
             },
         )
+    }
+
+    fn reduced_effort(&self) -> Option<Box<dyn Engine>> {
+        let mut options = self.options;
+        options.bdd_node_limit = (options.bdd_node_limit / 2).max(1);
+        options.max_pairs_per_node = (options.max_pairs_per_node / 2).max(1);
+        Some(Box::new(Bdiff { options }))
     }
 }
 
@@ -406,16 +457,25 @@ impl Engine for Gradient {
     fn run(&self, aig: &Aig, ctx: &mut OptContext) -> EngineResult {
         let mut options = self.options.clone();
         options.num_threads = options.num_threads.max(ctx.num_threads);
+        let budget = ctx.budget.clone();
         timed(
             aig,
-            |a| gradient_optimize_impl(a, &options),
+            |a| gradient_optimize_budgeted(a, &options, &budget),
             |native, stats| {
                 for (_, record) in &native.records {
                     stats.tried += record.tried as usize;
                     stats.accepted += record.succeeded as usize;
+                    stats.bailouts += record.bailouts as usize;
                 }
             },
         )
+    }
+
+    fn reduced_effort(&self) -> Option<Box<dyn Engine>> {
+        let mut options = self.options.clone();
+        options.budget = (options.budget / 2).max(1);
+        options.budget_extension = 0;
+        Some(Box::new(Gradient { options }))
     }
 }
 

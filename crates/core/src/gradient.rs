@@ -10,11 +10,12 @@
 //! gradient is 0 over the last k iterations".
 
 use sbm_aig::Aig;
+use sbm_budget::Budget;
 
 use crate::balance::balance;
-use crate::bdiff::{boolean_difference_resub_impl, BdiffOptions};
+use crate::bdiff::{boolean_difference_resub_budgeted, BdiffOptions};
 use crate::hetero::{hetero_eliminate_kernel_impl, HeteroOptions};
-use crate::mspf::{mspf_optimize_impl, MspfOptions};
+use crate::mspf::{mspf_optimize_budgeted, MspfOptions};
 use crate::refactor::{refactor_impl, RefactorOptions};
 use crate::resub::{resub_impl, ResubOptions};
 use crate::rewrite::{rewrite_impl, RewriteOptions};
@@ -97,23 +98,7 @@ impl Move {
 
     /// Applies the move serially, returning the optimized network.
     pub fn apply(self, aig: &Aig) -> Aig {
-        match self {
-            Move::Balance => balance(aig),
-            Move::Rewrite => rewrite_impl(aig, &RewriteOptions::default()).0,
-            Move::Refactor { high_effort } => {
-                refactor_impl(aig, &Move::refactor_options(high_effort)).0
-            }
-            Move::Resub { high_effort } => resub_impl(aig, &Move::resub_options(high_effort)).0,
-            Move::MspfResub { high_effort } => {
-                mspf_optimize_impl(aig, &Move::mspf_options(high_effort)).0
-            }
-            Move::EliminateKernel { high_effort } => {
-                hetero_eliminate_kernel_impl(aig, &Move::hetero_options(high_effort)).0
-            }
-            Move::BooleanDifference => {
-                boolean_difference_resub_impl(aig, &BdiffOptions::default()).0
-            }
-        }
+        self.apply_budgeted(aig, 1, &Budget::unlimited()).0
     }
 
     /// Applies the move with `num_threads` workers: window-based moves are
@@ -122,41 +107,107 @@ impl Move {
     /// enables its internal threshold-sweep threads. At `num_threads = 1`
     /// this is exactly [`Move::apply`].
     pub fn apply_threaded(self, aig: &Aig, num_threads: usize) -> Aig {
-        if num_threads <= 1 {
-            return self.apply(aig);
+        self.apply_budgeted(aig, num_threads, &Budget::unlimited())
+            .0
+    }
+
+    /// [`Move::apply_threaded`] with a shared [`Budget`]: BDD-backed moves
+    /// observe the deadline/cancellation and stop early, returning the best
+    /// network found so far. Also returns the BDD node-limit bailouts the
+    /// move incurred (always 0 for algebraic moves, which never build
+    /// BDDs), so the gradient engine's ledger covers its inner mspf/bdiff
+    /// invocations.
+    pub(crate) fn apply_budgeted(
+        self,
+        aig: &Aig,
+        num_threads: usize,
+        budget: &Budget,
+    ) -> (Aig, u64) {
+        if num_threads > 1 {
+            return self.apply_parallel_budgeted(aig, num_threads, budget);
         }
-        use crate::engine;
-        use crate::pipeline::parallel_pass;
         match self {
-            Move::Balance => balance(aig),
-            Move::Rewrite => parallel_pass(aig, num_threads, engine::Rewrite::default()),
-            Move::Refactor { high_effort } => parallel_pass(
+            Move::Balance => (balance(aig), 0),
+            Move::Rewrite => (rewrite_impl(aig, &RewriteOptions::default()).0, 0),
+            Move::Refactor { high_effort } => (
+                refactor_impl(aig, &Move::refactor_options(high_effort)).0,
+                0,
+            ),
+            Move::Resub { high_effort } => {
+                (resub_impl(aig, &Move::resub_options(high_effort)).0, 0)
+            }
+            Move::MspfResub { high_effort } => {
+                let (aig, stats) =
+                    mspf_optimize_budgeted(aig, &Move::mspf_options(high_effort), budget);
+                (aig, stats.bailouts as u64)
+            }
+            Move::EliminateKernel { high_effort } => (
+                hetero_eliminate_kernel_impl(aig, &Move::hetero_options(high_effort)).0,
+                0,
+            ),
+            Move::BooleanDifference => {
+                let (aig, stats) =
+                    boolean_difference_resub_budgeted(aig, &BdiffOptions::default(), budget);
+                (aig, stats.bailouts as u64)
+            }
+        }
+    }
+
+    fn apply_parallel_budgeted(self, aig: &Aig, num_threads: usize, budget: &Budget) -> (Aig, u64) {
+        use crate::engine;
+        use crate::pipeline::parallel_pass_budgeted;
+        fn split(run: crate::engine::Optimized<crate::pipeline::PipelineReport>) -> (Aig, u64) {
+            let bailouts = run
+                .stats
+                .engines
+                .iter()
+                .map(|(_, s)| s.bailouts as u64)
+                .sum();
+            (run.aig, bailouts)
+        }
+        match self {
+            Move::Balance => (balance(aig), 0),
+            Move::Rewrite => split(parallel_pass_budgeted(
                 aig,
                 num_threads,
+                budget,
+                engine::Rewrite::default(),
+            )),
+            Move::Refactor { high_effort } => split(parallel_pass_budgeted(
+                aig,
+                num_threads,
+                budget,
                 engine::Refactor {
                     options: Move::refactor_options(high_effort),
                 },
-            ),
-            Move::Resub { high_effort } => parallel_pass(
+            )),
+            Move::Resub { high_effort } => split(parallel_pass_budgeted(
                 aig,
                 num_threads,
+                budget,
                 engine::Resub {
                     options: Move::resub_options(high_effort),
                 },
-            ),
-            Move::MspfResub { high_effort } => parallel_pass(
+            )),
+            Move::MspfResub { high_effort } => split(parallel_pass_budgeted(
                 aig,
                 num_threads,
+                budget,
                 engine::Mspf {
                     options: Move::mspf_options(high_effort),
                 },
-            ),
+            )),
             Move::EliminateKernel { high_effort } => {
                 let mut opts = Move::hetero_options(high_effort);
                 opts.parallel = true;
-                hetero_eliminate_kernel_impl(aig, &opts).0
+                (hetero_eliminate_kernel_impl(aig, &opts).0, 0)
             }
-            Move::BooleanDifference => parallel_pass(aig, num_threads, engine::Bdiff::default()),
+            Move::BooleanDifference => split(parallel_pass_budgeted(
+                aig,
+                num_threads,
+                budget,
+                engine::Bdiff::default(),
+            )),
         }
     }
 }
@@ -232,6 +283,9 @@ pub struct MoveRecord {
     pub succeeded: u64,
     /// Total nodes gained.
     pub total_gain: u64,
+    /// BDD node-limit bailouts incurred by the move's inner mspf/bdiff
+    /// invocations (always 0 for algebraic moves).
+    pub bailouts: u64,
 }
 
 /// Statistics of a gradient-engine run.
@@ -269,6 +323,14 @@ pub fn gradient_optimize(
 }
 
 pub(crate) fn gradient_optimize_impl(aig: &Aig, options: &GradientOptions) -> (Aig, GradientStats) {
+    gradient_optimize_budgeted(aig, options, &Budget::unlimited())
+}
+
+pub(crate) fn gradient_optimize_budgeted(
+    aig: &Aig,
+    options: &GradientOptions,
+    budget: &Budget,
+) -> (Aig, GradientStats) {
     let mut current = aig.cleanup();
     let mut stats = GradientStats {
         records: all_moves()
@@ -277,14 +339,19 @@ pub(crate) fn gradient_optimize_impl(aig: &Aig, options: &GradientOptions) -> (A
             .collect(),
         ..Default::default()
     };
-    let mut budget = options.budget;
+    let mut cost_budget = options.budget;
     let mut spent = 0u32;
     let mut recent_gains: Vec<usize> = Vec::new();
     // The cost tier currently unlocked: cheap moves first (paper: "the
     // optimization engine starts by trying unit cost moves").
     let mut unlocked_cost = 1u32;
 
-    while spent < budget {
+    while spent < cost_budget {
+        // The wall-clock budget overrides the cost budget: a deadline or
+        // cancellation ends the run with the best network found so far.
+        if budget.check().is_err() {
+            break;
+        }
         stats.iterations += 1;
         let size_before = current.num_ands();
         if size_before == 0 {
@@ -313,16 +380,20 @@ pub(crate) fn gradient_optimize_impl(aig: &Aig, options: &GradientOptions) -> (A
 
         let mut best: Option<(Move, Aig, usize)> = None;
         for mv in candidates {
-            if spent + mv.cost() > budget {
+            if spent + mv.cost() > cost_budget {
                 continue;
             }
-            let result = mv.apply_threaded(&current, options.num_threads);
+            if budget.check().is_err() {
+                break;
+            }
+            let (result, bailouts) = mv.apply_budgeted(&current, options.num_threads, budget);
             spent += mv.cost();
             let gain = size_before.saturating_sub(result.num_ands());
             let Some((_, rec)) = stats.records.iter_mut().find(|(mm, _)| *mm == mv) else {
                 unreachable!("stats tracks a record for every move");
             };
             rec.tried += 1;
+            rec.bailouts += bailouts;
             if gain > 0 {
                 rec.succeeded += 1;
                 rec.total_gain += gain as u64;
@@ -334,7 +405,7 @@ pub(crate) fn gradient_optimize_impl(aig: &Aig, options: &GradientOptions) -> (A
                     break; // first successful move wins
                 }
             }
-            if spent >= budget {
+            if spent >= cost_budget {
                 break;
             }
         }
@@ -364,8 +435,8 @@ pub(crate) fn gradient_optimize_impl(aig: &Aig, options: &GradientOptions) -> (A
                 stats.early_termination = true;
                 break;
             }
-            if gradient >= options.min_gain_gradient && spent >= budget {
-                budget += options.budget_extension;
+            if gradient >= options.min_gain_gradient && spent >= cost_budget {
+                cost_budget += options.budget_extension;
                 stats.extensions += 1;
             }
         }

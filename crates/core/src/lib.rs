@@ -30,6 +30,14 @@
 //! the engine and partition that first caused it
 //! ([`engine::CheckViolation`]).
 //!
+//! Execution is fault-tolerant: a wall-clock deadline or cancellation
+//! ([`sbm_budget::Budget`], via [`pipeline::PipelineOptions::deadline`] /
+//! [`script::SbmOptions::deadline`]) stops engines cooperatively, window
+//! panics are caught and degraded to the original sub-network, failed
+//! attempts are retried once at reduced effort, and everything is tallied
+//! in [`pipeline::FaultSummary`]. Deterministic fault injection
+//! ([`sbm_check::FaultPlan`]) exercises every one of those paths in tests.
+//!
 //! # Example
 //!
 //! ```

@@ -23,6 +23,7 @@ use sbm_aig::mffc::mffc_size;
 use sbm_aig::window::{partition, Partition, PartitionOptions};
 use sbm_aig::{Aig, Lit, NodeId};
 use sbm_bdd::{Bdd, BddError, BddManager};
+use sbm_budget::Budget;
 
 use crate::bdd_bridge::{pooled_manager, recycle_manager, window_bdds};
 
@@ -144,11 +145,31 @@ pub fn mspf_optimize(aig: &Aig, options: &MspfOptions) -> crate::engine::Optimiz
 }
 
 pub(crate) fn mspf_optimize_impl(aig: &Aig, options: &MspfOptions) -> (Aig, MspfStats) {
+    mspf_optimize_budgeted(aig, options, &Budget::unlimited())
+}
+
+/// Counts `error` as a node-limit bailout; budget interruptions are a
+/// "stop working" signal, not a per-node failure, and are excluded so
+/// `MspfStats::bailouts` stays exact under deadlines.
+fn count_bailout(stats: &mut MspfStats, error: BddError) {
+    if !error.is_budget() {
+        stats.bailouts += 1;
+    }
+}
+
+pub(crate) fn mspf_optimize_budgeted(
+    aig: &Aig,
+    options: &MspfOptions,
+    budget: &Budget,
+) -> (Aig, MspfStats) {
     let mut work = aig.cleanup();
     let mut stats = MspfStats::default();
     let parts = partition(&work, &options.partition);
     let mut fanout_counts = work.fanout_counts();
     for part in &parts {
+        if budget.check().is_err() {
+            break; // wind down: keep what was already optimized
+        }
         if part.leaves.is_empty() || part.leaves.len() + 1 > sbm_tt::MAX_VARS {
             continue;
         }
@@ -162,9 +183,13 @@ pub(crate) fn mspf_optimize_impl(aig: &Aig, options: &MspfOptions) -> (Aig, Mspf
         // functions, so this map is rebuilt after every accepted
         // replacement.
         let mut mgr = pooled_manager(part.leaves.len() + 1, options.bdd_node_limit);
+        mgr.set_budget(budget.clone());
         let mut bdds = window_bdds(&work, part, &mut mgr);
 
         for &f in &members {
+            if budget.check().is_err() {
+                break;
+            }
             if work.is_replaced(f) || fanout_counts.get(f.index()).is_none_or(|&c| c == 0) {
                 continue;
             }
@@ -173,22 +198,32 @@ pub(crate) fn mspf_optimize_impl(aig: &Aig, options: &MspfOptions) -> (Aig, Mspf
                 continue;
             }
             let Some(bf) = bdds.get(&f).copied().flatten() else {
-                stats.bailouts += 1;
+                // A missing window BDD is a node-limit bailout unless the
+                // budget tripped mid-build (then it is an interruption).
+                if budget.check().is_ok() {
+                    stats.bailouts += 1;
+                }
                 continue;
             };
             // Root functions with f as a free variable, in a manager reset
             // after this node — the paper's memory strategy with the
             // allocations recycled.
             let mut var_mgr = pooled_manager(part.leaves.len() + 1, options.bdd_node_limit);
+            var_mgr.set_budget(budget.clone());
             let Some(roots) = roots_with_node_var(&work, part, f, &mut var_mgr) else {
-                stats.bailouts += 1;
+                if budget.check().is_ok() {
+                    stats.bailouts += 1;
+                }
                 recycle_manager(var_mgr);
                 continue;
             };
-            let Ok(mspf) = mspf_of_node(&mut var_mgr, &roots, part.leaves.len()) else {
-                stats.bailouts += 1;
-                recycle_manager(var_mgr);
-                continue;
+            let mspf = match mspf_of_node(&mut var_mgr, &roots, part.leaves.len()) {
+                Ok(mspf) => mspf,
+                Err(error) => {
+                    count_bailout(&mut stats, error);
+                    recycle_manager(var_mgr);
+                    continue;
+                }
             };
             stats.mspf_computed += 1;
             if mspf == Bdd::ZERO {
@@ -198,18 +233,27 @@ pub(crate) fn mspf_optimize_impl(aig: &Aig, options: &MspfOptions) -> (Aig, Mspf
             // the leaves only — x_node was cofactored away).
             let mspf_tt = var_mgr.to_truth_table(mspf);
             recycle_manager(var_mgr);
-            let Ok(mspf_main) = mgr.from_truth_table(&mspf_tt) else {
-                stats.bailouts += 1;
-                continue;
+            let mspf_main = match mgr.from_truth_table(&mspf_tt) {
+                Ok(b) => b,
+                Err(error) => {
+                    count_bailout(&mut stats, error);
+                    continue;
+                }
             };
-            let Ok(care) = mgr.not(mspf_main) else {
-                stats.bailouts += 1;
-                continue;
+            let care = match mgr.not(mspf_main) {
+                Ok(b) => b,
+                Err(error) => {
+                    count_bailout(&mut stats, error);
+                    continue;
+                }
             };
             // Connectability: bdd(new) ∧ care == bdd(f) ∧ care.
-            let Ok(f_care) = mgr.and(bf, care) else {
-                stats.bailouts += 1;
-                continue;
+            let f_care = match mgr.and(bf, care) {
+                Ok(b) => b,
+                Err(error) => {
+                    count_bailout(&mut stats, error);
+                    continue;
+                }
             };
             let mut candidates: Vec<Lit> = vec![Lit::FALSE, Lit::TRUE];
             candidates.extend(
@@ -256,6 +300,7 @@ pub(crate) fn mspf_optimize_impl(aig: &Aig, options: &MspfOptions) -> (Aig, Mspf
                 // The replacement preserves the window roots but may change
                 // internal member functions: rebuild the comparison BDDs.
                 mgr.reset(part.leaves.len() + 1, options.bdd_node_limit);
+                mgr.set_budget(budget.clone());
                 bdds = window_bdds(&work, part, &mut mgr);
             }
         }

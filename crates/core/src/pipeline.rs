@@ -25,18 +25,20 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use sbm_aig::window::{partition, Partition, PartitionOptions};
 use sbm_aig::{Aig, Lit, NodeId};
-use sbm_check::{check_aig, sim_spot_check, CheckLevel};
+use sbm_budget::Budget;
+use sbm_check::{check_aig, inject_panic, sim_spot_check, CheckLevel, FaultKind, FaultPlan};
 
 use crate::engine::{
     run_checked, CheckViolation, Engine, EngineStats, OptContext, Optimized, SPOT_CHECK_SEED,
 };
-use crate::verify::equivalent_within;
+use crate::verify::equivalent_within_budgeted;
 
 /// Knobs of the parallel partition executor.
 #[derive(Debug, Clone)]
@@ -60,6 +62,21 @@ pub struct PipelineOptions {
     /// [`PipelineReport::check_violations`]; a violating rewrite is
     /// discarded, never stitched.
     pub check_level: CheckLevel,
+    /// Wall-clock deadline of the whole run (`None` = unbounded). An
+    /// expired deadline never aborts the run: engines stop cooperatively,
+    /// in-flight windows degrade to their original sub-network, and the
+    /// pipeline stitches whatever completed in time.
+    pub deadline: Option<Duration>,
+    /// Externally shared [`Budget`]. When set (not
+    /// [`Budget::is_unlimited`]) it takes precedence over [`deadline`],
+    /// so a caller can cancel or deadline several passes as one unit.
+    ///
+    /// [`deadline`]: PipelineOptions::deadline
+    pub budget: Budget,
+    /// Deterministic fault-injection plan for robustness testing
+    /// (`None` = no injection, the production default). See
+    /// [`sbm_check::FaultPlan`].
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for PipelineOptions {
@@ -71,7 +88,125 @@ impl Default for PipelineOptions {
             verify_windows: true,
             conflict_budget: 10_000,
             check_level: CheckLevel::Off,
+            deadline: None,
+            budget: Budget::unlimited(),
+            fault_plan: None,
         }
+    }
+}
+
+/// Per-engine fault counters of one pipeline run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Engine invocations that panicked (injected or genuine); every one
+    /// was caught and isolated to its window.
+    pub panics: usize,
+    /// Engine invocations that observed an expired deadline or a
+    /// cancellation and stopped early.
+    pub deadline_hits: usize,
+    /// BDD node-limit bailouts, mirrored from [`EngineStats::bailouts`].
+    pub bailouts: usize,
+    /// Forced bailouts injected by the [`FaultPlan`].
+    pub injected_bailouts: usize,
+    /// Delays injected by the [`FaultPlan`].
+    pub delays: usize,
+    /// Failed first attempts that were retried at reduced effort.
+    pub retries: usize,
+    /// Retries whose second attempt completed.
+    pub retry_successes: usize,
+}
+
+impl FaultCounts {
+    /// True when every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == FaultCounts::default()
+    }
+
+    /// Adds `other` into `self`, field by field.
+    pub fn merge(&mut self, other: &FaultCounts) {
+        self.panics += other.panics;
+        self.deadline_hits += other.deadline_hits;
+        self.bailouts += other.bailouts;
+        self.injected_bailouts += other.injected_bailouts;
+        self.delays += other.delays;
+        self.retries += other.retries;
+        self.retry_successes += other.retry_successes;
+    }
+}
+
+/// One fault injected by the configured [`FaultPlan`] — the run's ledger,
+/// against which tests verify that [`FaultSummary`] bookkeeping is exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Engine the fault was injected into.
+    pub engine: String,
+    /// Partition index of the window being optimized.
+    pub window: usize,
+    /// 0 for the first attempt, 1 for the retry.
+    pub attempt: u8,
+    /// What was injected.
+    pub kind: FaultKind,
+}
+
+/// Fault-tolerance record of one pipeline run: what failed, what was
+/// retried, and what degraded — the run never aborts on any of it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSummary {
+    /// Per-engine counters, in first-occurrence order. The reserved name
+    /// `"pipeline"` attributes faults caught outside any single engine.
+    pub per_engine: Vec<(String, FaultCounts)>,
+    /// Windows degraded to their original sub-network after both attempts
+    /// of some engine failed (or the deadline expired mid-window).
+    pub degraded_windows: usize,
+    /// Every fault the [`FaultPlan`] actually injected, in the order the
+    /// windows were claimed. Empty without a plan.
+    pub injected: Vec<InjectedFault>,
+}
+
+impl FaultSummary {
+    /// The counters of `engine`, created zeroed on first use.
+    pub fn counts_mut(&mut self, engine: &str) -> &mut FaultCounts {
+        let idx = match self.per_engine.iter().position(|(n, _)| n == engine) {
+            Some(idx) => idx,
+            None => {
+                self.per_engine
+                    .push((engine.to_string(), FaultCounts::default()));
+                self.per_engine.len() - 1
+            }
+        };
+        &mut self.per_engine[idx].1
+    }
+
+    /// The counters of `engine`, zeroed when the engine never faulted.
+    pub fn counts(&self, engine: &str) -> FaultCounts {
+        self.per_engine
+            .iter()
+            .find(|(n, _)| n == engine)
+            .map(|(_, c)| *c)
+            .unwrap_or_default()
+    }
+
+    /// Sums a field across all engines.
+    pub fn total(&self, field: impl Fn(&FaultCounts) -> usize) -> usize {
+        self.per_engine.iter().map(|(_, c)| field(c)).sum()
+    }
+
+    /// True when nothing faulted, nothing degraded and nothing was
+    /// injected — the expected state of every production run.
+    pub fn is_zero(&self) -> bool {
+        self.degraded_windows == 0
+            && self.injected.is_empty()
+            && self.per_engine.iter().all(|(_, c)| c.is_zero())
+    }
+
+    /// Accumulates `other` into `self`: counters merge by engine name,
+    /// degraded windows sum, ledgers concatenate.
+    pub fn merge(&mut self, other: &FaultSummary) {
+        for (name, counts) in &other.per_engine {
+            self.counts_mut(name).merge(counts);
+        }
+        self.degraded_windows += other.degraded_windows;
+        self.injected.extend(other.injected.iter().cloned());
     }
 }
 
@@ -122,6 +257,10 @@ pub struct PipelineReport {
     /// the engine (or `"pipeline"` for run boundaries), the stage and,
     /// for `Paranoid`, the window that first violated an invariant.
     pub check_violations: Vec<CheckViolation>,
+    /// Fault-tolerance record: panics caught, deadline hits, bailouts,
+    /// retries and degraded windows, per engine. All-zero
+    /// ([`FaultSummary::is_zero`]) on a healthy run.
+    pub fault: FaultSummary,
 }
 
 impl PipelineReport {
@@ -147,6 +286,7 @@ impl PipelineReport {
         self.total_wall += other.total_wall;
         self.check_violations
             .extend(other.check_violations.iter().cloned());
+        self.fault.merge(&other.fault);
     }
 
     /// Every window lands in exactly one outcome bucket.
@@ -196,6 +336,32 @@ impl fmt::Display for PipelineReport {
             self.stitch_wall.as_secs_f64(),
             self.total_wall.as_secs_f64(),
         )?;
+        if !self.fault.is_zero() {
+            write!(
+                f,
+                "\n  faults: {} degraded windows, {} injected",
+                self.fault.degraded_windows,
+                self.fault.injected.len(),
+            )?;
+            for (name, c) in &self.fault.per_engine {
+                if c.is_zero() {
+                    continue;
+                }
+                write!(
+                    f,
+                    "\n    {:<10} panics {:>3}  deadline {:>3}  bailouts {:>3} \
+                     (+{} injected)  delays {:>3}  retries {:>3} ({} ok)",
+                    name,
+                    c.panics,
+                    c.deadline_hits,
+                    c.bailouts,
+                    c.injected_bailouts,
+                    c.delays,
+                    c.retries,
+                    c.retry_successes,
+                )?;
+            }
+        }
         for v in &self.check_violations {
             write!(f, "\n  CHECK VIOLATION: {v}")?;
         }
@@ -213,6 +379,8 @@ struct WindowOutcome {
     /// Invariant violations from `Paranoid` per-engine bracketing
     /// (empty below that level).
     violations: Vec<CheckViolation>,
+    /// This window's contribution to [`PipelineReport::fault`].
+    fault: FaultSummary,
 }
 
 /// A configurable engine sequence scheduled over disjoint windows.
@@ -290,9 +458,17 @@ impl Pipeline {
         }
         report.extract_wall = extract_start.elapsed();
 
-        // Phase 2: optimize windows on the worker pool.
+        // Phase 2: optimize windows on the worker pool, under the shared
+        // wall-clock budget. An explicit budget wins; otherwise one is
+        // derived from the deadline option (starting now, so extraction
+        // time counts against it only through the caller's clock).
+        let budget = if self.options.budget.is_unlimited() {
+            Budget::from_deadline(self.options.deadline)
+        } else {
+            self.options.budget.clone()
+        };
         let optimize_start = Instant::now();
-        let outcomes = self.optimize_windows(&jobs);
+        let outcomes = self.optimize_windows(&jobs, &budget);
         report.optimize_wall = optimize_start.elapsed();
 
         // Phase 3: stitch accepted rewrites back, serially and in window
@@ -310,6 +486,7 @@ impl Pipeline {
                 total.merge(s);
             }
             report.check_violations.extend(outcome.violations);
+            report.fault.merge(&outcome.fault);
             if outcome.gate_rejected {
                 counters.gate_rejected += 1;
                 continue;
@@ -364,6 +541,13 @@ impl Pipeline {
             .zip(per_engine)
             .map(|(e, s)| (e.name().to_string(), s))
             .collect();
+        // Mirror each engine's genuine node-limit bailouts into the fault
+        // summary, so one record covers both injected and organic faults.
+        for (name, stats) in &report.engines {
+            if stats.bailouts > 0 {
+                report.fault.counts_mut(name).bailouts += stats.bailouts;
+            }
+        }
         report.total_wall = total_start.elapsed();
 
         // Never-worse guard at the network level.
@@ -382,12 +566,12 @@ impl Pipeline {
 
     /// Runs every job through the engine chain; outcome `i` belongs to
     /// job `i` whichever thread processed it.
-    fn optimize_windows(&self, jobs: &[(usize, Aig)]) -> Vec<WindowOutcome> {
+    fn optimize_windows(&self, jobs: &[(usize, Aig)], budget: &Budget) -> Vec<WindowOutcome> {
         let threads = self.options.num_threads.max(1).min(jobs.len().max(1));
         if threads <= 1 {
             return jobs
                 .iter()
-                .map(|(part_idx, sub)| self.optimize_window(sub, *part_idx))
+                .map(|(part_idx, sub)| self.optimize_window_isolated(sub, *part_idx, budget))
                 .collect();
         }
         let cursor = AtomicUsize::new(0);
@@ -400,11 +584,11 @@ impl Pipeline {
                     let Some((part_idx, sub)) = jobs.get(i) else {
                         break;
                     };
-                    let outcome = self.optimize_window(sub, *part_idx);
-                    // A poisoned slot means another worker panicked while
-                    // holding the lock; the data (an Option write) is
-                    // still sound, so keep going — scope() re-raises the
-                    // panic anyway.
+                    let outcome = self.optimize_window_isolated(sub, *part_idx, budget);
+                    // Workers never unwind (optimize_window_isolated
+                    // catches and degrades), so the lock cannot be
+                    // poisoned by a sibling; into_inner keeps the write
+                    // sound even if that invariant ever breaks.
                     *slots[i]
                         .lock()
                         .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(outcome);
@@ -420,54 +604,150 @@ impl Pipeline {
                 {
                     Some(outcome) => outcome,
                     // The cursor hands out each index exactly once and
-                    // scope() propagates worker panics before this runs.
+                    // every worker runs its claimed window to an outcome
+                    // (faults degrade, they don't unwind).
                     None => unreachable!("worker left a window unprocessed"),
                 }
             })
             .collect()
     }
 
+    /// [`Pipeline::optimize_window`] behind a last-resort panic barrier:
+    /// if anything below unwinds past the per-engine isolation (stitch
+    /// preparation, bookkeeping, a non-engine bug), the window degrades to
+    /// its original sub-network and the fault is attributed to
+    /// `"pipeline"` — one window can never take down the run.
+    fn optimize_window_isolated(
+        &self,
+        sub: &Aig,
+        part_idx: usize,
+        budget: &Budget,
+    ) -> WindowOutcome {
+        catch_unwind(AssertUnwindSafe(|| {
+            self.optimize_window(sub, part_idx, budget)
+        }))
+        .unwrap_or_else(|_| {
+            let mut fault = FaultSummary::default();
+            fault.counts_mut("pipeline").panics += 1;
+            fault.degraded_windows += 1;
+            WindowOutcome {
+                rewrite: None,
+                gate_rejected: false,
+                per_engine: vec![EngineStats::default(); self.engines.len()],
+                violations: Vec::new(),
+                fault,
+            }
+        })
+    }
+
     /// Runs the engine chain on one window copy. Engines inside a worker
     /// are strictly serial — parallelism comes from window fan-out. At
     /// [`CheckLevel::Paranoid`] every engine invocation is bracketed by
     /// [`run_checked`], attributing any violation to this window.
-    fn optimize_window(&self, sub: &Aig, part_idx: usize) -> WindowOutcome {
-        let mut ctx = OptContext::with_threads(1);
+    ///
+    /// Every engine invocation is isolated: a panic is caught, a failed
+    /// attempt is retried once at reduced effort ([`Engine::reduced_effort`]),
+    /// and a second failure degrades the whole window to its original
+    /// sub-network. An expired deadline stops the chain the same way.
+    fn optimize_window(&self, sub: &Aig, part_idx: usize, budget: &Budget) -> WindowOutcome {
+        let mut ctx = OptContext::with_threads(1).with_budget(budget.clone());
         let mut per_engine = vec![EngineStats::default(); self.engines.len()];
         let mut violations = Vec::new();
+        let mut fault = FaultSummary::default();
         let paranoid = self.options.check_level.per_engine();
         let mut cur = sub.clone();
+        let mut degraded = false;
         for (stats, engine) in per_engine.iter_mut().zip(&self.engines) {
-            let result = if paranoid {
-                let (result, mut found) =
-                    run_checked(engine.as_ref(), &cur, &mut ctx, Some(part_idx));
-                violations.append(&mut found);
-                result
-            } else {
-                engine.run(&cur, &mut ctx)
-            };
-            stats.merge(&result.stats);
-            // Guarded acceptance: an engine that grows the window is undone.
-            if result.aig.num_ands() <= cur.num_ands() {
-                cur = result.aig;
+            let name = engine.name();
+            if budget.check().is_err() {
+                fault.counts_mut(name).deadline_hits += 1;
+                degraded = true;
+                break;
+            }
+            // Attempt 0 runs the engine as configured; a failure is
+            // retried once (attempt 1) on the engine's reduced-effort
+            // ladder rung, or on the engine itself if it has none.
+            let mut completed = None;
+            for attempt in 0..2u8 {
+                let reduced;
+                let invoked: &dyn Engine = if attempt == 0 {
+                    engine.as_ref()
+                } else {
+                    fault.counts_mut(name).retries += 1;
+                    match engine.reduced_effort() {
+                        Some(r) => {
+                            reduced = r;
+                            reduced.as_ref()
+                        }
+                        None => engine.as_ref(),
+                    }
+                };
+                match self.run_isolated(
+                    invoked,
+                    name,
+                    &cur,
+                    &mut ctx,
+                    part_idx,
+                    attempt,
+                    budget,
+                    stats,
+                    &mut violations,
+                    &mut fault,
+                    paranoid,
+                ) {
+                    Invocation::Completed(result) => {
+                        completed = Some(result);
+                        if attempt == 1 {
+                            fault.counts_mut(name).retry_successes += 1;
+                        }
+                        break;
+                    }
+                    Invocation::Failed => {}
+                    Invocation::DeadlineHit => {
+                        degraded = true;
+                        break;
+                    }
+                }
+            }
+            if degraded {
+                break;
+            }
+            match completed {
+                // Guarded acceptance: an engine that grows the window is
+                // undone.
+                Some(result) => {
+                    if result.num_ands() <= cur.num_ands() {
+                        cur = result;
+                    }
+                }
+                // Both attempts failed: degrade the window.
+                None => {
+                    degraded = true;
+                    break;
+                }
             }
         }
-        if cur.num_ands() >= sub.num_ands() {
+        if degraded {
+            fault.degraded_windows += 1;
+        }
+        if degraded || cur.num_ands() >= sub.num_ands() {
             return WindowOutcome {
                 rewrite: None,
                 gate_rejected: false,
                 per_engine,
                 violations,
+                fault,
             };
         }
         if self.options.verify_windows
-            && !equivalent_within(sub, &cur, self.options.conflict_budget)
+            && !equivalent_within_budgeted(sub, &cur, self.options.conflict_budget, budget)
         {
             return WindowOutcome {
                 rewrite: None,
                 gate_rejected: true,
                 per_engine,
                 violations,
+                fault,
             };
         }
         WindowOutcome {
@@ -475,8 +755,96 @@ impl Pipeline {
             gate_rejected: false,
             per_engine,
             violations,
+            fault,
         }
     }
+
+    /// One engine invocation inside a panic barrier, with deterministic
+    /// fault injection when a [`FaultPlan`] is configured. Never unwinds.
+    #[allow(clippy::too_many_arguments)]
+    fn run_isolated(
+        &self,
+        engine: &dyn Engine,
+        name: &str,
+        cur: &Aig,
+        ctx: &mut OptContext,
+        part_idx: usize,
+        attempt: u8,
+        budget: &Budget,
+        stats: &mut EngineStats,
+        violations: &mut Vec<CheckViolation>,
+        fault: &mut FaultSummary,
+        paranoid: bool,
+    ) -> Invocation {
+        // Roll the fault plan first: the roll is a pure function of
+        // (seed, window, engine, attempt), so the ledger is identical for
+        // every thread count.
+        let mut inject = None;
+        if let Some(plan) = &self.options.fault_plan {
+            if let Some(kind) = plan.roll(part_idx, name, attempt) {
+                fault.injected.push(InjectedFault {
+                    engine: name.to_string(),
+                    window: part_idx,
+                    attempt,
+                    kind,
+                });
+                match kind {
+                    FaultKind::Bailout => {
+                        fault.counts_mut(name).injected_bailouts += 1;
+                        return Invocation::Failed;
+                    }
+                    FaultKind::Delay => {
+                        fault.counts_mut(name).delays += 1;
+                        std::thread::sleep(plan.delay);
+                    }
+                    FaultKind::Panic => inject = Some(kind),
+                }
+            }
+        }
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            if inject.is_some() {
+                // Injected *inside* the barrier so the test exercises the
+                // exact unwind path a genuine engine bug would take.
+                inject_panic();
+            }
+            if paranoid {
+                run_checked(engine, cur, ctx, Some(part_idx))
+            } else {
+                (engine.run(cur, ctx), Vec::new())
+            }
+        }));
+        match caught {
+            Ok((result, mut found)) => {
+                violations.append(&mut found);
+                stats.merge(&result.stats);
+                // A tripped budget means the result is partial: count the
+                // hit and degrade rather than stitch half-optimized work.
+                if budget.check().is_err() {
+                    fault.counts_mut(name).deadline_hits += 1;
+                    return Invocation::DeadlineHit;
+                }
+                Invocation::Completed(result.aig)
+            }
+            Err(_payload) => {
+                // Injected and genuine panics are counted alike; the
+                // ledger distinguishes them (injected ones are recorded).
+                fault.counts_mut(name).panics += 1;
+                Invocation::Failed
+            }
+        }
+    }
+}
+
+/// Outcome of one isolated engine invocation.
+enum Invocation {
+    /// The engine ran to completion (its result may still be rejected by
+    /// the never-worse or equivalence gates).
+    Completed(Aig),
+    /// The invocation panicked or was forced to bail out — retryable.
+    Failed,
+    /// The shared budget expired or was cancelled — the window degrades
+    /// and the engine chain stops.
+    DeadlineHit,
 }
 
 /// Runs a single engine over the whole network through the parallel
@@ -508,16 +876,42 @@ pub fn parallel_pass_checked(
 ) -> Optimized<PipelineReport> {
     let options = PipelineOptions {
         num_threads,
+        check_level,
+        ..pass_options()
+    };
+    Pipeline::new(options).with_engine(engine).run(aig)
+}
+
+/// [`parallel_pass_report`] under a shared wall-clock [`Budget`] — the
+/// entry point the gradient engine uses for its threaded moves, so a
+/// deadline set on the outer run reaches every inner pass.
+pub fn parallel_pass_budgeted(
+    aig: &Aig,
+    num_threads: usize,
+    budget: &Budget,
+    engine: impl Engine + 'static,
+) -> Optimized<PipelineReport> {
+    let options = PipelineOptions {
+        num_threads,
+        budget: budget.clone(),
+        ..pass_options()
+    };
+    Pipeline::new(options).with_engine(engine).run(aig)
+}
+
+/// Window limits shared by the `parallel_pass*` helpers, sized for
+/// full-strength engine passes (each window is re-partitioned by the
+/// engine's own options).
+pub(crate) fn pass_options() -> PipelineOptions {
+    PipelineOptions {
         partition: PartitionOptions {
             max_nodes: 300,
             max_inputs: 12,
             max_levels: 16,
         },
         min_window: 2,
-        check_level,
         ..PipelineOptions::default()
-    };
-    Pipeline::new(options).with_engine(engine).run(aig)
+    }
 }
 
 /// Splices an optimized window copy back into `work`: the rewrite is
@@ -734,5 +1128,238 @@ mod tests {
         for needle in ["pipeline:", "rewrite", "refactor", "resub", "phases:"] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn zero_fault_run_reports_zero_faults() {
+        let aig = test_aig(42);
+        for threads in [1, 4] {
+            let run = small_window_pipeline(threads).run(&aig);
+            assert!(run.stats.fault.is_zero(), "{:?}", run.stats.fault);
+        }
+    }
+
+    /// An engine whose first invocation per window unwinds (silently, via
+    /// `resume_unwind`) and whose retry succeeds as the identity — the
+    /// deterministic worst case for the retry ladder.
+    struct FirstAttemptPanics {
+        calls: AtomicUsize,
+    }
+
+    impl Engine for FirstAttemptPanics {
+        fn name(&self) -> &str {
+            "flaky"
+        }
+
+        fn run(&self, aig: &Aig, _ctx: &mut OptContext) -> crate::engine::EngineResult {
+            if self.calls.fetch_add(1, Ordering::Relaxed).is_multiple_of(2) {
+                std::panic::resume_unwind(Box::new("injected test panic"));
+            }
+            crate::engine::EngineResult {
+                aig: aig.clone(),
+                stats: EngineStats::default(),
+            }
+        }
+    }
+
+    /// An engine that always unwinds, on every attempt.
+    struct AlwaysPanics;
+
+    impl Engine for AlwaysPanics {
+        fn name(&self) -> &str {
+            "doomed"
+        }
+
+        fn run(&self, _aig: &Aig, _ctx: &mut OptContext) -> crate::engine::EngineResult {
+            std::panic::resume_unwind(Box::new("injected test panic"));
+        }
+    }
+
+    #[test]
+    fn genuine_panics_are_isolated_and_retried() {
+        let aig = test_aig(7);
+        let options = PipelineOptions {
+            partition: PartitionOptions {
+                max_nodes: 30,
+                max_inputs: 10,
+                max_levels: 12,
+            },
+            ..PipelineOptions::default()
+        };
+        let run = Pipeline::new(options)
+            .with_engine(FirstAttemptPanics {
+                calls: AtomicUsize::new(0),
+            })
+            .run(&aig);
+        let counts = run.stats.fault.counts("flaky");
+        let processed = run.stats.windows_total - run.stats.windows_skipped;
+        assert!(processed > 0, "test network produced no windows");
+        // Every window: attempt 0 panics, the retry succeeds.
+        assert_eq!(counts.panics, processed, "{:?}", run.stats.fault);
+        assert_eq!(counts.retries, processed);
+        assert_eq!(counts.retry_successes, processed);
+        assert_eq!(run.stats.fault.degraded_windows, 0);
+        assert!(run.stats.is_consistent(), "{:?}", run.stats);
+        assert!(equivalent(&aig, &run.aig), "fault isolation broke function");
+    }
+
+    #[test]
+    fn hopeless_engine_degrades_every_window_without_aborting() {
+        let aig = test_aig(13);
+        for threads in [1, 3] {
+            let options = PipelineOptions {
+                num_threads: threads,
+                partition: PartitionOptions {
+                    max_nodes: 30,
+                    max_inputs: 10,
+                    max_levels: 12,
+                },
+                ..PipelineOptions::default()
+            };
+            let run = Pipeline::new(options).with_engine(AlwaysPanics).run(&aig);
+            let counts = run.stats.fault.counts("doomed");
+            let processed = run.stats.windows_total - run.stats.windows_skipped;
+            assert!(processed > 0);
+            // Both attempts panic in every window; all degrade, none stitch.
+            assert_eq!(counts.panics, 2 * processed);
+            assert_eq!(counts.retries, processed);
+            assert_eq!(counts.retry_successes, 0);
+            assert_eq!(run.stats.fault.degraded_windows, processed);
+            assert_eq!(run.stats.windows_improved, 0);
+            assert!(run.stats.is_consistent(), "{:?}", run.stats);
+            assert_eq!(run.aig.num_ands(), aig.cleanup().num_ands());
+            assert!(equivalent(&aig, &run.aig));
+        }
+    }
+
+    #[test]
+    fn expired_deadline_degrades_gracefully() {
+        let aig = test_aig(21);
+        let options = PipelineOptions {
+            num_threads: 2,
+            partition: PartitionOptions {
+                max_nodes: 30,
+                max_inputs: 10,
+                max_levels: 12,
+            },
+            deadline: Some(Duration::ZERO),
+            ..PipelineOptions::default()
+        };
+        let run = Pipeline::new(options)
+            .with_engine(Rewrite::default())
+            .run(&aig);
+        let processed = run.stats.windows_total - run.stats.windows_skipped;
+        assert!(processed > 0);
+        assert_eq!(run.stats.fault.total(|c| c.deadline_hits), processed);
+        assert_eq!(run.stats.fault.degraded_windows, processed);
+        assert_eq!(run.stats.windows_improved, 0);
+        assert!(run.stats.is_consistent(), "{:?}", run.stats);
+        assert!(equivalent(&aig, &run.aig));
+    }
+
+    #[test]
+    fn external_cancellation_stops_the_run() {
+        let aig = test_aig(33);
+        let budget = Budget::cancellable();
+        budget.cancel();
+        let options = PipelineOptions {
+            partition: PartitionOptions {
+                max_nodes: 30,
+                max_inputs: 10,
+                max_levels: 12,
+            },
+            budget,
+            ..PipelineOptions::default()
+        };
+        let run = Pipeline::new(options)
+            .with_engine(Rewrite::default())
+            .run(&aig);
+        assert_eq!(run.stats.windows_improved, 0);
+        assert!(run.stats.fault.total(|c| c.deadline_hits) > 0);
+        assert!(equivalent(&aig, &run.aig));
+    }
+
+    #[test]
+    fn injected_faults_are_ledgered_exactly() {
+        let aig = test_aig(55);
+        let plan = FaultPlan::uniform(0xFA_17, 0.25);
+        for threads in [1, 4] {
+            let options = PipelineOptions {
+                num_threads: threads,
+                partition: PartitionOptions {
+                    max_nodes: 30,
+                    max_inputs: 10,
+                    max_levels: 12,
+                },
+                fault_plan: Some(plan),
+                ..PipelineOptions::default()
+            };
+            let run = Pipeline::new(options)
+                .with_engine(Rewrite::default())
+                .with_engine(Resub::default())
+                .run(&aig);
+            assert!(
+                !run.stats.fault.injected.is_empty(),
+                "a 0.25 rate must fire on this network"
+            );
+            assert_fault_summary_matches_ledger(&run.stats);
+            assert!(run.stats.is_consistent(), "{:?}", run.stats);
+            assert!(equivalent(&aig, &run.aig), "injection broke function");
+        }
+    }
+
+    /// Replays the injected-fault ledger against the per-engine counters
+    /// — the acceptance criterion's "counts match the ledger exactly".
+    /// Valid when no *genuine* faults occurred alongside the injection.
+    pub(crate) fn assert_fault_summary_matches_ledger(report: &PipelineReport) {
+        let fault = &report.fault;
+        let count = |engine: &str, attempt: Option<u8>, kinds: &[FaultKind]| {
+            fault
+                .injected
+                .iter()
+                .filter(|f| {
+                    f.engine == engine
+                        && attempt.is_none_or(|a| f.attempt == a)
+                        && kinds.contains(&f.kind)
+                })
+                .count()
+        };
+        let failures = [FaultKind::Panic, FaultKind::Bailout];
+        for (name, c) in &fault.per_engine {
+            assert_eq!(
+                c.panics,
+                count(name, None, &[FaultKind::Panic]),
+                "{name} panics"
+            );
+            assert_eq!(
+                c.delays,
+                count(name, None, &[FaultKind::Delay]),
+                "{name} delays"
+            );
+            assert_eq!(
+                c.injected_bailouts,
+                count(name, None, &[FaultKind::Bailout]),
+                "{name} injected bailouts"
+            );
+            // A retry happens exactly when attempt 0 failed...
+            assert_eq!(c.retries, count(name, Some(0), &failures), "{name} retries");
+            // ...and succeeds unless attempt 1 was also shot down.
+            assert_eq!(
+                c.retry_successes,
+                c.retries - count(name, Some(1), &failures),
+                "{name} retry successes"
+            );
+        }
+        // A window degrades exactly when some engine's retry failed (the
+        // chain stops there, so at most one such entry exists per window).
+        let mut degraded: Vec<usize> = fault
+            .injected
+            .iter()
+            .filter(|f| f.attempt == 1 && failures.contains(&f.kind))
+            .map(|f| f.window)
+            .collect();
+        degraded.sort_unstable();
+        degraded.dedup();
+        assert_eq!(fault.degraded_windows, degraded.len(), "degraded windows");
     }
 }

@@ -9,21 +9,23 @@
 //! twice with different efforts.
 
 use std::fmt;
+use std::time::Duration;
 
 use sbm_aig::Aig;
-use sbm_check::{check_aig, sim_spot_check, CheckCode, CheckLevel};
+use sbm_budget::Budget;
+use sbm_check::{check_aig, sim_spot_check, CheckCode, CheckLevel, FaultPlan};
 use sbm_sat::redundancy::{remove_redundancies, RedundancyOptions};
 use sbm_sat::sweep::{sweep, SweepOptions};
 
 use crate::balance::balance;
-use crate::bdiff::{boolean_difference_resub_impl, BdiffOptions};
+use crate::bdiff::{boolean_difference_resub_budgeted, BdiffOptions};
 use crate::engine::{
     self, run_checked, CheckViolation, Engine, OptContext, Optimized, SPOT_CHECK_SEED,
 };
-use crate::gradient::{gradient_optimize_impl, GradientOptions};
+use crate::gradient::{gradient_optimize_budgeted, GradientOptions};
 use crate::hetero::{hetero_eliminate_kernel_impl, HeteroOptions};
-use crate::mspf::{mspf_optimize_impl, MspfOptions};
-use crate::pipeline::{parallel_pass_checked, PipelineReport};
+use crate::mspf::{mspf_optimize_budgeted, MspfOptions};
+use crate::pipeline::{pass_options, Pipeline, PipelineOptions, PipelineReport};
 use crate::refactor::{refactor_impl, RefactorOptions};
 use crate::resub::{resub_impl, ResubOptions};
 use crate::rewrite::{rewrite_impl, RewriteOptions};
@@ -88,11 +90,25 @@ fn checked_guarded(
     }
 }
 
+/// Shared execution context of one script run: the wall-clock budget and
+/// the fault-injection plan every step inherits.
+#[derive(Debug, Clone, Default)]
+struct StepCtx {
+    budget: Budget,
+    fault_plan: Option<FaultPlan>,
+}
+
 /// The `resyn2rs`-style baseline script: balance, resub, rewrite and
 /// refactor passes with growing resubstitution windows, mirroring ABC's
 /// `b; rs; rw; rs -K 6; rf; rs -K 8; b; rs -K 10; rw; rs -K 12; rf; b`.
 pub fn resyn2rs(aig: &Aig) -> Aig {
-    resyn2rs_threaded(aig, 1, CheckLevel::Off, &mut PipelineReport::default())
+    resyn2rs_threaded(
+        aig,
+        1,
+        CheckLevel::Off,
+        &StepCtx::default(),
+        &mut PipelineReport::default(),
+    )
 }
 
 fn resub_opts(max_inputs: usize) -> ResubOptions {
@@ -112,21 +128,33 @@ fn resub_opts(max_inputs: usize) -> ResubOptions {
 /// At serial `Paranoid` the engine runs through [`run_checked`] instead of
 /// the bare serial closure — the two compute the same transformation, the
 /// wrapper just brackets it with invariant checks.
+///
+/// A configured fault plan forces the pipeline path even at one thread:
+/// injection hooks (and the isolation/retry machinery they exercise) live
+/// in the per-window executor.
 fn step(
     aig: Aig,
     threads: usize,
     check: CheckLevel,
+    ctx: &StepCtx,
     report: &mut PipelineReport,
     engine: impl Engine + 'static,
     serial: impl FnOnce(&Aig) -> Aig,
 ) -> Aig {
-    if threads > 1 {
-        let run = parallel_pass_checked(&aig, threads, check, engine);
+    if threads > 1 || ctx.fault_plan.is_some() {
+        let options = PipelineOptions {
+            num_threads: threads,
+            check_level: check,
+            budget: ctx.budget.clone(),
+            fault_plan: ctx.fault_plan,
+            ..pass_options()
+        };
+        let run = Pipeline::new(options).with_engine(engine).run(&aig);
         report.merge(&run.stats);
         guarded(aig, |_| run.aig)
     } else if check.per_engine() {
-        let mut ctx = OptContext::with_threads(1);
-        let (result, violations) = run_checked(&engine, &aig, &mut ctx, None);
+        let mut opt_ctx = OptContext::with_threads(1).with_budget(ctx.budget.clone());
+        let (result, violations) = run_checked(&engine, &aig, &mut opt_ctx, None);
         report.check_violations.extend(violations);
         guarded(aig, |_| result.aig)
     } else {
@@ -140,6 +168,7 @@ fn resyn2rs_threaded(
     aig: &Aig,
     num_threads: usize,
     check: CheckLevel,
+    ctx: &StepCtx,
     report: &mut PipelineReport,
 ) -> Aig {
     let mut cur = aig.cleanup();
@@ -147,39 +176,42 @@ fn resyn2rs_threaded(
         options: resub_opts(k),
     };
     cur = checked_guarded(cur, check, report, "balance", balance);
-    cur = step(cur, num_threads, check, report, rs(6), |a| {
+    cur = step(cur, num_threads, check, ctx, report, rs(6), |a| {
         resub_impl(a, &resub_opts(6)).0
     });
     cur = step(
         cur,
         num_threads,
         check,
+        ctx,
         report,
         engine::Rewrite::default(),
         |a| rewrite_impl(a, &RewriteOptions::default()).0,
     );
-    cur = step(cur, num_threads, check, report, rs(8), |a| {
+    cur = step(cur, num_threads, check, ctx, report, rs(8), |a| {
         resub_impl(a, &resub_opts(8)).0
     });
     cur = step(
         cur,
         num_threads,
         check,
+        ctx,
         report,
         engine::Refactor::default(),
         |a| refactor_impl(a, &RefactorOptions::default()).0,
     );
-    cur = step(cur, num_threads, check, report, rs(10), |a| {
+    cur = step(cur, num_threads, check, ctx, report, rs(10), |a| {
         resub_impl(a, &resub_opts(10)).0
     });
     cur = checked_guarded(cur, check, report, "balance", balance);
-    cur = step(cur, num_threads, check, report, rs(12), |a| {
+    cur = step(cur, num_threads, check, ctx, report, rs(12), |a| {
         resub_impl(a, &resub_opts(12)).0
     });
     cur = step(
         cur,
         num_threads,
         check,
+        ctx,
         report,
         engine::Rewrite::default(),
         |a| rewrite_impl(a, &RewriteOptions::default()).0,
@@ -192,6 +224,7 @@ fn resyn2rs_threaded(
         cur,
         num_threads,
         check,
+        ctx,
         report,
         engine::Refactor {
             options: deep_refactor,
@@ -243,6 +276,16 @@ pub struct SbmOptions {
     /// brackets every engine invocation and non-windowed phase.
     /// Violations land in the returned report's `check_violations`.
     pub check_level: CheckLevel,
+    /// Wall-clock deadline of the whole run (`None` = unbounded). The
+    /// script never aborts at the deadline: engines stop cooperatively,
+    /// in-flight windows degrade to their original sub-network, and the
+    /// best network found so far is returned.
+    pub deadline: Option<Duration>,
+    /// Deterministic fault-injection plan for robustness testing
+    /// (`None` = no injection, the production default). When set, every
+    /// engine step routes through the fault-isolating pipeline executor
+    /// even at `num_threads = 1`.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for SbmOptions {
@@ -256,6 +299,8 @@ impl Default for SbmOptions {
             iterations: 2,
             num_threads: 1,
             check_level: CheckLevel::Off,
+            deadline: None,
+            fault_plan: None,
         }
     }
 }
@@ -283,6 +328,8 @@ pub enum OptionsError {
     EmptyThresholds,
     /// BDD-based engines need a positive node limit and difference size.
     ZeroBddLimit,
+    /// A zero deadline cannot make progress; use `None` for unbounded.
+    ZeroDeadline,
 }
 
 impl fmt::Display for OptionsError {
@@ -301,6 +348,9 @@ impl fmt::Display for OptionsError {
             }
             OptionsError::ZeroBddLimit => {
                 "BDD engines need a positive node limit and difference size"
+            }
+            OptionsError::ZeroDeadline => {
+                "a zero deadline cannot make progress (use None for unbounded)"
             }
         };
         f.write_str(msg)
@@ -394,6 +444,21 @@ impl SbmOptionsBuilder {
         self
     }
 
+    /// Wall-clock deadline of the run (`None` = unbounded). Must be
+    /// positive; the run degrades gracefully when it expires.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.options.deadline = deadline;
+        self
+    }
+
+    /// Deterministic fault-injection plan (`None` = no injection).
+    #[must_use]
+    pub fn fault_plan(mut self, fault_plan: Option<FaultPlan>) -> Self {
+        self.options.fault_plan = fault_plan;
+        self
+    }
+
     /// Validates and produces the options.
     pub fn build(self) -> Result<SbmOptions, OptionsError> {
         let o = self.options;
@@ -414,6 +479,9 @@ impl SbmOptionsBuilder {
         }
         if o.bdiff.bdd_node_limit == 0 || o.mspf.bdd_node_limit == 0 || o.bdiff.max_diff_size == 0 {
             return Err(OptionsError::ZeroBddLimit);
+        }
+        if o.deadline == Some(Duration::ZERO) {
+            return Err(OptionsError::ZeroDeadline);
         }
         Ok(o)
     }
@@ -465,16 +533,27 @@ pub fn sbm_script_report(aig: &Aig, options: &SbmOptions) -> Optimized<PipelineR
     }
     let mut cur = aig.cleanup();
     let input = check.at_boundaries().then(|| cur.clone());
+    // One budget governs the whole run: every engine step, inner pass and
+    // SAT gate below shares it, so the deadline bounds the run end to end.
+    let ctx = StepCtx {
+        budget: Budget::from_deadline(options.deadline),
+        fault_plan: options.fault_plan,
+    };
     for iteration in 0..options.iterations {
+        if ctx.budget.check().is_err() {
+            break;
+        }
         let high_effort = iteration > 0;
         // 1. AIG optimization: baseline script, then the gradient engine.
-        cur = guarded(cur, |a| resyn2rs_threaded(a, threads, check, &mut report));
+        cur = guarded(cur, |a| {
+            resyn2rs_threaded(a, threads, check, &ctx, &mut report)
+        });
         let gradient = GradientOptions {
             num_threads: threads,
             ..options.gradient.clone()
         };
         cur = checked_guarded(cur, check, &mut report, "gradient", |a| {
-            gradient_optimize_impl(a, &gradient).0
+            gradient_optimize_budgeted(a, &gradient, &ctx.budget).0
         });
         // 2. Heterogeneous elimination for kerneling (internal
         // threshold-sweep threads).
@@ -490,11 +569,12 @@ pub fn sbm_script_report(aig: &Aig, options: &SbmOptions) -> Optimized<PipelineR
             cur,
             threads,
             check,
+            &ctx,
             &mut report,
             engine::Mspf {
                 options: options.mspf,
             },
-            |a| mspf_optimize_impl(a, &options.mspf).0,
+            |a| mspf_optimize_budgeted(a, &options.mspf, &ctx.budget).0,
         );
         // 4. Collapse & Boolean decomposition on reconvergent MFFCs.
         let refactor_options = RefactorOptions {
@@ -506,6 +586,7 @@ pub fn sbm_script_report(aig: &Aig, options: &SbmOptions) -> Optimized<PipelineR
             cur,
             threads,
             check,
+            &ctx,
             &mut report,
             engine::Refactor {
                 options: refactor_options,
@@ -518,11 +599,12 @@ pub fn sbm_script_report(aig: &Aig, options: &SbmOptions) -> Optimized<PipelineR
             cur,
             threads,
             check,
+            &ctx,
             &mut report,
             engine::Bdiff {
                 options: options.bdiff,
             },
-            |a| boolean_difference_resub_impl(a, &options.bdiff).0,
+            |a| boolean_difference_resub_budgeted(a, &options.bdiff, &ctx.budget).0,
         );
         // 6. SAT sweeping and redundancy removal.
         cur = checked_guarded(cur, check, &mut report, "sweep", |a| {

@@ -7,7 +7,8 @@
 
 use sbm_aig::sim::Signatures;
 use sbm_aig::Aig;
-use sbm_sat::equiv::{check_equivalence, EquivResult};
+use sbm_budget::Budget;
+use sbm_sat::equiv::{check_equivalence, check_equivalence_budgeted, EquivResult};
 
 /// Checks combinational equivalence: random simulation first (cheap
 /// refutation), then a SAT miter for the proof.
@@ -30,6 +31,20 @@ pub fn equivalent(a: &Aig, b: &Aig) -> bool {
 pub fn equivalent_within(a: &Aig, b: &Aig, conflict_budget: u64) -> bool {
     simulation_screen(a, b)
         && check_equivalence(a, b, Some(conflict_budget)) == EquivResult::Equivalent
+}
+
+/// [`equivalent_within`] under a shared wall-clock [`Budget`]: the miter
+/// solver additionally stops at the deadline or on cancellation. As with
+/// a blown conflict budget, an interrupted proof counts as *not*
+/// equivalent — the rewrite is rejected, never trusted.
+///
+/// # Panics
+///
+/// Panics if the interfaces differ (input/output counts).
+pub fn equivalent_within_budgeted(a: &Aig, b: &Aig, conflict_budget: u64, budget: &Budget) -> bool {
+    simulation_screen(a, b)
+        && check_equivalence_budgeted(a, b, Some(conflict_budget), budget)
+            == EquivResult::Equivalent
 }
 
 /// Cheap refutation: identical seeds drive identical input patterns, so

@@ -7,6 +7,7 @@
 //! V-C).
 
 use sbm_aig::Aig;
+use sbm_budget::Budget;
 
 use crate::cnf::encode;
 use crate::solver::{SatLit, SolveResult, Solver};
@@ -18,7 +19,8 @@ pub enum EquivResult {
     Equivalent,
     /// A distinguishing input assignment (counterexample).
     NotEquivalent(Vec<bool>),
-    /// The conflict budget was exhausted.
+    /// The conflict budget was exhausted, or the wall-clock budget
+    /// tripped mid-solve.
     Unknown,
 }
 
@@ -31,10 +33,27 @@ pub enum EquivResult {
 ///
 /// Panics if the two networks have different input or output counts.
 pub fn check_equivalence(a: &Aig, b: &Aig, budget: Option<u64>) -> EquivResult {
+    check_equivalence_budgeted(a, b, budget, &Budget::unlimited())
+}
+
+/// Like [`check_equivalence`], but additionally probes a wall-clock /
+/// cancellation [`Budget`] from inside the solver's propagation loop; a
+/// tripped budget yields [`EquivResult::Unknown`].
+///
+/// # Panics
+///
+/// Panics if the two networks have different input or output counts.
+pub fn check_equivalence_budgeted(
+    a: &Aig,
+    b: &Aig,
+    conflict_budget: Option<u64>,
+    budget: &Budget,
+) -> EquivResult {
     assert_eq!(a.num_inputs(), b.num_inputs(), "input count mismatch");
     assert_eq!(a.num_outputs(), b.num_outputs(), "output count mismatch");
     let mut solver = Solver::new();
-    solver.set_conflict_budget(budget);
+    solver.set_conflict_budget(conflict_budget);
+    solver.set_budget(budget.clone());
     let map_a = encode(a, &mut solver);
     let map_b = encode(b, &mut solver);
     // Tie the inputs together.
@@ -61,7 +80,7 @@ pub fn check_equivalence(a: &Aig, b: &Aig, budget: Option<u64>) -> EquivResult {
     solver.add_clause(&diffs);
     match solver.solve(&[]) {
         SolveResult::Unsat => EquivResult::Equivalent,
-        SolveResult::Unknown => EquivResult::Unknown,
+        SolveResult::Unknown | SolveResult::Interrupted => EquivResult::Unknown,
         SolveResult::Sat => {
             let cex = a
                 .inputs()

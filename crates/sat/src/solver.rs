@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use sbm_budget::{Budget, BudgetError};
+
 /// A propositional variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Var(u32);
@@ -74,6 +76,9 @@ pub enum SolveResult {
     Unsat,
     /// The conflict budget was exhausted before a verdict.
     Unknown,
+    /// The wall-clock/cancellation [`Budget`] attached via
+    /// [`Solver::set_budget`] tripped before a verdict.
+    Interrupted,
 }
 
 const UNDEF: u8 = 2;
@@ -106,6 +111,8 @@ pub struct Solver {
     var_inc: f64,
     ok: bool,
     conflict_budget: Option<u64>,
+    budget: Budget,
+    budget_tripped: Option<BudgetError>,
     conflicts: u64,
     /// Statistics: total decisions and propagations.
     pub num_decisions: u64,
@@ -136,6 +143,8 @@ impl Solver {
             var_inc: 1.0,
             ok: true,
             conflict_budget: None,
+            budget: Budget::unlimited(),
+            budget_tripped: None,
             conflicts: 0,
             num_decisions: 0,
             num_propagations: 0,
@@ -170,6 +179,13 @@ impl Solver {
     /// [`SolveResult::Unknown`].
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.conflict_budget = budget;
+    }
+
+    /// Attaches a wall-clock/cancellation [`Budget`] probed from inside
+    /// the propagation loop; once it trips, [`Solver::solve`] returns
+    /// [`SolveResult::Interrupted`]. Pass [`Budget::unlimited`] to detach.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
     }
 
     fn value(&self, l: SatLit) -> u8 {
@@ -251,8 +267,16 @@ impl Solver {
     }
 
     /// Unit propagation; returns the index of a conflicting clause if any.
+    ///
+    /// Probes the attached [`Budget`] once per propagated literal; on a
+    /// trip it records the reason in `budget_tripped` and returns early
+    /// (no conflict) with `qhead` intact, so propagation stays resumable.
     fn propagate(&mut self) -> Option<u32> {
         while self.qhead < self.trail.len() {
+            if let Err(e) = self.budget.probe() {
+                self.budget_tripped = Some(e);
+                return None;
+            }
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.num_propagations += 1;
@@ -413,11 +437,16 @@ impl Solver {
     /// Solves under the given assumption literals.
     ///
     /// Returns [`SolveResult::Unknown`] only when a conflict budget is set
-    /// and exhausted. The solver can be reused afterwards (assumptions are
-    /// retracted).
+    /// and exhausted, and [`SolveResult::Interrupted`] only when a budget
+    /// attached via [`Solver::set_budget`] trips. The solver can be reused
+    /// afterwards (assumptions are retracted).
     pub fn solve(&mut self, assumptions: &[SatLit]) -> SolveResult {
         if !self.ok {
             return SolveResult::Unsat;
+        }
+        self.budget_tripped = None;
+        if self.budget.check().is_err() {
+            return SolveResult::Interrupted;
         }
         self.conflicts = 0;
         let mut restart_limit = 128u64;
@@ -435,6 +464,9 @@ impl Solver {
                         if let Some(confl) = self.propagate() {
                             let _ = confl;
                             break 'outer SolveResult::Unsat;
+                        }
+                        if self.budget_tripped.take().is_some() {
+                            break 'outer SolveResult::Interrupted;
                         }
                     }
                 }
@@ -474,6 +506,8 @@ impl Solver {
                         restart_limit = restart_limit + restart_limit / 2;
                         continue 'outer;
                     }
+                } else if self.budget_tripped.take().is_some() {
+                    break 'outer SolveResult::Interrupted;
                 } else {
                     match self.pick_branch() {
                         None => break 'outer SolveResult::Sat,
@@ -617,6 +651,30 @@ mod tests {
         assert_eq!(s.solve(&[]), SolveResult::Unknown);
         s.set_conflict_budget(None);
         assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn cancelled_budget_interrupts_and_detaches() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[v[0], v[1]]);
+        let budget = Budget::cancellable();
+        s.set_budget(budget.clone());
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        budget.cancel();
+        assert_eq!(s.solve(&[]), SolveResult::Interrupted);
+        // Detaching the budget makes the solver usable again.
+        s.set_budget(Budget::unlimited());
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_solve() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause(&[v[0], v[1], v[2]]);
+        s.set_budget(Budget::with_deadline(std::time::Duration::ZERO));
+        assert_eq!(s.solve(&[]), SolveResult::Interrupted);
     }
 
     #[test]

@@ -87,12 +87,10 @@ pub fn sweep(aig: &mut Aig, options: &SweepOptions) -> SweepStats {
             let lc = map.lit(canon);
             let sat_eq = {
                 let r1 = solver.solve(&[lr, !lc]);
-                if r1 == SolveResult::Sat {
-                    SolveResult::Sat
-                } else if r1 == SolveResult::Unknown {
-                    SolveResult::Unknown
-                } else {
+                if r1 == SolveResult::Unsat {
                     solver.solve(&[!lr, lc])
+                } else {
+                    r1 // Sat / Unknown / Interrupted: no second call needed
                 }
             };
             match sat_eq {
@@ -108,7 +106,7 @@ pub fn sweep(aig: &mut Aig, options: &SweepOptions) -> SweepStats {
                     break;
                 }
                 SolveResult::Sat => stats.refuted += 1,
-                SolveResult::Unknown => stats.undecided += 1,
+                SolveResult::Unknown | SolveResult::Interrupted => stats.undecided += 1,
             }
         }
         if !merged {

@@ -19,7 +19,9 @@
 //! ([`lutmap`]). The [`check`] crate validates the structural invariants of
 //! the AIG/BDD/SOP representations; the optimization pipeline can run with
 //! those checks at every engine boundary (see
-//! [`core::pipeline::PipelineOptions::check_level`]).
+//! [`core::pipeline::PipelineOptions::check_level`]), and the [`budget`]
+//! crate bounds engine effort with wall-clock deadlines and cooperative
+//! cancellation (see [`core::pipeline::PipelineOptions::deadline`]).
 //!
 //! # Quickstart
 //!
@@ -45,6 +47,7 @@
 pub use sbm_aig as aig;
 pub use sbm_asic as asic;
 pub use sbm_bdd as bdd;
+pub use sbm_budget as budget;
 pub use sbm_check as check;
 pub use sbm_core as core;
 pub use sbm_epfl as epfl;
