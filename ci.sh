@@ -61,4 +61,34 @@ if [[ $quick -eq 0 ]]; then
     fi
 fi
 
+# Checkpoint/resume smoke: interrupt a checkpointed single-benchmark
+# table1 run with a tight deadline, then resume it to completion. The
+# resumed run must report resume activity, verify equivalent, and emit no
+# checkpoint warnings. Quick mode uses the debug binary; full mode
+# release.
+echo "==> checkpoint/resume smoke"
+ckdir=$(mktemp -d)
+trap 'rm -rf "$ckdir"' EXIT
+if [[ $quick -eq 0 ]]; then
+    table1=(cargo run -q -p sbm-bench --bin table1 --release --)
+else
+    cargo build -q -p sbm-bench --bin table1
+    table1=(cargo run -q -p sbm-bench --bin table1 --)
+fi
+"${table1[@]}" --only i2c --checkpoint "$ckdir" --deadline 0.2 >/dev/null
+[[ -f "$ckdir/i2c/script.state" ]] || {
+    echo "checkpoint smoke: no script.state written" >&2
+    exit 1
+}
+out=$("${table1[@]}" --only i2c --checkpoint "$ckdir" --resume)
+if ! grep -q "resume:" <<<"$out"; then
+    echo "checkpoint smoke: resumed run reported no resume summary" >&2
+    exit 1
+fi
+if grep -qE "MISMATCH|checkpoint WARNING|cannot resume" <<<"$out"; then
+    echo "checkpoint smoke: resume failed" >&2
+    grep -E "MISMATCH|checkpoint WARNING|cannot resume" <<<"$out" >&2
+    exit 1
+fi
+
 echo "CI OK"

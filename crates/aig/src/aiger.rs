@@ -13,6 +13,11 @@ use crate::graph::Aig;
 use crate::lit::Lit;
 
 /// Error produced when parsing an AIGER file fails.
+///
+/// Every malformed document — truncated, oversized claims, garbage bytes
+/// — maps to one of these variants; the parsers never panic, and never
+/// allocate based on unvalidated header claims (a tiny document declaring
+/// billions of variables is rejected before any allocation).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseAigerError {
     /// The header line is missing or malformed.
@@ -25,6 +30,18 @@ pub enum ParseAigerError {
     BadLine(String),
     /// An AND gate's left-hand side is not a fresh positive literal.
     BadAndDefinition(String),
+    /// The document ended before every declared section was read.
+    Truncated,
+    /// A header count that the document cannot back (more declared
+    /// entries than the remaining bytes could encode) or that exceeds
+    /// the representable maximum. Nothing is allocated from such claims.
+    ClaimTooLarge {
+        /// Which header field made the claim (`"inputs"`, `"outputs"`,
+        /// `"ands"`, `"vars"`).
+        what: &'static str,
+        /// The claimed count.
+        claimed: u64,
+    },
 }
 
 impl fmt::Display for ParseAigerError {
@@ -40,6 +57,15 @@ impl fmt::Display for ParseAigerError {
             ParseAigerError::BadLine(l) => write!(f, "unparseable line: {l:?}"),
             ParseAigerError::BadAndDefinition(l) => {
                 write!(f, "bad and-gate definition: {l:?}")
+            }
+            ParseAigerError::Truncated => {
+                write!(f, "document ended before all declared sections")
+            }
+            ParseAigerError::ClaimTooLarge { what, claimed } => {
+                write!(
+                    f,
+                    "header claims {claimed} {what}, more than the document can back"
+                )
             }
         }
     }
@@ -93,31 +119,42 @@ pub fn parse(src: &str) -> Result<Aig, ParseAigerError> {
         return Err(ParseAigerError::HasLatches);
     }
     // Node handles are 31-bit (literal = id << 1 in a u32); a larger
-    // declared maximum cannot be represented — and would overflow the
-    // `m + 1` allocation below before any line is read.
+    // declared maximum cannot be represented.
     if m >= u64::from(u32::MAX >> 1) || i.checked_add(a).is_none_or(|s| s > m) {
         return Err(ParseAigerError::BadHeader(header.to_string()));
     }
+    // Every declared entry needs its own line of at least two bytes
+    // (one digit plus the newline), so a count the document cannot back
+    // is rejected here — before any allocation or construction work.
+    let line_cap = (src.len() as u64) / 2;
+    for (what, claimed) in [("inputs", i), ("outputs", o), ("ands", a)] {
+        if claimed > line_cap {
+            return Err(ParseAigerError::ClaimTooLarge { what, claimed });
+        }
+    }
 
     let mut aig = Aig::new();
-    // AIGER variable -> our literal (positive phase).
-    let mut var_map: Vec<Option<Lit>> = vec![None; (m + 1) as usize];
-    var_map[0] = Some(Lit::FALSE);
+    // AIGER variable -> our literal (positive phase). A map rather than a
+    // dense `m + 1` table: entries are inserted only as definition lines
+    // are actually read, so memory is bounded by the document size, never
+    // by the header's claimed variable count.
+    let mut var_map: std::collections::HashMap<u64, Lit> = std::collections::HashMap::new();
+    var_map.insert(0, Lit::FALSE);
 
-    let lit_of = |code: u64, var_map: &[Option<Lit>]| -> Result<Lit, ParseAigerError> {
-        let var = (code >> 1) as usize;
-        if var >= var_map.len() {
+    let lit_of = |code: u64, var_map: &std::collections::HashMap<u64, Lit>| {
+        let var = code >> 1;
+        if var > m {
             return Err(ParseAigerError::LiteralOutOfRange(code));
         }
-        let base = var_map[var].ok_or(ParseAigerError::LiteralOutOfRange(code))?;
+        let base = *var_map
+            .get(&var)
+            .ok_or(ParseAigerError::LiteralOutOfRange(code))?;
         Ok(base.complement_if(code & 1 == 1))
     };
 
     // Inputs.
     for _ in 0..i {
-        let line = lines
-            .next()
-            .ok_or_else(|| ParseAigerError::BadLine("<eof>".into()))?;
+        let line = lines.next().ok_or(ParseAigerError::Truncated)?;
         let code: u64 = line
             .trim()
             .parse()
@@ -125,19 +162,18 @@ pub fn parse(src: &str) -> Result<Aig, ParseAigerError> {
         if code & 1 == 1 || code == 0 {
             return Err(ParseAigerError::BadLine(line.to_string()));
         }
-        let var = (code >> 1) as usize;
-        if var >= var_map.len() || var_map[var].is_some() {
+        let var = code >> 1;
+        if var > m || var_map.contains_key(&var) {
             return Err(ParseAigerError::LiteralOutOfRange(code));
         }
-        var_map[var] = Some(aig.add_input());
+        var_map.insert(var, aig.add_input());
     }
 
-    // Outputs (codes recorded now, resolved after ANDs are read).
-    let mut output_codes = Vec::with_capacity(o as usize);
+    // Outputs (codes recorded now, resolved after ANDs are read). Grown
+    // per parsed line — never pre-sized from the header claim.
+    let mut output_codes = Vec::new();
     for _ in 0..o {
-        let line = lines
-            .next()
-            .ok_or_else(|| ParseAigerError::BadLine("<eof>".into()))?;
+        let line = lines.next().ok_or(ParseAigerError::Truncated)?;
         let code: u64 = line
             .trim()
             .parse()
@@ -145,11 +181,10 @@ pub fn parse(src: &str) -> Result<Aig, ParseAigerError> {
         output_codes.push(code);
     }
 
-    // AND gates.
+    // AND gates. Fanin literals must already be defined (inputs or
+    // earlier ANDs), so definitions are monotone and cycles impossible.
     for _ in 0..a {
-        let line = lines
-            .next()
-            .ok_or_else(|| ParseAigerError::BadLine("<eof>".into()))?;
+        let line = lines.next().ok_or(ParseAigerError::Truncated)?;
         let nums: Vec<u64> = line
             .split_whitespace()
             .map(|t| {
@@ -164,13 +199,13 @@ pub fn parse(src: &str) -> Result<Aig, ParseAigerError> {
         if lhs & 1 == 1 {
             return Err(ParseAigerError::BadAndDefinition(line.to_string()));
         }
-        let var = (lhs >> 1) as usize;
-        if var >= var_map.len() || var_map[var].is_some() {
+        let var = lhs >> 1;
+        if var > m || var_map.contains_key(&var) {
             return Err(ParseAigerError::BadAndDefinition(line.to_string()));
         }
         let f0 = lit_of(rhs0, &var_map)?;
         let f1 = lit_of(rhs1, &var_map)?;
-        var_map[var] = Some(aig.and(f0, f1));
+        var_map.insert(var, aig.and(f0, f1));
     }
 
     for code in output_codes {
@@ -283,13 +318,17 @@ fn push_varint(out: &mut Vec<u8>, mut x: u64) {
     out.push(x as u8);
 }
 
+/// Input cap of [`parse_binary`]: binary AIGER encodes inputs implicitly
+/// (zero bytes each), so the declared count cannot be validated against
+/// the document size — without a cap, a 20-byte header could demand
+/// gigabytes of network construction.
+const MAX_BINARY_INPUTS: u64 = 1 << 24;
+
 fn read_varint(data: &[u8], pos: &mut usize) -> Result<u64, ParseAigerError> {
     let mut x = 0u64;
     let mut shift = 0u32;
     loop {
-        let byte = *data
-            .get(*pos)
-            .ok_or_else(|| ParseAigerError::BadLine("<eof in varint>".into()))?;
+        let byte = *data.get(*pos).ok_or(ParseAigerError::Truncated)?;
         *pos += 1;
         x |= u64::from(byte & 0x7F) << shift;
         if byte & 0x80 == 0 {
@@ -335,23 +374,41 @@ pub fn parse_binary(data: &[u8]) -> Result<Aig, ParseAigerError> {
     if i.checked_add(a) != Some(m) || m >= u64::from(u32::MAX >> 1) {
         return Err(ParseAigerError::BadHeader(header.to_string()));
     }
+    // Claims must be backed by document bytes before anything is built:
+    // every output line and every delta-encoded AND occupies at least two
+    // bytes. Inputs occupy none in the binary format, so they get a hard
+    // cap instead — a 20-byte header must not trigger gigabytes of input
+    // construction.
+    if i > MAX_BINARY_INPUTS {
+        return Err(ParseAigerError::ClaimTooLarge {
+            what: "inputs",
+            claimed: i,
+        });
+    }
+    let byte_cap = (data.len() as u64) / 2;
+    for (what, claimed) in [("outputs", o), ("ands", a)] {
+        if claimed > byte_cap {
+            return Err(ParseAigerError::ClaimTooLarge { what, claimed });
+        }
+    }
     let mut pos = newline + 1;
 
     let mut aig = Aig::new();
-    let mut lits: Vec<Lit> = Vec::with_capacity((m + 1) as usize);
+    let mut lits: Vec<Lit> = Vec::new();
     lits.push(Lit::FALSE);
     for _ in 0..i {
         lits.push(aig.add_input());
     }
 
-    // Output codes (ASCII lines).
-    let mut output_codes = Vec::with_capacity(o as usize);
+    // Output codes (ASCII lines). Grown per parsed line — never
+    // pre-sized from the header claim.
+    let mut output_codes = Vec::new();
     for _ in 0..o {
         let end = data[pos..]
             .iter()
             .position(|&b| b == b'\n')
             .map(|p| pos + p)
-            .ok_or_else(|| ParseAigerError::BadLine("<eof in outputs>".into()))?;
+            .ok_or(ParseAigerError::Truncated)?;
         let line = std::str::from_utf8(&data[pos..end])
             .map_err(|_| ParseAigerError::BadLine("<non-utf8 output>".into()))?;
         output_codes.push(
@@ -520,6 +577,104 @@ mod tests {
             parse_binary(b"aig 5 1 0 0 0\n"),
             Err(ParseAigerError::BadHeader(_))
         ));
+    }
+
+    #[test]
+    fn truncated_documents_are_typed_errors() {
+        // Declared but missing inputs / outputs / ANDs.
+        for src in [
+            "aag 2 2 0 0 0\n2\n",
+            "aag 1 1 0 2 0\n2\n1\n",
+            "aag 3 2 0 1 1\n2\n4\n6\n",
+        ] {
+            assert!(
+                matches!(parse(src), Err(ParseAigerError::Truncated)),
+                "{src:?}"
+            );
+        }
+        // Binary: missing output line, then missing/cut varints.
+        for doc in [
+            b"aig 0 0 0 1 0\n".as_slice(),
+            b"aig 2 1 0 0 1\n".as_slice(),
+            b"aig 2 1 0 0 1\n\x82".as_slice(),
+        ] {
+            assert!(
+                matches!(parse_binary(doc), Err(ParseAigerError::Truncated)),
+                "{doc:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_claims_are_rejected_without_allocation() {
+        // A few dozen bytes claiming millions of entries must fail fast
+        // with the claim that could not be backed.
+        assert!(matches!(
+            parse("aag 3000000 3000000 0 0 0\n2\n"),
+            Err(ParseAigerError::ClaimTooLarge {
+                what: "inputs",
+                claimed: 3_000_000
+            })
+        ));
+        assert!(matches!(
+            parse("aag 3000000 0 0 3000000 0\n0\n"),
+            Err(ParseAigerError::ClaimTooLarge {
+                what: "outputs",
+                ..
+            })
+        ));
+        assert!(matches!(
+            parse("aag 3000000 0 0 0 3000000\n"),
+            Err(ParseAigerError::ClaimTooLarge { what: "ands", .. })
+        ));
+        assert!(matches!(
+            parse_binary(b"aig 20000000 20000000 0 0 0\n"),
+            Err(ParseAigerError::ClaimTooLarge { what: "inputs", .. })
+        ));
+        assert!(matches!(
+            parse_binary(b"aig 3000000 0 0 0 3000000\n"),
+            Err(ParseAigerError::ClaimTooLarge { what: "ands", .. })
+        ));
+        // An unrepresentable variable count is a header error.
+        assert!(matches!(
+            parse("aag 4000000000 0 0 0 0\n"),
+            Err(ParseAigerError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn non_monotone_and_definitions_are_rejected() {
+        // AND 3 references AND 4 (not yet defined): forward references
+        // would permit combinational cycles.
+        let src = "aag 4 1 0 1 2\n2\n6\n6 8 2\n8 2 2\n";
+        assert!(matches!(
+            parse(src),
+            Err(ParseAigerError::LiteralOutOfRange(8))
+        ));
+        // Redefining an existing variable is equally malformed.
+        let dup = "aag 2 1 0 1 1\n2\n4\n2 2 2\n";
+        assert!(matches!(
+            parse(dup),
+            Err(ParseAigerError::BadAndDefinition(_))
+        ));
+        // Binary deltas that underflow the LHS (non-monotone by
+        // construction) are out-of-range, not a panic.
+        let mut doc = b"aig 2 1 0 0 1\n".to_vec();
+        doc.extend_from_slice(&[0x90, 0x01, 0x00]); // delta0 = 144 > lhs
+        assert!(matches!(
+            parse_binary(&doc),
+            Err(ParseAigerError::LiteralOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn error_display_names_the_failure() {
+        assert!(ParseAigerError::Truncated.to_string().contains("ended"));
+        let claim = ParseAigerError::ClaimTooLarge {
+            what: "ands",
+            claimed: 7,
+        };
+        assert!(claim.to_string().contains("7 ands"));
     }
 
     #[test]

@@ -131,6 +131,50 @@ proptest! {
     }
 
     #[test]
+    fn ascii_parser_never_panics_on_mutated_documents(
+        recipe in arb_recipe(),
+        mutations in proptest::collection::vec((any::<u32>(), any::<u8>()), 1..8),
+    ) {
+        // Start from a valid document, then corrupt random bytes. The
+        // parser must return Ok or a typed error — never panic and never
+        // allocate unboundedly (the test harness would OOM).
+        let mut doc = aiger::write(&build(&recipe)).into_bytes();
+        for (pos, val) in mutations {
+            let idx = pos as usize % doc.len();
+            doc[idx] = val;
+        }
+        if let Ok(text) = std::str::from_utf8(&doc) {
+            let _ = aiger::parse(text);
+        }
+    }
+
+    #[test]
+    fn binary_parser_never_panics_on_mutated_documents(
+        recipe in arb_recipe(),
+        mutations in proptest::collection::vec((any::<u32>(), any::<u8>()), 1..8),
+        cut in any::<u32>(),
+    ) {
+        let mut doc = aiger::write_binary(&build(&recipe));
+        for (pos, val) in mutations {
+            let idx = pos as usize % doc.len();
+            doc[idx] = val;
+        }
+        // Also exercise truncation at an arbitrary point.
+        doc.truncate(cut as usize % (doc.len() + 1));
+        let _ = aiger::parse_binary(&doc);
+    }
+
+    #[test]
+    fn parsers_never_panic_on_arbitrary_bytes(
+        doc in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let _ = aiger::parse_binary(&doc);
+        if let Ok(text) = std::str::from_utf8(&doc) {
+            let _ = aiger::parse(text);
+        }
+    }
+
+    #[test]
     fn replace_with_equivalent_preserves_function(recipe in arb_recipe()) {
         let mut aig = build(&recipe);
         // Find any AND node and replace it with a freshly rebuilt equivalent

@@ -12,7 +12,7 @@ use std::time::Instant;
 use sbm_aig::Aig;
 use sbm_core::gradient::GradientOptions;
 use sbm_core::pipeline::PipelineReport;
-use sbm_core::script::{resyn2rs, sbm_script_report, SbmOptions};
+use sbm_core::script::{resyn2rs, sbm_script_report, sbm_script_resumable, SbmOptions};
 
 use crate::mapping::map_to_cells;
 use crate::power::dynamic_power;
@@ -71,9 +71,40 @@ pub fn run_flow(aig: &Aig, kind: FlowKind) -> FlowRun {
     run_flow_threaded(aig, kind, 1)
 }
 
+/// Crash-safety configuration for the proposed flow's optimization step:
+/// checkpoints land in a per-design subdirectory of `root`, and `resume`
+/// continues from an existing checkpoint instead of starting fresh.
+#[derive(Debug, Clone)]
+pub struct FlowCheckpoint {
+    /// Root directory; each design checkpoints under `root/<name>`.
+    pub root: std::path::PathBuf,
+    /// Resume from the design's existing checkpoint. A design whose
+    /// checkpoint is missing or unusable is re-run fresh and the typed
+    /// error reported on stderr.
+    pub resume: bool,
+}
+
+impl FlowCheckpoint {
+    fn dir_for(&self, name: &str) -> std::path::PathBuf {
+        self.root.join(name)
+    }
+}
+
 /// [`run_flow`] with the proposed flow's window-based optimization steps
 /// fanned out over `num_threads` workers.
 pub fn run_flow_threaded(aig: &Aig, kind: FlowKind, num_threads: usize) -> FlowRun {
+    run_flow_configured(aig, kind, num_threads, None)
+}
+
+/// [`run_flow_threaded`] with optional crash-safe checkpointing of the
+/// proposed flow's optimization (`checkpoint` = directory for this
+/// design, plus whether to resume from it).
+pub fn run_flow_configured(
+    aig: &Aig,
+    kind: FlowKind,
+    num_threads: usize,
+    checkpoint: Option<(&std::path::Path, bool)>,
+) -> FlowRun {
     let start = Instant::now();
     let (optimized, pipeline) = match kind {
         FlowKind::Baseline => (resyn2rs(aig), PipelineReport::default()),
@@ -85,9 +116,19 @@ pub fn run_flow_threaded(aig: &Aig, kind: FlowKind, num_threads: usize) -> FlowR
                     ..Default::default()
                 },
                 num_threads,
+                checkpoint_dir: checkpoint.map(|(dir, _)| dir.to_path_buf()),
                 ..Default::default()
             };
-            let run = sbm_script_report(aig, &opts);
+            let run = match checkpoint {
+                Some((dir, true)) => match sbm_script_resumable(aig, &opts) {
+                    Ok(run) => run,
+                    Err(e) => {
+                        eprintln!("cannot resume from {} ({e}); running fresh", dir.display());
+                        sbm_script_report(aig, &opts)
+                    }
+                },
+                _ => sbm_script_report(aig, &opts),
+            };
             (run.aig, run.stats)
         }
     };
@@ -150,8 +191,26 @@ pub fn compare_flows_threaded(
     clock_fraction: f64,
     num_threads: usize,
 ) -> DesignComparison {
+    compare_flows_checkpointed(name, aig, clock_fraction, num_threads, None)
+}
+
+/// [`compare_flows_threaded`] with optional crash-safe checkpointing of
+/// the proposed flow (see [`FlowCheckpoint`]).
+pub fn compare_flows_checkpointed(
+    name: &str,
+    aig: &Aig,
+    clock_fraction: f64,
+    num_threads: usize,
+    checkpoint: Option<&FlowCheckpoint>,
+) -> DesignComparison {
     let baseline = run_flow(aig, FlowKind::Baseline);
-    let proposed = run_flow_threaded(aig, FlowKind::Proposed, num_threads);
+    let ck_dir = checkpoint.map(|c| (c.dir_for(name), c.resume));
+    let proposed = run_flow_configured(
+        aig,
+        FlowKind::Proposed,
+        num_threads,
+        ck_dir.as_ref().map(|(d, r)| (d.as_path(), *r)),
+    );
     let clock = baseline.result.critical_path * clock_fraction;
     DesignComparison {
         name: name.to_string(),

@@ -12,7 +12,8 @@
 //! these benchmarks.
 //!
 //! Usage: `table1 [--full] [--threads N] [--check off|boundaries|paranoid]
-//! [--deadline SECONDS] [--fault-seed N] [--fault-rate R]`
+//! [--deadline SECONDS] [--fault-seed N] [--fault-rate R]
+//! [--checkpoint DIR [--resume]] [--only NAME]`
 //! (default: reduced scale, serial, unchecked, unbounded, no injection).
 //! Checked runs validate the structural invariants of every intermediate
 //! network (see `sbm-check`) and list any violation after the table. A
@@ -20,9 +21,14 @@
 //! `--fault-seed`/`--fault-rate` inject deterministic faults (panics,
 //! delays, forced bailouts) to exercise the fault-tolerant executor, and
 //! the resulting `FaultSummary` is printed after the table.
+//! `--checkpoint DIR` persists crash-safe progress per benchmark under
+//! `DIR`; `--resume` continues an interrupted checkpointed run (a
+//! benchmark whose checkpoint is missing or unusable is re-run fresh and
+//! the typed error reported). `--only NAME` restricts the run to
+//! benchmarks whose name contains `NAME`.
 
 use sbm_core::pipeline::PipelineReport;
-use sbm_core::script::{resyn2rs_fixpoint, sbm_script_report, SbmOptions};
+use sbm_core::script::{resyn2rs_fixpoint, sbm_script_report, sbm_script_resumable, SbmOptions};
 use sbm_epfl::{benchmark, Scale};
 use sbm_lutmap::{map_luts, MapOptions};
 
@@ -38,14 +44,9 @@ fn main() {
     let check = sbm_bench::check_arg();
     let deadline = sbm_bench::deadline_arg();
     let fault_plan = sbm_bench::fault_plan_arg();
+    let (ckpt_root, resume) = sbm_bench::checkpoint_args();
+    let only = sbm_bench::only_arg();
     let scale = if full { Scale::Full } else { Scale::Reduced };
-    let options = SbmOptions::builder()
-        .num_threads(threads)
-        .check_level(check)
-        .deadline(deadline)
-        .fault_plan(fault_plan)
-        .build()
-        .expect("valid options");
     println!("Table I — New Best Area Results For The EPFL Suite (LUT-6)");
     println!(
         "scale: {scale:?}, threads: {threads}, check: {check}  \
@@ -60,6 +61,13 @@ fn main() {
             plan.seed, plan.panic_rate, plan.delay_rate, plan.bailout_rate
         );
     }
+    if let Some(root) = &ckpt_root {
+        println!(
+            "checkpoint: {} ({})",
+            root.display(),
+            if resume { "resuming" } else { "fresh" }
+        );
+    }
     println!();
     println!(
         "{:<12} {:>9} | {:>9} {:>7} | {:>9} {:>7} | {:>8} {:>9}",
@@ -68,6 +76,9 @@ fn main() {
     let map_opts = MapOptions::default();
     let mut pipeline_report = PipelineReport::default();
     for name in TABLE1 {
+        if only.as_ref().is_some_and(|o| !name.contains(o.as_str())) {
+            continue;
+        }
         let bench = benchmark(name, scale).expect("known benchmark");
         let aig = bench.aig;
         let io = format!("{}/{}", aig.num_inputs(), aig.num_outputs());
@@ -75,7 +86,27 @@ fn main() {
         let baseline = resyn2rs_fixpoint(&aig, 4);
         let base_map = map_luts(&baseline, &map_opts);
 
-        let run = sbm_script_report(&aig, &options);
+        // Checkpoints are per-benchmark subdirectories so a multi-bench
+        // run never overwrites one benchmark's progress with another's.
+        let options = SbmOptions::builder()
+            .num_threads(threads)
+            .check_level(check)
+            .deadline(deadline)
+            .fault_plan(fault_plan)
+            .checkpoint_dir(ckpt_root.as_ref().map(|d| d.join(name)))
+            .build()
+            .expect("valid options");
+        let run = if resume {
+            match sbm_script_resumable(&aig, &options) {
+                Ok(run) => run,
+                Err(e) => {
+                    eprintln!("{name}: cannot resume ({e}); running fresh");
+                    sbm_script_report(&aig, &options)
+                }
+            }
+        } else {
+            sbm_script_report(&aig, &options)
+        };
         let sbm = run.aig;
         pipeline_report.merge(&run.stats);
         let sbm_map = map_luts(&sbm, &map_opts);
@@ -93,9 +124,13 @@ fn main() {
             verdict,
         );
     }
-    if threads > 1 || fault_plan.is_some() {
+    if threads > 1 || fault_plan.is_some() || ckpt_root.is_some() {
         println!();
         println!("{pipeline_report}");
+    }
+    if let Some(error) = &pipeline_report.checkpoint_error {
+        println!();
+        println!("checkpoint WARNING: {error} (run completed without crash safety)");
     }
     if !pipeline_report.fault.is_zero() {
         println!();

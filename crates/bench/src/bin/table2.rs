@@ -10,14 +10,18 @@
 //! runtime datapoint (Boolean-difference resubstitution applied
 //! monolithically to `i2c` and `cavlc`).
 //!
-//! Usage: `table2 [--full] [--threads N]`.
+//! Usage: `table2 [--full] [--threads N] [--deadline SECONDS]
+//! [--checkpoint DIR [--resume]] [--only NAME]`.
+//! `--checkpoint DIR` persists crash-safe progress per benchmark under
+//! `DIR`; `--resume` continues an interrupted checkpointed run. `--only
+//! NAME` restricts the run to benchmarks whose name contains `NAME`.
 
 use std::time::Instant;
 
 use sbm_core::bdiff::BdiffOptions;
 use sbm_core::engine::{Bdiff, Engine, OptContext};
 use sbm_core::pipeline::PipelineReport;
-use sbm_core::script::{resyn2rs_fixpoint, sbm_script_report, SbmOptions};
+use sbm_core::script::{resyn2rs_fixpoint, sbm_script_report, sbm_script_resumable, SbmOptions};
 use sbm_epfl::{benchmark, Scale};
 
 /// The 13 benchmarks of Table II (`hypotenuse` is generated as `hyp`).
@@ -29,13 +33,19 @@ const TABLE2: [&str; 13] = [
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let threads = sbm_bench::threads_arg();
+    let deadline = sbm_bench::deadline_arg();
+    let (ckpt_root, resume) = sbm_bench::checkpoint_args();
+    let only = sbm_bench::only_arg();
     let scale = if full { Scale::Full } else { Scale::Reduced };
-    let options = SbmOptions::builder()
-        .num_threads(threads)
-        .build()
-        .expect("valid options");
     println!("Table II — Smallest AIG Results For The EPFL Suite");
     println!("scale: {scale:?}, threads: {threads}");
+    if let Some(root) = &ckpt_root {
+        println!(
+            "checkpoint: {} ({})",
+            root.display(),
+            if resume { "resuming" } else { "fresh" }
+        );
+    }
     println!();
     println!(
         "{:<12} {:>9} | {:>9} {:>8} | {:>9} {:>8} | {:>8} {:>9}",
@@ -43,15 +53,36 @@ fn main() {
     );
     let mut pipeline_report = PipelineReport::default();
     let mut script_secs = 0.0f64;
+    let mut processed = 0usize;
     for name in TABLE2 {
+        if only.as_ref().is_some_and(|o| !name.contains(o.as_str())) {
+            continue;
+        }
         let bench = benchmark(name, scale).expect("known benchmark");
         let aig = bench.aig;
         let io = format!("{}/{}", aig.num_inputs(), aig.num_outputs());
 
         let baseline = resyn2rs_fixpoint(&aig, 6);
+        let options = SbmOptions::builder()
+            .num_threads(threads)
+            .deadline(deadline)
+            .checkpoint_dir(ckpt_root.as_ref().map(|d| d.join(name)))
+            .build()
+            .expect("valid options");
         let t = Instant::now();
-        let run = sbm_script_report(&aig, &options);
+        let run = if resume {
+            match sbm_script_resumable(&aig, &options) {
+                Ok(run) => run,
+                Err(e) => {
+                    eprintln!("{name}: cannot resume ({e}); running fresh");
+                    sbm_script_report(&aig, &options)
+                }
+            }
+        } else {
+            sbm_script_report(&aig, &options)
+        };
         script_secs += t.elapsed().as_secs_f64();
+        processed += 1;
         let sbm = run.aig;
         pipeline_report.merge(&run.stats);
         let verdict = sbm_bench::verify_pair(&aig, &sbm, 4_000);
@@ -69,12 +100,15 @@ fn main() {
     }
     println!();
     println!(
-        "sbm_script total: {script_secs:.1}s across {} benchmarks (threads: {threads})",
-        TABLE2.len()
+        "sbm_script total: {script_secs:.1}s across {processed} benchmarks (threads: {threads})"
     );
-    if threads > 1 {
+    if threads > 1 || ckpt_root.is_some() {
         println!();
         println!("{pipeline_report}");
+    }
+    if let Some(error) = &pipeline_report.checkpoint_error {
+        println!();
+        println!("checkpoint WARNING: {error} (run completed without crash safety)");
     }
     println!();
     println!("paper reference (full scale): arbiter 879/228, cavlc 483/78, div 19250/6228,");

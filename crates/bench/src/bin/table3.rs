@@ -6,10 +6,13 @@
 //! metrics the paper reports: combinational area, no-clock dynamic power,
 //! WNS, TNS and runtime, averaged w.r.t. baseline.
 //!
-//! Usage: `table3 [--designs N] [--threads N]` (default 33 designs, serial).
+//! Usage: `table3 [--designs N] [--threads N] [--checkpoint DIR
+//! [--resume]]` (default 33 designs, serial, no checkpointing).
+//! `--checkpoint DIR` persists each design's optimization progress under
+//! `DIR/<design>`; `--resume` continues an interrupted run from there.
 
 use sbm_asic::designs::industrial_designs;
-use sbm_asic::flow::{compare_flows_threaded, summarize};
+use sbm_asic::flow::{compare_flows_checkpointed, summarize, FlowCheckpoint};
 use sbm_core::pipeline::PipelineReport;
 
 fn main() {
@@ -21,7 +24,16 @@ fn main() {
         }
     }
     let threads = sbm_bench::threads_arg();
+    let (ckpt_root, resume) = sbm_bench::checkpoint_args();
+    let checkpoint = ckpt_root.map(|root| FlowCheckpoint { root, resume });
     println!("Table III — Post-implementation results on {n} industrial-like designs (threads: {threads})");
+    if let Some(ck) = &checkpoint {
+        println!(
+            "checkpoint: {} ({})",
+            ck.root.display(),
+            if ck.resume { "resuming" } else { "fresh" }
+        );
+    }
     println!();
     println!(
         "{:<10} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8}",
@@ -40,7 +52,8 @@ fn main() {
     let rows: Vec<_> = designs
         .iter()
         .map(|d| {
-            let row = compare_flows_threaded(&d.name, &d.aig, 0.85, threads);
+            let row =
+                compare_flows_checkpointed(&d.name, &d.aig, 0.85, threads, checkpoint.as_ref());
             pipeline_report.merge(&row.pipeline);
             println!(
                 "{:<10} {:>10.1} {:>10.1} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>8.2} {:>8.2}",
@@ -58,9 +71,13 @@ fn main() {
         })
         .collect();
 
-    if threads > 1 {
+    if threads > 1 || checkpoint.is_some() {
         println!();
         println!("{pipeline_report}");
+    }
+    if let Some(error) = &pipeline_report.checkpoint_error {
+        println!();
+        println!("checkpoint WARNING: {error} (run completed without crash safety)");
     }
     let s = summarize(&rows);
     println!();

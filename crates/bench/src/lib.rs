@@ -129,6 +129,53 @@ pub fn fault_plan_arg() -> Option<FaultPlan> {
     Some(FaultPlan::uniform(seed.unwrap_or(1), rate.unwrap_or(0.1)))
 }
 
+/// Parses the shared `--checkpoint DIR` / `--resume` CLI arguments of
+/// the table binaries. `--checkpoint DIR` makes every script/pipeline
+/// run persist crash-safe progress under a per-benchmark subdirectory of
+/// `DIR`; `--resume` picks interrupted runs up from those checkpoints
+/// instead of starting fresh. `--resume` without `--checkpoint` aborts
+/// with a usage message.
+pub fn checkpoint_args() -> (Option<std::path::PathBuf>, bool) {
+    let mut dir: Option<std::path::PathBuf> = None;
+    let mut resume = false;
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--checkpoint" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--checkpoint needs a directory");
+                    std::process::exit(2);
+                };
+                dir = Some(std::path::PathBuf::from(value));
+            }
+            "--resume" => resume = true,
+            _ => {}
+        }
+    }
+    if resume && dir.is_none() {
+        eprintln!("--resume requires --checkpoint DIR (the directory of the interrupted run)");
+        std::process::exit(2);
+    }
+    (dir, resume)
+}
+
+/// Parses the shared `--only NAME` CLI argument: restricts a table binary
+/// to the benchmarks whose name contains `NAME` (used by the CI
+/// checkpoint smoke to keep the run small).
+pub fn only_arg() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--only" {
+            let Some(value) = args.next() else {
+                eprintln!("--only needs a benchmark name (substring match)");
+                std::process::exit(2);
+            };
+            return Some(value);
+        }
+    }
+    None
+}
+
 /// Formats a ratio as the paper's "-x.xx%" convention.
 pub fn pct(before: f64, after: f64) -> String {
     if before == 0.0 {

@@ -159,6 +159,21 @@ impl Budget {
         Ok(())
     }
 
+    /// Wall-clock time left before the deadline trips: `None` when there
+    /// is no deadline (unlimited or purely cancellable budgets),
+    /// `Some(Duration::ZERO)` once expired or cancelled. Lets a caller
+    /// decide whether starting another unit of work — or writing a final
+    /// checkpoint — still fits the budget.
+    #[must_use]
+    pub fn remaining(&self) -> Option<Duration> {
+        let inner = self.inner.as_ref()?;
+        if inner.cancel.load(Ordering::Relaxed) {
+            return Some(Duration::ZERO);
+        }
+        let deadline = inner.deadline?;
+        Some(deadline.saturating_duration_since(Instant::now()))
+    }
+
     /// Cheap probe for hot loops (the BDD apply loop, the SAT propagation
     /// loop): cancellation is checked on every call (one relaxed atomic
     /// load), the wall clock only every 256th call — and on the very
@@ -249,6 +264,22 @@ mod tests {
             assert!(far.probe().is_ok());
         }
         assert!(Budget::unlimited().probe().is_ok());
+    }
+
+    #[test]
+    fn remaining_tracks_deadline_cancellation_and_absence() {
+        assert_eq!(Budget::unlimited().remaining(), None);
+        assert_eq!(Budget::cancellable().remaining(), None);
+        let c = Budget::cancellable();
+        c.cancel();
+        assert_eq!(c.remaining(), Some(Duration::ZERO));
+        assert_eq!(
+            Budget::with_deadline(Duration::ZERO).remaining(),
+            Some(Duration::ZERO)
+        );
+        let far = Budget::with_deadline(Duration::from_secs(3600));
+        let left = far.remaining().expect("deadline set");
+        assert!(left > Duration::from_secs(3500) && left <= Duration::from_secs(3600));
     }
 
     #[test]

@@ -74,21 +74,7 @@ pub struct BdiffStats {
     pub bailouts: usize,
 }
 
-/// Runs Boolean-difference resubstitution over the whole network
-/// (Alg. 2). Returns the optimized network and statistics; the input is
-/// never worsened (the result has at most as many nodes).
-#[deprecated(
-    since = "0.1.0",
-    note = "use `engine::Bdiff` through the `Engine` trait"
-)]
-pub fn boolean_difference_resub(
-    aig: &Aig,
-    options: &BdiffOptions,
-) -> crate::engine::Optimized<BdiffStats> {
-    let (aig, stats) = boolean_difference_resub_impl(aig, options);
-    crate::engine::Optimized { aig, stats }
-}
-
+#[cfg(test)]
 pub(crate) fn boolean_difference_resub_impl(
     aig: &Aig,
     options: &BdiffOptions,

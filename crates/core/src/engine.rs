@@ -4,8 +4,8 @@
 //! [`Engine`] trait: a named pass that maps an AIG to an optimized AIG
 //! plus uniform [`EngineStats`]. The trait is what the parallel pipeline
 //! (see [`crate::pipeline`]) schedules over windows, and what scripts
-//! compose into sequences; the per-engine free functions remain available
-//! as deprecated wrappers returning [`Optimized`].
+//! compose into sequences; engines with budget-aware entry points also
+//! expose `*_budgeted` free functions returning `(Aig, Stats)` pairs.
 //!
 //! Engines are `Send + Sync` — a single engine value may be shared by
 //! many worker threads, each running it on a disjoint window.
@@ -67,7 +67,7 @@ impl OptContext {
 ///
 /// Engines with richer native stats (e.g. [`crate::bdiff::BdiffStats`])
 /// project onto these fields; the native structs remain available through
-/// the deprecated free functions.
+/// the `*_budgeted` free functions.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Windows / partitions processed (0 for non-windowed engines).

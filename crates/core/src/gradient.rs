@@ -303,25 +303,7 @@ pub struct GradientStats {
     pub early_termination: bool,
 }
 
-/// Runs the gradient-based AIG optimization engine.
-///
-/// Moves are prioritized by `(success score, cost)`: the engine starts
-/// with unit-cost moves and introduces higher-cost moves as the cheap ones
-/// stop gaining; recorded successes raise a move's priority for subsequent
-/// iterations. All moves have gain ≥ 0 by construction (each move returns
-/// its input when it cannot improve it).
-#[deprecated(
-    since = "0.1.0",
-    note = "use `engine::Gradient` through the `Engine` trait"
-)]
-pub fn gradient_optimize(
-    aig: &Aig,
-    options: &GradientOptions,
-) -> crate::engine::Optimized<GradientStats> {
-    let (aig, stats) = gradient_optimize_impl(aig, options);
-    crate::engine::Optimized { aig, stats }
-}
-
+#[cfg(test)]
 pub(crate) fn gradient_optimize_impl(aig: &Aig, options: &GradientOptions) -> (Aig, GradientStats) {
     gradient_optimize_budgeted(aig, options, &Budget::unlimited())
 }

@@ -109,20 +109,6 @@ fn optimize_with_threshold(
     (candidate.num_lits(), candidate)
 }
 
-/// Runs the heterogeneous eliminate + kernel-extraction engine over the
-/// network. Never returns a larger network.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `engine::Hetero` through the `Engine` trait"
-)]
-pub fn hetero_eliminate_kernel(
-    aig: &Aig,
-    options: &HeteroOptions,
-) -> crate::engine::Optimized<HeteroStats> {
-    let (aig, stats) = hetero_eliminate_kernel_impl(aig, options);
-    crate::engine::Optimized { aig, stats }
-}
-
 pub(crate) fn hetero_eliminate_kernel_impl(
     aig: &Aig,
     options: &HeteroOptions,

@@ -38,6 +38,12 @@
 //! in [`pipeline::FaultSummary`]. Deterministic fault injection
 //! ([`sbm_check::FaultPlan`]) exercises every one of those paths in tests.
 //!
+//! Runs are also crash-safe: with [`pipeline::CheckpointOptions`] /
+//! [`script::SbmOptions::checkpoint_dir`] set, progress is persisted to a
+//! CRC-checked snapshot plus write-ahead window journal (`sbm_journal`),
+//! and [`pipeline::Pipeline::resume`] / [`script::sbm_script_resumable`]
+//! pick an interrupted run up where it left off.
+//!
 //! # Example
 //!
 //! ```

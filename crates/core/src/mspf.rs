@@ -131,19 +131,7 @@ fn roots_with_node_var(
     part.roots.iter().map(|r| bdds.get(r).copied()).collect()
 }
 
-/// Runs one MSPF optimization pass: per window, computes each member's
-/// MSPF and tries to replace it with a connectable existing signal
-/// (constant, leaf or member) — keeping replacements that free logic.
-/// Never returns a larger network.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `engine::Mspf` through the `Engine` trait"
-)]
-pub fn mspf_optimize(aig: &Aig, options: &MspfOptions) -> crate::engine::Optimized<MspfStats> {
-    let (aig, stats) = mspf_optimize_impl(aig, options);
-    crate::engine::Optimized { aig, stats }
-}
-
+#[cfg(test)]
 pub(crate) fn mspf_optimize_impl(aig: &Aig, options: &MspfOptions) -> (Aig, MspfStats) {
     mspf_optimize_budgeted(aig, options, &Budget::unlimited())
 }

@@ -42,16 +42,6 @@ pub struct RefactorStats {
     pub considered: usize,
 }
 
-/// Runs one refactoring pass. Never returns a larger network.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `engine::Refactor` through the `Engine` trait"
-)]
-pub fn refactor(aig: &Aig, options: &RefactorOptions) -> crate::engine::Optimized<RefactorStats> {
-    let (aig, stats) = refactor_impl(aig, options);
-    crate::engine::Optimized { aig, stats }
-}
-
 pub(crate) fn refactor_impl(aig: &Aig, options: &RefactorOptions) -> (Aig, RefactorStats) {
     let mut work = aig.cleanup();
     let mut stats = RefactorStats::default();

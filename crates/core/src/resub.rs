@@ -46,16 +46,6 @@ pub struct ResubStats {
     pub one_resubs: usize,
 }
 
-/// Runs one windowed resubstitution pass. Never returns a larger network.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `engine::Resub` through the `Engine` trait"
-)]
-pub fn resub(aig: &Aig, options: &ResubOptions) -> crate::engine::Optimized<ResubStats> {
-    let (aig, stats) = resub_impl(aig, options);
-    crate::engine::Optimized { aig, stats }
-}
-
 pub(crate) fn resub_impl(aig: &Aig, options: &ResubOptions) -> (Aig, ResubStats) {
     let mut work = aig.cleanup();
     let mut stats = ResubStats::default();

@@ -124,17 +124,6 @@ fn emit_factored(aig: &mut Aig, fac: &Factored, leaf_lits: &[Lit]) -> Lit {
     }
 }
 
-/// Runs one rewriting pass over the network. Never returns a larger
-/// network.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `engine::Rewrite` through the `Engine` trait"
-)]
-pub fn rewrite(aig: &Aig, options: &RewriteOptions) -> crate::engine::Optimized<RewriteStats> {
-    let (aig, stats) = rewrite_impl(aig, options);
-    crate::engine::Optimized { aig, stats }
-}
-
 pub(crate) fn rewrite_impl(aig: &Aig, options: &RewriteOptions) -> (Aig, RewriteStats) {
     let mut work = aig.cleanup();
     let mut stats = RewriteStats::default();

@@ -8,12 +8,17 @@
 //! the four SBM engines + SAT sweeping and redundancy removal, iterated
 //! twice with different efforts.
 
+use std::cell::{Cell, RefCell};
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use sbm_aig::Aig;
 use sbm_budget::Budget;
 use sbm_check::{check_aig, sim_spot_check, CheckCode, CheckLevel, FaultPlan};
+use sbm_journal::{
+    read_aig_snapshot, write_aig_snapshot, Fnv64, JournalError, ResumeSummary, SCRIPT_STATE_FILE,
+};
 use sbm_sat::redundancy::{remove_redundancies, RedundancyOptions};
 use sbm_sat::sweep::{sweep, SweepOptions};
 
@@ -91,11 +96,112 @@ fn checked_guarded(
 }
 
 /// Shared execution context of one script run: the wall-clock budget and
-/// the fault-injection plan every step inherits.
+/// the fault-injection plan every step inherits, plus the optional
+/// step-grained checkpoint state.
 #[derive(Debug, Clone, Default)]
 struct StepCtx {
     budget: Budget,
     fault_plan: Option<FaultPlan>,
+    ckpt: Option<ScriptCkpt>,
+}
+
+/// Step-grained checkpoint state of one script run. Scripts are a fixed
+/// sequence of network-to-network steps, so the persistent unit is "the
+/// cleaned network after step N": a snapshot with `seq = N` means the
+/// first N steps completed cleanly and resume may skip them.
+#[derive(Debug, Clone)]
+struct ScriptCkpt {
+    dir: PathBuf,
+    every: usize,
+    fingerprint: u64,
+    /// Steps completed before the interruption (from the loaded
+    /// snapshot's `seq`); a fresh run starts at 0.
+    resume_from: u64,
+    /// Deterministic index of the step most recently entered (skipped
+    /// steps count too, so numbering matches across runs).
+    seen: Cell<u64>,
+    /// False once a step ended with the budget expired: its result is
+    /// (possibly) degraded by timing, so neither it nor anything after
+    /// it is recorded — the previous snapshot stands and resume re-runs
+    /// from there.
+    clean: Cell<bool>,
+    /// First snapshot-write failure; checkpointing is best-effort.
+    error: RefCell<Option<String>>,
+}
+
+impl ScriptCkpt {
+    /// Fresh-run setup: create the directory and persist the cleaned
+    /// input as the step-0 snapshot.
+    fn create(
+        dir: &Path,
+        fingerprint: u64,
+        every: usize,
+        cur: &Aig,
+    ) -> Result<ScriptCkpt, JournalError> {
+        std::fs::create_dir_all(dir).map_err(|e| JournalError::Io {
+            op: "create_dir",
+            path: dir.to_path_buf(),
+            detail: e.to_string(),
+        })?;
+        let ck = ScriptCkpt {
+            dir: dir.to_path_buf(),
+            every,
+            fingerprint,
+            resume_from: 0,
+            seen: Cell::new(0),
+            clean: Cell::new(true),
+            error: RefCell::new(None),
+        };
+        write_aig_snapshot(&ck.dir.join(SCRIPT_STATE_FILE), cur, fingerprint, 0)?;
+        Ok(ck)
+    }
+
+    /// Persists `net` (cleaned) as the state after `seq` completed steps.
+    /// Best-effort: the first failure is remembered and surfaced as
+    /// [`PipelineReport::checkpoint_error`], later writes are skipped.
+    fn save(&self, net: &Aig, seq: u64) {
+        let mut error = self.error.borrow_mut();
+        if error.is_some() {
+            return;
+        }
+        if let Err(e) = write_aig_snapshot(
+            &self.dir.join(SCRIPT_STATE_FILE),
+            net,
+            self.fingerprint,
+            seq,
+        ) {
+            *error = Some(e.to_string());
+        }
+    }
+}
+
+/// Runs one script step under the optional checkpoint regime: steps
+/// already covered by the loaded snapshot are skipped (their effect is
+/// baked into the starting network), freshly completed steps are
+/// persisted on the configured cadence. Without checkpointing this is
+/// exactly `f(cur)`.
+fn checkpointed(cur: Aig, ctx: &StepCtx, f: impl FnOnce(Aig) -> Aig) -> Aig {
+    let Some(ck) = &ctx.ckpt else {
+        return f(cur);
+    };
+    let step_no = ck.seen.get() + 1;
+    ck.seen.set(step_no);
+    if step_no <= ck.resume_from {
+        return cur;
+    }
+    let next = f(cur);
+    if ck.clean.get() {
+        if ctx.budget.check().is_err() {
+            // The budget expired somewhere inside this step; its output
+            // may be a timing-degraded network. Keep it for this run's
+            // result but never record it — resume re-runs from the last
+            // clean snapshot.
+            ck.clean.set(false);
+        } else if (step_no as usize).is_multiple_of(ck.every.max(1)) {
+            ck.save(&next.cleanup(), step_no);
+        }
+    }
+    next
 }
 
 /// The `resyn2rs`-style baseline script: balance, resub, rewrite and
@@ -286,6 +392,15 @@ pub struct SbmOptions {
     /// engine step routes through the fault-isolating pipeline executor
     /// even at `num_threads = 1`.
     pub fault_plan: Option<FaultPlan>,
+    /// Directory for step-grained crash-safe checkpoints (`None` = off).
+    /// When set, the script persists the network after completed steps
+    /// and [`sbm_script_resumable`] can pick an interrupted run up from
+    /// the last recorded step.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Snapshot cadence in script steps: `1` (the default) persists after
+    /// every step, larger values amortize the write at the cost of
+    /// re-running at most that many steps after a crash.
+    pub checkpoint_every: usize,
 }
 
 impl Default for SbmOptions {
@@ -301,6 +416,8 @@ impl Default for SbmOptions {
             check_level: CheckLevel::Off,
             deadline: None,
             fault_plan: None,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
         }
     }
 }
@@ -330,6 +447,9 @@ pub enum OptionsError {
     ZeroBddLimit,
     /// A zero deadline cannot make progress; use `None` for unbounded.
     ZeroDeadline,
+    /// A checkpoint cadence of zero steps never persists anything; use
+    /// `checkpoint_dir: None` to disable checkpointing instead.
+    ZeroCheckpointEvery,
 }
 
 impl fmt::Display for OptionsError {
@@ -351,6 +471,10 @@ impl fmt::Display for OptionsError {
             }
             OptionsError::ZeroDeadline => {
                 "a zero deadline cannot make progress (use None for unbounded)"
+            }
+            OptionsError::ZeroCheckpointEvery => {
+                "a checkpoint cadence of 0 steps never persists anything \
+                 (use checkpoint_dir: None to disable checkpointing)"
             }
         };
         f.write_str(msg)
@@ -459,6 +583,20 @@ impl SbmOptionsBuilder {
         self
     }
 
+    /// Directory for step-grained crash-safe checkpoints (`None` = off).
+    #[must_use]
+    pub fn checkpoint_dir(mut self, dir: Option<PathBuf>) -> Self {
+        self.options.checkpoint_dir = dir;
+        self
+    }
+
+    /// Snapshot cadence in script steps (must be at least 1).
+    #[must_use]
+    pub fn checkpoint_every(mut self, every: usize) -> Self {
+        self.options.checkpoint_every = every;
+        self
+    }
+
     /// Validates and produces the options.
     pub fn build(self) -> Result<SbmOptions, OptionsError> {
         let o = self.options;
@@ -482,6 +620,9 @@ impl SbmOptionsBuilder {
         }
         if o.deadline == Some(Duration::ZERO) {
             return Err(OptionsError::ZeroDeadline);
+        }
+        if o.checkpoint_every == 0 {
+            return Err(OptionsError::ZeroCheckpointEvery);
         }
         Ok(o)
     }
@@ -509,11 +650,105 @@ pub fn sbm_script(aig: &Aig, options: &SbmOptions) -> Aig {
 
 /// [`sbm_script`], also returning the merged [`PipelineReport`] of every
 /// parallel pass (all-zero counters when `num_threads = 1`, which never
-/// enters the pipeline).
+/// enters the pipeline). With [`SbmOptions::checkpoint_dir`] set, the run
+/// additionally persists step-grained progress; checkpoint I/O failures
+/// are best-effort (reported, never fatal).
 pub fn sbm_script_report(aig: &Aig, options: &SbmOptions) -> Optimized<PipelineReport> {
+    script_body(aig, options, None, PipelineReport::default())
+}
+
+/// Resumes an interrupted checkpointed script run from
+/// [`SbmOptions::checkpoint_dir`]: the last recorded snapshot is
+/// validated (CRC + `sbm-check`), the steps it covers are skipped, and
+/// the remaining steps run to completion. The options must match the
+/// interrupted run's ([`JournalError::ConfigMismatch`] otherwise).
+///
+/// Falls back cleanly: callers that cannot resume (corrupt or missing
+/// checkpoint) typically retry with [`sbm_script_report`], which starts
+/// fresh and overwrites the checkpoint.
+pub fn sbm_script_resumable(
+    aig: &Aig,
+    options: &SbmOptions,
+) -> Result<Optimized<PipelineReport>, JournalError> {
+    let dir = options
+        .checkpoint_dir
+        .as_ref()
+        .ok_or(JournalError::NotConfigured)?;
+    let fingerprint = script_fingerprint(options);
+    let (net, meta) = read_aig_snapshot(&dir.join(SCRIPT_STATE_FILE))?;
+    if meta.fingerprint != fingerprint {
+        return Err(JournalError::ConfigMismatch {
+            expected: fingerprint,
+            found: meta.fingerprint,
+        });
+    }
+    let ckpt = ScriptCkpt {
+        dir: dir.clone(),
+        every: options.checkpoint_every.max(1),
+        fingerprint,
+        resume_from: meta.seq,
+        seen: Cell::new(0),
+        clean: Cell::new(true),
+        error: RefCell::new(None),
+    };
+    let report = PipelineReport {
+        resume: Some(ResumeSummary {
+            steps_skipped: meta.seq as usize,
+            ..ResumeSummary::default()
+        }),
+        ..PipelineReport::default()
+    };
+    Ok(script_body(aig, options, Some((ckpt, net)), report))
+}
+
+/// The script fingerprint stamped into step snapshots: every builder-
+/// level knob that changes *results* — iterations, engine limits, SAT
+/// budgets, checking, fault plan. Thread count, deadline and the
+/// checkpoint configuration itself are excluded (timing/durability only,
+/// a resume may change them).
+fn script_fingerprint(options: &SbmOptions) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str("sbm-script-v1");
+    h.write_u64(options.iterations as u64);
+    match options.sat_budget {
+        None => h.write_u64(0),
+        Some(b) => {
+            h.write_u64(1);
+            h.write_u64(b);
+        }
+    }
+    h.write_u64(u64::from(options.gradient.budget));
+    h.write_u64(options.bdiff.max_diff_size as u64);
+    h.write_u64(options.bdiff.bdd_node_limit as u64);
+    h.write_u64(options.mspf.bdd_node_limit as u64);
+    h.write_u64(options.hetero.thresholds.len() as u64);
+    for &t in &options.hetero.thresholds {
+        h.write_u64(t as u64);
+    }
+    h.write_u64(options.check_level as u64);
+    match &options.fault_plan {
+        None => h.write_u64(0),
+        Some(plan) => {
+            h.write_u64(1);
+            h.write_u64(plan.seed);
+            h.write_u64(plan.panic_rate.to_bits());
+            h.write_u64(plan.delay_rate.to_bits());
+            h.write_u64(plan.bailout_rate.to_bits());
+        }
+    }
+    h.finish()
+}
+
+/// The shared body of [`sbm_script_report`] (fresh, `resume = None`) and
+/// [`sbm_script_resumable`] (resuming from a loaded snapshot).
+fn script_body(
+    aig: &Aig,
+    options: &SbmOptions,
+    resume: Option<(ScriptCkpt, Aig)>,
+    mut report: PipelineReport,
+) -> Optimized<PipelineReport> {
     let threads = options.num_threads.max(1);
     let check = options.check_level;
-    let mut report = PipelineReport::default();
 
     // Boundary pre-check on the RAW input (cleanup would loop on a
     // corrupted redirection map); a corrupt input passes through as-is.
@@ -531,13 +766,33 @@ pub fn sbm_script_report(aig: &Aig, options: &SbmOptions) -> Optimized<PipelineR
             };
         }
     }
-    let mut cur = aig.cleanup();
+    // Fresh checkpointed runs persist the cleaned input as step 0;
+    // resumed runs start from the loaded snapshot instead (its network
+    // already includes the effect of every skipped step).
+    let (ckpt, mut cur) = match resume {
+        Some((ckpt, net)) => (Some(ckpt), net),
+        None => {
+            let cur = aig.cleanup();
+            let ckpt = options.checkpoint_dir.as_ref().and_then(|dir| {
+                let fingerprint = script_fingerprint(options);
+                match ScriptCkpt::create(dir, fingerprint, options.checkpoint_every.max(1), &cur) {
+                    Ok(ckpt) => Some(ckpt),
+                    Err(e) => {
+                        report.checkpoint_error = Some(e.to_string());
+                        None
+                    }
+                }
+            });
+            (ckpt, cur)
+        }
+    };
     let input = check.at_boundaries().then(|| cur.clone());
     // One budget governs the whole run: every engine step, inner pass and
     // SAT gate below shares it, so the deadline bounds the run end to end.
     let ctx = StepCtx {
         budget: Budget::from_deadline(options.deadline),
         fault_plan: options.fault_plan,
+        ckpt,
     };
     for iteration in 0..options.iterations {
         if ctx.budget.check().is_err() {
@@ -545,15 +800,19 @@ pub fn sbm_script_report(aig: &Aig, options: &SbmOptions) -> Optimized<PipelineR
         }
         let high_effort = iteration > 0;
         // 1. AIG optimization: baseline script, then the gradient engine.
-        cur = guarded(cur, |a| {
-            resyn2rs_threaded(a, threads, check, &ctx, &mut report)
+        cur = checkpointed(cur, &ctx, |cur| {
+            guarded(cur, |a| {
+                resyn2rs_threaded(a, threads, check, &ctx, &mut report)
+            })
         });
         let gradient = GradientOptions {
             num_threads: threads,
             ..options.gradient.clone()
         };
-        cur = checked_guarded(cur, check, &mut report, "gradient", |a| {
-            gradient_optimize_budgeted(a, &gradient, &ctx.budget).0
+        cur = checkpointed(cur, &ctx, |cur| {
+            checked_guarded(cur, check, &mut report, "gradient", |a| {
+                gradient_optimize_budgeted(a, &gradient, &ctx.budget).0
+            })
         });
         // 2. Heterogeneous elimination for kerneling (internal
         // threshold-sweep threads).
@@ -561,72 +820,84 @@ pub fn sbm_script_report(aig: &Aig, options: &SbmOptions) -> Optimized<PipelineR
             parallel: threads > 1,
             ..options.hetero.clone()
         };
-        cur = checked_guarded(cur, check, &mut report, "hetero", |a| {
-            hetero_eliminate_kernel_impl(a, &hetero).0
+        cur = checkpointed(cur, &ctx, |cur| {
+            checked_guarded(cur, check, &mut report, "hetero", |a| {
+                hetero_eliminate_kernel_impl(a, &hetero).0
+            })
         });
         // 3. Enhanced MSPF computation.
-        cur = step(
-            cur,
-            threads,
-            check,
-            &ctx,
-            &mut report,
-            engine::Mspf {
-                options: options.mspf,
-            },
-            |a| mspf_optimize_budgeted(a, &options.mspf, &ctx.budget).0,
-        );
+        cur = checkpointed(cur, &ctx, |cur| {
+            step(
+                cur,
+                threads,
+                check,
+                &ctx,
+                &mut report,
+                engine::Mspf {
+                    options: options.mspf,
+                },
+                |a| mspf_optimize_budgeted(a, &options.mspf, &ctx.budget).0,
+            )
+        });
         // 4. Collapse & Boolean decomposition on reconvergent MFFCs.
         let refactor_options = RefactorOptions {
             max_support: if high_effort { 14 } else { 12 },
             min_mffc: 2,
             allow_zero_gain: high_effort,
         };
-        cur = step(
-            cur,
-            threads,
-            check,
-            &ctx,
-            &mut report,
-            engine::Refactor {
-                options: refactor_options,
-            },
-            |a| refactor_impl(a, &refactor_options).0,
-        );
+        cur = checkpointed(cur, &ctx, |cur| {
+            step(
+                cur,
+                threads,
+                check,
+                &ctx,
+                &mut report,
+                engine::Refactor {
+                    options: refactor_options,
+                },
+                |a| refactor_impl(a, &refactor_options).0,
+            )
+        });
         // 5. Boolean-difference-based optimization: unveils hard-to-find
         // optimizations and escapes local minima.
-        cur = step(
-            cur,
-            threads,
-            check,
-            &ctx,
-            &mut report,
-            engine::Bdiff {
-                options: options.bdiff,
-            },
-            |a| boolean_difference_resub_budgeted(a, &options.bdiff, &ctx.budget).0,
-        );
-        // 6. SAT sweeping and redundancy removal.
-        cur = checked_guarded(cur, check, &mut report, "sweep", |a| {
-            let mut work = a.cleanup();
-            sweep(
-                &mut work,
-                &SweepOptions {
-                    budget: options.sat_budget,
-                    ..Default::default()
+        cur = checkpointed(cur, &ctx, |cur| {
+            step(
+                cur,
+                threads,
+                check,
+                &ctx,
+                &mut report,
+                engine::Bdiff {
+                    options: options.bdiff,
                 },
-            );
-            work.cleanup()
-        });
-        cur = checked_guarded(cur, check, &mut report, "redundancy", |a| {
-            remove_redundancies(
-                a,
-                &RedundancyOptions {
-                    budget: options.sat_budget,
-                    max_checks: if high_effort { 2_000 } else { 500 },
-                },
+                |a| boolean_difference_resub_budgeted(a, &options.bdiff, &ctx.budget).0,
             )
-            .aig
+        });
+        // 6. SAT sweeping and redundancy removal.
+        cur = checkpointed(cur, &ctx, |cur| {
+            checked_guarded(cur, check, &mut report, "sweep", |a| {
+                let mut work = a.cleanup();
+                sweep(
+                    &mut work,
+                    &SweepOptions {
+                        budget: options.sat_budget,
+                        ..Default::default()
+                    },
+                );
+                work.cleanup()
+            })
+        });
+        cur = checkpointed(cur, &ctx, |cur| {
+            checked_guarded(cur, check, &mut report, "redundancy", |a| {
+                remove_redundancies(
+                    a,
+                    &RedundancyOptions {
+                        budget: options.sat_budget,
+                        max_checks: if high_effort { 2_000 } else { 500 },
+                    },
+                )
+                .aig
+            })
         });
     }
     let mut result = cur.cleanup();
@@ -650,6 +921,18 @@ pub fn sbm_script_report(aig: &Aig, options: &SbmOptions) -> Optimized<PipelineR
                 error,
             });
             result = input;
+        }
+    }
+    if let Some(ck) = &ctx.ckpt {
+        // Final checkpoint: when every executed step completed cleanly
+        // (no mid-step budget expiry), persist the finished network so a
+        // subsequent resume is a pure replay. Otherwise the last cadence
+        // snapshot stands and resume re-runs from there.
+        if ck.clean.get() {
+            ck.save(&result, ck.seen.get());
+        }
+        if report.checkpoint_error.is_none() {
+            report.checkpoint_error = ck.error.borrow_mut().take();
         }
     }
     Optimized {
@@ -806,6 +1089,92 @@ mod tests {
         assert_eq!(v.stage, "pre");
         assert_eq!(v.error.code, CheckCode::AigCyclicRedirect);
         assert_eq!(run.aig.num_nodes(), aig.num_nodes());
+    }
+
+    #[test]
+    fn checkpointed_script_resumes_as_pure_replay() {
+        let dir = std::env::temp_dir().join(format!("sbm-script-ck-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let aig = benchmark_aig();
+        let options = SbmOptions::builder()
+            .iterations(1)
+            .checkpoint_dir(Some(dir.clone()))
+            .build()
+            .expect("valid configuration");
+        let plain_options = SbmOptions::builder()
+            .iterations(1)
+            .build()
+            .expect("valid configuration");
+        let plain = sbm_script_report(&aig, &plain_options);
+        let full = sbm_script_report(&aig, &options);
+        assert_eq!(full.stats.checkpoint_error, None);
+        assert_eq!(full.aig.num_ands(), plain.aig.num_ands());
+        // Resuming a finished run replays the final snapshot: every step
+        // is skipped and the loaded network is returned as-is.
+        let resumed = sbm_script_resumable(&aig, &options).expect("resume");
+        let summary = resumed.stats.resume.expect("summary");
+        assert_eq!(summary.steps_skipped, 8, "one iteration = 8 script steps");
+        assert_eq!(resumed.aig.num_ands(), full.aig.num_ands());
+        assert_eq!(
+            check_equivalence(&full.aig, &resumed.aig, None),
+            EquivResult::Equivalent
+        );
+        // A partially recorded run (snapshot rolled back to an earlier
+        // step) re-runs the remaining steps and converges on the same
+        // result.
+        let (net, meta) =
+            sbm_journal::read_aig_snapshot(&dir.join(SCRIPT_STATE_FILE)).expect("final snapshot");
+        assert_eq!(meta.seq, 8);
+        sbm_journal::write_aig_snapshot(
+            &dir.join(SCRIPT_STATE_FILE),
+            &aig.cleanup(),
+            meta.fingerprint,
+            0,
+        )
+        .expect("roll back to step 0");
+        let restarted = sbm_script_resumable(&aig, &options).expect("resume from 0");
+        assert_eq!(restarted.stats.resume.expect("summary").steps_skipped, 0);
+        assert_eq!(restarted.aig.num_ands(), full.aig.num_ands());
+        assert_eq!(
+            check_equivalence(&net, &restarted.aig, None),
+            EquivResult::Equivalent
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn script_resume_rejects_drift_and_missing_configuration() {
+        let dir = std::env::temp_dir().join(format!("sbm-script-drift-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let aig = benchmark_aig();
+        let options = SbmOptions::builder()
+            .iterations(1)
+            .checkpoint_dir(Some(dir.clone()))
+            .build()
+            .expect("valid configuration");
+        sbm_script_report(&aig, &options);
+        let drifted = SbmOptions::builder()
+            .iterations(2)
+            .checkpoint_dir(Some(dir.clone()))
+            .build()
+            .expect("valid configuration");
+        assert!(matches!(
+            sbm_script_resumable(&aig, &drifted),
+            Err(JournalError::ConfigMismatch { .. })
+        ));
+        let unconfigured = SbmOptions::builder()
+            .iterations(1)
+            .build()
+            .expect("valid configuration");
+        assert!(matches!(
+            sbm_script_resumable(&aig, &unconfigured),
+            Err(JournalError::NotConfigured)
+        ));
+        assert!(matches!(
+            SbmOptions::builder().checkpoint_every(0).build(),
+            Err(OptionsError::ZeroCheckpointEvery)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

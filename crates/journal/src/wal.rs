@@ -1,0 +1,643 @@
+//! The write-ahead window journal.
+//!
+//! A journal file records, append-only, one [`WindowRecord`] per
+//! pipeline window whose outcome is final (optimized, unchanged,
+//! gate-rejected, or deterministically degraded). Records are framed
+//! individually so a crash mid-append tears at most the last frame:
+//!
+//! ```text
+//! header:  magic b"SBMJWAL\0" (8) | version u16 | reserved u16 |
+//!          configuration fingerprint u64            = 20 bytes
+//! record:  payload length u32 | payload CRC32 u32 | payload
+//! ```
+//!
+//! Appends are buffered in the OS and fsync'd every `checkpoint_every`
+//! records ([`JournalWriter::append`]) and at phase end / budget expiry
+//! ([`JournalWriter::flush`]). Reads come in two modes: [`ReadMode::Strict`]
+//! surfaces a torn tail as [`JournalError::TornTail`]; [`ReadMode::Lenient`]
+//! — what `resume` uses — drops and counts the torn tail region and
+//! reports the valid prefix length so the writer can truncate it.
+//! A CRC failure *before* the final frame is corruption, not a torn
+//! append, and is a hard [`JournalError::BadCrc`] in both modes.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::codec::{push_u32, push_u64, Reader};
+use crate::{crc32, JournalError, FORMAT_VERSION};
+
+const WAL_MAGIC: [u8; 8] = *b"SBMJWAL\0";
+const WAL_HEADER_LEN: u64 = 20;
+/// Upper bound on a single record frame; larger length claims are
+/// treated as corruption rather than allocated.
+const MAX_RECORD_LEN: u32 = 1 << 30;
+
+/// The final outcome of one pipeline window, as recorded durably.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordOutcome {
+    /// Engines ran but produced no improvement; the original
+    /// sub-network stands.
+    Unchanged,
+    /// The stitch-time equivalence gate rejected the rewrite.
+    GateRejected,
+    /// The window was improved; carries the encoded canonical rewrite.
+    Improved(Vec<u8>),
+    /// Every engine attempt failed deterministically (injected bailouts
+    /// or panics); the window degraded to its original sub-network.
+    Degraded,
+}
+
+impl RecordOutcome {
+    fn tag(&self) -> u8 {
+        match self {
+            RecordOutcome::Unchanged => 0,
+            RecordOutcome::GateRejected => 1,
+            RecordOutcome::Improved(_) => 2,
+            RecordOutcome::Degraded => 3,
+        }
+    }
+}
+
+/// One injected fault, mirrored from the pipeline's fault ledger so a
+/// resumed run can reconstruct exact accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFaultRecord {
+    /// Engine name the fault hit.
+    pub engine: String,
+    /// Window index.
+    pub window: u64,
+    /// Attempt number (0 = first try, 1 = retry).
+    pub attempt: u8,
+    /// Fault kind tag (pipeline-defined: 0 panic, 1 delay, 2 bailout).
+    pub kind: u8,
+}
+
+/// The fault-ledger slice of a single window: per-engine counters (the
+/// pipeline's seven `FaultCounts` fields in order), whether the window
+/// degraded, and the exact injected faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// `(engine name, [panics, deadline_hits, bailouts,
+    /// injected_bailouts, delays, retries, retry_successes])`.
+    pub per_engine: Vec<(String, [u64; 7])>,
+    /// 1 if the window degraded to its original sub-network.
+    pub degraded: u64,
+    /// Exact injected-fault ledger entries for this window.
+    pub injected: Vec<InjectedFaultRecord>,
+}
+
+/// One durable journal record: the identity, outcome and accounting of
+/// a completed pipeline window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowRecord {
+    /// Partition (window) index within the run.
+    pub window: u64,
+    /// Final outcome.
+    pub outcome: RecordOutcome,
+    /// FNV-1a fingerprint of the window's encoded sub-network before
+    /// optimization — resume refuses to replay onto a different window.
+    pub pre_hash: u64,
+    /// Fingerprint of the encoded rewrite (equal to `pre_hash` when the
+    /// window is unchanged/degraded/rejected).
+    pub post_hash: u64,
+    /// AND-node gain (positive = nodes saved).
+    pub gain: i64,
+    /// Fault-ledger slice for the window.
+    pub fault: FaultRecord,
+}
+
+impl WindowRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        push_u64(&mut out, self.window);
+        out.push(self.outcome.tag());
+        push_u64(&mut out, self.pre_hash);
+        push_u64(&mut out, self.post_hash);
+        push_u64(&mut out, self.gain as u64);
+        push_u32(&mut out, self.fault.per_engine.len() as u32);
+        for (name, counts) in &self.fault.per_engine {
+            push_str(&mut out, name);
+            for &c in counts {
+                push_u64(&mut out, c);
+            }
+        }
+        push_u64(&mut out, self.fault.degraded);
+        push_u32(&mut out, self.fault.injected.len() as u32);
+        for inj in &self.fault.injected {
+            push_str(&mut out, &inj.engine);
+            push_u64(&mut out, inj.window);
+            out.push(inj.attempt);
+            out.push(inj.kind);
+        }
+        if let RecordOutcome::Improved(payload) = &self.outcome {
+            push_u64(&mut out, payload.len() as u64);
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, JournalError> {
+        let mut r = Reader::new(bytes);
+        let window = r.u64()?;
+        let tag = r.u8()?;
+        let pre_hash = r.u64()?;
+        let post_hash = r.u64()?;
+        let gain = r.u64()? as i64;
+        let n_engines = r.u32()? as usize;
+        if n_engines > bytes.len() {
+            return Err(JournalError::payload("engine count exceeds payload"));
+        }
+        let mut per_engine = Vec::new();
+        for _ in 0..n_engines {
+            let name = read_str(&mut r)?;
+            let mut counts = [0u64; 7];
+            for c in &mut counts {
+                *c = r.u64()?;
+            }
+            per_engine.push((name, counts));
+        }
+        let degraded = r.u64()?;
+        let n_injected = r.u32()? as usize;
+        if n_injected > bytes.len() {
+            return Err(JournalError::payload("injected count exceeds payload"));
+        }
+        let mut injected = Vec::new();
+        for _ in 0..n_injected {
+            let engine = read_str(&mut r)?;
+            let w = r.u64()?;
+            let attempt = r.u8()?;
+            let kind = r.u8()?;
+            injected.push(InjectedFaultRecord {
+                engine,
+                window: w,
+                attempt,
+                kind,
+            });
+        }
+        let outcome = match tag {
+            0 => RecordOutcome::Unchanged,
+            1 => RecordOutcome::GateRejected,
+            2 => {
+                let len = r.u64()?;
+                if len > u64::from(MAX_RECORD_LEN) {
+                    return Err(JournalError::payload("rewrite payload length oversized"));
+                }
+                RecordOutcome::Improved(r.bytes(len as usize)?.to_vec())
+            }
+            3 => RecordOutcome::Degraded,
+            other => {
+                return Err(JournalError::payload(format!(
+                    "unknown outcome tag {other}"
+                )))
+            }
+        };
+        if !r.is_empty() {
+            return Err(JournalError::payload("trailing bytes after window record"));
+        }
+        Ok(WindowRecord {
+            window,
+            outcome,
+            pre_hash,
+            post_hash,
+            gain,
+            fault: FaultRecord {
+                per_engine,
+                degraded,
+                injected,
+            },
+        })
+    }
+}
+
+/// Appender for the write-ahead journal.
+pub struct JournalWriter {
+    file: File,
+    path: PathBuf,
+    every: usize,
+    pending: usize,
+    records_written: u64,
+}
+
+impl std::fmt::Debug for JournalWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JournalWriter")
+            .field("path", &self.path)
+            .field("every", &self.every)
+            .field("records_written", &self.records_written)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JournalWriter {
+    /// Creates a fresh journal at `path` (truncating any existing one),
+    /// writes and fsyncs the header. `every` is the fsync cadence in
+    /// records (clamped to at least 1).
+    pub fn create(path: &Path, fingerprint: u64, every: usize) -> Result<Self, JournalError> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| JournalError::io("open", path, &e))?;
+        let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
+        header.extend_from_slice(&WAL_MAGIC);
+        header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        header.extend_from_slice(&0u16.to_le_bytes());
+        push_u64(&mut header, fingerprint);
+        file.write_all(&header)
+            .map_err(|e| JournalError::io("write", path, &e))?;
+        file.sync_all()
+            .map_err(|e| JournalError::io("fsync", path, &e))?;
+        Ok(JournalWriter {
+            file,
+            path: path.to_path_buf(),
+            every: every.max(1),
+            pending: 0,
+            records_written: 0,
+        })
+    }
+
+    /// Reopens an existing journal for appending after a resume,
+    /// truncating it to `valid_len` (the valid prefix reported by
+    /// [`read_journal`]) to drop any torn tail. The header must match
+    /// `fingerprint`.
+    pub fn open_append(
+        path: &Path,
+        fingerprint: u64,
+        every: usize,
+        valid_len: u64,
+        records: u64,
+    ) -> Result<Self, JournalError> {
+        let readout = read_journal(path, ReadMode::Lenient)?;
+        if readout.fingerprint != fingerprint {
+            return Err(JournalError::ConfigMismatch {
+                expected: fingerprint,
+                found: readout.fingerprint,
+            });
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| JournalError::io("open", path, &e))?;
+        file.set_len(valid_len.max(WAL_HEADER_LEN))
+            .map_err(|e| JournalError::io("truncate", path, &e))?;
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| JournalError::io("seek", path, &e))?;
+        file.sync_all()
+            .map_err(|e| JournalError::io("fsync", path, &e))?;
+        Ok(JournalWriter {
+            file,
+            path: path.to_path_buf(),
+            every: every.max(1),
+            pending: 0,
+            records_written: records,
+        })
+    }
+
+    /// Appends one record frame. The record hits the OS immediately and
+    /// is fsync'd once `every` appends have accumulated.
+    pub fn append(&mut self, record: &WindowRecord) -> Result<(), JournalError> {
+        let payload = record.encode();
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        push_u32(&mut frame, payload.len() as u32);
+        push_u32(&mut frame, crc32(&payload));
+        frame.extend_from_slice(&payload);
+        self.file
+            .write_all(&frame)
+            .map_err(|e| JournalError::io("append", &self.path, &e))?;
+        self.records_written += 1;
+        self.pending += 1;
+        if self.pending >= self.every {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Forces an fsync of all appended records — called at phase end
+    /// and when the budget expires, so the final checkpoint is durable
+    /// before the process exits.
+    pub fn flush(&mut self) -> Result<(), JournalError> {
+        if self.pending > 0 {
+            self.file
+                .sync_data()
+                .map_err(|e| JournalError::io("fsync", &self.path, &e))?;
+            self.pending = 0;
+        }
+        Ok(())
+    }
+
+    /// Total records appended through this writer (including the
+    /// already-present count passed to [`Self::open_append`]).
+    #[must_use]
+    pub fn records_written(&self) -> u64 {
+        self.records_written
+    }
+}
+
+/// How [`read_journal`] treats a torn tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadMode {
+    /// A torn tail is a hard [`JournalError::TornTail`].
+    Strict,
+    /// A torn tail is dropped and counted; the valid prefix is
+    /// returned. This is what resume uses before truncating.
+    Lenient,
+}
+
+/// The result of reading a journal file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalReadout {
+    /// Configuration fingerprint from the header.
+    pub fingerprint: u64,
+    /// All valid records, in append order.
+    pub records: Vec<WindowRecord>,
+    /// Byte length of the valid prefix (header + intact frames);
+    /// everything past it is torn.
+    pub valid_len: u64,
+    /// Torn tail regions dropped (0 or 1 in lenient mode).
+    pub torn_dropped: usize,
+}
+
+/// Reads a journal file. See [`ReadMode`] for torn-tail handling; a
+/// CRC failure on a non-final frame is corruption and fails in both
+/// modes.
+pub fn read_journal(path: &Path, mode: ReadMode) -> Result<JournalReadout, JournalError> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| JournalError::io("read", path, &e))?;
+    if bytes.len() < WAL_HEADER_LEN as usize {
+        return Err(JournalError::TornTail);
+    }
+    if bytes[..8] != WAL_MAGIC {
+        return Err(JournalError::BadMagic);
+    }
+    let version = u16::from_le_bytes([bytes[8], bytes[9]]);
+    if version != FORMAT_VERSION {
+        return Err(JournalError::VersionMismatch {
+            found: version,
+            expected: FORMAT_VERSION,
+        });
+    }
+    let mut fp_bytes = [0u8; 8];
+    fp_bytes.copy_from_slice(&bytes[12..20]);
+    let fingerprint = u64::from_le_bytes(fp_bytes);
+
+    let mut records = Vec::new();
+    let mut pos = WAL_HEADER_LEN as usize;
+    let mut torn_dropped = 0usize;
+    let mut valid_len = pos as u64;
+    while pos < bytes.len() {
+        // A frame that cannot even hold its length+CRC prefix, claims
+        // more bytes than remain, or claims an absurd length is a torn
+        // or corrupt tail region.
+        let torn = || -> Result<usize, JournalError> {
+            match mode {
+                ReadMode::Strict => Err(JournalError::TornTail),
+                ReadMode::Lenient => Ok(1),
+            }
+        };
+        if bytes.len() - pos < 8 {
+            torn_dropped += torn()?;
+            break;
+        }
+        let len = u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]]);
+        let stored_crc = u32::from_le_bytes([
+            bytes[pos + 4],
+            bytes[pos + 5],
+            bytes[pos + 6],
+            bytes[pos + 7],
+        ]);
+        if len > MAX_RECORD_LEN || pos + 8 + len as usize > bytes.len() {
+            torn_dropped += torn()?;
+            break;
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len as usize];
+        let is_final_frame = pos + 8 + len as usize == bytes.len();
+        if crc32(payload) != stored_crc {
+            if is_final_frame {
+                torn_dropped += torn()?;
+                break;
+            }
+            return Err(JournalError::BadCrc {
+                context: "journal record",
+            });
+        }
+        let record = match WindowRecord::decode(payload) {
+            Ok(r) => r,
+            Err(e) => {
+                if is_final_frame {
+                    torn_dropped += torn()?;
+                    break;
+                }
+                return Err(e);
+            }
+        };
+        records.push(record);
+        pos += 8 + len as usize;
+        valid_len = pos as u64;
+    }
+    Ok(JournalReadout {
+        fingerprint,
+        records,
+        valid_len,
+        torn_dropped,
+    })
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = u16::try_from(bytes.len()).unwrap_or(u16::MAX);
+    push_u32(out, u32::from(len));
+    out.extend_from_slice(&bytes[..usize::from(len)]);
+}
+
+fn read_str(r: &mut Reader<'_>) -> Result<String, JournalError> {
+    let len = r.u32()? as usize;
+    if len > usize::from(u16::MAX) {
+        return Err(JournalError::payload("string length oversized"));
+    }
+    let bytes = r.bytes(len)?;
+    String::from_utf8(bytes.to_vec())
+        .map_err(|_| JournalError::payload("string is not valid UTF-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sbm-journal-wal-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    fn sample_record(window: u64) -> WindowRecord {
+        WindowRecord {
+            window,
+            outcome: if window.is_multiple_of(2) {
+                RecordOutcome::Improved(vec![1, 2, 3, (window & 0xFF) as u8])
+            } else {
+                RecordOutcome::Unchanged
+            },
+            pre_hash: 0x1111 * window,
+            post_hash: 0x2222 * window,
+            gain: window as i64 - 2,
+            fault: FaultRecord {
+                per_engine: vec![("rewrite".to_string(), [1, 0, 0, 0, 2, 1, 1])],
+                degraded: 0,
+                injected: vec![InjectedFaultRecord {
+                    engine: "rewrite".to_string(),
+                    window,
+                    attempt: 0,
+                    kind: 1,
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn append_and_read_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let path = dir.join("w.wal");
+        let mut w = JournalWriter::create(&path, 0xFEED, 2).expect("create");
+        for i in 0..5 {
+            w.append(&sample_record(i)).expect("append");
+        }
+        w.flush().expect("flush");
+        assert_eq!(w.records_written(), 5);
+        for mode in [ReadMode::Strict, ReadMode::Lenient] {
+            let out = read_journal(&path, mode).expect("read");
+            assert_eq!(out.fingerprint, 0xFEED);
+            assert_eq!(out.records.len(), 5);
+            assert_eq!(out.torn_dropped, 0);
+            assert_eq!(out.records[3], sample_record(3));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_strict_error_lenient_drop() {
+        let dir = temp_dir("torn");
+        let path = dir.join("w.wal");
+        let mut w = JournalWriter::create(&path, 1, 1).expect("create");
+        for i in 0..3 {
+            w.append(&sample_record(i)).expect("append");
+        }
+        drop(w);
+        // Tear the last frame: chop 3 bytes off the end.
+        let full = fs::read(&path).expect("read file");
+        fs::write(&path, &full[..full.len() - 3]).expect("truncate");
+
+        assert_eq!(
+            read_journal(&path, ReadMode::Strict).expect_err("strict"),
+            JournalError::TornTail
+        );
+        let out = read_journal(&path, ReadMode::Lenient).expect("lenient");
+        assert_eq!(out.records.len(), 2);
+        assert_eq!(out.torn_dropped, 1);
+        assert!(out.valid_len < full.len() as u64);
+
+        // Reopening truncates to the valid prefix and appends cleanly.
+        let mut w =
+            JournalWriter::open_append(&path, 1, 1, out.valid_len, out.records.len() as u64)
+                .expect("reopen");
+        w.append(&sample_record(9)).expect("append");
+        w.flush().expect("flush");
+        let out = read_journal(&path, ReadMode::Strict).expect("read");
+        assert_eq!(out.records.len(), 3);
+        assert_eq!(out.records[2].window, 9);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_hard_error_in_both_modes() {
+        let dir = temp_dir("midcorrupt");
+        let path = dir.join("w.wal");
+        let mut w = JournalWriter::create(&path, 1, 1).expect("create");
+        for i in 0..4 {
+            w.append(&sample_record(i)).expect("append");
+        }
+        drop(w);
+        let mut bytes = fs::read(&path).expect("read file");
+        // Flip a byte inside the first record's payload.
+        let target = WAL_HEADER_LEN as usize + 8 + 4;
+        bytes[target] ^= 0xFF;
+        fs::write(&path, &bytes).expect("write corrupted");
+        for mode in [ReadMode::Strict, ReadMode::Lenient] {
+            assert_eq!(
+                read_journal(&path, mode).expect_err("corrupt"),
+                JournalError::BadCrc {
+                    context: "journal record"
+                }
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn header_problems_are_typed() {
+        let dir = temp_dir("header");
+        let path = dir.join("w.wal");
+        let w = JournalWriter::create(&path, 1, 1).expect("create");
+        drop(w);
+        let good = fs::read(&path).expect("read");
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xFF;
+        fs::write(&path, &bad_magic).expect("write");
+        assert_eq!(
+            read_journal(&path, ReadMode::Lenient).expect_err("magic"),
+            JournalError::BadMagic
+        );
+
+        let mut bad_version = good.clone();
+        bad_version[8] = 0x7F;
+        fs::write(&path, &bad_version).expect("write");
+        assert!(matches!(
+            read_journal(&path, ReadMode::Lenient).expect_err("version"),
+            JournalError::VersionMismatch { found: 0x7F, .. }
+        ));
+
+        fs::write(&path, &good[..10]).expect("write");
+        assert_eq!(
+            read_journal(&path, ReadMode::Lenient).expect_err("short"),
+            JournalError::TornTail
+        );
+
+        // Fingerprint mismatch on reopen.
+        fs::write(&path, &good).expect("restore");
+        assert!(matches!(
+            JournalWriter::open_append(&path, 2, 1, good.len() as u64, 0).expect_err("fp"),
+            JournalError::ConfigMismatch {
+                expected: 2,
+                found: 1
+            }
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_cadence_counts_pending() {
+        let dir = temp_dir("cadence");
+        let path = dir.join("w.wal");
+        // every=0 clamps to 1.
+        let mut w = JournalWriter::create(&path, 1, 0).expect("create");
+        w.append(&sample_record(0)).expect("append");
+        assert_eq!(w.pending, 0, "cadence 1 syncs every append");
+        drop(w);
+        let mut w = JournalWriter::create(&path, 1, 10).expect("create");
+        for i in 0..4 {
+            w.append(&sample_record(i)).expect("append");
+        }
+        assert_eq!(w.pending, 4);
+        w.flush().expect("flush");
+        assert_eq!(w.pending, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -51,6 +51,7 @@ pub use sbm_budget as budget;
 pub use sbm_check as check;
 pub use sbm_core as core;
 pub use sbm_epfl as epfl;
+pub use sbm_journal as journal;
 pub use sbm_lutmap as lutmap;
 pub use sbm_sat as sat;
 pub use sbm_sop as sop;
