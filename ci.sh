@@ -91,4 +91,22 @@ if grep -qE "MISMATCH|checkpoint WARNING|cannot resume" <<<"$out"; then
     exit 1
 fi
 
+# Run-report smoke: regenerate BENCH_quick.json — a serialized RunReport
+# from a two-benchmark parallel table1 pass — and validate it with the
+# crate's own strict decoder. report_check fails on any schema drift
+# (missing/unknown/mistyped field, version mismatch, unstable
+# re-encode), and --require-bdd asserts the harvested BDD counters and
+# per-engine latency histograms are nonzero, i.e. the layers the report
+# exists to keep are actually flowing.
+echo "==> run-report smoke (BENCH_quick.json)"
+if [[ $quick -eq 0 ]]; then
+    report_check=(cargo run -q -p sbm-bench --bin report_check --release --)
+else
+    cargo build -q -p sbm-bench --bin report_check
+    report_check=(cargo run -q -p sbm-bench --bin report_check --)
+fi
+"${table1[@]}" --only i2c,priority --threads 2 \
+    --report-json BENCH_quick.json >/dev/null
+"${report_check[@]}" BENCH_quick.json --require-bdd
+
 echo "CI OK"

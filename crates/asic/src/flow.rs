@@ -7,12 +7,11 @@
 //! baseline's critical path so that both flows face the same (slightly
 //! aggressive) clock, producing non-trivial WNS/TNS.
 
-use std::time::Instant;
-
 use sbm_aig::Aig;
 use sbm_core::gradient::GradientOptions;
 use sbm_core::pipeline::PipelineReport;
 use sbm_core::script::{resyn2rs, sbm_script_report, sbm_script_resumable, SbmOptions};
+use sbm_metrics::Timer;
 
 use crate::mapping::map_to_cells;
 use crate::power::dynamic_power;
@@ -105,7 +104,7 @@ pub fn run_flow_configured(
     num_threads: usize,
     checkpoint: Option<(&std::path::Path, bool)>,
 ) -> FlowRun {
-    let start = Instant::now();
+    let timer = Timer::start();
     let (optimized, pipeline) = match kind {
         FlowKind::Baseline => (resyn2rs(aig), PipelineReport::default()),
         FlowKind::Proposed => {
@@ -136,7 +135,7 @@ pub fn run_flow_configured(
     let area = netlist.area();
     let dyn_power = dynamic_power(&netlist, 8, 0x0D15_EA5E);
     let timing = analyze(&netlist, f64::MAX);
-    let runtime = start.elapsed().as_secs_f64();
+    let runtime = timer.stop().as_secs_f64();
     FlowRun {
         result: FlowResult {
             area,

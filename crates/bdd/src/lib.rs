@@ -46,4 +46,4 @@ mod manager;
 mod pool;
 
 pub use manager::{Bdd, BddError, BddManager, BddStats, DEFAULT_NODE_LIMIT};
-pub use pool::ManagerPool;
+pub use pool::{BddTally, ManagerPool};

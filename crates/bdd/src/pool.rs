@@ -7,12 +7,65 @@
 //! allocations warm while giving each window a semantically fresh
 //! manager. One pool per worker thread keeps the hot path lock-free.
 
-use crate::manager::BddManager;
+use crate::manager::{BddManager, BddStats};
+
+/// Aggregated [`BddStats`] across every manager recycled through a pool.
+///
+/// A manager's per-problem counters are zeroed by [`BddManager::reset`]
+/// when it is recycled, so without an accumulator every counter the BDD
+/// layer increments is lost the moment its window completes. The pool
+/// harvests stats at [`ManagerPool::release`] time — *before* any reset
+/// can touch them — and callers drain the tally into their run reports
+/// with [`ManagerPool::drain_tally`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BddTally {
+    /// Managers harvested (released to a pool, or reset in place after an
+    /// explicit [`BddTally::note`]).
+    pub managers_recycled: u64,
+    /// Decision nodes live at each harvest point, summed.
+    pub nodes_allocated: u64,
+    /// Largest single-manager node count seen at harvest.
+    pub peak_nodes: u64,
+    /// Unique-table hits.
+    pub unique_hits: u64,
+    /// Computed-table hits.
+    pub cache_hits: u64,
+    /// ITE recursion steps.
+    pub ite_calls: u64,
+}
+
+impl BddTally {
+    /// Absorbs one manager's statistics.
+    pub fn note(&mut self, stats: &BddStats) {
+        self.managers_recycled += 1;
+        self.nodes_allocated += stats.num_nodes as u64;
+        self.peak_nodes = self.peak_nodes.max(stats.num_nodes as u64);
+        self.unique_hits += stats.unique_hits;
+        self.cache_hits += stats.cache_hits;
+        self.ite_calls += stats.ite_calls;
+    }
+
+    /// Accumulates another tally into this one (sums; peak takes the max).
+    pub fn merge(&mut self, other: &BddTally) {
+        self.managers_recycled += other.managers_recycled;
+        self.nodes_allocated += other.nodes_allocated;
+        self.peak_nodes = self.peak_nodes.max(other.peak_nodes);
+        self.unique_hits += other.unique_hits;
+        self.cache_hits += other.cache_hits;
+        self.ite_calls += other.ite_calls;
+    }
+
+    /// True when nothing has been harvested.
+    pub fn is_zero(&self) -> bool {
+        *self == BddTally::default()
+    }
+}
 
 /// A stack of idle managers ready for reuse.
 #[derive(Debug, Default)]
 pub struct ManagerPool {
     free: Vec<BddManager>,
+    tally: BddTally,
 }
 
 impl ManagerPool {
@@ -33,9 +86,30 @@ impl ManagerPool {
         }
     }
 
-    /// Returns a manager to the pool for later reuse.
+    /// Returns a manager to the pool for later reuse, harvesting its
+    /// statistics into the pool's [`BddTally`] first (the next
+    /// [`ManagerPool::acquire`] resets them to zero).
     pub fn release(&mut self, mgr: BddManager) {
+        self.tally.note(&mgr.stats());
         self.free.push(mgr);
+    }
+
+    /// Harvests the statistics of a manager the caller is about to reset
+    /// in place (instead of releasing it) — e.g. a window loop that keeps
+    /// one manager across iterations.
+    pub fn note_stats(&mut self, stats: &BddStats) {
+        self.tally.note(stats);
+    }
+
+    /// Takes the accumulated tally, leaving the pool's accumulator zeroed.
+    pub fn drain_tally(&mut self) -> BddTally {
+        std::mem::take(&mut self.tally)
+    }
+
+    /// Adds an already-harvested tally back into the accumulator — for
+    /// callers that drained a tally into a report they then discard.
+    pub fn note_tally(&mut self, tally: &BddTally) {
+        self.tally.merge(tally);
     }
 
     /// Runs `f` with a pooled manager and returns the manager afterwards.
@@ -102,6 +176,78 @@ mod tests {
             }
         }
         assert!(tripped, "reset manager ignored its node limit");
+    }
+
+    #[test]
+    fn release_harvests_stats_before_reset_can_zero_them() {
+        let mut pool = ManagerPool::new();
+        let mut mgr = pool.acquire(4, 100);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        mgr.and(a, b).unwrap();
+        let live = mgr.stats();
+        assert!(live.ite_calls > 0, "the AND must exercise ITE");
+        pool.release(mgr);
+
+        // The recycled manager starts from zero, but nothing was lost:
+        // the pool's tally holds the pre-reset counters.
+        let recycled = pool.acquire(4, 100);
+        assert_eq!(recycled.stats().ite_calls, 0);
+        pool.release(recycled);
+        let tally = pool.drain_tally();
+        assert_eq!(tally.managers_recycled, 2);
+        assert_eq!(tally.ite_calls, live.ite_calls);
+        assert_eq!(tally.nodes_allocated, live.num_nodes as u64);
+        assert_eq!(tally.peak_nodes, live.num_nodes as u64);
+        // Draining resets the accumulator.
+        assert!(pool.drain_tally().is_zero());
+    }
+
+    #[test]
+    fn note_stats_covers_in_place_resets() {
+        let mut pool = ManagerPool::new();
+        let mut mgr = pool.acquire(3, 100);
+        let a = mgr.var(0);
+        let b = mgr.var(2);
+        mgr.or(a, b).unwrap();
+        pool.note_stats(&mgr.stats());
+        mgr.reset(3, 100); // in-place recycling, outside the pool
+        pool.release(mgr);
+        let tally = pool.drain_tally();
+        assert_eq!(tally.managers_recycled, 2);
+        assert!(tally.ite_calls > 0);
+    }
+
+    #[test]
+    fn tally_merge_sums_and_maxes() {
+        let a = BddTally {
+            managers_recycled: 1,
+            nodes_allocated: 10,
+            peak_nodes: 10,
+            unique_hits: 3,
+            cache_hits: 2,
+            ite_calls: 7,
+        };
+        let mut b = BddTally {
+            managers_recycled: 2,
+            nodes_allocated: 5,
+            peak_nodes: 4,
+            unique_hits: 1,
+            cache_hits: 0,
+            ite_calls: 2,
+        };
+        b.merge(&a);
+        assert_eq!(
+            b,
+            BddTally {
+                managers_recycled: 3,
+                nodes_allocated: 15,
+                peak_nodes: 10,
+                unique_hits: 4,
+                cache_hits: 2,
+                ite_calls: 9,
+            }
+        );
     }
 
     #[test]

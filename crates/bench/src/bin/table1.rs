@@ -13,7 +13,7 @@
 //!
 //! Usage: `table1 [--full] [--threads N] [--check off|boundaries|paranoid]
 //! [--deadline SECONDS] [--fault-seed N] [--fault-rate R]
-//! [--checkpoint DIR [--resume]] [--only NAME]`
+//! [--checkpoint DIR [--resume]] [--only NAMES] [--report-json PATH]`
 //! (default: reduced scale, serial, unchecked, unbounded, no injection).
 //! Checked runs validate the structural invariants of every intermediate
 //! network (see `sbm-check`) and list any violation after the table. A
@@ -24,8 +24,9 @@
 //! `--checkpoint DIR` persists crash-safe progress per benchmark under
 //! `DIR`; `--resume` continues an interrupted checkpointed run (a
 //! benchmark whose checkpoint is missing or unusable is re-run fresh and
-//! the typed error reported). `--only NAME` restricts the run to
-//! benchmarks whose name contains `NAME`.
+//! the typed error reported). `--only NAMES` restricts the run to
+//! benchmarks matching any comma-separated substring. `--report-json
+//! PATH` writes the aggregated run as a serialized `RunReport`.
 
 use sbm_core::pipeline::PipelineReport;
 use sbm_core::script::{resyn2rs_fixpoint, sbm_script_report, sbm_script_resumable, SbmOptions};
@@ -46,6 +47,7 @@ fn main() {
     let fault_plan = sbm_bench::fault_plan_arg();
     let (ckpt_root, resume) = sbm_bench::checkpoint_args();
     let only = sbm_bench::only_arg();
+    let report_json = sbm_bench::report_json_arg();
     let scale = if full { Scale::Full } else { Scale::Reduced };
     println!("Table I — New Best Area Results For The EPFL Suite (LUT-6)");
     println!(
@@ -75,10 +77,12 @@ fn main() {
     );
     let map_opts = MapOptions::default();
     let mut pipeline_report = PipelineReport::default();
+    let mut processed: Vec<String> = Vec::new();
     for name in TABLE1 {
-        if only.as_ref().is_some_and(|o| !name.contains(o.as_str())) {
+        if !sbm_bench::only_matches(&only, name) {
             continue;
         }
+        processed.push(name.to_string());
         let bench = benchmark(name, scale).expect("known benchmark");
         let aig = bench.aig;
         let io = format!("{}/{}", aig.num_inputs(), aig.num_outputs());
@@ -153,6 +157,15 @@ fn main() {
                 println!("  {v}");
             }
         }
+    }
+    if let Some(path) = &report_json {
+        let mut run = pipeline_report.run_report();
+        run.tool = "table1".to_string();
+        run.scale = format!("{scale:?}");
+        run.threads = threads as u64;
+        run.benchmarks = processed;
+        println!();
+        sbm_bench::write_report(path, &run);
     }
     println!();
     println!("paper reference (full scale): arbiter 365/117, div 3267/1211, i2c 207/15,");

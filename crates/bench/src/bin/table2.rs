@@ -11,18 +11,20 @@
 //! monolithically to `i2c` and `cavlc`).
 //!
 //! Usage: `table2 [--full] [--threads N] [--deadline SECONDS]
-//! [--checkpoint DIR [--resume]] [--only NAME]`.
+//! [--checkpoint DIR [--resume]] [--only NAMES] [--report-json PATH]`.
 //! `--checkpoint DIR` persists crash-safe progress per benchmark under
 //! `DIR`; `--resume` continues an interrupted checkpointed run. `--only
-//! NAME` restricts the run to benchmarks whose name contains `NAME`.
-
-use std::time::Instant;
+//! NAMES` restricts the run to benchmarks matching any comma-separated
+//! substring. `--report-json PATH` writes the aggregated run as a
+//! serialized `RunReport` (the script wall and the Section III-B
+//! monolithic timings land in its `extra` counters).
 
 use sbm_core::bdiff::BdiffOptions;
 use sbm_core::engine::{Bdiff, Engine, OptContext};
 use sbm_core::pipeline::PipelineReport;
 use sbm_core::script::{resyn2rs_fixpoint, sbm_script_report, sbm_script_resumable, SbmOptions};
 use sbm_epfl::{benchmark, Scale};
+use sbm_metrics::Timer;
 
 /// The 13 benchmarks of Table II (`hypotenuse` is generated as `hyp`).
 const TABLE2: [&str; 13] = [
@@ -36,6 +38,7 @@ fn main() {
     let deadline = sbm_bench::deadline_arg();
     let (ckpt_root, resume) = sbm_bench::checkpoint_args();
     let only = sbm_bench::only_arg();
+    let report_json = sbm_bench::report_json_arg();
     let scale = if full { Scale::Full } else { Scale::Reduced };
     println!("Table II — Smallest AIG Results For The EPFL Suite");
     println!("scale: {scale:?}, threads: {threads}");
@@ -52,10 +55,10 @@ fn main() {
         "benchmark", "I/O", "base AIG", "base lv", "SBM AIG", "SBM lv", "Δsize", "verify"
     );
     let mut pipeline_report = PipelineReport::default();
-    let mut script_secs = 0.0f64;
-    let mut processed = 0usize;
+    let mut script_wall = std::time::Duration::ZERO;
+    let mut processed: Vec<String> = Vec::new();
     for name in TABLE2 {
-        if only.as_ref().is_some_and(|o| !name.contains(o.as_str())) {
+        if !sbm_bench::only_matches(&only, name) {
             continue;
         }
         let bench = benchmark(name, scale).expect("known benchmark");
@@ -69,7 +72,7 @@ fn main() {
             .checkpoint_dir(ckpt_root.as_ref().map(|d| d.join(name)))
             .build()
             .expect("valid options");
-        let t = Instant::now();
+        let timer = Timer::start();
         let run = if resume {
             match sbm_script_resumable(&aig, &options) {
                 Ok(run) => run,
@@ -81,8 +84,8 @@ fn main() {
         } else {
             sbm_script_report(&aig, &options)
         };
-        script_secs += t.elapsed().as_secs_f64();
-        processed += 1;
+        script_wall += timer.stop();
+        processed.push(name.to_string());
         let sbm = run.aig;
         pipeline_report.merge(&run.stats);
         let verdict = sbm_bench::verify_pair(&aig, &sbm, 4_000);
@@ -100,7 +103,9 @@ fn main() {
     }
     println!();
     println!(
-        "sbm_script total: {script_secs:.1}s across {processed} benchmarks (threads: {threads})"
+        "sbm_script total: {:.1}s across {} benchmarks (threads: {threads})",
+        script_wall.as_secs_f64(),
+        processed.len()
     );
     if threads > 1 || ckpt_root.is_some() {
         println!();
@@ -118,6 +123,9 @@ fn main() {
 
     // Section III-B: Boolean-difference applied monolithically to i2c and
     // cavlc (paper: 2.3 s and 1.2 s respectively).
+    let micros = |d: std::time::Duration| u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+    let mut extra = sbm_metrics::CounterSet::new();
+    extra.add("script_us", micros(script_wall));
     println!();
     println!("Monolithic Boolean-difference resubstitution (Section III-B):");
     for name in ["i2c", "cavlc"] {
@@ -128,16 +136,29 @@ fn main() {
         opts.partition.max_nodes = usize::MAX;
         opts.partition.max_levels = u32::MAX;
         opts.partition.max_inputs = usize::MAX;
-        let t = Instant::now();
+        let timer = Timer::start();
         let engine = Bdiff { options: opts };
         let result = engine.run(&aig, &mut OptContext::default());
+        let wall = timer.stop();
+        extra.add(&format!("monolithic_bdiff_{name}_us"), micros(wall));
         println!(
             "  {name}: {} -> {} nodes in {:.2}s ({} pairs tried, {} accepted) [paper: i2c 2.3s, cavlc 1.2s]",
             aig.num_ands(),
             result.aig.num_ands(),
-            t.elapsed().as_secs_f64(),
+            wall.as_secs_f64(),
             result.stats.tried,
             result.stats.accepted,
         );
+    }
+
+    if let Some(path) = &report_json {
+        let mut run = pipeline_report.run_report();
+        run.tool = "table2".to_string();
+        run.scale = format!("{scale:?}");
+        run.threads = threads as u64;
+        run.benchmarks = processed;
+        run.extra = extra;
+        println!();
+        sbm_bench::write_report(path, &run);
     }
 }

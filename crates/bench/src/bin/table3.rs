@@ -7,9 +7,11 @@
 //! WNS, TNS and runtime, averaged w.r.t. baseline.
 //!
 //! Usage: `table3 [--designs N] [--threads N] [--checkpoint DIR
-//! [--resume]]` (default 33 designs, serial, no checkpointing).
-//! `--checkpoint DIR` persists each design's optimization progress under
-//! `DIR/<design>`; `--resume` continues an interrupted run from there.
+//! [--resume]] [--report-json PATH]` (default 33 designs, serial, no
+//! checkpointing). `--checkpoint DIR` persists each design's optimization
+//! progress under `DIR/<design>`; `--resume` continues an interrupted run
+//! from there. `--report-json PATH` writes the aggregated run as a
+//! serialized `RunReport`.
 
 use sbm_asic::designs::industrial_designs;
 use sbm_asic::flow::{compare_flows_checkpointed, summarize, FlowCheckpoint};
@@ -25,6 +27,7 @@ fn main() {
     }
     let threads = sbm_bench::threads_arg();
     let (ckpt_root, resume) = sbm_bench::checkpoint_args();
+    let report_json = sbm_bench::report_json_arg();
     let checkpoint = ckpt_root.map(|root| FlowCheckpoint { root, resume });
     println!("Table III — Post-implementation results on {n} industrial-like designs (threads: {threads})");
     if let Some(ck) = &checkpoint {
@@ -78,6 +81,15 @@ fn main() {
     if let Some(error) = &pipeline_report.checkpoint_error {
         println!();
         println!("checkpoint WARNING: {error} (run completed without crash safety)");
+    }
+    if let Some(path) = &report_json {
+        let mut run = pipeline_report.run_report();
+        run.tool = "table3".to_string();
+        run.scale = format!("{n} designs");
+        run.threads = threads as u64;
+        run.benchmarks = designs.iter().map(|d| d.name.clone()).collect();
+        println!();
+        sbm_bench::write_report(path, &run);
     }
     let s = summarize(&rows);
     println!();

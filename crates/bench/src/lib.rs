@@ -159,21 +159,60 @@ pub fn checkpoint_args() -> (Option<std::path::PathBuf>, bool) {
     (dir, resume)
 }
 
-/// Parses the shared `--only NAME` CLI argument: restricts a table binary
-/// to the benchmarks whose name contains `NAME` (used by the CI
-/// checkpoint smoke to keep the run small).
+/// Parses the shared `--only NAMES` CLI argument: restricts a table
+/// binary to the benchmarks matched by [`only_matches`] (used by the CI
+/// smokes to keep the run small). `NAMES` is a comma-separated list of
+/// substrings, e.g. `--only i2c,priority`.
 pub fn only_arg() -> Option<String> {
     let mut args = std::env::args();
     while let Some(a) = args.next() {
         if a == "--only" {
             let Some(value) = args.next() else {
-                eprintln!("--only needs a benchmark name (substring match)");
+                eprintln!("--only needs a benchmark name (comma-separated substring match)");
                 std::process::exit(2);
             };
             return Some(value);
         }
     }
     None
+}
+
+/// True when `name` is selected by an `--only` filter: no filter selects
+/// everything, otherwise any comma-separated entry matching as a
+/// substring selects the benchmark.
+pub fn only_matches(only: &Option<String>, name: &str) -> bool {
+    match only {
+        None => true,
+        Some(list) => list.split(',').any(|o| !o.is_empty() && name.contains(o)),
+    }
+}
+
+/// Parses the shared `--report-json PATH` CLI argument of the table
+/// binaries: after the run, a serialized [`sbm_metrics::RunReport`] is
+/// written to `PATH` (see [`write_report`]).
+pub fn report_json_arg() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--report-json" {
+            let Some(value) = args.next() else {
+                eprintln!("--report-json needs an output path");
+                std::process::exit(2);
+            };
+            return Some(std::path::PathBuf::from(value));
+        }
+    }
+    None
+}
+
+/// Writes a [`sbm_metrics::RunReport`] to the `--report-json` path,
+/// aborting loudly on I/O failure (a benchmark run whose report silently
+/// vanished is worse than one that failed).
+pub fn write_report(path: &std::path::Path, report: &sbm_metrics::RunReport) {
+    if let Err(e) = std::fs::write(path, report.to_json()) {
+        eprintln!("cannot write report to {}: {e}", path.display());
+        std::process::exit(2);
+    }
+    println!("run report written to {}", path.display());
 }
 
 /// Formats a ratio as the paper's "-x.xx%" convention.

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 
 use sbm_aig::window::Partition;
 use sbm_aig::{Aig, Lit, NodeId};
-use sbm_bdd::{Bdd, BddManager, ManagerPool};
+use sbm_bdd::{Bdd, BddManager, BddStats, BddTally, ManagerPool};
 
 thread_local! {
     /// One manager pool per worker thread: the pipeline fans windows out
@@ -28,9 +28,31 @@ pub fn pooled_manager(num_vars: usize, node_limit: usize) -> BddManager {
 }
 
 /// Returns a manager obtained from [`pooled_manager`] to this thread's
-/// pool.
+/// pool. The pool absorbs the manager's [`BddStats`] into its
+/// [`BddTally`] before any recycling reset can zero them.
 pub fn recycle_manager(mgr: BddManager) {
     BDD_POOL.with(|pool| pool.borrow_mut().release(mgr));
+}
+
+/// Banks a manager's counters into this thread's pool tally without
+/// releasing the manager — for callers that reset a manager *in place*
+/// (which zeroes its [`BddStats`]) and keep using it.
+pub fn harvest_manager_stats(stats: &BddStats) {
+    BDD_POOL.with(|pool| pool.borrow_mut().note_stats(stats));
+}
+
+/// Takes the calling thread's accumulated [`BddTally`], leaving it
+/// zeroed. Like [`sbm_sat::drain_sat_tally`], drains are destructive so
+/// each counter is attributed to exactly one report.
+pub fn drain_bdd_tally() -> BddTally {
+    BDD_POOL.with(|pool| pool.borrow_mut().drain_tally())
+}
+
+/// Adds `tally` back into the calling thread's pool accumulator — used
+/// when an inner run's report (which carried the tally) is discarded but
+/// its BDD work should still surface in the surrounding scope.
+pub fn note_bdd_tally(tally: &BddTally) {
+    BDD_POOL.with(|pool| pool.borrow_mut().note_tally(tally));
 }
 
 /// Builds the BDDs of all nodes of `partition` as functions of its leaves

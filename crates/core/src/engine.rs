@@ -11,11 +11,12 @@
 //! many worker threads, each running it on a disjoint window.
 
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use sbm_aig::Aig;
 use sbm_budget::Budget;
 use sbm_check::{check_aig, sim_spot_check, CheckError};
+use sbm_metrics::Timer;
 
 use crate::balance::balance;
 use crate::bdiff::{boolean_difference_resub_budgeted, BdiffOptions};
@@ -86,8 +87,12 @@ pub struct EngineStats {
     /// cancel) are *not* counted here; they surface in the pipeline's
     /// `FaultSummary` instead.
     pub bailouts: usize,
-    /// Wall-clock time of the pass.
-    pub wall: Duration,
+    /// Busy time of the pass: wall-clock time spent inside this one
+    /// invocation. Merging stats from concurrent workers *sums* their
+    /// busy times, so an aggregate can exceed the true elapsed
+    /// wall-clock; phase walls live in
+    /// [`crate::pipeline::PipelineReport`].
+    pub busy: Duration,
 }
 
 impl EngineStats {
@@ -98,7 +103,7 @@ impl EngineStats {
         self.accepted += other.accepted;
         self.gain += other.gain;
         self.bailouts += other.bailouts;
-        self.wall += other.wall;
+        self.busy += other.busy;
     }
 }
 
@@ -240,14 +245,14 @@ fn timed<S>(
     fill: impl FnOnce(S, &mut EngineStats),
 ) -> EngineResult {
     let before = aig.num_ands() as i64;
-    let start = Instant::now();
+    let timer = Timer::start();
     let (aig, native) = run(aig);
     let mut stats = EngineStats {
         gain: before - aig.num_ands() as i64,
         ..EngineStats::default()
     };
     fill(native, &mut stats);
-    stats.wall = start.elapsed();
+    stats.busy = timer.stop();
     EngineResult { aig, stats }
 }
 
@@ -553,7 +558,7 @@ mod tests {
             accepted: 1,
             gain: 3,
             bailouts: 0,
-            wall: Duration::from_millis(5),
+            busy: Duration::from_millis(5),
         };
         let mut b = EngineStats {
             windows: 4,
@@ -561,7 +566,7 @@ mod tests {
             accepted: 2,
             gain: -1,
             bailouts: 2,
-            wall: Duration::from_millis(7),
+            busy: Duration::from_millis(7),
         };
         b.merge(&a);
         assert_eq!(
@@ -572,7 +577,7 @@ mod tests {
                 accepted: 3,
                 gain: 2,
                 bailouts: 2,
-                wall: Duration::from_millis(12),
+                busy: Duration::from_millis(12),
             }
         );
     }

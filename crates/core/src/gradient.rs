@@ -163,6 +163,11 @@ impl Move {
                 .iter()
                 .map(|(_, s)| s.bailouts as u64)
                 .sum();
+            // The inner report is discarded here — note its BDD/SAT
+            // tallies back into this thread's accumulators so the work
+            // still surfaces in the scheduler's enclosing scope.
+            crate::bdd_bridge::note_bdd_tally(&run.stats.bdd);
+            sbm_sat::note_sat_tally(&run.stats.sat);
             (run.aig, bailouts)
         }
         match self {

@@ -287,6 +287,9 @@ pub(crate) fn mspf_optimize_budgeted(
             if replaced {
                 // The replacement preserves the window roots but may change
                 // internal member functions: rebuild the comparison BDDs.
+                // The in-place reset below zeroes the manager's counters,
+                // so bank them into the thread's pool tally first.
+                crate::bdd_bridge::harvest_manager_stats(&mgr.stats());
                 mgr.reset(part.leaves.len() + 1, options.bdd_node_limit);
                 mgr.set_budget(budget.clone());
                 bdds = window_bdds(&work, part, &mut mgr);

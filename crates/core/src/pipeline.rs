@@ -29,10 +29,11 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use sbm_aig::window::{partition, Partition, PartitionOptions};
 use sbm_aig::{Aig, Lit, NodeId};
+use sbm_bdd::BddTally;
 use sbm_budget::Budget;
 use sbm_check::{check_aig, inject_panic, sim_spot_check, CheckLevel, FaultKind, FaultPlan};
 use sbm_journal::{
@@ -40,7 +41,13 @@ use sbm_journal::{
     Fnv64, InjectedFaultRecord, JournalError, JournalWriter, ReadMode, RecordOutcome,
     ResumeSummary, WindowRecord, JOURNAL_FILE, SNAPSHOT_FILE,
 };
+use sbm_metrics::{
+    BddCounters, EngineFaultCounters, EngineReport, FaultReport, Histogram, PhaseMicros,
+    ResumeReport, RunReport, SatCounters, Timer, WindowReport,
+};
+use sbm_sat::{drain_sat_tally, note_sat_tally, SatTally};
 
+use crate::bdd_bridge::{drain_bdd_tally, note_bdd_tally};
 use crate::engine::{
     run_checked, CheckViolation, Engine, EngineStats, OptContext, Optimized, SPOT_CHECK_SEED,
 };
@@ -276,9 +283,22 @@ pub struct PipelineReport {
     /// AND nodes saved by stitched windows (pre-cleanup estimate).
     pub nodes_saved: usize,
     /// Per-engine statistics, in chain order, merged across all windows.
-    /// `wall` sums busy time over workers, so it can exceed `optimize_wall`
-    /// when `num_threads > 1`.
+    /// [`EngineStats::busy`] sums per-invocation busy time over all
+    /// workers, so it can exceed `optimize_wall` when `num_threads > 1`;
+    /// the `*_wall` phase fields below are true elapsed wall-clock.
     pub engines: Vec<(String, EngineStats)>,
+    /// Per-engine invocation-latency histograms, in chain order
+    /// (power-of-two microsecond buckets; one sample per completed
+    /// engine invocation).
+    pub engine_latency: Vec<(String, Histogram)>,
+    /// BDD-layer counters harvested from every manager recycled during
+    /// the run — [`BddManager::reset`](sbm_bdd::BddManager::reset) zeroes
+    /// a manager's stats, so the per-window drains here are the only
+    /// place this work stays visible.
+    pub bdd: BddTally,
+    /// SAT-solver counters accumulated across the run, including the
+    /// per-window equivalence gates.
+    pub sat: SatTally,
     /// Wall-clock of the window-extraction phase.
     pub extract_wall: Duration,
     /// Wall-clock of the parallel optimization phase.
@@ -323,6 +343,14 @@ impl PipelineReport {
                 None => self.engines.push((name.clone(), *stats)),
             }
         }
+        for (name, hist) in &other.engine_latency {
+            match self.engine_latency.iter_mut().find(|(n, _)| n == name) {
+                Some((_, total)) => total.merge(hist),
+                None => self.engine_latency.push((name.clone(), hist.clone())),
+            }
+        }
+        self.bdd.merge(&other.bdd);
+        self.sat.merge(&other.sat);
         self.extract_wall += other.extract_wall;
         self.optimize_wall += other.optimize_wall;
         self.stitch_wall += other.stitch_wall;
@@ -348,6 +376,101 @@ impl PipelineReport {
             + self.windows_stitch_rejected
             + self.windows_improved
             == self.windows_total
+    }
+
+    /// Projects this report onto the serializable [`RunReport`] schema.
+    ///
+    /// The run-identity fields (`tool`, `scale`, `threads`, `benchmarks`)
+    /// are left at their defaults — only the caller knows them; fill them
+    /// in before [`RunReport::to_json`].
+    pub fn run_report(&self) -> RunReport {
+        let micros = |d: Duration| u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        let latency = |name: &str| {
+            self.engine_latency
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, h)| h.clone())
+                .unwrap_or_default()
+        };
+        RunReport {
+            windows: WindowReport {
+                total: self.windows_total as u64,
+                skipped: self.windows_skipped as u64,
+                unchanged: self.windows_unchanged as u64,
+                gate_rejected: self.windows_gate_rejected as u64,
+                stitch_rejected: self.windows_stitch_rejected as u64,
+                improved: self.windows_improved as u64,
+                nodes_saved: self.nodes_saved as u64,
+                check_violations: self.check_violations.len() as u64,
+            },
+            phases_us: PhaseMicros {
+                extract: micros(self.extract_wall),
+                optimize: micros(self.optimize_wall),
+                stitch: micros(self.stitch_wall),
+                total: micros(self.total_wall),
+            },
+            engines: self
+                .engines
+                .iter()
+                .map(|(name, s)| EngineReport {
+                    name: name.clone(),
+                    windows: s.windows as u64,
+                    tried: s.tried as u64,
+                    accepted: s.accepted as u64,
+                    gain: s.gain,
+                    bailouts: s.bailouts as u64,
+                    busy_us: micros(s.busy),
+                    latency_us: latency(name),
+                })
+                .collect(),
+            bdd: BddCounters {
+                managers_recycled: self.bdd.managers_recycled,
+                nodes_allocated: self.bdd.nodes_allocated,
+                peak_nodes: self.bdd.peak_nodes,
+                unique_hits: self.bdd.unique_hits,
+                cache_hits: self.bdd.cache_hits,
+                ite_calls: self.bdd.ite_calls,
+            },
+            sat: SatCounters {
+                solves: self.sat.solves,
+                sat: self.sat.sat,
+                unsat: self.sat.unsat,
+                unknown: self.sat.unknown,
+                interrupted: self.sat.interrupted,
+                conflicts: self.sat.conflicts,
+                decisions: self.sat.decisions,
+                propagations: self.sat.propagations,
+            },
+            faults: FaultReport {
+                degraded_windows: self.fault.degraded_windows as u64,
+                injected: self.fault.injected.len() as u64,
+                per_engine: self
+                    .fault
+                    .per_engine
+                    .iter()
+                    .map(|(name, c)| EngineFaultCounters {
+                        name: name.clone(),
+                        panics: c.panics as u64,
+                        deadline_hits: c.deadline_hits as u64,
+                        bailouts: c.bailouts as u64,
+                        injected_bailouts: c.injected_bailouts as u64,
+                        delays: c.delays as u64,
+                        retries: c.retries as u64,
+                        retry_successes: c.retry_successes as u64,
+                    })
+                    .collect(),
+            },
+            resume: self.resume.as_ref().map(|r| ResumeReport {
+                records_replayed: r.records_replayed as u64,
+                torn_dropped: r.torn_dropped as u64,
+                stale_dropped: r.stale_dropped as u64,
+                windows_replayed: r.windows_replayed as u64,
+                windows_rerun: r.windows_rerun as u64,
+                steps_skipped: r.steps_skipped as u64,
+            }),
+            checkpoint_error: self.checkpoint_error.clone(),
+            ..RunReport::default()
+        }
     }
 }
 
@@ -376,7 +499,35 @@ impl fmt::Display for PipelineReport {
                 s.accepted,
                 s.gain,
                 s.bailouts,
-                s.wall.as_secs_f64(),
+                s.busy.as_secs_f64(),
+            )?;
+        }
+        if !self.bdd.is_zero() {
+            writeln!(
+                f,
+                "  bdd: {} managers recycled, {} nodes (peak {}), {} ite calls, \
+                 {} unique hits, {} cache hits",
+                self.bdd.managers_recycled,
+                self.bdd.nodes_allocated,
+                self.bdd.peak_nodes,
+                self.bdd.ite_calls,
+                self.bdd.unique_hits,
+                self.bdd.cache_hits,
+            )?;
+        }
+        if !self.sat.is_zero() {
+            writeln!(
+                f,
+                "  sat: {} solves ({} sat, {} unsat, {} unknown, {} interrupted), \
+                 {} conflicts, {} decisions, {} propagations",
+                self.sat.solves,
+                self.sat.sat,
+                self.sat.unsat,
+                self.sat.unknown,
+                self.sat.interrupted,
+                self.sat.conflicts,
+                self.sat.decisions,
+                self.sat.propagations,
             )?;
         }
         write!(
@@ -433,6 +584,14 @@ struct WindowOutcome {
     rewrite: Option<Aig>,
     gate_rejected: bool,
     per_engine: Vec<EngineStats>,
+    /// Per-engine invocation latency, aligned with `per_engine`.
+    latency: Vec<Histogram>,
+    /// BDD counters drained from the worker's thread-local pool when the
+    /// window finished — per-window drains make the totals identical for
+    /// every thread count.
+    bdd: BddTally,
+    /// SAT counters drained from the worker's thread-local tally.
+    sat: SatTally,
     /// Invariant violations from `Paranoid` per-engine bracketing
     /// (empty below that level).
     violations: Vec<CheckViolation>,
@@ -476,7 +635,7 @@ impl Pipeline {
     /// Checkpoint I/O failures never abort the run; the first one is
     /// reported in [`PipelineReport::checkpoint_error`].
     pub fn run(&self, aig: &Aig) -> Optimized<PipelineReport> {
-        let total_start = Instant::now();
+        let total_timer = Timer::start();
         let mut report = PipelineReport::default();
 
         // Boundary pre-check runs on the RAW input, before cleanup:
@@ -491,7 +650,7 @@ impl Pipeline {
                     window: None,
                     error,
                 });
-                report.total_wall = total_start.elapsed();
+                report.total_wall = total_timer.stop();
                 return Optimized {
                     aig: aig.clone(),
                     stats: report,
@@ -510,7 +669,7 @@ impl Pipeline {
             },
             None => None,
         };
-        self.execute(aig, work, report, journal, HashMap::new(), total_start)
+        self.execute(aig, work, report, journal, HashMap::new(), total_timer)
     }
 
     /// Resumes an interrupted checkpointed run.
@@ -539,7 +698,7 @@ impl Pipeline {
             .checkpoint
             .as_ref()
             .ok_or(JournalError::NotConfigured)?;
-        let total_start = Instant::now();
+        let total_timer = Timer::start();
         let fingerprint = self.config_fingerprint();
         let (work, meta) = read_aig_snapshot(&ck.dir.join(SNAPSHOT_FILE))?;
         if meta.fingerprint != fingerprint {
@@ -587,7 +746,7 @@ impl Pipeline {
             report,
             Some(JournalState::new(writer)),
             replay,
-            total_start,
+            total_timer,
         ))
     }
 
@@ -652,13 +811,13 @@ impl Pipeline {
         mut report: PipelineReport,
         journal: Option<JournalState>,
         mut replay: HashMap<usize, WindowRecord>,
-        total_start: Instant,
+        total_timer: Timer,
     ) -> Optimized<PipelineReport> {
         let mut counters = WindowCounters::default();
         let aig = baseline;
 
         // Phase 1: extract windows.
-        let extract_start = Instant::now();
+        let extract_timer = Timer::start();
         let parts = partition(&work, &self.options.partition);
         report.windows_total = parts.len();
         let mut jobs: Vec<(usize, Aig)> = Vec::new();
@@ -675,7 +834,7 @@ impl Pipeline {
                 None => counters.skipped += 1,
             }
         }
-        report.extract_wall = extract_start.elapsed();
+        report.extract_wall = extract_timer.stop();
 
         // Replay journal records onto their windows before any engine
         // runs: a record whose pre-hash matches the freshly extracted
@@ -720,7 +879,7 @@ impl Pipeline {
         } else {
             self.options.budget.clone()
         };
-        let optimize_start = Instant::now();
+        let optimize_timer = Timer::start();
         let outcomes = self.optimize_windows(&jobs, &budget, prefilled, journal.as_ref());
         // The final checkpoint: make everything journaled so far durable
         // before stitching — on budget expiry this is the state a
@@ -728,11 +887,11 @@ impl Pipeline {
         if let Some(journal) = &journal {
             journal.flush();
         }
-        report.optimize_wall = optimize_start.elapsed();
+        report.optimize_wall = optimize_timer.stop();
 
         // Phase 3: stitch accepted rewrites back, serially and in window
         // order (deterministic regardless of worker scheduling).
-        let stitch_start = Instant::now();
+        let stitch_timer = Timer::start();
         let input = self
             .options
             .check_level
@@ -740,10 +899,16 @@ impl Pipeline {
             .then(|| work.clone());
         let mut work = work;
         let mut per_engine = vec![EngineStats::default(); self.engines.len()];
+        let mut latency = vec![Histogram::default(); self.engines.len()];
         for ((part_idx, sub), outcome) in jobs.iter().zip(outcomes) {
             for (total, s) in per_engine.iter_mut().zip(&outcome.per_engine) {
                 total.merge(s);
             }
+            for (total, h) in latency.iter_mut().zip(&outcome.latency) {
+                total.merge(h);
+            }
+            report.bdd.merge(&outcome.bdd);
+            report.sat.merge(&outcome.sat);
             report.check_violations.extend(outcome.violations);
             report.fault.merge(&outcome.fault);
             if outcome.gate_rejected {
@@ -787,7 +952,7 @@ impl Pipeline {
                 result = input;
             }
         }
-        report.stitch_wall = stitch_start.elapsed();
+        report.stitch_wall = stitch_timer.stop();
 
         report.windows_skipped = counters.skipped;
         report.windows_unchanged = counters.unchanged;
@@ -799,6 +964,12 @@ impl Pipeline {
             .iter()
             .zip(per_engine)
             .map(|(e, s)| (e.name().to_string(), s))
+            .collect();
+        report.engine_latency = self
+            .engines
+            .iter()
+            .zip(latency)
+            .map(|(e, h)| (e.name().to_string(), h))
             .collect();
         // Mirror each engine's genuine node-limit bailouts into the fault
         // summary, so one record covers both injected and organic faults.
@@ -812,7 +983,7 @@ impl Pipeline {
                 report.checkpoint_error = journal.take_error();
             }
         }
-        report.total_wall = total_start.elapsed();
+        report.total_wall = total_timer.stop();
 
         // Never-worse guard at the network level.
         if result.num_ands() <= aig.num_ands() {
@@ -927,6 +1098,12 @@ impl Pipeline {
                 rewrite: None,
                 gate_rejected: false,
                 per_engine: vec![EngineStats::default(); self.engines.len()],
+                latency: vec![Histogram::default(); self.engines.len()],
+                // The interrupted window's partial tallies stay in the
+                // thread's accumulators; the next window's entry drain
+                // discards them, so degraded work is never attributed.
+                bdd: BddTally::default(),
+                sat: SatTally::default(),
                 violations: Vec::new(),
                 fault,
             }
@@ -943,14 +1120,21 @@ impl Pipeline {
     /// and a second failure degrades the whole window to its original
     /// sub-network. An expired deadline stops the chain the same way.
     fn optimize_window(&self, sub: &Aig, part_idx: usize, budget: &Budget) -> WindowOutcome {
+        // Attribution boundary: whatever BDD/SAT residue the thread's
+        // accumulators hold (earlier non-pipeline work, a degraded
+        // window) is not this window's — discard it so the exit drains
+        // below measure exactly one window.
+        let _ = drain_bdd_tally();
+        let _ = drain_sat_tally();
         let mut ctx = OptContext::with_threads(1).with_budget(budget.clone());
         let mut per_engine = vec![EngineStats::default(); self.engines.len()];
+        let mut latency = vec![Histogram::default(); self.engines.len()];
         let mut violations = Vec::new();
         let mut fault = FaultSummary::default();
         let paranoid = self.options.check_level.per_engine();
         let mut cur = sub.clone();
         let mut degraded = false;
-        for (stats, engine) in per_engine.iter_mut().zip(&self.engines) {
+        for ((stats, hist), engine) in per_engine.iter_mut().zip(&mut latency).zip(&self.engines) {
             let name = engine.name();
             if budget.check().is_err() {
                 fault.counts_mut(name).deadline_hits += 1;
@@ -984,6 +1168,7 @@ impl Pipeline {
                     attempt,
                     budget,
                     stats,
+                    hist,
                     &mut violations,
                     &mut fault,
                     paranoid,
@@ -1028,6 +1213,9 @@ impl Pipeline {
                 rewrite: None,
                 gate_rejected: false,
                 per_engine,
+                latency,
+                bdd: drain_bdd_tally(),
+                sat: drain_sat_tally(),
                 violations,
                 fault,
             };
@@ -1039,6 +1227,9 @@ impl Pipeline {
                 rewrite: None,
                 gate_rejected: true,
                 per_engine,
+                latency,
+                bdd: drain_bdd_tally(),
+                sat: drain_sat_tally(),
                 violations,
                 fault,
             };
@@ -1047,6 +1238,9 @@ impl Pipeline {
             rewrite: Some(cur),
             gate_rejected: false,
             per_engine,
+            latency,
+            bdd: drain_bdd_tally(),
+            sat: drain_sat_tally(),
             violations,
             fault,
         }
@@ -1065,6 +1259,7 @@ impl Pipeline {
         attempt: u8,
         budget: &Budget,
         stats: &mut EngineStats,
+        latency: &mut Histogram,
         violations: &mut Vec<CheckViolation>,
         fault: &mut FaultSummary,
         paranoid: bool,
@@ -1109,6 +1304,7 @@ impl Pipeline {
         match caught {
             Ok((result, mut found)) => {
                 violations.append(&mut found);
+                latency.record(result.stats.busy);
                 stats.merge(&result.stats);
                 // A tripped budget means the result is partial: count the
                 // hit and degrade rather than stitch half-optimized work.
@@ -1159,6 +1355,12 @@ impl Pipeline {
             rewrite,
             gate_rejected,
             per_engine: vec![EngineStats::default(); self.engines.len()],
+            latency: vec![Histogram::default(); self.engines.len()],
+            // A replayed window runs no engines, so it contributes no
+            // BDD/SAT work: resumed runs legitimately report lower
+            // tallies than the uninterrupted original.
+            bdd: BddTally::default(),
+            sat: SatTally::default(),
             violations: Vec::new(),
             fault,
         })
@@ -1380,7 +1582,13 @@ enum Invocation {
 /// engine's own options); callers needing the [`PipelineReport`] should
 /// build a [`Pipeline`] directly.
 pub fn parallel_pass(aig: &Aig, num_threads: usize, engine: impl Engine + 'static) -> Aig {
-    parallel_pass_report(aig, num_threads, engine).aig
+    let run = parallel_pass_report(aig, num_threads, engine);
+    // The discarded report carried the run's drained BDD/SAT tallies:
+    // note them back into this thread's accumulators so they surface in
+    // whatever measurement scope encloses this pass.
+    note_bdd_tally(&run.stats.bdd);
+    note_sat_tally(&run.stats.sat);
+    run.aig
 }
 
 /// [`parallel_pass`], keeping the report.
@@ -1586,6 +1794,93 @@ mod tests {
             assert_eq!(s_p.accepted, s_s.accepted, "{name_p} accepted diverged");
             assert_eq!(s_p.gain, s_s.gain, "{name_p} gain diverged");
         }
+    }
+
+    #[test]
+    fn tallies_and_counters_are_deterministic_across_thread_counts() {
+        use crate::engine::{Bdiff, Mspf};
+        let aig = test_aig(17);
+        let make = |threads| {
+            let options = PipelineOptions {
+                num_threads: threads,
+                partition: PartitionOptions {
+                    max_nodes: 30,
+                    max_inputs: 10,
+                    max_levels: 12,
+                },
+                ..PipelineOptions::default()
+            };
+            Pipeline::new(options)
+                .with_engine(Rewrite::default())
+                .with_engine(Mspf::default())
+                .with_engine(Bdiff::default())
+                .run(&aig)
+        };
+        let serial = make(1);
+        assert!(
+            !serial.stats.bdd.is_zero(),
+            "BDD engines must harvest recycled managers: {:?}",
+            serial.stats.bdd
+        );
+        assert!(
+            !serial.stats.sat.is_zero(),
+            "the window equivalence gate must run solves: {:?}",
+            serial.stats.sat
+        );
+        for threads in [2, 4] {
+            let parallel = make(threads);
+            // Everything deterministic must match exactly; only the
+            // timing fields (walls, busy, latency histograms) may differ.
+            assert_eq!(serial.stats.bdd, parallel.stats.bdd, "{threads} threads");
+            assert_eq!(serial.stats.sat, parallel.stats.sat, "{threads} threads");
+            assert_eq!(serial.stats.windows_total, parallel.stats.windows_total);
+            assert_eq!(
+                serial.stats.windows_improved,
+                parallel.stats.windows_improved
+            );
+            assert_eq!(serial.stats.nodes_saved, parallel.stats.nodes_saved);
+            for ((name_s, s), (name_p, p)) in
+                serial.stats.engines.iter().zip(&parallel.stats.engines)
+            {
+                assert_eq!(name_s, name_p);
+                assert_eq!(s.tried, p.tried, "{name_s} tried");
+                assert_eq!(s.accepted, p.accepted, "{name_s} accepted");
+                assert_eq!(s.gain, p.gain, "{name_s} gain");
+                assert_eq!(s.bailouts, p.bailouts, "{name_s} bailouts");
+            }
+        }
+    }
+
+    #[test]
+    fn latency_histograms_record_every_completed_invocation() {
+        let aig = test_aig(31);
+        let run = small_window_pipeline(2).run(&aig);
+        let report = &run.stats;
+        assert_eq!(report.engine_latency.len(), report.engines.len());
+        for ((name, _), (hist_name, hist)) in report.engines.iter().zip(&report.engine_latency) {
+            assert_eq!(name, hist_name);
+            // One sample per completed invocation: every non-skipped
+            // window ran every engine exactly once on a healthy run.
+            let processed = (report.windows_total - report.windows_skipped) as u64;
+            assert_eq!(hist.count(), processed, "{name} histogram");
+        }
+    }
+
+    #[test]
+    fn run_report_round_trips_through_json() {
+        let aig = test_aig(9);
+        let run = small_window_pipeline(2).run(&aig);
+        let mut report = run.stats.run_report();
+        report.tool = "pipeline-test".to_string();
+        report.scale = "unit".to_string();
+        report.threads = 2;
+        report.benchmarks.push("test_aig_9".to_string());
+        let json = report.to_json();
+        let back = RunReport::from_json(&json).expect("round trip");
+        assert_eq!(report, back);
+        // The projection carries the deterministic counters verbatim.
+        assert_eq!(back.windows.total, run.stats.windows_total as u64);
+        assert_eq!(back.engines.len(), run.stats.engines.len());
     }
 
     #[test]

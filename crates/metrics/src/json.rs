@@ -1,0 +1,479 @@
+//! A minimal, dependency-free JSON tree, writer and parser.
+//!
+//! The workspace has no registry access, so run reports are serialized
+//! by hand. The dialect is deliberately small but standard: objects,
+//! arrays, strings (with `\uXXXX` escapes), `i64`-range integers,
+//! booleans and `null` — everything [`crate::RunReport`] needs, nothing
+//! more. Numbers are kept as integers end to end (`i64`), so counter
+//! round-trips are exact; floating-point values have no place in a
+//! report schema built on monotonic counters and microsecond durations.
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (the schema uses no floats).
+    Int(i64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object; insertion order is preserved for stable output.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// The unsigned integer behind this value, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The signed integer behind this value, if it is one.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The string behind this value, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure, with the byte offset it was detected at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Serializes `value` as pretty-printed JSON (2-space indentation, keys
+/// in insertion order) — the stable, diffable form `BENCH_*.json` files
+/// are stored in.
+pub fn write_pretty(value: &JsonValue) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, 0);
+    out.push('\n');
+    out
+}
+
+fn write_value(out: &mut String, value: &JsonValue, indent: usize) {
+    match value {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::Int(i) => out.push_str(&itoa(*i)),
+        JsonValue::Str(s) => write_string(out, s),
+        JsonValue::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            // Arrays of scalars stay on one line (histogram buckets would
+            // otherwise dominate the file); arrays of composites nest.
+            let scalar = items
+                .iter()
+                .all(|v| !matches!(v, JsonValue::Arr(_) | JsonValue::Obj(_)));
+            if scalar {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_value(out, item, indent);
+                }
+                out.push(']');
+            } else {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    push_indent(out, indent + 1);
+                    write_value(out, item, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                push_indent(out, indent);
+                out.push(']');
+            }
+        }
+        JsonValue::Obj(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (key, item)) in fields.iter().enumerate() {
+                push_indent(out, indent + 1);
+                write_string(out, key);
+                out.push_str(": ");
+                write_value(out, item, indent + 1);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            push_indent(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn itoa(i: i64) -> String {
+    // `i64` formatting never fails; routed through `fmt::Write` to stay
+    // allocation-light without unwrap.
+    let mut s = String::new();
+    let _ = fmt::Write::write_fmt(&mut s, format_args!("{i}"));
+    s
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document. The whole input must be one value (plus
+/// whitespace); trailing garbage is an error.
+pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after the JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, want: u8) -> Result<(), JsonError> {
+        match self.bump() {
+            Some(b) if b == want => Ok(()),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error(format!("expected '{}'", want as char)))
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b't' | b'f') => self.parse_bool(),
+            Some(b'n') => self.parse_null(),
+            Some(b'-' | b'0'..=b'9') => self.parse_int(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect_byte(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect_byte(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b'}') => return Ok(JsonValue::Obj(fields)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.error("expected ',' or '}' in object"));
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect_byte(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b']') => return Ok(JsonValue::Arr(items)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.error("expected ',' or ']' in array"));
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect_byte(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            match self.bump() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => return Ok(s),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'/') => s.push('/'),
+                    Some(b'b') => s.push('\u{0008}'),
+                    Some(b'f') => s.push('\u{000C}'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b'r') => s.push('\r'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'u') => {
+                        let code = self.parse_hex4()?;
+                        // Surrogate pairs are not produced by our writer;
+                        // reject them rather than decode them wrongly.
+                        match char::from_u32(code) {
+                            Some(c) => s.push(c),
+                            None => return Err(self.error("invalid \\u escape")),
+                        }
+                    }
+                    _ => return Err(self.error("invalid escape sequence")),
+                },
+                Some(b) if b < 0x80 => s.push(b as char),
+                Some(_) => {
+                    // Multi-byte UTF-8: the input is a &str, so the
+                    // sequence is valid; re-decode it from the source.
+                    let rest = &self.bytes[start..];
+                    let Some(c) = std::str::from_utf8(rest)
+                        .ok()
+                        .and_then(|t| t.chars().next())
+                    else {
+                        return Err(self.error("invalid UTF-8 in string"));
+                    };
+                    s.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, JsonError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let digit = match self.bump() {
+                Some(b @ b'0'..=b'9') => u32::from(b - b'0'),
+                Some(b @ b'a'..=b'f') => u32::from(b - b'a') + 10,
+                Some(b @ b'A'..=b'F') => u32::from(b - b'A') + 10,
+                _ => return Err(self.error("expected 4 hex digits after \\u")),
+            };
+            code = code * 16 + digit;
+        }
+        Ok(code)
+    }
+
+    fn parse_bool(&mut self) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(b"true") {
+            self.pos += 4;
+            Ok(JsonValue::Bool(true))
+        } else if self.bytes[self.pos..].starts_with(b"false") {
+            self.pos += 5;
+            Ok(JsonValue::Bool(false))
+        } else {
+            Err(self.error("expected 'true' or 'false'"))
+        }
+    }
+
+    fn parse_null(&mut self) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(b"null") {
+            self.pos += 4;
+            Ok(JsonValue::Null)
+        } else {
+            Err(self.error("expected 'null'"))
+        }
+    }
+
+    fn parse_int(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(self.error("expected digits"));
+        }
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+            return Err(self.error("floating-point numbers are not part of the report schema"));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        text.parse::<i64>()
+            .map(JsonValue::Int)
+            .map_err(|_| self.error("integer out of i64 range"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for v in [
+            JsonValue::Null,
+            JsonValue::Bool(true),
+            JsonValue::Bool(false),
+            JsonValue::Int(0),
+            JsonValue::Int(-42),
+            JsonValue::Int(i64::MAX),
+            JsonValue::Str("hello \"world\"\n\t\\ π".to_string()),
+        ] {
+            let text = write_pretty(&v);
+            assert_eq!(parse(&text).expect("parse"), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn nested_structure_round_trips() {
+        let v = JsonValue::Obj(vec![
+            ("name".to_string(), JsonValue::Str("i2c".to_string())),
+            (
+                "counts".to_string(),
+                JsonValue::Arr(vec![JsonValue::Int(1), JsonValue::Int(2)]),
+            ),
+            ("empty_arr".to_string(), JsonValue::Arr(Vec::new())),
+            ("empty_obj".to_string(), JsonValue::Obj(Vec::new())),
+            (
+                "nested".to_string(),
+                JsonValue::Arr(vec![JsonValue::Obj(vec![(
+                    "k".to_string(),
+                    JsonValue::Null,
+                )])]),
+            ),
+        ]);
+        let text = write_pretty(&v);
+        assert_eq!(parse(&text).expect("parse"), v, "{text}");
+    }
+
+    #[test]
+    fn control_characters_escape_and_return() {
+        let v = JsonValue::Str("\u{0001}\u{0008}".to_string());
+        let text = write_pretty(&v);
+        assert_eq!(parse(&text).expect("parse"), v);
+    }
+
+    #[test]
+    fn malformed_inputs_error_with_offsets() {
+        for bad in [
+            "",
+            "{",
+            "[1, 2",
+            "{\"a\": }",
+            "\"unterminated",
+            "12.5",
+            "1e9",
+            "truth",
+            "{} extra",
+            "{\"a\" 1}",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn whitespace_is_tolerated_everywhere() {
+        let v = parse(" {\n\t\"a\" :\r [ 1 , 2 ] , \"b\" : null } ").expect("parse");
+        assert_eq!(
+            v,
+            JsonValue::Obj(vec![
+                (
+                    "a".to_string(),
+                    JsonValue::Arr(vec![JsonValue::Int(1), JsonValue::Int(2)])
+                ),
+                ("b".to_string(), JsonValue::Null),
+            ])
+        );
+    }
+}

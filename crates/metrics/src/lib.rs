@@ -1,0 +1,284 @@
+//! Lightweight observability primitives for the SBM framework.
+//!
+//! The paper's evaluation (Section V, Tables I–III) is entirely
+//! empirical; this crate is the measurement layer behind it. It is a
+//! *leaf* crate — `std` only, no other dependencies — so every layer of
+//! the workspace (BDD package, SAT solver, pipeline, bench binaries) can
+//! use it without dependency cycles:
+//!
+//! * [`Timer`] — a started wall-clock span; replaces ad-hoc
+//!   `Instant::now()` / `elapsed()` pairs so a started timer is a value
+//!   that must be consumed, not a local that can be shadowed or dropped;
+//! * [`Histogram`] — fixed power-of-two latency buckets over
+//!   microseconds. Recording is two integer ops; merging is elementwise
+//!   addition, so per-worker histograms combine deterministically;
+//! * [`CounterSet`] — named monotonic counters with order-preserving
+//!   merge, for tool-specific extras that don't warrant a schema field;
+//! * [`RunReport`] — the serializable run-level schema
+//!   (see [`report`]) with a hand-rolled, dependency-free JSON
+//!   round-trip: [`RunReport::to_json`] / [`RunReport::from_json`].
+
+pub mod json;
+pub mod report;
+
+pub use report::{
+    BddCounters, EngineFaultCounters, EngineReport, FaultReport, PhaseMicros, ReportError,
+    ResumeReport, RunReport, SatCounters, WindowReport, SCHEMA_VERSION,
+};
+
+use std::time::{Duration, Instant};
+
+/// A started wall-clock span.
+///
+/// Unlike a bare [`Instant`], a `Timer` makes the begin/end pairing
+/// explicit: construction starts the span, [`Timer::stop`] consumes the
+/// value and returns its duration — a timer that is started but never
+/// reported shows up as an unused-value warning instead of silently
+/// vanishing. [`Timer::elapsed`] reads the running span without stopping
+/// it (for multi-phase totals).
+#[derive(Debug, Clone, Copy)]
+#[must_use = "a started timer should be stopped and its duration reported"]
+pub struct Timer {
+    started: Instant,
+}
+
+impl Timer {
+    /// Starts a new span now.
+    pub fn start() -> Self {
+        Timer {
+            started: Instant::now(),
+        }
+    }
+
+    /// Time elapsed since the span started, without consuming the timer.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Stops the span and returns its duration.
+    pub fn stop(self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+/// Number of buckets in a [`Histogram`].
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A fixed-size latency histogram with power-of-two bucket boundaries
+/// over microseconds.
+///
+/// Bucket `0` covers `[0, 2)` µs; bucket `i` (for `1 ≤ i < 31`) covers
+/// `[2^i, 2^(i+1))` µs; the last bucket (`31`) is unbounded above
+/// (`2^31` µs ≈ 36 min — far beyond any single engine invocation).
+/// The fixed layout keeps the type `Copy`-free but allocation-free, and
+/// makes merged histograms independent of recording order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// The bucket index a duration of `micros` microseconds falls into.
+    pub fn bucket_index(micros: u64) -> usize {
+        if micros < 2 {
+            0
+        } else {
+            let log2 = 63 - micros.leading_zeros() as usize;
+            log2.min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// The `[lower, upper)` microsecond range of bucket `i`; the last
+    /// bucket has no upper bound (`None`).
+    pub fn bucket_bounds(i: usize) -> (u64, Option<u64>) {
+        let lower = if i == 0 { 0 } else { 1u64 << i };
+        let upper = if i + 1 >= HISTOGRAM_BUCKETS {
+            None
+        } else {
+            Some(1u64 << (i + 1))
+        };
+        (lower, upper)
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, d: Duration) {
+        self.record_micros(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Records one sample of `micros` microseconds.
+    pub fn record_micros(&mut self, micros: u64) {
+        self.counts[Self::bucket_index(micros)] += 1;
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// The raw per-bucket counts.
+    pub fn counts(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.counts
+    }
+
+    /// Reconstructs a histogram from raw bucket counts (the JSON reader).
+    pub fn from_counts(counts: [u64; HISTOGRAM_BUCKETS]) -> Self {
+        Histogram { counts }
+    }
+
+    /// Adds `other`'s buckets into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+/// Named monotonic counters, preserved in first-insertion order so
+/// serialized output is stable and diffable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterSet {
+    entries: Vec<(String, u64)>,
+}
+
+impl CounterSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        CounterSet::default()
+    }
+
+    /// Adds `value` to the counter `name`, creating it at zero first.
+    pub fn add(&mut self, name: &str, value: u64) {
+        match self.entries.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v += value,
+            None => self.entries.push((name.to_string(), value)),
+        }
+    }
+
+    /// The current value of `name` (zero when absent).
+    pub fn get(&self, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no counter exists.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Accumulates `other` into `self`, counter by counter.
+    pub fn merge(&mut self, other: &CounterSet) {
+        for (name, value) in other.iter() {
+            self.add(name, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_measures_a_nonnegative_span() {
+        let t = Timer::start();
+        assert!(t.elapsed() <= t.elapsed() + Duration::from_nanos(1));
+        let d = t.stop();
+        assert!(d >= Duration::ZERO);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_powers_of_two() {
+        // Bucket 0 is [0, 2): both 0 µs and 1 µs land there.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        // Every boundary value 2^i starts bucket i; 2^i − 1 is still in
+        // bucket i−1 (for i ≥ 2).
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            let lower = 1u64 << i;
+            assert_eq!(Histogram::bucket_index(lower), i, "lower bound of {i}");
+            assert_eq!(
+                Histogram::bucket_index(lower * 2 - 1),
+                i,
+                "upper bound of {i}"
+            );
+        }
+        // The last bucket absorbs everything above its lower bound.
+        assert_eq!(
+            Histogram::bucket_index(1u64 << (HISTOGRAM_BUCKETS - 1)),
+            HISTOGRAM_BUCKETS - 1
+        );
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_bounds_match_bucket_index() {
+        for i in 0..HISTOGRAM_BUCKETS {
+            let (lower, upper) = Histogram::bucket_bounds(i);
+            assert_eq!(Histogram::bucket_index(lower), i);
+            if let Some(upper) = upper {
+                assert_eq!(Histogram::bucket_index(upper - 1), i);
+                assert_eq!(Histogram::bucket_index(upper), i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_merges() {
+        let mut a = Histogram::new();
+        a.record(Duration::from_micros(3));
+        a.record(Duration::from_micros(1500));
+        a.record_micros(0);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.counts()[0], 1);
+        assert_eq!(a.counts()[1], 1);
+        assert_eq!(a.counts()[10], 1);
+
+        let mut b = Histogram::new();
+        b.record_micros(2);
+        b.merge(&a);
+        assert_eq!(b.count(), 4);
+        assert_eq!(b.counts()[1], 2);
+        assert!(!b.is_empty());
+        assert!(Histogram::new().is_empty());
+    }
+
+    #[test]
+    fn counter_set_accumulates_in_order() {
+        let mut c = CounterSet::new();
+        c.add("solves", 2);
+        c.add("conflicts", 10);
+        c.add("solves", 3);
+        assert_eq!(c.get("solves"), 5);
+        assert_eq!(c.get("missing"), 0);
+        assert_eq!(c.len(), 2);
+        let names: Vec<&str> = c.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["solves", "conflicts"]);
+
+        let mut d = CounterSet::new();
+        d.add("conflicts", 1);
+        d.merge(&c);
+        assert_eq!(d.get("conflicts"), 11);
+        assert_eq!(d.get("solves"), 5);
+    }
+}

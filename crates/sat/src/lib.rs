@@ -35,5 +35,7 @@ pub mod equiv;
 pub mod redundancy;
 mod solver;
 pub mod sweep;
+mod tally;
 
 pub use solver::{SatLit, SolveResult, Solver, Var};
+pub use tally::{drain_sat_tally, note_sat_tally, SatTally};

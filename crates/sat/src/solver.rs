@@ -440,7 +440,26 @@ impl Solver {
     /// and exhausted, and [`SolveResult::Interrupted`] only when a budget
     /// attached via [`Solver::set_budget`] trips. The solver can be reused
     /// afterwards (assumptions are retracted).
+    ///
+    /// Every call also records its counter deltas (conflicts, decisions,
+    /// propagations, outcome) into the calling thread's
+    /// [`SatTally`](crate::SatTally), so the work of short-lived solvers
+    /// survives their drop — see [`crate::drain_sat_tally`].
     pub fn solve(&mut self, assumptions: &[SatLit]) -> SolveResult {
+        self.conflicts = 0;
+        let decisions_before = self.num_decisions;
+        let propagations_before = self.num_propagations;
+        let result = self.solve_inner(assumptions);
+        crate::tally::record_solve(
+            result,
+            self.conflicts,
+            self.num_decisions - decisions_before,
+            self.num_propagations - propagations_before,
+        );
+        result
+    }
+
+    fn solve_inner(&mut self, assumptions: &[SatLit]) -> SolveResult {
         if !self.ok {
             return SolveResult::Unsat;
         }
@@ -448,7 +467,6 @@ impl Solver {
         if self.budget.check().is_err() {
             return SolveResult::Interrupted;
         }
-        self.conflicts = 0;
         let mut restart_limit = 128u64;
         let mut conflicts_since_restart = 0u64;
         let result = 'outer: loop {

@@ -1,0 +1,152 @@
+//! Thread-local accumulation of solver counters.
+//!
+//! Most SAT work in the framework runs through short-lived solvers: the
+//! miter-based equivalence gate builds a [`crate::Solver`], solves once
+//! and drops it, discarding every counter the CDCL loop incremented.
+//! This module keeps those counters alive: [`crate::Solver::solve`]
+//! records each call's deltas into a thread-local [`SatTally`], and run
+//! owners (the pipeline's window loop, the script runner) drain it with
+//! [`drain_sat_tally`] at attribution boundaries.
+//!
+//! The accumulator is strictly thread-local, so per-window drains on
+//! worker threads are race-free and deterministic across thread counts
+//! — concurrent test runs or sibling workers can never pollute each
+//! other's tallies.
+
+use std::cell::Cell;
+
+use crate::solver::SolveResult;
+
+/// Aggregated counters across [`crate::Solver::solve`] calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SatTally {
+    /// `solve` calls.
+    pub solves: u64,
+    /// Calls that returned [`SolveResult::Sat`].
+    pub sat: u64,
+    /// Calls that returned [`SolveResult::Unsat`].
+    pub unsat: u64,
+    /// Calls that exhausted their conflict budget
+    /// ([`SolveResult::Unknown`]).
+    pub unknown: u64,
+    /// Calls interrupted by a wall-clock budget
+    /// ([`SolveResult::Interrupted`]).
+    pub interrupted: u64,
+    /// Conflicts.
+    pub conflicts: u64,
+    /// Decisions.
+    pub decisions: u64,
+    /// Unit propagations.
+    pub propagations: u64,
+}
+
+impl SatTally {
+    /// Accumulates another tally into this one.
+    pub fn merge(&mut self, other: &SatTally) {
+        self.solves += other.solves;
+        self.sat += other.sat;
+        self.unsat += other.unsat;
+        self.unknown += other.unknown;
+        self.interrupted += other.interrupted;
+        self.conflicts += other.conflicts;
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+    }
+
+    /// True when no solve has been recorded.
+    pub fn is_zero(&self) -> bool {
+        *self == SatTally::default()
+    }
+}
+
+thread_local! {
+    static TALLY: Cell<SatTally> = const { Cell::new(SatTally {
+        solves: 0,
+        sat: 0,
+        unsat: 0,
+        unknown: 0,
+        interrupted: 0,
+        conflicts: 0,
+        decisions: 0,
+        propagations: 0,
+    }) };
+}
+
+/// Records one completed `solve` call (its per-call counter deltas) into
+/// the calling thread's tally.
+pub(crate) fn record_solve(result: SolveResult, conflicts: u64, decisions: u64, propagations: u64) {
+    TALLY.with(|t| {
+        let mut tally = t.get();
+        tally.solves += 1;
+        match result {
+            SolveResult::Sat => tally.sat += 1,
+            SolveResult::Unsat => tally.unsat += 1,
+            SolveResult::Unknown => tally.unknown += 1,
+            SolveResult::Interrupted => tally.interrupted += 1,
+        }
+        tally.conflicts += conflicts;
+        tally.decisions += decisions;
+        tally.propagations += propagations;
+        t.set(tally);
+    });
+}
+
+/// Takes the calling thread's accumulated tally, leaving it zeroed.
+///
+/// Drains are destructive by design: a counter can be attributed to
+/// exactly one report, so nested measurement scopes (script step around
+/// pipeline run around window) can never double-count.
+pub fn drain_sat_tally() -> SatTally {
+    TALLY.with(Cell::take)
+}
+
+/// Adds `tally` back into the calling thread's accumulator — used by
+/// callers that collected a tally (e.g. from a discarded inner report)
+/// and want it to flow to the surrounding measurement scope instead of
+/// being lost.
+pub fn note_sat_tally(tally: &SatTally) {
+    TALLY.with(|t| {
+        let mut cur = t.get();
+        cur.merge(tally);
+        t.set(cur);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SatLit, Solver};
+
+    #[test]
+    fn solve_calls_accumulate_and_drain() {
+        let _ = drain_sat_tally(); // isolate from any prior test body on this thread
+        let mut solver = Solver::new();
+        let a = solver.new_var();
+        let b = solver.new_var();
+        solver.add_clause(&[SatLit::pos(a), SatLit::pos(b)]);
+        solver.add_clause(&[SatLit::neg(a)]);
+        assert_eq!(solver.solve(&[]), crate::SolveResult::Sat);
+        assert_eq!(solver.solve(&[SatLit::neg(b)]), crate::SolveResult::Unsat);
+        let tally = drain_sat_tally();
+        assert_eq!(tally.solves, 2);
+        assert_eq!(tally.sat, 1);
+        assert_eq!(tally.unsat, 1);
+        // Drained means drained.
+        assert!(drain_sat_tally().is_zero());
+    }
+
+    #[test]
+    fn note_restores_a_drained_tally() {
+        let _ = drain_sat_tally();
+        let outer = SatTally {
+            solves: 3,
+            unsat: 3,
+            conflicts: 7,
+            ..SatTally::default()
+        };
+        note_sat_tally(&outer);
+        let mut expected = SatTally::default();
+        expected.merge(&outer);
+        assert_eq!(drain_sat_tally(), expected);
+    }
+}
