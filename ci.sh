@@ -95,9 +95,10 @@ fi
 # from a two-benchmark parallel table1 pass — and validate it with the
 # crate's own strict decoder. report_check fails on any schema drift
 # (missing/unknown/mistyped field, version mismatch, unstable
-# re-encode), and --require-bdd asserts the harvested BDD counters and
-# per-engine latency histograms are nonzero, i.e. the layers the report
-# exists to keep are actually flowing.
+# re-encode); --require-bdd asserts the harvested BDD counters and
+# per-engine latency histograms are nonzero, and --require-sim asserts
+# the simulation-signature service actually screened candidates — the
+# layers the report exists to keep are actually flowing.
 echo "==> run-report smoke (BENCH_quick.json)"
 if [[ $quick -eq 0 ]]; then
     report_check=(cargo run -q -p sbm-bench --bin report_check --release --)
@@ -107,6 +108,32 @@ else
 fi
 "${table1[@]}" --only i2c,priority --threads 2 \
     --report-json BENCH_quick.json >/dev/null
-"${report_check[@]}" BENCH_quick.json --require-bdd
+"${report_check[@]}" BENCH_quick.json --require-bdd --require-sim
+
+# Sim-filter smoke (quick mode): run the same benchmark with the
+# signature filter on and off at the same thread count. Both results
+# must SAT-verify equivalent, and — because the filter is a sound
+# necessary condition that only discards hopeless candidates — the
+# filtered pass must end at least as small as the unfiltered one.
+if [[ $quick -eq 1 ]]; then
+    echo "==> sim-filter on/off smoke"
+    row_on=$("${table1[@]}" --only priority --threads 2 | grep '^priority')
+    row_off=$("${table1[@]}" --only priority --threads 2 --sim-filter off |
+        grep '^priority')
+    for row in "$row_on" "$row_off"; do
+        if ! grep -q 'eq(SAT)' <<<"$row"; then
+            echo "sim-filter smoke: run did not verify equivalent: $row" >&2
+            exit 1
+        fi
+    done
+    lut_on=$(awk '{print $7}' <<<"$row_on")
+    lut_off=$(awk '{print $7}' <<<"$row_off")
+    if ((lut_on > lut_off)); then
+        echo "sim-filter smoke: filtered pass lost quality" >&2
+        echo "  on:  $row_on" >&2
+        echo "  off: $row_off" >&2
+        exit 1
+    fi
+fi
 
 echo "CI OK"

@@ -92,17 +92,20 @@ impl FlowCheckpoint {
 /// [`run_flow`] with the proposed flow's window-based optimization steps
 /// fanned out over `num_threads` workers.
 pub fn run_flow_threaded(aig: &Aig, kind: FlowKind, num_threads: usize) -> FlowRun {
-    run_flow_configured(aig, kind, num_threads, None)
+    run_flow_configured(aig, kind, num_threads, None, true)
 }
 
 /// [`run_flow_threaded`] with optional crash-safe checkpointing of the
 /// proposed flow's optimization (`checkpoint` = directory for this
-/// design, plus whether to resume from it).
+/// design, plus whether to resume from it) and control over the
+/// simulation-signature candidate filter (`sim_filter`; see
+/// `SbmOptions::sim_filter` for what toggling it changes).
 pub fn run_flow_configured(
     aig: &Aig,
     kind: FlowKind,
     num_threads: usize,
     checkpoint: Option<(&std::path::Path, bool)>,
+    sim_filter: bool,
 ) -> FlowRun {
     let timer = Timer::start();
     let (optimized, pipeline) = match kind {
@@ -115,6 +118,7 @@ pub fn run_flow_configured(
                     ..Default::default()
                 },
                 num_threads,
+                sim_filter,
                 checkpoint_dir: checkpoint.map(|(dir, _)| dir.to_path_buf()),
                 ..Default::default()
             };
@@ -190,17 +194,19 @@ pub fn compare_flows_threaded(
     clock_fraction: f64,
     num_threads: usize,
 ) -> DesignComparison {
-    compare_flows_checkpointed(name, aig, clock_fraction, num_threads, None)
+    compare_flows_checkpointed(name, aig, clock_fraction, num_threads, None, true)
 }
 
 /// [`compare_flows_threaded`] with optional crash-safe checkpointing of
-/// the proposed flow (see [`FlowCheckpoint`]).
+/// the proposed flow (see [`FlowCheckpoint`]) and control over the
+/// simulation-signature candidate filter.
 pub fn compare_flows_checkpointed(
     name: &str,
     aig: &Aig,
     clock_fraction: f64,
     num_threads: usize,
     checkpoint: Option<&FlowCheckpoint>,
+    sim_filter: bool,
 ) -> DesignComparison {
     let baseline = run_flow(aig, FlowKind::Baseline);
     let ck_dir = checkpoint.map(|c| (c.dir_for(name), c.resume));
@@ -209,6 +215,7 @@ pub fn compare_flows_checkpointed(
         FlowKind::Proposed,
         num_threads,
         ck_dir.as_ref().map(|(d, r)| (d.as_path(), *r)),
+        sim_filter,
     );
     let clock = baseline.result.critical_path * clock_fraction;
     DesignComparison {

@@ -9,8 +9,9 @@
 //! reports runtime (criterion) plus QoR (stderr, once per config).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use sbm_budget::Budget;
 use sbm_core::bdiff::BdiffOptions;
-use sbm_core::engine::{Bdiff, Engine, OptContext};
+use sbm_core::engine::{Bdiff, Engine, EngineCtx};
 use sbm_epfl::{generate, Scale};
 
 fn bench_bdiff_threshold(c: &mut Criterion) {
@@ -23,7 +24,7 @@ fn bench_bdiff_threshold(c: &mut Criterion) {
             ..Default::default()
         };
         let engine = Bdiff { options: opts };
-        let result = engine.run(&aig, &mut OptContext::default());
+        let result = engine.optimize(&aig, &EngineCtx::new(&Budget::unlimited()));
         eprintln!(
             "bdiff threshold {threshold}: {} -> {} nodes, {} accepted",
             aig.num_ands(),
@@ -31,7 +32,7 @@ fn bench_bdiff_threshold(c: &mut Criterion) {
             result.stats.accepted
         );
         group.bench_function(format!("threshold_{threshold}"), |b| {
-            b.iter(|| engine.run(&aig, &mut OptContext::default()));
+            b.iter(|| engine.optimize(&aig, &EngineCtx::new(&Budget::unlimited())));
         });
     }
     group.finish();
@@ -47,7 +48,7 @@ fn bench_bdiff_xor_cost(c: &mut Criterion) {
             ..Default::default()
         };
         let engine = Bdiff { options: opts };
-        let result = engine.run(&aig, &mut OptContext::default());
+        let result = engine.optimize(&aig, &EngineCtx::new(&Budget::unlimited()));
         eprintln!(
             "bdiff xor_cost {xor_cost}: {} -> {} nodes, {} accepted",
             aig.num_ands(),
@@ -55,7 +56,7 @@ fn bench_bdiff_xor_cost(c: &mut Criterion) {
             result.stats.accepted
         );
         group.bench_function(format!("xor_cost_{xor_cost}"), |b| {
-            b.iter(|| engine.run(&aig, &mut OptContext::default()));
+            b.iter(|| engine.optimize(&aig, &EngineCtx::new(&Budget::unlimited())));
         });
     }
     group.finish();

@@ -6,7 +6,8 @@
 //! script, on EPFL-style workloads (reduced scale).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sbm_core::engine::{Bdiff, Engine, Gradient, Hetero, Mspf, OptContext};
+use sbm_budget::Budget;
+use sbm_core::engine::{Bdiff, Engine, EngineCtx, Gradient, Hetero, Mspf};
 use sbm_core::gradient::GradientOptions;
 use sbm_core::script::resyn2rs;
 use sbm_epfl::{generate, Scale};
@@ -21,13 +22,13 @@ fn bench_engines(c: &mut Criterion) {
     group.sample_size(10);
     for (name, aig) in &workloads {
         group.bench_function(format!("bdiff/{name}"), |b| {
-            b.iter(|| Bdiff::default().run(aig, &mut OptContext::default()));
+            b.iter(|| Bdiff::default().optimize(aig, &EngineCtx::new(&Budget::unlimited())));
         });
         group.bench_function(format!("mspf/{name}"), |b| {
-            b.iter(|| Mspf::default().run(aig, &mut OptContext::default()));
+            b.iter(|| Mspf::default().optimize(aig, &EngineCtx::new(&Budget::unlimited())));
         });
         group.bench_function(format!("hetero/{name}"), |b| {
-            b.iter(|| Hetero::default().run(aig, &mut OptContext::default()));
+            b.iter(|| Hetero::default().optimize(aig, &EngineCtx::new(&Budget::unlimited())));
         });
         group.bench_function(format!("gradient/{name}"), |b| {
             let engine = Gradient {
@@ -37,7 +38,7 @@ fn bench_engines(c: &mut Criterion) {
                     ..Default::default()
                 },
             };
-            b.iter(|| engine.run(aig, &mut OptContext::default()));
+            b.iter(|| engine.optimize(aig, &EngineCtx::new(&Budget::unlimited())));
         });
         group.bench_function(format!("resyn2rs/{name}"), |b| b.iter(|| resyn2rs(aig)));
     }

@@ -8,7 +8,8 @@
 //! QoR" versus the parallel model (Section IV-A).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sbm_core::engine::{Engine, Gradient, OptContext};
+use sbm_budget::Budget;
+use sbm_core::engine::{Engine, EngineCtx, Gradient};
 use sbm_core::gradient::{GradientOptions, Selection};
 use sbm_epfl::{generate, Scale};
 
@@ -29,7 +30,7 @@ fn bench_selection_models(c: &mut Criterion) {
         let engine = Gradient {
             options: opts.clone(),
         };
-        let result = engine.run(&aig, &mut OptContext::default());
+        let result = engine.optimize(&aig, &EngineCtx::new(&Budget::unlimited()));
         eprintln!(
             "gradient {label}: {} -> {} nodes ({} moves tried, {} accepted)",
             aig.num_ands(),
@@ -38,7 +39,7 @@ fn bench_selection_models(c: &mut Criterion) {
             result.stats.accepted
         );
         group.bench_function(label, |b| {
-            b.iter(|| engine.run(&aig, &mut OptContext::default()));
+            b.iter(|| engine.optimize(&aig, &EngineCtx::new(&Budget::unlimited())));
         });
     }
     group.finish();
@@ -57,14 +58,16 @@ fn bench_budgets(c: &mut Criterion) {
         let engine = Gradient {
             options: opts.clone(),
         };
-        let out = engine.run(&aig, &mut OptContext::default()).aig;
+        let out = engine
+            .optimize(&aig, &EngineCtx::new(&Budget::unlimited()))
+            .aig;
         eprintln!(
             "gradient budget {budget}: {} -> {} nodes",
             aig.num_ands(),
             out.num_ands()
         );
         group.bench_function(format!("budget_{budget}"), |b| {
-            b.iter(|| engine.run(&aig, &mut OptContext::default()));
+            b.iter(|| engine.optimize(&aig, &EngineCtx::new(&Budget::unlimited())));
         });
     }
     group.finish();

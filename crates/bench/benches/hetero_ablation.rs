@@ -9,7 +9,8 @@
 //! Also compares the sequential and parallel threshold evaluation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sbm_core::engine::{Engine, Hetero, OptContext};
+use sbm_budget::Budget;
+use sbm_core::engine::{Engine, EngineCtx, Hetero};
 use sbm_core::hetero::{HeteroOptions, DEFAULT_THRESHOLDS};
 use sbm_epfl::{generate, Scale};
 
@@ -27,19 +28,21 @@ fn bench_hetero_vs_homogeneous(c: &mut Criterion) {
         let engine = Hetero {
             options: opts.clone(),
         };
-        let out = engine.run(&aig, &mut OptContext::default()).aig;
+        let out = engine
+            .optimize(&aig, &EngineCtx::new(&Budget::unlimited()))
+            .aig;
         eprintln!(
             "homogeneous t={t}: {} -> {} nodes",
             aig.num_ands(),
             out.num_ands()
         );
         group.bench_function(format!("homogeneous_{t}"), |b| {
-            b.iter(|| engine.run(&aig, &mut OptContext::default()));
+            b.iter(|| engine.optimize(&aig, &EngineCtx::new(&Budget::unlimited())));
         });
     }
     // Heterogeneous: the full ladder, best per partition.
     let engine = Hetero::default();
-    let result = engine.run(&aig, &mut OptContext::default());
+    let result = engine.optimize(&aig, &EngineCtx::new(&Budget::unlimited()));
     eprintln!(
         "heterogeneous ladder {:?}: {} -> {} nodes ({} partitions improved)",
         DEFAULT_THRESHOLDS,
@@ -48,7 +51,7 @@ fn bench_hetero_vs_homogeneous(c: &mut Criterion) {
         result.stats.accepted
     );
     group.bench_function("heterogeneous", |b| {
-        b.iter(|| engine.run(&aig, &mut OptContext::default()));
+        b.iter(|| engine.optimize(&aig, &EngineCtx::new(&Budget::unlimited())));
     });
     group.finish();
 }
@@ -60,7 +63,12 @@ fn bench_parallel_vs_sequential(c: &mut Criterion) {
     for (label, threads) in [("parallel", 8), ("sequential", 1)] {
         let engine = Hetero::default();
         group.bench_function(label, |b| {
-            b.iter(|| engine.run(&aig, &mut OptContext::with_threads(threads)));
+            b.iter(|| {
+                engine.optimize(
+                    &aig,
+                    &EngineCtx::new(&Budget::unlimited()).with_threads(threads),
+                )
+            });
         });
     }
     group.finish();

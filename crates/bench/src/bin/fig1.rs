@@ -7,7 +7,8 @@
 //! and prints the before/after structure.
 
 use sbm_aig::Aig;
-use sbm_core::engine::{Bdiff, Engine, OptContext};
+use sbm_budget::Budget;
+use sbm_core::engine::{Bdiff, Engine, EngineCtx};
 
 fn main() {
     // f and g share a small Boolean difference but no structure:
@@ -40,7 +41,7 @@ fn main() {
         aig.depth()
     );
 
-    let result = Bdiff::default().run(&aig, &mut OptContext::default());
+    let result = Bdiff::default().optimize(&aig, &EngineCtx::new(&Budget::unlimited()));
     let optimized = result.aig;
     println!(
         "(b) after f ← (∂f/∂g) ⊕ g: {} AND nodes, {} levels",

@@ -9,8 +9,9 @@
 
 use std::time::Instant;
 
+use sbm_budget::Budget;
 use sbm_core::engine::{
-    Balance, Bdiff, Engine, Gradient, Hetero, Mspf, OptContext, Refactor, Resub, Rewrite,
+    Balance, Bdiff, Engine, EngineCtx, Gradient, Hetero, Mspf, Refactor, Resub, Rewrite,
 };
 use sbm_core::script::resyn2rs;
 use sbm_epfl::{generate, Scale};
@@ -37,7 +38,8 @@ fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "div".into());
     let aig = generate(&name, Scale::Reduced).expect("known benchmark");
     println!("{name}: {} nodes unoptimized", aig.num_ands());
-    let mut ctx = OptContext::default();
+    let budget = Budget::unlimited();
+    let ctx = EngineCtx::new(&budget);
     let engines: Vec<Box<dyn Engine>> = vec![
         Box::new(Rewrite::default()),
         Box::new(Refactor::default()),
@@ -48,10 +50,10 @@ fn main() {
         Box::new(Bdiff::default()),
     ];
     let mut cur = aig;
-    cur = stage("balance", &cur, |a| Balance.run(a, &mut ctx).aig);
+    cur = stage("balance", &cur, |a| Balance.optimize(a, &ctx).aig);
     cur = stage("resyn2rs", &cur, resyn2rs);
     for engine in &engines {
-        cur = stage(engine.name(), &cur, |a| engine.run(a, &mut ctx).aig);
+        cur = stage(engine.name(), &cur, |a| engine.optimize(a, &ctx).aig);
     }
     cur = stage("sweep", &cur, |a| {
         let mut w = a.cleanup();

@@ -1,13 +1,16 @@
 //! Validates a `BENCH_*.json` run report with the same strict decoder
 //! the tools serialize with — the CI gate against schema drift.
 //!
-//! Usage: `report_check PATH [--require-bdd]`.
+//! Usage: `report_check PATH [--require-bdd] [--require-sim]`.
 //!
 //! The file must decode via `RunReport::from_json` (strict: a missing,
 //! unknown or mistyped field, or a schema-version mismatch, fails) and
 //! re-encode byte-identically. `--require-bdd` additionally demands
 //! nonzero aggregated BDD counters and a nonempty per-engine latency
 //! histogram — the layers this schema exists to stop discarding.
+//! `--require-sim` demands live simulation-filter counters (some
+//! candidates filtered, i.e. `hits + misses > 0`) — the gate that the
+//! signature service is actually consulted, not silently bypassed.
 
 use sbm_metrics::RunReport;
 
@@ -19,8 +22,9 @@ fn fail(msg: &str) -> ! {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let require_bdd = args.iter().any(|a| a == "--require-bdd");
+    let require_sim = args.iter().any(|a| a == "--require-sim");
     let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
-        eprintln!("usage: report_check PATH [--require-bdd]");
+        eprintln!("usage: report_check PATH [--require-bdd] [--require-sim]");
         std::process::exit(2);
     };
 
@@ -51,6 +55,13 @@ fn main() {
                 "{path}: every per-engine latency histogram is empty"
             ));
         }
+    }
+
+    if require_sim && report.sim_filter.hits + report.sim_filter.misses == 0 {
+        fail(&format!(
+            "{path}: sim_filter counters are zero — the signature service \
+             is not filtering candidates"
+        ));
     }
 
     println!(

@@ -25,8 +25,10 @@
 //! `DIR`; `--resume` continues an interrupted checkpointed run (a
 //! benchmark whose checkpoint is missing or unusable is re-run fresh and
 //! the typed error reported). `--only NAMES` restricts the run to
-//! benchmarks matching any comma-separated substring. `--report-json
-//! PATH` writes the aggregated run as a serialized `RunReport`.
+//! benchmarks matching any comma-separated substring. `--sim-filter off`
+//! disables the simulation-signature candidate filter (see
+//! `SbmOptions::sim_filter`). `--report-json PATH` writes the aggregated
+//! run as a serialized `RunReport`.
 
 use sbm_core::pipeline::PipelineReport;
 use sbm_core::script::{resyn2rs_fixpoint, sbm_script_report, sbm_script_resumable, SbmOptions};
@@ -48,11 +50,13 @@ fn main() {
     let (ckpt_root, resume) = sbm_bench::checkpoint_args();
     let only = sbm_bench::only_arg();
     let report_json = sbm_bench::report_json_arg();
+    let sim_filter = sbm_bench::sim_filter_arg();
     let scale = if full { Scale::Full } else { Scale::Reduced };
     println!("Table I — New Best Area Results For The EPFL Suite (LUT-6)");
     println!(
-        "scale: {scale:?}, threads: {threads}, check: {check}  \
-         (paper sizes with --full; see EXPERIMENTS.md)"
+        "scale: {scale:?}, threads: {threads}, check: {check}, sim filter: {}  \
+         (paper sizes with --full; see EXPERIMENTS.md)",
+        if sim_filter { "on" } else { "off" }
     );
     if let Some(deadline) = deadline {
         println!("deadline: {:.1}s per script run", deadline.as_secs_f64());
@@ -97,6 +101,7 @@ fn main() {
             .check_level(check)
             .deadline(deadline)
             .fault_plan(fault_plan)
+            .sim_filter(sim_filter)
             .checkpoint_dir(ckpt_root.as_ref().map(|d| d.join(name)))
             .build()
             .expect("valid options");

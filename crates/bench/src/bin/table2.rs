@@ -11,16 +11,20 @@
 //! monolithically to `i2c` and `cavlc`).
 //!
 //! Usage: `table2 [--full] [--threads N] [--deadline SECONDS]
-//! [--checkpoint DIR [--resume]] [--only NAMES] [--report-json PATH]`.
+//! [--checkpoint DIR [--resume]] [--only NAMES] [--sim-filter on|off]
+//! [--report-json PATH]`.
 //! `--checkpoint DIR` persists crash-safe progress per benchmark under
 //! `DIR`; `--resume` continues an interrupted checkpointed run. `--only
 //! NAMES` restricts the run to benchmarks matching any comma-separated
-//! substring. `--report-json PATH` writes the aggregated run as a
-//! serialized `RunReport` (the script wall and the Section III-B
-//! monolithic timings land in its `extra` counters).
+//! substring. `--sim-filter off` disables the simulation-signature
+//! candidate filter (see `SbmOptions::sim_filter`). `--report-json PATH`
+//! writes the aggregated run as a serialized `RunReport` (the script wall
+//! and the Section III-B monolithic timings land in its `extra`
+//! counters).
 
+use sbm_budget::Budget;
 use sbm_core::bdiff::BdiffOptions;
-use sbm_core::engine::{Bdiff, Engine, OptContext};
+use sbm_core::engine::{Bdiff, Engine, EngineCtx};
 use sbm_core::pipeline::PipelineReport;
 use sbm_core::script::{resyn2rs_fixpoint, sbm_script_report, sbm_script_resumable, SbmOptions};
 use sbm_epfl::{benchmark, Scale};
@@ -39,9 +43,13 @@ fn main() {
     let (ckpt_root, resume) = sbm_bench::checkpoint_args();
     let only = sbm_bench::only_arg();
     let report_json = sbm_bench::report_json_arg();
+    let sim_filter = sbm_bench::sim_filter_arg();
     let scale = if full { Scale::Full } else { Scale::Reduced };
     println!("Table II — Smallest AIG Results For The EPFL Suite");
-    println!("scale: {scale:?}, threads: {threads}");
+    println!(
+        "scale: {scale:?}, threads: {threads}, sim filter: {}",
+        if sim_filter { "on" } else { "off" }
+    );
     if let Some(root) = &ckpt_root {
         println!(
             "checkpoint: {} ({})",
@@ -69,6 +77,7 @@ fn main() {
         let options = SbmOptions::builder()
             .num_threads(threads)
             .deadline(deadline)
+            .sim_filter(sim_filter)
             .checkpoint_dir(ckpt_root.as_ref().map(|d| d.join(name)))
             .build()
             .expect("valid options");
@@ -138,7 +147,7 @@ fn main() {
         opts.partition.max_inputs = usize::MAX;
         let timer = Timer::start();
         let engine = Bdiff { options: opts };
-        let result = engine.run(&aig, &mut OptContext::default());
+        let result = engine.optimize(&aig, &EngineCtx::new(&Budget::unlimited()));
         let wall = timer.stop();
         extra.add(&format!("monolithic_bdiff_{name}_us"), micros(wall));
         println!(

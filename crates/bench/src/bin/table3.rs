@@ -7,11 +7,14 @@
 //! WNS, TNS and runtime, averaged w.r.t. baseline.
 //!
 //! Usage: `table3 [--designs N] [--threads N] [--checkpoint DIR
-//! [--resume]] [--report-json PATH]` (default 33 designs, serial, no
-//! checkpointing). `--checkpoint DIR` persists each design's optimization
-//! progress under `DIR/<design>`; `--resume` continues an interrupted run
-//! from there. `--report-json PATH` writes the aggregated run as a
-//! serialized `RunReport`.
+//! [--resume]] [--sim-filter on|off] [--report-json PATH]` (default 33
+//! designs, serial, no checkpointing, filter on). `--checkpoint DIR`
+//! persists each design's optimization progress under `DIR/<design>`;
+//! `--resume` continues an interrupted run from there. `--sim-filter off`
+//! disables the simulation-signature candidate filter in the proposed
+//! flow (useful for measuring the filter's effect; see
+//! `SbmOptions::sim_filter`). `--report-json PATH` writes the aggregated
+//! run as a serialized `RunReport`.
 
 use sbm_asic::designs::industrial_designs;
 use sbm_asic::flow::{compare_flows_checkpointed, summarize, FlowCheckpoint};
@@ -28,8 +31,13 @@ fn main() {
     let threads = sbm_bench::threads_arg();
     let (ckpt_root, resume) = sbm_bench::checkpoint_args();
     let report_json = sbm_bench::report_json_arg();
+    let sim_filter = sbm_bench::sim_filter_arg();
     let checkpoint = ckpt_root.map(|root| FlowCheckpoint { root, resume });
-    println!("Table III — Post-implementation results on {n} industrial-like designs (threads: {threads})");
+    println!(
+        "Table III — Post-implementation results on {n} industrial-like designs \
+         (threads: {threads}, sim filter: {})",
+        if sim_filter { "on" } else { "off" }
+    );
     if let Some(ck) = &checkpoint {
         println!(
             "checkpoint: {} ({})",
@@ -55,8 +63,14 @@ fn main() {
     let rows: Vec<_> = designs
         .iter()
         .map(|d| {
-            let row =
-                compare_flows_checkpointed(&d.name, &d.aig, 0.85, threads, checkpoint.as_ref());
+            let row = compare_flows_checkpointed(
+                &d.name,
+                &d.aig,
+                0.85,
+                threads,
+                checkpoint.as_ref(),
+                sim_filter,
+            );
             pipeline_report.merge(&row.pipeline);
             println!(
                 "{:<10} {:>10.1} {:>10.1} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>8.2} {:>8.2}",

@@ -10,17 +10,20 @@ use std::time::Duration;
 
 use sbm_aig::Aig;
 use sbm_check::{CheckLevel, FaultPlan};
-use sbm_sat::equiv::{check_equivalence, EquivResult};
+use sbm_sat::{EquivalenceOracle, MiterOracle, Verdict};
 
 /// Verifies optimization results the way the paper does ("verified with
 /// an industrial formal equivalence checking flow"): SAT miter with a
 /// budget, falling back to random simulation screening on big designs.
 pub fn verify_pair(original: &Aig, optimized: &Aig, sat_node_limit: usize) -> &'static str {
     if original.num_ands().max(optimized.num_ands()) <= sat_node_limit {
-        match check_equivalence(original, optimized, Some(200_000)) {
-            EquivResult::Equivalent => "eq(SAT)",
-            EquivResult::Unknown => "eq(sim)", // budget out: fall back below
-            EquivResult::NotEquivalent(_) => "MISMATCH",
+        match MiterOracle::new()
+            .with_conflict_budget(Some(200_000))
+            .check(original, optimized)
+        {
+            Verdict::Equivalent => "eq(SAT)",
+            Verdict::Unknown => "eq(sim)", // budget out: fall back below
+            Verdict::Refuted(_) => "MISMATCH",
         }
     } else if sim_equal(original, optimized) {
         "eq(sim)"
@@ -54,6 +57,34 @@ pub fn threads_arg() -> usize {
         }
     }
     1
+}
+
+/// Parses the shared `--sim-filter on|off` CLI argument of the table
+/// binaries (default `on`): whether runs maintain the shared
+/// simulation-signature service that filters candidates before BDD/SAT
+/// work and harvests counterexamples from failed equivalence checks.
+/// The filter is a sound necessary condition (it never costs quality),
+/// but `on` also pins runs to the thread-count-invariant windowed
+/// schedule; see `SbmOptions::sim_filter`.
+pub fn sim_filter_arg() -> bool {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--sim-filter" {
+            let Some(value) = args.next() else {
+                eprintln!("--sim-filter needs a value: on | off");
+                std::process::exit(2);
+            };
+            return match value.as_str() {
+                "on" => true,
+                "off" => false,
+                other => {
+                    eprintln!("--sim-filter needs on|off, got {other:?}");
+                    std::process::exit(2);
+                }
+            };
+        }
+    }
+    true
 }
 
 /// Parses the shared `--check off|boundaries|paranoid` CLI argument of

@@ -81,7 +81,7 @@ fn collect_and_leaves(aig: &Aig, id: NodeId, fanout_counts: &[u32], leaves: &mut
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sbm_sat::equiv::{check_equivalence, EquivResult};
+    use sbm_sat::{EquivalenceOracle, MiterOracle, Verdict};
 
     #[test]
     fn balances_chain_to_log_depth() {
@@ -97,8 +97,8 @@ mod tests {
         assert_eq!(balanced.depth(), 3);
         assert_eq!(balanced.num_ands(), 7);
         assert_eq!(
-            check_equivalence(&aig, &balanced, None),
-            EquivResult::Equivalent
+            MiterOracle::new().check(&aig, &balanced),
+            Verdict::Equivalent
         );
     }
 
@@ -114,8 +114,8 @@ mod tests {
         aig.add_output(ab); // ab is shared: must stay a tree boundary
         let balanced = balance(&aig);
         assert_eq!(
-            check_equivalence(&aig, &balanced, None),
-            EquivResult::Equivalent
+            MiterOracle::new().check(&aig, &balanced),
+            Verdict::Equivalent
         );
         assert_eq!(balanced.num_ands(), 2);
     }
@@ -136,8 +136,8 @@ mod tests {
         let balanced = balance(&aig);
         assert!(balanced.depth() <= aig.depth());
         assert_eq!(
-            check_equivalence(&aig, &balanced, None),
-            EquivResult::Equivalent
+            MiterOracle::new().check(&aig, &balanced),
+            Verdict::Equivalent
         );
     }
 }

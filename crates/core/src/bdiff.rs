@@ -13,12 +13,14 @@
 //! (default 10), `xor_cost`-aware saving check against `mffc(f)`,
 //! structural support filters, and a BDD node limit with bail-out.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
+use sbm_aig::sim::Signatures;
 use sbm_aig::window::{partition, PartitionOptions};
 use sbm_aig::{Aig, Lit, NodeId};
 use sbm_bdd::{Bdd, BddManager};
 use sbm_budget::Budget;
+use sbm_sim::{record_filter_hits, record_filter_misses, SigService};
 
 use crate::bdd_bridge::{bdd_to_aig, pooled_manager, recycle_manager, window_bdds};
 use crate::rewrite::{cut_mffc, cut_mffc_set};
@@ -87,9 +89,27 @@ pub(crate) fn boolean_difference_resub_budgeted(
     options: &BdiffOptions,
     budget: &Budget,
 ) -> (Aig, BdiffStats) {
+    boolean_difference_resub_filtered(aig, options, budget, None)
+}
+
+/// Like [`boolean_difference_resub_budgeted`], but with signature-based
+/// pair screening: when `sim` is present, a candidate pair whose
+/// difference signature matches no existing window signal and whose
+/// saving cannot cover even a single-node difference network is rejected
+/// before the difference BDD is built. The filter is a sound necessary
+/// condition of [`evaluate_pair`]'s saving check, so the accepted
+/// rewrites are unchanged. Bdiff rewrites are exact (`f = (f ⊕ g) ⊕ g`),
+/// so one signature computation stays valid across the whole pass.
+pub(crate) fn boolean_difference_resub_filtered(
+    aig: &Aig,
+    options: &BdiffOptions,
+    budget: &Budget,
+    sim: Option<&SigService>,
+) -> (Aig, BdiffStats) {
     let mut work = aig.cleanup();
     let mut stats = BdiffStats::default();
     let parts = partition(&work, &options.partition);
+    let sig: Option<Signatures> = sim.map(|svc| svc.signatures(&work));
     for part in &parts {
         if budget.check().is_err() {
             break;
@@ -130,6 +150,21 @@ pub(crate) fn boolean_difference_resub_budgeted(
             .iter()
             .filter_map(|(&n, &b)| b.map(|b| (n, mgr.support(b))))
             .collect();
+        // Signatures of every reusable window literal (both phases, plus
+        // the constants): a difference can only take the Reuse fast path
+        // if its signature appears here.
+        let lit_sigs: Option<HashSet<Vec<u64>>> = sig.as_ref().map(|sig| {
+            let words = sig.words_per_node();
+            let mut set: HashSet<Vec<u64>> = HashSet::new();
+            set.insert(vec![0u64; words]);
+            set.insert(vec![u64::MAX; words]);
+            for &n in part.leaves.iter().chain(part.nodes.iter()) {
+                for lit in [Lit::new(n, false), Lit::new(n, true)] {
+                    set.insert((0..words).map(|w| sig.lit_word(lit, w)).collect());
+                }
+            }
+            set
+        });
 
         for &f in &part.nodes {
             if budget.check().is_err() {
@@ -196,6 +231,23 @@ pub(crate) fn boolean_difference_resub_budgeted(
                 } else {
                     freed.len()
                 };
+                // Signature prefilter: the Reuse path needs the difference
+                // to match an existing window signal; the Build path needs
+                // saving ≥ diff_size + xor_cost with diff_size ≥ 1. A pair
+                // failing both provably fails `evaluate_pair`, so skipping
+                // its BDD XOR changes nothing.
+                if let (Some(sig), Some(lit_sigs)) = (sig.as_ref(), lit_sigs.as_ref()) {
+                    let words = sig.words_per_node();
+                    let diff_sig: Vec<u64> = (0..words)
+                        .map(|w| sig.node_word(f, w) ^ sig.node_word(g, w))
+                        .collect();
+                    let reuse_possible = lit_sigs.contains(&diff_sig);
+                    if !reuse_possible && saving < options.xor_cost + 1 {
+                        record_filter_hits(1);
+                        continue;
+                    }
+                    record_filter_misses(1);
+                }
                 if let Some(candidate) = evaluate_pair(
                     &mut mgr, &all_bdds, saving, f, g, bf, bg, options, &mut stats,
                 ) {
@@ -346,7 +398,7 @@ fn apply_candidate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sbm_sat::equiv::{check_equivalence, EquivResult};
+    use sbm_sat::{EquivalenceOracle, MiterOracle, Verdict};
 
     /// The Fig. 1 flavor of circuit: f and g share most of their logic, so
     /// the Boolean difference is tiny.
@@ -375,8 +427,8 @@ mod tests {
         let (optimized, stats) = boolean_difference_resub_impl(&aig, &BdiffOptions::default());
         assert!(optimized.num_ands() <= before, "never worse");
         assert_eq!(
-            check_equivalence(&aig, &optimized, None),
-            EquivResult::Equivalent
+            MiterOracle::new().check(&aig, &optimized),
+            Verdict::Equivalent
         );
         assert!(stats.windows >= 1);
     }
@@ -402,8 +454,8 @@ mod tests {
         let before = aig.num_ands();
         let (optimized, stats) = boolean_difference_resub_impl(&aig, &BdiffOptions::default());
         assert_eq!(
-            check_equivalence(&aig, &optimized, None),
-            EquivResult::Equivalent
+            MiterOracle::new().check(&aig, &optimized),
+            Verdict::Equivalent
         );
         assert!(
             optimized.num_ands() <= before,
@@ -448,8 +500,8 @@ mod tests {
             let (optimized, _) = boolean_difference_resub_impl(&clean, &BdiffOptions::default());
             assert!(optimized.num_ands() <= clean.num_ands());
             assert_eq!(
-                check_equivalence(&clean, &optimized, None),
-                EquivResult::Equivalent
+                MiterOracle::new().check(&clean, &optimized),
+                Verdict::Equivalent
             );
         }
     }

@@ -15,19 +15,24 @@ use std::time::Duration;
 
 use sbm_aig::Aig;
 use sbm_budget::Budget;
-use sbm_check::{check_aig, sim_spot_check, CheckError};
+use sbm_check::{check_aig, sim_spot_check, CheckError, CheckLevel, FaultPlan};
 use sbm_metrics::Timer;
+use sbm_sim::SigService;
 
 use crate::balance::balance;
-use crate::bdiff::{boolean_difference_resub_budgeted, BdiffOptions};
-use crate::gradient::{gradient_optimize_budgeted, GradientOptions};
+use crate::bdiff::{boolean_difference_resub_filtered, BdiffOptions};
+use crate::gradient::{gradient_optimize_filtered, GradientOptions};
 use crate::hetero::{hetero_eliminate_kernel_impl, HeteroOptions};
-use crate::mspf::{mspf_optimize_budgeted, MspfOptions};
+use crate::mspf::{mspf_optimize_filtered, MspfOptions};
 use crate::refactor::{refactor_impl, RefactorOptions};
 use crate::resub::{resub_impl, ResubOptions};
 use crate::rewrite::{rewrite_impl, RewriteOptions};
 
 /// Shared context handed to every engine invocation.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a borrowed `EngineCtx` and call `Engine::optimize` instead"
+)]
 #[derive(Debug, Clone)]
 pub struct OptContext {
     /// Worker threads available to the engine (1 = strictly serial).
@@ -38,6 +43,7 @@ pub struct OptContext {
     pub budget: Budget,
 }
 
+#[allow(deprecated)]
 impl Default for OptContext {
     fn default() -> Self {
         OptContext {
@@ -47,6 +53,7 @@ impl Default for OptContext {
     }
 }
 
+#[allow(deprecated)]
 impl OptContext {
     /// A context with `num_threads` workers and an unlimited budget.
     pub fn with_threads(num_threads: usize) -> Self {
@@ -61,6 +68,103 @@ impl OptContext {
     pub fn with_budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
         self
+    }
+}
+
+/// Borrowed per-invocation context for [`Engine::optimize`] — the one
+/// bundle every engine receives, replacing the owned
+/// [`OptContext`]-plus-side-channels of the pre-redesign API.
+///
+/// All fields are private behind typed accessors so the set can grow
+/// without breaking implementors; construction is builder-style from a
+/// borrowed [`Budget`]:
+///
+/// ```
+/// use sbm_budget::Budget;
+/// use sbm_core::engine::{Engine, EngineCtx, Mspf};
+///
+/// let budget = Budget::unlimited();
+/// let ctx = EngineCtx::new(&budget).with_threads(2);
+/// let aig = sbm_aig::Aig::new();
+/// let result = Mspf::default().optimize(&aig, &ctx);
+/// assert_eq!(result.stats.gain, 0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct EngineCtx<'a> {
+    num_threads: usize,
+    check_level: CheckLevel,
+    budget: &'a Budget,
+    fault_plan: Option<&'a FaultPlan>,
+    sim: Option<&'a SigService>,
+}
+
+impl<'a> EngineCtx<'a> {
+    /// A serial, check-free, fault-free, unfiltered context over `budget`.
+    pub fn new(budget: &'a Budget) -> Self {
+        EngineCtx {
+            num_threads: 1,
+            check_level: CheckLevel::Off,
+            budget,
+            fault_plan: None,
+            sim: None,
+        }
+    }
+
+    /// Sets the worker-thread count (1 = strictly serial).
+    #[must_use]
+    pub fn with_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Sets the invariant-checking level the caller runs this engine at.
+    #[must_use]
+    pub fn with_check_level(mut self, check_level: CheckLevel) -> Self {
+        self.check_level = check_level;
+        self
+    }
+
+    /// Attaches a deterministic fault-injection plan (tests only).
+    #[must_use]
+    pub fn with_fault_plan(mut self, fault_plan: Option<&'a FaultPlan>) -> Self {
+        self.fault_plan = fault_plan;
+        self
+    }
+
+    /// Attaches the shared simulation-signature service; engines with
+    /// expensive (BDD/SAT) candidate evaluation use it to reject
+    /// candidates whose signatures differ on observable bits.
+    #[must_use]
+    pub fn with_sim(mut self, sim: Option<&'a SigService>) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Worker threads available to the engine (1 = strictly serial).
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// The invariant-checking level of the surrounding run.
+    pub fn check_level(&self) -> CheckLevel {
+        self.check_level
+    }
+
+    /// The resource budget (wall-clock deadline / cancellation) the
+    /// engine must honor.
+    pub fn budget(&self) -> &'a Budget {
+        self.budget
+    }
+
+    /// The fault-injection plan of the surrounding run, if any.
+    pub fn fault_plan(&self) -> Option<&'a FaultPlan> {
+        self.fault_plan
+    }
+
+    /// The shared simulation-signature service, if candidate filtering
+    /// is enabled for this run.
+    pub fn sim(&self) -> Option<&'a SigService> {
+        self.sim
     }
 }
 
@@ -131,7 +235,21 @@ pub trait Engine: Send + Sync {
     /// Short engine name (used in reports and logs).
     fn name(&self) -> &str;
     /// Runs the pass. Implementations never return a larger network.
-    fn run(&self, aig: &Aig, ctx: &mut OptContext) -> EngineResult;
+    fn optimize(&self, aig: &Aig, ctx: &EngineCtx<'_>) -> EngineResult;
+    /// Pre-redesign entry point; forwards to [`Engine::optimize`] with a
+    /// context carrying the same threads and budget (no checks, no
+    /// faults, no simulation filtering).
+    #[deprecated(
+        since = "0.1.0",
+        note = "call `optimize` with a borrowed `EngineCtx` instead"
+    )]
+    #[allow(deprecated)]
+    fn run(&self, aig: &Aig, ctx: &mut OptContext) -> EngineResult {
+        self.optimize(
+            aig,
+            &EngineCtx::new(&ctx.budget).with_threads(ctx.num_threads),
+        )
+    }
     /// A cheaper preset of this engine for the pipeline's retry ladder:
     /// after a failed invocation (panic or forced bailout) the window is
     /// retried once on this variant before degrading to its original
@@ -190,12 +308,12 @@ impl fmt::Display for CheckViolation {
 ///
 /// This is the primitive behind
 /// [`CheckLevel::Paranoid`](sbm_check::CheckLevel::Paranoid); callers at
-/// `Off` should invoke [`Engine::run`] directly (this wrapper costs two
-/// structural walks and two simulation sweeps per invocation).
+/// `Off` should invoke [`Engine::optimize`] directly (this wrapper costs
+/// two structural walks and two simulation sweeps per invocation).
 pub fn run_checked(
     engine: &dyn Engine,
     aig: &Aig,
-    ctx: &mut OptContext,
+    ctx: &EngineCtx<'_>,
     window: Option<usize>,
 ) -> (EngineResult, Vec<CheckViolation>) {
     let violation = |stage, error| CheckViolation {
@@ -215,7 +333,7 @@ pub fn run_checked(
             vec![violation("pre", error)],
         );
     }
-    let result = engine.run(aig, ctx);
+    let result = engine.optimize(aig, ctx);
     let error =
         check_aig(&result.aig).and_then(|()| sim_spot_check(aig, &result.aig, SPOT_CHECK_SEED));
     match error {
@@ -265,7 +383,7 @@ impl Engine for Balance {
         "balance"
     }
 
-    fn run(&self, aig: &Aig, _ctx: &mut OptContext) -> EngineResult {
+    fn optimize(&self, aig: &Aig, _ctx: &EngineCtx<'_>) -> EngineResult {
         timed(
             aig,
             |a| (balance(a), ()),
@@ -289,7 +407,7 @@ impl Engine for Rewrite {
         "rewrite"
     }
 
-    fn run(&self, aig: &Aig, _ctx: &mut OptContext) -> EngineResult {
+    fn optimize(&self, aig: &Aig, _ctx: &EngineCtx<'_>) -> EngineResult {
         timed(
             aig,
             |a| rewrite_impl(a, &self.options),
@@ -313,7 +431,7 @@ impl Engine for Refactor {
         "refactor"
     }
 
-    fn run(&self, aig: &Aig, _ctx: &mut OptContext) -> EngineResult {
+    fn optimize(&self, aig: &Aig, _ctx: &EngineCtx<'_>) -> EngineResult {
         timed(
             aig,
             |a| refactor_impl(a, &self.options),
@@ -337,7 +455,7 @@ impl Engine for Resub {
         "resub"
     }
 
-    fn run(&self, aig: &Aig, _ctx: &mut OptContext) -> EngineResult {
+    fn optimize(&self, aig: &Aig, _ctx: &EngineCtx<'_>) -> EngineResult {
         timed(
             aig,
             |a| resub_impl(a, &self.options),
@@ -361,11 +479,10 @@ impl Engine for Mspf {
         "mspf"
     }
 
-    fn run(&self, aig: &Aig, ctx: &mut OptContext) -> EngineResult {
-        let budget = ctx.budget.clone();
+    fn optimize(&self, aig: &Aig, ctx: &EngineCtx<'_>) -> EngineResult {
         timed(
             aig,
-            |a| mspf_optimize_budgeted(a, &self.options, &budget),
+            |a| mspf_optimize_filtered(a, &self.options, ctx.budget(), ctx.sim()),
             |native, stats| {
                 stats.tried = native.mspf_computed;
                 stats.accepted = native.replaced + native.constants;
@@ -394,11 +511,10 @@ impl Engine for Bdiff {
         "bdiff"
     }
 
-    fn run(&self, aig: &Aig, ctx: &mut OptContext) -> EngineResult {
-        let budget = ctx.budget.clone();
+    fn optimize(&self, aig: &Aig, ctx: &EngineCtx<'_>) -> EngineResult {
         timed(
             aig,
-            |a| boolean_difference_resub_budgeted(a, &self.options, &budget),
+            |a| boolean_difference_resub_filtered(a, &self.options, ctx.budget(), ctx.sim()),
             |native, stats| {
                 stats.windows = native.windows;
                 stats.tried = native.pairs_tried;
@@ -418,7 +534,7 @@ impl Engine for Bdiff {
 
 /// Heterogeneous eliminate + kernel extraction as an [`Engine`].
 ///
-/// The only engine that consults [`OptContext::num_threads`] directly:
+/// The only engine that consults [`EngineCtx::num_threads`] directly:
 /// its internal threshold sweep runs on scoped threads unless the context
 /// demands strict serial execution.
 #[derive(Debug, Clone, Default)]
@@ -432,9 +548,9 @@ impl Engine for Hetero {
         "hetero"
     }
 
-    fn run(&self, aig: &Aig, ctx: &mut OptContext) -> EngineResult {
+    fn optimize(&self, aig: &Aig, ctx: &EngineCtx<'_>) -> EngineResult {
         let mut options = self.options.clone();
-        options.parallel = ctx.num_threads > 1;
+        options.parallel = ctx.num_threads() > 1;
         timed(
             aig,
             |a| hetero_eliminate_kernel_impl(a, &options),
@@ -459,13 +575,12 @@ impl Engine for Gradient {
         "gradient"
     }
 
-    fn run(&self, aig: &Aig, ctx: &mut OptContext) -> EngineResult {
+    fn optimize(&self, aig: &Aig, ctx: &EngineCtx<'_>) -> EngineResult {
         let mut options = self.options.clone();
-        options.num_threads = options.num_threads.max(ctx.num_threads);
-        let budget = ctx.budget.clone();
+        options.num_threads = options.num_threads.max(ctx.num_threads());
         timed(
             aig,
-            |a| gradient_optimize_budgeted(a, &options, &budget),
+            |a| gradient_optimize_filtered(a, &options, ctx.budget(), ctx.sim()),
             |native, stats| {
                 for (_, record) in &native.records {
                     stats.tried += record.tried as usize;
@@ -519,9 +634,10 @@ mod tests {
     #[test]
     fn every_engine_preserves_function_and_never_grows() {
         let aig = benchmark_aig();
-        let mut ctx = OptContext::default();
+        let budget = Budget::unlimited();
+        let ctx = EngineCtx::new(&budget);
         for engine in all_engines() {
-            let result = engine.run(&aig, &mut ctx);
+            let result = engine.optimize(&aig, &ctx);
             assert!(
                 result.aig.num_ands() <= aig.num_ands(),
                 "{} grew the network",
@@ -539,6 +655,40 @@ mod tests {
                 engine.name()
             );
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_shim_matches_optimize() {
+        let aig = benchmark_aig();
+        for engine in all_engines() {
+            let mut old_ctx = OptContext::default();
+            let via_run = engine.run(&aig, &mut old_ctx);
+            let budget = Budget::unlimited();
+            let via_optimize = engine.optimize(&aig, &EngineCtx::new(&budget));
+            assert_eq!(
+                via_run.aig.num_ands(),
+                via_optimize.aig.num_ands(),
+                "{} shim diverged",
+                engine.name()
+            );
+            assert_eq!(via_run.stats.gain, via_optimize.stats.gain);
+        }
+    }
+
+    #[test]
+    fn engine_ctx_accessors_round_trip() {
+        let budget = Budget::unlimited();
+        let sim = SigService::default();
+        let ctx = EngineCtx::new(&budget)
+            .with_threads(4)
+            .with_check_level(CheckLevel::Paranoid)
+            .with_sim(Some(&sim));
+        assert_eq!(ctx.num_threads(), 4);
+        assert_eq!(ctx.check_level(), CheckLevel::Paranoid);
+        assert!(ctx.fault_plan().is_none());
+        assert!(ctx.sim().is_some());
+        assert!(ctx.budget().check().is_ok());
     }
 
     #[test]

@@ -11,11 +11,12 @@
 
 use sbm_aig::Aig;
 use sbm_budget::Budget;
+use sbm_sim::SigService;
 
 use crate::balance::balance;
-use crate::bdiff::{boolean_difference_resub_budgeted, BdiffOptions};
+use crate::bdiff::{boolean_difference_resub_filtered, BdiffOptions};
 use crate::hetero::{hetero_eliminate_kernel_impl, HeteroOptions};
-use crate::mspf::{mspf_optimize_budgeted, MspfOptions};
+use crate::mspf::{mspf_optimize_filtered, MspfOptions};
 use crate::refactor::{refactor_impl, RefactorOptions};
 use crate::resub::{resub_impl, ResubOptions};
 use crate::rewrite::{rewrite_impl, RewriteOptions};
@@ -123,8 +124,28 @@ impl Move {
         num_threads: usize,
         budget: &Budget,
     ) -> (Aig, u64) {
-        if num_threads > 1 {
-            return self.apply_parallel_budgeted(aig, num_threads, budget);
+        self.apply_filtered(aig, num_threads, budget, None)
+    }
+
+    /// [`Move::apply_budgeted`] with an optional simulation-signature
+    /// service threaded into the BDD-backed moves (mspf, bdiff) for
+    /// candidate prefiltering.
+    pub(crate) fn apply_filtered(
+        self,
+        aig: &Aig,
+        num_threads: usize,
+        budget: &Budget,
+        sim: Option<&SigService>,
+    ) -> (Aig, u64) {
+        // With the signature service active the move runs on the calling
+        // thread, monolithically, at *every* thread count: the windowed
+        // fan-out produces different (weaker, window-clipped) BDD moves
+        // and different filter counters than the monolithic pass, so
+        // routing by thread count would make both the result and the
+        // sim-filter tallies depend on `num_threads`. Parallelism still
+        // comes from the script's own windowed steps.
+        if num_threads > 1 && sim.is_none() {
+            return self.apply_parallel_budgeted(aig, num_threads, budget, sim);
         }
         match self {
             Move::Balance => (balance(aig), 0),
@@ -138,7 +159,7 @@ impl Move {
             }
             Move::MspfResub { high_effort } => {
                 let (aig, stats) =
-                    mspf_optimize_budgeted(aig, &Move::mspf_options(high_effort), budget);
+                    mspf_optimize_filtered(aig, &Move::mspf_options(high_effort), budget, sim);
                 (aig, stats.bailouts as u64)
             }
             Move::EliminateKernel { high_effort } => (
@@ -147,15 +168,21 @@ impl Move {
             ),
             Move::BooleanDifference => {
                 let (aig, stats) =
-                    boolean_difference_resub_budgeted(aig, &BdiffOptions::default(), budget);
+                    boolean_difference_resub_filtered(aig, &BdiffOptions::default(), budget, sim);
                 (aig, stats.bailouts as u64)
             }
         }
     }
 
-    fn apply_parallel_budgeted(self, aig: &Aig, num_threads: usize, budget: &Budget) -> (Aig, u64) {
+    fn apply_parallel_budgeted(
+        self,
+        aig: &Aig,
+        num_threads: usize,
+        budget: &Budget,
+        sim: Option<&SigService>,
+    ) -> (Aig, u64) {
         use crate::engine;
-        use crate::pipeline::parallel_pass_budgeted;
+        use crate::pipeline::parallel_pass_filtered;
         fn split(run: crate::engine::Optimized<crate::pipeline::PipelineReport>) -> (Aig, u64) {
             let bailouts = run
                 .stats
@@ -163,54 +190,62 @@ impl Move {
                 .iter()
                 .map(|(_, s)| s.bailouts as u64)
                 .sum();
-            // The inner report is discarded here — note its BDD/SAT
+            // The inner report is discarded here — note its BDD/SAT/sim
             // tallies back into this thread's accumulators so the work
             // still surfaces in the scheduler's enclosing scope.
             crate::bdd_bridge::note_bdd_tally(&run.stats.bdd);
             sbm_sat::note_sat_tally(&run.stats.sat);
+            sbm_sim::note_sim_tally(&run.stats.sim);
             (run.aig, bailouts)
         }
         match self {
             Move::Balance => (balance(aig), 0),
-            Move::Rewrite => split(parallel_pass_budgeted(
+            Move::Rewrite => split(parallel_pass_filtered(
                 aig,
                 num_threads,
                 budget,
+                sim,
                 engine::Rewrite::default(),
             )),
-            Move::Refactor { high_effort } => split(parallel_pass_budgeted(
+            Move::Refactor { high_effort } => split(parallel_pass_filtered(
                 aig,
                 num_threads,
                 budget,
+                sim,
                 engine::Refactor {
                     options: Move::refactor_options(high_effort),
                 },
             )),
-            Move::Resub { high_effort } => split(parallel_pass_budgeted(
+            Move::Resub { high_effort } => split(parallel_pass_filtered(
                 aig,
                 num_threads,
                 budget,
+                sim,
                 engine::Resub {
                     options: Move::resub_options(high_effort),
                 },
             )),
-            Move::MspfResub { high_effort } => split(parallel_pass_budgeted(
+            Move::MspfResub { high_effort } => split(parallel_pass_filtered(
                 aig,
                 num_threads,
                 budget,
+                sim,
                 engine::Mspf {
                     options: Move::mspf_options(high_effort),
                 },
             )),
             Move::EliminateKernel { high_effort } => {
                 let mut opts = Move::hetero_options(high_effort);
-                opts.parallel = true;
+                // Hetero's parallelism is an internal threshold sweep, not
+                // window fan-out; keep it tied to the actual thread count.
+                opts.parallel = num_threads > 1;
                 (hetero_eliminate_kernel_impl(aig, &opts).0, 0)
             }
-            Move::BooleanDifference => split(parallel_pass_budgeted(
+            Move::BooleanDifference => split(parallel_pass_filtered(
                 aig,
                 num_threads,
                 budget,
+                sim,
                 engine::Bdiff::default(),
             )),
         }
@@ -310,13 +345,14 @@ pub struct GradientStats {
 
 #[cfg(test)]
 pub(crate) fn gradient_optimize_impl(aig: &Aig, options: &GradientOptions) -> (Aig, GradientStats) {
-    gradient_optimize_budgeted(aig, options, &Budget::unlimited())
+    gradient_optimize_filtered(aig, options, &Budget::unlimited(), None)
 }
 
-pub(crate) fn gradient_optimize_budgeted(
+pub(crate) fn gradient_optimize_filtered(
     aig: &Aig,
     options: &GradientOptions,
     budget: &Budget,
+    sim: Option<&SigService>,
 ) -> (Aig, GradientStats) {
     let mut current = aig.cleanup();
     let mut stats = GradientStats {
@@ -373,7 +409,7 @@ pub(crate) fn gradient_optimize_budgeted(
             if budget.check().is_err() {
                 break;
             }
-            let (result, bailouts) = mv.apply_budgeted(&current, options.num_threads, budget);
+            let (result, bailouts) = mv.apply_filtered(&current, options.num_threads, budget, sim);
             spent += mv.cost();
             let gain = size_before.saturating_sub(result.num_ands());
             let Some((_, rec)) = stats.records.iter_mut().find(|(mm, _)| *mm == mv) else {
@@ -435,7 +471,7 @@ pub(crate) fn gradient_optimize_budgeted(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sbm_sat::equiv::{check_equivalence, EquivResult};
+    use sbm_sat::{EquivalenceOracle, MiterOracle, Verdict};
 
     fn messy_aig() -> Aig {
         let mut aig = Aig::new();
@@ -467,8 +503,8 @@ mod tests {
             optimized.num_ands()
         );
         assert_eq!(
-            check_equivalence(&aig, &optimized, None),
-            EquivResult::Equivalent
+            MiterOracle::new().check(&aig, &optimized),
+            Verdict::Equivalent
         );
         // The messy network reduces to a & c & d = 2 AND nodes.
         assert_eq!(optimized.num_ands(), 2);

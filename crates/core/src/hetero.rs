@@ -230,7 +230,7 @@ fn emit_factored(aig: &mut Aig, fac: &sbm_sop::factor::Factored, map: &HashMap<u
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sbm_sat::equiv::{check_equivalence, EquivResult};
+    use sbm_sat::{EquivalenceOracle, MiterOracle, Verdict};
 
     /// A decoder-like structure with heavy kernel sharing.
     fn kernel_rich_aig() -> Aig {
@@ -257,8 +257,8 @@ mod tests {
         let before = aig.num_ands();
         let (optimized, stats) = hetero_eliminate_kernel_impl(&aig, &HeteroOptions::default());
         assert_eq!(
-            check_equivalence(&aig, &optimized, None),
-            EquivResult::Equivalent
+            MiterOracle::new().check(&aig, &optimized),
+            Verdict::Equivalent
         );
         assert!(
             optimized.num_ands() <= before,
@@ -279,7 +279,7 @@ mod tests {
             },
         );
         assert_eq!(par.num_ands(), seq.num_ands());
-        assert_eq!(check_equivalence(&par, &seq, None), EquivResult::Equivalent);
+        assert_eq!(MiterOracle::new().check(&par, &seq), Verdict::Equivalent);
     }
 
     #[test]
@@ -295,8 +295,8 @@ mod tests {
         let (optimized, _) = hetero_eliminate_kernel_impl(&aig, &HeteroOptions::default());
         assert!(optimized.num_ands() <= aig.num_ands());
         assert_eq!(
-            check_equivalence(&aig, &optimized, None),
-            EquivResult::Equivalent
+            MiterOracle::new().check(&aig, &optimized),
+            Verdict::Equivalent
         );
     }
 }

@@ -20,10 +20,14 @@
 use std::collections::HashMap;
 
 use sbm_aig::mffc::mffc_size;
+use sbm_aig::sim::Signatures;
 use sbm_aig::window::{partition, Partition, PartitionOptions};
 use sbm_aig::{Aig, Lit, NodeId};
 use sbm_bdd::{Bdd, BddError, BddManager};
 use sbm_budget::Budget;
+use sbm_sim::{
+    keep_candidate, record_filter_hits, record_filter_misses, window_care_mask, SigService,
+};
 
 use crate::bdd_bridge::{pooled_manager, recycle_manager, window_bdds};
 
@@ -150,10 +154,31 @@ pub(crate) fn mspf_optimize_budgeted(
     options: &MspfOptions,
     budget: &Budget,
 ) -> (Aig, MspfStats) {
+    mspf_optimize_filtered(aig, options, budget, None)
+}
+
+/// Like [`mspf_optimize_budgeted`], but with signature-based candidate
+/// filtering: when `sim` is present, every node's replacement candidates
+/// are screened against the shared simulation signatures under a
+/// simulated observability care mask *before* the expensive BDD
+/// cofactoring — a node none of whose candidates survive skips its MSPF
+/// computation entirely. The filter is a sound necessary condition
+/// (identical behavior on every care-set pattern simulation has seen),
+/// so the set of accepted replacements is unchanged.
+pub(crate) fn mspf_optimize_filtered(
+    aig: &Aig,
+    options: &MspfOptions,
+    budget: &Budget,
+    sim: Option<&SigService>,
+) -> (Aig, MspfStats) {
     let mut work = aig.cleanup();
     let mut stats = MspfStats::default();
     let parts = partition(&work, &options.partition);
     let mut fanout_counts = work.fanout_counts();
+    // Network-wide signatures for the filter; refreshed after every
+    // accepted replacement (fanins resolve through replacements, so one
+    // resimulation keeps all live nodes exact).
+    let mut sig: Option<Signatures> = sim.map(|svc| svc.signatures(&work));
     for part in &parts {
         if budget.check().is_err() {
             break; // wind down: keep what was already optimized
@@ -193,6 +218,32 @@ pub(crate) fn mspf_optimize_budgeted(
                 }
                 continue;
             };
+            // Candidate list, truncated to the same budget the unfiltered
+            // pass would try; signature filtering then only ever *removes*
+            // entries, so the first (and thus accepted) connectable
+            // candidate is identical with and without the filter.
+            let mut candidates: Vec<Lit> = vec![Lit::FALSE, Lit::TRUE];
+            candidates.extend(
+                part.leaves
+                    .iter()
+                    .chain(part.nodes.iter())
+                    .filter(|&&n| n != f)
+                    .flat_map(|&n| [Lit::new(n, false), Lit::new(n, true)]),
+            );
+            candidates.truncate(options.max_candidates * 2);
+            if let Some(sig) = sig.as_ref() {
+                let care = window_care_mask(&work, sig, &part.nodes, &part.roots, f);
+                let before_filter = candidates.len();
+                candidates.retain(|&cand| keep_candidate(sig, f, cand, &care));
+                record_filter_hits((before_filter - candidates.len()) as u64);
+                record_filter_misses(candidates.len() as u64);
+                if candidates.is_empty() {
+                    // Every candidate provably differs on an observable
+                    // pattern: the whole MSPF computation for this node
+                    // cannot yield a replacement, skip it.
+                    continue;
+                }
+            }
             // Root functions with f as a free variable, in a manager reset
             // after this node — the paper's memory strategy with the
             // allocations recycled.
@@ -243,16 +294,8 @@ pub(crate) fn mspf_optimize_budgeted(
                     continue;
                 }
             };
-            let mut candidates: Vec<Lit> = vec![Lit::FALSE, Lit::TRUE];
-            candidates.extend(
-                part.leaves
-                    .iter()
-                    .chain(part.nodes.iter())
-                    .filter(|&&n| n != f)
-                    .flat_map(|&n| [Lit::new(n, false), Lit::new(n, true)]),
-            );
             let mut replaced = false;
-            for cand in candidates.into_iter().take(options.max_candidates * 2) {
+            for cand in candidates {
                 if work.is_replaced(cand.node()) && !cand.is_const() {
                     continue;
                 }
@@ -293,6 +336,7 @@ pub(crate) fn mspf_optimize_budgeted(
                 mgr.reset(part.leaves.len() + 1, options.bdd_node_limit);
                 mgr.set_budget(budget.clone());
                 bdds = window_bdds(&work, part, &mut mgr);
+                sig = sim.map(|svc| svc.signatures(&work));
             }
         }
         recycle_manager(mgr);
@@ -308,7 +352,7 @@ pub(crate) fn mspf_optimize_budgeted(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sbm_sat::equiv::{check_equivalence, EquivResult};
+    use sbm_sat::{EquivalenceOracle, MiterOracle, Verdict};
 
     #[test]
     fn observability_dont_cares_simplify() {
@@ -324,8 +368,8 @@ mod tests {
         let before = aig.num_ands();
         let (optimized, stats) = mspf_optimize_impl(&aig, &MspfOptions::default());
         assert_eq!(
-            check_equivalence(&aig, &optimized, None),
-            EquivResult::Equivalent
+            MiterOracle::new().check(&aig, &optimized),
+            Verdict::Equivalent
         );
         assert!(
             optimized.num_ands() < before,
@@ -344,8 +388,8 @@ mod tests {
         let (optimized, _) = mspf_optimize_impl(&aig, &MspfOptions::default());
         assert_eq!(optimized.num_ands(), 1);
         assert_eq!(
-            check_equivalence(&aig, &optimized, None),
-            EquivResult::Equivalent
+            MiterOracle::new().check(&aig, &optimized),
+            Verdict::Equivalent
         );
     }
 
@@ -362,8 +406,8 @@ mod tests {
         aig.add_output(g);
         let (optimized, _) = mspf_optimize_impl(&aig, &MspfOptions::default());
         assert_eq!(
-            check_equivalence(&aig, &optimized, None),
-            EquivResult::Equivalent
+            MiterOracle::new().check(&aig, &optimized),
+            Verdict::Equivalent
         );
         assert!(optimized.num_ands() <= aig.num_ands());
     }

@@ -43,15 +43,16 @@ use sbm_journal::{
 };
 use sbm_metrics::{
     BddCounters, EngineFaultCounters, EngineReport, FaultReport, Histogram, PhaseMicros,
-    ResumeReport, RunReport, SatCounters, Timer, WindowReport,
+    ResumeReport, RunReport, SatCounters, SimFilterCounters, Timer, WindowReport,
 };
 use sbm_sat::{drain_sat_tally, note_sat_tally, SatTally};
+use sbm_sim::{drain_sim_tally, note_sim_tally, SigService, SimTally};
 
 use crate::bdd_bridge::{drain_bdd_tally, note_bdd_tally};
 use crate::engine::{
-    run_checked, CheckViolation, Engine, EngineStats, OptContext, Optimized, SPOT_CHECK_SEED,
+    run_checked, CheckViolation, Engine, EngineCtx, EngineStats, Optimized, SPOT_CHECK_SEED,
 };
-use crate::verify::equivalent_within_budgeted;
+use crate::verify::equivalent_within_budgeted_sim;
 
 /// Knobs of the parallel partition executor.
 #[derive(Debug, Clone)]
@@ -95,6 +96,17 @@ pub struct PipelineOptions {
     /// the checkpoint directory, and [`Pipeline::resume`] can restart an
     /// interrupted run from there.
     pub checkpoint: Option<CheckpointOptions>,
+    /// Shared simulation-signature service (`None` = no filtering).
+    /// When set, engines that support it filter resubstitution
+    /// candidates by signature before any BDD/SAT work, the window
+    /// equivalence gate screens through the service's pattern set, and
+    /// refuted gate checks feed their SAT witnesses back into the
+    /// service's pending pool. The pipeline itself never commits pending
+    /// counterexamples — that is the service owner's job at a true
+    /// serial boundary (script steps do it between steps), because a
+    /// nested pass (e.g. a gradient move) finishing is *not* a serial
+    /// point of the enclosing run.
+    pub sim: Option<SigService>,
 }
 
 /// Where and how often a pipeline run persists its progress.
@@ -133,6 +145,7 @@ impl Default for PipelineOptions {
             budget: Budget::unlimited(),
             fault_plan: None,
             checkpoint: None,
+            sim: None,
         }
     }
 }
@@ -299,6 +312,11 @@ pub struct PipelineReport {
     /// SAT-solver counters accumulated across the run, including the
     /// per-window equivalence gates.
     pub sat: SatTally,
+    /// Simulation-filter counters accumulated across the run: candidates
+    /// rejected/passed by signature screening, counterexamples harvested
+    /// from refuted gate checks, and network resimulations. All-zero
+    /// when [`PipelineOptions::sim`] is unset.
+    pub sim: SimTally,
     /// Wall-clock of the window-extraction phase.
     pub extract_wall: Duration,
     /// Wall-clock of the parallel optimization phase.
@@ -351,6 +369,7 @@ impl PipelineReport {
         }
         self.bdd.merge(&other.bdd);
         self.sat.merge(&other.sat);
+        self.sim.merge(&other.sim);
         self.extract_wall += other.extract_wall;
         self.optimize_wall += other.optimize_wall;
         self.stitch_wall += other.stitch_wall;
@@ -441,6 +460,13 @@ impl PipelineReport {
                 decisions: self.sat.decisions,
                 propagations: self.sat.propagations,
             },
+            sim_filter: SimFilterCounters {
+                hits: self.sim.filter_hits,
+                misses: self.sim.filter_misses,
+                cex_recorded: self.sim.cex_recorded,
+                cex_committed: self.sim.cex_committed,
+                resims: self.sim.resims,
+            },
             faults: FaultReport {
                 degraded_windows: self.fault.degraded_windows as u64,
                 injected: self.fault.injected.len() as u64,
@@ -530,6 +556,18 @@ impl fmt::Display for PipelineReport {
                 self.sat.propagations,
             )?;
         }
+        if !self.sim.is_zero() {
+            writeln!(
+                f,
+                "  sim: {} filter hits, {} misses, {} cex recorded ({} committed), \
+                 {} resims",
+                self.sim.filter_hits,
+                self.sim.filter_misses,
+                self.sim.cex_recorded,
+                self.sim.cex_committed,
+                self.sim.resims,
+            )?;
+        }
         write!(
             f,
             "  phases: extract {:.3}s, optimize {:.3}s, stitch {:.3}s, total {:.3}s",
@@ -592,6 +630,9 @@ struct WindowOutcome {
     bdd: BddTally,
     /// SAT counters drained from the worker's thread-local tally.
     sat: SatTally,
+    /// Simulation-filter counters drained from the worker's thread-local
+    /// tally.
+    sim: SimTally,
     /// Invariant violations from `Paranoid` per-engine bracketing
     /// (empty below that level).
     violations: Vec<CheckViolation>,
@@ -757,7 +798,7 @@ impl Pipeline {
     /// change timing, not results, so a resume may use different ones.
     pub fn config_fingerprint(&self) -> u64 {
         let mut h = Fnv64::new();
-        h.write_str("sbm-pipeline-v1");
+        h.write_str("sbm-pipeline-v2");
         for engine in &self.engines {
             h.write_str(engine.name());
         }
@@ -769,6 +810,7 @@ impl Pipeline {
         h.write_u64(u64::from(o.verify_windows));
         h.write_u64(o.conflict_budget);
         h.write_u64(o.check_level as u64);
+        h.write_u64(u64::from(o.sim.is_some()));
         match &o.fault_plan {
             None => h.write_u64(0),
             Some(plan) => {
@@ -909,6 +951,7 @@ impl Pipeline {
             }
             report.bdd.merge(&outcome.bdd);
             report.sat.merge(&outcome.sat);
+            report.sim.merge(&outcome.sim);
             report.check_violations.extend(outcome.violations);
             report.fault.merge(&outcome.fault);
             if outcome.gate_rejected {
@@ -1087,7 +1130,17 @@ impl Pipeline {
         part_idx: usize,
         budget: &Budget,
     ) -> WindowOutcome {
-        catch_unwind(AssertUnwindSafe(|| {
+        // Attribution boundary: set the thread's accumulators aside so
+        // the window's exit drains measure exactly one window, then hand
+        // the residue back afterwards. Simply discarding it would be
+        // wrong at `num_threads = 1`, where windows run inline on the
+        // caller's thread and the residue is the *caller's* pending
+        // tally (e.g. the gradient scheduler between moves) — losing it
+        // would make the run's counters depend on the thread count.
+        let outer_bdd = drain_bdd_tally();
+        let outer_sat = drain_sat_tally();
+        let outer_sim = drain_sim_tally();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
             self.optimize_window(sub, part_idx, budget)
         }))
         .unwrap_or_else(|_| {
@@ -1099,15 +1152,25 @@ impl Pipeline {
                 gate_rejected: false,
                 per_engine: vec![EngineStats::default(); self.engines.len()],
                 latency: vec![Histogram::default(); self.engines.len()],
-                // The interrupted window's partial tallies stay in the
-                // thread's accumulators; the next window's entry drain
-                // discards them, so degraded work is never attributed.
+                // The interrupted window's partial tallies are discarded
+                // below, so degraded work is never attributed.
                 bdd: BddTally::default(),
                 sat: SatTally::default(),
+                sim: SimTally::default(),
                 violations: Vec::new(),
                 fault,
             }
-        })
+        });
+        // Normal exits leave the accumulators zeroed (the outcome drains
+        // them); an unwound window leaves partial junk — drop it either
+        // way before restoring the caller's residue.
+        let _ = drain_bdd_tally();
+        let _ = drain_sat_tally();
+        let _ = drain_sim_tally();
+        note_bdd_tally(&outer_bdd);
+        note_sat_tally(&outer_sat);
+        note_sim_tally(&outer_sim);
+        outcome
     }
 
     /// Runs the engine chain on one window copy. Engines inside a worker
@@ -1120,13 +1183,15 @@ impl Pipeline {
     /// and a second failure degrades the whole window to its original
     /// sub-network. An expired deadline stops the chain the same way.
     fn optimize_window(&self, sub: &Aig, part_idx: usize, budget: &Budget) -> WindowOutcome {
-        // Attribution boundary: whatever BDD/SAT residue the thread's
-        // accumulators hold (earlier non-pipeline work, a degraded
-        // window) is not this window's — discard it so the exit drains
-        // below measure exactly one window.
-        let _ = drain_bdd_tally();
-        let _ = drain_sat_tally();
-        let mut ctx = OptContext::with_threads(1).with_budget(budget.clone());
+        // The caller ([`Pipeline::optimize_window_isolated`]) has already
+        // zeroed the thread's BDD/SAT/sim accumulators, so the exit
+        // drains below measure exactly one window.
+        // Engines inside a worker run serially; window fan-out is the
+        // parallelism, so the per-engine context always says 1 thread.
+        let ctx = EngineCtx::new(budget)
+            .with_check_level(self.options.check_level)
+            .with_fault_plan(self.options.fault_plan.as_ref())
+            .with_sim(self.options.sim.as_ref());
         let mut per_engine = vec![EngineStats::default(); self.engines.len()];
         let mut latency = vec![Histogram::default(); self.engines.len()];
         let mut violations = Vec::new();
@@ -1163,7 +1228,7 @@ impl Pipeline {
                     invoked,
                     name,
                     &cur,
-                    &mut ctx,
+                    &ctx,
                     part_idx,
                     attempt,
                     budget,
@@ -1216,12 +1281,19 @@ impl Pipeline {
                 latency,
                 bdd: drain_bdd_tally(),
                 sat: drain_sat_tally(),
+                sim: drain_sim_tally(),
                 violations,
                 fault,
             };
         }
         if self.options.verify_windows
-            && !equivalent_within_budgeted(sub, &cur, self.options.conflict_budget, budget)
+            && !equivalent_within_budgeted_sim(
+                sub,
+                &cur,
+                self.options.conflict_budget,
+                budget,
+                self.options.sim.as_ref(),
+            )
         {
             return WindowOutcome {
                 rewrite: None,
@@ -1230,6 +1302,7 @@ impl Pipeline {
                 latency,
                 bdd: drain_bdd_tally(),
                 sat: drain_sat_tally(),
+                sim: drain_sim_tally(),
                 violations,
                 fault,
             };
@@ -1241,6 +1314,7 @@ impl Pipeline {
             latency,
             bdd: drain_bdd_tally(),
             sat: drain_sat_tally(),
+            sim: drain_sim_tally(),
             violations,
             fault,
         }
@@ -1254,7 +1328,7 @@ impl Pipeline {
         engine: &dyn Engine,
         name: &str,
         cur: &Aig,
-        ctx: &mut OptContext,
+        ctx: &EngineCtx<'_>,
         part_idx: usize,
         attempt: u8,
         budget: &Budget,
@@ -1298,7 +1372,7 @@ impl Pipeline {
             if paranoid {
                 run_checked(engine, cur, ctx, Some(part_idx))
             } else {
-                (engine.run(cur, ctx), Vec::new())
+                (engine.optimize(cur, ctx), Vec::new())
             }
         }));
         match caught {
@@ -1361,6 +1435,7 @@ impl Pipeline {
             // tallies than the uninterrupted original.
             bdd: BddTally::default(),
             sat: SatTally::default(),
+            sim: SimTally::default(),
             violations: Vec::new(),
             fault,
         })
@@ -1583,11 +1658,12 @@ enum Invocation {
 /// build a [`Pipeline`] directly.
 pub fn parallel_pass(aig: &Aig, num_threads: usize, engine: impl Engine + 'static) -> Aig {
     let run = parallel_pass_report(aig, num_threads, engine);
-    // The discarded report carried the run's drained BDD/SAT tallies:
-    // note them back into this thread's accumulators so they surface in
-    // whatever measurement scope encloses this pass.
+    // The discarded report carried the run's drained BDD/SAT/sim
+    // tallies: note them back into this thread's accumulators so they
+    // surface in whatever measurement scope encloses this pass.
     note_bdd_tally(&run.stats.bdd);
     note_sat_tally(&run.stats.sat);
+    note_sim_tally(&run.stats.sim);
     run.aig
 }
 
@@ -1626,9 +1702,24 @@ pub fn parallel_pass_budgeted(
     budget: &Budget,
     engine: impl Engine + 'static,
 ) -> Optimized<PipelineReport> {
+    parallel_pass_filtered(aig, num_threads, budget, None, engine)
+}
+
+/// [`parallel_pass_budgeted`] with the caller's shared [`SigService`]
+/// threaded through to every inner engine invocation and the window
+/// gate — the entry point the gradient engine uses so one service spans
+/// an entire script run, nested moves included.
+pub fn parallel_pass_filtered(
+    aig: &Aig,
+    num_threads: usize,
+    budget: &Budget,
+    sim: Option<&SigService>,
+    engine: impl Engine + 'static,
+) -> Optimized<PipelineReport> {
     let options = PipelineOptions {
         num_threads,
         budget: budget.clone(),
+        sim: sim.cloned(),
         ..pass_options()
     };
     Pipeline::new(options).with_engine(engine).run(aig)
@@ -1808,6 +1899,9 @@ mod tests {
                     max_inputs: 10,
                     max_levels: 12,
                 },
+                // A fresh service per run: the committed pattern set (and
+                // so every filter decision) depends only on this run.
+                sim: Some(SigService::default()),
                 ..PipelineOptions::default()
             };
             Pipeline::new(options)
@@ -1827,12 +1921,18 @@ mod tests {
             "the window equivalence gate must run solves: {:?}",
             serial.stats.sat
         );
+        assert!(
+            serial.stats.sim.filter_hits + serial.stats.sim.filter_misses > 0,
+            "the configured service must screen candidates: {:?}",
+            serial.stats.sim
+        );
         for threads in [2, 4] {
             let parallel = make(threads);
             // Everything deterministic must match exactly; only the
             // timing fields (walls, busy, latency histograms) may differ.
             assert_eq!(serial.stats.bdd, parallel.stats.bdd, "{threads} threads");
             assert_eq!(serial.stats.sat, parallel.stats.sat, "{threads} threads");
+            assert_eq!(serial.stats.sim, parallel.stats.sim, "{threads} threads");
             assert_eq!(serial.stats.windows_total, parallel.stats.windows_total);
             assert_eq!(
                 serial.stats.windows_improved,
@@ -1973,7 +2073,7 @@ mod tests {
             "flaky"
         }
 
-        fn run(&self, aig: &Aig, _ctx: &mut OptContext) -> crate::engine::EngineResult {
+        fn optimize(&self, aig: &Aig, _ctx: &EngineCtx<'_>) -> crate::engine::EngineResult {
             if self.calls.fetch_add(1, Ordering::Relaxed).is_multiple_of(2) {
                 std::panic::resume_unwind(Box::new("injected test panic"));
             }
@@ -1992,7 +2092,7 @@ mod tests {
             "doomed"
         }
 
-        fn run(&self, _aig: &Aig, _ctx: &mut OptContext) -> crate::engine::EngineResult {
+        fn optimize(&self, _aig: &Aig, _ctx: &EngineCtx<'_>) -> crate::engine::EngineResult {
             std::panic::resume_unwind(Box::new("injected test panic"));
         }
     }

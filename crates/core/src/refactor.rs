@@ -97,7 +97,7 @@ pub(crate) fn refactor_impl(aig: &Aig, options: &RefactorOptions) -> (Aig, Refac
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sbm_sat::equiv::{check_equivalence, EquivResult};
+    use sbm_sat::{EquivalenceOracle, MiterOracle, Verdict};
 
     #[test]
     fn simplifies_redundant_cone() {
@@ -114,8 +114,8 @@ mod tests {
         let (optimized, stats) = refactor_impl(&aig, &RefactorOptions::default());
         assert!(optimized.num_ands() < aig.num_ands(), "{stats:?}");
         assert_eq!(
-            check_equivalence(&aig, &optimized, None),
-            EquivResult::Equivalent
+            MiterOracle::new().check(&aig, &optimized),
+            Verdict::Equivalent
         );
         assert_eq!(optimized.num_ands(), 1, "should shrink to a & c");
     }
@@ -131,8 +131,8 @@ mod tests {
         let (optimized, _) = refactor_impl(&aig, &RefactorOptions::default());
         assert!(optimized.num_ands() <= aig.num_ands());
         assert_eq!(
-            check_equivalence(&aig, &optimized, None),
-            EquivResult::Equivalent
+            MiterOracle::new().check(&aig, &optimized),
+            Verdict::Equivalent
         );
     }
 
@@ -149,8 +149,8 @@ mod tests {
         // The root cone has 16 supports: must be skipped without panicking.
         let (optimized, _) = refactor_impl(&aig, &opts);
         assert_eq!(
-            check_equivalence(&aig, &optimized, None),
-            EquivResult::Equivalent
+            MiterOracle::new().check(&aig, &optimized),
+            Verdict::Equivalent
         );
     }
 }

@@ -170,7 +170,7 @@ fn build_gate(aig: &mut Aig, code: u8, l1: Lit, l2: Lit) -> Lit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sbm_sat::equiv::{check_equivalence, EquivResult};
+    use sbm_sat::{EquivalenceOracle, MiterOracle, Verdict};
 
     #[test]
     fn zero_resub_reuses_existing_node() {
@@ -188,8 +188,8 @@ mod tests {
         let (optimized, stats) = resub_impl(&aig, &ResubOptions::default());
         assert!(optimized.num_ands() < before, "{stats:?}");
         assert_eq!(
-            check_equivalence(&aig, &optimized, None),
-            EquivResult::Equivalent
+            MiterOracle::new().check(&aig, &optimized),
+            Verdict::Equivalent
         );
     }
 
@@ -211,8 +211,8 @@ mod tests {
         let (optimized, _) = resub_impl(&aig, &ResubOptions::default());
         assert!(optimized.num_ands() < before);
         assert_eq!(
-            check_equivalence(&aig, &optimized, None),
-            EquivResult::Equivalent
+            MiterOracle::new().check(&aig, &optimized),
+            Verdict::Equivalent
         );
     }
 
@@ -229,8 +229,8 @@ mod tests {
         let (optimized, _) = resub_impl(&aig, &ResubOptions::default());
         assert!(optimized.num_ands() <= aig.num_ands());
         assert_eq!(
-            check_equivalence(&aig, &optimized, None),
-            EquivResult::Equivalent
+            MiterOracle::new().check(&aig, &optimized),
+            Verdict::Equivalent
         );
     }
 }

@@ -196,7 +196,7 @@ pub(crate) fn rewrite_impl(aig: &Aig, options: &RewriteOptions) -> (Aig, Rewrite
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sbm_sat::equiv::{check_equivalence, EquivResult};
+    use sbm_sat::{EquivalenceOracle, MiterOracle, Verdict};
 
     #[test]
     fn collapses_redundant_structure() {
@@ -213,8 +213,8 @@ mod tests {
         let (optimized, stats) = rewrite_impl(&aig, &RewriteOptions::default());
         assert!(optimized.num_ands() < before, "{stats:?}");
         assert_eq!(
-            check_equivalence(&aig, &optimized, None),
-            EquivResult::Equivalent
+            MiterOracle::new().check(&aig, &optimized),
+            Verdict::Equivalent
         );
     }
 
@@ -229,8 +229,8 @@ mod tests {
         let (optimized, _) = rewrite_impl(&aig, &RewriteOptions::default());
         assert!(optimized.num_ands() <= 3);
         assert_eq!(
-            check_equivalence(&aig, &optimized, None),
-            EquivResult::Equivalent
+            MiterOracle::new().check(&aig, &optimized),
+            Verdict::Equivalent
         );
     }
 
@@ -248,8 +248,8 @@ mod tests {
         aig.add_output(z);
         let (optimized, _) = rewrite_impl(&aig, &RewriteOptions::default());
         assert_eq!(
-            check_equivalence(&aig, &optimized, None),
-            EquivResult::Equivalent
+            MiterOracle::new().check(&aig, &optimized),
+            Verdict::Equivalent
         );
         assert!(optimized.num_ands() <= aig.num_ands());
     }

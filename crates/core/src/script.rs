@@ -20,14 +20,15 @@ use sbm_journal::{
     read_aig_snapshot, write_aig_snapshot, Fnv64, JournalError, ResumeSummary, SCRIPT_STATE_FILE,
 };
 use sbm_sat::redundancy::{remove_redundancies, RedundancyOptions};
-use sbm_sat::sweep::{sweep, SweepOptions};
+use sbm_sat::sweep::{sweep, sweep_collect, SweepOptions};
+use sbm_sim::SigService;
 
 use crate::balance::balance;
 use crate::bdiff::{boolean_difference_resub_budgeted, BdiffOptions};
 use crate::engine::{
-    self, run_checked, CheckViolation, Engine, OptContext, Optimized, SPOT_CHECK_SEED,
+    self, run_checked, CheckViolation, Engine, EngineCtx, Optimized, SPOT_CHECK_SEED,
 };
-use crate::gradient::{gradient_optimize_budgeted, GradientOptions};
+use crate::gradient::{gradient_optimize_filtered, GradientOptions};
 use crate::hetero::{hetero_eliminate_kernel_impl, HeteroOptions};
 use crate::mspf::{mspf_optimize_budgeted, MspfOptions};
 use crate::pipeline::{pass_options, Pipeline, PipelineOptions, PipelineReport};
@@ -35,15 +36,25 @@ use crate::refactor::{refactor_impl, RefactorOptions};
 use crate::resub::{resub_impl, ResubOptions};
 use crate::rewrite::{rewrite_impl, RewriteOptions};
 
-/// Banks the calling thread's drained BDD/SAT tallies into `report`.
+/// Banks the calling thread's drained BDD/SAT/sim tallies into `report`.
 /// Called after every script step: a later step's attribution boundary
 /// (the pipeline's per-window entry drain) discards whatever the
 /// thread-local accumulators hold, so serial-path work (gradient moves,
 /// MSPF/bdiff at one thread, SAT sweeping and redundancy removal) must
 /// be surfaced into the report before the next step begins.
-fn bank_tallies(report: &mut PipelineReport) {
+///
+/// A step boundary is also the one *true* serial point of the run — every
+/// pipeline worker has joined — so this is where the simulation service
+/// commits its pending counterexamples. Committing anywhere finer-grained
+/// (e.g. inside a nested pass) would expose patterns to concurrently
+/// running windows and make results depend on scheduling.
+fn bank_tallies(report: &mut PipelineReport, ctx: &StepCtx) {
     report.bdd.merge(&crate::bdd_bridge::drain_bdd_tally());
     report.sat.merge(&sbm_sat::drain_sat_tally());
+    if let Some(svc) = &ctx.sim {
+        svc.commit_pending();
+    }
+    report.sim.merge(&sbm_sim::drain_sim_tally());
 }
 
 /// Applies a transformation, keeping the result only when it does not
@@ -114,6 +125,10 @@ struct StepCtx {
     budget: Budget,
     fault_plan: Option<FaultPlan>,
     ckpt: Option<ScriptCkpt>,
+    /// Shared simulation-signature service of the run (`None` when
+    /// [`SbmOptions::sim_filter`] is off). Clones of the handle share one
+    /// pattern pool, so every step refines the same signatures.
+    sim: Option<SigService>,
 }
 
 /// Step-grained checkpoint state of one script run. Scripts are a fixed
@@ -246,9 +261,10 @@ fn resub_opts(max_inputs: usize) -> ResubOptions {
 /// the bare serial closure — the two compute the same transformation, the
 /// wrapper just brackets it with invariant checks.
 ///
-/// A configured fault plan forces the pipeline path even at one thread:
-/// injection hooks (and the isolation/retry machinery they exercise) live
-/// in the per-window executor.
+/// A configured fault plan or an active simulation service forces the
+/// pipeline path even at one thread: injection hooks live in the
+/// per-window executor, and the pipeline is what hands the service to
+/// engines (candidate filtering) and the SAT gate (witness harvesting).
 fn step(
     aig: Aig,
     threads: usize,
@@ -258,20 +274,21 @@ fn step(
     engine: impl Engine + 'static,
     serial: impl FnOnce(&Aig) -> Aig,
 ) -> Aig {
-    if threads > 1 || ctx.fault_plan.is_some() {
+    if threads > 1 || ctx.fault_plan.is_some() || ctx.sim.is_some() {
         let options = PipelineOptions {
             num_threads: threads,
             check_level: check,
             budget: ctx.budget.clone(),
             fault_plan: ctx.fault_plan,
+            sim: ctx.sim.clone(),
             ..pass_options()
         };
         let run = Pipeline::new(options).with_engine(engine).run(&aig);
         report.merge(&run.stats);
         guarded(aig, |_| run.aig)
     } else if check.per_engine() {
-        let mut opt_ctx = OptContext::with_threads(1).with_budget(ctx.budget.clone());
-        let (result, violations) = run_checked(&engine, &aig, &mut opt_ctx, None);
+        let ectx = EngineCtx::new(&ctx.budget).with_check_level(check);
+        let (result, violations) = run_checked(&engine, &aig, &ectx, None);
         report.check_violations.extend(violations);
         guarded(aig, |_| result.aig)
     } else {
@@ -381,6 +398,19 @@ pub struct SbmOptions {
     pub mspf: MspfOptions,
     /// Conflict budget of the SAT steps.
     pub sat_budget: Option<u64>,
+    /// Run-wide simulation-signature service (`true`, the default): every
+    /// engine filters candidates against shared bit-parallel signatures
+    /// before touching a BDD manager or SAT solver, failed equivalence
+    /// checks feed their counterexample witnesses back in, and the SAT
+    /// sweep's refutation witnesses are harvested too. The filter is a
+    /// sound necessary condition: it never rejects a candidate exact
+    /// reasoning would accept, so no quality is lost to screening.
+    /// Enabling the service also pins the script to the windowed
+    /// pipeline schedule at every thread count (that is what makes the
+    /// filter counters independent of `num_threads`), so a run differs
+    /// from the `false` setting by schedule as well as by work spent —
+    /// both are always SAT-verified equivalent to the input.
+    pub sim_filter: bool,
     /// Script iterations (the paper iterates the flow twice, with
     /// different efforts).
     pub iterations: usize,
@@ -422,6 +452,7 @@ impl Default for SbmOptions {
             hetero: HeteroOptions::default(),
             mspf: MspfOptions::default(),
             sat_budget: Some(2_000),
+            sim_filter: true,
             iterations: 2,
             num_threads: 1,
             check_level: CheckLevel::Off,
@@ -531,6 +562,14 @@ impl SbmOptionsBuilder {
     #[must_use]
     pub fn sat_budget(mut self, budget: Option<u64>) -> Self {
         self.options.sat_budget = budget;
+        self
+    }
+
+    /// Enables or disables the run-wide simulation-signature service
+    /// (candidate filtering + counterexample harvesting; on by default).
+    #[must_use]
+    pub fn sim_filter(mut self, sim_filter: bool) -> Self {
+        self.options.sim_filter = sim_filter;
         self
     }
 
@@ -660,8 +699,9 @@ pub fn sbm_script(aig: &Aig, options: &SbmOptions) -> Aig {
 }
 
 /// [`sbm_script`], also returning the merged [`PipelineReport`] of every
-/// parallel pass (all-zero counters when `num_threads = 1`, which never
-/// enters the pipeline). With [`SbmOptions::checkpoint_dir`] set, the run
+/// engine pass. (With `num_threads = 1` and [`SbmOptions::sim_filter`]
+/// off, the window counters are all zero: nothing enters the pipeline.)
+/// With [`SbmOptions::checkpoint_dir`] set, the run
 /// additionally persists step-grained progress; checkpoint I/O failures
 /// are best-effort (reported, never fatal).
 pub fn sbm_script_report(aig: &Aig, options: &SbmOptions) -> Optimized<PipelineReport> {
@@ -719,8 +759,9 @@ pub fn sbm_script_resumable(
 /// a resume may change them).
 fn script_fingerprint(options: &SbmOptions) -> u64 {
     let mut h = Fnv64::new();
-    h.write_str("sbm-script-v1");
+    h.write_str("sbm-script-v2");
     h.write_u64(options.iterations as u64);
+    h.write_u64(u64::from(options.sim_filter));
     match options.sat_budget {
         None => h.write_u64(0),
         Some(b) => {
@@ -809,7 +850,10 @@ fn script_body(
         budget: Budget::from_deadline(options.deadline),
         fault_plan: options.fault_plan,
         ckpt,
+        sim: options.sim_filter.then(SigService::default),
     };
+    // Attribution boundary for the sim tallies too (mirrors BDD/SAT).
+    let _ = sbm_sim::drain_sim_tally();
     for iteration in 0..options.iterations {
         if ctx.budget.check().is_err() {
             break;
@@ -821,17 +865,17 @@ fn script_body(
                 resyn2rs_threaded(a, threads, check, &ctx, &mut report)
             })
         });
-        bank_tallies(&mut report);
+        bank_tallies(&mut report, &ctx);
         let gradient = GradientOptions {
             num_threads: threads,
             ..options.gradient.clone()
         };
         cur = checkpointed(cur, &ctx, |cur| {
             checked_guarded(cur, check, &mut report, "gradient", |a| {
-                gradient_optimize_budgeted(a, &gradient, &ctx.budget).0
+                gradient_optimize_filtered(a, &gradient, &ctx.budget, ctx.sim.as_ref()).0
             })
         });
-        bank_tallies(&mut report);
+        bank_tallies(&mut report, &ctx);
         // 2. Heterogeneous elimination for kerneling (internal
         // threshold-sweep threads).
         let hetero = HeteroOptions {
@@ -843,7 +887,7 @@ fn script_body(
                 hetero_eliminate_kernel_impl(a, &hetero).0
             })
         });
-        bank_tallies(&mut report);
+        bank_tallies(&mut report, &ctx);
         // 3. Enhanced MSPF computation.
         cur = checkpointed(cur, &ctx, |cur| {
             step(
@@ -858,7 +902,7 @@ fn script_body(
                 |a| mspf_optimize_budgeted(a, &options.mspf, &ctx.budget).0,
             )
         });
-        bank_tallies(&mut report);
+        bank_tallies(&mut report, &ctx);
         // 4. Collapse & Boolean decomposition on reconvergent MFFCs.
         let refactor_options = RefactorOptions {
             max_support: if high_effort { 14 } else { 12 },
@@ -878,7 +922,7 @@ fn script_body(
                 |a| refactor_impl(a, &refactor_options).0,
             )
         });
-        bank_tallies(&mut report);
+        bank_tallies(&mut report, &ctx);
         // 5. Boolean-difference-based optimization: unveils hard-to-find
         // optimizations and escapes local minima.
         cur = checkpointed(cur, &ctx, |cur| {
@@ -894,22 +938,33 @@ fn script_body(
                 |a| boolean_difference_resub_budgeted(a, &options.bdiff, &ctx.budget).0,
             )
         });
-        bank_tallies(&mut report);
+        bank_tallies(&mut report, &ctx);
         // 6. SAT sweeping and redundancy removal.
         cur = checkpointed(cur, &ctx, |cur| {
             checked_guarded(cur, check, &mut report, "sweep", |a| {
                 let mut work = a.cleanup();
-                sweep(
-                    &mut work,
-                    &SweepOptions {
-                        budget: options.sat_budget,
-                        ..Default::default()
-                    },
-                );
+                let sweep_options = SweepOptions {
+                    budget: options.sat_budget,
+                    ..Default::default()
+                };
+                match &ctx.sim {
+                    // With the service active, harvest every refutation
+                    // witness the sweep's SAT calls produce: each one is a
+                    // pattern random simulation missed.
+                    Some(svc) => {
+                        let outcome = sweep_collect(&mut work, &sweep_options);
+                        for witness in &outcome.witnesses {
+                            svc.record_cex(witness);
+                        }
+                    }
+                    None => {
+                        sweep(&mut work, &sweep_options);
+                    }
+                }
                 work.cleanup()
             })
         });
-        bank_tallies(&mut report);
+        bank_tallies(&mut report, &ctx);
         cur = checkpointed(cur, &ctx, |cur| {
             checked_guarded(cur, check, &mut report, "redundancy", |a| {
                 remove_redundancies(
@@ -922,7 +977,7 @@ fn script_body(
                 .aig
             })
         });
-        bank_tallies(&mut report);
+        bank_tallies(&mut report, &ctx);
     }
     let mut result = cur.cleanup();
 
@@ -968,7 +1023,11 @@ fn script_body(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sbm_sat::equiv::{check_equivalence, EquivResult};
+    use sbm_sat::{EquivalenceOracle, MiterOracle, Verdict};
+
+    fn proven_equivalent(a: &Aig, b: &Aig) -> bool {
+        MiterOracle::new().check(a, b) == Verdict::Equivalent
+    }
 
     fn benchmark_aig() -> Aig {
         // A small circuit with redundancy, imbalance, sharing and
@@ -998,7 +1057,7 @@ mod tests {
         let aig = benchmark_aig();
         let out = resyn2rs(&aig);
         assert!(out.num_ands() < aig.num_ands());
-        assert_eq!(check_equivalence(&aig, &out, None), EquivResult::Equivalent);
+        assert!(proven_equivalent(&aig, &out));
     }
 
     #[test]
@@ -1007,7 +1066,7 @@ mod tests {
         let baseline = resyn2rs_fixpoint(&aig, 8);
         let sbm = sbm_script(&aig, &SbmOptions::default());
         assert!(sbm.num_ands() <= baseline.num_ands());
-        assert_eq!(check_equivalence(&aig, &sbm, None), EquivResult::Equivalent);
+        assert!(proven_equivalent(&aig, &sbm));
     }
 
     #[test]
@@ -1063,10 +1122,7 @@ mod tests {
             .expect("valid configuration");
         let run = sbm_script_report(&aig, &options);
         assert!(run.aig.num_ands() <= aig.num_ands());
-        assert_eq!(
-            check_equivalence(&aig, &run.aig, None),
-            EquivResult::Equivalent
-        );
+        assert!(proven_equivalent(&aig, &run.aig));
         assert!(run.stats.is_consistent(), "{:?}", run.stats);
     }
 
@@ -1090,10 +1146,7 @@ mod tests {
             checked.stats.check_violations
         );
         assert_eq!(plain.aig.num_ands(), checked.aig.num_ands());
-        assert_eq!(
-            check_equivalence(&aig, &checked.aig, None),
-            EquivResult::Equivalent
-        );
+        assert!(proven_equivalent(&aig, &checked.aig));
     }
 
     #[test]
@@ -1139,10 +1192,7 @@ mod tests {
         let summary = resumed.stats.resume.expect("summary");
         assert_eq!(summary.steps_skipped, 8, "one iteration = 8 script steps");
         assert_eq!(resumed.aig.num_ands(), full.aig.num_ands());
-        assert_eq!(
-            check_equivalence(&full.aig, &resumed.aig, None),
-            EquivResult::Equivalent
-        );
+        assert!(proven_equivalent(&full.aig, &resumed.aig));
         // A partially recorded run (snapshot rolled back to an earlier
         // step) re-runs the remaining steps and converges on the same
         // result.
@@ -1159,10 +1209,7 @@ mod tests {
         let restarted = sbm_script_resumable(&aig, &options).expect("resume from 0");
         assert_eq!(restarted.stats.resume.expect("summary").steps_skipped, 0);
         assert_eq!(restarted.aig.num_ands(), full.aig.num_ands());
-        assert_eq!(
-            check_equivalence(&net, &restarted.aig, None),
-            EquivResult::Equivalent
-        );
+        assert!(proven_equivalent(&net, &restarted.aig));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1206,6 +1253,6 @@ mod tests {
         let aig = benchmark_aig();
         let out = resyn2rs_fixpoint(&aig, 50);
         assert!(out.num_ands() <= aig.num_ands());
-        assert_eq!(check_equivalence(&aig, &out, None), EquivResult::Equivalent);
+        assert!(proven_equivalent(&aig, &out));
     }
 }

@@ -8,7 +8,8 @@
 use sbm_aig::sim::Signatures;
 use sbm_aig::Aig;
 use sbm_budget::Budget;
-use sbm_sat::equiv::{check_equivalence, check_equivalence_budgeted, EquivResult};
+use sbm_sat::{EquivalenceOracle, MiterOracle, Verdict};
+use sbm_sim::{record_filter_hits, record_filter_misses, SigService};
 
 /// Checks combinational equivalence: random simulation first (cheap
 /// refutation), then a SAT miter for the proof.
@@ -17,7 +18,7 @@ use sbm_sat::equiv::{check_equivalence, check_equivalence_budgeted, EquivResult}
 ///
 /// Panics if the interfaces differ (input/output counts).
 pub fn equivalent(a: &Aig, b: &Aig) -> bool {
-    simulation_screen(a, b) && check_equivalence(a, b, None) == EquivResult::Equivalent
+    simulation_screen(a, b) && MiterOracle::new().check(a, b) == Verdict::Equivalent
 }
 
 /// Budgeted equivalence gate for per-window checks: random-simulation
@@ -30,7 +31,10 @@ pub fn equivalent(a: &Aig, b: &Aig) -> bool {
 /// Panics if the interfaces differ (input/output counts).
 pub fn equivalent_within(a: &Aig, b: &Aig, conflict_budget: u64) -> bool {
     simulation_screen(a, b)
-        && check_equivalence(a, b, Some(conflict_budget)) == EquivResult::Equivalent
+        && MiterOracle::new()
+            .with_conflict_budget(Some(conflict_budget))
+            .check(a, b)
+            == Verdict::Equivalent
 }
 
 /// [`equivalent_within`] under a shared wall-clock [`Budget`]: the miter
@@ -42,9 +46,71 @@ pub fn equivalent_within(a: &Aig, b: &Aig, conflict_budget: u64) -> bool {
 ///
 /// Panics if the interfaces differ (input/output counts).
 pub fn equivalent_within_budgeted(a: &Aig, b: &Aig, conflict_budget: u64, budget: &Budget) -> bool {
-    simulation_screen(a, b)
-        && check_equivalence_budgeted(a, b, Some(conflict_budget), budget)
-            == EquivResult::Equivalent
+    equivalent_within_budgeted_sim(a, b, conflict_budget, budget, None)
+}
+
+/// [`equivalent_within_budgeted`] wired into a shared [`SigService`]:
+/// the cheap screen uses the service's pattern set (seeded block plus
+/// every committed counterexample, so past refutations are replayed for
+/// free), and a SAT refutation hands its witness assignment back to the
+/// service ([`SigService::record_cex`]) to sharpen future screens. The
+/// screen is sound — it refutes only on a genuine output mismatch — so
+/// the gate's verdicts are identical with and without a service; only
+/// how much SAT work the verdicts cost differs.
+///
+/// # Panics
+///
+/// Panics if the interfaces differ (input/output counts).
+pub fn equivalent_within_budgeted_sim(
+    a: &Aig,
+    b: &Aig,
+    conflict_budget: u64,
+    budget: &Budget,
+    sim: Option<&SigService>,
+) -> bool {
+    let Some(svc) = sim else {
+        return simulation_screen(a, b)
+            && MiterOracle::new()
+                .with_conflict_budget(Some(conflict_budget))
+                .with_budget(budget.clone())
+                .check(a, b)
+                == Verdict::Equivalent;
+    };
+    if !service_screen(svc, a, b) {
+        record_filter_hits(1);
+        return false;
+    }
+    record_filter_misses(1);
+    match MiterOracle::new()
+        .with_conflict_budget(Some(conflict_budget))
+        .with_budget(budget.clone())
+        .check(a, b)
+    {
+        Verdict::Equivalent => true,
+        Verdict::Refuted(witness) => {
+            svc.record_cex(&witness);
+            false
+        }
+        Verdict::Unknown => false,
+    }
+}
+
+/// [`simulation_screen`] over the service's committed pattern set:
+/// interface-aligned input rows make output signatures of the two
+/// networks directly comparable.
+fn service_screen(svc: &SigService, a: &Aig, b: &Aig) -> bool {
+    assert_eq!(a.num_inputs(), b.num_inputs());
+    assert_eq!(a.num_outputs(), b.num_outputs());
+    let sa = svc.signatures(a);
+    let sb = svc.signatures(b);
+    for (oa, ob) in a.outputs().into_iter().zip(b.outputs()) {
+        for w in 0..sa.words_per_node() {
+            if sa.lit_word(oa, w) != sb.lit_word(ob, w) {
+                return false;
+            }
+        }
+    }
+    true
 }
 
 /// Cheap refutation: identical seeds drive identical input patterns, so
@@ -96,6 +162,61 @@ mod tests {
         let out = c.outputs()[0];
         c.set_output(0, !out);
         assert!(!equivalent_within(&a, &c, 10_000));
+    }
+
+    #[test]
+    fn sim_gate_harvests_and_replays_counterexamples() {
+        // AND of 16 inputs vs constant false: they differ only on the
+        // all-ones minterm, which 256 random patterns miss with
+        // overwhelming probability — the SAT miter must refute and hand
+        // the witness to the service.
+        let mut a = Aig::new();
+        let inputs: Vec<_> = (0..16).map(|_| a.add_input()).collect();
+        let mut f = inputs[0];
+        for &i in &inputs[1..] {
+            f = a.and(f, i);
+        }
+        a.add_output(f);
+        let mut b = Aig::new();
+        for _ in 0..16 {
+            b.add_input();
+        }
+        b.add_output(sbm_aig::Lit::FALSE);
+        let svc = SigService::default();
+        let budget = Budget::unlimited();
+        let _ = sbm_sim::drain_sim_tally();
+        assert!(!equivalent_within_budgeted_sim(
+            &a,
+            &b,
+            10_000,
+            &budget,
+            Some(&svc)
+        ));
+        let tally = sbm_sim::drain_sim_tally();
+        assert_eq!(tally.filter_misses, 1, "screen passed, SAT refuted");
+        assert_eq!(tally.cex_recorded, 1, "witness harvested");
+        // After committing, the replayed witness refutes in the screen:
+        // no SAT call, one filter hit.
+        assert_eq!(svc.commit_pending(), 1);
+        assert!(!equivalent_within_budgeted_sim(
+            &a,
+            &b,
+            10_000,
+            &budget,
+            Some(&svc)
+        ));
+        let tally = sbm_sim::drain_sim_tally();
+        assert_eq!(tally.filter_hits, 1, "committed cex screens the pair");
+        assert_eq!(tally.cex_recorded, 0);
+        // Equivalent pair: the service gate still proves it.
+        let clean = a.cleanup();
+        assert!(equivalent_within_budgeted_sim(
+            &a,
+            &clean,
+            10_000,
+            &budget,
+            Some(&svc)
+        ));
     }
 
     #[test]

@@ -5,9 +5,10 @@
 use proptest::prelude::*;
 use sbm_aig::window::PartitionOptions;
 use sbm_aig::{Aig, Lit};
+use sbm_budget::Budget;
 use sbm_check::{FaultKind, FaultPlan};
 use sbm_core::engine::{
-    run_checked, Balance, Bdiff, Engine, Gradient, Hetero, Mspf, OptContext, Refactor, Resub,
+    run_checked, Balance, Bdiff, Engine, EngineCtx, Gradient, Hetero, Mspf, Refactor, Resub,
     Rewrite,
 };
 use sbm_core::gradient::GradientOptions;
@@ -76,7 +77,8 @@ macro_rules! engine_property {
             fn $name(recipe in arb_recipe()) {
                 let aig = build(&recipe);
                 let engine = $engine;
-                let out = engine.run(&aig, &mut OptContext::default()).aig;
+                let budget = Budget::unlimited();
+                let out = engine.optimize(&aig, &EngineCtx::new(&budget)).aig;
                 prop_assert!(out.num_ands() <= aig.num_ands(),
                     "{} -> {}", aig.num_ands(), out.num_ands());
                 prop_assert!(equivalent(&aig, &out), "function changed");
@@ -128,9 +130,10 @@ proptest! {
                 },
             }),
         ];
+        let budget = Budget::unlimited();
         for engine in &engines {
             let (result, violations) =
-                run_checked(engine.as_ref(), &aig, &mut OptContext::default(), None);
+                run_checked(engine.as_ref(), &aig, &EngineCtx::new(&budget), None);
             prop_assert!(
                 violations.is_empty(),
                 "{} violated invariants: {:?}",
@@ -341,8 +344,8 @@ impl<E: Engine> Engine for KillSwitch<E> {
         self.inner.name()
     }
 
-    fn run(&self, aig: &Aig, ctx: &mut OptContext) -> sbm_core::engine::EngineResult {
-        let result = self.inner.run(aig, ctx);
+    fn optimize(&self, aig: &Aig, ctx: &EngineCtx<'_>) -> sbm_core::engine::EngineResult {
+        let result = self.inner.optimize(aig, ctx);
         use std::sync::atomic::Ordering;
         let prev = self
             .fuse

@@ -23,7 +23,7 @@ pub mod report;
 
 pub use report::{
     BddCounters, EngineFaultCounters, EngineReport, FaultReport, PhaseMicros, ReportError,
-    ResumeReport, RunReport, SatCounters, WindowReport, SCHEMA_VERSION,
+    ResumeReport, RunReport, SatCounters, SimFilterCounters, WindowReport, SCHEMA_VERSION,
 };
 
 use std::time::{Duration, Instant};

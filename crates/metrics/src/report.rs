@@ -22,7 +22,9 @@ use crate::json::{parse, write_pretty, JsonError, JsonValue};
 use crate::{CounterSet, Histogram, HISTOGRAM_BUCKETS};
 
 /// Version stamped into (and required from) every serialized report.
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2 added the `sim_filter` block (simulation-signature candidate
+/// filtering counters).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Window-outcome counters of a run (each processed window lands in
 /// exactly one of the outcome buckets).
@@ -124,6 +126,24 @@ pub struct SatCounters {
     pub propagations: u64,
 }
 
+/// Aggregated simulation-filter counters: what the shared signature
+/// service screened before exact (BDD/SAT) reasoning ran, and how the
+/// counterexample feedback loop refined it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimFilterCounters {
+    /// Candidates rejected by a signature comparison (exact reasoning
+    /// skipped).
+    pub hits: u64,
+    /// Candidates that passed the screen and went on to exact reasoning.
+    pub misses: u64,
+    /// Counterexample witnesses harvested from refuted SAT checks.
+    pub cex_recorded: u64,
+    /// Counterexample patterns committed into the shared pattern set.
+    pub cex_committed: u64,
+    /// Networks (re-)simulated against the service's pattern set.
+    pub resims: u64,
+}
+
 /// One engine's fault counters.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EngineFaultCounters {
@@ -196,6 +216,8 @@ pub struct RunReport {
     pub bdd: BddCounters,
     /// Aggregated SAT counters.
     pub sat: SatCounters,
+    /// Aggregated simulation-filter counters.
+    pub sim_filter: SimFilterCounters,
     /// Fault-tolerance record.
     pub faults: FaultReport,
     /// Resume bookkeeping, for resumed runs.
@@ -219,6 +241,7 @@ impl Default for RunReport {
             engines: Vec::new(),
             bdd: BddCounters::default(),
             sat: SatCounters::default(),
+            sim_filter: SimFilterCounters::default(),
             faults: FaultReport::default(),
             resume: None,
             checkpoint_error: None,
@@ -381,6 +404,16 @@ impl RunReport {
                 ]),
             ),
             (
+                "sim_filter".into(),
+                JsonValue::Obj(vec![
+                    ("hits".into(), uint(self.sim_filter.hits)),
+                    ("misses".into(), uint(self.sim_filter.misses)),
+                    ("cex_recorded".into(), uint(self.sim_filter.cex_recorded)),
+                    ("cex_committed".into(), uint(self.sim_filter.cex_committed)),
+                    ("resims".into(), uint(self.sim_filter.resims)),
+                ]),
+            ),
+            (
                 "faults".into(),
                 JsonValue::Obj(vec![
                     (
@@ -510,6 +543,16 @@ impl RunReport {
         };
         s.finish()?;
 
+        let mut sf = Fields::new(top.take("sim_filter")?, "sim_filter")?;
+        let sim_filter = SimFilterCounters {
+            hits: sf.u64("hits")?,
+            misses: sf.u64("misses")?,
+            cex_recorded: sf.u64("cex_recorded")?,
+            cex_committed: sf.u64("cex_committed")?,
+            resims: sf.u64("resims")?,
+        };
+        sf.finish()?;
+
         let mut fa = Fields::new(top.take("faults")?, "faults")?;
         let faults = FaultReport {
             degraded_windows: fa.u64("degraded_windows")?,
@@ -577,6 +620,7 @@ impl RunReport {
             engines,
             bdd,
             sat,
+            sim_filter,
             faults,
             resume,
             checkpoint_error,
@@ -807,6 +851,13 @@ mod tests {
                 conflicts: 5_000,
                 decisions: 21_000,
                 propagations: 410_000,
+            },
+            sim_filter: SimFilterCounters {
+                hits: 640,
+                misses: 260,
+                cex_recorded: 3,
+                cex_committed: 2,
+                resims: 44,
             },
             faults: FaultReport {
                 degraded_windows: 1,

@@ -5,6 +5,15 @@
 //! — the paper's industrial flow does the same ("all benchmarks are
 //! verified with an industrial formal equivalence checking flow", Section
 //! V-C).
+//!
+//! The entry point is the [`EquivalenceOracle`] trait: an oracle maps a
+//! pair of interface-compatible networks to a [`Verdict`], and a
+//! [`Verdict::Refuted`] verdict carries the distinguishing input
+//! assignment — the counterexample witness that simulation services
+//! (`sbm-sim`) ingest to sharpen their filters. [`MiterOracle`] is the
+//! SAT-backed implementation. The pre-oracle free functions
+//! ([`check_equivalence`] / [`check_equivalence_budgeted`]) remain as
+//! deprecated shims for one release.
 
 use sbm_aig::Aig;
 use sbm_budget::Budget;
@@ -12,7 +21,8 @@ use sbm_budget::Budget;
 use crate::cnf::encode;
 use crate::solver::{SatLit, SolveResult, Solver};
 
-/// Outcome of an equivalence check.
+/// Outcome of an equivalence check (pre-oracle shape, kept for the
+/// deprecated free functions).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EquivResult {
     /// The two networks compute identical functions.
@@ -24,6 +34,115 @@ pub enum EquivResult {
     Unknown,
 }
 
+/// Outcome of an [`EquivalenceOracle`] query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The two networks compute identical functions.
+    Equivalent,
+    /// Provably inequivalent; the payload is the witness assignment (one
+    /// value per primary input, in input order) on which they differ —
+    /// exactly the counterexample pattern a simulation service replays.
+    Refuted(Vec<bool>),
+    /// The oracle's resource budget ran out before a decision.
+    Unknown,
+}
+
+/// A decision procedure for combinational equivalence of two AIGs with
+/// matching interfaces.
+///
+/// Implementations must be *sound* in both directions: `Equivalent` only
+/// for truly equivalent networks, `Refuted` only with a genuine witness.
+/// `Unknown` is always permitted.
+pub trait EquivalenceOracle {
+    /// Decides equivalence of `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if the two networks have different
+    /// input or output counts.
+    fn check(&self, a: &Aig, b: &Aig) -> Verdict;
+}
+
+/// The SAT-backed oracle: shared inputs, XOR per output pair, SAT on the
+/// OR of the differences. Strong and complete within its budgets.
+#[derive(Debug, Clone, Default)]
+pub struct MiterOracle {
+    conflict_budget: Option<u64>,
+    budget: Option<Budget>,
+}
+
+impl MiterOracle {
+    /// An oracle with unbounded conflicts and no wall-clock budget.
+    pub fn new() -> Self {
+        MiterOracle::default()
+    }
+
+    /// Bounds solver conflicts (`None` = unbounded); an exhausted budget
+    /// yields [`Verdict::Unknown`].
+    #[must_use]
+    pub fn with_conflict_budget(mut self, conflicts: Option<u64>) -> Self {
+        self.conflict_budget = conflicts;
+        self
+    }
+
+    /// Probes a wall-clock / cancellation [`Budget`] from inside the
+    /// solver's propagation loop; a tripped budget yields
+    /// [`Verdict::Unknown`].
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+}
+
+impl EquivalenceOracle for MiterOracle {
+    fn check(&self, a: &Aig, b: &Aig) -> Verdict {
+        assert_eq!(a.num_inputs(), b.num_inputs(), "input count mismatch");
+        assert_eq!(a.num_outputs(), b.num_outputs(), "output count mismatch");
+        let mut solver = Solver::new();
+        solver.set_conflict_budget(self.conflict_budget);
+        if let Some(budget) = &self.budget {
+            solver.set_budget(budget.clone());
+        }
+        let map_a = encode(a, &mut solver);
+        let map_b = encode(b, &mut solver);
+        // Tie the inputs together.
+        for (&ia, &ib) in a.inputs().iter().zip(b.inputs()) {
+            let la = SatLit::pos(map_a.var(ia));
+            let lb = SatLit::pos(map_b.var(ib));
+            solver.add_clause(&[!la, lb]);
+            solver.add_clause(&[la, !lb]);
+        }
+        // XOR each output pair into a fresh variable; assert at least one
+        // difference.
+        let mut diffs = Vec::with_capacity(a.num_outputs());
+        for (oa, ob) in a.outputs().into_iter().zip(b.outputs()) {
+            let la = map_a.lit(oa);
+            let lb = map_b.lit(ob);
+            let d = SatLit::pos(solver.new_var());
+            // d ↔ la ⊕ lb
+            solver.add_clause(&[!d, la, lb]);
+            solver.add_clause(&[!d, !la, !lb]);
+            solver.add_clause(&[d, !la, lb]);
+            solver.add_clause(&[d, la, !lb]);
+            diffs.push(d);
+        }
+        solver.add_clause(&diffs);
+        match solver.solve(&[]) {
+            SolveResult::Unsat => Verdict::Equivalent,
+            SolveResult::Unknown | SolveResult::Interrupted => Verdict::Unknown,
+            SolveResult::Sat => {
+                let cex = a
+                    .inputs()
+                    .iter()
+                    .map(|&i| solver.model_value(map_a.var(i)))
+                    .collect();
+                Verdict::Refuted(cex)
+            }
+        }
+    }
+}
+
 /// Checks combinational equivalence of two AIGs with matching interfaces
 /// by building a miter: shared inputs, XOR per output pair, SAT on the OR.
 ///
@@ -32,8 +151,13 @@ pub enum EquivResult {
 /// # Panics
 ///
 /// Panics if the two networks have different input or output counts.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `MiterOracle::new().with_conflict_budget(budget).check(a, b)` \
+            via the `EquivalenceOracle` trait"
+)]
 pub fn check_equivalence(a: &Aig, b: &Aig, budget: Option<u64>) -> EquivResult {
-    check_equivalence_budgeted(a, b, budget, &Budget::unlimited())
+    verdict_to_result(MiterOracle::new().with_conflict_budget(budget).check(a, b))
 }
 
 /// Like [`check_equivalence`], but additionally probes a wall-clock /
@@ -43,52 +167,30 @@ pub fn check_equivalence(a: &Aig, b: &Aig, budget: Option<u64>) -> EquivResult {
 /// # Panics
 ///
 /// Panics if the two networks have different input or output counts.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `MiterOracle::new().with_conflict_budget(..).with_budget(..).check(a, b)` \
+            via the `EquivalenceOracle` trait"
+)]
 pub fn check_equivalence_budgeted(
     a: &Aig,
     b: &Aig,
     conflict_budget: Option<u64>,
     budget: &Budget,
 ) -> EquivResult {
-    assert_eq!(a.num_inputs(), b.num_inputs(), "input count mismatch");
-    assert_eq!(a.num_outputs(), b.num_outputs(), "output count mismatch");
-    let mut solver = Solver::new();
-    solver.set_conflict_budget(conflict_budget);
-    solver.set_budget(budget.clone());
-    let map_a = encode(a, &mut solver);
-    let map_b = encode(b, &mut solver);
-    // Tie the inputs together.
-    for (&ia, &ib) in a.inputs().iter().zip(b.inputs()) {
-        let la = SatLit::pos(map_a.var(ia));
-        let lb = SatLit::pos(map_b.var(ib));
-        solver.add_clause(&[!la, lb]);
-        solver.add_clause(&[la, !lb]);
-    }
-    // XOR each output pair into a fresh variable; assert at least one
-    // difference.
-    let mut diffs = Vec::with_capacity(a.num_outputs());
-    for (oa, ob) in a.outputs().into_iter().zip(b.outputs()) {
-        let la = map_a.lit(oa);
-        let lb = map_b.lit(ob);
-        let d = SatLit::pos(solver.new_var());
-        // d ↔ la ⊕ lb
-        solver.add_clause(&[!d, la, lb]);
-        solver.add_clause(&[!d, !la, !lb]);
-        solver.add_clause(&[d, !la, lb]);
-        solver.add_clause(&[d, la, !lb]);
-        diffs.push(d);
-    }
-    solver.add_clause(&diffs);
-    match solver.solve(&[]) {
-        SolveResult::Unsat => EquivResult::Equivalent,
-        SolveResult::Unknown | SolveResult::Interrupted => EquivResult::Unknown,
-        SolveResult::Sat => {
-            let cex = a
-                .inputs()
-                .iter()
-                .map(|&i| solver.model_value(map_a.var(i)))
-                .collect();
-            EquivResult::NotEquivalent(cex)
-        }
+    verdict_to_result(
+        MiterOracle::new()
+            .with_conflict_budget(conflict_budget)
+            .with_budget(budget.clone())
+            .check(a, b),
+    )
+}
+
+fn verdict_to_result(verdict: Verdict) -> EquivResult {
+    match verdict {
+        Verdict::Equivalent => EquivResult::Equivalent,
+        Verdict::Refuted(cex) => EquivResult::NotEquivalent(cex),
+        Verdict::Unknown => EquivResult::Unknown,
     }
 }
 
@@ -116,11 +218,11 @@ mod tests {
     #[test]
     fn equivalent_structures() {
         let (x, y) = xor_pair();
-        assert_eq!(check_equivalence(&x, &y, None), EquivResult::Equivalent);
+        assert_eq!(MiterOracle::new().check(&x, &y), Verdict::Equivalent);
     }
 
     #[test]
-    fn inequivalent_yields_counterexample() {
+    fn inequivalent_yields_witness() {
         let mut x = Aig::new();
         let a = x.add_input();
         let b = x.add_input();
@@ -131,11 +233,11 @@ mod tests {
         let b2 = y.add_input();
         let g = y.or(a2, b2);
         y.add_output(g);
-        match check_equivalence(&x, &y, None) {
-            EquivResult::NotEquivalent(cex) => {
+        match MiterOracle::new().check(&x, &y) {
+            Verdict::Refuted(cex) => {
                 assert!(x.eval(&cex)[0] != y.eval(&cex)[0]);
             }
-            other => panic!("expected counterexample, got {other:?}"),
+            other => panic!("expected witness, got {other:?}"),
         }
     }
 
@@ -157,7 +259,7 @@ mod tests {
         y.add_output(m2);
         let q2 = y.xor(c2, a2);
         y.add_output(q2);
-        assert_eq!(check_equivalence(&x, &y, None), EquivResult::Equivalent);
+        assert_eq!(MiterOracle::new().check(&x, &y), Verdict::Equivalent);
     }
 
     #[test]
@@ -166,8 +268,19 @@ mod tests {
         let out = y.outputs()[0];
         y.set_output(0, !out);
         assert!(matches!(
-            check_equivalence(&x, &y, None),
-            EquivResult::NotEquivalent(_)
+            MiterOracle::new().check(&x, &y),
+            Verdict::Refuted(_)
         ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_answer() {
+        let (x, y) = xor_pair();
+        assert_eq!(check_equivalence(&x, &y, None), EquivResult::Equivalent);
+        assert_eq!(
+            check_equivalence_budgeted(&x, &y, None, &Budget::unlimited()),
+            EquivResult::Equivalent
+        );
     }
 }

@@ -10,7 +10,7 @@
 use sbm_aig::sim::Signatures;
 use sbm_aig::{Aig, Lit, NodeId};
 
-use crate::equiv::{check_equivalence, EquivResult};
+use crate::equiv::{EquivalenceOracle, MiterOracle, Verdict};
 
 /// Options for redundancy removal.
 #[derive(Debug, Clone, Copy)]
@@ -93,7 +93,10 @@ pub fn remove_redundancies(aig: &Aig, options: &RedundancyOptions) -> Redundancy
                 if replaced.num_ands() >= current.num_ands() {
                     continue;
                 }
-                if check_equivalence(&current, &replaced, options.budget) == EquivResult::Equivalent
+                if MiterOracle::new()
+                    .with_conflict_budget(options.budget)
+                    .check(&current, &replaced)
+                    == Verdict::Equivalent
                 {
                     stats.removed += 1;
                     current = replaced;
@@ -132,8 +135,8 @@ mod tests {
         assert!(stats.removed >= 1, "{stats:?}");
         assert_eq!(cleaned.num_ands(), 0, "f should collapse to a");
         assert_eq!(
-            check_equivalence(&aig, &cleaned, None),
-            EquivResult::Equivalent
+            MiterOracle::new().check(&aig, &cleaned),
+            Verdict::Equivalent
         );
     }
 
@@ -149,8 +152,8 @@ mod tests {
         let cleaned = remove_redundancies(&aig, &RedundancyOptions::default()).aig;
         assert_eq!(cleaned.num_ands(), before);
         assert_eq!(
-            check_equivalence(&aig, &cleaned, None),
-            EquivResult::Equivalent
+            MiterOracle::new().check(&aig, &cleaned),
+            Verdict::Equivalent
         );
     }
 

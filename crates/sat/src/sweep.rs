@@ -46,12 +46,32 @@ pub struct SweepStats {
     pub undecided: usize,
 }
 
+/// Result of [`sweep_collect`]: the pass statistics plus the refutation
+/// witnesses harvested from SAT models.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOutcome {
+    /// Counters of the pass.
+    pub stats: SweepStats,
+    /// One input assignment (in primary-input order) per refuted candidate
+    /// pair. Each witness distinguishes two nodes that random simulation
+    /// could not tell apart — exactly the patterns worth feeding back into
+    /// a simulation-signature service.
+    pub witnesses: Vec<Vec<bool>>,
+}
+
 /// Runs one SAT-sweeping pass over `aig`, merging proven-equivalent nodes
 /// into their earliest (topologically first) representative. Returns the
 /// statistics; the AIG is modified in place (call
 /// [`sbm_aig::Aig::cleanup`] afterwards to compact).
 pub fn sweep(aig: &mut Aig, options: &SweepOptions) -> SweepStats {
-    let mut stats = SweepStats::default();
+    sweep_collect(aig, options).stats
+}
+
+/// Like [`sweep`], but also collects a counterexample witness for every
+/// refuted candidate pair (the SAT model restricted to the primary
+/// inputs).
+pub fn sweep_collect(aig: &mut Aig, options: &SweepOptions) -> SweepOutcome {
+    let mut outcome = SweepOutcome::default();
     let sig = Signatures::random(aig, options.sim_words, options.seed);
     // Bucket nodes by canonical signature hash (positive phase hash of the
     // lexicographically smaller of sig / ~sig).
@@ -100,26 +120,36 @@ pub fn sweep(aig: &mut Aig, options: &SweepOptions) -> SweepStats {
                     // canon = pos ^ c  ⇒ pos ≡ rep ^ c.
                     let c = canon.is_complemented();
                     if aig.replace(id, rep_now.complement_if(c)).is_ok() {
-                        stats.merged += 1;
+                        outcome.stats.merged += 1;
                         merged = true;
                     }
                     break;
                 }
-                SolveResult::Sat => stats.refuted += 1,
-                SolveResult::Unknown | SolveResult::Interrupted => stats.undecided += 1,
+                SolveResult::Sat => {
+                    outcome.stats.refuted += 1;
+                    let witness = aig
+                        .inputs()
+                        .iter()
+                        .map(|&input| solver.model_value(map.var(input)))
+                        .collect();
+                    outcome.witnesses.push(witness);
+                }
+                SolveResult::Unknown | SolveResult::Interrupted => {
+                    outcome.stats.undecided += 1;
+                }
             }
         }
         if !merged {
             bucket.push(canon);
         }
     }
-    stats
+    outcome
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::equiv::{check_equivalence, EquivResult};
+    use crate::equiv::{EquivalenceOracle, MiterOracle, Verdict};
 
     #[test]
     fn merges_functionally_equal_structures() {
@@ -140,8 +170,8 @@ mod tests {
         let after = aig.cleanup();
         assert_eq!(after.num_ands(), 3, "sweeping should share the XOR");
         assert_eq!(
-            check_equivalence(&before, &after, None),
-            EquivResult::Equivalent
+            MiterOracle::new().check(&before, &after),
+            Verdict::Equivalent
         );
     }
 
@@ -159,8 +189,41 @@ mod tests {
         let after = aig.cleanup();
         assert!(after.num_ands() <= before.num_ands());
         assert_eq!(
-            check_equivalence(&before, &after, None),
-            EquivResult::Equivalent
+            MiterOracle::new().check(&before, &after),
+            Verdict::Equivalent
+        );
+    }
+
+    #[test]
+    fn collect_harvests_one_witness_per_refutation() {
+        // An AND chain of 16 inputs is all-zeros under 64 random patterns
+        // with overwhelming probability (the all-ones minterm has weight
+        // 2^-16), so its deep nodes collide with a structural constant
+        // false in the signature buckets — SAT must refute each collision.
+        let mut aig = Aig::new();
+        let inputs: Vec<_> = (0..16).map(|_| aig.add_input()).collect();
+        let mut f = inputs[0];
+        for &i in &inputs[1..] {
+            f = aig.and(f, i);
+        }
+        let z = aig.and(inputs[0], !inputs[0]); // constant false node
+        aig.add_output(f);
+        aig.add_output(z);
+        let before = aig.cleanup();
+        let options = SweepOptions {
+            sim_words: 1,
+            ..SweepOptions::default()
+        };
+        let outcome = sweep_collect(&mut aig, &options);
+        assert!(outcome.stats.refuted >= 1, "{:?}", outcome.stats);
+        assert_eq!(outcome.witnesses.len(), outcome.stats.refuted);
+        for witness in &outcome.witnesses {
+            assert_eq!(witness.len(), before.num_inputs());
+        }
+        let after = aig.cleanup();
+        assert_eq!(
+            MiterOracle::new().check(&before, &after),
+            Verdict::Equivalent
         );
     }
 
@@ -179,8 +242,8 @@ mod tests {
         assert_eq!(stats.merged, 0);
         let after = aig.cleanup();
         assert_eq!(
-            check_equivalence(&before, &after, None),
-            EquivResult::Equivalent
+            MiterOracle::new().check(&before, &after),
+            Verdict::Equivalent
         );
     }
 }

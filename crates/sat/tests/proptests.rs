@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 use sbm_sat::{
-    equiv::{check_equivalence, EquivResult},
+    equiv::{EquivalenceOracle, MiterOracle, Verdict},
     redundancy::{remove_redundancies, RedundancyOptions},
     sweep::{sweep, SweepOptions},
     SatLit, SolveResult, Solver, Var,
@@ -114,7 +114,7 @@ proptest! {
     fn self_equivalence(recipe in arb_recipe()) {
         let aig = build(&recipe);
         let clean = aig.cleanup();
-        prop_assert_eq!(check_equivalence(&aig, &clean, None), EquivResult::Equivalent);
+        prop_assert_eq!(MiterOracle::new().check(&aig, &clean), Verdict::Equivalent);
     }
 
     #[test]
@@ -124,7 +124,7 @@ proptest! {
         sweep(&mut aig, &SweepOptions::default());
         let after = aig.cleanup();
         prop_assert!(after.num_ands() <= before.num_ands());
-        prop_assert_eq!(check_equivalence(&before, &after, None), EquivResult::Equivalent);
+        prop_assert_eq!(MiterOracle::new().check(&before, &after), Verdict::Equivalent);
     }
 
     #[test]
@@ -133,6 +133,6 @@ proptest! {
         let opts = RedundancyOptions { max_checks: 200, ..Default::default() };
         let cleaned = remove_redundancies(&aig, &opts).aig;
         prop_assert!(cleaned.num_ands() <= aig.num_ands());
-        prop_assert_eq!(check_equivalence(&aig, &cleaned, None), EquivResult::Equivalent);
+        prop_assert_eq!(MiterOracle::new().check(&aig, &cleaned), Verdict::Equivalent);
     }
 }

@@ -405,14 +405,20 @@ impl Cover {
         if self.is_one() {
             return Some(Cover::zero());
         }
-        // Pick the most frequent signal to branch on.
+        // Pick the most frequent signal to branch on, breaking frequency
+        // ties by smallest signal: the counts live in a `HashMap`, so a
+        // bare `max_by_key` would resolve ties by hash-iteration order and
+        // make the recursion (and every caller up to the hetero engine's
+        // parallel-vs-serial agreement) nondeterministic.
         let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
         for c in &self.cubes {
             for l in c.lits() {
                 *counts.entry(l.signal()).or_insert(0) += 1;
             }
         }
-        let (&signal, _) = counts.iter().max_by_key(|(_, &n)| n)?;
+        let (&signal, _) = counts
+            .iter()
+            .max_by_key(|(&s, &n)| (n, std::cmp::Reverse(s)))?;
         let c0 = self.cofactor(SignalLit::negative(signal));
         let c1 = self.cofactor(SignalLit::positive(signal));
         let n0 = c0.complement(cube_limit)?;

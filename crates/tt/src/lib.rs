@@ -23,6 +23,7 @@
 //! ```
 
 mod table;
+pub mod words;
 
 pub use table::TruthTable;
 

@@ -1,0 +1,79 @@
+//! Word-level helpers over packed pattern vectors.
+//!
+//! Bit-parallel signatures (one bit per simulated input pattern, 64
+//! patterns per `u64`) are the cheap necessary-condition filter of the
+//! SBM framework: "functional filtering" of resubstitution candidates
+//! (paper, Section III-B). The helpers here are the inner word loops of
+//! that filter, shared by the simulation-signature service and the
+//! truth-table machinery so every consumer agrees on bit conventions.
+
+/// True when `a` and `b` differ on any pattern selected by `mask`.
+///
+/// This is the core candidate-filter primitive: with `a` the candidate's
+/// signature, `b` the target's, and `mask` a care-set sample, a `true`
+/// result proves the candidate disagrees with the target on a pattern
+/// where the target is observable — so it can be rejected without any
+/// BDD or SAT reasoning. A `false` result proves nothing (the sample may
+/// simply miss the distinguishing minterm).
+///
+/// # Panics
+///
+/// Panics if the three slices have different lengths.
+pub fn differs_under_mask(a: &[u64], b: &[u64], mask: &[u64]) -> bool {
+    assert_eq!(a.len(), b.len(), "signature length mismatch");
+    assert_eq!(a.len(), mask.len(), "mask length mismatch");
+    a.iter()
+        .zip(b)
+        .zip(mask)
+        .any(|((&wa, &wb), &wm)| (wa ^ wb) & wm != 0)
+}
+
+/// Number of set pattern bits across `words`.
+pub fn count_ones(words: &[u64]) -> u64 {
+    words.iter().map(|w| u64::from(w.count_ones())).sum()
+}
+
+/// Packs a slice of per-pattern booleans into `u64` words, little-endian
+/// within each word (pattern `i` is bit `i % 64` of word `i / 64`). The
+/// tail of the last word is zero-padded.
+pub fn pack_bits(bits: &[bool]) -> Vec<u64> {
+    let mut words = vec![0u64; bits.len().div_ceil(64)];
+    for (i, &bit) in bits.iter().enumerate() {
+        if bit {
+            words[i / 64] |= 1u64 << (i % 64);
+        }
+    }
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn differs_only_where_masked() {
+        let a = [0b1010u64, 0];
+        let b = [0b1000u64, 0];
+        assert!(differs_under_mask(&a, &b, &[0b0010, 0]));
+        assert!(!differs_under_mask(&a, &b, &[0b1101, u64::MAX]));
+        assert!(!differs_under_mask(&a, &a, &[u64::MAX, u64::MAX]));
+    }
+
+    #[test]
+    fn count_ones_sums_words() {
+        assert_eq!(count_ones(&[0b101, u64::MAX]), 2 + 64);
+        assert_eq!(count_ones(&[]), 0);
+    }
+
+    #[test]
+    fn pack_bits_round_trips() {
+        let bits: Vec<bool> = (0..70).map(|i| i % 3 == 0).collect();
+        let words = pack_bits(&bits);
+        assert_eq!(words.len(), 2);
+        for (i, &bit) in bits.iter().enumerate() {
+            assert_eq!((words[i / 64] >> (i % 64)) & 1 == 1, bit, "bit {i}");
+        }
+        // Zero padding past the end.
+        assert_eq!(words[1] >> 6, 0);
+    }
+}

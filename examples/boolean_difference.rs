@@ -4,7 +4,8 @@
 //! Run with: `cargo run --example boolean_difference --release`
 
 use sbm::aig::Aig;
-use sbm::core::engine::{Bdiff, Engine, OptContext};
+use sbm::budget::Budget;
+use sbm::core::engine::{Bdiff, Engine, EngineCtx};
 use sbm::core::verify::equivalent;
 
 fn main() {
@@ -36,7 +37,8 @@ fn main() {
         aig.num_ands()
     );
 
-    let result = Bdiff::default().run(&aig, &mut OptContext::default());
+    let budget = Budget::unlimited();
+    let result = Bdiff::default().optimize(&aig, &EngineCtx::new(&budget));
     println!(
         "Fig. 1(b): f = (∂f/∂g) ⊕ g:           {} AND nodes",
         result.aig.num_ands()

@@ -53,6 +53,8 @@ pub use sbm_core as core;
 pub use sbm_epfl as epfl;
 pub use sbm_journal as journal;
 pub use sbm_lutmap as lutmap;
+pub use sbm_metrics as metrics;
 pub use sbm_sat as sat;
+pub use sbm_sim as sim;
 pub use sbm_sop as sop;
 pub use sbm_tt as tt;

@@ -7,9 +7,9 @@
 
 use sbm::asic::designs::industrial_designs;
 use sbm::asic::mapping::map_to_cells;
-use sbm::core::engine::{Engine, Hetero, OptContext};
+use sbm::core::engine::{Engine, EngineCtx, Hetero};
 use sbm::epfl::{generate, Scale};
-use sbm::sat::equiv::{check_equivalence, EquivResult};
+use sbm::sat::{EquivalenceOracle, MiterOracle, Verdict};
 use sbm::sop::SopNetwork;
 
 #[test]
@@ -19,8 +19,8 @@ fn sop_round_trip_on_benchmarks() {
         let net = SopNetwork::from_aig(&aig);
         let back = net.to_aig();
         assert_eq!(
-            check_equivalence(&aig, &back, None),
-            EquivResult::Equivalent,
+            MiterOracle::new().check(&aig, &back),
+            Verdict::Equivalent,
             "{name} SOP round trip"
         );
     }
@@ -32,11 +32,14 @@ fn hetero_engine_on_decoder_logic() {
     // factors between very wide operators appearing in HDL descriptions
     // of decoders and control logic".
     let aig = generate("dec", Scale::Reduced).expect("known benchmark");
-    let optimized = Hetero::default().run(&aig, &mut OptContext::default()).aig;
+    let budget = sbm::budget::Budget::unlimited();
+    let optimized = Hetero::default()
+        .optimize(&aig, &EngineCtx::new(&budget))
+        .aig;
     assert!(optimized.num_ands() <= aig.num_ands());
     assert_eq!(
-        check_equivalence(&aig, &optimized, None),
-        EquivResult::Equivalent
+        MiterOracle::new().check(&aig, &optimized),
+        Verdict::Equivalent
     );
 }
 

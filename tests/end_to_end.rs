@@ -8,7 +8,7 @@
 use sbm::core::script::{resyn2rs_fixpoint, sbm_script, SbmOptions};
 use sbm::epfl::{generate, Scale};
 use sbm::lutmap::{map_luts, MapOptions};
-use sbm::sat::equiv::{check_equivalence, EquivResult};
+use sbm::sat::{EquivalenceOracle, MiterOracle, Verdict};
 
 /// Benchmarks small enough for full SAT proofs in a test run.
 const SMALL: [&str; 5] = ["int2float", "ctrl", "router", "priority", "dec"];
@@ -25,8 +25,8 @@ fn sbm_script_preserves_function_on_epfl_benchmarks() {
             optimized.num_ands()
         );
         assert_eq!(
-            check_equivalence(&aig, &optimized, None),
-            EquivResult::Equivalent,
+            MiterOracle::new().check(&aig, &optimized),
+            Verdict::Equivalent,
             "{name} changed function"
         );
     }
@@ -97,8 +97,8 @@ fn aiger_round_trip_of_optimized_network() {
     let text = sbm::aig::aiger::write(&optimized);
     let back = sbm::aig::aiger::parse(&text).expect("own AIGER output parses");
     assert_eq!(
-        check_equivalence(&optimized, &back, None),
-        EquivResult::Equivalent
+        MiterOracle::new().check(&optimized, &back),
+        Verdict::Equivalent
     );
 }
 
@@ -115,7 +115,7 @@ fn arbiter_collapses_dramatically() {
         optimized.num_ands()
     );
     assert_eq!(
-        check_equivalence(&aig, &optimized, None),
-        EquivResult::Equivalent
+        MiterOracle::new().check(&aig, &optimized),
+        Verdict::Equivalent
     );
 }
