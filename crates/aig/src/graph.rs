@@ -192,6 +192,7 @@ impl Aig {
     pub fn fanins(&self, id: NodeId) -> (Lit, Lit) {
         match self.nodes[id.index()] {
             Node::And(a, b) => (self.resolve(a), self.resolve(b)),
+            // sbm-lint: allow(A003) documented precondition panic — the `# Panics` contract above is this method's API
             _ => panic!("node {id} is not an AND gate"),
         }
     }
@@ -582,16 +583,23 @@ impl Aig {
     }
 
     /// The pending replacement entries (`old` node → `new` literal), in
-    /// unspecified order. Entries are raw: the `new` literal may itself
-    /// be replaced.
+    /// ascending node order so consumers (validators, codecs) see — and
+    /// report — the same entry first on every run. Entries are raw: the
+    /// `new` literal may itself be replaced.
     pub fn replacements(&self) -> impl Iterator<Item = (NodeId, Lit)> + '_ {
-        self.repl.iter().map(|(&n, &l)| (n, l))
+        let mut entries: Vec<(NodeId, Lit)> = self.repl.iter().map(|(&n, &l)| (n, l)).collect();
+        entries.sort_unstable_by_key(|&(n, _)| n);
+        entries.into_iter()
     }
 
     /// The strash-table entries (canonically ordered fanin pair → node),
-    /// in unspecified order.
+    /// in ascending fanin-pair order so validation walks — and the
+    /// diagnostics they produce — are run-to-run deterministic.
     pub fn strash_entries(&self) -> impl Iterator<Item = ((Lit, Lit), NodeId)> + '_ {
-        self.strash.iter().map(|(&k, &v)| (k, v))
+        let mut entries: Vec<((Lit, Lit), NodeId)> =
+            self.strash.iter().map(|(&k, &v)| (k, v)).collect();
+        entries.sort_unstable();
+        entries.into_iter()
     }
 
     // ------------------------------------------------------------------

@@ -90,6 +90,7 @@ impl Netlist {
                 ("NOR2", Some(b)) => !(a || b),
                 ("XOR2", Some(b)) => a ^ b,
                 ("XNOR2", Some(b)) => !(a ^ b),
+                // sbm-lint: allow(A003) the cell library is a closed compile-time set; an unknown shape is a library-definition bug
                 other => panic!("unknown cell shape {other:?}"),
             };
         }

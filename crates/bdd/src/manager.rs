@@ -671,12 +671,17 @@ impl BddManager {
             .map(|n| (n.var as usize, n.lo, n.hi))
     }
 
-    /// The unique-table entries (`(var, lo, hi)` → handle), in
-    /// unspecified order.
+    /// The unique-table entries (`(var, lo, hi)` → handle), in ascending
+    /// triple order so validation walks — and the diagnostics they
+    /// produce — are run-to-run deterministic.
     pub fn unique_entries(&self) -> impl Iterator<Item = ((usize, Bdd, Bdd), Bdd)> + '_ {
-        self.unique
+        let mut entries: Vec<((usize, Bdd, Bdd), Bdd)> = self
+            .unique
             .iter()
             .map(|(n, &b)| ((n.var as usize, n.lo, n.hi), b))
+            .collect();
+        entries.sort_unstable();
+        entries.into_iter()
     }
 
     /// Number of unique-table entries.

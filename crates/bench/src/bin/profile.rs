@@ -7,14 +7,13 @@
 //!
 //! Usage: `profile [benchmark]` (default `div`).
 
-use std::time::Instant;
-
 use sbm_budget::Budget;
 use sbm_core::engine::{
     Balance, Bdiff, Engine, EngineCtx, Gradient, Hetero, Mspf, Refactor, Resub, Rewrite,
 };
 use sbm_core::script::resyn2rs;
 use sbm_epfl::{generate, Scale};
+use sbm_metrics::Timer;
 use sbm_sat::redundancy::{remove_redundancies, RedundancyOptions};
 use sbm_sat::sweep::{sweep, SweepOptions};
 
@@ -23,13 +22,13 @@ fn stage(
     aig: &sbm_aig::Aig,
     f: impl FnOnce(&sbm_aig::Aig) -> sbm_aig::Aig,
 ) -> sbm_aig::Aig {
-    let t = Instant::now();
+    let t = Timer::start();
     let out = f(aig);
     println!(
         "{name:<12} {:6} -> {:6} nodes  {:8.2}s",
         aig.num_ands(),
         out.num_ands(),
-        t.elapsed().as_secs_f64()
+        t.stop().as_secs_f64()
     );
     out
 }

@@ -99,6 +99,7 @@ impl Budget {
     #[must_use]
     pub fn with_deadline(deadline: Duration) -> Self {
         Budget {
+            // sbm-lint: allow(D002) deadline anchor, not a measurement — budgets trip on wall-clock, Timer has no absolute-deadline API
             inner: Some(Arc::new(Inner::new(Instant::now().checked_add(deadline)))),
         }
     }
@@ -152,6 +153,7 @@ impl Budget {
             return Err(BudgetError::Interrupted);
         }
         if let Some(deadline) = inner.deadline {
+            // sbm-lint: allow(D002) deadline comparison, not a measurement — expiry must track the same clock the deadline was anchored to
             if Instant::now() >= deadline {
                 return Err(BudgetError::DeadlineExceeded);
             }
@@ -171,6 +173,7 @@ impl Budget {
             return Some(Duration::ZERO);
         }
         let deadline = inner.deadline?;
+        // sbm-lint: allow(D002) remaining-time arithmetic against the deadline anchor, not a measurement
         Some(deadline.saturating_duration_since(Instant::now()))
     }
 
@@ -187,6 +190,7 @@ impl Budget {
             return Err(BudgetError::Interrupted);
         }
         if let Some(deadline) = inner.deadline {
+            // sbm-lint: allow(D002) sampled deadline comparison in the hot-loop probe, not a measurement
             if inner.ticks.fetch_add(1, Ordering::Relaxed) & 0xFF == 0 && Instant::now() >= deadline
             {
                 return Err(BudgetError::DeadlineExceeded);

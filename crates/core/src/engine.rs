@@ -28,52 +28,9 @@ use crate::refactor::{refactor_impl, RefactorOptions};
 use crate::resub::{resub_impl, ResubOptions};
 use crate::rewrite::{rewrite_impl, RewriteOptions};
 
-/// Shared context handed to every engine invocation.
-#[deprecated(
-    since = "0.1.0",
-    note = "build a borrowed `EngineCtx` and call `Engine::optimize` instead"
-)]
-#[derive(Debug, Clone)]
-pub struct OptContext {
-    /// Worker threads available to the engine (1 = strictly serial).
-    pub num_threads: usize,
-    /// Resource budget (wall-clock deadline / cancellation) the engine
-    /// must honor; the BDD-backed engines thread it into their managers
-    /// and solvers so a tripped budget interrupts their inner loops.
-    pub budget: Budget,
-}
-
-#[allow(deprecated)]
-impl Default for OptContext {
-    fn default() -> Self {
-        OptContext {
-            num_threads: 1,
-            budget: Budget::unlimited(),
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl OptContext {
-    /// A context with `num_threads` workers and an unlimited budget.
-    pub fn with_threads(num_threads: usize) -> Self {
-        OptContext {
-            num_threads,
-            ..OptContext::default()
-        }
-    }
-
-    /// Replaces the budget, builder-style.
-    #[must_use]
-    pub fn with_budget(mut self, budget: Budget) -> Self {
-        self.budget = budget;
-        self
-    }
-}
-
 /// Borrowed per-invocation context for [`Engine::optimize`] — the one
 /// bundle every engine receives, replacing the owned
-/// [`OptContext`]-plus-side-channels of the pre-redesign API.
+/// context-plus-side-channels of the pre-redesign API.
 ///
 /// All fields are private behind typed accessors so the set can grow
 /// without breaking implementors; construction is builder-style from a
@@ -236,20 +193,6 @@ pub trait Engine: Send + Sync {
     fn name(&self) -> &str;
     /// Runs the pass. Implementations never return a larger network.
     fn optimize(&self, aig: &Aig, ctx: &EngineCtx<'_>) -> EngineResult;
-    /// Pre-redesign entry point; forwards to [`Engine::optimize`] with a
-    /// context carrying the same threads and budget (no checks, no
-    /// faults, no simulation filtering).
-    #[deprecated(
-        since = "0.1.0",
-        note = "call `optimize` with a borrowed `EngineCtx` instead"
-    )]
-    #[allow(deprecated)]
-    fn run(&self, aig: &Aig, ctx: &mut OptContext) -> EngineResult {
-        self.optimize(
-            aig,
-            &EngineCtx::new(&ctx.budget).with_threads(ctx.num_threads),
-        )
-    }
     /// A cheaper preset of this engine for the pipeline's retry ladder:
     /// after a failed invocation (panic or forced bailout) the window is
     /// retried once on this variant before degrading to its original
@@ -654,25 +597,6 @@ mod tests {
                 "{} mis-reported gain",
                 engine.name()
             );
-        }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_run_shim_matches_optimize() {
-        let aig = benchmark_aig();
-        for engine in all_engines() {
-            let mut old_ctx = OptContext::default();
-            let via_run = engine.run(&aig, &mut old_ctx);
-            let budget = Budget::unlimited();
-            let via_optimize = engine.optimize(&aig, &EngineCtx::new(&budget));
-            assert_eq!(
-                via_run.aig.num_ands(),
-                via_optimize.aig.num_ands(),
-                "{} shim diverged",
-                engine.name()
-            );
-            assert_eq!(via_run.stats.gain, via_optimize.stats.gain);
         }
     }
 

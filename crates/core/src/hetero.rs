@@ -127,6 +127,7 @@ pub(crate) fn hetero_eliminate_kernel_impl(
 
         // Sweep the threshold ladder — in parallel when enabled.
         let results: Vec<(usize, SopNetwork)> = if options.parallel {
+            // sbm-lint: allow(C001) scoped fork-join over an immutable network; results are re-ordered by threshold index, so scheduling cannot leak into output
             std::thread::scope(|scope| {
                 let handles: Vec<_> = options
                     .thresholds

@@ -1,0 +1,58 @@
+// A CLI driver, not library code: aborting with a message is the intended
+// error path, so the workspace unwrap/expect denial is relaxed here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
+//! `sbm-lint` — walk the workspace, enforce the determinism /
+//! concurrency / API-hygiene / durability invariants, exit nonzero on
+//! any violation.
+//!
+//! Usage: `sbm-lint [WORKSPACE_ROOT]` (default: the workspace containing
+//! this crate). `ci.sh` runs it in both quick and full modes.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn default_root() -> PathBuf {
+    // Under `cargo run` the manifest dir is crates/lint; the workspace
+    // root is two levels up. Fall back to the current directory.
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(manifest);
+        if let Some(root) = p.ancestors().nth(2) {
+            if root.join("Cargo.toml").is_file() {
+                return root.to_path_buf();
+            }
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map_or_else(default_root, PathBuf::from);
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!("sbm-lint: no Cargo.toml under {}", root.display());
+        return ExitCode::from(2);
+    }
+    let errors = match sbm_lint::lint_workspace(&root) {
+        Ok(errors) => errors,
+        Err(e) => {
+            eprintln!("sbm-lint: walk failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let files = sbm_lint::count_workspace_files(&root).unwrap_or(0);
+    if errors.is_empty() {
+        println!("sbm-lint: clean ({files} files scanned)");
+        return ExitCode::SUCCESS;
+    }
+    for e in &errors {
+        println!("{e}");
+    }
+    println!(
+        "sbm-lint: {} violation(s) in {files} scanned files \
+         (suppress a sound site with `// sbm-lint: allow(CODE) reason`)",
+        errors.len()
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,414 @@
+//! `sbm-lint` — the workspace determinism & concurrency static-analysis
+//! pass.
+//!
+//! The parallel windowed pipeline only stays *reproducible* — identical
+//! results and counters at every thread count — by convention: sorted
+//! iteration, a single sanctioned concurrency module, thread-local tally
+//! drains at serial boundaries, `Timer` instead of ad-hoc clocks,
+//! tmp+rename+fsync persistence. Clippy cannot express any of those
+//! conventions, so this crate enforces them with a hand-rolled,
+//! zero-dependency token scanner (see [`scan`]) and a set of typed,
+//! coded rules (see [`rules`] for the catalog).
+//!
+//! Violations are [`LintError`]s; intentional exceptions are suppressed
+//! *per site* with
+//!
+//! ```text
+//! // sbm-lint: allow(CODE) why this site is sound
+//! ```
+//!
+//! on the offending line or the line above (or `allow-file(CODE)` for a
+//! whole file). A suppression without a reason is itself a violation
+//! (`L001`), and a suppression that no longer suppresses anything is too
+//! (`L002`) — the allow-list can only shrink, never rot.
+//!
+//! The `sbm-lint` binary walks the workspace and exits nonzero on any
+//! violation; `ci.sh` runs it in both quick and full modes.
+
+pub mod rules;
+pub mod scan;
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Every rule this pass can fire, with a stable short code used in
+/// diagnostics and suppression comments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// D001 — unordered `HashMap`/`HashSet` iteration in a
+    /// result-affecting crate.
+    UnorderedHashIter,
+    /// D002 — raw `Instant::now()` / `SystemTime` outside
+    /// `sbm-metrics::Timer`.
+    RawInstant,
+    /// D003 — floating point in counter/report paths.
+    FloatInCounters,
+    /// C001 — `thread::spawn`/`thread::scope` outside `sbm-core::pipeline`.
+    RawThread,
+    /// C002 — raw `Mutex`/`RwLock`/`Condvar` outside `sbm-core::pipeline`.
+    RawMutex,
+    /// C003 — `static mut`.
+    StaticMut,
+    /// C004 — tally drain/note outside the drain discipline.
+    TallyBypass,
+    /// A001 — use of a removed deprecated shim.
+    DeprecatedShim,
+    /// A002 — external dependency in a `Cargo.toml`.
+    NewDependency,
+    /// A003 — `unwrap`/`expect`/`panic!` in library code.
+    PanicInLib,
+    /// P001 — raw file write in `sbm-journal` outside the snapshot helper.
+    RawFileWrite,
+    /// L001 — suppression comment without a reason.
+    SuppressionNoReason,
+    /// L002 — suppression comment that suppresses nothing.
+    UnusedSuppression,
+}
+
+impl LintCode {
+    /// The stable short code (`"D001"`, …) used in output and
+    /// suppression comments.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintCode::UnorderedHashIter => "D001",
+            LintCode::RawInstant => "D002",
+            LintCode::FloatInCounters => "D003",
+            LintCode::RawThread => "C001",
+            LintCode::RawMutex => "C002",
+            LintCode::StaticMut => "C003",
+            LintCode::TallyBypass => "C004",
+            LintCode::DeprecatedShim => "A001",
+            LintCode::NewDependency => "A002",
+            LintCode::PanicInLib => "A003",
+            LintCode::RawFileWrite => "P001",
+            LintCode::SuppressionNoReason => "L001",
+            LintCode::UnusedSuppression => "L002",
+        }
+    }
+
+    /// Short human-readable rule name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintCode::UnorderedHashIter => "unordered-hash-iteration",
+            LintCode::RawInstant => "raw-time-source",
+            LintCode::FloatInCounters => "float-in-counters",
+            LintCode::RawThread => "raw-thread",
+            LintCode::RawMutex => "raw-mutex",
+            LintCode::StaticMut => "static-mut",
+            LintCode::TallyBypass => "tally-bypass",
+            LintCode::DeprecatedShim => "deprecated-shim",
+            LintCode::NewDependency => "new-dependency",
+            LintCode::PanicInLib => "panic-in-lib",
+            LintCode::RawFileWrite => "raw-file-write",
+            LintCode::SuppressionNoReason => "suppression-without-reason",
+            LintCode::UnusedSuppression => "unused-suppression",
+        }
+    }
+
+    /// Parses a short code as written in a suppression comment.
+    pub fn parse(s: &str) -> Option<LintCode> {
+        ALL_CODES.iter().copied().find(|c| c.as_str() == s)
+    }
+}
+
+/// Every code, for `parse` and catalog listings.
+pub const ALL_CODES: [LintCode; 13] = [
+    LintCode::UnorderedHashIter,
+    LintCode::RawInstant,
+    LintCode::FloatInCounters,
+    LintCode::RawThread,
+    LintCode::RawMutex,
+    LintCode::StaticMut,
+    LintCode::TallyBypass,
+    LintCode::DeprecatedShim,
+    LintCode::NewDependency,
+    LintCode::PanicInLib,
+    LintCode::RawFileWrite,
+    LintCode::SuppressionNoReason,
+    LintCode::UnusedSuppression,
+];
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.as_str(), self.name())
+    }
+}
+
+/// One typed diagnostic: a rule fired at an exact location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintError {
+    /// The rule that fired.
+    pub code: LintCode,
+    /// Workspace-relative file path (`/`-separated).
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// What is wrong and what to do instead.
+    pub detail: String,
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.code, self.detail
+        )
+    }
+}
+
+/// Lints one Rust source file given its workspace-relative `path` (with
+/// `/` separators) and contents. Applies suppressions and reports
+/// suppression hygiene (`L001`/`L002`).
+pub fn lint_rust_source(path: &str, src: &str) -> Vec<LintError> {
+    if rules::is_vendored(path) || rules::is_test_path(path) {
+        return Vec::new();
+    }
+    let scan = scan::scan(src);
+    let raw = rules::check_source(path, &scan);
+    apply_suppressions(path, raw, &scan.directives)
+}
+
+/// Lints one `Cargo.toml` given its workspace-relative `path`.
+pub fn lint_cargo_toml(path: &str, text: &str) -> Vec<LintError> {
+    rules::check_cargo_toml(path, text)
+}
+
+/// Filters `raw` violations through the file's suppression directives,
+/// then appends `L001` (reason-less suppression) and `L002` (unused
+/// suppression) diagnostics.
+fn apply_suppressions(
+    path: &str,
+    raw: Vec<LintError>,
+    directives: &[scan::Directive],
+) -> Vec<LintError> {
+    let mut used = vec![false; directives.len()];
+    let mut out = Vec::new();
+    for v in raw {
+        let mut suppressed = false;
+        for (i, d) in directives.iter().enumerate() {
+            let code_matches = d.code == v.code.as_str();
+            let site_matches = d.file_wide || d.line == v.line || d.line + 1 == v.line;
+            if code_matches && site_matches {
+                used[i] = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            out.push(v);
+        }
+    }
+    for (i, d) in directives.iter().enumerate() {
+        if LintCode::parse(&d.code).is_none() {
+            out.push(LintError {
+                code: LintCode::UnusedSuppression,
+                file: path.to_string(),
+                line: d.line,
+                detail: format!("suppression names unknown rule code `{}`", d.code),
+            });
+            continue;
+        }
+        if d.reason.is_empty() {
+            out.push(LintError {
+                code: LintCode::SuppressionNoReason,
+                file: path.to_string(),
+                line: d.line,
+                detail: format!(
+                    "suppression of {} must carry a reason after the closing parenthesis",
+                    d.code
+                ),
+            });
+        }
+        if !used[i] {
+            out.push(LintError {
+                code: LintCode::UnusedSuppression,
+                file: path.to_string(),
+                line: d.line,
+                detail: format!(
+                    "suppression of {} matches no violation on this or the next line; \
+                     remove it so the allow-list cannot rot",
+                    d.code
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Walks the workspace rooted at `root` and lints every first-party
+/// Rust source file and `Cargo.toml`. Results are sorted by
+/// (file, line, code) so output is deterministic.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<LintError>> {
+    let mut errors = Vec::new();
+    let lint_file = |abs: &Path, rel: String, errors: &mut Vec<LintError>| -> io::Result<()> {
+        let text = fs::read_to_string(abs)?;
+        if rel.ends_with("Cargo.toml") {
+            errors.extend(lint_cargo_toml(&rel, &text));
+        } else {
+            errors.extend(lint_rust_source(&rel, &text));
+        }
+        Ok(())
+    };
+
+    // Root manifest and facade crate.
+    lint_file(
+        &root.join("Cargo.toml"),
+        "Cargo.toml".to_string(),
+        &mut errors,
+    )?;
+    for rs in rust_files_under(&root.join("src"))? {
+        let rel = relative(&rs, root);
+        lint_file(&rs, rel, &mut errors)?;
+    }
+
+    // Member crates, in sorted order.
+    let crates_dir = root.join("crates");
+    let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    members.sort();
+    for member in members {
+        let rel_crate = relative(&member, root);
+        if rules::is_vendored(&format!("{rel_crate}/")) {
+            continue;
+        }
+        let manifest = member.join("Cargo.toml");
+        if manifest.is_file() {
+            lint_file(&manifest, relative(&manifest, root), &mut errors)?;
+        }
+        for rs in rust_files_under(&member.join("src"))? {
+            let rel = relative(&rs, root);
+            lint_file(&rs, rel, &mut errors)?;
+        }
+    }
+
+    errors
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.code).cmp(&(b.file.as_str(), b.line, b.code)));
+    Ok(errors)
+}
+
+/// Counts the Rust source files `lint_workspace` would scan (for the
+/// binary's summary line).
+pub fn count_workspace_files(root: &Path) -> io::Result<usize> {
+    let mut n = rust_files_under(&root.join("src"))?.len();
+    let crates_dir = root.join("crates");
+    for entry in fs::read_dir(&crates_dir)? {
+        let member = entry?.path();
+        if !member.is_dir() {
+            continue;
+        }
+        let rel_crate = relative(&member, root);
+        if rules::is_vendored(&format!("{rel_crate}/")) {
+            continue;
+        }
+        n += rust_files_under(&member.join("src"))?.len();
+    }
+    Ok(n)
+}
+
+/// All `.rs` files under `dir`, recursively, sorted. Missing directories
+/// yield an empty list.
+fn rust_files_under(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    if !dir.is_dir() {
+        return Ok(out);
+    }
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&d)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for p in entries {
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// `path` relative to `root`, `/`-separated.
+fn relative(path: &Path, root: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_through_parse() {
+        for code in ALL_CODES {
+            assert_eq!(LintCode::parse(code.as_str()), Some(code));
+        }
+        assert_eq!(LintCode::parse("Z999"), None);
+    }
+
+    #[test]
+    fn display_is_colon_separated() {
+        let e = LintError {
+            code: LintCode::RawInstant,
+            file: "crates/x/src/lib.rs".to_string(),
+            line: 7,
+            detail: "nope".to_string(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "crates/x/src/lib.rs:7: D002 (raw-time-source): nope"
+        );
+    }
+
+    #[test]
+    fn suppression_on_same_or_previous_line_applies() {
+        let src = "fn f() {\n    // sbm-lint: allow(D002) cold startup banner only\n    let t = Instant::now();\n}\n";
+        let errors = lint_rust_source("crates/aig/src/x.rs", src);
+        assert!(errors.is_empty(), "unexpected: {errors:?}");
+    }
+
+    #[test]
+    fn reasonless_suppression_is_l001() {
+        let src = "fn f() {\n    // sbm-lint: allow(D002)\n    let t = Instant::now();\n}\n";
+        let errors = lint_rust_source("crates/aig/src/x.rs", src);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].code, LintCode::SuppressionNoReason);
+        assert_eq!(errors[0].line, 2);
+    }
+
+    #[test]
+    fn unused_suppression_is_l002() {
+        let src = "// sbm-lint: allow(C003) there is no static mut here\nfn f() {}\n";
+        let errors = lint_rust_source("crates/aig/src/x.rs", src);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].code, LintCode::UnusedSuppression);
+    }
+
+    #[test]
+    fn unknown_code_in_suppression_is_reported() {
+        let src = "// sbm-lint: allow(Q404) mystery\nfn f() {}\n";
+        let errors = lint_rust_source("crates/aig/src/x.rs", src);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].code, LintCode::UnusedSuppression);
+        assert!(errors[0].detail.contains("unknown rule code"));
+    }
+
+    #[test]
+    fn vendored_and_test_paths_are_skipped() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert!(lint_rust_source("crates/criterion/src/lib.rs", src).is_empty());
+        assert!(lint_rust_source("crates/aig/tests/proptests.rs", src).is_empty());
+        assert!(!lint_rust_source("crates/aig/src/lib.rs", src).is_empty());
+    }
+}

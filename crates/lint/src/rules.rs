@@ -1,0 +1,523 @@
+//! The rule implementations: token-pattern passes over one scanned file.
+//!
+//! Every rule is scoped by the *workspace-relative path* of the file
+//! (always with `/` separators), so the fixture tests can exercise any
+//! rule by linting fixture text under a synthetic path. The catalog:
+//!
+//! | code | family | invariant |
+//! |------|--------|-----------|
+//! | D001 | determinism | no iteration over `HashMap`/`HashSet` in result-affecting crates unless sorted or order-insensitive |
+//! | D002 | determinism | no raw `Instant::now()` / `SystemTime` outside `sbm-metrics::Timer` |
+//! | D003 | determinism | no floating point in counter/report paths |
+//! | C001 | concurrency | no `thread::spawn` / `thread::scope` outside `sbm-core::pipeline` |
+//! | C002 | concurrency | no raw `Mutex` / `RwLock` / `Condvar` outside `sbm-core::pipeline` |
+//! | C003 | concurrency | no `static mut` |
+//! | C004 | concurrency | no tally drain/note outside the thread-local drain discipline |
+//! | A001 | api | no uses of removed deprecated shims (`OptContext`, bool-returning SAT checks) |
+//! | A002 | api | no external dependencies in any `Cargo.toml` |
+//! | A003 | api | no `unwrap`/`expect`/`panic!` in library code |
+//! | P001 | durability | no raw file writes in `sbm-journal` outside the tmp+rename+fsync helper |
+//! | L001 | meta | suppressions must carry a reason |
+//! | L002 | meta | suppressions must suppress something |
+
+use crate::scan::{Scan, Token};
+use crate::{LintCode, LintError};
+
+/// Crates whose library code feeds optimization *results* or reported
+/// counters; unordered hash iteration there is schedule- or
+/// seed-dependent behavior waiting to happen (rule D001).
+pub const RESULT_AFFECTING_CRATES: [&str; 6] = ["aig", "sop", "bdd", "sat", "core", "sim-service"];
+
+/// Vendored API-compatible shims — not first-party code, never linted.
+pub const VENDORED_CRATES: [&str; 2] = ["proptest", "criterion"];
+
+/// The one module allowed to own raw concurrency primitives: the
+/// partition-parallel executor.
+const CONCURRENCY_MODULE: &str = "crates/core/src/pipeline.rs";
+
+/// Files participating in the thread-local tally drain discipline
+/// (defining modules plus the serial-boundary drain/note call sites).
+const TALLY_DISCIPLINE_FILES: [&str; 9] = [
+    "crates/sat/src/tally.rs",
+    "crates/sat/src/solver.rs",
+    "crates/sat/src/lib.rs",
+    "crates/sim-service/src/lib.rs",
+    "crates/core/src/bdd_bridge.rs",
+    "crates/core/src/pipeline.rs",
+    "crates/core/src/script.rs",
+    "crates/core/src/gradient.rs",
+    "crates/core/src/verify.rs",
+];
+
+/// The tally entry points rule C004 polices.
+const TALLY_FNS: [&str; 6] = [
+    "drain_sat_tally",
+    "drain_bdd_tally",
+    "drain_sim_tally",
+    "note_sat_tally",
+    "note_bdd_tally",
+    "note_sim_tally",
+];
+
+/// Identifiers of the PR 6 deprecated shims, removed in PR 7; rule A001
+/// keeps them from coming back.
+const SHIM_IDENTS: [&str; 4] = [
+    "OptContext",
+    "EquivResult",
+    "check_equivalence",
+    "check_equivalence_budgeted",
+];
+
+/// Hash-container iteration methods whose visit order is unspecified.
+const ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Iterator consumers that are order-insensitive by construction.
+const ORDER_INSENSITIVE: [&str; 6] = ["count", "sum", "len", "is_empty", "all", "any"];
+
+/// True when `path` (workspace-relative, `/`-separated) is inside a
+/// vendored shim crate.
+pub fn is_vendored(path: &str) -> bool {
+    VENDORED_CRATES
+        .iter()
+        .any(|c| path.starts_with(&format!("crates/{c}/")))
+}
+
+/// True for test/bench/example code, which every rule skips.
+pub fn is_test_path(path: &str) -> bool {
+    for dir in ["tests", "benches", "examples", "fixtures"] {
+        if path.starts_with(&format!("{dir}/")) || path.contains(&format!("/{dir}/")) {
+            return true;
+        }
+    }
+    false
+}
+
+fn is_bin_path(path: &str) -> bool {
+    path.contains("/src/bin/") || path.ends_with("/src/main.rs")
+}
+
+fn in_result_affecting_crate(path: &str) -> bool {
+    RESULT_AFFECTING_CRATES
+        .iter()
+        .any(|c| path.starts_with(&format!("crates/{c}/src/")))
+}
+
+fn in_counter_path(path: &str) -> bool {
+    path.starts_with("crates/metrics/src/") || path.ends_with("/tally.rs")
+}
+
+/// Runs every source rule over one scanned file; returns the raw
+/// (pre-suppression) violations.
+pub fn check_source(path: &str, scan: &Scan) -> Vec<LintError> {
+    let mut out = Vec::new();
+    let toks = &scan.tokens;
+    let err = |code: LintCode, line: u32, detail: String| LintError {
+        code,
+        file: path.to_string(),
+        line,
+        detail,
+    };
+
+    // --- D001: unordered hash-container iteration ------------------
+    if in_result_affecting_crate(path) {
+        let hash_bound = hash_typed_idents(toks);
+        for i in 0..toks.len() {
+            if scan.in_test[i] || scan.in_use[i] {
+                continue;
+            }
+            if let Some((name, method)) = hash_iteration_at(toks, i, &hash_bound) {
+                if !iteration_is_ordered(toks, i) {
+                    out.push(err(
+                        LintCode::UnorderedHashIter,
+                        toks[i].line,
+                        format!(
+                            "iteration over hash container `{name}` via `{method}` has \
+                             unspecified order in a result-affecting crate; use BTreeMap/\
+                             BTreeSet, sort before iterating, or allow with a reason"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // --- token-at-a-time rules -------------------------------------
+    for i in 0..toks.len() {
+        if scan.in_test[i] {
+            continue;
+        }
+        let t = toks[i].text.as_str();
+        let line = toks[i].line;
+        let next = |k: usize| toks.get(i + k).map(|t| t.text.as_str());
+
+        // D002: raw time sources outside the Timer layer.
+        if !path.starts_with("crates/metrics/src/") && !scan.in_use[i] {
+            if t == "Instant" && next(1) == Some("::") && next(2) == Some("now") {
+                out.push(err(
+                    LintCode::RawInstant,
+                    line,
+                    "raw `Instant::now()` outside `sbm-metrics::Timer`; use `Timer::start()` \
+                     so spans are values that must be consumed"
+                        .to_string(),
+                ));
+            }
+            if t == "SystemTime" {
+                out.push(err(
+                    LintCode::RawInstant,
+                    line,
+                    "`SystemTime` is wall-clock-of-day and never deterministic; use \
+                     `sbm-metrics::Timer` for spans"
+                        .to_string(),
+                ));
+            }
+        }
+
+        // D003: floating point in counter/report paths.
+        if in_counter_path(path) {
+            let is_float_literal = t.as_bytes().first().is_some_and(u8::is_ascii_digit)
+                && t.contains('.')
+                && !t.ends_with('.');
+            if t == "f32"
+                || t == "f64"
+                || t == "as_secs_f64"
+                || t == "as_secs_f32"
+                || is_float_literal
+            {
+                out.push(err(
+                    LintCode::FloatInCounters,
+                    line,
+                    format!(
+                        "floating point (`{t}`) in a counter/report path; counters and \
+                         serialized reports are integers-only so merges and re-encodes \
+                         are bit-exact"
+                    ),
+                ));
+            }
+        }
+
+        // C001/C002/C003: raw concurrency outside the pipeline module.
+        if path != CONCURRENCY_MODULE && !scan.in_use[i] {
+            if t == "thread" && next(1) == Some("::") {
+                if let Some(what @ ("spawn" | "scope")) = next(2) {
+                    out.push(err(
+                        LintCode::RawThread,
+                        line,
+                        format!(
+                            "`thread::{what}` outside `sbm-core::pipeline`; worker fan-out \
+                             belongs to the pipeline executor so scheduling stays \
+                             deterministic and drains stay per-thread"
+                        ),
+                    ));
+                }
+            }
+            if matches!(t, "Mutex" | "RwLock" | "Condvar") {
+                out.push(err(
+                    LintCode::RawMutex,
+                    line,
+                    format!(
+                        "raw `{t}` outside `sbm-core::pipeline`; shared mutable state \
+                         must not leak into engines — results may become \
+                         schedule-dependent"
+                    ),
+                ));
+            }
+            if t == "static" && next(1) == Some("mut") {
+                out.push(err(
+                    LintCode::StaticMut,
+                    line,
+                    "`static mut` is unsynchronized global state; use thread-locals with \
+                     the drain discipline or pass state through `EngineCtx`"
+                        .to_string(),
+                ));
+            }
+        }
+
+        // C004: tally access outside the drain discipline.
+        if !TALLY_DISCIPLINE_FILES.contains(&path) && TALLY_FNS.contains(&t) {
+            out.push(err(
+                LintCode::TallyBypass,
+                line,
+                format!(
+                    "`{t}` outside the thread-local drain discipline; draining or \
+                     noting tallies elsewhere double-counts or loses counters \
+                     (attribution must be exactly-once)"
+                ),
+            ));
+        }
+
+        // A001: the removed PR 6 shims must not come back.
+        if SHIM_IDENTS.contains(&t) {
+            out.push(err(
+                LintCode::DeprecatedShim,
+                line,
+                format!(
+                    "`{t}` is a removed deprecated shim; use `EngineCtx` + \
+                     `Engine::optimize` / `EquivalenceOracle` + `Verdict` instead"
+                ),
+            ));
+        }
+
+        // A003: panic backstop in library code (CLI drivers exempt —
+        // aborting with a message is their intended error path).
+        if !is_bin_path(path) {
+            let is_method_unwrap = matches!(t, "unwrap" | "expect")
+                && i > 0
+                && toks[i - 1].text == "."
+                && next(1) == Some("(");
+            let is_panic_macro =
+                matches!(t, "panic" | "todo" | "unimplemented") && next(1) == Some("!");
+            if is_method_unwrap || is_panic_macro {
+                out.push(err(
+                    LintCode::PanicInLib,
+                    line,
+                    format!(
+                        "`{t}` in library code; report failures through typed errors \
+                         (backstop to the clippy unwrap/expect deny)"
+                    ),
+                ));
+            }
+        }
+
+        // P001: raw file writes in sbm-journal outside the snapshot
+        // helper, which owns the tmp+rename+fsync discipline.
+        if path.starts_with("crates/journal/src/")
+            && path != "crates/journal/src/snapshot.rs"
+            && !scan.in_use[i]
+        {
+            let is_raw_write = (t == "File" && next(1) == Some("::") && next(2) == Some("create"))
+                || (t == "fs" && next(1) == Some("::") && next(2) == Some("write"))
+                || (t == "OpenOptions" && next(1) == Some("::"));
+            if is_raw_write {
+                out.push(err(
+                    LintCode::RawFileWrite,
+                    line,
+                    format!(
+                        "raw file write (`{t}`) in sbm-journal outside the snapshot \
+                         helper; crash-safe paths must go through tmp+rename+fsync \
+                         (`snapshot::save`) or carry their own documented fsync \
+                         discipline"
+                    ),
+                ));
+            }
+        }
+    }
+
+    out
+}
+
+/// Collects identifiers bound (locals, params, struct fields) to a
+/// `HashMap`/`HashSet` type *visible in this file*: `name: HashMap<..`,
+/// `name: &mut HashSet<..`, or `name = HashMap::new()`-style
+/// initializers. An under-approximation by design — cross-file inference
+/// needs a type checker — but it covers the workspace idiom.
+fn hash_typed_idents(toks: &[Token]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for i in 0..toks.len() {
+        let t = toks[i].text.as_str();
+        if t != "HashMap" && t != "HashSet" {
+            continue;
+        }
+        // Walk back over `std :: collections ::` path prefixes and the
+        // type sigil to find `name :` or `name =`.
+        let mut j = i;
+        while j >= 2 && toks[j - 1].text == "::" {
+            j -= 2;
+        }
+        if j == 0 {
+            continue;
+        }
+        let mut k = j - 1; // token before the path head
+        while k > 0 && matches!(toks[k].text.as_str(), "&" | "mut") {
+            k -= 1;
+        }
+        let sep = toks[k].text.as_str();
+        if (sep == ":" || sep == "=") && k > 0 {
+            let cand = toks[k - 1].text.as_str();
+            let is_ident = cand
+                .as_bytes()
+                .first()
+                .is_some_and(|c| c.is_ascii_alphabetic() || *c == b'_');
+            if is_ident && !names.iter().any(|n| n == cand) {
+                names.push(cand.to_string());
+            }
+        }
+    }
+    names
+}
+
+/// If an iteration over a hash-bound identifier starts at token `i`,
+/// returns `(name, method)`.
+fn hash_iteration_at(toks: &[Token], i: usize, bound: &[String]) -> Option<(String, String)> {
+    let t = toks[i].text.as_str();
+    // `name.iter()` / `name.keys()` / ... (also `self.name.iter()` —
+    // the pattern is anchored on `name`, whatever precedes it).
+    if bound.iter().any(|n| n == t)
+        && toks.get(i + 1).map(|t| t.text.as_str()) == Some(".")
+        && toks
+            .get(i + 2)
+            .is_some_and(|m| ITER_METHODS.contains(&m.text.as_str()))
+        && toks.get(i + 3).map(|t| t.text.as_str()) == Some("(")
+    {
+        return Some((t.to_string(), toks[i + 2].text.clone()));
+    }
+    // `for x in &name {` / `for x in name {` (IntoIterator sugar).
+    if t == "in" {
+        let mut j = i + 1;
+        while toks
+            .get(j)
+            .is_some_and(|t| matches!(t.text.as_str(), "&" | "mut"))
+        {
+            j += 1;
+        }
+        if let Some(name) = toks.get(j) {
+            if bound.iter().any(|n| n == &name.text)
+                && toks.get(j + 1).map(|t| t.text.as_str()) == Some("{")
+            {
+                return Some((name.text.clone(), "for-in".to_string()));
+            }
+        }
+    }
+    // `dst.extend(name)` — iterates `name` in hash order.
+    if t == "extend" && toks.get(i + 1).map(|t| t.text.as_str()) == Some("(") {
+        let mut j = i + 2;
+        while toks
+            .get(j)
+            .is_some_and(|t| matches!(t.text.as_str(), "&" | "mut"))
+        {
+            j += 1;
+        }
+        if let Some(name) = toks.get(j) {
+            if bound.iter().any(|n| n == &name.text)
+                && toks.get(j + 1).map(|t| t.text.as_str()) == Some(")")
+            {
+                return Some((name.text.clone(), "extend".to_string()));
+            }
+        }
+    }
+    None
+}
+
+/// Heuristic for "sorted or order-insensitive": scans the rest of the
+/// statement (and a 4-line grace window after it, for the
+/// collect-then-sort idiom) for a `sort*` call, a `BTreeMap`/`BTreeSet`
+/// destination, or an order-insensitive consumer in the same chain.
+fn iteration_is_ordered(toks: &[Token], start: usize) -> bool {
+    let mut depth: i32 = 0;
+    let mut end = start;
+    let mut stmt_tokens: Vec<&str> = Vec::new();
+    for (j, t) in toks.iter().enumerate().skip(start) {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            ";" if depth <= 0 => {
+                end = j;
+                break;
+            }
+            _ => {}
+        }
+        stmt_tokens.push(t.text.as_str());
+        end = j;
+        if j - start > 120 {
+            break;
+        }
+    }
+    if stmt_tokens.iter().any(|t| {
+        t.starts_with("sort")
+            || *t == "BTreeMap"
+            || *t == "BTreeSet"
+            || ORDER_INSENSITIVE.contains(t)
+    }) {
+        return true;
+    }
+    // Grace window: the binding this statement produced may be sorted on
+    // one of the next few lines (`let mut v: Vec<_> = m.iter().collect();
+    // v.sort();`).
+    let stmt_end_line = toks[end].line;
+    toks.iter()
+        .skip(end)
+        .take_while(|t| t.line <= stmt_end_line + 4)
+        .any(|t| t.text.starts_with("sort"))
+}
+
+/// Lints one `Cargo.toml` (rule A002): every dependency must be an
+/// internal `path`/`workspace` reference — the workspace is
+/// zero-dependency by policy, and a new external crate is a supply-chain
+/// and reproducibility decision that must be taken explicitly.
+pub fn check_cargo_toml(path: &str, text: &str) -> Vec<LintError> {
+    let mut out = Vec::new();
+    let mut directives: Vec<(u32, String, String)> = Vec::new();
+    let mut in_dep_section = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        let line = raw.trim();
+        if let Some(comment) = line.split('#').nth(1) {
+            if let Some(d) = crate::scan::parse_directive(comment, line_no) {
+                directives.push((d.line, d.code, d.reason));
+            }
+        }
+        let code_part = line.split('#').next().unwrap_or("").trim();
+        if code_part.starts_with('[') {
+            let section = code_part.trim_matches(['[', ']']);
+            in_dep_section = section == "dependencies"
+                || section == "dev-dependencies"
+                || section == "build-dependencies"
+                || section == "workspace.dependencies"
+                || (section.starts_with("target.") && section.ends_with("dependencies"));
+            continue;
+        }
+        if !in_dep_section || code_part.is_empty() {
+            continue;
+        }
+        if let Some((name, spec)) = code_part.split_once('=') {
+            let name = name.trim().trim_matches('"');
+            let spec = spec.trim();
+            // Internal references come as `{ workspace = true }`,
+            // `{ path = ".." }` or the dotted form `name.workspace = true`.
+            let internal = spec.contains("workspace = true")
+                || spec.contains("path =")
+                || spec.contains("path=")
+                || name.ends_with(".workspace");
+            let name = name.trim_end_matches(".workspace");
+            if !internal {
+                let suppressed = directives
+                    .iter()
+                    .any(|(l, code, _)| code == "A002" && (*l == line_no || *l + 1 == line_no));
+                if !suppressed {
+                    out.push(LintError {
+                        code: LintCode::NewDependency,
+                        file: path.to_string(),
+                        line: line_no,
+                        detail: format!(
+                            "external dependency `{name}` — the workspace is \
+                             zero-dependency by policy; vendor an API-compatible shim \
+                             under crates/ or gate the feature"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    // Reason / usage hygiene for TOML-side suppressions.
+    for (line, code, reason) in &directives {
+        if code == "A002" && reason.is_empty() {
+            out.push(LintError {
+                code: LintCode::SuppressionNoReason,
+                file: path.to_string(),
+                line: *line,
+                detail: "suppression must carry a reason after the closing parenthesis".to_string(),
+            });
+        }
+    }
+    out
+}

@@ -1,0 +1,461 @@
+//! A minimal hand-rolled Rust lexer — just enough structure for the
+//! token-pattern rules in [`crate::rules`].
+//!
+//! The scanner deliberately avoids a real parser (`syn` would be an
+//! external dependency, which rule `A002` exists to forbid): it produces
+//! a flat token stream with line numbers, strips comments / string and
+//! character literals (so pattern text inside strings never triggers a
+//! rule), extracts `sbm-lint:` suppression directives from comments, and
+//! marks the token spans that belong to `#[cfg(test)]` / `#[test]` items
+//! and to `use` declarations so rules can skip them.
+
+/// One lexed token: identifiers, numeric literals and punctuation.
+/// `::` is fused into a single token; every other punctuation character
+/// stands alone. Comment and literal *contents* never appear.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// The token text.
+    pub text: String,
+}
+
+/// A `sbm-lint: allow(CODE) reason` suppression parsed from a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directive {
+    /// 1-based line of the comment carrying the directive.
+    pub line: u32,
+    /// The rule code being suppressed, e.g. `"D001"`.
+    pub code: String,
+    /// Free-text justification after the closing parenthesis; an empty
+    /// reason is itself a violation (`L001`).
+    pub reason: String,
+    /// True for `allow-file(CODE)`, which suppresses the code for the
+    /// whole file instead of the next/current line.
+    pub file_wide: bool,
+}
+
+/// The result of scanning one Rust source file.
+#[derive(Debug, Default)]
+pub struct Scan {
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// Suppression directives found in comments.
+    pub directives: Vec<Directive>,
+    /// `in_test[i]` — token `i` is inside a `#[cfg(test)]` / `#[test]`
+    /// item (rules skip test code; panics there *are* the report).
+    pub in_test: Vec<bool>,
+    /// `in_use[i]` — token `i` is inside a `use` declaration (imports
+    /// are flagged at their usage sites, not at the import line).
+    pub in_use: Vec<bool>,
+}
+
+/// Scans `src`, producing the token stream plus directive/span metadata.
+pub fn scan(src: &str) -> Scan {
+    let mut tokens = Vec::new();
+    let mut directives = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment: harvest a possible directive, then skip.
+                // Doc comments (`///`, `//!`) are excluded — directive
+                // text there is illustrative, not a suppression.
+                let end = line_end(bytes, i);
+                let is_doc = matches!(bytes.get(i + 2), Some(&b'/') | Some(&b'!'));
+                if !is_doc {
+                    if let Some(d) = parse_directive(&src[i..end], line) {
+                        directives.push(d);
+                    }
+                }
+                i = end;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment (nestable). Directives are only
+                // recognized in line comments.
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => i = skip_string(bytes, i + 1, &mut line),
+            b'r' | b'b' if raw_string_start(bytes, i).is_some() => {
+                // r"..", r#".."#, br".." etc.
+                let (body, hashes) = match raw_string_start(bytes, i) {
+                    Some(pair) => pair,
+                    None => (i + 1, 0),
+                };
+                i = skip_raw_string(bytes, body, hashes, &mut line);
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'"') => i = skip_string(bytes, i + 2, &mut line),
+            b'\'' => {
+                // Lifetime or char literal. `'ident` not followed by a
+                // closing quote is a lifetime; anything else is a char.
+                let mut j = i + 1;
+                if j < bytes.len() && bytes[j] == b'\\' {
+                    // Escaped char literal: skip escape then closing quote.
+                    j += 2;
+                    while j < bytes.len() && bytes[j] != b'\'' {
+                        j += 1;
+                    }
+                    i = j + 1;
+                } else {
+                    let start = j;
+                    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
+                    {
+                        j += 1;
+                    }
+                    if j > start && bytes.get(j) != Some(&b'\'') {
+                        // Lifetime: drop it, rules never need lifetimes.
+                        i = j;
+                    } else {
+                        // Char literal like 'a' or '{'; skip to quote.
+                        let mut k = i + 1;
+                        while k < bytes.len() && bytes[k] != b'\'' && bytes[k] != b'\n' {
+                            k += 1;
+                        }
+                        i = (k + 1).min(bytes.len());
+                    }
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                // A fractional part — but not the `..` range operator.
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    i += 1;
+                    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                }
+                tokens.push(Token {
+                    line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b':' if bytes.get(i + 1) == Some(&b':') => {
+                tokens.push(Token {
+                    line,
+                    text: "::".to_string(),
+                });
+                i += 2;
+            }
+            _ => {
+                tokens.push(Token {
+                    line,
+                    text: (c as char).to_string(),
+                });
+                i += 1;
+            }
+        }
+    }
+
+    let in_test = mark_test_spans(&tokens);
+    let in_use = mark_use_spans(&tokens);
+    Scan {
+        tokens,
+        directives,
+        in_test,
+        in_use,
+    }
+}
+
+fn line_end(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && bytes[i] != b'\n' {
+        i += 1;
+    }
+    i
+}
+
+/// Skips a (non-raw) string literal body starting just after the opening
+/// quote; returns the index just past the closing quote.
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// If a raw (byte) string starts at `i`, returns `(body_start, hashes)`.
+fn raw_string_start(bytes: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'"') {
+        Some((j + 1, hashes))
+    } else {
+        None
+    }
+}
+
+fn skip_raw_string(bytes: &[u8], mut i: usize, hashes: usize, line: &mut u32) -> usize {
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if bytes[i] == b'"' {
+            let mut k = 0;
+            while k < hashes && bytes.get(i + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Parses one line comment for a `sbm-lint: allow(CODE) reason` or
+/// `sbm-lint: allow-file(CODE) reason` directive.
+pub fn parse_directive(comment: &str, line: u32) -> Option<Directive> {
+    let rest = comment.split("sbm-lint:").nth(1)?.trim_start();
+    let (file_wide, rest) = if let Some(r) = rest.strip_prefix("allow-file(") {
+        (true, r)
+    } else if let Some(r) = rest.strip_prefix("allow(") {
+        (false, r)
+    } else {
+        return None;
+    };
+    let close = rest.find(')')?;
+    let code = rest[..close].trim().to_string();
+    let reason = rest[close + 1..].trim().to_string();
+    Some(Directive {
+        line,
+        code,
+        reason,
+        file_wide,
+    })
+}
+
+/// Marks the token spans of `#[cfg(test)]`- and `#[test]`-gated items.
+///
+/// On seeing such an attribute, the following item is marked: up to the
+/// matching `}` of its first brace (an inline `mod tests { .. }` or a
+/// test fn), or to the first `;` when no brace opens first.
+fn mark_test_spans(tokens: &[Token]) -> Vec<bool> {
+    let mut marked = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].text == "#" && tokens.get(i + 1).map(|t| t.text.as_str()) == Some("[") {
+            // Collect the attribute tokens up to the matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1;
+            let mut attr: Vec<&str> = Vec::new();
+            while j < tokens.len() && depth > 0 {
+                match tokens[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    t => attr.push(t),
+                }
+                j += 1;
+            }
+            let is_test_attr = matches!(attr.first().copied(), Some("cfg") | Some("test"))
+                && attr.contains(&"test");
+            if is_test_attr {
+                // Mark from the attribute through the gated item.
+                let mut k = j;
+                let mut brace = 0usize;
+                let mut entered = false;
+                while k < tokens.len() {
+                    match tokens[k].text.as_str() {
+                        "{" => {
+                            brace += 1;
+                            entered = true;
+                        }
+                        "}" => brace = brace.saturating_sub(1),
+                        ";" if !entered => {
+                            k += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                    if entered && brace == 0 {
+                        break;
+                    }
+                }
+                for m in marked.iter_mut().take(k).skip(i) {
+                    *m = true;
+                }
+                i = k;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    marked
+}
+
+/// Marks tokens inside `use ...;` declarations.
+fn mark_use_spans(tokens: &[Token]) -> Vec<bool> {
+    let mut marked = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].text == "use" {
+            let mut j = i;
+            while j < tokens.len() && tokens[j].text != ";" {
+                marked[j] = true;
+                j += 1;
+            }
+            if j < tokens.len() {
+                marked[j] = true;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    marked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        scan(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let toks = texts("let x = \"Instant::now()\"; // Mutex\n/* HashMap */ y");
+        assert_eq!(toks, ["let", "x", "=", ";", "y"]);
+    }
+
+    #[test]
+    fn double_colon_is_fused() {
+        let toks = texts("Instant::now()");
+        assert_eq!(toks, ["Instant", "::", "now", "(", ")"]);
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals() {
+        let toks = texts("fn f<'a>(x: &'a str) { let c = 'z'; let n = '\\n'; }");
+        assert!(!toks.contains(&"z".to_string()));
+        assert!(toks.contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_are_stripped() {
+        let toks = texts("let s = r#\"thread::spawn \"inner\" \"#; end");
+        assert_eq!(toks, ["let", "s", "=", ";", "end"]);
+    }
+
+    #[test]
+    fn numbers_lex_including_floats_and_ranges() {
+        let toks = texts("let a = 1.5f64; for i in 0..10 {}");
+        assert!(toks.contains(&"1.5f64".to_string()));
+        assert!(toks.contains(&"0".to_string()));
+        assert!(toks.contains(&"10".to_string()));
+    }
+
+    #[test]
+    fn directive_parsing() {
+        let d = parse_directive("// sbm-lint: allow(D001) keys feed a strash rebuild", 7)
+            .expect("directive");
+        assert_eq!(d.code, "D001");
+        assert_eq!(d.reason, "keys feed a strash rebuild");
+        assert!(!d.file_wide);
+        let f = parse_directive("// sbm-lint: allow-file(C002)  ", 1).expect("directive");
+        assert!(f.file_wide);
+        assert!(f.reason.is_empty());
+        assert!(parse_directive("// plain comment", 1).is_none());
+    }
+
+    #[test]
+    fn cfg_test_spans_are_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\nfn tail() {}";
+        let s = scan(src);
+        let unwrap_idx = s
+            .tokens
+            .iter()
+            .position(|t| t.text == "unwrap")
+            .expect("unwrap token");
+        assert!(s.in_test[unwrap_idx]);
+        let tail_idx = s
+            .tokens
+            .iter()
+            .position(|t| t.text == "tail")
+            .expect("tail token");
+        assert!(!s.in_test[tail_idx]);
+    }
+
+    #[test]
+    fn use_spans_are_marked() {
+        let src = "use std::sync::Mutex;\nfn f() { Mutex::new(0); }";
+        let s = scan(src);
+        let first = s
+            .tokens
+            .iter()
+            .position(|t| t.text == "Mutex")
+            .expect("import");
+        assert!(s.in_use[first]);
+        let second = s
+            .tokens
+            .iter()
+            .rposition(|t| t.text == "Mutex")
+            .expect("usage");
+        assert!(!s.in_use[second]);
+    }
+}

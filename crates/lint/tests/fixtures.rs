@@ -1,0 +1,290 @@
+//! The fixture corpus: one seeded-violation file per rule code, each
+//! asserted down to the exact `(code, line)`, plus the clean-workspace
+//! gate and suppression round-trips.
+//!
+//! Fixtures live under `tests/fixtures/` (a path every rule skips when
+//! walking the real workspace) and are linted here under *synthetic*
+//! workspace-relative paths, which is what scopes each rule.
+
+use std::path::Path;
+
+use sbm_lint::{lint_cargo_toml, lint_rust_source, LintCode, LintError};
+
+/// Lints fixture text under a synthetic path and returns `(code, line)`
+/// pairs in reported order.
+fn fire(path: &str, src: &str) -> Vec<(LintCode, u32)> {
+    lint_rust_source(path, src)
+        .iter()
+        .map(|e| (e.code, e.line))
+        .collect()
+}
+
+fn assert_files(errors: &[LintError], path: &str) {
+    for e in errors {
+        assert_eq!(e.file, path, "diagnostic carries the linted path");
+    }
+}
+
+#[test]
+fn d001_unordered_hash_iteration() {
+    let src = include_str!("fixtures/d001.rs");
+    let path = "crates/aig/src/fixture.rs";
+    let errors = lint_rust_source(path, src);
+    assert_files(&errors, path);
+    assert_eq!(fire(path, src), vec![(LintCode::UnorderedHashIter, 6)]);
+}
+
+#[test]
+fn d001_is_scoped_to_result_affecting_crates() {
+    // The same pattern in a crate that never touches results is fine.
+    let src = include_str!("fixtures/d001.rs");
+    assert_eq!(fire("crates/epfl/src/fixture.rs", src), vec![]);
+}
+
+#[test]
+fn d002_raw_time_sources() {
+    let src = include_str!("fixtures/d002.rs");
+    assert_eq!(
+        fire("crates/core/src/fixture.rs", src),
+        vec![(LintCode::RawInstant, 5), (LintCode::RawInstant, 6)]
+    );
+    // The Timer layer itself is the one sanctioned clock owner.
+    assert_eq!(fire("crates/metrics/src/fixture.rs", src), vec![]);
+}
+
+#[test]
+fn d003_float_in_counter_paths() {
+    let src = include_str!("fixtures/d003.rs");
+    assert_eq!(
+        fire("crates/metrics/src/fixture.rs", src),
+        vec![(LintCode::FloatInCounters, 4)]
+    );
+    assert_eq!(
+        fire("crates/sat/src/tally.rs", src),
+        vec![(LintCode::FloatInCounters, 4)]
+    );
+    // Outside counter/report paths floats are unrestricted.
+    assert_eq!(fire("crates/asic/src/fixture.rs", src), vec![]);
+}
+
+#[test]
+fn c001_raw_thread_fan_out() {
+    let src = include_str!("fixtures/c001.rs");
+    assert_eq!(
+        fire("crates/core/src/fixture.rs", src),
+        vec![(LintCode::RawThread, 4)]
+    );
+    // The pipeline executor owns worker fan-out.
+    assert_eq!(fire("crates/core/src/pipeline.rs", src), vec![]);
+}
+
+#[test]
+fn c002_raw_mutex() {
+    let src = include_str!("fixtures/c002.rs");
+    assert_eq!(
+        fire("crates/sop/src/fixture.rs", src),
+        vec![(LintCode::RawMutex, 5)]
+    );
+    assert_eq!(fire("crates/core/src/pipeline.rs", src), vec![]);
+}
+
+#[test]
+fn c003_static_mut() {
+    let src = include_str!("fixtures/c003.rs");
+    assert_eq!(
+        fire("crates/bdd/src/fixture.rs", src),
+        vec![(LintCode::StaticMut, 3)]
+    );
+}
+
+#[test]
+fn c004_tally_bypass() {
+    let src = include_str!("fixtures/c004.rs");
+    assert_eq!(
+        fire("crates/journal/src/fixture.rs", src),
+        vec![(LintCode::TallyBypass, 4)]
+    );
+    // The discipline files are the sanctioned drain sites.
+    assert_eq!(fire("crates/sat/src/tally.rs", src), vec![]);
+}
+
+#[test]
+fn a001_removed_shim_resurrection() {
+    let src = include_str!("fixtures/a001.rs");
+    assert_eq!(
+        fire("crates/core/src/fixture.rs", src),
+        vec![(LintCode::DeprecatedShim, 3)]
+    );
+}
+
+#[test]
+fn a002_external_dependency() {
+    let toml = include_str!("fixtures/a002.toml");
+    let path = "crates/fixture/Cargo.toml";
+    let errors = lint_cargo_toml(path, toml);
+    assert_files(&errors, path);
+    let fired: Vec<(LintCode, u32)> = errors.iter().map(|e| (e.code, e.line)).collect();
+    // `rand` on line 7 is external; the dotted workspace dep on line 6
+    // is internal and must not fire.
+    assert_eq!(fired, vec![(LintCode::NewDependency, 7)]);
+    assert!(errors[0].detail.contains("`rand`"), "names the dependency");
+}
+
+#[test]
+fn a002_suppressible_with_reason() {
+    let toml = "[dependencies]\n\
+                # sbm-lint: allow(A002) vendored upstream pin for interop testing\n\
+                rand = \"0.8\"\n";
+    assert_eq!(lint_cargo_toml("crates/x/Cargo.toml", toml), vec![]);
+    let bare = "[dependencies]\n\
+                # sbm-lint: allow(A002)\n\
+                rand = \"0.8\"\n";
+    let fired: Vec<LintCode> = lint_cargo_toml("crates/x/Cargo.toml", bare)
+        .iter()
+        .map(|e| e.code)
+        .collect();
+    assert_eq!(fired, vec![LintCode::SuppressionNoReason]);
+}
+
+#[test]
+fn a003_panic_in_library_code() {
+    let src = include_str!("fixtures/a003.rs");
+    assert_eq!(
+        fire("crates/sop/src/fixture.rs", src),
+        vec![(LintCode::PanicInLib, 4), (LintCode::PanicInLib, 6)]
+    );
+    // CLI drivers abort by design.
+    assert_eq!(fire("crates/bench/src/bin/fixture.rs", src), vec![]);
+}
+
+#[test]
+fn p001_raw_file_write_in_journal() {
+    let src = include_str!("fixtures/p001.rs");
+    assert_eq!(
+        fire("crates/journal/src/fixture.rs", src),
+        vec![(LintCode::RawFileWrite, 4)]
+    );
+    // The snapshot helper owns the tmp+rename+fsync discipline.
+    assert_eq!(fire("crates/journal/src/snapshot.rs", src), vec![]);
+    // Other crates' file IO is out of scope for P001.
+    assert_eq!(fire("crates/bench/src/fixture.rs", src), vec![]);
+}
+
+#[test]
+fn l001_suppression_without_reason() {
+    let src = include_str!("fixtures/l001.rs");
+    // The D002 on line 5 is suppressed (so it does not fire), but the
+    // reason-less directive on line 4 is itself a violation.
+    assert_eq!(
+        fire("crates/core/src/fixture.rs", src),
+        vec![(LintCode::SuppressionNoReason, 4)]
+    );
+}
+
+#[test]
+fn l002_unused_suppression() {
+    let src = include_str!("fixtures/l002.rs");
+    assert_eq!(
+        fire("crates/core/src/fixture.rs", src),
+        vec![(LintCode::UnusedSuppression, 4)]
+    );
+}
+
+#[test]
+fn suppression_round_trip() {
+    // A real violation, allowed with a reason: both the violation and
+    // the directive hygiene diagnostics vanish.
+    let src = "pub fn stamp() -> std::time::Instant {\n\
+               \x20   // sbm-lint: allow(D002) interop with an std API that wants an Instant\n\
+               \x20   std::time::Instant::now()\n\
+               }\n";
+    assert_eq!(fire("crates/core/src/fixture.rs", src), vec![]);
+
+    // Same-line form.
+    let same_line = "pub fn go() {\n\
+                     \x20   let _ = std::time::Instant::now(); // sbm-lint: allow(D002) one-shot probe for a doc example\n\
+                     }\n";
+    assert_eq!(fire("crates/core/src/fixture.rs", same_line), vec![]);
+
+    // File-wide form.
+    let file_wide = "// sbm-lint: allow-file(D002) this module wraps the raw clock\n\
+                     pub fn a() -> std::time::Instant {\n\
+                     \x20   std::time::Instant::now()\n\
+                     }\n\
+                     pub fn b() -> std::time::Instant {\n\
+                     \x20   std::time::Instant::now()\n\
+                     }\n";
+    assert_eq!(fire("crates/core/src/fixture.rs", file_wide), vec![]);
+
+    // Without the directive, the same sources fire.
+    let bare = "pub fn stamp() -> std::time::Instant {\n\
+                \x20   std::time::Instant::now()\n\
+                }\n";
+    assert_eq!(
+        fire("crates/core/src/fixture.rs", bare),
+        vec![(LintCode::RawInstant, 2)]
+    );
+}
+
+#[test]
+fn unknown_code_in_directive_is_rejected() {
+    let src = "pub fn id(x: u32) -> u32 {\n\
+               \x20   // sbm-lint: allow(Z999) not a rule\n\
+               \x20   x\n\
+               }\n";
+    assert_eq!(
+        fire("crates/core/src/fixture.rs", src),
+        vec![(LintCode::UnusedSuppression, 2)]
+    );
+}
+
+#[test]
+fn vendored_and_test_paths_are_skipped() {
+    let src = include_str!("fixtures/c003.rs");
+    assert_eq!(fire("crates/proptest/src/fixture.rs", src), vec![]);
+    assert_eq!(fire("crates/bdd/tests/fixture.rs", src), vec![]);
+    assert_eq!(fire("crates/bdd/examples/fixture.rs", src), vec![]);
+}
+
+#[test]
+fn workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root");
+    let errors = sbm_lint::lint_workspace(root).expect("workspace walk");
+    assert!(
+        errors.is_empty(),
+        "sbm-lint must be clean on the workspace:\n{}",
+        errors
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn every_rule_code_has_fixture_coverage() {
+    // The corpus above seeds each code at least once; this test is the
+    // tripwire that a future rule lands with a fixture.
+    let seeded = [
+        LintCode::UnorderedHashIter,
+        LintCode::RawInstant,
+        LintCode::FloatInCounters,
+        LintCode::RawThread,
+        LintCode::RawMutex,
+        LintCode::StaticMut,
+        LintCode::TallyBypass,
+        LintCode::DeprecatedShim,
+        LintCode::NewDependency,
+        LintCode::PanicInLib,
+        LintCode::RawFileWrite,
+        LintCode::SuppressionNoReason,
+        LintCode::UnusedSuppression,
+    ];
+    assert_eq!(seeded.len(), sbm_lint::ALL_CODES.len());
+    for code in sbm_lint::ALL_CODES {
+        assert!(seeded.contains(&code), "{code} has no fixture");
+    }
+}

@@ -1,0 +1,5 @@
+// Seeded A001: resurrecting a removed deprecated shim.
+
+pub struct OptContext {
+    pub num_threads: usize,
+}

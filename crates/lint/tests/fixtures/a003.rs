@@ -1,0 +1,9 @@
+// Seeded A003: panics in library code.
+
+pub fn read(v: &[u32]) -> u32 {
+    let first = v.first().unwrap();
+    if *first == 0 {
+        panic!("zero");
+    }
+    *first
+}

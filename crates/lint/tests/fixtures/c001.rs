@@ -1,0 +1,6 @@
+// Seeded C001: raw thread fan-out outside the pipeline executor.
+
+pub fn fan_out() -> u32 {
+    let h = std::thread::spawn(|| 1u32);
+    h.join().unwrap_or(0)
+}

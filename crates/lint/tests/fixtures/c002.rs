@@ -1,0 +1,6 @@
+// Seeded C002: raw shared-state primitive outside the pipeline executor.
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub inner: Mutex<u32>,
+}

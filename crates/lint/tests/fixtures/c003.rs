@@ -1,0 +1,3 @@
+// Seeded C003: unsynchronized global state.
+
+pub static mut COUNTER: u32 = 0;

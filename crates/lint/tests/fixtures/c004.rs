@@ -1,0 +1,6 @@
+// Seeded C004: tally drained outside the discipline boundary.
+
+pub fn peek() -> u64 {
+    let (props, confls) = drain_sat_tally();
+    props + confls
+}

@@ -1,0 +1,7 @@
+// Seeded D001: unsorted iteration over a HashMap in a result-affecting crate.
+use std::collections::HashMap;
+
+pub fn first_key(m: &HashMap<u32, u32>) -> Option<u32> {
+    let counts: HashMap<u32, u32> = m.clone();
+    counts.iter().map(|(&k, _)| k).next()
+}

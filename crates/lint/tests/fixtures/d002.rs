@@ -1,0 +1,8 @@
+// Seeded D002: raw time sources outside the Timer layer.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u128 {
+    let t = Instant::now();
+    let _ = SystemTime::now();
+    t.elapsed().as_micros()
+}

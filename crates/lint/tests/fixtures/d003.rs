@@ -1,0 +1,5 @@
+// Seeded D003: floating point in a counter/report path.
+
+pub struct Report {
+    pub mean: f64,
+}

@@ -1,0 +1,6 @@
+// Seeded L001: a suppression that suppresses but gives no reason.
+
+pub fn stamp() -> std::time::Instant {
+    // sbm-lint: allow(D002)
+    std::time::Instant::now()
+}

@@ -1,0 +1,6 @@
+// Seeded L002: a suppression that matches no violation.
+
+pub fn id(x: u32) -> u32 {
+    // sbm-lint: allow(C002) no mutex here at all
+    x
+}

@@ -1,0 +1,5 @@
+// Seeded P001: raw file write in the journal crate.
+
+pub fn write_report(path: &std::path::Path, data: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, data)
+}

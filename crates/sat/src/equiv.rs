@@ -11,28 +11,13 @@
 //! [`Verdict::Refuted`] verdict carries the distinguishing input
 //! assignment — the counterexample witness that simulation services
 //! (`sbm-sim`) ingest to sharpen their filters. [`MiterOracle`] is the
-//! SAT-backed implementation. The pre-oracle free functions
-//! ([`check_equivalence`] / [`check_equivalence_budgeted`]) remain as
-//! deprecated shims for one release.
+//! SAT-backed implementation.
 
 use sbm_aig::Aig;
 use sbm_budget::Budget;
 
 use crate::cnf::encode;
 use crate::solver::{SatLit, SolveResult, Solver};
-
-/// Outcome of an equivalence check (pre-oracle shape, kept for the
-/// deprecated free functions).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum EquivResult {
-    /// The two networks compute identical functions.
-    Equivalent,
-    /// A distinguishing input assignment (counterexample).
-    NotEquivalent(Vec<bool>),
-    /// The conflict budget was exhausted, or the wall-clock budget
-    /// tripped mid-solve.
-    Unknown,
-}
 
 /// Outcome of an [`EquivalenceOracle`] query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -143,57 +128,6 @@ impl EquivalenceOracle for MiterOracle {
     }
 }
 
-/// Checks combinational equivalence of two AIGs with matching interfaces
-/// by building a miter: shared inputs, XOR per output pair, SAT on the OR.
-///
-/// `budget` bounds solver conflicts (`None` = unbounded).
-///
-/// # Panics
-///
-/// Panics if the two networks have different input or output counts.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `MiterOracle::new().with_conflict_budget(budget).check(a, b)` \
-            via the `EquivalenceOracle` trait"
-)]
-pub fn check_equivalence(a: &Aig, b: &Aig, budget: Option<u64>) -> EquivResult {
-    verdict_to_result(MiterOracle::new().with_conflict_budget(budget).check(a, b))
-}
-
-/// Like [`check_equivalence`], but additionally probes a wall-clock /
-/// cancellation [`Budget`] from inside the solver's propagation loop; a
-/// tripped budget yields [`EquivResult::Unknown`].
-///
-/// # Panics
-///
-/// Panics if the two networks have different input or output counts.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `MiterOracle::new().with_conflict_budget(..).with_budget(..).check(a, b)` \
-            via the `EquivalenceOracle` trait"
-)]
-pub fn check_equivalence_budgeted(
-    a: &Aig,
-    b: &Aig,
-    conflict_budget: Option<u64>,
-    budget: &Budget,
-) -> EquivResult {
-    verdict_to_result(
-        MiterOracle::new()
-            .with_conflict_budget(conflict_budget)
-            .with_budget(budget.clone())
-            .check(a, b),
-    )
-}
-
-fn verdict_to_result(verdict: Verdict) -> EquivResult {
-    match verdict {
-        Verdict::Equivalent => EquivResult::Equivalent,
-        Verdict::Refuted(cex) => EquivResult::NotEquivalent(cex),
-        Verdict::Unknown => EquivResult::Unknown,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,16 +205,5 @@ mod tests {
             MiterOracle::new().check(&x, &y),
             Verdict::Refuted(_)
         ));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_answer() {
-        let (x, y) = xor_pair();
-        assert_eq!(check_equivalence(&x, &y, None), EquivResult::Equivalent);
-        assert_eq!(
-            check_equivalence_budgeted(&x, &y, None, &Budget::unlimited()),
-            EquivResult::Equivalent
-        );
     }
 }

@@ -164,6 +164,7 @@ pub struct SigService {
 #[derive(Debug, Default)]
 struct ServiceInner {
     config: SimConfig,
+    // sbm-lint: allow(C002) the cex pool is the service's one shared-state point; appends are commutative and reads snapshot under the same lock
     pool: Mutex<CexPool>,
 }
 
@@ -184,6 +185,7 @@ impl SigService {
         SigService {
             inner: Arc::new(ServiceInner {
                 config,
+                // sbm-lint: allow(C002) constructor for the pool field allowed above
                 pool: Mutex::new(CexPool::default()),
             }),
         }

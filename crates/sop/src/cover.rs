@@ -416,6 +416,7 @@ impl Cover {
                 *counts.entry(l.signal()).or_insert(0) += 1;
             }
         }
+        // sbm-lint: allow(D001) max_by_key key (count, Reverse(signal)) is total over distinct signals — winner is order-independent
         let (&signal, _) = counts
             .iter()
             .max_by_key(|(&s, &n)| (n, std::cmp::Reverse(s)))?;

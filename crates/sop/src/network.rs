@@ -155,6 +155,7 @@ impl SopNetwork {
             }
             match state.get(&s) {
                 Some(2) => continue,
+                // sbm-lint: allow(A003) a cyclic network violates the SopNetwork construction invariant; no caller can recover mid-traversal
                 Some(1) => panic!("combinational cycle through signal {s}"),
                 _ => {}
             }
