@@ -197,4 +197,54 @@ if [[ $quick -eq 1 ]]; then
     fi
 fi
 
+# Server smoke (quick mode): start sbm-server, drive it with loadgen,
+# SIGKILL the server mid-run and restart it over the same store root.
+# The recovery scan must pick the in-flight jobs back up, loadgen must
+# account for every job exactly once (it exits nonzero on anything
+# lost, duplicated or failed), and every streamed RunReport must pass
+# report_check --require-sim. The release-mode soak test (crates/server
+# tests/soak.rs) is the rigorous version; this is the always-on gate.
+if [[ $quick -eq 1 ]]; then
+    echo "==> server kill/restart smoke"
+    cargo build -q -p sbm-server --bins
+    srvdir=$(mktemp -d)
+    server_pid=""
+    trap 'rm -rf "$ckdir" "$srvdir"; kill "$server_pid" 2>/dev/null || true' EXIT
+    addrfile="$srvdir/addr"
+    start_server() {
+        target/debug/sbm-server --root "$srvdir/store" --addr 127.0.0.1:0 \
+            --addr-file "$addrfile" --workers 2 --slice-ms 20 >/dev/null &
+        server_pid=$!
+    }
+    start_server
+    target/debug/loadgen --addr-file "$addrfile" --jobs 32 --clients 4 \
+        --iterations 2 --out "$srvdir/out" --timeout-s 300 --tag ci &
+    load_pid=$!
+    # Kill once a few results exist (or the window passes — tiny corpus
+    # jobs can outrun the poll; the soak test pins the strict timing).
+    for _ in $(seq 1 300); do
+        n=$(find "$srvdir/out" -name '*.json' 2>/dev/null | wc -l)
+        [[ $n -ge 3 ]] && break
+        sleep 0.1
+    done
+    kill -9 "$server_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true
+    start_server
+    if ! wait "$load_pid"; then
+        echo "server smoke: loadgen lost, duplicated or failed jobs" >&2
+        exit 1
+    fi
+    kill "$server_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true
+    got=$(find "$srvdir/out" -name '*.json' | wc -l)
+    if [[ $got -ne 32 ]]; then
+        echo "server smoke: expected 32 reports, found $got" >&2
+        exit 1
+    fi
+    for report in "$srvdir"/out/*.json; do
+        "${report_check[@]}" "$report" --require-sim >/dev/null
+    done
+    echo "server smoke: 32/32 jobs survived the kill/restart"
+fi
+
 echo "CI OK"

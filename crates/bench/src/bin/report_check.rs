@@ -16,7 +16,7 @@ use sbm_metrics::RunReport;
 
 fn fail(msg: &str) -> ! {
     eprintln!("report_check: {msg}");
-    std::process::exit(1);
+    std::process::exit(sbm_metrics::exit::VALIDATION);
 }
 
 fn main() {
@@ -25,12 +25,16 @@ fn main() {
     let require_sim = args.iter().any(|a| a == "--require-sim");
     let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
         eprintln!("usage: report_check PATH [--require-bdd] [--require-sim]");
-        std::process::exit(2);
+        std::process::exit(sbm_metrics::exit::USAGE);
     };
 
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
-        Err(e) => fail(&format!("cannot read {path}: {e}")),
+        Err(e) => {
+            // Unreadable file = environment failure, not a bad report.
+            eprintln!("report_check: cannot read {path}: {e}");
+            std::process::exit(sbm_metrics::exit::RUNTIME);
+        }
     };
     let report = match RunReport::from_json(&text) {
         Ok(report) => report,

@@ -72,14 +72,14 @@ pub fn sim_filter_arg() -> bool {
         if a == "--sim-filter" {
             let Some(value) = args.next() else {
                 eprintln!("--sim-filter needs a value: on | off");
-                std::process::exit(2);
+                std::process::exit(sbm_metrics::exit::USAGE);
             };
             return match value.as_str() {
                 "on" => true,
                 "off" => false,
                 other => {
                     eprintln!("--sim-filter needs on|off, got {other:?}");
-                    std::process::exit(2);
+                    std::process::exit(sbm_metrics::exit::USAGE);
                 }
             };
         }
@@ -96,11 +96,11 @@ pub fn check_arg() -> CheckLevel {
         if a == "--check" {
             let Some(value) = args.next() else {
                 eprintln!("--check needs a level: off | boundaries | paranoid");
-                std::process::exit(2);
+                std::process::exit(sbm_metrics::exit::USAGE);
             };
             return value.parse().unwrap_or_else(|e| {
                 eprintln!("{e}");
-                std::process::exit(2);
+                std::process::exit(sbm_metrics::exit::USAGE);
             });
         }
     }
@@ -117,7 +117,7 @@ pub fn deadline_arg() -> Option<Duration> {
             let seconds: f64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(0.0);
             if seconds <= 0.0 {
                 eprintln!("--deadline needs a positive number of seconds");
-                std::process::exit(2);
+                std::process::exit(sbm_metrics::exit::USAGE);
             }
             return Some(Duration::from_secs_f64(seconds));
         }
@@ -140,14 +140,14 @@ pub fn fault_plan_arg() -> Option<FaultPlan> {
             "--fault-seed" => {
                 seed = Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--fault-seed needs an integer seed");
-                    std::process::exit(2);
+                    std::process::exit(sbm_metrics::exit::USAGE);
                 }));
             }
             "--fault-rate" => {
                 let r: f64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(-1.0);
                 if !(0.0..=1.0 / 3.0).contains(&r) {
                     eprintln!("--fault-rate needs a probability in [0, 0.333]");
-                    std::process::exit(2);
+                    std::process::exit(sbm_metrics::exit::USAGE);
                 }
                 rate = Some(r);
             }
@@ -175,7 +175,7 @@ pub fn checkpoint_args() -> (Option<std::path::PathBuf>, bool) {
             "--checkpoint" => {
                 let Some(value) = args.next() else {
                     eprintln!("--checkpoint needs a directory");
-                    std::process::exit(2);
+                    std::process::exit(sbm_metrics::exit::USAGE);
                 };
                 dir = Some(std::path::PathBuf::from(value));
             }
@@ -185,7 +185,7 @@ pub fn checkpoint_args() -> (Option<std::path::PathBuf>, bool) {
     }
     if resume && dir.is_none() {
         eprintln!("--resume requires --checkpoint DIR (the directory of the interrupted run)");
-        std::process::exit(2);
+        std::process::exit(sbm_metrics::exit::USAGE);
     }
     (dir, resume)
 }
@@ -200,7 +200,7 @@ pub fn only_arg() -> Option<String> {
         if a == "--only" {
             let Some(value) = args.next() else {
                 eprintln!("--only needs a benchmark name (comma-separated substring match)");
-                std::process::exit(2);
+                std::process::exit(sbm_metrics::exit::USAGE);
             };
             return Some(value);
         }
@@ -227,7 +227,7 @@ pub fn report_json_arg() -> Option<std::path::PathBuf> {
         if a == "--report-json" {
             let Some(value) = args.next() else {
                 eprintln!("--report-json needs an output path");
-                std::process::exit(2);
+                std::process::exit(sbm_metrics::exit::USAGE);
             };
             return Some(std::path::PathBuf::from(value));
         }
@@ -237,11 +237,13 @@ pub fn report_json_arg() -> Option<std::path::PathBuf> {
 
 /// Writes a [`sbm_metrics::RunReport`] to the `--report-json` path,
 /// aborting loudly on I/O failure (a benchmark run whose report silently
-/// vanished is worse than one that failed).
+/// vanished is worse than one that failed). The exit code is
+/// [`sbm_metrics::exit::RUNTIME`]: the invocation was fine, the
+/// environment failed.
 pub fn write_report(path: &std::path::Path, report: &sbm_metrics::RunReport) {
     if let Err(e) = std::fs::write(path, report.to_json()) {
         eprintln!("cannot write report to {}: {e}", path.display());
-        std::process::exit(2);
+        std::process::exit(sbm_metrics::exit::RUNTIME);
     }
     println!("run report written to {}", path.display());
 }

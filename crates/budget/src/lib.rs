@@ -61,6 +61,10 @@ struct Inner {
     /// Probe counter shared by all clones; amortizes clock reads in
     /// [`Budget::probe`].
     ticks: AtomicU32,
+    /// Link to the budget this one was derived from via
+    /// [`Budget::child`]. Cancellation flows *down* the chain (a child
+    /// observes every ancestor's flag) but never up.
+    parent: Option<Arc<Inner>>,
 }
 
 impl Inner {
@@ -69,7 +73,25 @@ impl Inner {
             deadline,
             cancel: AtomicBool::new(false),
             ticks: AtomicU32::new(0),
+            parent: None,
         }
+    }
+
+    /// True when this budget or any ancestor has been cancelled. The
+    /// chain is short (slice budgets nest one or two levels deep) so a
+    /// linear walk of relaxed loads stays cheap enough for probes.
+    fn cancelled(&self) -> bool {
+        if self.cancel.load(Ordering::Relaxed) {
+            return true;
+        }
+        let mut ancestor = self.parent.as_deref();
+        while let Some(inner) = ancestor {
+            if inner.cancel.load(Ordering::Relaxed) {
+                return true;
+            }
+            ancestor = inner.parent.as_deref();
+        }
+        false
     }
 }
 
@@ -134,12 +156,41 @@ impl Budget {
         }
     }
 
-    /// True once [`Budget::cancel`] has been called on any clone.
+    /// True once [`Budget::cancel`] has been called on any clone — or,
+    /// for a [`Budget::child`], on any clone of an ancestor.
     #[must_use]
     pub fn is_cancelled(&self) -> bool {
-        self.inner
-            .as_ref()
-            .is_some_and(|inner| inner.cancel.load(Ordering::Relaxed))
+        self.inner.as_ref().is_some_and(|inner| inner.cancelled())
+    }
+
+    /// Derives a sub-budget for one preemption slice: its deadline is
+    /// clamped to `min(parent.remaining(), deadline)` and it observes
+    /// the parent's cancellation flag, so cancelling the parent trips
+    /// the child at its next probe. Cancelling the *child* does not
+    /// affect the parent — a preempted slice leaves the enclosing job
+    /// budget live for the resume re-run.
+    ///
+    /// A child of an already-cancelled parent trips immediately; a
+    /// child of an unlimited parent behaves like
+    /// [`Budget::with_deadline`].
+    #[must_use]
+    pub fn child(&self, deadline: Duration) -> Budget {
+        // sbm-lint: allow(D002) deadline anchor, not a measurement — same clock discipline as with_deadline
+        let own = Instant::now().checked_add(deadline);
+        let Some(parent) = &self.inner else {
+            return Budget {
+                inner: Some(Arc::new(Inner::new(own))),
+            };
+        };
+        let clamped = match (parent.deadline, own) {
+            (Some(p), Some(c)) => Some(p.min(c)),
+            (p, c) => p.or(c),
+        };
+        let mut inner = Inner::new(clamped);
+        inner.parent = Some(Arc::clone(parent));
+        Budget {
+            inner: Some(Arc::new(inner)),
+        }
     }
 
     /// Checks the budget exactly: `Err` once cancelled or past the
@@ -149,7 +200,7 @@ impl Budget {
         let Some(inner) = &self.inner else {
             return Ok(());
         };
-        if inner.cancel.load(Ordering::Relaxed) {
+        if inner.cancelled() {
             return Err(BudgetError::Interrupted);
         }
         if let Some(deadline) = inner.deadline {
@@ -169,7 +220,7 @@ impl Budget {
     #[must_use]
     pub fn remaining(&self) -> Option<Duration> {
         let inner = self.inner.as_ref()?;
-        if inner.cancel.load(Ordering::Relaxed) {
+        if inner.cancelled() {
             return Some(Duration::ZERO);
         }
         let deadline = inner.deadline?;
@@ -186,7 +237,7 @@ impl Budget {
         let Some(inner) = &self.inner else {
             return Ok(());
         };
-        if inner.cancel.load(Ordering::Relaxed) {
+        if inner.cancelled() {
             return Err(BudgetError::Interrupted);
         }
         if let Some(deadline) = inner.deadline {
@@ -304,6 +355,77 @@ mod tests {
             "computation cancelled"
         );
         assert_ne!(BudgetError::DeadlineExceeded, BudgetError::Interrupted);
+    }
+
+    #[test]
+    fn child_clamps_to_parent_remaining() {
+        // Parent expires sooner than the requested child slice: the
+        // child inherits the tighter (parent) deadline.
+        let parent = Budget::with_deadline(Duration::from_millis(50));
+        let child = parent.child(Duration::from_secs(3600));
+        let left = child.remaining().expect("child carries a deadline");
+        assert!(left <= Duration::from_millis(50));
+
+        // Child slice tighter than the parent: the slice wins.
+        let parent = Budget::with_deadline(Duration::from_secs(3600));
+        let child = parent.child(Duration::ZERO);
+        assert_eq!(child.check(), Err(BudgetError::DeadlineExceeded));
+        assert!(parent.check().is_ok());
+    }
+
+    #[test]
+    fn child_of_unlimited_or_cancellable_parent() {
+        let child = Budget::unlimited().child(Duration::from_secs(3600));
+        assert!(!child.is_unlimited());
+        assert!(child.check().is_ok());
+        assert!(child.remaining().is_some());
+
+        let parent = Budget::cancellable();
+        let child = parent.child(Duration::from_secs(3600));
+        assert!(child.check().is_ok());
+        parent.cancel();
+        assert_eq!(child.check(), Err(BudgetError::Interrupted));
+    }
+
+    #[test]
+    fn parent_cancel_trips_child_but_not_vice_versa() {
+        let parent = Budget::with_deadline(Duration::from_secs(3600));
+        let child = parent.child(Duration::from_secs(1800));
+        child.cancel();
+        assert_eq!(child.check(), Err(BudgetError::Interrupted));
+        assert_eq!(child.probe(), Err(BudgetError::Interrupted));
+        assert_eq!(child.remaining(), Some(Duration::ZERO));
+        // A preempted slice must leave the job budget untouched.
+        assert!(parent.check().is_ok());
+        assert!(!parent.is_cancelled());
+
+        // And a fresh slice off the same parent starts clean.
+        let next = parent.child(Duration::from_secs(1800));
+        assert!(next.check().is_ok());
+
+        parent.cancel();
+        assert!(next.is_cancelled());
+        assert_eq!(next.probe(), Err(BudgetError::Interrupted));
+    }
+
+    #[test]
+    fn grandchild_observes_whole_ancestry() {
+        let job = Budget::cancellable();
+        let slice = job.child(Duration::from_secs(3600));
+        let step = slice.child(Duration::from_secs(3600));
+        assert!(step.check().is_ok());
+        job.cancel();
+        assert_eq!(step.check(), Err(BudgetError::Interrupted));
+        assert_eq!(slice.check(), Err(BudgetError::Interrupted));
+    }
+
+    #[test]
+    fn child_of_cancelled_parent_trips_immediately() {
+        let parent = Budget::cancellable();
+        parent.cancel();
+        let child = parent.child(Duration::from_secs(3600));
+        assert_eq!(child.check(), Err(BudgetError::Interrupted));
+        assert!(child.is_cancelled());
     }
 
     #[test]

@@ -48,11 +48,23 @@ use crate::rewrite::{rewrite_impl, RewriteOptions};
 /// commits its pending counterexamples. Committing anywhere finer-grained
 /// (e.g. inside a nested pass) would expose patterns to concurrently
 /// running windows and make results depend on scheduling.
+///
+/// In canonical-steps mode the pool is **reset** instead of committed:
+/// carried-over counterexamples are run state a snapshot does not
+/// capture, and under finite SAT/move budgets they change which exact
+/// checks run and therefore the result — a resumed run would diverge
+/// from the uninterrupted one. Resetting keeps every step a pure
+/// function of its input network, which is what makes park-and-resume
+/// byte-identical to a straight run.
 fn bank_tallies(report: &mut PipelineReport, ctx: &StepCtx) {
     report.bdd.merge(&crate::bdd_bridge::drain_bdd_tally());
     report.sat.merge(&sbm_sat::drain_sat_tally());
     if let Some(svc) = &ctx.sim {
-        svc.commit_pending();
+        if ctx.canonical {
+            svc.reset();
+        } else {
+            svc.commit_pending();
+        }
     }
     report.sim.merge(&sbm_sim::drain_sim_tally());
 }
@@ -129,6 +141,10 @@ struct StepCtx {
     /// [`SbmOptions::sim_filter`] is off). Clones of the handle share one
     /// pattern pool, so every step refines the same signatures.
     sim: Option<SigService>,
+    /// [`SbmOptions::canonical_steps`]: every step's output is cleaned
+    /// before the next step sees it, so the live network always equals
+    /// what a snapshot of it would reload as.
+    canonical: bool,
 }
 
 /// Step-grained checkpoint state of one script run. Scripts are a fixed
@@ -208,7 +224,8 @@ impl ScriptCkpt {
 /// exactly `f(cur)`.
 fn checkpointed(cur: Aig, ctx: &StepCtx, f: impl FnOnce(Aig) -> Aig) -> Aig {
     let Some(ck) = &ctx.ckpt else {
-        return f(cur);
+        let next = f(cur);
+        return if ctx.canonical { next.cleanup() } else { next };
     };
     let step_no = ck.seen.get() + 1;
     ck.seen.set(step_no);
@@ -216,6 +233,9 @@ fn checkpointed(cur: Aig, ctx: &StepCtx, f: impl FnOnce(Aig) -> Aig) -> Aig {
         return cur;
     }
     let next = f(cur);
+    // Canonical mode: continue from exactly the network a snapshot would
+    // reload as, so a park-and-resume replays this run bit for bit.
+    let next = if ctx.canonical { next.cleanup() } else { next };
     if ck.clean.get() {
         if ctx.budget.check().is_err() {
             // The budget expired somewhere inside this step; its output
@@ -224,7 +244,11 @@ fn checkpointed(cur: Aig, ctx: &StepCtx, f: impl FnOnce(Aig) -> Aig) -> Aig {
             // clean snapshot.
             ck.clean.set(false);
         } else if (step_no as usize).is_multiple_of(ck.every.max(1)) {
-            ck.save(&next.cleanup(), step_no);
+            if ctx.canonical {
+                ck.save(&next, step_no);
+            } else {
+                ck.save(&next.cleanup(), step_no);
+            }
         }
     }
     next
@@ -442,6 +466,18 @@ pub struct SbmOptions {
     /// every step, larger values amortize the write at the cost of
     /// re-running at most that many steps after a crash.
     pub checkpoint_every: usize,
+    /// Canonical step outputs (`false`, the default): when `true`, every
+    /// script step's result is cleaned before the next step sees it —
+    /// exactly the form snapshots persist — and the simulation service's
+    /// counterexample pool is reset at step boundaries (carried patterns
+    /// are state no snapshot captures, and under finite budgets they
+    /// change results). Each step is then a pure function of its input
+    /// network, so a park-and-resume traverses identical intermediate
+    /// networks and produces byte-identical results. `sbm-server` turns
+    /// this on for every job; one-shot runs keep the historical
+    /// (uncleaned, cross-step-refined) behaviour. Changes results, so it
+    /// is part of the checkpoint fingerprint.
+    pub canonical_steps: bool,
 }
 
 impl Default for SbmOptions {
@@ -460,6 +496,7 @@ impl Default for SbmOptions {
             fault_plan: None,
             checkpoint_dir: None,
             checkpoint_every: 1,
+            canonical_steps: false,
         }
     }
 }
@@ -647,6 +684,15 @@ impl SbmOptionsBuilder {
         self
     }
 
+    /// Canonical step outputs: clean every step's result before the next
+    /// step sees it, making park-and-resume byte-identical to a straight
+    /// run (see [`SbmOptions::canonical_steps`]).
+    #[must_use]
+    pub fn canonical_steps(mut self, canonical: bool) -> Self {
+        self.options.canonical_steps = canonical;
+        self
+    }
+
     /// Validates and produces the options.
     pub fn build(self) -> Result<SbmOptions, OptionsError> {
         let o = self.options;
@@ -705,7 +751,28 @@ pub fn sbm_script(aig: &Aig, options: &SbmOptions) -> Aig {
 /// additionally persists step-grained progress; checkpoint I/O failures
 /// are best-effort (reported, never fatal).
 pub fn sbm_script_report(aig: &Aig, options: &SbmOptions) -> Optimized<PipelineReport> {
-    script_body(aig, options, None, PipelineReport::default())
+    script_body(aig, options, None, None, PipelineReport::default())
+}
+
+/// [`sbm_script_report`] under an externally owned [`Budget`] instead of
+/// one derived from [`SbmOptions::deadline`] (which is ignored here).
+/// This is the job-server entry point: the caller keeps a handle on the
+/// budget, so it can preempt the run cooperatively ([`Budget::cancel`])
+/// or bound it with a slice sub-budget ([`Budget::child`]) while the
+/// script persists checkpoints as usual — a preempted run is parked, not
+/// lost.
+pub fn sbm_script_budgeted(
+    aig: &Aig,
+    options: &SbmOptions,
+    budget: &Budget,
+) -> Optimized<PipelineReport> {
+    script_body(
+        aig,
+        options,
+        Some(budget.clone()),
+        None,
+        PipelineReport::default(),
+    )
 }
 
 /// Resumes an interrupted checkpointed script run from
@@ -720,6 +787,24 @@ pub fn sbm_script_report(aig: &Aig, options: &SbmOptions) -> Optimized<PipelineR
 pub fn sbm_script_resumable(
     aig: &Aig,
     options: &SbmOptions,
+) -> Result<Optimized<PipelineReport>, JournalError> {
+    sbm_script_resumable_inner(aig, options, None)
+}
+
+/// [`sbm_script_resumable`] under an externally owned [`Budget`] (see
+/// [`sbm_script_budgeted`]); [`SbmOptions::deadline`] is ignored.
+pub fn sbm_script_resumable_budgeted(
+    aig: &Aig,
+    options: &SbmOptions,
+    budget: &Budget,
+) -> Result<Optimized<PipelineReport>, JournalError> {
+    sbm_script_resumable_inner(aig, options, Some(budget.clone()))
+}
+
+fn sbm_script_resumable_inner(
+    aig: &Aig,
+    options: &SbmOptions,
+    budget: Option<Budget>,
 ) -> Result<Optimized<PipelineReport>, JournalError> {
     let dir = options
         .checkpoint_dir
@@ -749,19 +834,24 @@ pub fn sbm_script_resumable(
         }),
         ..PipelineReport::default()
     };
-    Ok(script_body(aig, options, Some((ckpt, net)), report))
+    Ok(script_body(aig, options, budget, Some((ckpt, net)), report))
 }
 
 /// The script fingerprint stamped into step snapshots: every builder-
 /// level knob that changes *results* — iterations, engine limits, SAT
 /// budgets, checking, fault plan. Thread count, deadline and the
 /// checkpoint configuration itself are excluded (timing/durability only,
-/// a resume may change them).
-fn script_fingerprint(options: &SbmOptions) -> u64 {
+/// a resume may change them). Public so embedders (the job server) can
+/// reason about checkpoint compatibility without re-deriving the rule.
+#[must_use]
+pub fn script_fingerprint(options: &SbmOptions) -> u64 {
     let mut h = Fnv64::new();
-    h.write_str("sbm-script-v2");
+    // v4: canonical-steps mode resets the sim-service pattern pool at
+    // step boundaries (older canonical snapshots replay differently).
+    h.write_str("sbm-script-v4");
     h.write_u64(options.iterations as u64);
     h.write_u64(u64::from(options.sim_filter));
+    h.write_u64(u64::from(options.canonical_steps));
     match options.sat_budget {
         None => h.write_u64(0),
         Some(b) => {
@@ -792,10 +882,13 @@ fn script_fingerprint(options: &SbmOptions) -> u64 {
 }
 
 /// The shared body of [`sbm_script_report`] (fresh, `resume = None`) and
-/// [`sbm_script_resumable`] (resuming from a loaded snapshot).
+/// [`sbm_script_resumable`] (resuming from a loaded snapshot). An
+/// external `budget` (the `*_budgeted` entry points) replaces the one
+/// derived from [`SbmOptions::deadline`].
 fn script_body(
     aig: &Aig,
     options: &SbmOptions,
+    budget: Option<Budget>,
     resume: Option<(ScriptCkpt, Aig)>,
     mut report: PipelineReport,
 ) -> Optimized<PipelineReport> {
@@ -847,10 +940,11 @@ fn script_body(
     // One budget governs the whole run: every engine step, inner pass and
     // SAT gate below shares it, so the deadline bounds the run end to end.
     let ctx = StepCtx {
-        budget: Budget::from_deadline(options.deadline),
+        budget: budget.unwrap_or_else(|| Budget::from_deadline(options.deadline)),
         fault_plan: options.fault_plan,
         ckpt,
         sim: options.sim_filter.then(SigService::default),
+        canonical: options.canonical_steps,
     };
     // Attribution boundary for the sim tallies too (mirrors BDD/SAT).
     let _ = sbm_sim::drain_sim_tally();
@@ -979,7 +1073,24 @@ fn script_body(
         });
         bank_tallies(&mut report, &ctx);
     }
-    let mut result = cur.cleanup();
+    // Whether this run executed at least one step beyond the loaded
+    // snapshot (a resumed run that trips before its first live step —
+    // or skips everything — does no new work).
+    let ran_new_steps = ctx
+        .ckpt
+        .as_ref()
+        .is_none_or(|ck| ck.seen.get() > ck.resume_from);
+    // Final cleanup. NOT applied in canonical mode: there every step's
+    // output is already in cleaned (snapshot) form, and `cleanup` is not
+    // idempotent — renumbering can flip stored fanin-pair order, so
+    // re-cleaning a reloaded snapshot would diverge from the run that
+    // wrote it. A run that did no new work likewise returns the network
+    // it loaded (or the cleaned input) untouched.
+    let mut result = if ctx.canonical || !ran_new_steps {
+        cur
+    } else {
+        cur.cleanup()
+    };
 
     // Boundary post-check: the final network must satisfy every AIG
     // invariant and agree with the input on 64 random patterns; a
@@ -1006,8 +1117,12 @@ fn script_body(
         // Final checkpoint: when every executed step completed cleanly
         // (no mid-step budget expiry), persist the finished network so a
         // subsequent resume is a pure replay. Otherwise the last cadence
-        // snapshot stands and resume re-runs from there.
-        if ck.clean.get() {
+        // snapshot stands and resume re-runs from there. A run that did
+        // no new work must not save: its `seen` is at or below the
+        // loaded snapshot's seq, and overwriting at a lower seq would
+        // regress the checkpoint and make the next resume replay steps
+        // onto an already-optimized network.
+        if ck.clean.get() && ran_new_steps {
             ck.save(&result, ck.seen.get());
         }
         if report.checkpoint_error.is_none() {
@@ -1211,6 +1326,74 @@ mod tests {
         assert_eq!(restarted.aig.num_ands(), full.aig.num_ands());
         assert!(proven_equivalent(&net, &restarted.aig));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budgeted_canonical_run_parks_and_resumes_byte_identically() {
+        // The job-server execution model: a run under a cancellable slice
+        // budget is preempted at an arbitrary point, parked as its last
+        // clean checkpoint, and later resumed under a fresh budget. With
+        // canonical_steps on, the resumed run must converge on a result
+        // byte-identical to an uninterrupted run of the same options.
+        let dir = std::env::temp_dir().join(format!("sbm-script-park-{}", std::process::id()));
+        let ref_dir =
+            std::env::temp_dir().join(format!("sbm-script-parkref-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&ref_dir);
+        let aig = benchmark_aig();
+        let mk = |d: &Path| {
+            SbmOptions::builder()
+                .iterations(1)
+                .checkpoint_dir(Some(d.to_path_buf()))
+                .canonical_steps(true)
+                .build()
+                .expect("valid configuration")
+        };
+        let reference = sbm_script_report(&aig, &mk(&ref_dir));
+        let ref_text = sbm_aig::aiger::write(&reference.aig);
+
+        // Slice 1: preempt mid-run from another thread. Whatever step the
+        // cancel lands in, that step is never persisted (clean=false), so
+        // the checkpoint holds only fully completed, cleaned steps.
+        let options = mk(&dir);
+        let slice = Budget::cancellable();
+        let canceller = slice.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(15));
+            canceller.cancel();
+        });
+        let parked = sbm_script_budgeted(&aig, &options, &slice);
+        handle.join().expect("canceller");
+        // The preempted result may be degraded; the server discards it.
+        drop(parked);
+
+        // Slice 2: resume with an open-ended budget and run to the end.
+        let resumed = sbm_script_resumable_budgeted(&aig, &options, &Budget::unlimited())
+            .expect("resume from parked checkpoint");
+        assert_eq!(sbm_aig::aiger::write(&resumed.aig), ref_text);
+
+        // A third resume replays the finished snapshot, still identical.
+        let replayed = sbm_script_resumable_budgeted(&aig, &options, &Budget::unlimited())
+            .expect("pure replay");
+        assert_eq!(sbm_aig::aiger::write(&replayed.aig), ref_text);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&ref_dir);
+    }
+
+    #[test]
+    fn canonical_fingerprint_differs_from_default() {
+        // canonical_steps changes results, so a snapshot recorded with it
+        // must not resume under the default options (and vice versa).
+        let base = SbmOptions::builder()
+            .iterations(1)
+            .build()
+            .expect("valid configuration");
+        let canonical = SbmOptions::builder()
+            .iterations(1)
+            .canonical_steps(true)
+            .build()
+            .expect("valid configuration");
+        assert_ne!(script_fingerprint(&base), script_fingerprint(&canonical));
     }
 
     #[test]

@@ -1,0 +1,177 @@
+// Test code: a panic IS the failure report (clippy.toml only relaxes
+// unwrap/expect inside #[test] fns, not test-file helpers).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
+//! Race-shaped property tests for concurrent checkpoint writers: the
+//! job server runs one snapshot writer per worker, each in its own
+//! per-job subdirectory. Two writers snapshotting into *sibling*
+//! directories must never observe each other's `.tmp` files or torn
+//! state, and a concurrent reader polling a job's snapshot (the
+//! recovery scan does exactly this) must only ever see a complete,
+//! CRC-valid network that some writer actually wrote — or no file at
+//! all. Extends the byte-flip corruption suite with scheduling
+//! nondeterminism instead of byte-level damage.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+
+use proptest::prelude::*;
+use sbm_aig::Aig;
+use sbm_journal::{read_aig_snapshot, write_aig_snapshot};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sbm-races-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A small deterministic network parameterized by `(writer, seq)`: the
+/// reader recomputes it from the metadata it read back and demands
+/// byte-identity, so any torn or cross-wired payload is caught.
+fn network(writer: u64, seq: u64) -> Aig {
+    let mut aig = Aig::new();
+    let a = aig.add_input();
+    let b = aig.add_input();
+    let c = aig.add_input();
+    let mut cur = aig.and(a, b);
+    // Mix the identity into the shape, not just the size.
+    let mut bits = writer.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seq;
+    for _ in 0..(4 + (seq % 7)) {
+        let other = if bits & 1 == 0 { b } else { c };
+        cur = if bits & 2 == 0 {
+            aig.and(cur, other)
+        } else {
+            aig.or(cur, other.complement_if(true))
+        };
+        bits >>= 2;
+    }
+    aig.add_output(cur);
+    aig.cleanup()
+}
+
+/// Every snapshot file a writer produces lives at the same path, like
+/// the script's single overwritten state file.
+fn snapshot_path(root: &Path, writer: u64) -> PathBuf {
+    root.join(format!("job-{writer}")).join("state.sbmj")
+}
+
+/// A per-job directory may only ever contain that job's snapshot and
+/// its own transient tmp file — a sibling writer's tmp or any other
+/// residue leaking in is a durability bug.
+fn assert_only_own_files(dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.filter_map(Result::ok) {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        assert!(
+            name == "state.sbmj" || name == "state.sbmj.tmp",
+            "foreign file `{name}` in {dir:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Two writers hammer sibling per-job directories while a reader
+    /// polls both snapshots, exactly like the recovery scan racing live
+    /// workers. Every successful read must be a complete network the
+    /// owning writer wrote for that exact `(fingerprint, seq)`; every
+    /// failed read must be "no file yet", never a torn or cross-wired
+    /// payload.
+    #[test]
+    fn sibling_writers_never_tear_or_cross_wire(
+        writes_a in 4u64..24,
+        writes_b in 4u64..24,
+        fingerprint in any::<u64>(),
+    ) {
+        let root = temp_dir(&format!("sib-{writes_a}-{writes_b}"));
+        for writer in [0u64, 1] {
+            let path = snapshot_path(&root, writer);
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            // Seed seq 0 before the race so the reader always has a
+            // snapshot to poll: from here on, *every* read must succeed
+            // with a complete state — there is no legal error left.
+            write_aig_snapshot(&path, &network(writer, 0), fingerprint, 0).unwrap();
+        }
+        let stop = AtomicBool::new(false);
+
+        thread::scope(|scope| {
+            let writers: Vec<_> = [(0u64, writes_a), (1u64, writes_b)]
+                .into_iter()
+                .map(|(writer, writes)| {
+                    let root = root.clone();
+                    scope.spawn(move || {
+                        let path = snapshot_path(&root, writer);
+                        for seq in 1..writes {
+                            write_aig_snapshot(&path, &network(writer, seq), fingerprint, seq)
+                                .expect("concurrent snapshot write");
+                        }
+                    })
+                })
+                .collect();
+            let reader = scope.spawn(|| {
+                let paths = [snapshot_path(&root, 0), snapshot_path(&root, 1)];
+                loop {
+                    let last_sweep = stop.load(Ordering::Acquire);
+                    for (writer, path) in paths.iter().enumerate() {
+                        match read_aig_snapshot(path) {
+                            Ok((aig, meta)) => {
+                                // Complete, CRC-valid, and exactly what
+                                // the owning writer wrote for this seq —
+                                // never the sibling's bits.
+                                assert_eq!(meta.fingerprint, fingerprint);
+                                let expected = network(writer as u64, meta.seq);
+                                assert_eq!(
+                                    sbm_aig::aiger::write(&aig),
+                                    sbm_aig::aiger::write(&expected),
+                                    "writer {writer} seq {} torn or cross-wired",
+                                    meta.seq
+                                );
+                            }
+                            // tmp+rename makes every replacement
+                            // atomic: with seq 0 seeded, a racing
+                            // reader has no legal failure at all.
+                            Err(other) => panic!("reader saw torn state: {other:?}"),
+                        }
+                        // Nothing foreign may ever appear in a job's
+                        // directory, mid-run included.
+                        assert_only_own_files(path.parent().unwrap());
+                    }
+                    if last_sweep {
+                        break;
+                    }
+                }
+            });
+            // Keep the reader racing until every writer is done, then
+            // let it run one final settled sweep.
+            for handle in writers {
+                handle.join().expect("writer thread");
+            }
+            stop.store(true, Ordering::Release);
+            reader.join().expect("reader thread");
+        });
+
+        // Settled state: each directory holds exactly its own final
+        // snapshot, no tmp residue anywhere.
+        for (writer, writes) in [(0u64, writes_a), (1u64, writes_b)] {
+            let path = snapshot_path(&root, writer);
+            let names: Vec<String> = std::fs::read_dir(path.parent().unwrap())
+                .unwrap()
+                .filter_map(Result::ok)
+                .map(|e| e.file_name().to_string_lossy().into_owned())
+                .collect();
+            prop_assert_eq!(&names, &vec!["state.sbmj".to_string()]);
+            let (aig, meta) = read_aig_snapshot(&path).expect("final snapshot");
+            prop_assert_eq!(meta.seq, writes - 1);
+            prop_assert_eq!(
+                sbm_aig::aiger::write(&aig),
+                sbm_aig::aiger::write(&network(writer, writes - 1))
+            );
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

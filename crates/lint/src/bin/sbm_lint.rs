@@ -8,9 +8,17 @@
 //!
 //! Usage: `sbm-lint [WORKSPACE_ROOT]` (default: the workspace containing
 //! this crate). `ci.sh` runs it in both quick and full modes.
+//!
+//! Exit codes follow the workspace convention (`sbm_metrics::exit`):
+//! 0 clean, 1 violations found, 2 usage (no workspace at the given
+//! root), 3 runtime (walk failed mid-scan).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+fn code(c: i32) -> ExitCode {
+    ExitCode::from(u8::try_from(c).unwrap_or(1))
+}
 
 fn default_root() -> PathBuf {
     // Under `cargo run` the manifest dir is crates/lint; the workspace
@@ -32,13 +40,13 @@ fn main() -> ExitCode {
         .map_or_else(default_root, PathBuf::from);
     if !root.join("Cargo.toml").is_file() {
         eprintln!("sbm-lint: no Cargo.toml under {}", root.display());
-        return ExitCode::from(2);
+        return code(sbm_metrics::exit::USAGE);
     }
     let errors = match sbm_lint::lint_workspace(&root) {
         Ok(errors) => errors,
         Err(e) => {
             eprintln!("sbm-lint: walk failed: {e}");
-            return ExitCode::from(2);
+            return code(sbm_metrics::exit::RUNTIME);
         }
     };
     let files = sbm_lint::count_workspace_files(&root).unwrap_or(0);
@@ -54,5 +62,5 @@ fn main() -> ExitCode {
          (suppress a sound site with `// sbm-lint: allow(CODE) reason`)",
         errors.len()
     );
-    ExitCode::FAILURE
+    code(sbm_metrics::exit::VALIDATION)
 }

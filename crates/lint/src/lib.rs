@@ -45,9 +45,12 @@ pub enum LintCode {
     RawInstant,
     /// D003 — floating point in counter/report paths.
     FloatInCounters,
-    /// C001 — `thread::spawn`/`thread::scope` outside `sbm-core::pipeline`.
+    /// C001 — `thread::spawn`/`thread::scope` outside the sanctioned
+    /// concurrency modules (pipeline executor, server worker pool,
+    /// loadgen client fan-out).
     RawThread,
-    /// C002 — raw `Mutex`/`RwLock`/`Condvar` outside `sbm-core::pipeline`.
+    /// C002 — raw `Mutex`/`RwLock`/`Condvar` outside the sanctioned
+    /// concurrency modules.
     RawMutex,
     /// C003 — `static mut`.
     StaticMut,

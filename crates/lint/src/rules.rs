@@ -9,8 +9,8 @@
 //! | D001 | determinism | no iteration over `HashMap`/`HashSet` in result-affecting crates unless sorted or order-insensitive |
 //! | D002 | determinism | no raw `Instant::now()` / `SystemTime` outside `sbm-metrics::Timer` |
 //! | D003 | determinism | no floating point in counter/report paths |
-//! | C001 | concurrency | no `thread::spawn` / `thread::scope` outside `sbm-core::pipeline` |
-//! | C002 | concurrency | no raw `Mutex` / `RwLock` / `Condvar` outside `sbm-core::pipeline` |
+//! | C001 | concurrency | no `thread::spawn` / `thread::scope` outside the sanctioned concurrency modules |
+//! | C002 | concurrency | no raw `Mutex` / `RwLock` / `Condvar` outside the sanctioned concurrency modules |
 //! | C003 | concurrency | no `static mut` |
 //! | C004 | concurrency | no tally drain/note outside the thread-local drain discipline |
 //! | A001 | api | no uses of removed deprecated shims (`OptContext`, bool-returning SAT checks) |
@@ -31,13 +31,21 @@ pub const RESULT_AFFECTING_CRATES: [&str; 6] = ["aig", "sop", "bdd", "sat", "cor
 /// Vendored API-compatible shims — not first-party code, never linted.
 pub const VENDORED_CRATES: [&str; 2] = ["proptest", "criterion"];
 
-/// The one module allowed to own raw concurrency primitives: the
-/// partition-parallel executor.
-const CONCURRENCY_MODULE: &str = "crates/core/src/pipeline.rs";
+/// The modules allowed to own raw concurrency primitives: the
+/// partition-parallel executor, the job server's worker pool, and the
+/// load generator's client fan-out. Each sanctioned thread runs a whole
+/// serial pipeline end to end (the server pins jobs to
+/// `num_threads = 1` + canonical steps), so determinism is enforced by
+/// the pipeline contract, not by the absence of threads.
+const CONCURRENCY_MODULES: [&str; 3] = [
+    "crates/core/src/pipeline.rs",
+    "crates/server/src/exec.rs",
+    "crates/server/src/bin/loadgen.rs",
+];
 
 /// Files participating in the thread-local tally drain discipline
 /// (defining modules plus the serial-boundary drain/note call sites).
-const TALLY_DISCIPLINE_FILES: [&str; 9] = [
+const TALLY_DISCIPLINE_FILES: [&str; 10] = [
     "crates/sat/src/tally.rs",
     "crates/sat/src/solver.rs",
     "crates/sat/src/lib.rs",
@@ -47,6 +55,9 @@ const TALLY_DISCIPLINE_FILES: [&str; 9] = [
     "crates/core/src/script.rs",
     "crates/core/src/gradient.rs",
     "crates/core/src/verify.rs",
+    // Each server worker is a serial boundary: one job = one whole
+    // script run, so a drain there is exactly-once by construction.
+    "crates/server/src/exec.rs",
 ];
 
 /// The tally entry points rule C004 polices.
@@ -206,17 +217,18 @@ pub fn check_source(path: &str, scan: &Scan) -> Vec<LintError> {
             }
         }
 
-        // C001/C002/C003: raw concurrency outside the pipeline module.
-        if path != CONCURRENCY_MODULE && !scan.in_use[i] {
+        // C001/C002/C003: raw concurrency outside the sanctioned modules.
+        if !CONCURRENCY_MODULES.contains(&path) && !scan.in_use[i] {
             if t == "thread" && next(1) == Some("::") {
                 if let Some(what @ ("spawn" | "scope")) = next(2) {
                     out.push(err(
                         LintCode::RawThread,
                         line,
                         format!(
-                            "`thread::{what}` outside `sbm-core::pipeline`; worker fan-out \
-                             belongs to the pipeline executor so scheduling stays \
-                             deterministic and drains stay per-thread"
+                            "`thread::{what}` outside the sanctioned concurrency modules; \
+                             worker fan-out belongs to the pipeline executor or the \
+                             server worker pool so scheduling stays deterministic and \
+                             drains stay per-thread"
                         ),
                     ));
                 }
@@ -226,8 +238,8 @@ pub fn check_source(path: &str, scan: &Scan) -> Vec<LintError> {
                     LintCode::RawMutex,
                     line,
                     format!(
-                        "raw `{t}` outside `sbm-core::pipeline`; shared mutable state \
-                         must not leak into engines — results may become \
+                        "raw `{t}` outside the sanctioned concurrency modules; shared \
+                         mutable state must not leak into engines — results may become \
                          schedule-dependent"
                     ),
                 ));

@@ -1,0 +1,56 @@
+//! Asserts the workspace exit-code convention on the `sbm-lint`
+//! binary: `0` clean, `1` violations found, `2` usage (no workspace at
+//! the given root). See also `crates/bench/tests/exit_codes.rs` and
+//! `crates/server/tests/exit_codes.rs`.
+
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn code_of(root: &Path) -> i32 {
+    Command::new(env!("CARGO_BIN_EXE_sbm-lint"))
+        .arg(root)
+        .output()
+        .expect("spawn sbm-lint")
+        .status
+        .code()
+        .expect("exit code")
+}
+
+/// Builds a throwaway one-crate workspace whose single source file is
+/// `src_text`, placed under a result-affecting crate path so every rule
+/// applies to it.
+fn scratch_workspace(tag: &str, src_text: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("sbm-lint-exit-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let src = root.join("crates/core/src");
+    std::fs::create_dir_all(&src).expect("mkdir");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+    std::fs::write(src.join("lib.rs"), src_text).expect("write source");
+    root
+}
+
+#[test]
+fn lint_exit_codes_follow_the_workspace_convention() {
+    // 0 — a clean tree.
+    let clean = scratch_workspace("clean", "pub fn nothing_wrong_here() {}\n");
+    assert_eq!(code_of(&clean), sbm_metrics::exit::OK);
+
+    // 1 — a violation (raw Instant in a determinism-scoped crate).
+    let dirty = scratch_workspace(
+        "dirty",
+        "pub fn now() -> std::time::Instant { std::time::Instant::now() }\n",
+    );
+    assert_eq!(code_of(&dirty), sbm_metrics::exit::VALIDATION);
+
+    // 2 — not a workspace root.
+    let empty = std::env::temp_dir().join(format!("sbm-lint-exit-empty-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&empty);
+    std::fs::create_dir_all(&empty).expect("mkdir");
+    assert_eq!(code_of(&empty), sbm_metrics::exit::USAGE);
+
+    for dir in [clean, dirty, empty] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

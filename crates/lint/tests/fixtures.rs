@@ -74,8 +74,11 @@ fn c001_raw_thread_fan_out() {
         fire("crates/core/src/fixture.rs", src),
         vec![(LintCode::RawThread, 4)]
     );
-    // The pipeline executor owns worker fan-out.
+    // The pipeline executor, the server worker pool and the loadgen
+    // client fan-out are the sanctioned thread owners.
     assert_eq!(fire("crates/core/src/pipeline.rs", src), vec![]);
+    assert_eq!(fire("crates/server/src/exec.rs", src), vec![]);
+    assert_eq!(fire("crates/server/src/bin/loadgen.rs", src), vec![]);
 }
 
 #[test]
@@ -86,6 +89,13 @@ fn c002_raw_mutex() {
         vec![(LintCode::RawMutex, 5)]
     );
     assert_eq!(fire("crates/core/src/pipeline.rs", src), vec![]);
+    assert_eq!(fire("crates/server/src/exec.rs", src), vec![]);
+    // Other server modules stay under the rule: protocol/store/job code
+    // must not grow its own locking.
+    assert_eq!(
+        fire("crates/server/src/store.rs", src),
+        vec![(LintCode::RawMutex, 5)]
+    );
 }
 
 #[test]
@@ -104,8 +114,10 @@ fn c004_tally_bypass() {
         fire("crates/journal/src/fixture.rs", src),
         vec![(LintCode::TallyBypass, 4)]
     );
-    // The discipline files are the sanctioned drain sites.
+    // The discipline files are the sanctioned drain sites; the server's
+    // executor is one (each worker job is a serial boundary).
     assert_eq!(fire("crates/sat/src/tally.rs", src), vec![]);
+    assert_eq!(fire("crates/server/src/exec.rs", src), vec![]);
 }
 
 #[test]

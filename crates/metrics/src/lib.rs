@@ -23,8 +23,32 @@ pub mod report;
 
 pub use report::{
     BddCounters, EngineFaultCounters, EngineReport, FaultReport, PhaseMicros, ReportError,
-    ResumeReport, RunReport, SatCounters, SimFilterCounters, WindowReport, SCHEMA_VERSION,
+    ResumeReport, RunReport, SatCounters, ServerCounters, SimFilterCounters, WindowReport,
+    SCHEMA_VERSION,
 };
+
+/// The workspace-wide process exit-code convention, shared by every
+/// binary (`table1/2/3`, `fig1`, `report_check`, `sbm_lint`,
+/// `sbm-server`, `loadgen`).
+///
+/// Scripts and CI distinguish *what kind* of failure occurred from the
+/// code alone: `2` means the invocation was wrong (fix the command
+/// line), `1` means the tool ran and found the input wanting (fix the
+/// data), `3` means the environment failed underneath it (I/O error,
+/// crashed child, lost connection — retry or investigate the host).
+pub mod exit {
+    /// Success.
+    pub const OK: i32 = 0;
+    /// The tool ran to completion and its validation failed: a
+    /// `report_check` rejection, lint findings, a mismatched result.
+    pub const VALIDATION: i32 = 1;
+    /// The command line could not be understood (unknown flag, missing
+    /// or malformed argument).
+    pub const USAGE: i32 = 2;
+    /// A runtime failure outside the tool's control: I/O errors,
+    /// unreadable roots, broken sockets, dead child processes.
+    pub const RUNTIME: i32 = 3;
+}
 
 use std::time::{Duration, Instant};
 

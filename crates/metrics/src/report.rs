@@ -23,8 +23,9 @@ use crate::{CounterSet, Histogram, HISTOGRAM_BUCKETS};
 
 /// Version stamped into (and required from) every serialized report.
 /// v2 added the `sim_filter` block (simulation-signature candidate
-/// filtering counters).
-pub const SCHEMA_VERSION: u64 = 2;
+/// filtering counters); v3 added the `server` block (job-server slice /
+/// park / resume / recovery bookkeeping).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Window-outcome counters of a run (each processed window lands in
 /// exactly one of the outcome buckets).
@@ -144,6 +145,27 @@ pub struct SimFilterCounters {
     pub resims: u64,
 }
 
+/// Job-server lifecycle counters (all zero for one-shot tool runs).
+///
+/// `sbm-server` fills these per job: how many execution slices the job
+/// consumed, how often it was preempted and parked as a checkpoint, how
+/// often it resumed (in-process or after a server restart), and how
+/// long it sat in the admission queue. Integers only, like every other
+/// block — microseconds, not floating-point seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerCounters {
+    /// Execution slices the job ran (1 for a job that never parked).
+    pub slices: u64,
+    /// Times the job exceeded a slice and was parked as a checkpoint.
+    pub parks: u64,
+    /// Times the job resumed from its parked checkpoint.
+    pub resumes: u64,
+    /// Times the job was recovered by a crash-restart scan.
+    pub recoveries: u64,
+    /// Total time spent waiting in the admission queue, in microseconds.
+    pub queue_us: u64,
+}
+
 /// One engine's fault counters.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EngineFaultCounters {
@@ -218,6 +240,8 @@ pub struct RunReport {
     pub sat: SatCounters,
     /// Aggregated simulation-filter counters.
     pub sim_filter: SimFilterCounters,
+    /// Job-server lifecycle counters (zero outside `sbm-server`).
+    pub server: ServerCounters,
     /// Fault-tolerance record.
     pub faults: FaultReport,
     /// Resume bookkeeping, for resumed runs.
@@ -242,6 +266,7 @@ impl Default for RunReport {
             bdd: BddCounters::default(),
             sat: SatCounters::default(),
             sim_filter: SimFilterCounters::default(),
+            server: ServerCounters::default(),
             faults: FaultReport::default(),
             resume: None,
             checkpoint_error: None,
@@ -320,6 +345,129 @@ impl RunReport {
     /// trailing newline) — the `BENCH_*.json` on-disk form.
     pub fn to_json(&self) -> String {
         write_pretty(&self.to_value())
+    }
+
+    /// Accumulates `prior`'s counters into `self`, counter block by
+    /// counter block. This is how a preempted job's slices compose into
+    /// one honest report: each slice produces a partial report, and the
+    /// finishing slice absorbs the parked partials so the final report
+    /// covers the whole job, not just its tail. Identity fields
+    /// (`tool`, `scale`, `threads`, `benchmarks`) keep `self`'s values;
+    /// every numeric counter sums (`peak_nodes` takes the max, being a
+    /// high-water mark); engines and fault entries merge by name.
+    pub fn absorb(&mut self, prior: &RunReport) {
+        let w = &mut self.windows;
+        let pw = &prior.windows;
+        w.total += pw.total;
+        w.skipped += pw.skipped;
+        w.unchanged += pw.unchanged;
+        w.gate_rejected += pw.gate_rejected;
+        w.stitch_rejected += pw.stitch_rejected;
+        w.improved += pw.improved;
+        w.nodes_saved += pw.nodes_saved;
+        w.check_violations += pw.check_violations;
+
+        self.phases_us.extract += prior.phases_us.extract;
+        self.phases_us.optimize += prior.phases_us.optimize;
+        self.phases_us.stitch += prior.phases_us.stitch;
+        self.phases_us.total += prior.phases_us.total;
+
+        for pe in &prior.engines {
+            let e = match self.engines.iter_mut().find(|e| e.name == pe.name) {
+                Some(e) => e,
+                None => {
+                    self.engines.push(EngineReport {
+                        name: pe.name.clone(),
+                        ..EngineReport::default()
+                    });
+                    // Just pushed, so the vector is non-empty.
+                    match self.engines.last_mut() {
+                        Some(e) => e,
+                        None => return,
+                    }
+                }
+            };
+            e.windows += pe.windows;
+            e.tried += pe.tried;
+            e.accepted += pe.accepted;
+            e.gain += pe.gain;
+            e.bailouts += pe.bailouts;
+            e.busy_us += pe.busy_us;
+            e.latency_us.merge(&pe.latency_us);
+        }
+
+        self.bdd.managers_recycled += prior.bdd.managers_recycled;
+        self.bdd.nodes_allocated += prior.bdd.nodes_allocated;
+        self.bdd.peak_nodes = self.bdd.peak_nodes.max(prior.bdd.peak_nodes);
+        self.bdd.unique_hits += prior.bdd.unique_hits;
+        self.bdd.cache_hits += prior.bdd.cache_hits;
+        self.bdd.ite_calls += prior.bdd.ite_calls;
+
+        self.sat.solves += prior.sat.solves;
+        self.sat.sat += prior.sat.sat;
+        self.sat.unsat += prior.sat.unsat;
+        self.sat.unknown += prior.sat.unknown;
+        self.sat.interrupted += prior.sat.interrupted;
+        self.sat.conflicts += prior.sat.conflicts;
+        self.sat.decisions += prior.sat.decisions;
+        self.sat.propagations += prior.sat.propagations;
+
+        self.sim_filter.hits += prior.sim_filter.hits;
+        self.sim_filter.misses += prior.sim_filter.misses;
+        self.sim_filter.cex_recorded += prior.sim_filter.cex_recorded;
+        self.sim_filter.cex_committed += prior.sim_filter.cex_committed;
+        self.sim_filter.resims += prior.sim_filter.resims;
+
+        self.server.slices += prior.server.slices;
+        self.server.parks += prior.server.parks;
+        self.server.resumes += prior.server.resumes;
+        self.server.recoveries += prior.server.recoveries;
+        self.server.queue_us += prior.server.queue_us;
+
+        self.faults.degraded_windows += prior.faults.degraded_windows;
+        self.faults.injected += prior.faults.injected;
+        for pf in &prior.faults.per_engine {
+            let f = match self
+                .faults
+                .per_engine
+                .iter_mut()
+                .find(|f| f.name == pf.name)
+            {
+                Some(f) => f,
+                None => {
+                    self.faults.per_engine.push(EngineFaultCounters {
+                        name: pf.name.clone(),
+                        ..EngineFaultCounters::default()
+                    });
+                    match self.faults.per_engine.last_mut() {
+                        Some(f) => f,
+                        None => return,
+                    }
+                }
+            };
+            f.panics += pf.panics;
+            f.deadline_hits += pf.deadline_hits;
+            f.bailouts += pf.bailouts;
+            f.injected_bailouts += pf.injected_bailouts;
+            f.delays += pf.delays;
+            f.retries += pf.retries;
+            f.retry_successes += pf.retry_successes;
+        }
+
+        if let Some(pr) = &prior.resume {
+            let r = self.resume.get_or_insert_with(ResumeReport::default);
+            r.records_replayed += pr.records_replayed;
+            r.torn_dropped += pr.torn_dropped;
+            r.stale_dropped += pr.stale_dropped;
+            r.windows_replayed += pr.windows_replayed;
+            r.windows_rerun += pr.windows_rerun;
+            r.steps_skipped += pr.steps_skipped;
+        }
+
+        if self.checkpoint_error.is_none() {
+            self.checkpoint_error.clone_from(&prior.checkpoint_error);
+        }
+        self.extra.merge(&prior.extra);
     }
 
     /// Decodes a report serialized by [`RunReport::to_json`].
@@ -411,6 +559,16 @@ impl RunReport {
                     ("cex_recorded".into(), uint(self.sim_filter.cex_recorded)),
                     ("cex_committed".into(), uint(self.sim_filter.cex_committed)),
                     ("resims".into(), uint(self.sim_filter.resims)),
+                ]),
+            ),
+            (
+                "server".into(),
+                JsonValue::Obj(vec![
+                    ("slices".into(), uint(self.server.slices)),
+                    ("parks".into(), uint(self.server.parks)),
+                    ("resumes".into(), uint(self.server.resumes)),
+                    ("recoveries".into(), uint(self.server.recoveries)),
+                    ("queue_us".into(), uint(self.server.queue_us)),
                 ]),
             ),
             (
@@ -553,6 +711,16 @@ impl RunReport {
         };
         sf.finish()?;
 
+        let mut sv = Fields::new(top.take("server")?, "server")?;
+        let server = ServerCounters {
+            slices: sv.u64("slices")?,
+            parks: sv.u64("parks")?,
+            resumes: sv.u64("resumes")?,
+            recoveries: sv.u64("recoveries")?,
+            queue_us: sv.u64("queue_us")?,
+        };
+        sv.finish()?;
+
         let mut fa = Fields::new(top.take("faults")?, "faults")?;
         let faults = FaultReport {
             degraded_windows: fa.u64("degraded_windows")?,
@@ -621,6 +789,7 @@ impl RunReport {
             bdd,
             sat,
             sim_filter,
+            server,
             faults,
             resume,
             checkpoint_error,
@@ -859,6 +1028,13 @@ mod tests {
                 cex_committed: 2,
                 resims: 44,
             },
+            server: ServerCounters {
+                slices: 3,
+                parks: 2,
+                resumes: 2,
+                recoveries: 1,
+                queue_us: 15_000,
+            },
             faults: FaultReport {
                 degraded_windows: 1,
                 injected: 2,
@@ -879,6 +1055,49 @@ mod tests {
             checkpoint_error: Some("disk full".to_string()),
             extra,
         }
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_merges_by_name() {
+        let prior = sample_report();
+        let mut cur = RunReport {
+            tool: "sbm-server".to_string(),
+            benchmarks: vec!["job-1".to_string()],
+            ..RunReport::default()
+        };
+        cur.sim_filter.hits = 10;
+        cur.server.slices = 1;
+        cur.engines.push(EngineReport {
+            name: "mspf".to_string(),
+            tried: 100,
+            ..EngineReport::default()
+        });
+        cur.absorb(&prior);
+
+        // Identity fields keep the absorbing report's values.
+        assert_eq!(cur.tool, "sbm-server");
+        assert_eq!(cur.benchmarks, vec!["job-1".to_string()]);
+        // Counters sum; high-water marks take the max.
+        assert_eq!(cur.sim_filter.hits, 650);
+        assert_eq!(cur.server.slices, 4);
+        assert_eq!(cur.server.recoveries, 1);
+        assert_eq!(cur.bdd.peak_nodes, 4_096);
+        assert_eq!(cur.windows.total, 40);
+        // Engines merge by name: mspf sums, bdiff arrives fresh.
+        let mspf = cur.engines.iter().find(|e| e.name == "mspf").expect("mspf");
+        assert_eq!(mspf.tried, 1_000);
+        assert_eq!(mspf.latency_us.count(), 2);
+        assert!(cur.engines.iter().any(|e| e.name == "bdiff"));
+        // Fault entries merge by name; resume blocks sum.
+        assert_eq!(cur.faults.per_engine.len(), 1);
+        assert_eq!(cur.resume.expect("resume").records_replayed, 12);
+        assert_eq!(cur.checkpoint_error.as_deref(), Some("disk full"));
+        assert_eq!(cur.extra.get("script_us"), 123_456);
+
+        // Absorbing twice doubles the summed counters (no hidden state).
+        cur.absorb(&prior);
+        assert_eq!(cur.server.slices, 7);
+        assert_eq!(cur.sim_filter.hits, 1_290);
     }
 
     #[test]

@@ -1,0 +1,394 @@
+//! `loadgen`: a multi-client load generator for `sbm-server`.
+//!
+//! ```text
+//! loadgen (--addr HOST:PORT | --addr-file PATH) --jobs N [--clients N]
+//!         [--out DIR] [--timeout-s N] [--cancel-every N] [--fault-ppm N]
+//!         [--iterations N] [--tag NAME]
+//! ```
+//!
+//! Spawns `--clients` concurrent client threads that push `--jobs`
+//! total jobs from the deterministic mixed corpus, then poll until
+//! every job settles. The generator is *restart-transparent*: on any
+//! transport error it reconnects (re-reading `--addr-file`, which a
+//! restarted server republishes) and resubmits — submissions are
+//! idempotent by job key, so a kill-and-restart mid-run must end with
+//! every job done exactly once; anything lost or duplicated is a
+//! nonzero exit.
+//!
+//! With `--cancel-every N`, every Nth job is cancelled shortly after
+//! submission and must settle as cancelled (or finish first — both are
+//! accepted). With `--out DIR`, each finished job's `RunReport` JSON
+//! and optimized AIGER are written there.
+//!
+//! Exit codes follow the workspace convention: 0 on success,
+//! `VALIDATION` (1) when any job fails or the reports are wrong,
+//! `USAGE` (2) for bad flags, `RUNTIME` (3) for environment failures
+//! (timeout, unreachable server).
+//!
+//! Like `exec.rs`, this binary is sanctioned by `sbm-lint` to own raw
+//! concurrency (client fan-out threads).
+
+use std::path::{Path, PathBuf};
+use std::thread;
+use std::time::Duration;
+
+use sbm_metrics::{RunReport, Timer};
+use sbm_server::{Client, ClientError, JobOptions, JobState, SubmitOutcome};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen (--addr HOST:PORT | --addr-file PATH) --jobs N [--clients N] \
+         [--out DIR] [--timeout-s N] [--cancel-every N] [--fault-ppm N] \
+         [--iterations N] [--tag NAME]"
+    );
+    std::process::exit(sbm_metrics::exit::USAGE);
+}
+
+fn parse_num(value: &str, what: &str) -> u64 {
+    match value.parse::<u64>() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("loadgen: {what} must be an integer, got `{value}`");
+            std::process::exit(sbm_metrics::exit::USAGE);
+        }
+    }
+}
+
+/// Where to find the server now (re-resolved on every reconnect, so a
+/// restarted server on a fresh port is picked up transparently).
+#[derive(Clone)]
+enum AddrSource {
+    Fixed(String),
+    File(PathBuf),
+}
+
+impl AddrSource {
+    fn resolve(&self) -> Option<String> {
+        match self {
+            AddrSource::Fixed(addr) => Some(addr.clone()),
+            AddrSource::File(path) => std::fs::read_to_string(path)
+                .ok()
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty()),
+        }
+    }
+}
+
+#[derive(Clone)]
+struct LoadPlan {
+    addr: AddrSource,
+    jobs: usize,
+    clients: usize,
+    out: Option<PathBuf>,
+    timeout: Duration,
+    cancel_every: usize,
+    options: JobOptions,
+    tag: String,
+}
+
+/// One settled job, as observed by a client thread.
+enum Settled {
+    Done,
+    Cancelled,
+    /// The server answered and the answer was wrong (job failed, bad
+    /// report) — a `VALIDATION` failure.
+    Failed(String),
+    /// The environment gave out underneath the run (timeout, server
+    /// never reachable, local I/O error) — a `RUNTIME` failure.
+    Unreachable(String),
+}
+
+fn main() {
+    let mut addr: Option<AddrSource> = None;
+    let mut jobs = 0usize;
+    let mut clients = 4usize;
+    let mut out: Option<PathBuf> = None;
+    let mut timeout = Duration::from_secs(300);
+    let mut cancel_every = 0usize;
+    let mut options = JobOptions::default();
+    let mut tag = "load".to_string();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |i: usize| -> &str {
+            match args.get(i + 1) {
+                Some(v) => v,
+                None => {
+                    eprintln!("loadgen: {flag} needs a value");
+                    std::process::exit(sbm_metrics::exit::USAGE);
+                }
+            }
+        };
+        match flag {
+            "--addr" => addr = Some(AddrSource::Fixed(value(i).to_string())),
+            "--addr-file" => addr = Some(AddrSource::File(PathBuf::from(value(i)))),
+            "--jobs" => jobs = parse_num(value(i), "--jobs") as usize,
+            "--clients" => clients = parse_num(value(i), "--clients").max(1) as usize,
+            "--out" => out = Some(PathBuf::from(value(i))),
+            "--timeout-s" => timeout = Duration::from_secs(parse_num(value(i), "--timeout-s")),
+            "--cancel-every" => cancel_every = parse_num(value(i), "--cancel-every") as usize,
+            "--fault-ppm" => {
+                options.fault_rate_ppm =
+                    u32::try_from(parse_num(value(i), "--fault-ppm")).unwrap_or(u32::MAX);
+                options.fault_seed = 0xC0FFEE;
+            }
+            "--iterations" => {
+                options.iterations =
+                    u32::try_from(parse_num(value(i), "--iterations").max(1)).unwrap_or(1);
+            }
+            "--tag" => tag = value(i).to_string(),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    let Some(addr) = addr else { usage() };
+    if jobs == 0 {
+        usage();
+    }
+    if let Some(dir) = &out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("loadgen: cannot create {}: {e}", dir.display());
+            std::process::exit(sbm_metrics::exit::RUNTIME);
+        }
+    }
+
+    let plan = LoadPlan {
+        addr,
+        jobs,
+        clients,
+        out,
+        timeout,
+        cancel_every,
+        options,
+        tag,
+    };
+
+    // Fan out: client thread c owns jobs with index ≡ c (mod clients).
+    let handles: Vec<_> = (0..plan.clients)
+        .map(|c| {
+            let plan = plan.clone();
+            thread::spawn(move || client_thread(&plan, c))
+        })
+        .collect();
+
+    let mut done = 0usize;
+    let mut cancelled = 0usize;
+    let mut failures: Vec<String> = Vec::new();
+    let mut outages: Vec<String> = Vec::new();
+    for handle in handles {
+        match handle.join() {
+            Ok(results) => {
+                for (key, settled) in results {
+                    match settled {
+                        Settled::Done => done += 1,
+                        Settled::Cancelled => cancelled += 1,
+                        Settled::Failed(why) => failures.push(format!("{key}: {why}")),
+                        Settled::Unreachable(why) => outages.push(format!("{key}: {why}")),
+                    }
+                }
+            }
+            Err(_) => failures.push("client thread panicked".to_string()),
+        }
+    }
+
+    println!(
+        "loadgen: {done} done, {cancelled} cancelled, {} failed of {} jobs",
+        failures.len() + outages.len(),
+        plan.jobs
+    );
+    for failure in failures.iter().chain(&outages) {
+        eprintln!("loadgen: FAILED {failure}");
+    }
+    // A wrong answer outranks a missing one: any validation failure
+    // exits VALIDATION even when outages occurred too.
+    if !failures.is_empty() {
+        std::process::exit(sbm_metrics::exit::VALIDATION);
+    }
+    if !outages.is_empty() {
+        std::process::exit(sbm_metrics::exit::RUNTIME);
+    }
+    if done + cancelled != plan.jobs {
+        eprintln!(
+            "loadgen: accounted {} of {} jobs",
+            done + cancelled,
+            plan.jobs
+        );
+        std::process::exit(sbm_metrics::exit::VALIDATION);
+    }
+}
+
+/// Connects with retry, re-resolving the address each attempt.
+fn connect(plan: &LoadPlan, elapsed: &Timer) -> Result<Client, String> {
+    loop {
+        if elapsed.elapsed() > plan.timeout {
+            return Err("timeout while (re)connecting".to_string());
+        }
+        if let Some(addr) = plan.addr.resolve() {
+            if let Ok(mut client) = Client::connect(&addr) {
+                if client.set_timeout(Duration::from_secs(10)).is_ok() {
+                    return Ok(client);
+                }
+            }
+        }
+        thread::sleep(Duration::from_millis(100));
+    }
+}
+
+fn client_thread(plan: &LoadPlan, client_index: usize) -> Vec<(String, Settled)> {
+    let elapsed = Timer::start();
+    let client_name = format!("client-{client_index}");
+    let mut results = Vec::new();
+    let mut conn: Option<Client> = None;
+
+    let indices: Vec<usize> = (0..plan.jobs)
+        .filter(|j| j % plan.clients == client_index)
+        .collect();
+    // Submit everything first (pipelined), then settle each job —
+    // hundreds of jobs can be in flight server-side at once.
+    let mut submitted: Vec<(usize, String)> = Vec::new();
+    for &index in &indices {
+        let key = format!("{}-{index}", plan.tag);
+        match drive_submit(plan, &client_name, &key, index, &mut conn, &elapsed) {
+            Ok(()) => submitted.push((index, key)),
+            Err(settled) => results.push((key, settled)),
+        }
+    }
+    // Cancellation mix: every Nth job gets a CANCEL racing its run.
+    if plan.cancel_every > 0 {
+        for (index, key) in &submitted {
+            if index % plan.cancel_every == 0 {
+                if let Some(c) = &mut conn {
+                    let _ = c.cancel(key);
+                }
+            }
+        }
+    }
+    for (index, key) in submitted {
+        let settled = drive_to_completion(plan, &key, index, &mut conn, &elapsed);
+        results.push((key, settled));
+    }
+    results
+}
+
+/// Submits one job, reconnecting and retrying through BUSY backpressure
+/// and transport failures until accepted or timed out.
+fn drive_submit(
+    plan: &LoadPlan,
+    client_name: &str,
+    key: &str,
+    index: usize,
+    conn: &mut Option<Client>,
+    elapsed: &Timer,
+) -> Result<(), Settled> {
+    let aiger = sbm_server::corpus::corpus_aiger(index);
+    loop {
+        if elapsed.elapsed() > plan.timeout {
+            return Err(Settled::Unreachable("timeout while submitting".to_string()));
+        }
+        let c = match conn {
+            Some(c) => c,
+            None => {
+                *conn = Some(connect(plan, elapsed).map_err(Settled::Unreachable)?);
+                match conn {
+                    Some(c) => c,
+                    None => continue,
+                }
+            }
+        };
+        match c.submit(client_name, key, plan.options, &aiger) {
+            Ok(SubmitOutcome::Accepted | SubmitOutcome::AlreadyKnown) => return Ok(()),
+            Ok(SubmitOutcome::Busy { .. }) => thread::sleep(Duration::from_millis(50)),
+            Err(ClientError::Server(msg)) => {
+                return Err(Settled::Failed(format!("rejected: {msg}")))
+            }
+            Err(_) => {
+                // Transport trouble (e.g. the server was killed):
+                // reconnect and resubmit — idempotent by key.
+                *conn = None;
+                thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+/// Polls one submitted job until it settles, riding through restarts.
+fn drive_to_completion(
+    plan: &LoadPlan,
+    key: &str,
+    index: usize,
+    conn: &mut Option<Client>,
+    elapsed: &Timer,
+) -> Settled {
+    loop {
+        if elapsed.elapsed() > plan.timeout {
+            return Settled::Unreachable("timeout while waiting".to_string());
+        }
+        let c = match conn {
+            Some(c) => c,
+            None => match connect(plan, elapsed) {
+                Ok(fresh) => {
+                    *conn = Some(fresh);
+                    match conn {
+                        Some(c) => c,
+                        None => continue,
+                    }
+                }
+                Err(why) => return Settled::Unreachable(why),
+            },
+        };
+        match c.result(key) {
+            Ok(Ok(payload)) => {
+                return match record_result(plan, key, &payload) {
+                    Ok(()) => Settled::Done,
+                    Err(settled) => settled,
+                };
+            }
+            Ok(Err(JobState::Cancelled)) => return Settled::Cancelled,
+            Ok(Err(JobState::Failed)) => {
+                let detail = c.status(key).map(|(_, detail)| detail).unwrap_or_default();
+                return Settled::Failed(format!("job failed: {detail}"));
+            }
+            Ok(Err(JobState::Unknown)) => {
+                // A restarted server forgot a job it never durably
+                // admitted (or we raced the recovery scan): resubmit.
+                let aiger = sbm_server::corpus::corpus_aiger(index);
+                let _ = c.submit("resubmit", key, plan.options, &aiger);
+                thread::sleep(Duration::from_millis(50));
+            }
+            Ok(Err(_pending)) => thread::sleep(Duration::from_millis(30)),
+            Err(_) => {
+                *conn = None;
+                thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+/// Validates and (optionally) writes a finished job's payload.
+fn record_result(
+    plan: &LoadPlan,
+    key: &str,
+    payload: &sbm_server::JobPayload,
+) -> Result<(), Settled> {
+    // Every report must strict-decode; a report that does not is a
+    // server bug, not an I/O hiccup.
+    let report = RunReport::from_json(&payload.report_json)
+        .map_err(|e| Settled::Failed(format!("report does not strict-decode: {e}")))?;
+    if report.tool != "sbm-server" {
+        return Err(Settled::Failed(format!("report tool is `{}`", report.tool)));
+    }
+    if let Some(dir) = &plan.out {
+        // A local write failure is our environment's fault, not the
+        // server's answer being wrong.
+        write_outputs(dir, key, payload)
+            .map_err(|e| Settled::Unreachable(format!("cannot write outputs: {e}")))?;
+    }
+    Ok(())
+}
+
+fn write_outputs(dir: &Path, key: &str, payload: &sbm_server::JobPayload) -> std::io::Result<()> {
+    std::fs::write(dir.join(format!("{key}.json")), &payload.report_json)?;
+    std::fs::write(dir.join(format!("{key}.aag")), &payload.aiger)
+}

@@ -1,0 +1,103 @@
+//! The `sbm-server` daemon: binds a TCP port, recovers any in-flight
+//! jobs from its store root, and serves the framed job protocol until
+//! a SHUTDOWN request arrives.
+//!
+//! ```text
+//! sbm-server --root DIR [--addr HOST:PORT] [--addr-file PATH]
+//!            [--workers N] [--queue-capacity N] [--slice-ms N]
+//! ```
+//!
+//! With `--addr 127.0.0.1:0` the OS picks the port; `--addr-file`
+//! writes the bound address to a file (atomically) so test harnesses
+//! and load generators can find a freshly restarted server without
+//! racing its stdout.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use sbm_server::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sbm-server --root DIR [--addr HOST:PORT] [--addr-file PATH] \
+         [--workers N] [--queue-capacity N] [--slice-ms N]"
+    );
+    std::process::exit(sbm_metrics::exit::USAGE);
+}
+
+fn parse_num(value: &str, what: &str) -> u64 {
+    match value.parse::<u64>() {
+        Ok(n) if n > 0 => n,
+        _ => {
+            eprintln!("sbm-server: {what} must be a positive integer, got `{value}`");
+            std::process::exit(sbm_metrics::exit::USAGE);
+        }
+    }
+}
+
+fn main() {
+    let mut cfg = ServerConfig::default();
+    let mut root: Option<PathBuf> = None;
+    let mut addr_file: Option<PathBuf> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |i: usize| -> &str {
+            match args.get(i + 1) {
+                Some(v) => v,
+                None => {
+                    eprintln!("sbm-server: {flag} needs a value");
+                    std::process::exit(sbm_metrics::exit::USAGE);
+                }
+            }
+        };
+        match flag {
+            "--root" => root = Some(PathBuf::from(value(i))),
+            "--addr" => cfg.addr = value(i).to_string(),
+            "--addr-file" => addr_file = Some(PathBuf::from(value(i))),
+            "--workers" => cfg.workers = parse_num(value(i), "--workers") as usize,
+            "--queue-capacity" => {
+                cfg.queue_capacity = parse_num(value(i), "--queue-capacity") as usize;
+            }
+            "--slice-ms" => cfg.slice = Duration::from_millis(parse_num(value(i), "--slice-ms")),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    let Some(root) = root else { usage() };
+    cfg.root = root;
+
+    let server = match Server::start(cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("sbm-server: startup failed: {e}");
+            std::process::exit(sbm_metrics::exit::RUNTIME);
+        }
+    };
+    let addr = match server.addr() {
+        Ok(addr) => addr,
+        Err(e) => {
+            eprintln!("sbm-server: no local address: {e}");
+            std::process::exit(sbm_metrics::exit::RUNTIME);
+        }
+    };
+    if let Some(path) = addr_file {
+        // Atomic publish (tmp + rename) so readers never see a torn
+        // address during a restart.
+        let tmp = path.with_extension("tmp");
+        let write =
+            std::fs::write(&tmp, format!("{addr}\n")).and_then(|()| std::fs::rename(&tmp, &path));
+        if let Err(e) = write {
+            eprintln!("sbm-server: cannot write {}: {e}", path.display());
+            std::process::exit(sbm_metrics::exit::RUNTIME);
+        }
+    }
+    println!("sbm-server listening on {addr}");
+
+    if let Err(e) = server.run() {
+        eprintln!("sbm-server: {e}");
+        std::process::exit(sbm_metrics::exit::RUNTIME);
+    }
+}

@@ -1,0 +1,194 @@
+//! A small blocking client for the framed job-server protocol, used by
+//! `loadgen`, the soak test and any embedding tool.
+//!
+//! One [`Client`] wraps one TCP connection; requests are strictly
+//! request→reply, so the type is deliberately not `Sync` — use one
+//! client per thread (they are cheap).
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::protocol::{
+    read_frame, write_frame, JobOptions, JobState, ProtocolError, Reply, Request,
+};
+
+/// A connected protocol client.
+pub struct Client {
+    stream: TcpStream,
+}
+
+/// A client-side failure: transport/protocol trouble, or a typed
+/// server-side refusal.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket or framing failure.
+    Protocol(ProtocolError),
+    /// The server replied with something the request cannot accept
+    /// (e.g. an `ERR` for a SUBMIT).
+    Unexpected(String),
+    /// The server reported a request-level error.
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Protocol(e) => write!(f, "protocol failure: {e}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected reply: {what}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// What a SUBMIT produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Admitted now.
+    Accepted,
+    /// Already admitted (idempotent resubmit).
+    AlreadyKnown,
+    /// Admission queue full; retry after backoff.
+    Busy {
+        /// Queue length at rejection.
+        queue_len: u32,
+    },
+}
+
+/// A finished job's payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPayload {
+    /// Strict-decoding `RunReport` JSON.
+    pub report_json: String,
+    /// The optimized circuit, in ASCII AIGER.
+    pub aiger: String,
+}
+
+impl Client {
+    /// Connects to a server address (e.g. `"127.0.0.1:4000"`).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] on connect failure.
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(ProtocolError::Io)?;
+        Ok(Client { stream })
+    }
+
+    /// Sets both socket timeouts, so a killed server surfaces as an
+    /// error instead of a hang.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] when the socket rejects the timeout.
+    pub fn set_timeout(&mut self, timeout: Duration) -> Result<(), ClientError> {
+        self.stream
+            .set_read_timeout(Some(timeout))
+            .map_err(ProtocolError::Io)?;
+        self.stream
+            .set_write_timeout(Some(timeout))
+            .map_err(ProtocolError::Io)?;
+        Ok(())
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Result<Reply, ClientError> {
+        write_frame(&mut self.stream, &request.encode())?;
+        let payload = read_frame(&mut self.stream)?;
+        Ok(Reply::decode(&payload)?)
+    }
+
+    /// Submits a job.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for a typed refusal (bad AIGER, bad
+    /// options, draining server), [`ClientError`] otherwise.
+    pub fn submit(
+        &mut self,
+        client: &str,
+        key: &str,
+        options: JobOptions,
+        aiger: &str,
+    ) -> Result<SubmitOutcome, ClientError> {
+        match self.round_trip(&Request::Submit {
+            client: client.to_string(),
+            key: key.to_string(),
+            options,
+            aiger: aiger.to_string(),
+        })? {
+            Reply::Accepted { known: false } => Ok(SubmitOutcome::Accepted),
+            Reply::Accepted { known: true } => Ok(SubmitOutcome::AlreadyKnown),
+            Reply::Busy { queue_len } => Ok(SubmitOutcome::Busy { queue_len }),
+            Reply::Err { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Queries a job's lifecycle state.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport or protocol failure.
+    pub fn status(&mut self, key: &str) -> Result<(JobState, String), ClientError> {
+        match self.round_trip(&Request::Status {
+            key: key.to_string(),
+        })? {
+            Reply::Status { state, detail } => Ok((state, detail)),
+            Reply::Err { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches a finished job's result; `Ok(None)` (with the current
+    /// state) while the job is still pending.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport or protocol failure.
+    #[allow(clippy::type_complexity)]
+    pub fn result(&mut self, key: &str) -> Result<Result<JobPayload, JobState>, ClientError> {
+        match self.round_trip(&Request::Result {
+            key: key.to_string(),
+        })? {
+            Reply::Result { report_json, aiger } => Ok(Ok(JobPayload { report_json, aiger })),
+            Reply::NotReady { state } => Ok(Err(state)),
+            Reply::Err { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Cancels a job.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] when the job is unknown.
+    pub fn cancel(&mut self, key: &str) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Cancel {
+            key: key.to_string(),
+        })? {
+            Reply::Ok => Ok(()),
+            Reply::Err { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Asks the server to stop (`drain`: finish queued work first).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport or protocol failure.
+    pub fn shutdown(&mut self, drain: bool) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Shutdown { drain })? {
+            Reply::Ok => Ok(()),
+            Reply::Err { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+}

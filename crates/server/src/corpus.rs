@@ -1,0 +1,120 @@
+//! A deterministic mixed corpus of small benchmark circuits for the
+//! load generator and the soak test.
+//!
+//! Each entry is built from its index alone — the same index always
+//! yields the same network, on any machine — so a soak run can compare
+//! a server-produced result byte-for-byte against an in-process serial
+//! reference without shipping circuit files around.
+//!
+//! The circuits deliberately mix redundancy (`x·y + x·¬y`), duplicated
+//! cones, XOR reconvergence and long unbalanced chains, so every engine
+//! in the pipeline has work to do and the simulation filter sees both
+//! hits and misses.
+
+use sbm_aig::{Aig, Lit};
+
+/// Number of distinct circuits the corpus cycles through.
+pub const CORPUS_SIZE: usize = 12;
+
+/// A tiny deterministic PRNG (splitmix64) for structural variety.
+/// Statistical quality is irrelevant here; determinism is the point.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Builds corpus entry `index` (taken modulo [`CORPUS_SIZE`]).
+#[must_use]
+pub fn corpus_aig(index: usize) -> Aig {
+    let index = index % CORPUS_SIZE;
+    let mut rng = 0x5B00_u64.wrapping_add(index as u64);
+    let num_inputs = 4 + index % 6; // 4..=9 inputs
+    let mut aig = Aig::new();
+    let x: Vec<Lit> = (0..num_inputs).map(|_| aig.add_input()).collect();
+
+    // Redundant pair that collapses to x0 — resub/rewrite fodder.
+    let t1 = aig.and(x[0], x[1]);
+    let t2 = aig.and(x[0], !x[1]);
+    let red = aig.or(t1, t2);
+
+    // An unbalanced conjunction chain — balance fodder.
+    let mut chain = red;
+    for &xi in &x[1..] {
+        chain = aig.and(chain, xi);
+    }
+
+    // A duplicated cone equal to the chain — sharing/CEC fodder.
+    let mut dup = x[0];
+    for &xi in &x[1..] {
+        dup = aig.and(dup, xi);
+    }
+
+    // Index-dependent XOR/majority lattice for variety.
+    let mut nodes = vec![chain, dup, red];
+    let rounds = 3 + index % 4;
+    for _ in 0..rounds {
+        let r = mix(&mut rng) as usize;
+        let a = nodes[r % nodes.len()];
+        let b = x[(r >> 8) % x.len()];
+        let c = nodes[(r >> 16) % nodes.len()];
+        let node = match (r >> 24) % 3 {
+            0 => aig.xor(a, b),
+            1 => aig.maj3(a, b, c),
+            _ => {
+                let t = aig.or(a, b);
+                aig.and(t, !c)
+            }
+        };
+        nodes.push(node);
+    }
+
+    let zero = aig.xor(chain, dup); // constant false, a guaranteed win
+    let last = *nodes.last().unwrap_or(&chain);
+    let share = aig.or(chain, red);
+    aig.add_output(zero);
+    aig.add_output(last);
+    aig.add_output(share);
+    aig
+}
+
+/// The corpus entry as ASCII AIGER, ready for a SUBMIT frame.
+#[must_use]
+pub fn corpus_aiger(index: usize) -> String {
+    sbm_aig::aiger::write(&corpus_aig(index))
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::expect_used, clippy::unwrap_used)]
+
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_and_distinct() {
+        for i in 0..CORPUS_SIZE {
+            assert_eq!(corpus_aiger(i), corpus_aiger(i), "entry {i} unstable");
+            assert_eq!(
+                corpus_aiger(i),
+                corpus_aiger(i + CORPUS_SIZE),
+                "entry {i} must wrap"
+            );
+        }
+        let distinct: std::collections::BTreeSet<String> =
+            (0..CORPUS_SIZE).map(corpus_aiger).collect();
+        assert!(distinct.len() > CORPUS_SIZE / 2, "corpus too repetitive");
+    }
+
+    #[test]
+    fn corpus_entries_parse_back_and_have_work() {
+        for i in 0..CORPUS_SIZE {
+            let aig = corpus_aig(i);
+            let text = sbm_aig::aiger::write(&aig);
+            let back = sbm_aig::aiger::parse(&text).expect("parse");
+            assert!(back.num_ands() > 5, "entry {i} too trivial");
+            assert!(back.num_inputs() >= 4);
+        }
+    }
+}

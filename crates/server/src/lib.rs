@@ -1,0 +1,37 @@
+//! `sbm-server`: a fault-tolerant, multi-tenant job server for the SBM
+//! synthesis pipeline.
+//!
+//! Zero external dependencies, like the rest of the workspace: the
+//! front-end is a `std::net::TcpListener` speaking a length-prefixed
+//! framed protocol ([`protocol`]), the scheduler is one mutex and two
+//! condvars ([`exec`]), and durability is the `sbm-journal` write
+//! discipline applied to a per-job directory store ([`store`]).
+//!
+//! The contract, end to end:
+//!
+//! * **Admitted means durable.** SUBMIT is acknowledged only after the
+//!   job's input snapshot and metadata are on disk; a crash between
+//!   acknowledgement and completion loses nothing.
+//! * **Admitted means once.** Jobs are keyed; resubmitting a known key
+//!   is acknowledged without creating a second run.
+//! * **Preempted means parked, not lost.** Jobs run in budgeted slices
+//!   ([`sbm_budget::Budget::child`]); an expired slice parks the job as
+//!   a script checkpoint and the job later *resumes* — and because
+//!   server jobs run the canonical serial pipeline, the resumed result
+//!   is byte-identical to an uninterrupted run.
+//! * **Results decode strictly.** A finished job streams its optimized
+//!   AIGER plus a `RunReport` (schema v3, with the `server` counter
+//!   block) that round-trips through the strict decoder.
+
+pub mod client;
+pub mod corpus;
+pub mod exec;
+pub mod job;
+pub mod protocol;
+pub mod store;
+
+pub use client::{Client, ClientError, JobPayload, SubmitOutcome};
+pub use exec::{Server, ServerConfig, ServerError};
+pub use job::{job_deadline, job_sbm_options, JobOptionsError};
+pub use protocol::{JobOptions, JobState, ProtocolError, Reply, Request, MAX_FRAME};
+pub use store::{JobMeta, JobResult, PersistedCounters, ScanState, ScannedJob, Store, StoreError};

@@ -1,0 +1,577 @@
+//! The durable job store: one directory per job under a common root,
+//! written with the same tmp → fsync → rename → dir-fsync discipline as
+//! `sbm-journal`, so a SIGKILL at any instant leaves every job either
+//! fully recorded or invisible — never torn.
+//!
+//! Layout of `<root>/<fnv64(key) as 16 hex digits>/`:
+//!
+//! | file        | contents                                               |
+//! |-------------|--------------------------------------------------------|
+//! | `input.snap`| the submitted network, as an `sbm-journal` AIG snapshot|
+//! | `job.meta`  | client, key, wire options, persisted lifecycle counters|
+//! | `ckpt/`     | the script's own step-grained checkpoints              |
+//! | `result.bin`| report JSON + optimized AIGER, once the job finishes   |
+//! | `cancelled` | empty marker: the job was cancelled                    |
+//!
+//! `job.meta` is written **last** on admission: its presence is the
+//! commit point that makes a job durable, and the server replies
+//! `ACCEPTED` only after it lands. On restart, [`Store::scan`] walks
+//! the root and classifies every committed job from its files alone.
+
+use std::fs::{self, File};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use sbm_aig::Aig;
+use sbm_journal::{crc32, read_aig_snapshot, write_aig_snapshot, Fnv64, JournalError};
+
+use crate::protocol::{get_options, put_options, put_str, put_u64, Cur, JobOptions};
+
+/// Magic prefix of `job.meta` records.
+const META_MAGIC: &[u8; 4] = b"SBMJ";
+/// Magic prefix of `result.bin` records.
+const RESULT_MAGIC: &[u8; 4] = b"SBMR";
+/// Magic prefix of `report.partial` records.
+const PARTIAL_MAGIC: &[u8; 4] = b"SBMP";
+
+/// Lifecycle counters that survive restarts, persisted inside
+/// `job.meta` and projected into the final report's `server` block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PersistedCounters {
+    /// Worker slices this job has consumed.
+    pub slices: u64,
+    /// Times the job was preempted and parked.
+    pub parks: u64,
+    /// Times the job resumed from a parked checkpoint.
+    pub resumes: u64,
+    /// Times a server restart re-admitted the job from disk.
+    pub recoveries: u64,
+    /// Microseconds spent queued (admission → first slice, plus
+    /// park → next slice).
+    pub queue_us: u64,
+}
+
+/// The durable identity and configuration of one job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobMeta {
+    /// Submitting tenant (fair-scheduling identity).
+    pub client: String,
+    /// Idempotency key.
+    pub key: String,
+    /// Wire options the job runs under.
+    pub options: JobOptions,
+    /// Restart-surviving lifecycle counters.
+    pub counters: PersistedCounters,
+}
+
+/// A finished job's durable payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobResult {
+    /// Strict-decoding `RunReport` JSON.
+    pub report_json: String,
+    /// The optimized network, in ASCII AIGER.
+    pub aiger: String,
+}
+
+/// Disk-derived classification of a committed job at startup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanState {
+    /// `result.bin` present and intact: serve RESULT from disk.
+    Done,
+    /// `cancelled` marker present.
+    Cancelled,
+    /// Neither: the job was queued/running/parked when the server
+    /// died — re-admit it.
+    InFlight,
+}
+
+/// One job found by [`Store::scan`].
+#[derive(Debug, Clone)]
+pub struct ScannedJob {
+    /// The job's durable metadata.
+    pub meta: JobMeta,
+    /// Its disk-derived state.
+    pub state: ScanState,
+}
+
+/// Why a store operation failed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A record failed its magic/length/CRC validation.
+    Corrupt(&'static str),
+    /// Snapshot read/write failure.
+    Journal(JournalError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Corrupt(what) => write!(f, "corrupt store record: {what}"),
+            StoreError::Journal(e) => write!(f, "store snapshot error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<JournalError> for StoreError {
+    fn from(e: JournalError) -> Self {
+        StoreError::Journal(e)
+    }
+}
+
+/// Hashes a job key to its directory name.
+#[must_use]
+pub fn key_hash(key: &str) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(key.as_bytes());
+    h.finish()
+}
+
+/// Writes `payload` to `path` atomically: tmp file in the same
+/// directory, fsync, rename over the target, fsync the directory.
+fn write_record(path: &Path, magic: &[u8; 4], payload: &[u8]) -> Result<(), StoreError> {
+    let dir = path
+        .parent()
+        .ok_or(StoreError::Corrupt("record path has no parent"))?;
+    let mut bytes = Vec::with_capacity(payload.len() + 16);
+    bytes.extend_from_slice(magic);
+    bytes.extend_from_slice(
+        &u64::try_from(payload.len())
+            .unwrap_or(u64::MAX)
+            .to_le_bytes(),
+    );
+    bytes.extend_from_slice(payload);
+    bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+
+    let file_name = path
+        .file_name()
+        .ok_or(StoreError::Corrupt("record path has no file name"))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = dir.join(tmp_name);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    // Make the rename itself durable.
+    File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+/// Reads and validates a record written by [`write_record`].
+fn read_record(path: &Path, magic: &[u8; 4]) -> Result<Vec<u8>, StoreError> {
+    let bytes = fs::read(path)?;
+    if bytes.len() < 16 || &bytes[..4] != magic {
+        return Err(StoreError::Corrupt("bad magic or short record"));
+    }
+    let mut len8 = [0u8; 8];
+    len8.copy_from_slice(&bytes[4..12]);
+    let len = usize::try_from(u64::from_le_bytes(len8))
+        .map_err(|_| StoreError::Corrupt("record length overflows"))?;
+    let end = 12usize
+        .checked_add(len)
+        .ok_or(StoreError::Corrupt("record length overflows"))?;
+    if bytes.len() != end + 4 {
+        return Err(StoreError::Corrupt("record length mismatch"));
+    }
+    let payload = &bytes[12..end];
+    let mut crc4 = [0u8; 4];
+    crc4.copy_from_slice(&bytes[end..]);
+    if crc32(payload) != u32::from_le_bytes(crc4) {
+        return Err(StoreError::Corrupt("record CRC mismatch"));
+    }
+    Ok(payload.to_vec())
+}
+
+fn encode_meta(meta: &JobMeta) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_str(&mut buf, &meta.client);
+    put_str(&mut buf, &meta.key);
+    put_options(&mut buf, &meta.options);
+    put_u64(&mut buf, meta.counters.slices);
+    put_u64(&mut buf, meta.counters.parks);
+    put_u64(&mut buf, meta.counters.resumes);
+    put_u64(&mut buf, meta.counters.recoveries);
+    put_u64(&mut buf, meta.counters.queue_us);
+    buf
+}
+
+fn decode_meta(payload: &[u8]) -> Result<JobMeta, StoreError> {
+    let corrupt = |_| StoreError::Corrupt("job.meta payload");
+    let mut cur = Cur::new(payload);
+    let meta = JobMeta {
+        client: cur.str("client").map_err(corrupt)?,
+        key: cur.str("key").map_err(corrupt)?,
+        options: get_options(&mut cur).map_err(corrupt)?,
+        counters: PersistedCounters {
+            slices: cur.u64().map_err(corrupt)?,
+            parks: cur.u64().map_err(corrupt)?,
+            resumes: cur.u64().map_err(corrupt)?,
+            recoveries: cur.u64().map_err(corrupt)?,
+            queue_us: cur.u64().map_err(corrupt)?,
+        },
+    };
+    cur.finish().map_err(corrupt)?;
+    Ok(meta)
+}
+
+fn encode_result(result: &JobResult) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_str(&mut buf, &result.report_json);
+    put_str(&mut buf, &result.aiger);
+    buf
+}
+
+fn decode_result(payload: &[u8]) -> Result<JobResult, StoreError> {
+    let corrupt = |_| StoreError::Corrupt("result.bin payload");
+    let mut cur = Cur::new(payload);
+    let result = JobResult {
+        report_json: cur.str("report json").map_err(corrupt)?,
+        aiger: cur.str("aiger").map_err(corrupt)?,
+    };
+    cur.finish().map_err(corrupt)?;
+    Ok(result)
+}
+
+/// The on-disk job store rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct Store {
+    root: PathBuf,
+}
+
+impl Store {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the root cannot be created.
+    pub fn open(root: &Path) -> Result<Store, StoreError> {
+        fs::create_dir_all(root)?;
+        Ok(Store {
+            root: root.to_path_buf(),
+        })
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The directory holding `key`'s files.
+    #[must_use]
+    pub fn job_dir(&self, key: &str) -> PathBuf {
+        self.root.join(format!("{:016x}", key_hash(key)))
+    }
+
+    /// The job's script-checkpoint directory.
+    #[must_use]
+    pub fn ckpt_dir(&self, key: &str) -> PathBuf {
+        self.job_dir(key).join("ckpt")
+    }
+
+    /// Whether `key` has been durably admitted.
+    #[must_use]
+    pub fn exists(&self, key: &str) -> bool {
+        self.job_dir(key).join("job.meta").is_file()
+    }
+
+    /// Durably admits a job: input snapshot and checkpoint directory
+    /// first, `job.meta` last as the commit point.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] when any write fails; a partial directory without
+    /// `job.meta` is invisible to [`Store::scan`] and harmless.
+    pub fn create_job(&self, meta: &JobMeta, input: &Aig) -> Result<(), StoreError> {
+        let dir = self.job_dir(&meta.key);
+        fs::create_dir_all(dir.join("ckpt"))?;
+        write_aig_snapshot(&dir.join("input.snap"), input, key_hash(&meta.key), 0)?;
+        self.write_meta(meta)
+    }
+
+    /// Rewrites `job.meta` (counter updates on park/recovery).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on write failure.
+    pub fn write_meta(&self, meta: &JobMeta) -> Result<(), StoreError> {
+        write_record(
+            &self.job_dir(&meta.key).join("job.meta"),
+            META_MAGIC,
+            &encode_meta(meta),
+        )
+    }
+
+    /// Reads a job's durable metadata.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] when absent or corrupt.
+    pub fn read_meta(&self, key: &str) -> Result<JobMeta, StoreError> {
+        decode_meta(&read_record(
+            &self.job_dir(key).join("job.meta"),
+            META_MAGIC,
+        )?)
+    }
+
+    /// Reads the submitted network back.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] when the snapshot is absent or corrupt.
+    pub fn read_input(&self, key: &str) -> Result<Aig, StoreError> {
+        let (aig, _) = read_aig_snapshot(&self.job_dir(key).join("input.snap"))?;
+        Ok(aig)
+    }
+
+    /// Durably records a finished job's result.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on write failure.
+    pub fn write_result(&self, key: &str, result: &JobResult) -> Result<(), StoreError> {
+        write_record(
+            &self.job_dir(key).join("result.bin"),
+            RESULT_MAGIC,
+            &encode_result(result),
+        )
+    }
+
+    /// Reads a finished job's result; `Ok(None)` when not finished.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] when a result file exists but fails
+    /// validation, [`StoreError::Io`] on other filesystem failures.
+    pub fn read_result(&self, key: &str) -> Result<Option<JobResult>, StoreError> {
+        let path = self.job_dir(key).join("result.bin");
+        match read_record(&path, RESULT_MAGIC) {
+            Ok(payload) => Ok(Some(decode_result(&payload)?)),
+            Err(StoreError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Durably records the running total of a parked job's slice
+    /// reports (a `RunReport` JSON string).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on write failure.
+    pub fn write_partial_report(&self, key: &str, json: &str) -> Result<(), StoreError> {
+        write_record(
+            &self.job_dir(key).join("report.partial"),
+            PARTIAL_MAGIC,
+            json.as_bytes(),
+        )
+    }
+
+    /// Reads the parked running-total report; `Ok(None)` when the job
+    /// has never parked.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] when present but damaged,
+    /// [`StoreError::Io`] on other filesystem failures.
+    pub fn read_partial_report(&self, key: &str) -> Result<Option<String>, StoreError> {
+        let path = self.job_dir(key).join("report.partial");
+        match read_record(&path, PARTIAL_MAGIC) {
+            Ok(payload) => {
+                Ok(Some(String::from_utf8(payload).map_err(|_| {
+                    StoreError::Corrupt("report.partial is not UTF-8")
+                })?))
+            }
+            Err(StoreError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Durably marks a job cancelled.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on write failure.
+    pub fn mark_cancelled(&self, key: &str) -> Result<(), StoreError> {
+        write_record(&self.job_dir(key).join("cancelled"), META_MAGIC, &[])
+    }
+
+    /// Whether a job carries the cancelled marker.
+    #[must_use]
+    pub fn is_cancelled(&self, key: &str) -> bool {
+        self.job_dir(key).join("cancelled").is_file()
+    }
+
+    /// Walks the root and classifies every durably admitted job, in
+    /// deterministic (directory-name) order. Directories without a
+    /// valid `job.meta` — torn admissions — are skipped.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the root itself cannot be read.
+    pub fn scan(&self) -> Result<Vec<ScannedJob>, StoreError> {
+        let mut dirs: Vec<PathBuf> = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.file_type()?.is_dir() {
+                dirs.push(entry.path());
+            }
+        }
+        dirs.sort();
+        let mut jobs = Vec::new();
+        for dir in dirs {
+            let Ok(payload) = read_record(&dir.join("job.meta"), META_MAGIC) else {
+                continue; // torn admission: never ACCEPTED, safe to skip
+            };
+            let Ok(meta) = decode_meta(&payload) else {
+                continue;
+            };
+            let state = if read_record(&dir.join("result.bin"), RESULT_MAGIC)
+                .map(|p| decode_result(&p).is_ok())
+                .unwrap_or(false)
+            {
+                ScanState::Done
+            } else if dir.join("cancelled").is_file() {
+                ScanState::Cancelled
+            } else {
+                ScanState::InFlight
+            };
+            jobs.push(ScannedJob { meta, state });
+        }
+        Ok(jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::expect_used, clippy::unwrap_used)]
+
+    use super::*;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sbm-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_meta(key: &str) -> JobMeta {
+        JobMeta {
+            client: "tenant".to_string(),
+            key: key.to_string(),
+            options: JobOptions::default(),
+            counters: PersistedCounters {
+                slices: 4,
+                parks: 2,
+                resumes: 2,
+                recoveries: 1,
+                queue_us: 1234,
+            },
+        }
+    }
+
+    fn tiny_aig() -> Aig {
+        sbm_aig::aiger::parse("aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n").expect("parse")
+    }
+
+    #[test]
+    fn job_lifecycle_round_trips() {
+        let root = tmp_root("lifecycle");
+        let store = Store::open(&root).expect("open");
+        let meta = sample_meta("job-a");
+        store.create_job(&meta, &tiny_aig()).expect("create");
+        assert!(store.exists("job-a"));
+        assert!(!store.exists("job-b"));
+        assert_eq!(store.read_meta("job-a").expect("meta"), meta);
+        let input = store.read_input("job-a").expect("input");
+        assert_eq!(input.num_inputs(), 2);
+
+        assert_eq!(store.read_result("job-a").expect("none"), None);
+        let result = JobResult {
+            report_json: "{\"x\":1}".to_string(),
+            aiger: "aag 0 0 0 0 0\n".to_string(),
+        };
+        store.write_result("job-a", &result).expect("result");
+        assert_eq!(store.read_result("job-a").expect("some"), Some(result));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn scan_classifies_jobs_and_skips_torn_admissions() {
+        let root = tmp_root("scan");
+        let store = Store::open(&root).expect("open");
+        let aig = tiny_aig();
+
+        store
+            .create_job(&sample_meta("done"), &aig)
+            .expect("create");
+        store
+            .write_result(
+                "done",
+                &JobResult {
+                    report_json: "{}".to_string(),
+                    aiger: "aag 0 0 0 0 0\n".to_string(),
+                },
+            )
+            .expect("result");
+
+        store
+            .create_job(&sample_meta("cancelled"), &aig)
+            .expect("create");
+        store.mark_cancelled("cancelled").expect("cancel");
+
+        store
+            .create_job(&sample_meta("inflight"), &aig)
+            .expect("create");
+
+        // A torn admission: directory + snapshot but no job.meta.
+        let torn = store.job_dir("torn");
+        fs::create_dir_all(torn.join("ckpt")).expect("mkdir");
+
+        let jobs = store.scan().expect("scan");
+        assert_eq!(jobs.len(), 3);
+        let state_of = |key: &str| {
+            jobs.iter()
+                .find(|j| j.meta.key == key)
+                .map(|j| j.state)
+                .expect("scanned")
+        };
+        assert_eq!(state_of("done"), ScanState::Done);
+        assert_eq!(state_of("cancelled"), ScanState::Cancelled);
+        assert_eq!(state_of("inflight"), ScanState::InFlight);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_records_are_reported_not_trusted() {
+        let root = tmp_root("corrupt");
+        let store = Store::open(&root).expect("open");
+        store
+            .create_job(&sample_meta("job"), &tiny_aig())
+            .expect("create");
+
+        // Flip one payload byte of job.meta: CRC must catch it.
+        let meta_path = store.job_dir("job").join("job.meta");
+        let mut bytes = fs::read(&meta_path).expect("read");
+        bytes[13] ^= 0xFF;
+        fs::write(&meta_path, &bytes).expect("write");
+        assert!(matches!(
+            store.read_meta("job"),
+            Err(StoreError::Corrupt(_))
+        ));
+        // And scan treats the job as torn rather than recovering garbage.
+        assert!(store.scan().expect("scan").is_empty());
+        let _ = fs::remove_dir_all(&root);
+    }
+}

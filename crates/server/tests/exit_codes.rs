@@ -1,0 +1,70 @@
+//! Asserts the workspace exit-code convention on the server binaries:
+//! `0` success, `2` usage, `3` runtime/environment failure (the
+//! validation code `1` needs a live server handing back wrong answers
+//! and is exercised by the loadgen failure paths in the soak suite).
+//! See also `crates/bench/tests/exit_codes.rs` and
+//! `crates/lint/tests/exit_codes.rs`.
+
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
+use std::process::Command;
+
+use sbm_metrics::exit;
+
+fn code_of(bin: &str, args: &[&str]) -> i32 {
+    Command::new(bin)
+        .args(args)
+        .output()
+        .expect("spawn binary")
+        .status
+        .code()
+        .expect("exit code")
+}
+
+#[test]
+fn server_and_loadgen_exit_codes_follow_the_workspace_convention() {
+    let server = env!("CARGO_BIN_EXE_sbm-server");
+    let loadgen = env!("CARGO_BIN_EXE_loadgen");
+
+    // 2 — bad or missing flags, before anything touches the network.
+    assert_eq!(code_of(server, &[]), exit::USAGE);
+    assert_eq!(code_of(server, &["--bogus"]), exit::USAGE);
+    assert_eq!(
+        code_of(server, &["--root", "/tmp/x", "--workers", "zero"]),
+        exit::USAGE
+    );
+    assert_eq!(code_of(loadgen, &[]), exit::USAGE);
+    assert_eq!(code_of(loadgen, &["--addr"]), exit::USAGE);
+    assert_eq!(
+        code_of(loadgen, &["--addr", "127.0.0.1:1", "--jobs", "many"]),
+        exit::USAGE
+    );
+
+    // 3 — the environment fails underneath a well-formed invocation.
+    assert_eq!(
+        code_of(server, &["--root", "/dev/null/not-a-dir"]),
+        exit::RUNTIME
+    );
+    assert_eq!(
+        code_of(
+            loadgen,
+            &[
+                "--addr",
+                "127.0.0.1:1",
+                "--jobs",
+                "1",
+                "--out",
+                "/dev/null/not-a-dir",
+            ],
+        ),
+        exit::RUNTIME
+    );
+    // An unreachable server is a runtime failure, not a job failure.
+    assert_eq!(
+        code_of(
+            loadgen,
+            &["--addr", "127.0.0.1:1", "--jobs", "1", "--timeout-s", "1"],
+        ),
+        exit::RUNTIME
+    );
+}

@@ -1,0 +1,204 @@
+// Test code: a panic IS the failure report.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
+//! The crash-restart soak test: hundreds of concurrent jobs from many
+//! clients, a SIGKILL of the server mid-run, a restart over the same
+//! store root — and at the end, zero lost jobs, zero duplicated jobs,
+//! every report strict-decoding, and every optimized network
+//! byte-identical to a serial one-shot run with the same options.
+//!
+//! The test drives the real binaries (`sbm-server`, `loadgen`) over
+//! real TCP, exactly as CI's smoke does, via the `CARGO_BIN_EXE_*`
+//! paths Cargo provides to integration tests.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use sbm_core::script::sbm_script_report;
+use sbm_metrics::RunReport;
+use sbm_server::corpus::{corpus_aiger, CORPUS_SIZE};
+use sbm_server::{job_sbm_options, JobOptions};
+
+const JOBS: usize = 200;
+const CLIENTS: usize = 8;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sbm-soak-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn spawn_server(root: &Path, addr_file: &Path) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_sbm-server"))
+        .args([
+            "--root",
+            &root.display().to_string(),
+            "--addr",
+            "127.0.0.1:0",
+            "--addr-file",
+            &addr_file.display().to_string(),
+            "--workers",
+            "4",
+            "--queue-capacity",
+            "400",
+            "--slice-ms",
+            "20",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn sbm-server")
+}
+
+fn count_results(out: &Path) -> usize {
+    std::fs::read_dir(out)
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                .count()
+        })
+        .unwrap_or(0)
+}
+
+#[test]
+fn soak_kill_restart_loses_and_duplicates_nothing() {
+    let root = tmp_dir("root");
+    let out = tmp_dir("out");
+    let addr_file = tmp_dir("addr").join("addr");
+
+    let mut server = spawn_server(&root, &addr_file);
+
+    // The load: 8 concurrent clients, 200 jobs, mixed corpus, writing
+    // every finished report + network to `out`.
+    let mut loadgen = Command::new(env!("CARGO_BIN_EXE_loadgen"))
+        .args([
+            "--addr-file",
+            &addr_file.display().to_string(),
+            "--jobs",
+            &JOBS.to_string(),
+            "--clients",
+            &CLIENTS.to_string(),
+            "--out",
+            &out.display().to_string(),
+            "--timeout-s",
+            "240",
+            "--tag",
+            "soak",
+        ])
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn loadgen");
+
+    // SIGKILL the server mid-run: after some results exist but long
+    // before all of them do.
+    let started = Instant::now();
+    loop {
+        let done = count_results(&out);
+        if done >= 5 {
+            assert!(
+                done < JOBS,
+                "server finished before the kill — soak too fast"
+            );
+            break;
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(120),
+            "no results after 120 s; soak stalled (done={done})"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.kill().expect("SIGKILL server");
+    let _ = server.wait();
+
+    // Restart over the same root: the recovery scan must re-admit every
+    // in-flight job; loadgen reconnects through the republished
+    // addr-file and rides out the outage.
+    let mut server = spawn_server(&root, &addr_file);
+
+    let status = loadgen.wait().expect("loadgen exit");
+    let _ = server.kill();
+    let _ = server.wait();
+    assert!(
+        status.success(),
+        "loadgen failed: some jobs were lost, failed or unaccounted ({status:?})"
+    );
+
+    // Zero lost, zero duplicated: exactly one report and one network
+    // per submitted key, none extra.
+    let mut reports: BTreeMap<String, RunReport> = BTreeMap::new();
+    let mut networks: BTreeMap<String, String> = BTreeMap::new();
+    for entry in std::fs::read_dir(&out).expect("read out") {
+        let path = entry.expect("entry").path();
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .expect("stem")
+            .to_string();
+        match path.extension().and_then(|x| x.to_str()) {
+            Some("json") => {
+                let text = std::fs::read_to_string(&path).expect("read report");
+                // Every report must strict-decode (schema v3).
+                let report = RunReport::from_json(&text)
+                    .unwrap_or_else(|e| panic!("{stem}: report does not strict-decode: {e}"));
+                assert!(reports.insert(stem.clone(), report).is_none(), "dup {stem}");
+            }
+            Some("aag") => {
+                let text = std::fs::read_to_string(&path).expect("read aag");
+                assert!(networks.insert(stem.clone(), text).is_none(), "dup {stem}");
+            }
+            other => panic!("unexpected output {path:?} ({other:?})"),
+        }
+    }
+    assert_eq!(reports.len(), JOBS, "lost reports");
+    assert_eq!(networks.len(), JOBS, "lost networks");
+
+    // Serial one-shot references, one per distinct corpus entry.
+    let wire = JobOptions::default();
+    let options = job_sbm_options(&wire).expect("options");
+    let reference: Vec<String> = (0..CORPUS_SIZE)
+        .map(|i| {
+            let input = sbm_aig::aiger::parse(&corpus_aiger(i)).expect("parse");
+            sbm_aig::aiger::write(&sbm_script_report(&input, &options).aig)
+        })
+        .collect();
+
+    let mut recoveries = 0u64;
+    for index in 0..JOBS {
+        let key = format!("soak-{index}");
+        let report = reports.get(&key).unwrap_or_else(|| panic!("lost {key}"));
+        let network = networks.get(&key).unwrap_or_else(|| panic!("lost {key}"));
+
+        assert_eq!(report.tool, "sbm-server", "{key}");
+        assert_eq!(report.benchmarks, vec![key.clone()], "{key}");
+        assert!(report.server.slices >= 1, "{key}: no slices recorded");
+        assert!(
+            report.sim_filter.hits + report.sim_filter.misses > 0,
+            "{key}: sim-filter counters are dead"
+        );
+        recoveries += report.server.recoveries;
+
+        // The acceptance bar: byte-identical to the uninterrupted
+        // serial run, regardless of how often the job was preempted,
+        // parked, resumed or crash-recovered.
+        assert_eq!(
+            network,
+            &reference[index % CORPUS_SIZE],
+            "{key}: result differs from the serial one-shot reference \
+             (slices={}, parks={}, recoveries={})",
+            report.server.slices,
+            report.server.parks,
+            report.server.recoveries
+        );
+    }
+    assert!(
+        recoveries >= 1,
+        "the SIGKILL+restart must have crash-recovered at least one job"
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+    let _ = std::fs::remove_dir_all(&out);
+}

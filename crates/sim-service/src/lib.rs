@@ -286,6 +286,23 @@ impl SigService {
     pub fn committed_patterns(&self) -> usize {
         self.lock().committed.len()
     }
+
+    /// Drops every harvested counterexample — committed and pending —
+    /// returning the service to its base pattern block.
+    ///
+    /// Run owners that need **replayable** steps (the script's
+    /// canonical-steps mode, where a park-and-resume must re-execute a
+    /// step bit-for-bit) call this at step boundaries instead of
+    /// [`SigService::commit_pending`]: carried-over counterexamples are
+    /// invisible state a checkpoint does not capture, and under finite
+    /// SAT/move budgets a sharper filter changes budget consumption and
+    /// therefore results. Resetting makes every step a pure function of
+    /// its input network, at the cost of cross-step pattern reuse.
+    pub fn reset(&self) {
+        let mut pool = self.lock();
+        pool.committed.clear();
+        pool.pending.clear();
+    }
 }
 
 /// Simulated observability care mask of `target` inside a window.
